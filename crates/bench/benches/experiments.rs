@@ -1,0 +1,24 @@
+//! `cargo bench` target that regenerates every table and figure of the
+//! paper (harness-less: the experiments are simulations and real
+//! fault-injection runs, not timing loops — see `benches/kernels.rs` for
+//! Criterion micro-benchmarks).
+
+use std::time::Instant;
+
+fn main() {
+    // Respect `cargo bench -- <filter>`.
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut total = 0u32;
+    for (name, f) in swift_bench::all_experiments() {
+        if !filter.is_empty() && !filter.starts_with("--") && !name.contains(&filter) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let report = f();
+        println!("================ {name} ({:.2}s) ================", t0.elapsed().as_secs_f64());
+        print!("{report}");
+        println!();
+        total += 1;
+    }
+    println!("regenerated {total} experiments");
+}

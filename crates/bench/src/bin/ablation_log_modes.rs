@@ -1,0 +1,5 @@
+//! Real-execution ablation of the logging modes (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::ablation_log_modes());
+}

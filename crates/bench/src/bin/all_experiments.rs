@@ -1,0 +1,16 @@
+//! Regenerates every table and figure of the paper in one run, echoing to
+//! stdout and saving each report under `target/experiments/`.
+
+fn main() {
+    let out_dir = std::path::Path::new("target/experiments");
+    let _ = std::fs::create_dir_all(out_dir);
+    for (name, f) in swift_bench::all_experiments() {
+        let report = f();
+        println!("================ {name} ================");
+        print!("{report}");
+        println!();
+        if std::fs::write(out_dir.join(format!("{name}.txt")), &report).is_ok() {
+            eprintln!("saved target/experiments/{name}.txt");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig01 schedule experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig01_schedule());
+}

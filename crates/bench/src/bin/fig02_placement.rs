@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig02 placement experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig02_placement());
+}

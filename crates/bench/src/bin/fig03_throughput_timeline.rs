@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig03 throughput timeline experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig03_throughput_timeline());
+}

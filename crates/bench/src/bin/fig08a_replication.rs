@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08a replication experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig08a_replication());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08b vit experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig08b_vit());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 recovery timeline experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig09_recovery_timeline());
+}

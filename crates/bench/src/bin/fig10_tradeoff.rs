@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 tradeoff experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig10_tradeoff());
+}

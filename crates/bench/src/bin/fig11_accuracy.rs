@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 accuracy experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig11_accuracy());
+}

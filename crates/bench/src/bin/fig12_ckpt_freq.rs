@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 ckpt freq experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig12_ckpt_freq());
+}

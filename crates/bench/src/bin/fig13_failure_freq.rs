@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 failure freq experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::fig13_failure_freq());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 operators experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table1_operators());
+}

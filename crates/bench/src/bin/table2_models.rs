@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 models experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table2_models());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 logging volume experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table3_logging_volume());
+}

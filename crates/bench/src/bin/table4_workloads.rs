@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 workloads experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table4_workloads());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table5 end to end experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table5_end_to_end());
+}

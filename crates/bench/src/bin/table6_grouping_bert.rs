@@ -1,0 +1,5 @@
+//! Regenerates the paper's table6 grouping bert experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table6_grouping_bert());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table7 grouping vit experiment (see DESIGN.md).
+
+fn main() {
+    print!("{}", swift_bench::experiments::table7_grouping_vit());
+}

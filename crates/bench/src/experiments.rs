@@ -1,0 +1,734 @@
+//! One harness per paper table/figure. See DESIGN.md's experiment index.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use swift_core::{
+    run_dp_scenario, run_pipeline_scenario, DpScenario, PipelineScenario,
+};
+use swift_data::BlobsDataset;
+use swift_dnn::profile::{bert_128, vit_128_32, wide_resnet_50, PaperModel, TESTBED};
+use swift_optim::OptimizerKind;
+use swift_sim::{
+    iteration_times, logging_recovery_event_s, mean_throughput, recovery_time_s,
+    recovery_timeline, simulate_mean, sweep_ckpt_interval, sweep_mtbf, CostModel, Method,
+};
+use swift_wal::{plan_groups, sweep_storage_caps, LogMode, PlannerInput};
+
+const GB: f64 = 1e9;
+
+/// Fig. 1a: the 1F1B schedule with p = 4, m = 4, rendered as ASCII, plus
+/// the closed-form bubble ratio 3/7.
+pub fn fig01_schedule() -> String {
+    let (slots, makespan) = swift_pipeline::simulate(swift_pipeline::ScheduleKind::OneFOneB, 4, 4, 1.0, 1.0);
+    let mut out = String::from("Fig 1a — 1F1B pipeline schedule (p=4, m=4); digits = forward µbatch, b = backward\n");
+    out.push_str(&swift_pipeline::render_ascii(&slots, makespan, 56));
+    let _ = writeln!(
+        out,
+        "bubble ratio (p-1)/(m+p-1) = {:.4} (paper: 3/7 = {:.4})",
+        swift_pipeline::bubble_ratio(4, 4),
+        3.0 / 7.0
+    );
+    out
+}
+
+/// Fig. 2: the hand-optimized 3D-parallelism plan (16 GPUs, 2 machines,
+/// dp=2 pp=4 op=2, replicas co-located) and its placement analysis: no
+/// cross-machine replica → logging-based recovery, with exactly the
+/// boundary GPUs logging.
+pub fn fig02_placement() -> String {
+    use swift_core::{select_strategy, ParallelismPlan, PlacementPolicy};
+    let plan = ParallelismPlan::new(2, 4, 2, 2, 8, PlacementPolicy::ReplicasSameMachine);
+    let mut out = String::from(
+        "Fig 2 — Megatron-style 3D plan: 16 GPUs on 2 machines, dp=2 pp=4 op=2, replicas same-machine
+",
+    );
+    for d in 0..2 {
+        for p in 0..4 {
+            for o in 0..2 {
+                let _ = writeln!(
+                    out,
+                    "  worker (dp={d}, stage={p}, op={o}) -> machine {} rank {}",
+                    plan.machine_of(d, p, o),
+                    plan.rank_of(d, p, o)
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "cross-machine replica available: {}", plan.cross_machine_replica());
+    let _ = writeln!(out, "strategy selected: {:?}", select_strategy(plan.job_shape(true)));
+    let _ = writeln!(
+        out,
+        "GPUs that must log (machine-crossing pipeline edges): {:?}",
+        plan.logging_ranks()
+    );
+    out.push_str("paper: 'GPU 3 & 7 log the intermediate activations, GPU 11 & 15 log the gradients'.\n");
+    out
+}
+
+/// Table 2: the benchmark models, generated from the profiles.
+pub fn table2_models() -> String {
+    let mut out = String::from("Table 2 — benchmark models
+");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>16} {:>14} {:>12}",
+        "model", "batch", "#params (B)", "parallelism", "machines"
+    );
+    for m in swift_dnn::profile::all_models() {
+        let par = match m.family {
+            swift_dnn::profile::RecoveryFamily::Replication => "DP".to_string(),
+            swift_dnn::profile::RecoveryFamily::Logging => {
+                format!("PP ({} stages)", m.total_stages())
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>16.2} {:>14} {:>12}",
+            m.name, m.batch_size, m.params_billion, par, m.machines
+        );
+    }
+    out
+}
+
+/// Fig. 3: Wide-ResNet-50 iteration-time series under each method during
+/// failure-free execution (snapshot spikes at 30/60/90; ckpt at 100).
+pub fn fig03_throughput_timeline() -> String {
+    let cm = CostModel::new(wide_resnet_50(), TESTBED);
+    let methods = [
+        ("normal", Method::Normal),
+        ("global-ckpt", Method::GlobalCkpt { interval: 100 }),
+        ("checkfreq", Method::CheckFreq { interval: 30 }),
+        ("elastic-horovod", Method::ElasticHorovod { interval: 30 }),
+        ("swift", Method::SwiftReplication { ckpt_interval: 100 }),
+    ];
+    let series: Vec<(&str, Vec<f64>)> =
+        methods.iter().map(|(n, m)| (*n, iteration_times(&cm, *m, 110))).collect();
+    let mut out = String::from(
+        "Fig 3 — Wide-ResNet-50 failure-free iteration time (s); snapshots at 30/60/90, global ckpt at 100\n",
+    );
+    let _ = writeln!(out, "{:>5} {:>9} {:>12} {:>10} {:>16} {:>8}", "iter", "normal", "global-ckpt", "checkfreq", "elastic-horovod", "swift");
+    for it in (25..35).chain(58..62).chain(88..92).chain(98..104) {
+        let _ = write!(out, "{it:>5}");
+        for (_, s) in &series {
+            let _ = write!(out, " {:>11.2}", s[it]);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "note: CheckFreq iterations after a snapshot run slower (background persist), matching the paper.");
+    out
+}
+
+/// Table 1: operator inventory and invertibility per optimizer, generated
+/// from the implementations.
+pub fn table1_operators() -> String {
+    let profiles = swift_optim::table1();
+    let ops = swift_optim::OpKind::all();
+    let mut out = String::from("Table 1 — operators used in five representative optimizers\n");
+    let _ = write!(out, "{:<12}", "operator");
+    for p in &profiles {
+        let _ = write!(out, "{:>9}", p.optimizer);
+    }
+    out.push('\n');
+    for &op in ops {
+        let _ = write!(out, "{:<12}", op.name());
+        for p in &profiles {
+            let _ = write!(out, "{:>9}", if p.ops.contains(&op) { "x" } else { "" });
+        }
+        let _ = writeln!(out, "   ({})", if op.invertible() { "invertible" } else { "NOT invertible" });
+    }
+    let _ = write!(out, "{:<12}", "undoable?");
+    for p in &profiles {
+        let _ = write!(out, "{:>9}", if p.undoable() { "yes" } else { "no" });
+    }
+    out.push('\n');
+    out
+}
+
+fn fig8_row(out: &mut String, cm: &CostModel, name: &str, method: Method, iters_lost: u64) {
+    let tp = mean_throughput(cm, method, 200);
+    let rec = recovery_time_s(cm, method, iters_lost);
+    let _ = writeln!(
+        out,
+        "{name:<28} {tp:>14.0} {:>10.1} {:>10.1} {:>10.1}",
+        rec.init_s,
+        rec.recovery_s,
+        rec.total_s()
+    );
+}
+
+/// Fig. 8a: Wide-ResNet-50 (replication-based recovery) — failure-free
+/// throughput and recovery time vs the three baselines.
+pub fn fig08a_replication() -> String {
+    let cm = CostModel::new(wide_resnet_50(), TESTBED);
+    let mut out = String::from(
+        "Fig 8a — Wide-ResNet-50 (DP, replication-based recovery); kill at iter 150, ckpt at 100\n",
+    );
+    let _ = writeln!(out, "{:<28} {:>14} {:>10} {:>10} {:>10}", "method", "imgs/s", "init(s)", "recov(s)", "total(s)");
+    fig8_row(&mut out, &cm, "normal", Method::Normal, 50);
+    fig8_row(&mut out, &cm, "global-ckpt", Method::GlobalCkpt { interval: 100 }, 50);
+    fig8_row(&mut out, &cm, "checkfreq", Method::CheckFreq { interval: 30 }, 50);
+    fig8_row(&mut out, &cm, "elastic-horovod", Method::ElasticHorovod { interval: 30 }, 50);
+    fig8_row(&mut out, &cm, "swift-replication", Method::SwiftReplication { ckpt_interval: 100 }, 50);
+    let gc = recovery_time_s(&cm, Method::GlobalCkpt { interval: 100 }, 50).recovery_s;
+    let cf = recovery_time_s(&cm, Method::CheckFreq { interval: 30 }, 50).recovery_s;
+    let eh = recovery_time_s(&cm, Method::ElasticHorovod { interval: 30 }, 50).recovery_s;
+    let sw = recovery_time_s(&cm, Method::SwiftReplication { ckpt_interval: 100 }, 50).recovery_s;
+    let _ = writeln!(
+        out,
+        "recovery reduction vs global/checkfreq/EH: {:.1}% / {:.1}% / {:.1}%  (paper: 98.9% / 98.1% / 98.1%)",
+        100.0 * (1.0 - sw / gc),
+        100.0 * (1.0 - sw / cf),
+        100.0 * (1.0 - sw / eh)
+    );
+    out
+}
+
+fn fig8_logging(model: PaperModel, label: &str, paper_red_16: f64, paper_red_pr: f64) -> String {
+    let cm = CostModel::new(model, TESTBED);
+    let mut out = format!(
+        "Fig 8{label} — {} (PP, logging-based recovery); kill at iter 150, ckpt at 100\n",
+        cm.model.name
+    );
+    let _ = writeln!(out, "{:<28} {:>14} {:>10} {:>10} {:>10}", "method", "samples/s", "init(s)", "recov(s)", "total(s)");
+    let methods = [
+        ("global-ckpt", Method::GlobalCkpt { interval: 100 }),
+        ("swift-logging-16g-sync", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: true, parallel_recovery: 1 }),
+        ("swift-logging-16g-async", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 }),
+        ("swift-logging-8g-async", Method::SwiftLogging { ckpt_interval: 100, groups: 8, sync: false, parallel_recovery: 1 }),
+        ("swift-logging-16g-async+PR", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 16 }),
+    ];
+    for (name, m) in methods {
+        fig8_row(&mut out, &cm, name, m, 50);
+    }
+    let gc = recovery_time_s(&cm, methods[0].1, 50).recovery_s;
+    let lg = recovery_time_s(&cm, methods[2].1, 50).recovery_s;
+    let pr = recovery_time_s(&cm, methods[4].1, 50).recovery_s;
+    let _ = writeln!(
+        out,
+        "recovery reduction: 16 groups {:.1}% (paper {paper_red_16}%), +parallel recovery {:.1}% (paper {paper_red_pr}%)",
+        100.0 * (1.0 - lg / gc),
+        100.0 * (1.0 - pr / gc)
+    );
+    // Cross-check with the event-driven pipelined-recovery simulator
+    // (§5.1 chunk pipelining made explicit).
+    let ev_seq = logging_recovery_event_s(&cm, 16, 1, 50);
+    let ev_pr = logging_recovery_event_s(&cm, 16, 16, 50);
+    let _ = writeln!(
+        out,
+        "event-sim cross-check: sequential replay done {:.1}s (upload done {:.1}s); +PR done {:.1}s (transfer-gated)",
+        ev_seq.replay_done_s, ev_seq.upload_done_s, ev_pr.replay_done_s
+    );
+    out
+}
+
+/// Fig. 8b: ViT-128/32 logging-based recovery.
+pub fn fig08b_vit() -> String {
+    fig8_logging(vit_128_32(), "b", 36.0, 57.3)
+}
+
+/// Fig. 8c: BERT-128 logging-based recovery.
+pub fn fig08c_bert() -> String {
+    fig8_logging(bert_128(), "c", 58.5, 76.3)
+}
+
+/// Fig. 9: ViT-128/32 throughput timeline during recovery.
+pub fn fig09_recovery_timeline() -> String {
+    let cm = CostModel::new(vit_128_32(), TESTBED);
+    let methods = [
+        ("global-ckpt", Method::GlobalCkpt { interval: 100 }),
+        ("swift-logging-16g", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 }),
+        ("swift-logging-8g", Method::SwiftLogging { ckpt_interval: 100, groups: 8, sync: false, parallel_recovery: 1 }),
+        ("swift-logging-16g+PR", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 16 }),
+    ];
+    let mut out = String::from("Fig 9 — ViT-128/32 throughput (samples/s) during failure recovery (t = s since failure)\n");
+    let _ = write!(out, "{:>6}", "t(s)");
+    for (n, _) in &methods {
+        let _ = write!(out, " {n:>22}");
+    }
+    out.push('\n');
+    let tls: Vec<Vec<swift_sim::TimelinePoint>> = methods
+        .iter()
+        .map(|(_, m)| recovery_timeline(&cm, *m, 50, 400.0, 20.0))
+        .collect();
+    for i in 0..tls[0].len() {
+        let _ = write!(out, "{:>6.0}", tls[0][i].t);
+        for tl in &tls {
+            let _ = write!(out, " {:>22.0}", tl[i].throughput);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 3: logging volume per iteration and consumed bandwidth.
+pub fn table3_logging_volume() -> String {
+    let mut out = String::from("Table 3 — space overhead caused by logging per iteration\n");
+    let _ = writeln!(out, "{:<12} {:>8} {:>22} {:>28}", "model", "#groups", "total log size (GB)", "avg consumed bw (GB/s)");
+    let paper = [
+        ("ViT-128/32", 16usize, 24.66, 0.23),
+        ("ViT-128/32", 8, 11.51, 0.11),
+        ("BERT-128", 16, 8.05, 0.075),
+        ("BERT-128", 8, 3.76, 0.035),
+    ];
+    for (model, groups, p_sz, p_bw) in paper {
+        let m = if model.starts_with("ViT") { vit_128_32() } else { bert_128() };
+        let sz = m.logging_bytes_per_iteration(groups) / GB;
+        let bw = m.avg_logging_bandwidth(groups) / GB;
+        let _ = writeln!(
+            out,
+            "{model:<12} {groups:>8} {sz:>14.2} (paper {p_sz:>5.2}) {bw:>15.3} (paper {p_bw:>5.3})"
+        );
+    }
+    out
+}
+
+/// Planner input for the §7.1 experiment setup: logs are retained for the
+/// 50 iterations between the checkpoint (iter 100) and the failure
+/// (iter 150) — the `T` the paper's Appendix C storage limits imply.
+fn planner_input(m: &PaperModel, parallel: bool) -> PlannerInput {
+    PlannerInput {
+        per_machine_compute_s: m.per_machine_compute_s(),
+        boundary_bytes_per_iter: vec![m.boundary_bytes_per_iteration(); m.machines - 1],
+        bandwidth_bps: TESTBED.net_bps,
+        ckpt_interval: 50,
+        parallel_recovery: parallel,
+    }
+}
+
+/// Fig. 10: recovery time vs storage cap trade-off from the §5.3 planner.
+pub fn fig10_tradeoff() -> String {
+    let mut out = String::from(
+        "Fig 10 — selective logging: recovery time vs storage limit (replaying 50 iterations)\n",
+    );
+    for m in [vit_128_32(), bert_128()] {
+        let input = planner_input(&m, false);
+        let full = m.boundary_bytes_per_iteration() * (m.machines - 1) as f64 * 50.0;
+        let caps: Vec<f64> = (0..=8).map(|i| full * (8 - i) as f64 / 8.0).collect();
+        let _ = writeln!(out, "{}:", m.name);
+        let _ = writeln!(out, "{:>16} {:>10} {:>20}", "storage cap (GB)", "#groups", "recovery (s/50 it)");
+        for (cap, plan) in sweep_storage_caps(&input, &caps) {
+            let _ = writeln!(
+                out,
+                "{:>16.0} {:>10} {:>20.1}",
+                cap / GB,
+                plan.map.num_groups(),
+                plan.expected_recovery_s_per_iter * 50.0
+            );
+        }
+    }
+    out.push_str("shape: recovery time rises monotonically as the storage cap tightens (paper Fig. 10).\n");
+    out
+}
+
+/// Fig. 11: end-to-end accuracy — real training with real failure
+/// injection on the in-process cluster.
+///
+/// (a) update-undo in data parallelism: a machine dies mid-update, the
+///     survivor undoes and broadcasts; final accuracy must match the
+///     failure-free run.
+/// (b) logging-based recovery in pipeline parallelism: a mid-pipeline
+///     machine dies; the replacement replays from logs; accuracy must
+///     match.
+pub fn fig11_accuracy() -> String {
+    let mut out = String::from("Fig 11 — end-to-end training accuracy with failure + recovery (real execution)\n");
+    let iters = 60u64;
+    // (a) Data parallelism + update-undo.
+    let model_fn: swift_core::ModelFn = Arc::new(|| swift_dnn::models::mlp("m", &[8, 32, 3], 42));
+    let dataset = Arc::new(BlobsDataset::new(7, 8, 3, 0.3));
+    let opt = OptimizerKind::SgdMomentum { lr: 0.05, weight_decay: 0.001, momentum: 0.9, dampening: 0.0 };
+    let base = |crash| {
+        run_dp_scenario(DpScenario {
+            machines: 2,
+            model_fn: model_fn.clone(),
+            opt,
+            dataset: dataset.clone(),
+            batch_size: 16,
+            iters,
+            crash,
+        })
+    };
+    let clean = base(None);
+    let failed = base(Some((1, iters / 2, 2)));
+    let acc = |r: &swift_core::ScenarioResult| {
+        swift_core::evaluate_state(&model_fn, &r.states[0], &*dataset, 64, 8)
+    };
+    let (a_clean, a_failed) = (acc(&clean), acc(&failed));
+    let drift = clean.states[0].max_abs_diff(&failed.states[0]);
+    let _ = writeln!(
+        out,
+        "(a) BERT-finetune stand-in, DP + update-undo: accuracy failure-free {a_clean:.3} vs failed+recovered {a_failed:.3} (state drift {drift:.2e})"
+    );
+
+    // (b) Pipeline parallelism + logging-based recovery.
+    let model_fn_p: swift_core::ModelFn =
+        Arc::new(|| swift_dnn::models::mlp("p", &[8, 24, 24, 3], 43));
+    let datap = Arc::new(BlobsDataset::new(9, 8, 3, 0.3));
+    let basep = |crash| {
+        run_pipeline_scenario(PipelineScenario {
+            stages: 3,
+            model_fn: model_fn_p.clone(),
+            opt,
+            dataset: datap.clone(),
+            batch_size: 8,
+            microbatches: 4,
+            ckpt_interval: 10,
+            iters,
+            schedule: swift_pipeline::ScheduleKind::OneFOneB,
+            log_mode: LogMode::BubbleAsync,
+            log_precision: swift_wal::LogPrecision::F32,
+            crash,
+            parallel_recovery: 1,
+        })
+    };
+    let cleanp = basep(None);
+    let failedp = basep(Some((1, iters / 2)));
+    let accp = |r: &swift_core::ScenarioResult| pipeline_eval(&model_fn_p, &r.states, &*datap);
+    let (p_clean, p_failed) = (accp(&cleanp), accp(&failedp));
+    let bitwise = cleanp
+        .states
+        .iter()
+        .zip(failedp.states.iter())
+        .all(|(a, b)| a.bit_eq(b));
+    let _ = writeln!(
+        out,
+        "(b) ViT-finetune stand-in, PP + logging recovery: accuracy failure-free {p_clean:.3} vs failed+recovered {p_failed:.3} (states bitwise identical: {bitwise})"
+    );
+    out.push_str("paper: update-undo and logging-based recovery cause no loss of final accuracy.\n");
+    out
+}
+
+fn pipeline_eval(
+    model_fn: &swift_core::ModelFn,
+    stage_states: &[swift_dnn::ModelState],
+    dataset: &dyn swift_data::Dataset,
+) -> f32 {
+    use swift_dnn::{accuracy, Mode, StepCtx};
+    let mut stages = swift_dnn::models::split_stages(model_fn(), stage_states.len());
+    for (stage, state) in stages.iter_mut().zip(stage_states.iter()) {
+        stage.load_state(state);
+    }
+    let mut acc = 0.0;
+    let n = 8u64;
+    for i in 0..n {
+        let b = dataset.batch(1_000_000 + i, 64);
+        let mut h = b.x.clone();
+        for s in stages.iter_mut() {
+            h = s.forward(StepCtx::new(u64::MAX - i, 0), &h, Mode::Eval);
+        }
+        acc += accuracy(&h, &b.y);
+    }
+    acc / n as f32
+}
+
+/// Table 4: the simulation-study workloads.
+pub fn table4_workloads() -> String {
+    let mut out = String::from("Table 4 — training workloads in the simulation study\n");
+    let _ = writeln!(out, "{:<16} {:>12} {:>10} {:>26}", "model", "total iters", "ckpt int.", "failure-free time (h)");
+    let paper = [479.4, 85.6, 461.1];
+    for (m, p) in swift_dnn::profile::all_models().into_iter().zip(paper) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>10} {:>13.1} (paper {p})",
+            m.name,
+            m.total_iters,
+            m.ckpt_interval,
+            m.failure_free_seconds() / 3600.0
+        );
+    }
+    out
+}
+
+/// Table 5: simulated end-to-end training time with failures.
+pub fn table5_end_to_end() -> String {
+    let mut out = String::from("Table 5 — simulated end-to-end training time with failures (MTBF 17 h, 10 runs)\n");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>14} {:>12} {:>9}",
+        "model", "#failures", "global (h)", "swift (h)", "speedup"
+    );
+    let paper = [
+        ("Wide-ResNet-50", 28u64, 557.4, 480.7, 1.16),
+        ("ViT-128/32", 5, 86.4, 86.0, 1.01),
+        ("BERT-128", 27, 524.2, 476.1, 1.10),
+    ];
+    for ((m, swift_method), (pname, pfail, pg, ps, pspd)) in [
+        (wide_resnet_50(), Method::SwiftReplication { ckpt_interval: 5_004 }),
+        (
+            vit_128_32(),
+            Method::SwiftLogging { ckpt_interval: 312, groups: 16, sync: false, parallel_recovery: 16 },
+        ),
+        (
+            bert_128(),
+            Method::SwiftLogging { ckpt_interval: 5_000, groups: 16, sync: false, parallel_recovery: 16 },
+        ),
+    ]
+    .into_iter()
+    .zip(paper)
+    {
+        let cm = CostModel::new(m, TESTBED);
+        let gc = simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let sw = simulate_mean(&cm, swift_method, 17.0, 10);
+        let _ = writeln!(
+            out,
+            "{pname:<16} {:>4} (p {pfail}) {:>7.1} (p {pg}) {:>6.1} (p {ps}) {:>5.2} (p {pspd})",
+            gc.failures,
+            gc.hours,
+            sw.hours,
+            gc.hours / sw.hours
+        );
+    }
+    // CheckFreq / Elastic Horovod comparison for WRN (paper: 518.9 / 515.9 h).
+    let cm = CostModel::new(wide_resnet_50(), TESTBED);
+    let cf = simulate_mean(&cm, Method::CheckFreq { interval: 30 }, 17.0, 10);
+    let eh = simulate_mean(&cm, Method::ElasticHorovod { interval: 30 }, 17.0, 10);
+    let _ = writeln!(
+        out,
+        "WRN-50 baselines: checkfreq {:.1} h (paper 518.9), elastic-horovod {:.1} h (paper 515.9)",
+        cf.hours, eh.hours
+    );
+    out
+}
+
+/// Fig. 12: end-to-end time vs checkpoint/snapshot interval.
+pub fn fig12_ckpt_freq() -> String {
+    let mut out = String::from("Fig 12 — impact of checkpoint frequency on end-to-end time (h), MTBF 17 h\n");
+    let cm = CostModel::new(wide_resnet_50(), TESTBED);
+    let intervals = [200u64, 1_000, 5_004, 25_000, 100_000];
+    let rows: Vec<(&str, Vec<(u64, f64)>)> = vec![
+        ("global-ckpt", sweep_ckpt_interval(&cm, |iv| Method::GlobalCkpt { interval: iv }, &intervals, 17.0, 6)),
+        ("checkfreq", sweep_ckpt_interval(&cm, |iv| Method::CheckFreq { interval: iv }, &intervals, 17.0, 6)),
+        ("elastic-horovod", sweep_ckpt_interval(&cm, |iv| Method::ElasticHorovod { interval: iv }, &intervals, 17.0, 6)),
+        ("swift", sweep_ckpt_interval(&cm, |iv| Method::SwiftReplication { ckpt_interval: iv }, &intervals, 17.0, 6)),
+    ];
+    out.push_str("Wide-ResNet-50:\n");
+    let _ = write!(out, "{:>18}", "interval");
+    for iv in intervals {
+        let _ = write!(out, " {iv:>9}");
+    }
+    out.push('\n');
+    for (name, sweep) in &rows {
+        let _ = write!(out, "{name:>18}");
+        for (_, h) in sweep {
+            let _ = write!(out, " {h:>9.1}");
+        }
+        out.push('\n');
+    }
+    // BERT: global vs swift-logging.
+    let cmb = CostModel::new(bert_128(), TESTBED);
+    let intervals_b = [500u64, 2_000, 5_000, 20_000, 100_000];
+    let gb = sweep_ckpt_interval(&cmb, |iv| Method::GlobalCkpt { interval: iv }, &intervals_b, 17.0, 6);
+    let sb = sweep_ckpt_interval(
+        &cmb,
+        |iv| Method::SwiftLogging { ckpt_interval: iv, groups: 16, sync: false, parallel_recovery: 16 },
+        &intervals_b,
+        17.0,
+        6,
+    );
+    out.push_str("BERT-128:\n");
+    let _ = write!(out, "{:>18}", "interval");
+    for iv in intervals_b {
+        let _ = write!(out, " {iv:>9}");
+    }
+    out.push('\n');
+    for (name, sweep) in [("global-ckpt", gb), ("swift-logging", sb)] {
+        let _ = write!(out, "{name:>18}");
+        for (_, h) in sweep {
+            let _ = write!(out, " {h:>9.1}");
+        }
+        out.push('\n');
+    }
+    out.push_str("shape: every method has an interior optimum; SWIFT is lowest at each interval (paper Fig. 12).\n");
+    out
+}
+
+/// Fig. 13: end-to-end time vs failure frequency.
+pub fn fig13_failure_freq() -> String {
+    let mut out = String::from("Fig 13 — impact of failure frequency (MTBF sweep) on end-to-end time (h)\n");
+    let mtbfs = [4.0, 8.0, 17.0, 34.0, 68.0];
+    let cm = CostModel::new(wide_resnet_50(), TESTBED);
+    let rows = vec![
+        ("global-ckpt", sweep_mtbf(&cm, Method::GlobalCkpt { interval: 5_004 }, &mtbfs, 6)),
+        ("checkfreq", sweep_mtbf(&cm, Method::CheckFreq { interval: 30 }, &mtbfs, 6)),
+        ("elastic-horovod", sweep_mtbf(&cm, Method::ElasticHorovod { interval: 30 }, &mtbfs, 6)),
+        ("swift", sweep_mtbf(&cm, Method::SwiftReplication { ckpt_interval: 5_004 }, &mtbfs, 6)),
+    ];
+    out.push_str("Wide-ResNet-50:\n");
+    let _ = write!(out, "{:>18}", "MTBF (h)");
+    for m in mtbfs {
+        let _ = write!(out, " {m:>9.0}");
+    }
+    out.push('\n');
+    for (name, sweep) in &rows {
+        let _ = write!(out, "{name:>18}");
+        for (_, h) in sweep {
+            let _ = write!(out, " {h:>9.1}");
+        }
+        out.push('\n');
+    }
+    out.push_str("shape: SWIFT's advantage grows as failures become frequent; it remains (weakly) best when rare (paper Fig. 13).\n");
+    out
+}
+
+fn grouping_table(m: PaperModel, caps: &[f64]) -> String {
+    let input = planner_input(&m, false);
+    let mut out = format!("{} grouping outcomes (greedy ΔR/ΔM planner, §5.3)\n", m.name);
+    let _ = writeln!(out, "{:>18}  outcome", "storage limit (B)");
+    for &cap in caps {
+        let plan = plan_groups(&input, cap);
+        let groups: Vec<String> = plan
+            .map
+            .groups()
+            .iter()
+            .map(|g| {
+                if g.len() == 1 {
+                    format!("[{}]", g[0])
+                } else {
+                    format!("[{}-{}]", g.first().unwrap(), g.last().unwrap())
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{cap:>18.2e}  {}", groups.join(" "));
+    }
+    out
+}
+
+/// Table 6: BERT-128 grouping results per storage limit.
+pub fn table6_grouping_bert() -> String {
+    let caps = [5.0e11, 4.0e11, 3.5e11, 3.0e11, 2.5e11, 2.2e11, 1.5e11, 1.0e11, 8.0e10, 5.0e10];
+    let mut out = String::from("Table 6 — ");
+    out.push_str(&grouping_table(bert_128(), &caps));
+    out
+}
+
+/// Table 7: ViT-128/32 grouping results per storage limit.
+pub fn table7_grouping_vit() -> String {
+    let caps = [
+        1.4e12, 1.2e12, 1.1e12, 1.0e12, 9.0e11, 8.0e11, 7.0e11, 6.0e11, 5.0e11, 4.0e11, 3.0e11,
+        2.0e11, 1.0e11,
+    ];
+    let mut out = String::from("Table 7 — ");
+    out.push_str(&grouping_table(vit_128_32(), &caps));
+    out
+}
+
+/// Ablation (real execution, beyond the paper's figures): failure-free
+/// wall time of the three logging modes plus no-logging, on the in-process
+/// cluster with real disk I/O. The paper's claim (§5.1/§7.1) is that
+/// bubble-time async logging is off the critical path while synchronous
+/// logging is not; here the same claim is measured on real file writes.
+pub fn ablation_log_modes() -> String {
+    use std::time::Instant;
+    use swift_ckpt::CheckpointManager;
+    use swift_core::{pipeline_train_iteration, PipelineJob, PipelineWorker};
+    use swift_net::{Cluster, CommError, Topology};
+    use swift_store::{BlobStore, GlobalStore};
+    use swift_wal::{GroupMap, Logger};
+
+    let mut out = String::from(
+        "Ablation — failure-free wall time by logging mode (real pipeline run, 3 stages x 30 iters)\n",
+    );
+    let run = |mode: Option<LogMode>| -> f64 {
+        let global = GlobalStore::new_temp().unwrap();
+        let t0 = Instant::now();
+        let _ = Cluster::run_all(Topology::uniform(3, 1), move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let stage = ctx.rank();
+            let model = swift_dnn::models::split_stages(
+                swift_dnn::models::mlp("ab", &[64, 256, 256, 256, 8], 3),
+                3,
+            )
+            .into_iter()
+            .nth(stage)
+            .unwrap();
+            // "No logging" = one big selective-logging group.
+            let groups = match mode {
+                Some(_) => GroupMap::singletons(3),
+                None => GroupMap::uniform_split(3, 1),
+            };
+            let mut w = PipelineWorker {
+                stage,
+                model,
+                opt: OptimizerKind::SgdMomentum {
+                    lr: 0.05,
+                    weight_decay: 0.0,
+                    momentum: 0.9,
+                    dampening: 0.0,
+                }
+                .build(),
+                iteration: 0,
+                logger: Logger::new(
+                    mode.unwrap_or(LogMode::Sync),
+                    topo.clone(),
+                    groups,
+                    BlobStore::new_temp("ablation").unwrap(),
+                ),
+                ckpt: CheckpointManager::new(global.blob().clone(), ctx.rank()),
+                global: global.clone(),
+                last_grads: Vec::new(),
+            };
+            let data = swift_core::DatasetSource {
+                dataset: std::sync::Arc::new(BlobsDataset::new(3, 64, 8, 0.4)),
+                batch_size: 32,
+                microbatches: 4,
+            };
+            let job = PipelineJob {
+                stage_ranks: vec![0, 1, 2],
+                microbatches: 4,
+                kind: swift_pipeline::ScheduleKind::OneFOneB,
+                ckpt_interval: 1_000,
+                batch_size: 32,
+            };
+            for _ in 0..30 {
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {}
+                    Err(CommError::SelfKilled | CommError::PeerFailed { .. }) => unreachable!(),
+                }
+            }
+        });
+        t0.elapsed().as_secs_f64() * 1000.0
+    };
+    // Warm up the thread pools / page cache once.
+    let _ = run(None);
+    let none = run(None);
+    let bubble = run(Some(LogMode::BubbleAsync));
+    let async_ = run(Some(LogMode::Async));
+    let sync = run(Some(LogMode::Sync));
+    let _ = writeln!(out, "{:<16} {:>12}", "mode", "wall (ms)");
+    for (name, v) in [("no-logging", none), ("bubble-async", bubble), ("async", async_), ("sync", sync)] {
+        let _ = writeln!(out, "{name:<16} {v:>12.1}");
+    }
+    let _ = writeln!(
+        out,
+        "shape: bubble-async ~= no-logging (off the critical path); sync pays the disk write inline."
+    );
+    out
+}
+
+/// A named experiment harness.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("fig01_schedule", fig01_schedule),
+        ("fig02_placement", fig02_placement),
+        ("table2_models", table2_models),
+        ("fig03_throughput_timeline", fig03_throughput_timeline),
+        ("table1_operators", table1_operators),
+        ("fig08a_replication", fig08a_replication),
+        ("fig08b_vit", fig08b_vit),
+        ("fig08c_bert", fig08c_bert),
+        ("fig09_recovery_timeline", fig09_recovery_timeline),
+        ("table3_logging_volume", table3_logging_volume),
+        ("fig10_tradeoff", fig10_tradeoff),
+        ("fig11_accuracy", fig11_accuracy),
+        ("table4_workloads", table4_workloads),
+        ("table5_end_to_end", table5_end_to_end),
+        ("fig12_ckpt_freq", fig12_ckpt_freq),
+        ("fig13_failure_freq", fig13_failure_freq),
+        ("table6_grouping_bert", table6_grouping_bert),
+        ("table7_grouping_vit", table7_grouping_vit),
+        ("ablation_log_modes", ablation_log_modes),
+    ]
+}

@@ -1,0 +1,15 @@
+//! # swift-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (§7). Each function returns its report as a string;
+//! the `src/bin/*` binaries and the `experiments` bench target print them.
+//!
+//! Figures 3, 8, 9, 12, 13 and Tables 4–5 come from the `swift-sim`
+//! performance model (testbed-scale); Figure 11 runs *real* training on
+//! the in-process cluster with actual failure injection and recovery;
+//! Tables 1, 3, 6, 7 and Figures 1, 10 are computed from the
+//! implementations directly.
+
+pub mod experiments;
+
+pub use experiments::all_experiments;

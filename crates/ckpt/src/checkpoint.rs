@@ -1,0 +1,242 @@
+//! Checkpoint payloads and the per-worker checkpoint manager.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use swift_dnn::ModelState;
+use swift_optim::OptimState;
+use swift_store::{BlobStore, ChunkedTransfer};
+
+/// A complete recovery point for one worker: iteration counter, model
+/// parameters and optimizer state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Iteration at whose *boundary* this state is valid (training resumes
+    /// at `iteration`).
+    pub iteration: u64,
+    /// Model parameters.
+    pub model: ModelState,
+    /// Optimizer slots and counters.
+    pub optim: OptimState,
+}
+
+impl Checkpoint {
+    /// Binary encoding.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.iteration);
+        let m = self.model.encode();
+        buf.put_u64_le(m.len() as u64);
+        buf.put_slice(&m);
+        let o = self.optim.encode();
+        buf.put_u64_le(o.len() as u64);
+        buf.put_slice(&o);
+        buf.freeze()
+    }
+
+    /// Decodes a checkpoint payload.
+    pub fn decode(mut buf: Bytes) -> Result<Self, String> {
+        if buf.remaining() < 8 {
+            return Err("checkpoint truncated".into());
+        }
+        let iteration = buf.get_u64_le();
+        let take_section = |buf: &mut Bytes| -> Result<Bytes, String> {
+            if buf.remaining() < 8 {
+                return Err("checkpoint truncated".into());
+            }
+            let n = buf.get_u64_le() as usize;
+            if buf.remaining() < n {
+                return Err("checkpoint truncated".into());
+            }
+            Ok(buf.split_to(n))
+        };
+        let mut m = take_section(&mut buf)?;
+        let model = ModelState::decode(&mut m)?;
+        let mut o = take_section(&mut buf)?;
+        let optim = OptimState::decode(&mut o)?;
+        Ok(Checkpoint { iteration, model, optim })
+    }
+
+    /// Payload size in bytes (the cost every strategy pays to persist).
+    pub fn byte_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// Saves/loads a worker's checkpoints in a blob store, maintaining a
+/// `latest` pointer and garbage-collecting superseded checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    store: BlobStore,
+    rank: usize,
+}
+
+impl CheckpointManager {
+    /// Creates a manager writing under `ckpt/rank{rank}/`.
+    pub fn new(store: BlobStore, rank: usize) -> Self {
+        CheckpointManager { store, rank }
+    }
+
+    fn key(&self, iteration: u64) -> String {
+        format!("ckpt/rank{}/iter{iteration:012}.bin", self.rank)
+    }
+
+    fn latest_key(&self) -> String {
+        format!("ckpt/rank{}/latest", self.rank)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &BlobStore {
+        &self.store
+    }
+
+    /// Persists a checkpoint and flips the `latest` pointer (write-then-
+    /// rename discipline: the pointer only moves after the payload is
+    /// durable, so a crash mid-save never corrupts the latest checkpoint).
+    pub fn save(&self, ckpt: &Checkpoint) -> std::io::Result<()> {
+        let key = self.key(ckpt.iteration);
+        self.store.put(&key, &ckpt.encode())?;
+        self.store.put(&self.latest_key(), key.as_bytes())
+    }
+
+    /// Persists a checkpoint as fixed-size chunks so upload/download can
+    /// pipeline with other recovery steps (§5.1's chunked-file trick,
+    /// applied to large model states).
+    pub fn save_chunked(&self, ckpt: &Checkpoint, chunk_bytes: usize) -> std::io::Result<()> {
+        let key = self.key(ckpt.iteration);
+        let xfer = ChunkedTransfer::new(chunk_bytes);
+        xfer.put_chunked(&self.store, &key, &ckpt.encode())?;
+        self.store.put(&self.latest_key(), key.as_bytes())
+    }
+
+    /// Loads the most recent checkpoint (whole-file or chunked), if any.
+    pub fn load_latest(&self) -> std::io::Result<Option<Checkpoint>> {
+        if !self.store.contains(&self.latest_key()) {
+            return Ok(None);
+        }
+        let key = String::from_utf8(self.store.get(&self.latest_key())?.to_vec())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let payload = if self.store.contains(&key) {
+            self.store.get(&key)?
+        } else {
+            // Chunked layout: reassemble (any chunk size works — chunks
+            // are discovered by suffix).
+            ChunkedTransfer::new(1).get_chunked(&self.store, &key)?
+        };
+        Checkpoint::decode(payload)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Deletes all checkpoints older than the latest; returns the count
+    /// removed.
+    pub fn gc(&self) -> std::io::Result<usize> {
+        let latest = match self.store.contains(&self.latest_key()) {
+            true => String::from_utf8(self.store.get(&self.latest_key())?.to_vec())
+                .unwrap_or_default(),
+            false => return Ok(0),
+        };
+        let mut removed = 0;
+        for key in self.store.list(&format!("ckpt/rank{}/", self.rank))? {
+            if key.ends_with(".bin") && key != latest {
+                self.store.delete(&key)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_tensor::Tensor;
+
+    fn sample_ckpt(iteration: u64) -> Checkpoint {
+        Checkpoint {
+            iteration,
+            model: ModelState {
+                entries: vec![
+                    ("0:fc.0".into(), Tensor::full([3, 2], iteration as f32)),
+                    ("0:fc.1".into(), Tensor::zeros([3])),
+                ],
+            },
+            optim: OptimState {
+                name: "SGD-momentum".into(),
+                t: iteration,
+                last_lr: 0.1,
+                scalars: vec![("lr".into(), vec![0.1])],
+                slots: vec![("m".into(), vec![Some(Tensor::ones([3, 2])), None])],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = sample_ckpt(42);
+        let back = Checkpoint::decode(c.encode()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let c = sample_ckpt(1);
+        let enc = c.encode();
+        for cut in [0usize, 7, enc.len() / 2, enc.len() - 1] {
+            assert!(Checkpoint::decode(enc.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn manager_save_load_latest() {
+        let store = BlobStore::new_temp("ckpt1").unwrap();
+        let mgr = CheckpointManager::new(store, 3);
+        assert!(mgr.load_latest().unwrap().is_none());
+        mgr.save(&sample_ckpt(100)).unwrap();
+        mgr.save(&sample_ckpt(200)).unwrap();
+        let latest = mgr.load_latest().unwrap().unwrap();
+        assert_eq!(latest.iteration, 200);
+    }
+
+    #[test]
+    fn manager_gc_keeps_latest_only() {
+        let store = BlobStore::new_temp("ckpt2").unwrap();
+        let mgr = CheckpointManager::new(store, 0);
+        for it in [10, 20, 30] {
+            mgr.save(&sample_ckpt(it)).unwrap();
+        }
+        assert_eq!(mgr.gc().unwrap(), 2);
+        assert_eq!(mgr.load_latest().unwrap().unwrap().iteration, 30);
+    }
+
+    #[test]
+    fn chunked_save_load_round_trip() {
+        let store = BlobStore::new_temp("ckpt-chunk").unwrap();
+        let mgr = CheckpointManager::new(store.clone(), 0);
+        let ckpt = sample_ckpt(77);
+        mgr.save_chunked(&ckpt, 64).unwrap();
+        // Several chunks on disk, none with the whole-file key.
+        let keys = store.list("ckpt/rank0/").unwrap();
+        assert!(keys.iter().filter(|k| k.contains(".chunk")).count() >= 2, "{keys:?}");
+        let back = mgr.load_latest().unwrap().unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn chunked_and_whole_checkpoints_interleave() {
+        let store = BlobStore::new_temp("ckpt-mix").unwrap();
+        let mgr = CheckpointManager::new(store, 0);
+        mgr.save(&sample_ckpt(10)).unwrap();
+        mgr.save_chunked(&sample_ckpt(20), 128).unwrap();
+        assert_eq!(mgr.load_latest().unwrap().unwrap().iteration, 20);
+        mgr.save(&sample_ckpt(30)).unwrap();
+        assert_eq!(mgr.load_latest().unwrap().unwrap().iteration, 30);
+    }
+
+    #[test]
+    fn per_rank_isolation() {
+        let store = BlobStore::new_temp("ckpt3").unwrap();
+        let m0 = CheckpointManager::new(store.clone(), 0);
+        let m1 = CheckpointManager::new(store, 1);
+        m0.save(&sample_ckpt(5)).unwrap();
+        assert!(m1.load_latest().unwrap().is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! # swift-ckpt
+//!
+//! Checkpointing for the SWIFT reproduction: the periodic global
+//! checkpoint SWIFT itself keeps as a catastrophic-failure backstop (§3),
+//! and the baseline mechanisms the paper compares against (§2.2):
+//!
+//! - [`StrategyKind::Global`] — synchronous global checkpointing (the
+//!   PyTorch default);
+//! - [`StrategyKind::CheckFreq`] — two-phase snapshot + async persist,
+//!   with checkpoint-stall accounting and the 3.5%-overhead frequency
+//!   tuner [`checkfreq_interval`];
+//! - [`StrategyKind::Snapshot`] — Elastic Horovod's in-memory snapshot.
+//!
+//! [`Checkpoint`] bundles `(iteration, model state, optimizer state)` with
+//! a stable binary encoding; [`CheckpointManager`] owns the on-disk layout
+//! with an atomically-flipped `latest` pointer.
+
+pub mod checkpoint;
+pub mod strategy;
+
+pub use checkpoint::{Checkpoint, CheckpointManager};
+pub use strategy::{
+    checkfreq_interval, AsyncPersister, BaselineCheckpointer, StrategyKind,
+};

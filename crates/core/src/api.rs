@@ -1,0 +1,258 @@
+//! The user-facing job API (paper §6, "Usage"): *"A user only needs to
+//! provide a user-defined function (UDF) to train for one iteration and
+//! specify fault tolerance and training configurations. Then fault
+//! tolerance is in place … and recovery upon a failure can be
+//! automatically run without requiring user involvement."*
+//!
+//! [`SwiftJob`] is that surface: pick a model factory, an optimizer, a
+//! dataset and a parallelism layout; SWIFT selects the recovery strategy
+//! (§3) from the job shape and runs training with failures handled
+//! transparently. The lower-level pieces (`dp_train_step`,
+//! `pipeline_train_iteration`, `pipeline_replay`, …) remain public for
+//! users who need custom loops.
+
+use std::sync::Arc;
+
+use swift_data::Dataset;
+use swift_optim::OptimizerKind;
+use swift_pipeline::ScheduleKind;
+use swift_wal::{LogMode, LogPrecision};
+
+use crate::config::{select_strategy, JobShape, Strategy};
+use crate::scenario::{
+    run_dp_scenario, run_pipeline_scenario, DpScenario, ModelFn, PipelineScenario,
+    ScenarioResult,
+};
+
+/// How the job is parallelized across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Data parallelism: one full replica per machine.
+    Data {
+        /// Number of machines / replicas.
+        machines: usize,
+    },
+    /// Pipeline parallelism: one stage per machine.
+    Pipeline {
+        /// Number of stages / machines.
+        stages: usize,
+        /// Micro-batches per iteration.
+        microbatches: usize,
+    },
+}
+
+/// A fault-tolerant training job. Build with [`SwiftJob::builder`].
+pub struct SwiftJob {
+    model_fn: ModelFn,
+    opt: OptimizerKind,
+    dataset: Arc<dyn Dataset>,
+    parallelism: Parallelism,
+    batch_size: usize,
+    ckpt_interval: u64,
+    log_mode: LogMode,
+    log_precision: LogPrecision,
+    parallel_recovery: usize,
+}
+
+/// Builder for [`SwiftJob`].
+pub struct SwiftJobBuilder {
+    job: SwiftJob,
+}
+
+impl SwiftJob {
+    /// Starts building a job from its three required ingredients.
+    pub fn builder(
+        model_fn: ModelFn,
+        opt: OptimizerKind,
+        dataset: Arc<dyn Dataset>,
+    ) -> SwiftJobBuilder {
+        SwiftJobBuilder {
+            job: SwiftJob {
+                model_fn,
+                opt,
+                dataset,
+                parallelism: Parallelism::Data { machines: 2 },
+                batch_size: 16,
+                ckpt_interval: 100,
+                log_mode: LogMode::BubbleAsync,
+                log_precision: LogPrecision::F32,
+                parallel_recovery: 1,
+            },
+        }
+    }
+
+    /// The strategy SWIFT selects for this job (§3).
+    pub fn strategy(&self) -> Strategy {
+        let shape = match self.parallelism {
+            Parallelism::Data { machines } => JobShape {
+                cross_machine_replica: machines >= 2,
+                cross_machine_pipeline: false,
+                logging_worth_it: false,
+            },
+            Parallelism::Pipeline { stages, .. } => JobShape {
+                cross_machine_replica: false,
+                cross_machine_pipeline: stages >= 2,
+                // The in-process substrate always has bubble headroom; at
+                // testbed scale use `swift_wal::evaluate_usecase` (§5.4).
+                logging_worth_it: true,
+            },
+        };
+        select_strategy(shape)
+    }
+
+    /// Trains for `iters` iterations, transparently recovering from the
+    /// optional injected machine failure. Returns the final per-rank model
+    /// states and the loss history.
+    pub fn run(&self, iters: u64, crash: Option<JobCrash>) -> ScenarioResult {
+        match (self.parallelism, self.strategy()) {
+            (Parallelism::Data { machines }, Strategy::Replication) => {
+                run_dp_scenario(DpScenario {
+                    machines,
+                    model_fn: self.model_fn.clone(),
+                    opt: self.opt,
+                    dataset: self.dataset.clone(),
+                    batch_size: self.batch_size,
+                    iters,
+                    crash: crash.map(|c| (c.machine, c.iteration, c.after_groups.max(1))),
+                })
+            }
+            (Parallelism::Pipeline { stages, microbatches }, Strategy::Logging { .. }) => {
+                run_pipeline_scenario(PipelineScenario {
+                    stages,
+                    model_fn: self.model_fn.clone(),
+                    opt: self.opt,
+                    dataset: self.dataset.clone(),
+                    batch_size: self.batch_size,
+                    microbatches,
+                    ckpt_interval: self.ckpt_interval,
+                    iters,
+                    schedule: ScheduleKind::OneFOneB,
+                    log_mode: self.log_mode,
+                    log_precision: self.log_precision,
+                    crash: crash.map(|c| (c.machine, c.iteration)),
+                    parallel_recovery: self.parallel_recovery,
+                })
+            }
+            (p, s) => unreachable!("no runner for {p:?} under {s:?}"),
+        }
+    }
+}
+
+/// A failure to inject while the job runs (testing / experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct JobCrash {
+    /// The machine to kill.
+    pub machine: usize,
+    /// When (iteration boundary for pipelines; mid-update for DP).
+    pub iteration: u64,
+    /// For DP: parameter groups applied before the crash (≥ 1).
+    pub after_groups: usize,
+}
+
+impl SwiftJobBuilder {
+    /// Sets the parallelism layout.
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.job.parallelism = p;
+        self
+    }
+
+    /// Sets the global mini-batch size.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.job.batch_size = b;
+        self
+    }
+
+    /// Sets the backstop checkpoint interval.
+    pub fn ckpt_interval(mut self, i: u64) -> Self {
+        self.job.ckpt_interval = i;
+        self
+    }
+
+    /// Sets the logging mode (pipeline jobs).
+    pub fn log_mode(mut self, m: LogMode) -> Self {
+        self.job.log_mode = m;
+        self
+    }
+
+    /// Sets the logged-payload precision (pipeline jobs).
+    pub fn log_precision(mut self, p: LogPrecision) -> Self {
+        self.job.log_precision = p;
+        self
+    }
+
+    /// Enables parallel recovery with `d` replicas (pipeline jobs).
+    pub fn parallel_recovery(mut self, d: usize) -> Self {
+        self.job.parallel_recovery = d.max(1);
+        self
+    }
+
+    /// Finalizes the job.
+    pub fn build(self) -> SwiftJob {
+        self.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_data::BlobsDataset;
+    use swift_dnn::models::mlp;
+
+    fn base() -> SwiftJobBuilder {
+        SwiftJob::builder(
+            Arc::new(|| mlp("api", &[6, 16, 16, 3], 11)),
+            OptimizerKind::SgdMomentum {
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum: 0.9,
+                dampening: 0.0,
+            },
+            Arc::new(BlobsDataset::new(3, 6, 3, 0.3)),
+        )
+    }
+
+    #[test]
+    fn dp_job_selects_replication_and_recovers() {
+        let job = base().parallelism(Parallelism::Data { machines: 2 }).batch_size(12).build();
+        assert_eq!(job.strategy(), Strategy::Replication);
+        let clean = job.run(12, None);
+        let failed = job.run(
+            12,
+            Some(JobCrash { machine: 1, iteration: 6, after_groups: 2 }),
+        );
+        assert!(failed.states[0].bit_eq(&failed.states[1]));
+        assert!(clean.states[0].max_abs_diff(&failed.states[0]) < 1e-3);
+    }
+
+    #[test]
+    fn pipeline_job_selects_logging_and_recovers_bitwise() {
+        let job = base()
+            .parallelism(Parallelism::Pipeline { stages: 3, microbatches: 4 })
+            .batch_size(8)
+            .ckpt_interval(4)
+            .build();
+        assert!(matches!(job.strategy(), Strategy::Logging { .. }));
+        let clean = job.run(10, None);
+        let failed =
+            job.run(10, Some(JobCrash { machine: 1, iteration: 6, after_groups: 0 }));
+        for s in 0..3 {
+            assert!(clean.states[s].bit_eq(&failed.states[s]), "stage {s}");
+        }
+    }
+
+    #[test]
+    fn pipeline_job_with_parallel_recovery() {
+        let job = base()
+            .parallelism(Parallelism::Pipeline { stages: 3, microbatches: 4 })
+            .batch_size(8)
+            .ckpt_interval(4)
+            .parallel_recovery(2)
+            .build();
+        let clean = job.run(10, None);
+        let failed =
+            job.run(10, Some(JobCrash { machine: 1, iteration: 6, after_groups: 0 }));
+        for s in 0..3 {
+            assert!(clean.states[s].max_abs_diff(&failed.states[s]) < 1e-3, "stage {s}");
+        }
+    }
+}

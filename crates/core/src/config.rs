@@ -1,0 +1,116 @@
+//! Fault-tolerance strategy selection (paper §3).
+//!
+//! SWIFT picks the strategy before training starts:
+//!
+//! 1. replicas available (data parallelism across machines) →
+//!    **replication-based recovery** (lowest overhead on both paths);
+//! 2. else pipeline parallelism and logging worth doing (§5.4) →
+//!    **logging-based recovery**;
+//! 3. else → **global checkpointing only**.
+//!
+//! Global checkpointing runs periodically in every case as the
+//! catastrophic-failure backstop.
+
+use swift_wal::LogMode;
+
+/// The recovery strategy SWIFT runs with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Exploit model-state replicas in data parallelism; repair crash
+    /// consistency with update-undo and broadcast a surviving replica.
+    Replication,
+    /// Log inter-machine (inter-group) boundary tensors and replay the
+    /// failed sub-pipeline.
+    Logging {
+        /// When records leave the critical path.
+        mode: LogMode,
+        /// Number of selective-logging machine groups.
+        groups: usize,
+        /// Whether recovery re-computation is data-parallelized (§5.2).
+        parallel_recovery: bool,
+    },
+    /// Checkpoint/restart only.
+    GlobalCheckpointOnly,
+}
+
+/// Static facts about the job that drive selection.
+#[derive(Debug, Clone, Copy)]
+pub struct JobShape {
+    /// Does at least one full model-state replica live on another
+    /// machine? (Data parallelism across machines; *not* the Fig. 2 case
+    /// where replicas share a machine.)
+    pub cross_machine_replica: bool,
+    /// Is pipeline parallelism used across machines?
+    pub cross_machine_pipeline: bool,
+    /// §5.4 verdict: can logging stay off the critical path and on disk?
+    pub logging_worth_it: bool,
+}
+
+/// Applies the §3 decision procedure.
+pub fn select_strategy(shape: JobShape) -> Strategy {
+    if shape.cross_machine_replica {
+        Strategy::Replication
+    } else if shape.cross_machine_pipeline && shape.logging_worth_it {
+        Strategy::Logging { mode: LogMode::BubbleAsync, groups: 0, parallel_recovery: false }
+    } else {
+        Strategy::GlobalCheckpointOnly
+    }
+}
+
+/// Top-level fault-tolerance configuration for a SWIFT job.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Recovery strategy.
+    pub strategy: Strategy,
+    /// Global checkpoint interval in iterations (the backstop, §3).
+    pub ckpt_interval: u64,
+    /// Global RNG seed (determinism root, §6).
+    pub seed: u64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig { strategy: Strategy::GlobalCheckpointOnly, ckpt_interval: 100, seed: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_wins_over_everything() {
+        let s = select_strategy(JobShape {
+            cross_machine_replica: true,
+            cross_machine_pipeline: true,
+            logging_worth_it: true,
+        });
+        assert_eq!(s, Strategy::Replication);
+    }
+
+    #[test]
+    fn pipeline_plus_worthy_logging_selects_logging() {
+        let s = select_strategy(JobShape {
+            cross_machine_replica: false,
+            cross_machine_pipeline: true,
+            logging_worth_it: true,
+        });
+        assert!(matches!(s, Strategy::Logging { mode: LogMode::BubbleAsync, .. }));
+    }
+
+    #[test]
+    fn unworthy_logging_falls_back_to_checkpointing() {
+        let s = select_strategy(JobShape {
+            cross_machine_replica: false,
+            cross_machine_pipeline: true,
+            logging_worth_it: false,
+        });
+        assert_eq!(s, Strategy::GlobalCheckpointOnly);
+        let s2 = select_strategy(JobShape {
+            cross_machine_replica: false,
+            cross_machine_pipeline: false,
+            logging_worth_it: true,
+        });
+        assert_eq!(s2, Strategy::GlobalCheckpointOnly);
+    }
+}

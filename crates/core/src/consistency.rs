@@ -1,0 +1,212 @@
+//! Crash-consistency repair: update-undo coordination (paper §4, §6).
+//!
+//! With layer-wise wait-free updates, a crash mid-update strands survivors
+//! with a partially-applied optimizer step. [`UpdateTracker`] records which
+//! parameter groups of the current step have been applied — the "marked
+//! updated" set — so the survivor can undo exactly those. In pipeline
+//! parallelism, stages update at different times; survivors first agree on
+//! the *consensus pre-failure iteration* (the minimum completed iteration)
+//! and workers ahead of it undo their whole last step.
+
+use swift_dnn::Sequential;
+use swift_net::{Comm, CommError, Rank};
+use swift_optim::{Optimizer, UndoError};
+
+/// Tracks the progress of one layer-wise optimizer step.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateTracker {
+    updated: Vec<usize>,
+    step_finished: bool,
+}
+
+impl UpdateTracker {
+    /// Fresh tracker (no groups updated).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `group` as updated (call right after the group's kernels
+    /// complete — the paper marks after the CUDA events fire).
+    pub fn mark(&mut self, group: usize) {
+        self.updated.push(group);
+    }
+
+    /// Marks the whole step finished (`finish_step` was called).
+    pub fn finish(&mut self) {
+        self.step_finished = true;
+    }
+
+    /// Groups updated so far in this step.
+    pub fn updated(&self) -> &[usize] {
+        &self.updated
+    }
+
+    /// Whether the step completed.
+    pub fn finished(&self) -> bool {
+        self.step_finished
+    }
+
+    /// Resets for the next step.
+    pub fn reset(&mut self) {
+        self.updated.clear();
+        self.step_finished = false;
+    }
+
+    /// Whether the state is mid-update (some but maybe not all groups
+    /// applied, step not finished).
+    pub fn is_partial(&self) -> bool {
+        !self.updated.is_empty() && !self.step_finished
+    }
+}
+
+/// Undoes exactly the tracked partial update on a survivor, restoring the
+/// pre-step state (§4). No-op when nothing was applied. Also rolls back
+/// the optimizer's step counter when the step had finished.
+pub fn repair_partial_update(
+    model: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    tracker: &mut UpdateTracker,
+) -> Result<(), UndoError> {
+    if !tracker.updated.is_empty() {
+        model.undo_update(opt, &tracker.updated)?;
+        if tracker.step_finished {
+            opt.rollback_step();
+        }
+    }
+    tracker.reset();
+    Ok(())
+}
+
+/// Pipeline-parallel consensus repair (§6 "Update-undo" in pipeline
+/// parallelism): survivors exchange their completed-iteration counters,
+/// agree on the minimum, and anyone ahead undoes their last full step.
+/// Returns the consensus iteration.
+pub fn consensus_undo(
+    comm: &mut Comm,
+    survivors: &[Rank],
+    model: &mut Sequential,
+    opt: &mut dyn Optimizer,
+) -> Result<u64, CommError> {
+    let mine = opt.iteration();
+    let all = comm.all_gather_u64_among(survivors, mine)?;
+    let consensus = *all.iter().min().expect("no survivors");
+    let mut it = mine;
+    while it > consensus {
+        model
+            .optimizer_undo(opt)
+            .expect("survivor ahead of consensus must be undoable");
+        it -= 1;
+    }
+    Ok(consensus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_dnn::models::mlp;
+    use swift_dnn::{Mode, StepCtx};
+    use swift_net::{Cluster, Topology};
+    use swift_optim::OptimizerKind;
+    use swift_tensor::Tensor;
+
+    fn trained_model(seed: u64) -> (Sequential, Box<dyn Optimizer>) {
+        let mut m = mlp("m", &[4, 8, 2], seed);
+        let opt = OptimizerKind::SgdMomentum {
+            lr: 0.1,
+            weight_decay: 0.0,
+            momentum: 0.9,
+            dampening: 0.0,
+        }
+        .build();
+        let ctx = StepCtx::new(0, 0);
+        let y = m.forward(ctx, &Tensor::ones([2, 4]), Mode::Train);
+        m.backward(ctx, &y.scale(0.1));
+        (m, opt)
+    }
+
+    #[test]
+    fn tracker_lifecycle() {
+        let mut t = UpdateTracker::new();
+        assert!(!t.is_partial());
+        t.mark(0);
+        t.mark(1);
+        assert!(t.is_partial());
+        assert_eq!(t.updated(), &[0, 1]);
+        t.finish();
+        assert!(!t.is_partial());
+        t.reset();
+        assert!(t.updated().is_empty() && !t.finished());
+    }
+
+    #[test]
+    fn repair_restores_pre_step_state() {
+        let (mut m, mut opt) = trained_model(1);
+        let before = m.state();
+        let mut tracker = UpdateTracker::new();
+        // Partial update: groups 0 and 1 of 4, then "crash".
+        for g in m.apply_update(opt.as_mut(), 0, 2) {
+            tracker.mark(g);
+        }
+        assert!(m.state().max_abs_diff(&before) > 0.0);
+        repair_partial_update(&mut m, opt.as_mut(), &mut tracker).unwrap();
+        assert!(m.state().max_abs_diff(&before) < 1e-5);
+        assert_eq!(opt.iteration(), 0);
+        assert!(tracker.updated().is_empty());
+    }
+
+    #[test]
+    fn repair_after_finished_step_rolls_back_counter() {
+        let (mut m, mut opt) = trained_model(2);
+        let before = m.state();
+        let mut tracker = UpdateTracker::new();
+        let n = m.num_param_groups();
+        for g in m.apply_update(opt.as_mut(), 0, n) {
+            tracker.mark(g);
+        }
+        opt.finish_step();
+        tracker.finish();
+        assert_eq!(opt.iteration(), 1);
+        repair_partial_update(&mut m, opt.as_mut(), &mut tracker).unwrap();
+        assert_eq!(opt.iteration(), 0);
+        assert!(m.state().max_abs_diff(&before) < 1e-5);
+    }
+
+    #[test]
+    fn repair_with_nothing_updated_is_noop() {
+        let (mut m, mut opt) = trained_model(3);
+        let before = m.state();
+        let mut tracker = UpdateTracker::new();
+        repair_partial_update(&mut m, opt.as_mut(), &mut tracker).unwrap();
+        assert!(m.state().bit_eq(&before));
+    }
+
+    #[test]
+    fn consensus_undo_aligns_stages() {
+        // 3 survivors at iterations 5, 6, 6 → consensus 5; the two ahead
+        // undo one step each.
+        let results = Cluster::run_all(Topology::uniform(3, 1), |mut ctx| {
+            let rank = ctx.rank();
+            let (mut m, mut opt) = trained_model(10 + rank as u64);
+            let steps = if rank == 0 { 5 } else { 6 };
+            let mut state_at_5 = None;
+            for s in 0..steps {
+                if s == 5 {
+                    state_at_5 = Some(m.state());
+                }
+                m.optimizer_step(opt.as_mut());
+            }
+            if state_at_5.is_none() {
+                state_at_5 = Some(m.state());
+            }
+            let consensus =
+                consensus_undo(&mut ctx.comm, &[0, 1, 2], &mut m, opt.as_mut()).unwrap();
+            let diff = m.state().max_abs_diff(&state_at_5.unwrap());
+            (consensus, opt.iteration(), diff)
+        });
+        for (consensus, iter, diff) in results {
+            assert_eq!(consensus, 5);
+            assert_eq!(iter, 5);
+            assert!(diff < 1e-4, "state not restored to iteration 5: {diff}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The recovery fence: re-aligns communicators after a failure.
+//!
+//! Three problems arise when survivors and a fresh replacement resume
+//! collective communication:
+//!
+//! 1. **Sequence skew** — collectives match by a per-communicator sequence
+//!    number; survivors' sequences have advanced (and may differ from each
+//!    other, since the failure interrupted them at different points) while
+//!    the replacement starts at zero.
+//! 2. **Stale traffic** — pre-failure in-flight messages must not satisfy
+//!    post-recovery receives.
+//! 3. **Rendezvous** — nobody may resume sending until everyone has
+//!    purged.
+//!
+//! The fence solves all three through the rank-0 key-value store (the
+//! paper's §6 coordination channel): each participant publishes its
+//! sequence under the failure generation, waits for all, jumps every
+//! sequence to a common value past the maximum, purges, and barriers.
+
+use std::time::Duration;
+
+use swift_net::{CommError, Rank, WorkerCtx};
+
+/// How long fence participants wait for each other before giving up.
+const FENCE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Runs the recovery fence. Every participant (survivors + replacements)
+/// must call this with the same `generation` (use
+/// [`FailureController::generation`](swift_net::FailureController::generation))
+/// and the same participant set.
+pub fn recovery_fence(
+    ctx: &mut WorkerCtx,
+    generation: u64,
+    participants: &[Rank],
+) -> Result<(), CommError> {
+    let me = ctx.rank();
+    ctx.kv.set(
+        &format!("fence/{generation}/seq/{me}"),
+        ctx.comm.coll_seq().to_string(),
+    );
+    let mut max_seq = 0u64;
+    for &r in participants {
+        let v = ctx
+            .kv
+            .wait_for(&format!("fence/{generation}/seq/{r}"), FENCE_TIMEOUT)
+            .unwrap_or_else(|| panic!("fence: rank {r} never arrived"));
+        max_seq = max_seq.max(v.parse().expect("bad seq in kv"));
+    }
+    // Jump well past any sequence in use, then purge stale traffic.
+    ctx.comm.set_coll_seq(max_seq + 16);
+    ctx.comm.purge();
+    // Second phase: nobody may send (even the barrier's own messages!)
+    // until *everyone* has purged — otherwise a fast participant's barrier
+    // arrival could itself be purged by a slow one.
+    ctx.kv.set(&format!("fence/{generation}/purged/{me}"), "1");
+    for &r in participants {
+        ctx.kv
+            .wait_for(&format!("fence/{generation}/purged/{r}"), FENCE_TIMEOUT)
+            .unwrap_or_else(|| panic!("fence: rank {r} never purged"));
+    }
+    ctx.comm.barrier_among(participants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_net::{Cluster, Topology};
+    use swift_tensor::Tensor;
+
+    #[test]
+    fn fence_aligns_skewed_sequences() {
+        let results = Cluster::run_all(Topology::uniform(3, 1), |mut ctx| {
+            // Skew the sequences: rank r does r solo-collectives.
+            for _ in 0..ctx.rank() {
+                let me = [ctx.rank()];
+                ctx.comm.barrier_among(&me).unwrap();
+            }
+            recovery_fence(&mut ctx, 1, &[0, 1, 2]).unwrap();
+            // Post-fence, a world collective must succeed.
+            let t = Tensor::full([2], 1.0);
+            ctx.comm.allreduce_sum(&t).unwrap().sum()
+        });
+        assert_eq!(results, vec![6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn fence_purges_stale_messages() {
+        let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
+            if ctx.rank() == 0 {
+                // Stale pre-failure message with a user tag.
+                ctx.comm.send_tensor(1, 99, &Tensor::scalar(-1.0)).unwrap();
+            }
+            recovery_fence(&mut ctx, 7, &[0, 1]).unwrap();
+            if ctx.rank() == 0 {
+                ctx.comm.send_tensor(1, 99, &Tensor::scalar(42.0)).unwrap();
+                0.0
+            } else {
+                // Must see the fresh value, not the stale one.
+                ctx.comm.recv_tensor(0, 99).unwrap().item()
+            }
+        });
+        assert_eq!(results[1], 42.0);
+    }
+
+    #[test]
+    fn fence_is_reentrant_across_generations() {
+        let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
+            recovery_fence(&mut ctx, 1, &[0, 1]).unwrap();
+            recovery_fence(&mut ctx, 2, &[0, 1]).unwrap();
+            ctx.comm.allreduce_sum(&Tensor::scalar(1.0)).unwrap().item()
+        });
+        assert_eq!(results, vec![2.0, 2.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # swift-core
+//!
+//! The SWIFT runtime (work in progress while modules land).
+
+pub mod api;
+pub mod config;
+pub mod consistency;
+pub mod elastic;
+pub mod fence;
+pub mod fsdp;
+pub mod pipeline_ft;
+pub mod plan;
+pub mod replication;
+pub mod scenario;
+pub mod tensor_parallel;
+
+pub use api::{JobCrash, Parallelism, SwiftJob, SwiftJobBuilder};
+pub use config::{select_strategy, FtConfig, JobShape, Strategy};
+pub use consistency::{consensus_undo, repair_partial_update, UpdateTracker};
+pub use elastic::{
+    elastic_join, elastic_leave, elastic_transition_incumbent, elastic_transition_scale_in,
+    Membership,
+};
+pub use fence::recovery_fence;
+pub use plan::{ParallelismPlan, PlacementPolicy};
+pub use tensor_parallel::TpLinear;
+pub use fsdp::{
+    free_unstored, fsdp_join, fsdp_recover_survivor, fsdp_train_step, gather_full_params,
+    FsdpWorker, ShardMap,
+};
+pub use pipeline_ft::{
+    pipeline_maybe_checkpoint, pipeline_on_failure_survivor, pipeline_replay,
+    pipeline_train_iteration, DataSource, PipelineJob, PipelineWorker, RecoveryRole,
+};
+pub use replication::{
+    dp_train_step, replication_join, replication_recover_survivor, CrashPoint, DpWorker,
+};
+pub use scenario::{
+    evaluate_state, optimizer_from_state, run_dp_scenario, run_pipeline_scenario, DatasetSource,
+    DpScenario, ModelFn, PipelineScenario, ScenarioResult,
+};

@@ -1,0 +1,369 @@
+//! Replication-based recovery for data-parallel training (paper §3–4,
+//! Fig. 5).
+//!
+//! Failure-free overhead is **zero**: no snapshots, no extra state copies.
+//! On a crash, survivors (1) undo their partially-applied update to repair
+//! crash consistency, then (2) one survivor broadcasts its model +
+//! optimizer state to the replacement (and to the other survivors, making
+//! every replica bit-identical again), and training resumes from the
+//! consistent iteration.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use swift_dnn::{softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
+use swift_net::{CommError, Rank, WorkerCtx};
+use swift_optim::{OptimState, Optimizer};
+use swift_tensor::Tensor;
+
+use crate::consistency::UpdateTracker;
+use crate::fence::recovery_fence;
+
+/// One data-parallel replica worker's training state.
+pub struct DpWorker {
+    /// The full model replica.
+    pub model: Sequential,
+    /// The optimizer.
+    pub opt: Box<dyn Optimizer>,
+    /// Update-progress marks for crash-consistency repair.
+    pub tracker: UpdateTracker,
+    /// Completed training iterations.
+    pub iteration: u64,
+    /// The all-reduced gradients of the in-progress/most-recent step —
+    /// the cached `g_t` undo needs (§4; frameworks keep these anyway).
+    pub last_grads: Vec<Tensor>,
+}
+
+impl DpWorker {
+    /// Wraps a model + optimizer as a replica worker.
+    pub fn new(model: Sequential, opt: Box<dyn Optimizer>) -> Self {
+        DpWorker { model, opt, tracker: UpdateTracker::new(), iteration: 0, last_grads: Vec::new() }
+    }
+}
+
+/// Where to inject a mid-update crash (testing / experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPoint {
+    /// Crash during this iteration's update…
+    pub iteration: u64,
+    /// …right after this many parameter groups have been applied.
+    pub after_groups: usize,
+}
+
+/// Runs one synchronous data-parallel step on this worker's shard:
+/// forward, backward, per-group gradient all-reduce, layer-wise update.
+///
+/// `example_weight` should be `1 / global_batch` so that summing shard
+/// gradients across replicas yields the global mean gradient.
+///
+/// When `crash` matches the current iteration, this worker kills its own
+/// machine right after applying `after_groups` group updates — the exact
+/// mid-update window of the crash-consistency problem (§2.3).
+pub fn dp_train_step(
+    ctx: &mut WorkerCtx,
+    w: &mut DpWorker,
+    replicas: &[Rank],
+    x: &Tensor,
+    y: &[usize],
+    example_weight: f32,
+    crash: Option<CrashPoint>,
+) -> Result<f32, CommError> {
+    let step_ctx = StepCtx::new(w.iteration, 0);
+    let out = w.model.forward(step_ctx, x, Mode::Train);
+    let (loss, grad) = softmax_cross_entropy_scaled(&out, y, example_weight);
+    w.model.backward(step_ctx, &grad);
+
+    // Wait-free layer-wise update (Fig. 4): each group updates as soon as
+    // its all-reduce lands, so a peer crash mid-loop strands this worker
+    // with a *partial* update — the crash-consistency window.
+    let local = w.model.grads_snapshot();
+    let n = w.model.num_param_groups();
+    let crash_at = crash
+        .filter(|c| c.iteration == w.iteration)
+        .map(|c| c.after_groups.min(n));
+    w.last_grads = local.clone();
+    #[allow(clippy::needless_range_loop)] // idx is the global group index
+    for idx in 0..n {
+        w.last_grads[idx] = ctx.comm.allreduce_sum_among(replicas, &local[idx])?;
+        w.model.apply_update_with(&mut *w.opt, &w.last_grads, idx, idx + 1);
+        w.tracker.mark(idx);
+        if crash_at == Some(idx + 1) {
+            // Fail-stop: this machine dies mid-update, volatile state lost.
+            let fc = ctx.comm.failure_controller().clone();
+            fc.kill_machine(ctx.machine());
+            return Err(CommError::SelfKilled);
+        }
+    }
+    w.opt.finish_step();
+    w.tracker.finish();
+    w.tracker.reset();
+    w.iteration += 1;
+    w.model.zero_grads();
+    Ok(loss)
+}
+
+pub(crate) fn encode_dp_state(w: &DpWorker) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(w.iteration);
+    let m = w.model.state().encode();
+    buf.put_u64_le(m.len() as u64);
+    buf.put_slice(&m);
+    let o = w.opt.state().encode();
+    buf.put_u64_le(o.len() as u64);
+    buf.put_slice(&o);
+    buf.freeze()
+}
+
+pub(crate) fn decode_dp_state_into(w: &mut DpWorker, mut payload: Bytes) {
+    let iteration = payload.get_u64_le();
+    let mlen = payload.get_u64_le() as usize;
+    let mut mbytes = payload.split_to(mlen);
+    let model = ModelState::decode(&mut mbytes).expect("bad model state");
+    let olen = payload.get_u64_le() as usize;
+    let mut obytes = payload.split_to(olen);
+    let optim = OptimState::decode(&mut obytes).expect("bad optim state");
+    w.model.load_state(&model);
+    w.opt.load_state(&optim);
+    w.iteration = iteration;
+    w.tracker.reset();
+    w.model.zero_grads();
+    w.model.clear_caches();
+}
+
+/// Survivor-side recovery (§3, Fig. 5):
+/// 1. repair crash consistency by undoing the partial update with the
+///    cached gradients;
+/// 2. broadcast the (now pre-step-consistent) state from the lowest
+///    surviving rank to everyone — replacement included — so all replicas
+///    resume bit-identical.
+///
+/// `participants` = all surviving replicas plus the replacement, and every
+/// one of them must call this (or [`replication_join`]) collectively.
+pub fn replication_recover_survivor(
+    ctx: &mut WorkerCtx,
+    w: &mut DpWorker,
+    survivors: &[Rank],
+    participants: &[Rank],
+) -> Result<(), CommError> {
+    w.model.clear_caches();
+    let groups = w.tracker.updated().to_vec();
+    if !groups.is_empty() {
+        // A partial step never reached `finish_step`, so undoing the
+        // applied groups restores the pre-step state exactly; the step
+        // counter needs no rollback.
+        let grads = w.last_grads.clone();
+        w.model
+            .undo_update_with(&mut *w.opt, &grads, &groups)
+            .expect("replication recovery requires an invertible optimizer");
+        w.tracker.reset();
+    }
+    let generation = ctx.comm.failure_controller().generation();
+    recovery_fence(ctx, generation, participants)?;
+    let root = *survivors.iter().min().expect("no survivors");
+    let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
+    let state = ctx.comm.broadcast_bytes_among(participants, root, payload)?;
+    decode_dp_state_into(w, state);
+    Ok(())
+}
+
+/// Replacement-side recovery: build a fresh worker (same model structure
+/// and optimizer kind — the job configuration is static) and receive the
+/// broadcast state.
+pub fn replication_join(
+    ctx: &mut WorkerCtx,
+    model_template: Sequential,
+    opt_template: Box<dyn Optimizer>,
+    survivors: &[Rank],
+    participants: &[Rank],
+) -> Result<DpWorker, CommError> {
+    let mut w = DpWorker::new(model_template, opt_template);
+    let generation = ctx.comm.failure_controller().generation();
+    recovery_fence(ctx, generation, participants)?;
+    let root = *survivors.iter().min().expect("no survivors");
+    let state = ctx.comm.broadcast_bytes_among(participants, root, None)?;
+    decode_dp_state_into(&mut w, state);
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_data::{shard_batch, BlobsDataset, Dataset};
+    use swift_dnn::models::mlp;
+    use swift_net::{Cluster, Topology};
+    use swift_optim::OptimizerKind;
+
+    fn make_worker() -> DpWorker {
+        DpWorker::new(
+            mlp("m", &[6, 12, 3], 77),
+            OptimizerKind::SgdMomentum {
+                lr: 0.05,
+                weight_decay: 0.001,
+                momentum: 0.9,
+                dampening: 0.0,
+            }
+            .build(),
+        )
+    }
+
+    /// Failure-free DP training for `iters`, returning rank 0's state.
+    fn failure_free(iters: u64) -> ModelState {
+        let results = Cluster::run_all(Topology::uniform(2, 1), move |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut w = make_worker();
+            for it in 0..iters {
+                let batch = ds.batch(it, 16);
+                let shard = shard_batch(&batch, ctx.rank(), 2);
+                dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
+                    .unwrap();
+            }
+            w.model.state()
+        });
+        results.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn replicas_stay_identical_without_failures() {
+        let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut w = make_worker();
+            for it in 0..4 {
+                let batch = ds.batch(it, 16);
+                let shard = shard_batch(&batch, ctx.rank(), 2);
+                dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
+                    .unwrap();
+            }
+            w.model.state()
+        });
+        assert!(results[0].bit_eq(&results[1]), "synchronous DP must keep replicas in lockstep");
+    }
+
+    #[test]
+    fn crash_mid_update_recovery_end_to_end() {
+        // Rank 1's machine dies at iteration 3 after 2 of 4 group updates.
+        // Rank 0 undoes, broadcasts to the respawned rank 1, training
+        // continues to iteration 8. Final state must match the
+        // failure-free run within floating-point undo error.
+        let iters_total = 8u64;
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+
+        let h0 = cluster.spawn(0, move |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut w = make_worker();
+            let mut it = 0u64;
+            while it < iters_total {
+                let batch = ds.batch(it, 16);
+                let shard = shard_batch(&batch, ctx.rank(), 2);
+                match dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
+                {
+                    Ok(_) => it += 1,
+                    Err(CommError::PeerFailed { .. }) => {
+                        // Wait for the replacement to be announced.
+                        ctx.kv.wait_for("replacement-up", std::time::Duration::from_secs(5));
+                        replication_recover_survivor(&mut ctx, &mut w, &[0], &[0, 1]).unwrap();
+                        it = w.iteration;
+                    }
+                    Err(e) => panic!("rank 0: {e}"),
+                }
+            }
+            w.model.state()
+        });
+
+        let h1 = cluster.spawn(1, move |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut w = make_worker();
+            let crash = CrashPoint { iteration: 3, after_groups: 2 };
+            let mut it = 0u64;
+            loop {
+                let batch = ds.batch(it, 16);
+                let shard = shard_batch(&batch, ctx.rank(), 2);
+                match dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    Some(crash),
+                ) {
+                    Ok(_) => it += 1,
+                    Err(CommError::SelfKilled) => return None::<ModelState>, // state lost
+                    Err(e) => panic!("rank 1: {e}"),
+                }
+            }
+        });
+        assert!(h1.join().unwrap().is_none());
+
+        // Driver: bring up the replacement machine.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        fc.replace_machine(1);
+        let kv = cluster.kv();
+        let mut rctx = cluster.respawn(1);
+        let h1b = std::thread::spawn(move || {
+            kv.set("replacement-up", "1");
+            let mut w = replication_join(
+                &mut rctx,
+                mlp("m", &[6, 12, 3], 77),
+                OptimizerKind::SgdMomentum {
+                    lr: 0.05,
+                    weight_decay: 0.001,
+                    momentum: 0.9,
+                    dampening: 0.0,
+                }
+                .build(),
+                &[0],
+                &[0, 1],
+            )
+            .unwrap();
+            assert_eq!(w.iteration, 3, "resumes from the consistent pre-crash iteration");
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut it = w.iteration;
+            while it < iters_total {
+                let batch = ds.batch(it, 16);
+                let shard = shard_batch(&batch, rctx.rank(), 2);
+                dp_train_step(&mut rctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
+                    .unwrap();
+                it += 1;
+            }
+            w.model.state()
+        });
+
+        let s0 = h0.join().unwrap();
+        let s1 = h1b.join().unwrap();
+        assert!(s0.bit_eq(&s1), "replicas identical after recovery");
+        let reference = failure_free(iters_total);
+        let diff = s0.max_abs_diff(&reference);
+        assert!(
+            diff < 1e-4,
+            "recovered training must track the failure-free trajectory (diff {diff})"
+        );
+    }
+
+    #[test]
+    fn survivor_repair_restores_consistency_alone() {
+        // Unit-level: a survivor with a half-applied update returns to its
+        // pre-update state via the cached all-reduced grads.
+        let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
+            let ds = BlobsDataset::new(4, 6, 3, 0.3);
+            let mut w = make_worker();
+            let batch = ds.batch(0, 8);
+            let shard = shard_batch(&batch, ctx.rank(), 2);
+            dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 0.125, None).unwrap();
+            let consistent = w.model.state();
+            // Manually apply a partial next update.
+            let sctx = StepCtx::new(1, 0);
+            let out = w.model.forward(sctx, &shard.x, Mode::Train);
+            let (_, g) = softmax_cross_entropy_scaled(&out, &shard.y, 0.125);
+            w.model.backward(sctx, &g);
+            w.last_grads = w.model.grads_snapshot();
+            for idx in w.model.apply_update_with(&mut *w.opt, &w.last_grads.clone(), 0, 2) {
+                w.tracker.mark(idx);
+            }
+            assert!(w.model.state().max_abs_diff(&consistent) > 0.0);
+            replication_recover_survivor(&mut ctx, &mut w, &[0, 1], &[0, 1]).unwrap();
+            w.model.state().max_abs_diff(&consistent)
+        });
+        for diff in results {
+            assert!(diff < 1e-5, "partial update not undone: {diff}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Micro-batch splitting and data-parallel sharding.
+//!
+//! Pipeline parallelism splits a mini-batch into `m` micro-batches (paper
+//! §2.1); data parallelism shards it across replicas. Both transforms must
+//! be deterministic and exhaustive — every example lands in exactly one
+//! shard/micro-batch — so a recovered worker replaying iteration `i`
+//! processes exactly the examples the failed worker did.
+
+use crate::Batch;
+use swift_tensor::Tensor;
+
+/// A micro-batch: a contiguous slice of a mini-batch, tagged with its
+/// position for replay ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBatch {
+    /// Index of this micro-batch within its mini-batch (0-based).
+    pub index: usize,
+    /// The examples.
+    pub batch: Batch,
+}
+
+/// Splits a batch into `m` micro-batches of (near-)equal size, preserving
+/// example order. The first `len % m` micro-batches get one extra example.
+///
+/// # Panics
+/// Panics when `m` is zero or exceeds the batch size.
+pub fn split_microbatches(batch: &Batch, m: usize) -> Vec<MicroBatch> {
+    assert!(m >= 1, "need at least one micro-batch");
+    assert!(m <= batch.len(), "more micro-batches than examples");
+    slice_batch(batch, m)
+        .into_iter()
+        .enumerate()
+        .map(|(index, batch)| MicroBatch { index, batch })
+        .collect()
+}
+
+/// Shards a batch across `world` data-parallel replicas; `rank` receives
+/// the `rank`-th contiguous shard.
+pub fn shard_batch(batch: &Batch, rank: usize, world: usize) -> Batch {
+    assert!(world >= 1 && rank < world);
+    assert!(world <= batch.len(), "more replicas than examples");
+    slice_batch(batch, world).swap_remove(rank)
+}
+
+fn slice_batch(batch: &Batch, parts: usize) -> Vec<Batch> {
+    let n = batch.len();
+    let dim = batch.x.shape().dims()[1];
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        let x = Tensor::from_vec(
+            [size, dim],
+            batch.x.data()[start * dim..(start + size) * dim].to_vec(),
+        );
+        let y = batch.y[start..start + size].to_vec();
+        out.push(Batch { x, y });
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlobsDataset, Dataset};
+
+    fn sample(n: usize) -> Batch {
+        BlobsDataset::new(1, 3, 2, 0.1).batch(0, n)
+    }
+
+    #[test]
+    fn microbatches_partition_exhaustively() {
+        let b = sample(10);
+        let mbs = split_microbatches(&b, 4);
+        assert_eq!(mbs.len(), 4);
+        let sizes: Vec<usize> = mbs.iter().map(|m| m.batch.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Reassemble and compare.
+        let mut ys = Vec::new();
+        for m in &mbs {
+            ys.extend_from_slice(&m.batch.y);
+        }
+        assert_eq!(ys, b.y);
+    }
+
+    #[test]
+    fn even_split_sizes() {
+        let b = sample(8);
+        let mbs = split_microbatches(&b, 4);
+        assert!(mbs.iter().all(|m| m.batch.len() == 2));
+        assert_eq!(mbs[3].index, 3);
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover() {
+        let b = sample(9);
+        let mut seen = Vec::new();
+        for rank in 0..3 {
+            let s = shard_batch(&b, rank, 3);
+            seen.extend_from_slice(&s.y);
+        }
+        assert_eq!(seen, b.y);
+    }
+
+    #[test]
+    fn shard_features_match_source() {
+        let b = sample(6);
+        let s = shard_batch(&b, 1, 2);
+        assert_eq!(s.len(), 3);
+        for i in 0..3 {
+            for d in 0..3 {
+                assert_eq!(s.x.at(&[i, d]), b.x.at(&[i + 3, d]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more micro-batches than examples")]
+    fn too_many_microbatches_panics() {
+        split_microbatches(&sample(2), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{BlobsDataset, Dataset};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn microbatches_always_partition(n in 1usize..64, m_frac in 0.01f64..1.0) {
+            let m = ((n as f64 * m_frac).ceil() as usize).clamp(1, n);
+            let b = BlobsDataset::new(0, 4, 3, 0.2).batch(1, n);
+            let mbs = split_microbatches(&b, m);
+            prop_assert_eq!(mbs.len(), m);
+            let total: usize = mbs.iter().map(|x| x.batch.len()).sum();
+            prop_assert_eq!(total, n);
+            // Sizes differ by at most one, ordered largest-first.
+            let sizes: Vec<usize> = mbs.iter().map(|x| x.batch.len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            prop_assert!(hi - lo <= 1);
+            // Order of examples preserved.
+            let mut ys = Vec::new();
+            for mb in &mbs { ys.extend_from_slice(&mb.batch.y); }
+            prop_assert_eq!(ys, b.y);
+        }
+
+        #[test]
+        fn shards_always_partition(n in 1usize..64, w_frac in 0.01f64..1.0) {
+            let world = ((n as f64 * w_frac).ceil() as usize).clamp(1, n);
+            let b = BlobsDataset::new(1, 3, 2, 0.2).batch(2, n);
+            let mut all = Vec::new();
+            for r in 0..world {
+                all.extend_from_slice(&shard_batch(&b, r, world).y);
+            }
+            prop_assert_eq!(all, b.y);
+        }
+    }
+}

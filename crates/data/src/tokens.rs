@@ -1,0 +1,133 @@
+//! Deterministic Markov token stream (language-model stand-in).
+
+use crate::{Batch, Dataset};
+use swift_tensor::{CounterRng, Tensor};
+
+/// A synthetic next-token-prediction task over a small vocabulary.
+///
+/// Tokens follow a deterministic random Markov chain: each token has a
+/// "preferred" successor chosen with high probability, so the conditional
+/// entropy is low and a small transformer/MLP can learn the transition
+/// table. Inputs are one-hot context windows flattened to
+/// `[batch, context × vocab]`; the target is the next token.
+#[derive(Debug, Clone)]
+pub struct TokenDataset {
+    seed: u64,
+    vocab: usize,
+    context: usize,
+    /// P(preferred successor); the rest of the mass is uniform.
+    fidelity: f32,
+    successor: Vec<usize>,
+}
+
+impl TokenDataset {
+    /// Creates the dataset; `fidelity` is the probability of taking the
+    /// preferred transition (e.g. 0.9).
+    pub fn new(seed: u64, vocab: usize, context: usize, fidelity: f32) -> Self {
+        assert!(vocab >= 2 && context >= 1);
+        assert!((0.0..=1.0).contains(&fidelity));
+        let mut rng = CounterRng::new(seed, 0x70C3);
+        // A random permutation-ish successor table (self-loops allowed but
+        // rerolled once to keep chains moving).
+        let successor = (0..vocab)
+            .map(|t| {
+                let mut s = rng.below(vocab as u64) as usize;
+                if s == t {
+                    s = (s + 1) % vocab;
+                }
+                s
+            })
+            .collect();
+        TokenDataset { seed, vocab, context, fidelity, successor }
+    }
+
+    /// The preferred successor of token `t`.
+    pub fn preferred_successor(&self, t: usize) -> usize {
+        self.successor[t]
+    }
+
+    /// Generates one example: a context window of token ids plus target.
+    fn example(&self, rng: &mut CounterRng) -> (Vec<usize>, usize) {
+        let mut tok = rng.below(self.vocab as u64) as usize;
+        let mut window = Vec::with_capacity(self.context);
+        for _ in 0..self.context {
+            window.push(tok);
+            tok = if rng.bernoulli(self.fidelity) {
+                self.successor[tok]
+            } else {
+                rng.below(self.vocab as u64) as usize
+            };
+        }
+        (window, tok)
+    }
+}
+
+impl Dataset for TokenDataset {
+    fn feature_dim(&self) -> usize {
+        self.context * self.vocab
+    }
+
+    fn num_classes(&self) -> usize {
+        self.vocab
+    }
+
+    fn batch(&self, index: u64, batch_size: usize) -> Batch {
+        let dim = self.feature_dim();
+        let mut data = vec![0.0f32; batch_size * dim];
+        let mut y = Vec::with_capacity(batch_size);
+        for ex in 0..batch_size {
+            let mut rng = CounterRng::new(self.seed, index.wrapping_mul(999_983) + ex as u64);
+            let (window, target) = self.example(&mut rng);
+            for (pos, &tok) in window.iter().enumerate() {
+                data[ex * dim + pos * self.vocab + tok] = 1.0;
+            }
+            y.push(target);
+        }
+        Batch { x: Tensor::from_vec([batch_size, dim], data), y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_batches() {
+        let ds = TokenDataset::new(11, 16, 4, 0.9);
+        let a = ds.batch(5, 8);
+        let b = ds.batch(5, 8);
+        assert!(a.x.bit_eq(&b.x));
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn one_hot_structure() {
+        let ds = TokenDataset::new(11, 8, 3, 0.9);
+        let b = ds.batch(0, 4);
+        // Each context position contributes exactly one hot unit.
+        for ex in 0..4 {
+            for pos in 0..3 {
+                let row: f32 = (0..8).map(|v| b.x.at(&[ex, pos * 8 + v])).sum();
+                assert_eq!(row, 1.0, "one-hot violated at ex {ex} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_fidelity_chains_follow_successors() {
+        let ds = TokenDataset::new(2, 8, 2, 1.0);
+        let b = ds.batch(0, 32);
+        for ex in 0..32 {
+            // Find last context token and check target is its successor.
+            let last = (0..8).find(|&v| b.x.at(&[ex, 8 + v]) == 1.0).unwrap();
+            assert_eq!(b.y[ex], ds.preferred_successor(last));
+        }
+    }
+
+    #[test]
+    fn targets_in_vocab() {
+        let ds = TokenDataset::new(4, 10, 5, 0.5);
+        let b = ds.batch(9, 64);
+        assert!(b.y.iter().all(|&t| t < 10));
+    }
+}

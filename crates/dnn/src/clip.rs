@@ -1,0 +1,66 @@
+//! Global-norm gradient clipping, and its interaction with update-undo.
+//!
+//! Clipping rescales the gradients *before* the optimizer step. Because
+//! SWIFT's undo consumes the cached post-clip gradients (`g_t` is whatever
+//! the update actually used, §4), clipping needs no extra undo machinery —
+//! the invariant tested here.
+
+use swift_tensor::Tensor;
+
+/// Scales `grads` so their global L2 norm is at most `max_norm`; returns
+/// the pre-clip norm. No-op (scale 1) when already within bounds.
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0);
+    let total_sq: f32 = grads.iter().map(|g| g.sum_sq()).sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            g.scale_inplace(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_optim::OptimizerKind;
+    use swift_tensor::CounterRng;
+
+    #[test]
+    fn clips_to_the_bound() {
+        let mut grads = vec![Tensor::full([4], 3.0), Tensor::full([4], 4.0)];
+        // Global norm = sqrt(16·(9+16)/ ... ) = sqrt(4·9 + 4·16) = 10.
+        let pre = clip_grad_norm(&mut grads, 5.0);
+        assert!((pre - 10.0).abs() < 1e-5);
+        let post: f32 = grads.iter().map(|g| g.sum_sq()).sum::<f32>().sqrt();
+        assert!((post - 5.0).abs() < 1e-4);
+        // Direction preserved: ratios unchanged.
+        assert!((grads[1].data()[0] / grads[0].data()[0] - 4.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn within_bound_is_untouched() {
+        let mut grads = vec![Tensor::full([2], 0.1)];
+        let orig = grads[0].clone();
+        let pre = clip_grad_norm(&mut grads, 5.0);
+        assert!(pre < 5.0);
+        assert!(grads[0].bit_eq(&orig));
+    }
+
+    #[test]
+    fn undo_works_with_clipped_gradients() {
+        // The undo contract: pass the gradients the step actually used —
+        // i.e. the clipped ones.
+        let mut rng = CounterRng::new(4, 0);
+        let mut opt = OptimizerKind::Adam { lr: 1e-2, weight_decay: 0.01 }.build();
+        let mut p = Tensor::randn([64], 0.0, 1.0, &mut rng);
+        let before = p.clone();
+        let mut grads = vec![Tensor::randn([64], 0.0, 5.0, &mut rng)];
+        clip_grad_norm(&mut grads, 1.0);
+        opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&grads[0]));
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&grads[0])).unwrap();
+        assert!(p.max_abs_diff(&before) < 1e-4);
+    }
+}

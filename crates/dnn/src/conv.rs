@@ -1,0 +1,272 @@
+//! 2-D convolution via im2col, with hand-written backward.
+//!
+//! Present for the CNN stand-in (Wide-ResNet-tiny): the paper's §5.4 point
+//! that CNN activations are too large for logging is a *structural*
+//! property this layer lets us exhibit with real numbers.
+
+use swift_tensor::{matmul, matmul_at_b, CounterRng, Tensor};
+
+use crate::layer::{ActivationCache, Layer, Mode, StepCtx};
+
+/// Same-padding, stride-1 2-D convolution.
+///
+/// Tensors are flattened channel-major: example `e`, channel `c`, pixel
+/// `(h, w)` lives at `x[e, c·H·W + h·W + w]`. The kernel size must be odd
+/// (symmetric padding).
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    c_in: usize,
+    c_out: usize,
+    height: usize,
+    width: usize,
+    ksize: usize,
+    /// `[c_out, c_in · k · k]`.
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    /// Caches the stacked im2col matrix `[B·H·W, c_in·k·k]`.
+    cache_col: ActivationCache,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer for `height × width` feature maps.
+    pub fn new(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        height: usize,
+        width: usize,
+        ksize: usize,
+        rng: &mut CounterRng,
+    ) -> Self {
+        assert!(ksize % 2 == 1, "kernel size must be odd for same padding");
+        let fan_in = c_in * ksize * ksize;
+        let bound = (1.0 / fan_in as f32).sqrt();
+        Conv2d {
+            name: name.into(),
+            c_in,
+            c_out,
+            height,
+            width,
+            ksize,
+            weight: Tensor::uniform([c_out, fan_in], -bound, bound, rng),
+            bias: Tensor::uniform([c_out], -bound, bound, rng),
+            grad_weight: Tensor::zeros([c_out, fan_in]),
+            grad_bias: Tensor::zeros([c_out]),
+            cache_col: ActivationCache::new(),
+        }
+    }
+
+    /// Elements per example on the input side.
+    pub fn in_elems(&self) -> usize {
+        self.c_in * self.height * self.width
+    }
+
+    /// Elements per example on the output side.
+    pub fn out_elems(&self) -> usize {
+        self.c_out * self.height * self.width
+    }
+
+    /// Builds the im2col matrix `[H·W, c_in·k·k]` for one example.
+    fn im2col(&self, x: &[f32]) -> Tensor {
+        let (h, w, k, ci) = (self.height, self.width, self.ksize, self.c_in);
+        let pad = k / 2;
+        let cols = ci * k * k;
+        let mut out = vec![0.0f32; h * w * cols];
+        for oh in 0..h {
+            for ow in 0..w {
+                let row = oh * w + ow;
+                for c in 0..ci {
+                    for dh in 0..k {
+                        let ih = oh as isize + dh as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for dw in 0..k {
+                            let iw = ow as isize + dw as isize - pad as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out[row * cols + c * k * k + dh * k + dw] =
+                                x[c * h * w + ih as usize * w + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec([h * w, cols], out)
+    }
+
+    /// Scatters a `[H·W, c_in·k·k]` gradient back to input layout.
+    fn col2im(&self, dcol: &Tensor) -> Vec<f32> {
+        let (h, w, k, ci) = (self.height, self.width, self.ksize, self.c_in);
+        let pad = k / 2;
+        let cols = ci * k * k;
+        let mut dx = vec![0.0f32; ci * h * w];
+        let d = dcol.data();
+        for oh in 0..h {
+            for ow in 0..w {
+                let row = oh * w + ow;
+                for c in 0..ci {
+                    for dh in 0..k {
+                        let ih = oh as isize + dh as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for dw in 0..k {
+                            let iw = ow as isize + dw as isize - pad as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            dx[c * h * w + ih as usize * w + iw as usize] +=
+                                d[row * cols + c * k * k + dh * k + dw];
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, ctx: StepCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let per_in = self.in_elems();
+        let b = input.numel() / per_in;
+        assert_eq!(b * per_in, input.numel(), "input is not a multiple of C·H·W");
+        let hw = self.height * self.width;
+        let cols = self.c_in * self.ksize * self.ksize;
+        let mut y = Vec::with_capacity(b * self.out_elems());
+        let mut col_stack = Vec::with_capacity(b * hw * cols);
+        for e in 0..b {
+            let col = self.im2col(&input.data()[e * per_in..(e + 1) * per_in]);
+            // [H·W, c_out] = col · Wᵀ
+            let y_col = swift_tensor::matmul_a_bt(&col, &self.weight).add_row_vector(&self.bias);
+            // Transpose to channel-major [c_out, H·W].
+            let y_cm = y_col.transpose();
+            y.extend_from_slice(y_cm.data());
+            if mode == Mode::Train {
+                col_stack.extend_from_slice(col.data());
+            }
+        }
+        if mode == Mode::Train {
+            self.cache_col.put(ctx, Tensor::from_vec([b * hw, cols], col_stack));
+        }
+        Tensor::from_vec([b, self.out_elems()], y)
+    }
+
+    fn backward(&mut self, ctx: StepCtx, grad_out: &Tensor) -> Tensor {
+        let per_out = self.out_elems();
+        let b = grad_out.numel() / per_out;
+        let hw = self.height * self.width;
+        let cols = self.c_in * self.ksize * self.ksize;
+        let col_stack = self.cache_col.take(ctx);
+        let mut dx = Vec::with_capacity(b * self.in_elems());
+        for e in 0..b {
+            // dY channel-major [c_out, H·W] → row-major [H·W, c_out].
+            let dy_cm = Tensor::from_vec(
+                [self.c_out, hw],
+                grad_out.data()[e * per_out..(e + 1) * per_out].to_vec(),
+            );
+            let dy_col = dy_cm.transpose();
+            let col = Tensor::from_vec(
+                [hw, cols],
+                col_stack.data()[e * hw * cols..(e + 1) * hw * cols].to_vec(),
+            );
+            // dW += dy_colᵀ · col
+            self.grad_weight.add_inplace(&matmul_at_b(&dy_col, &col));
+            self.grad_bias.add_inplace(&dy_col.sum_rows());
+            // dCol = dy_col · W
+            let dcol = matmul(&dy_col, &self.weight);
+            dx.extend_from_slice(&self.col2im(&dcol));
+        }
+        Tensor::from_vec([b, self.in_elems()], dx)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.scale_inplace(0.0);
+        self.grad_bias.scale_inplace(0.0);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache_col.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::numeric_grad_check;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut rng = CounterRng::new(0, 0);
+        let mut conv = Conv2d::new("c", 1, 1, 4, 4, 3, &mut rng);
+        // Kernel with 1 at the center, zero bias → identity.
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        conv.weight = Tensor::from_vec([1, 9], w);
+        conv.bias = Tensor::zeros([1]);
+        let x = Tensor::randn([2, 16], 0.0, 1.0, &mut rng);
+        let y = conv.forward(StepCtx::new(0, 0), &x, Mode::Eval);
+        assert!(y.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn shifting_kernel_shifts_image() {
+        let mut rng = CounterRng::new(1, 0);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 3, 3, &mut rng);
+        // 1 at position (dh=1, dw=0): output(h,w) = input(h, w−1).
+        let mut w = vec![0.0f32; 9];
+        w[3] = 1.0;
+        conv.weight = Tensor::from_vec([1, 9], w);
+        conv.bias = Tensor::zeros([1]);
+        let x = Tensor::from_vec([1, 9], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let y = conv.forward(StepCtx::new(0, 0), &x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn grad_check_small() {
+        let mut rng = CounterRng::new(2, 0);
+        let conv = Conv2d::new("c", 2, 3, 3, 3, 3, &mut rng);
+        numeric_grad_check(Box::new(conv), 2, 2 * 9, 8e-2);
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut rng = CounterRng::new(3, 0);
+        let mut conv = Conv2d::new("c", 3, 8, 5, 5, 3, &mut rng);
+        let x = Tensor::zeros([4, 75]);
+        let y = conv.forward(StepCtx::new(0, 0), &x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[4, 200]);
+    }
+
+    #[test]
+    fn bias_applied_per_channel() {
+        let mut rng = CounterRng::new(4, 0);
+        let mut conv = Conv2d::new("c", 1, 2, 2, 2, 1, &mut rng);
+        conv.weight = Tensor::zeros([2, 1]);
+        conv.bias = Tensor::from_vec([2], vec![1.5, -2.5]);
+        let y = conv.forward(StepCtx::new(0, 0), &Tensor::zeros([1, 4]), Mode::Eval);
+        assert_eq!(y.data(), &[1.5, 1.5, 1.5, 1.5, -2.5, -2.5, -2.5, -2.5]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fully-connected layer with hand-written backward.
+
+use swift_tensor::{matmul, matmul_a_bt, matmul_at_b, CounterRng, Tensor};
+
+use crate::layer::{ActivationCache, Layer, Mode, StepCtx};
+
+/// `y = x · Wᵀ + b` with `W: [out, in]`, `b: [out]`.
+///
+/// Backward:
+/// - `dW += dyᵀ · x`  (shape `[out, in]`)
+/// - `db += Σ_rows dy`
+/// - `dx  = dy · W`
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cache: ActivationCache,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform initialization drawn
+    /// from a deterministic stream.
+    pub fn new(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut CounterRng) -> Self {
+        let bound = (1.0 / in_dim as f32).sqrt();
+        Linear {
+            name: name.into(),
+            weight: Tensor::uniform([out_dim, in_dim], -bound, bound, rng),
+            bias: Tensor::uniform([out_dim], -bound, bound, rng),
+            grad_weight: Tensor::zeros([out_dim, in_dim]),
+            grad_bias: Tensor::zeros([out_dim]),
+            cache: ActivationCache::new(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape().dim(1)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape().dim(0)
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, ctx: StepCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let y = matmul_a_bt(input, &self.weight).add_row_vector(&self.bias);
+        if mode == Mode::Train {
+            self.cache.put(ctx, input.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, ctx: StepCtx, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take(ctx);
+        // dW += dyᵀ x : [out, in]
+        let dw = matmul_at_b(grad_out, &x);
+        self.grad_weight.add_inplace(&dw);
+        self.grad_bias.add_inplace(&grad_out.sum_rows());
+        // dx = dy W : [batch, in]
+        matmul(grad_out, &self.weight)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.scale_inplace(0.0);
+        self.grad_bias.scale_inplace(0.0);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::numeric_grad_check;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = CounterRng::new(0, 0);
+        let mut l = Linear::new("l", 2, 3, &mut rng);
+        // Overwrite params with known values.
+        l.weight = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        l.bias = Tensor::from_vec([3], vec![0.1, 0.2, 0.3]);
+        let x = Tensor::from_vec([1, 2], vec![2.0, 5.0]);
+        let y = l.forward(StepCtx::new(0, 0), &x, Mode::Eval);
+        assert_eq!(y.data(), &[2.1, 5.2, 7.3]);
+    }
+
+    #[test]
+    fn gradients_pass_numeric_check() {
+        let mut rng = CounterRng::new(1, 0);
+        let layer = Linear::new("l", 4, 3, &mut rng);
+        numeric_grad_check(Box::new(layer), 5, 4, 2e-2);
+    }
+
+    #[test]
+    fn grads_accumulate_across_microbatches() {
+        let mut rng = CounterRng::new(2, 0);
+        let mut l = Linear::new("l", 2, 2, &mut rng);
+        let x = Tensor::ones([3, 2]);
+        let dy = Tensor::ones([3, 2]);
+        let c0 = StepCtx::new(0, 0);
+        let c1 = StepCtx::new(0, 1);
+        l.forward(c0, &x, Mode::Train);
+        l.forward(c1, &x, Mode::Train);
+        l.backward(c0, &dy);
+        let g1 = l.grads()[0].clone();
+        l.backward(c1, &dy);
+        let g2 = l.grads()[0].clone();
+        assert!(g2.max_abs_diff(&g1.scale(2.0)) < 1e-6);
+        l.zero_grads();
+        assert_eq!(l.grads()[0].sum(), 0.0);
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = CounterRng::new(3, 0);
+        let mut l = Linear::new("l", 2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        l.forward(StepCtx::new(0, 0), &x, Mode::Eval);
+        assert_eq!(l.cache.len(), 0);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = Linear::new("l", 8, 8, &mut CounterRng::new(9, 1));
+        let b = Linear::new("l", 8, 8, &mut CounterRng::new(9, 1));
+        assert!(a.weight.bit_eq(&b.weight));
+        assert!(a.bias.bit_eq(&b.bias));
+    }
+}

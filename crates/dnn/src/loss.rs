@@ -1,0 +1,138 @@
+//! Loss functions returning `(loss, gradient w.r.t. the prediction)`.
+
+use swift_tensor::Tensor;
+
+/// Mean softmax cross-entropy over the batch.
+///
+/// Returns the scalar loss and the gradient with respect to the logits,
+/// already divided by the batch size (so micro-batch gradients accumulate
+/// into the mean-loss gradient when each micro-batch is scaled by its
+/// share — see [`softmax_cross_entropy_scaled`]).
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    softmax_cross_entropy_scaled(logits, targets, 1.0 / targets.len() as f32)
+}
+
+/// Softmax cross-entropy where each example's loss *and* loss gradient
+/// are scaled by `example_weight` instead of `1/batch`. Pipeline training
+/// uses `1/total_mini_batch` so that summing micro-batch losses and
+/// gradients reproduces the full-batch mean exactly.
+pub fn softmax_cross_entropy_scaled(
+    logits: &Tensor,
+    targets: &[usize],
+    example_weight: f32,
+) -> (f32, Tensor) {
+    let (rows, cols) = logits.shape().as_matrix();
+    assert_eq!(rows, targets.len(), "target count must match batch size");
+    let probs = logits.softmax_rows();
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < cols, "target {t} out of range for {cols} classes");
+        let p = probs.at(&[r, t]).max(1e-12);
+        loss -= p.ln();
+        let g = &mut grad.data_mut()[r * cols..(r + 1) * cols];
+        g[t] -= 1.0;
+        for v in g.iter_mut() {
+            *v *= example_weight;
+        }
+    }
+    (loss * example_weight, grad)
+}
+
+/// Mean squared error and its gradient.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape());
+    let diff = pred.sub(target);
+    let n = pred.numel() as f32;
+    let loss = diff.sum_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Fraction of rows whose argmax equals the target.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    correct as f32 / targets.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Tensor::from_vec([2, 3], vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+        assert!(grad.abs().max() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros([1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_numeric() {
+        let logits = Tensor::from_vec([2, 3], vec![0.3, -0.1, 0.5, 0.0, 0.2, -0.4]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets);
+            let (fm, _) = softmax_cross_entropy(&lm, &targets);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "grad[{i}]: analytic {} vs numeric {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Softmax CE gradient per row sums to zero (probabilities − onehot).
+        let logits = Tensor::from_vec([1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_microbatch_grads_sum_to_full_batch() {
+        let logits = Tensor::from_vec([4, 2], vec![0.5, -0.5, 1.0, 0.0, -1.0, 0.3, 0.2, 0.1]);
+        let targets = [0usize, 1, 0, 1];
+        let (_, full_grad) = softmax_cross_entropy(&logits, &targets);
+        // Two micro-batches of 2, each scaled by 1/4.
+        let mb0 = Tensor::from_vec([2, 2], logits.data()[0..4].to_vec());
+        let mb1 = Tensor::from_vec([2, 2], logits.data()[4..8].to_vec());
+        let (_, g0) = softmax_cross_entropy_scaled(&mb0, &targets[0..2], 0.25);
+        let (_, g1) = softmax_cross_entropy_scaled(&mb1, &targets[2..4], 0.25);
+        let mut combined = g0.data().to_vec();
+        combined.extend_from_slice(g1.data());
+        let combined = Tensor::from_vec([4, 2], combined);
+        assert!(combined.max_abs_diff(&full_grad) < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Tensor::from_vec([2], vec![1.0, 3.0]);
+        let t = Tensor::from_vec([2], vec![0.0, 1.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

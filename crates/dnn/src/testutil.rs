@@ -1,0 +1,97 @@
+//! Shared test helpers: finite-difference gradient checking.
+
+use swift_tensor::{CounterRng, Tensor};
+
+use crate::layer::{Layer, Mode, StepCtx};
+
+/// Verifies a layer's analytic gradients against central finite
+/// differences, for both the input gradient and every parameter gradient.
+///
+/// The scalar loss is `Σ (output ⊙ w)` for a fixed random `w`, whose
+/// gradient w.r.t. the output is exactly `w`. Evaluations run in
+/// [`Mode::Train`] with a fixed [`StepCtx`] so stochastic layers (dropout)
+/// use the same mask for every probe.
+///
+/// Only used in tests; tolerance is relative-ish (`|a−n| ≤ tol·(1+|n|)`).
+pub fn numeric_grad_check(mut layer: Box<dyn Layer>, batch: usize, in_dim: usize, tol: f32) {
+    let ctx = StepCtx::new(0, 0);
+    let mut rng = CounterRng::new(0xC0FFEE, 0);
+    let x = Tensor::randn([batch, in_dim], 0.0, 1.0, &mut rng);
+
+    // Learn the output shape, build the loss weights.
+    let y0 = layer.forward(ctx, &x, Mode::Train);
+    layer.clear_cache();
+    let w = Tensor::randn(y0.shape().clone(), 0.0, 1.0, &mut rng);
+
+    // Analytic pass.
+    layer.zero_grads();
+    let _ = layer.forward(ctx, &x, Mode::Train);
+    let dx = layer.backward(ctx, &w);
+    let analytic_param_grads: Vec<Tensor> = layer.grads().iter().map(|g| (*g).clone()).collect();
+
+    let eps = 1e-2f32;
+    let eval = |layer: &mut Box<dyn Layer>, x: &Tensor| -> f32 {
+        let y = layer.forward(ctx, x, Mode::Train);
+        layer.clear_cache();
+        y.mul(&w).sum()
+    };
+
+    // Input gradient: probe a deterministic sample of elements.
+    let probes = probe_indices(x.numel(), 24);
+    for &i in &probes {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let numeric = (eval(&mut layer, &xp) - eval(&mut layer, &xm)) / (2.0 * eps);
+        let analytic = dx.data()[i];
+        assert!(
+            (analytic - numeric).abs() <= tol * (1.0 + numeric.abs()),
+            "input grad mismatch at {i}: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    // Parameter gradients.
+    let n_params = layer.params().len();
+    #[allow(clippy::needless_range_loop)] // p_idx indexes params and grads in lockstep
+    for p_idx in 0..n_params {
+        let numel = layer.params()[p_idx].numel();
+        for &i in &probe_indices(numel, 12) {
+            let orig = layer.params()[p_idx].data()[i];
+            layer.params_mut()[p_idx].data_mut()[i] = orig + eps;
+            let fp = eval(&mut layer, &x);
+            layer.params_mut()[p_idx].data_mut()[i] = orig - eps;
+            let fm = eval(&mut layer, &x);
+            layer.params_mut()[p_idx].data_mut()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = analytic_param_grads[p_idx].data()[i];
+            assert!(
+                (analytic - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "param {p_idx} grad mismatch at {i}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+/// A deterministic spread of up to `k` indices over `[0, n)`.
+fn probe_indices(n: usize, k: usize) -> Vec<usize> {
+    if n <= k {
+        (0..n).collect()
+    } else {
+        (0..k).map(|j| j * n / k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_indices_cover_bounds() {
+        assert_eq!(probe_indices(3, 10), vec![0, 1, 2]);
+        let p = probe_indices(100, 10);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|&i| i < 100));
+        assert_eq!(p[0], 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! The cluster launcher: spawns one OS thread per worker rank and wires up
+//! communicators, the failure controller, and the key-value store.
+
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+
+use crate::comm::{build_comms, respawn_comm, Comm, Fabric};
+use crate::failure::FailureController;
+use crate::kv::KvStore;
+use crate::topology::{Rank, Topology};
+
+/// Everything a worker thread needs.
+pub struct WorkerCtx {
+    /// This worker's communicator.
+    pub comm: Comm,
+    /// The shared key-value store (rank 0's in the paper).
+    pub kv: KvStore,
+    /// Cluster topology.
+    pub topology: Topology,
+}
+
+impl WorkerCtx {
+    /// This worker's rank.
+    pub fn rank(&self) -> Rank {
+        self.comm.rank()
+    }
+
+    /// The machine hosting this worker.
+    pub fn machine(&self) -> usize {
+        self.topology.machine_of(self.comm.rank())
+    }
+}
+
+/// A running in-process cluster.
+///
+/// Created with [`Cluster::new`]; worker threads are spawned with
+/// [`Cluster::spawn`]. The test/driver side keeps the handle to inject
+/// failures and spawn replacement workers.
+pub struct Cluster {
+    topology: Topology,
+    fc: Arc<FailureController>,
+    kv: KvStore,
+    fabric: Arc<Fabric>,
+    pending: Mutex<Vec<Option<Comm>>>,
+}
+
+impl Cluster {
+    /// Builds the fabric for `topology`.
+    pub fn new(topology: Topology) -> Self {
+        let fc = FailureController::new(topology.clone());
+        let (fabric, comms) = build_comms(topology.world_size(), fc.clone());
+        Cluster {
+            topology,
+            fc,
+            kv: KvStore::new(),
+            fabric,
+            pending: Mutex::new(comms.into_iter().map(Some).collect()),
+        }
+    }
+
+    /// The failure controller (injection + detection source of truth).
+    pub fn failure_controller(&self) -> Arc<FailureController> {
+        self.fc.clone()
+    }
+
+    /// The shared key-value store.
+    pub fn kv(&self) -> KvStore {
+        self.kv.clone()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Takes the worker context for `rank` (exactly once per rank; use
+    /// [`Cluster::respawn`] for replacements).
+    pub fn take_ctx(&self, rank: Rank) -> WorkerCtx {
+        let comm = self.pending.lock()[rank]
+            .take()
+            .unwrap_or_else(|| panic!("context for rank {rank} already taken"));
+        WorkerCtx { comm, kv: self.kv.clone(), topology: self.topology.clone() }
+    }
+
+    /// Spawns a worker thread for `rank` running `f`.
+    pub fn spawn<R, F>(&self, rank: Rank, f: F) -> thread::JoinHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(WorkerCtx) -> R + Send + 'static,
+    {
+        let ctx = self.take_ctx(rank);
+        thread::Builder::new()
+            .name(format!("worker-{rank}"))
+            .spawn(move || f(ctx))
+            .expect("failed to spawn worker thread")
+    }
+
+    /// Creates a fresh context for a *replacement* worker under an
+    /// existing rank (after [`FailureController::replace_machine`]): new
+    /// inbox, stale messages discarded.
+    pub fn respawn(&self, rank: Rank) -> WorkerCtx {
+        let comm = respawn_comm(&self.fabric, rank, self.topology.world_size(), self.fc.clone());
+        WorkerCtx { comm, kv: self.kv.clone(), topology: self.topology.clone() }
+    }
+
+    /// Runs `f` on every rank and joins all threads, returning results in
+    /// rank order. Panics in workers propagate.
+    pub fn run_all<R, F>(topology: Topology, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(WorkerCtx) -> R + Send + Sync + 'static,
+    {
+        let cluster = Cluster::new(topology);
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..cluster.topology.world_size())
+            .map(|rank| {
+                let f = f.clone();
+                cluster.spawn(rank, move |ctx| f(ctx))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommError;
+    use swift_tensor::Tensor;
+
+    #[test]
+    fn p2p_send_recv() {
+        let results = Cluster::run_all(Topology::uniform(1, 2), |mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm.send_tensor(1, 7, &Tensor::full([3], 5.0)).unwrap();
+                0.0
+            } else {
+                ctx.comm.recv_tensor(0, 7).unwrap().sum()
+            }
+        });
+        assert_eq!(results, vec![0.0, 15.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags() {
+        let results = Cluster::run_all(Topology::uniform(1, 2), |mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm.send_tensor(1, 1, &Tensor::scalar(1.0)).unwrap();
+                ctx.comm.send_tensor(1, 2, &Tensor::scalar(2.0)).unwrap();
+                0.0
+            } else {
+                // Receive tag 2 first, then tag 1 (stashed).
+                let b = ctx.comm.recv_tensor(0, 2).unwrap().item();
+                let a = ctx.comm.recv_tensor(0, 1).unwrap().item();
+                b * 10.0 + a
+            }
+        });
+        assert_eq!(results[1], 21.0);
+    }
+
+    #[test]
+    fn allreduce_is_rank_sum_and_deterministic() {
+        let run = || {
+            Cluster::run_all(Topology::uniform(2, 2), |mut ctx| {
+                let t = Tensor::full([4], (ctx.rank() + 1) as f32);
+                ctx.comm.allreduce_sum(&t).unwrap()
+            })
+        };
+        let a = run();
+        // 1+2+3+4 = 10 per element.
+        for t in &a {
+            assert_eq!(t.data(), &[10.0, 10.0, 10.0, 10.0]);
+        }
+        let b = run();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(x.bit_eq(y));
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_tree() {
+        let results = Cluster::run_all(Topology::uniform(1, 4), |mut ctx| {
+            let t = Tensor::from_vec([10], (0..10).map(|i| (i + ctx.rank()) as f32).collect());
+            let ring = ctx.comm.ring_allreduce_among(&[0, 1, 2, 3], &t).unwrap();
+            let tree = ctx.comm.allreduce_sum(&t).unwrap();
+            (ring, tree)
+        });
+        for (ring, tree) in &results {
+            assert!(ring.max_abs_diff(tree) < 1e-5);
+        }
+        // All ranks agree.
+        for (ring, _) in &results[1..] {
+            assert!(ring.bit_eq(&results[0].0));
+        }
+    }
+
+    #[test]
+    fn broadcast_among_subgroup() {
+        let results = Cluster::run_all(Topology::uniform(2, 2), |mut ctx| {
+            let group = [1usize, 3];
+            if group.contains(&ctx.rank()) {
+                let data = (ctx.rank() == 1).then(|| Tensor::full([2], 9.0));
+                ctx.comm
+                    .broadcast_tensor_among(&group, 1, data.as_ref())
+                    .unwrap()
+                    .sum()
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(results, vec![-1.0, 18.0, -1.0, 18.0]);
+    }
+
+    #[test]
+    fn all_gather_u64_reaches_consensus() {
+        let results = Cluster::run_all(Topology::uniform(1, 3), |mut ctx| {
+            ctx.comm
+                .all_gather_u64_among(&[0, 1, 2], 100 + ctx.rank() as u64)
+                .unwrap()
+        });
+        for r in &results {
+            assert_eq!(r, &vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn recv_from_killed_peer_errors() {
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+        let h1 = cluster.spawn(1, |mut ctx| ctx.comm.recv_tensor(0, 5));
+        // Rank 0 never sends; kill its machine.
+        let _ctx0 = cluster.take_ctx(0);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        fc.kill_machine(0);
+        let r = h1.join().unwrap();
+        assert_eq!(r, Err(CommError::PeerFailed { rank: 0 }));
+    }
+
+    #[test]
+    fn send_to_killed_peer_errors() {
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        cluster.failure_controller().kill_machine(1);
+        let ctx0 = cluster.take_ctx(0);
+        let _ctx1 = cluster.take_ctx(1);
+        assert_eq!(
+            ctx0.comm.send_tensor(1, 0, &Tensor::scalar(1.0)),
+            Err(CommError::PeerFailed { rank: 1 })
+        );
+        // And the global failure flag is visible (the paper's KV flag).
+        assert!(ctx0.comm.failure_controller().failure_detected());
+    }
+
+    #[test]
+    fn killed_self_unwinds() {
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+        let h = cluster.spawn(0, |mut ctx| ctx.comm.recv_tensor(1, 0));
+        let _ctx1 = cluster.take_ctx(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        fc.kill_machine(0);
+        assert_eq!(h.join().unwrap(), Err(CommError::SelfKilled));
+    }
+
+    #[test]
+    fn respawn_gets_fresh_inbox() {
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+        {
+            // Stale message sits in rank 1's inbox, then rank 1 dies.
+            let ctx0 = cluster.take_ctx(0);
+            ctx0.comm.send_tensor(1, 9, &Tensor::scalar(1.0)).unwrap();
+            let _ctx1 = cluster.take_ctx(1);
+            fc.kill_machine(1);
+        }
+        fc.replace_machine(1);
+        let mut new1 = cluster.respawn(1);
+        // The stale pre-failure message is gone; a fresh one arrives.
+        let fabric_send_ok = new1.comm.send_bytes(1, 1, bytes::Bytes::from_static(b"x")).is_ok();
+        assert!(fabric_send_ok, "self-send through fabric");
+        assert_eq!(new1.comm.recv_bytes(1, 1).unwrap().as_ref(), b"x");
+    }
+
+    #[test]
+    fn byte_counters_track_traffic() {
+        let results = Cluster::run_all(Topology::uniform(1, 2), |mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm.send_tensor(1, 1, &Tensor::zeros([100])).unwrap();
+                (ctx.comm.bytes_sent(), ctx.comm.bytes_received())
+            } else {
+                let _ = ctx.comm.recv_tensor(0, 1).unwrap();
+                (ctx.comm.bytes_sent(), ctx.comm.bytes_received())
+            }
+        });
+        // 100 f32 + tensor header = 416 payload bytes.
+        assert_eq!(results[0].0, results[1].1);
+        assert!(results[0].0 >= 400);
+        assert_eq!(results[0].1, 0);
+        assert_eq!(results[1].0, 0);
+    }
+
+    #[test]
+    fn failure_detection_latency_is_bounded() {
+        // The paper's detector polls NCCL for async errors; ours polls the
+        // failure flag each `POLL` (200 µs). A blocked receiver must
+        // observe a kill within a few milliseconds.
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+        let h = cluster.spawn(1, |mut ctx| {
+            let t0 = std::time::Instant::now();
+            let r = ctx.comm.recv_tensor(0, 9);
+            (r, t0.elapsed())
+        });
+        let _ctx0 = cluster.take_ctx(0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let kill_at = std::time::Instant::now();
+        fc.kill_machine(0);
+        let (r, _) = h.join().unwrap();
+        let latency = kill_at.elapsed();
+        assert!(r.is_err());
+        assert!(
+            latency < std::time::Duration::from_millis(50),
+            "detection took {latency:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let results = Cluster::run_all(Topology::uniform(1, 4), move |mut ctx| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            ctx.comm.barrier().unwrap();
+            // After the barrier, every rank must have incremented.
+            c2.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 4));
+        let _ = counter;
+    }
+}

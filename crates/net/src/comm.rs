@@ -1,0 +1,458 @@
+//! Point-to-point and collective communication over in-process channels,
+//! with NCCL-style asynchronous failure propagation.
+//!
+//! Each rank owns a [`Comm`] handle. Sends are non-blocking (unbounded
+//! channels); receives block with a poll loop that doubles as the failure
+//! detector: while waiting, the receiver checks the [`FailureController`]
+//! — the analogue of the paper's background thread polling
+//! `ncclCommGetAsyncError()` (§6).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use swift_tensor::{decode_slice, encode, Tensor};
+
+use crate::failure::FailureController;
+use crate::topology::Rank;
+
+/// Tag bit reserved for internal collective sequencing; user tags must
+/// leave it clear.
+pub const COLLECTIVE_BIT: u64 = 1 << 63;
+
+/// A communication failure, observed NCCL-style at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer rank is dead (fail-stop).
+    PeerFailed { rank: Rank },
+    /// This rank itself was killed; the worker must unwind (its volatile
+    /// state is considered lost).
+    SelfKilled,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            CommError::SelfKilled => write!(f, "this rank was killed"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+struct Message {
+    src: Rank,
+    tag: u64,
+    payload: Bytes,
+}
+
+/// Shared channel fabric: one inbox per rank, senders replaceable so a
+/// replacement worker can re-join under the same rank. Opaque to users;
+/// obtained from [`build_comms`] and passed to [`respawn_comm`].
+pub struct Fabric {
+    senders: RwLock<Vec<Sender<Message>>>,
+}
+
+/// A per-rank communicator handle.
+pub struct Comm {
+    rank: Rank,
+    world: usize,
+    fabric: Arc<Fabric>,
+    inbox: Receiver<Message>,
+    /// Out-of-order stash for messages whose (src, tag) didn't match.
+    stash: Vec<Message>,
+    fc: Arc<FailureController>,
+    coll_seq: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// Poll interval while blocked in `recv` (the failure-detector cadence).
+const POLL: Duration = Duration::from_micros(200);
+
+/// Builds the fabric and one `Comm` per rank.
+pub fn build_comms(world: usize, fc: Arc<FailureController>) -> (Arc<Fabric>, Vec<Comm>) {
+    let mut senders = Vec::with_capacity(world);
+    let mut receivers = Vec::with_capacity(world);
+    for _ in 0..world {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let fabric = Arc::new(Fabric { senders: RwLock::new(senders) });
+    let comms = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Comm {
+            rank,
+            world,
+            fabric: fabric.clone(),
+            inbox,
+            stash: Vec::new(),
+            fc: fc.clone(),
+            coll_seq: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        })
+        .collect();
+    (fabric, comms)
+}
+
+/// Creates a fresh `Comm` for `rank` on an existing fabric (a replacement
+/// worker joining after a failure, §3). Messages queued for the dead
+/// predecessor are discarded with its receiver.
+pub fn respawn_comm(
+    fabric: &Arc<Fabric>,
+    rank: Rank,
+    world: usize,
+    fc: Arc<FailureController>,
+) -> Comm {
+    let (s, r) = unbounded();
+    fabric.senders.write()[rank] = s;
+    Comm {
+        rank,
+        world,
+        fabric: fabric.clone(),
+        inbox: r,
+        stash: Vec::new(),
+        fc,
+        coll_seq: AtomicU64::new(0),
+        bytes_sent: AtomicU64::new(0),
+        bytes_received: AtomicU64::new(0),
+    }
+}
+
+impl Comm {
+    /// This communicator's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// The failure controller this communicator observes.
+    pub fn failure_controller(&self) -> &Arc<FailureController> {
+        &self.fc
+    }
+
+    fn check_self(&self) -> Result<(), CommError> {
+        if self.fc.is_dead(self.rank) {
+            Err(CommError::SelfKilled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sends raw bytes to `dst` with a user tag (must not set
+    /// [`COLLECTIVE_BIT`]).
+    pub fn send_bytes(&self, dst: Rank, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        self.check_self()?;
+        if self.fc.is_dead(dst) {
+            return Err(CommError::PeerFailed { rank: dst });
+        }
+        self.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let msg = Message { src: self.rank, tag, payload };
+        // A send can still race with the peer dying; that surfaces on the
+        // peer's side (or on our next call), matching async NCCL errors.
+        let _ = self.fabric.senders.read()[dst].send(msg);
+        Ok(())
+    }
+
+    /// Receives raw bytes from `src` with the given tag, blocking until
+    /// the message arrives or a failure is detected.
+    pub fn recv_bytes(&mut self, src: Rank, tag: u64) -> Result<Bytes, CommError> {
+        loop {
+            self.check_self()?;
+            if let Some(pos) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
+                let payload = self.stash.swap_remove(pos).payload;
+                self.bytes_received.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                return Ok(payload);
+            }
+            match self.inbox.recv_timeout(POLL) {
+                Ok(m) if m.src == src && m.tag == tag => {
+                    self.bytes_received.fetch_add(m.payload.len() as u64, Ordering::Relaxed);
+                    return Ok(m.payload);
+                }
+                Ok(m) => self.stash.push(m),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Failure detector: the sender died and nothing is
+                    // buffered for us → the message will never come.
+                    if self.fc.is_dead(src) {
+                        return Err(CommError::PeerFailed { rank: src });
+                    }
+                    // Global failure flag (§6): some *other* machine died.
+                    // Our sender may be alive but itself blocked on the
+                    // dead machine, so this receive would hang — abort,
+                    // reporting the actually-dead rank, exactly like
+                    // workers aborting their NCCL communicators when the
+                    // KV-store flag is set.
+                    if self.fc.failure_detected() {
+                        if self.fc.is_dead(self.rank) {
+                            return Err(CommError::SelfKilled);
+                        }
+                        let rank = self
+                            .fc
+                            .dead_ranks()
+                            .into_iter()
+                            .find(|&r| r != self.rank)
+                            .unwrap_or(src);
+                        return Err(CommError::PeerFailed { rank });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerFailed { rank: src });
+                }
+            }
+        }
+    }
+
+    /// Sends a tensor (encoded on the wire).
+    pub fn send_tensor(&self, dst: Rank, tag: u64, t: &Tensor) -> Result<(), CommError> {
+        self.send_bytes(dst, tag, encode(t))
+    }
+
+    /// Receives a tensor.
+    pub fn recv_tensor(&mut self, src: Rank, tag: u64) -> Result<Tensor, CommError> {
+        let b = self.recv_bytes(src, tag)?;
+        Ok(decode_slice(&b).expect("malformed tensor payload"))
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        COLLECTIVE_BIT | self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current collective sequence number. Collectives only match between
+    /// communicators whose sequences agree; after a failure, survivors and
+    /// the (fresh, sequence-zero) replacement must resynchronize — see the
+    /// recovery fence in `swift-core`.
+    pub fn coll_seq(&self) -> u64 {
+        self.coll_seq.load(Ordering::SeqCst)
+    }
+
+    /// Overwrites the collective sequence number (recovery fence only).
+    pub fn set_coll_seq(&self, v: u64) {
+        self.coll_seq.store(v, Ordering::SeqCst);
+    }
+
+    /// Bytes sent through this communicator (payloads only).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received through this communicator (payloads only).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Discards every buffered inbound message (stash + channel). Called
+    /// during the recovery fence: pre-failure in-flight traffic must not
+    /// satisfy post-recovery receives.
+    pub fn purge(&mut self) {
+        self.stash.clear();
+        while self.inbox.try_recv().is_ok() {}
+    }
+
+    /// Barrier among `participants` (must be called by all of them, in the
+    /// same collective order). Root is the smallest rank.
+    pub fn barrier_among(&mut self, participants: &[Rank]) -> Result<(), CommError> {
+        let tag = self.next_coll_tag();
+        let root = *participants.iter().min().expect("empty participant set");
+        if self.rank == root {
+            for &r in participants.iter().filter(|&&r| r != root) {
+                self.recv_bytes(r, tag)?;
+            }
+            for &r in participants.iter().filter(|&&r| r != root) {
+                self.send_bytes(r, tag, Bytes::new())?;
+            }
+        } else {
+            self.send_bytes(root, tag, Bytes::new())?;
+            self.recv_bytes(root, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Full-world barrier.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        let all: Vec<Rank> = (0..self.world).collect();
+        self.barrier_among(&all)
+    }
+
+    /// Broadcast raw bytes from `root` among `participants`.
+    pub fn broadcast_bytes_among(
+        &mut self,
+        participants: &[Rank],
+        root: Rank,
+        data: Option<Bytes>,
+    ) -> Result<Bytes, CommError> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let payload = data.expect("root must supply the broadcast payload");
+            for &r in participants.iter().filter(|&&r| r != root) {
+                self.send_bytes(r, tag, payload.clone())?;
+            }
+            Ok(payload)
+        } else {
+            self.recv_bytes(root, tag)
+        }
+    }
+
+    /// Broadcast a tensor from `root` among `participants` (used by
+    /// replication-based recovery to ship the surviving replica's state).
+    pub fn broadcast_tensor_among(
+        &mut self,
+        participants: &[Rank],
+        root: Rank,
+        t: Option<&Tensor>,
+    ) -> Result<Tensor, CommError> {
+        let b = self.broadcast_bytes_among(participants, root, t.map(encode))?;
+        Ok(decode_slice(&b).expect("malformed tensor payload"))
+    }
+
+    /// Deterministic all-reduce (sum) among `participants`: the smallest
+    /// rank gathers contributions in ascending rank order, sums them, and
+    /// broadcasts the result. Rank order fixes the floating-point
+    /// reduction order, so every run produces bit-identical results —
+    /// required for replay determinism (§6).
+    pub fn allreduce_sum_among(
+        &mut self,
+        participants: &[Rank],
+        t: &Tensor,
+    ) -> Result<Tensor, CommError> {
+        let tag = self.next_coll_tag();
+        let mut sorted: Vec<Rank> = participants.to_vec();
+        sorted.sort_unstable();
+        let root = sorted[0];
+        if self.rank == root {
+            let mut acc = t.clone();
+            for &r in sorted.iter().skip(1) {
+                let contrib = {
+                    let b = self.recv_bytes(r, tag)?;
+                    decode_slice(&b).expect("malformed tensor payload")
+                };
+                acc.add_inplace(&contrib);
+            }
+            for &r in sorted.iter().skip(1) {
+                self.send_bytes(r, tag, encode(&acc))?;
+            }
+            Ok(acc)
+        } else {
+            self.send_bytes(root, tag, encode(t))?;
+            let b = self.recv_bytes(root, tag)?;
+            Ok(decode_slice(&b).expect("malformed tensor payload"))
+        }
+    }
+
+    /// Full-world deterministic all-reduce (sum).
+    pub fn allreduce_sum(&mut self, t: &Tensor) -> Result<Tensor, CommError> {
+        let all: Vec<Rank> = (0..self.world).collect();
+        self.allreduce_sum_among(&all, t)
+    }
+
+    /// Ring all-reduce (sum): reduce-scatter then all-gather over the ring
+    /// of `participants`. Deterministic (the ring fixes the reduction
+    /// order) but with a different rounding order than
+    /// [`allreduce_sum_among`](Comm::allreduce_sum_among); offered for bandwidth-optimal synchronization
+    /// at scale.
+    pub fn ring_allreduce_among(
+        &mut self,
+        participants: &[Rank],
+        t: &Tensor,
+    ) -> Result<Tensor, CommError> {
+        let mut ring: Vec<Rank> = participants.to_vec();
+        ring.sort_unstable();
+        let n = ring.len();
+        if n == 1 {
+            return Ok(t.clone());
+        }
+        let me = ring.iter().position(|&r| r == self.rank).expect("not a participant");
+        let next = ring[(me + 1) % n];
+        let prev = ring[(me + n - 1) % n];
+        let numel = t.numel();
+        // Chunk boundaries: chunk c covers [floor(c·numel/n), floor((c+1)·numel/n)).
+        let bounds: Vec<usize> = (0..=n).map(|c| c * numel / n).collect();
+        let mut data = t.data().to_vec();
+        let tag_base = self.next_coll_tag();
+
+        // Reduce-scatter: after n−1 steps, chunk c is fully summed at rank
+        // index (c+1) mod n.
+        for step in 0..n - 1 {
+            let send_c = (me + n - step) % n;
+            let recv_c = (me + n - 1 - step) % n;
+            let tag = tag_base ^ (step as u64) << 32;
+            let chunk = Bytes::copy_from_slice(bytemuck_f32(&data[bounds[send_c]..bounds[send_c + 1]]));
+            self.send_bytes(next, tag, chunk)?;
+            let incoming = self.recv_bytes(prev, tag)?;
+            let vals = f32_from_bytes(&incoming);
+            for (dst, v) in data[bounds[recv_c]..bounds[recv_c + 1]].iter_mut().zip(vals) {
+                *dst += v;
+            }
+        }
+        // All-gather: circulate the finished chunks.
+        for step in 0..n - 1 {
+            let send_c = (me + 1 + n - step) % n;
+            let recv_c = (me + n - step) % n;
+            let tag = tag_base ^ (0x100 + step as u64) << 32;
+            let chunk = Bytes::copy_from_slice(bytemuck_f32(&data[bounds[send_c]..bounds[send_c + 1]]));
+            self.send_bytes(next, tag, chunk)?;
+            let incoming = self.recv_bytes(prev, tag)?;
+            let vals = f32_from_bytes(&incoming);
+            for (dst, v) in data[bounds[recv_c]..bounds[recv_c + 1]].iter_mut().zip(vals) {
+                *dst = v;
+            }
+        }
+        Ok(Tensor::from_vec(t.shape().clone(), data))
+    }
+
+    /// Gathers one `u64` from every participant at every participant
+    /// (used to reach consensus on the pre-failure iteration, §6
+    /// "Update-undo" in pipeline parallelism). Returns values in
+    /// ascending-rank order.
+    pub fn all_gather_u64_among(
+        &mut self,
+        participants: &[Rank],
+        value: u64,
+    ) -> Result<Vec<u64>, CommError> {
+        let tag = self.next_coll_tag();
+        let mut sorted: Vec<Rank> = participants.to_vec();
+        sorted.sort_unstable();
+        let root = sorted[0];
+        if self.rank == root {
+            let mut vals = vec![value];
+            for &r in sorted.iter().skip(1) {
+                let b = self.recv_bytes(r, tag)?;
+                vals.push(u64::from_le_bytes(b[..8].try_into().unwrap()));
+            }
+            let mut payload = Vec::with_capacity(8 * vals.len());
+            for v in &vals {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            let payload = Bytes::from(payload);
+            for &r in sorted.iter().skip(1) {
+                self.send_bytes(r, tag, payload.clone())?;
+            }
+            Ok(vals)
+        } else {
+            self.send_bytes(root, tag, Bytes::copy_from_slice(&value.to_le_bytes()))?;
+            let b = self.recv_bytes(root, tag)?;
+            Ok(b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+        }
+    }
+}
+
+fn bytemuck_f32(v: &[f32]) -> &[u8] {
+    // Safety: f32 and u8 have no invalid bit patterns; alignment of u8 is 1.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
+}
+
+fn f32_from_bytes(b: &[u8]) -> impl Iterator<Item = f32> + '_ {
+    b.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+}

@@ -1,0 +1,161 @@
+//! Fail-stop failure injection and detection.
+//!
+//! The paper assumes a fail-stop model (§3): a machine crashes, its
+//! workers' volatile state is lost, and survivors detect the failure via
+//! communication errors (NCCL's `ncclCommGetAsyncError`) or the failure
+//! flag in the rank-0 key-value store. [`FailureController`] is the
+//! injector and the detector's source of truth.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::topology::{MachineId, Rank, Topology};
+
+/// Shared fail-stop state for a cluster.
+#[derive(Debug)]
+pub struct FailureController {
+    topology: Topology,
+    /// Per-rank "this rank is dead".
+    dead: Vec<AtomicBool>,
+    /// Global failure flag (the paper's KV-store flag at rank 0).
+    failure_flag: AtomicBool,
+    /// Generation counter: bumped on every injection, letting detectors
+    /// distinguish successive failures (cascading failures, Appendix B).
+    generation: AtomicU64,
+}
+
+impl FailureController {
+    /// Creates a controller with all ranks alive.
+    pub fn new(topology: Topology) -> Arc<Self> {
+        let dead = (0..topology.world_size()).map(|_| AtomicBool::new(false)).collect();
+        Arc::new(FailureController {
+            topology,
+            dead,
+            failure_flag: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Kills every rank on `machine` (fail-stop). Survivors observe it on
+    /// their next communication involving those ranks, or by polling
+    /// [`failure_detected`](Self::failure_detected).
+    pub fn kill_machine(&self, machine: MachineId) {
+        for &r in self.topology.ranks_of(machine) {
+            self.dead[r].store(true, Ordering::SeqCst);
+        }
+        self.failure_flag.store(true, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Kills several machines *atomically* (one failure generation) —
+    /// simultaneous multi-machine failures, Appendix B.
+    pub fn kill_machines(&self, machines: &[MachineId]) {
+        for &m in machines {
+            for &r in self.topology.ranks_of(m) {
+                self.dead[r].store(true, Ordering::SeqCst);
+            }
+        }
+        self.failure_flag.store(true, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Kills a single rank (rare in practice — the paper logs only
+    /// machine-level traffic for this reason — but supported).
+    pub fn kill_rank(&self, rank: Rank) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+        self.failure_flag.store(true, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Revives every rank on `machine` (the replacement machine joining,
+    /// §3). Clears the global flag if no rank remains dead.
+    pub fn replace_machine(&self, machine: MachineId) {
+        for &r in self.topology.ranks_of(machine) {
+            self.dead[r].store(false, Ordering::SeqCst);
+        }
+        if !self.any_dead() {
+            self.failure_flag.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether `rank` is currently dead.
+    pub fn is_dead(&self, rank: Rank) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Whether any rank is dead.
+    pub fn any_dead(&self) -> bool {
+        self.dead.iter().any(|d| d.load(Ordering::SeqCst))
+    }
+
+    /// The global failure flag (what workers poll, §6 "Failure
+    /// detection").
+    pub fn failure_detected(&self) -> bool {
+        self.failure_flag.load(Ordering::SeqCst)
+    }
+
+    /// Current failure generation (0 = never failed).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// The machines with at least one dead rank.
+    pub fn dead_machines(&self) -> Vec<MachineId> {
+        (0..self.topology.num_machines())
+            .filter(|&m| self.topology.ranks_of(m).iter().any(|&r| self.is_dead(r)))
+            .collect()
+    }
+
+    /// The currently dead ranks.
+    pub fn dead_ranks(&self) -> Vec<Rank> {
+        (0..self.topology.world_size()).filter(|&r| self.is_dead(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_and_replace_machine() {
+        let fc = FailureController::new(Topology::uniform(2, 2));
+        assert!(!fc.failure_detected());
+        fc.kill_machine(1);
+        assert!(fc.failure_detected());
+        assert!(fc.is_dead(2) && fc.is_dead(3));
+        assert!(!fc.is_dead(0));
+        assert_eq!(fc.dead_machines(), vec![1]);
+        assert_eq!(fc.dead_ranks(), vec![2, 3]);
+        assert_eq!(fc.generation(), 1);
+        fc.replace_machine(1);
+        assert!(!fc.failure_detected());
+        assert!(!fc.any_dead());
+    }
+
+    #[test]
+    fn cascading_failures_bump_generation() {
+        let fc = FailureController::new(Topology::uniform(3, 1));
+        fc.kill_machine(0);
+        fc.kill_machine(2);
+        assert_eq!(fc.generation(), 2);
+        assert_eq!(fc.dead_machines(), vec![0, 2]);
+        fc.replace_machine(0);
+        // Still failed: machine 2 is down.
+        assert!(fc.failure_detected());
+        fc.replace_machine(2);
+        assert!(!fc.failure_detected());
+    }
+
+    #[test]
+    fn kill_single_rank() {
+        let fc = FailureController::new(Topology::uniform(2, 2));
+        fc.kill_rank(1);
+        assert_eq!(fc.dead_ranks(), vec![1]);
+        assert_eq!(fc.dead_machines(), vec![0]);
+    }
+}

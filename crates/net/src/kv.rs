@@ -1,0 +1,130 @@
+//! A tiny global key-value store, co-located with rank 0 in the paper
+//! (§6 "Failure detection"): workers publish the failure flag and other
+//! small coordination facts here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Shared key-value store with blocking waits.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    inner: Arc<KvInner>,
+}
+
+#[derive(Debug, Default)]
+struct KvInner {
+    map: Mutex<HashMap<String, String>>,
+    cv: Condvar,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` to `value`, waking any waiters.
+    pub fn set(&self, key: &str, value: impl Into<String>) {
+        let mut m = self.inner.map.lock();
+        m.insert(key.to_string(), value.into());
+        self.inner.cv.notify_all();
+    }
+
+    /// Current value of `key`, if any.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.inner.map.lock().get(key).cloned()
+    }
+
+    /// Removes `key`, returning its previous value.
+    pub fn remove(&self, key: &str) -> Option<String> {
+        let mut m = self.inner.map.lock();
+        let v = m.remove(key);
+        self.inner.cv.notify_all();
+        v
+    }
+
+    /// Blocks until `key` exists (or the timeout elapses), returning its
+    /// value.
+    pub fn wait_for(&self, key: &str, timeout: Duration) -> Option<String> {
+        let deadline = Instant::now() + timeout;
+        let mut m = self.inner.map.lock();
+        loop {
+            if let Some(v) = m.get(key) {
+                return Some(v.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.inner.cv.wait_until(&mut m, deadline).timed_out() {
+                return m.get(key).cloned();
+            }
+        }
+    }
+
+    /// Atomically increments an integer counter at `key`, returning the
+    /// new value (missing keys count as 0).
+    pub fn incr(&self, key: &str) -> i64 {
+        let mut m = self.inner.map.lock();
+        let v = m.get(key).and_then(|s| s.parse::<i64>().ok()).unwrap_or(0) + 1;
+        m.insert(key.to_string(), v.to_string());
+        self.inner.cv.notify_all();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn set_get_remove() {
+        let kv = KvStore::new();
+        assert!(kv.get("a").is_none());
+        kv.set("a", "1");
+        assert_eq!(kv.get("a").as_deref(), Some("1"));
+        assert_eq!(kv.remove("a").as_deref(), Some("1"));
+        assert!(kv.get("a").is_none());
+    }
+
+    #[test]
+    fn wait_for_cross_thread() {
+        let kv = KvStore::new();
+        let kv2 = kv.clone();
+        let h = thread::spawn(move || kv2.wait_for("flag", Duration::from_secs(2)));
+        thread::sleep(Duration::from_millis(20));
+        kv.set("flag", "up");
+        assert_eq!(h.join().unwrap().as_deref(), Some("up"));
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let kv = KvStore::new();
+        let t0 = Instant::now();
+        assert!(kv.wait_for("never", Duration::from_millis(30)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn incr_is_atomic_across_threads() {
+        let kv = KvStore::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let kv = kv.clone();
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        kv.incr("n");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.get("n").as_deref(), Some("800"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # swift-net
+//!
+//! An in-process "cluster" runtime standing in for the paper's
+//! multi-machine GPU cluster with PyTorch/NCCL:
+//!
+//! - one OS thread per worker rank, crossbeam channels as the network;
+//! - [`Comm`]: point-to-point sends/receives plus deterministic
+//!   collectives (tree and ring all-reduce, broadcast, barriers,
+//!   `all_gather_u64` for pre-failure-iteration consensus);
+//! - [`FailureController`]: fail-stop injection (kill a machine) and
+//!   NCCL-style asynchronous detection — blocked receivers observe
+//!   `PeerFailed`, victims observe `SelfKilled` and unwind, losing their
+//!   volatile state exactly as a crashed machine would;
+//! - [`KvStore`]: the rank-0 key-value store holding the failure flag
+//!   (§6);
+//! - [`Topology`]: the rank↔machine map that decides which traffic is
+//!   *inter-machine* and therefore logged (§5.1).
+//!
+//! The substitution argument (see DESIGN.md): SWIFT's protocols are
+//! interleaving- and failure-semantics properties, which threads +
+//! channels reproduce; wall-clock performance is modeled separately in
+//! `swift-sim`.
+
+pub mod cluster;
+pub mod comm;
+pub mod failure;
+pub mod kv;
+pub mod topology;
+
+pub use cluster::{Cluster, WorkerCtx};
+pub use comm::{build_comms, respawn_comm, Comm, CommError, COLLECTIVE_BIT};
+pub use failure::FailureController;
+pub use kv::KvStore;
+pub use topology::{MachineId, Rank, Topology};

@@ -1,0 +1,107 @@
+//! Cluster topology: which worker ranks live on which machine.
+//!
+//! SWIFT's logging policy is topology-driven (§5.1): only *inter-machine*
+//! traffic is logged, because machines fail as a unit while individual
+//! GPUs rarely do. The topology answers exactly that question.
+
+/// A worker rank (one GPU in the paper's terms).
+pub type Rank = usize;
+
+/// A machine identifier.
+pub type MachineId = usize;
+
+/// Static mapping of ranks onto machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `machine_of[rank]` = machine hosting that rank.
+    machine_of: Vec<MachineId>,
+    /// `ranks_of[machine]` = ranks hosted there, ascending.
+    ranks_of: Vec<Vec<Rank>>,
+}
+
+impl Topology {
+    /// `machines` machines with `per_machine` consecutive ranks each
+    /// (rank `r` lives on machine `r / per_machine`), matching the paper's
+    /// DGX layout.
+    pub fn uniform(machines: usize, per_machine: usize) -> Self {
+        assert!(machines >= 1 && per_machine >= 1);
+        let machine_of = (0..machines * per_machine).map(|r| r / per_machine).collect();
+        let ranks_of = (0..machines)
+            .map(|m| (m * per_machine..(m + 1) * per_machine).collect())
+            .collect();
+        Topology { machine_of, ranks_of }
+    }
+
+    /// Arbitrary layout: `ranks_of[m]` lists machine `m`'s ranks.
+    pub fn from_groups(groups: Vec<Vec<Rank>>) -> Self {
+        let world: usize = groups.iter().map(|g| g.len()).sum();
+        let mut machine_of = vec![usize::MAX; world];
+        for (m, ranks) in groups.iter().enumerate() {
+            for &r in ranks {
+                assert!(r < world, "rank {r} out of range");
+                assert_eq!(machine_of[r], usize::MAX, "rank {r} assigned twice");
+                machine_of[r] = m;
+            }
+        }
+        assert!(machine_of.iter().all(|&m| m != usize::MAX), "unassigned rank");
+        Topology { machine_of, ranks_of: groups }
+    }
+
+    /// Total number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.machine_of.len()
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.ranks_of.len()
+    }
+
+    /// Machine hosting `rank`.
+    pub fn machine_of(&self, rank: Rank) -> MachineId {
+        self.machine_of[rank]
+    }
+
+    /// Ranks on `machine`.
+    pub fn ranks_of(&self, machine: MachineId) -> &[Rank] {
+        &self.ranks_of[machine]
+    }
+
+    /// True when the two ranks live on different machines — the traffic
+    /// SWIFT logs.
+    pub fn is_inter_machine(&self, a: Rank, b: Rank) -> bool {
+        self.machine_of[a] != self.machine_of[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_layout() {
+        let t = Topology::uniform(2, 4);
+        assert_eq!(t.world_size(), 8);
+        assert_eq!(t.num_machines(), 2);
+        assert_eq!(t.machine_of(3), 0);
+        assert_eq!(t.machine_of(4), 1);
+        assert_eq!(t.ranks_of(1), &[4, 5, 6, 7]);
+        assert!(t.is_inter_machine(3, 4));
+        assert!(!t.is_inter_machine(0, 3));
+    }
+
+    #[test]
+    fn custom_groups() {
+        let t = Topology::from_groups(vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(t.machine_of(2), 0);
+        assert_eq!(t.machine_of(1), 1);
+        assert!(t.is_inter_machine(0, 1));
+        assert!(!t.is_inter_machine(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_rank_rejected() {
+        Topology::from_groups(vec![vec![0, 1], vec![1]]);
+    }
+}

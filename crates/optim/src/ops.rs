@@ -1,0 +1,163 @@
+//! Operator inventory for optimizer update rules (paper Table 1).
+//!
+//! An optimizer's update step is a composition of primitive operators. The
+//! update is *undoable* exactly when every operator in it is mathematically
+//! invertible (or, as with LAMB's norm, a small scalar can be saved to make
+//! it so).
+
+/// A primitive operator appearing in an optimizer update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum OpKind {
+    /// Element-wise addition — invertible (subtract).
+    EwAdd,
+    /// Scalar multiplication — invertible (divide), exact for powers of two.
+    ScalarMul,
+    /// Element-wise multiplication — invertible (element-wise divide).
+    EwMul,
+    /// Element-wise square root — invertible (square).
+    EwSqrt,
+    /// Element-wise division — invertible (multiply).
+    EwDiv,
+    /// Element-wise maximum — **not** invertible (loses the smaller operand).
+    EwMax,
+    /// Reduction to a scalar (sum / norm) — **not** invertible in general;
+    /// LAMB makes it undoable by saving the scalar.
+    Sum,
+}
+
+impl OpKind {
+    /// Whether the operator has an exact mathematical inverse.
+    pub fn invertible(self) -> bool {
+        !matches!(self, OpKind::EwMax | OpKind::Sum)
+    }
+
+    /// Human-readable name matching the paper's Table 1 rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::EwAdd => "EW add",
+            OpKind::ScalarMul => "scalar mul",
+            OpKind::EwMul => "EW mul",
+            OpKind::EwSqrt => "EW sqrt",
+            OpKind::EwDiv => "EW div",
+            OpKind::EwMax => "EW-max",
+            OpKind::Sum => "sum",
+        }
+    }
+
+    /// All operators, in the paper's Table 1 row order.
+    pub fn all() -> &'static [OpKind] {
+        &[
+            OpKind::EwAdd,
+            OpKind::ScalarMul,
+            OpKind::EwMul,
+            OpKind::EwSqrt,
+            OpKind::EwDiv,
+            OpKind::EwMax,
+            OpKind::Sum,
+        ]
+    }
+}
+
+/// One row of the paper's Table 1: an optimizer and the operators its
+/// update rule uses.
+#[derive(Debug, Clone)]
+pub struct OperatorProfile {
+    /// Optimizer name.
+    pub optimizer: &'static str,
+    /// Operators used by the update rule.
+    pub ops: &'static [OpKind],
+}
+
+impl OperatorProfile {
+    /// Whether every operator in the profile is invertible, i.e., the
+    /// update can be undone without auxiliary data.
+    pub fn fully_invertible(&self) -> bool {
+        self.ops.iter().all(|o| o.invertible())
+    }
+
+    /// Whether the update can be undone at all (possibly by saving a
+    /// scalar, as LAMB does for its norm).
+    pub fn undoable(&self) -> bool {
+        // EW-max destroys information that no scalar can recover; a scalar
+        // `sum`/norm can be saved.
+        !self.ops.contains(&OpKind::EwMax)
+    }
+}
+
+/// The paper's Table 1, generated from the optimizer implementations.
+pub fn table1() -> Vec<OperatorProfile> {
+    vec![
+        OperatorProfile { optimizer: "SGD", ops: &[OpKind::EwAdd, OpKind::ScalarMul] },
+        OperatorProfile {
+            optimizer: "Adam",
+            ops: &[OpKind::EwAdd, OpKind::ScalarMul, OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv],
+        },
+        OperatorProfile {
+            optimizer: "AdamW",
+            ops: &[OpKind::EwAdd, OpKind::ScalarMul, OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv],
+        },
+        OperatorProfile {
+            optimizer: "LAMB",
+            ops: &[
+                OpKind::EwAdd,
+                OpKind::ScalarMul,
+                OpKind::EwMul,
+                OpKind::EwSqrt,
+                OpKind::EwDiv,
+                OpKind::Sum,
+            ],
+        },
+        OperatorProfile {
+            optimizer: "AMSGrad",
+            ops: &[
+                OpKind::EwAdd,
+                OpKind::ScalarMul,
+                OpKind::EwMul,
+                OpKind::EwSqrt,
+                OpKind::EwDiv,
+                OpKind::EwMax,
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invertibility_classification() {
+        assert!(OpKind::EwAdd.invertible());
+        assert!(OpKind::ScalarMul.invertible());
+        assert!(OpKind::EwMul.invertible());
+        assert!(OpKind::EwSqrt.invertible());
+        assert!(OpKind::EwDiv.invertible());
+        assert!(!OpKind::EwMax.invertible());
+        assert!(!OpKind::Sum.invertible());
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        // SGD: only linear ops, fully invertible.
+        assert!(t[0].fully_invertible() && t[0].undoable());
+        // Adam/AdamW: all element-wise invertible ops.
+        assert!(t[1].fully_invertible() && t[2].fully_invertible());
+        // LAMB: contains a non-invertible sum but is undoable via a saved
+        // scalar, exactly as the paper states.
+        assert!(!t[3].fully_invertible());
+        assert!(t[3].undoable());
+        // AMSGrad: EW-max makes undo impossible.
+        assert!(!t[4].fully_invertible());
+        assert!(!t[4].undoable());
+    }
+
+    #[test]
+    fn all_ops_listed_once() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = OpKind::all().iter().collect();
+        assert_eq!(set.len(), OpKind::all().len());
+        assert_eq!(set.len(), 7);
+    }
+}

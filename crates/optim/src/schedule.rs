@@ -1,0 +1,163 @@
+//! Learning-rate schedules (the `{η_t}` sequences of Algorithms 1–8).
+//!
+//! Undo correctness with a schedule is subtle: reverting step `t` must use
+//! `η_t`, not `η_{t+1}` — which is why the optimizers record the rate each
+//! step actually used (`last_lr`). A schedule is a pure function of the
+//! iteration, so a recovered worker recomputes the same rate the
+//! pre-failure execution used (determinism, §6).
+
+/// A deterministic learning-rate schedule: `lr(t)` for iteration `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup to `peak` over `warmup` iterations, then constant.
+    Warmup {
+        /// Peak rate after warmup.
+        peak: f32,
+        /// Warmup length in iterations.
+        warmup: u64,
+    },
+    /// Step decay: multiply by `gamma` every `every` iterations.
+    StepDecay {
+        /// Initial rate.
+        lr0: f32,
+        /// Decay factor per step (0 < γ ≤ 1).
+        gamma: f32,
+        /// Iterations between decays.
+        every: u64,
+    },
+    /// Cosine annealing from `peak` to `floor` over `total` iterations.
+    Cosine {
+        /// Initial (maximum) rate.
+        peak: f32,
+        /// Final (minimum) rate.
+        floor: f32,
+        /// Horizon in iterations.
+        total: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for iteration `t` (0-based).
+    pub fn at(&self, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { peak, warmup } => {
+                if warmup == 0 || t >= warmup {
+                    peak
+                } else {
+                    peak * (t + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::StepDecay { lr0, gamma, every } => {
+                lr0 * gamma.powi((t / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { peak, floor, total } => {
+                if t >= total {
+                    floor
+                } else {
+                    let phase = std::f32::consts::PI * t as f32 / total as f32;
+                    floor + 0.5 * (peak - floor) * (1.0 + phase.cos())
+                }
+            }
+        }
+    }
+
+    /// Applies the schedule to an optimizer for iteration `t` (call before
+    /// the step).
+    pub fn apply(&self, opt: &mut dyn crate::Optimizer, t: u64) {
+        opt.set_lr(self.at(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OptimizerKind;
+    use swift_tensor::{CounterRng, Tensor};
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { peak: 1.0, warmup: 10 };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { lr0: 0.8, gamma: 0.5, every: 100 };
+        assert_eq!(s.at(0), 0.8);
+        assert_eq!(s.at(99), 0.8);
+        assert_eq!(s.at(100), 0.4);
+        assert_eq!(s.at(250), 0.2);
+    }
+
+    #[test]
+    fn cosine_monotone_decreasing() {
+        let s = LrSchedule::Cosine { peak: 1.0, floor: 0.01, total: 100 };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        let mut prev = f32::INFINITY;
+        for t in 0..100 {
+            let v = s.at(t);
+            assert!(v <= prev + 1e-7, "cosine must decrease");
+            assert!(v >= 0.01 - 1e-6);
+            prev = v;
+        }
+        assert_eq!(s.at(100), 0.01);
+        assert_eq!(s.at(500), 0.01);
+    }
+
+    #[test]
+    fn undo_uses_the_stepped_rate_not_the_next_one() {
+        // Step at η(t)=0.5, then move the schedule on to η(t+1)=0.05; the
+        // undo must still revert with 0.5 (the optimizer's recorded
+        // last_lr), restoring the original parameters.
+        let sched = LrSchedule::StepDecay { lr0: 0.5, gamma: 0.1, every: 1 };
+        let mut opt = OptimizerKind::SgdMomentum {
+            lr: 0.5,
+            weight_decay: 0.0,
+            momentum: 0.9,
+            dampening: 0.0,
+        }
+        .build();
+        let mut rng = CounterRng::new(8, 0);
+        let p0 = Tensor::randn([32], 0.0, 1.0, &mut rng);
+        let g = Tensor::randn([32], 0.0, 0.1, &mut rng);
+        let mut p = p0.clone();
+        sched.apply(opt.as_mut(), 0);
+        opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
+        // Schedule moves on (as it would before the next iteration)…
+        sched.apply(opt.as_mut(), 1);
+        assert!((opt.lr() - 0.05).abs() < 1e-6);
+        // …but undo still reverts the *taken* step exactly.
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        assert!(p.max_abs_diff(&p0) < 1e-5, "undo must use η_t, err {}", p.max_abs_diff(&p0));
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_t() {
+        // Recovery replays iteration t and must get the same rate.
+        for s in [
+            LrSchedule::Warmup { peak: 0.3, warmup: 7 },
+            LrSchedule::Cosine { peak: 0.3, floor: 0.0, total: 41 },
+            LrSchedule::StepDecay { lr0: 0.3, gamma: 0.7, every: 13 },
+        ] {
+            for t in [0u64, 5, 13, 41, 1000] {
+                assert_eq!(s.at(t).to_bits(), s.at(t).to_bits());
+            }
+        }
+    }
+}

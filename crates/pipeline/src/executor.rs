@@ -1,0 +1,451 @@
+//! The pipeline-parallel executor: runs one stage's schedule for one
+//! training iteration, moving activations/gradients through a pluggable
+//! [`Transport`].
+//!
+//! The transport abstraction is what makes logging-based recovery a
+//! *re-execution* of the normal code path (§5.1): normal training uses
+//! [`CommTransport`] (real point-to-point sends, with an observer hook for
+//! the logger); recovery runs the *same* executor over a log-backed
+//! transport that feeds recorded tensors instead of live receives.
+
+use swift_dnn::{Mode, Sequential, StepCtx};
+use swift_net::{Comm, CommError, Rank};
+use swift_tensor::Tensor;
+
+use crate::schedule::{schedule, Op, ScheduleKind};
+
+/// What kind of tensor crosses a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Forward-pass intermediate activation.
+    Activation,
+    /// Backward-pass gradient.
+    Gradient,
+}
+
+/// Wire tags for pipeline traffic. Iteration is taken modulo 2²⁰ — tags
+/// only need short-range uniqueness (a handful of in-flight iterations).
+pub mod tags {
+    use super::MsgKind;
+
+    /// Tag for a pipeline message.
+    pub fn tag(kind: MsgKind, iteration: u64, mb: usize) -> u64 {
+        let k = match kind {
+            MsgKind::Activation => 1u64,
+            MsgKind::Gradient => 2u64,
+        };
+        (k << 40) | ((iteration & 0xF_FFFF) << 20) | (mb as u64 & 0xF_FFFF)
+    }
+}
+
+/// Observer hooks on a running pipeline stage — the seam where SWIFT's
+/// logging attaches (§5.1).
+pub trait PipelineObserver {
+    /// Called right after an outbound tensor is handed to the network.
+    fn on_send(&mut self, _dst: Rank, _ctx: StepCtx, _kind: MsgKind, _t: &Tensor) {}
+
+    /// Called when the stage is about to block waiting for input — i.e.
+    /// bubble time, the window where asynchronous logging drains its
+    /// queue off the critical path.
+    fn on_idle(&mut self, _ctx: StepCtx) {}
+
+    /// Called after each schedule op completes.
+    fn on_op(&mut self, _op: Op, _iteration: u64) {}
+}
+
+/// A no-op observer.
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {}
+
+/// How a stage exchanges boundary tensors.
+pub trait Transport {
+    /// Sends this stage's output activation for `ctx` downstream.
+    fn send_activation(&mut self, ctx: StepCtx, t: &Tensor) -> Result<(), CommError>;
+
+    /// Receives the upstream activation for `ctx`.
+    fn recv_activation(&mut self, ctx: StepCtx) -> Result<Tensor, CommError>;
+
+    /// Sends this stage's input gradient for `ctx` upstream.
+    fn send_gradient(&mut self, ctx: StepCtx, t: &Tensor) -> Result<(), CommError>;
+
+    /// Receives the downstream gradient for `ctx`.
+    fn recv_gradient(&mut self, ctx: StepCtx) -> Result<Tensor, CommError>;
+}
+
+/// The normal-training transport: real sends/receives over a [`Comm`],
+/// with observer callbacks for logging and bubble detection.
+pub struct CommTransport<'a, O: PipelineObserver> {
+    /// The communicator of this stage's worker.
+    pub comm: &'a mut Comm,
+    /// Upstream rank (None for the first stage).
+    pub prev: Option<Rank>,
+    /// Downstream rank (None for the last stage).
+    pub next: Option<Rank>,
+    /// Logging/bubble observer.
+    pub observer: &'a mut O,
+}
+
+impl<O: PipelineObserver> Transport for CommTransport<'_, O> {
+    fn send_activation(&mut self, ctx: StepCtx, t: &Tensor) -> Result<(), CommError> {
+        let dst = self.next.expect("last stage has no downstream");
+        self.comm
+            .send_tensor(dst, tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize), t)?;
+        self.observer.on_send(dst, ctx, MsgKind::Activation, t);
+        Ok(())
+    }
+
+    fn recv_activation(&mut self, ctx: StepCtx) -> Result<Tensor, CommError> {
+        let src = self.prev.expect("first stage has no upstream");
+        self.observer.on_idle(ctx);
+        self.comm
+            .recv_tensor(src, tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize))
+    }
+
+    fn send_gradient(&mut self, ctx: StepCtx, t: &Tensor) -> Result<(), CommError> {
+        let dst = self.prev.expect("first stage has no upstream");
+        self.comm
+            .send_tensor(dst, tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize), t)?;
+        self.observer.on_send(dst, ctx, MsgKind::Gradient, t);
+        Ok(())
+    }
+
+    fn recv_gradient(&mut self, ctx: StepCtx) -> Result<Tensor, CommError> {
+        let src = self.next.expect("last stage has no downstream");
+        self.observer.on_idle(ctx);
+        self.comm
+            .recv_tensor(src, tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize))
+    }
+}
+
+/// Static description of this worker's place in the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePlacement {
+    /// This worker's stage index.
+    pub stage: usize,
+    /// Total stages `p`.
+    pub num_stages: usize,
+    /// Micro-batches per iteration `m`.
+    pub microbatches: usize,
+    /// Schedule flavor.
+    pub kind: ScheduleKind,
+}
+
+impl StagePlacement {
+    /// Whether this is the first stage.
+    pub fn is_first(&self) -> bool {
+        self.stage == 0
+    }
+
+    /// Whether this is the last stage.
+    pub fn is_last(&self) -> bool {
+        self.stage + 1 == self.num_stages
+    }
+}
+
+/// Runs one training iteration of this stage: executes the schedule,
+/// accumulating parameter gradients in `model`. Returns the summed
+/// micro-batch losses (0 on non-last stages).
+///
+/// `input` supplies micro-batch inputs on the first stage; `loss` maps the
+/// last stage's output to `(loss, output-gradient)`. The caller performs
+/// the optimizer update after the pipeline flush (synchronous training).
+pub fn run_iteration<T: Transport>(
+    model: &mut Sequential,
+    placement: StagePlacement,
+    iteration: u64,
+    transport: &mut T,
+    input: &mut dyn FnMut(usize) -> Tensor,
+    loss: &mut dyn FnMut(usize, &Tensor) -> (f32, Tensor),
+    observer_ops: &mut dyn FnMut(Op),
+) -> Result<f32, CommError> {
+    let ops = schedule(placement.kind, placement.num_stages, placement.stage, placement.microbatches);
+    run_ops(
+        model,
+        &ops,
+        placement.is_first(),
+        placement.is_last(),
+        iteration,
+        transport,
+        input,
+        loss,
+        observer_ops,
+    )
+}
+
+/// Runs an explicit op list for one stage — the primitive behind
+/// [`run_iteration`], exposed so recovery can replay a *subset* of
+/// micro-batches (parallel recovery, §5.2) through the identical code
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ops<T: Transport>(
+    model: &mut Sequential,
+    ops: &[Op],
+    is_first: bool,
+    is_last: bool,
+    iteration: u64,
+    transport: &mut T,
+    input: &mut dyn FnMut(usize) -> Tensor,
+    loss: &mut dyn FnMut(usize, &Tensor) -> (f32, Tensor),
+    observer_ops: &mut dyn FnMut(Op),
+) -> Result<f32, CommError> {
+    let mut pending_grads: std::collections::HashMap<usize, Tensor> = Default::default();
+    let mut loss_sum = 0.0f32;
+    for &op in ops {
+        match op {
+            Op::Forward { mb } => {
+                let ctx = StepCtx::new(iteration, mb as u64);
+                let x = if is_first { input(mb) } else { transport.recv_activation(ctx)? };
+                let y = model.forward(ctx, &x, Mode::Train);
+                if is_last {
+                    let (l, g) = loss(mb, &y);
+                    loss_sum += l;
+                    pending_grads.insert(mb, g);
+                } else {
+                    transport.send_activation(ctx, &y)?;
+                }
+            }
+            Op::Backward { mb } => {
+                let ctx = StepCtx::new(iteration, mb as u64);
+                let g = if is_last {
+                    pending_grads.remove(&mb).expect("backward before forward")
+                } else {
+                    transport.recv_gradient(ctx)?
+                };
+                let dx = model.backward(ctx, &g);
+                if !is_first {
+                    transport.send_gradient(ctx, &dx)?;
+                }
+            }
+        }
+        observer_ops(op);
+    }
+    Ok(loss_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_data::{split_microbatches, BlobsDataset, Dataset};
+    use swift_dnn::models::{mlp, split_stages};
+    use swift_dnn::{softmax_cross_entropy, softmax_cross_entropy_scaled};
+    use swift_net::{Cluster, Topology};
+    use swift_optim::OptimizerKind;
+
+    /// Runs a 1F1B 2-stage pipeline for some iterations and returns the
+    /// final stage-0 parameters; used to check distributed == monolithic.
+    fn run_pipeline(iters: u64, m: usize) -> (Vec<Tensor>, Vec<f32>) {
+        let results = Cluster::run_all(Topology::uniform(2, 1), move |mut ctx| {
+            let ds = BlobsDataset::new(3, 6, 3, 0.3);
+            let stages = split_stages(mlp("m", &[6, 16, 16, 3], 11), 2);
+            let stage_idx = ctx.rank();
+            let mut model = stages.into_iter().nth(stage_idx).unwrap();
+            let mut opt = OptimizerKind::SgdMomentum {
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum: 0.9,
+                dampening: 0.0,
+            }
+            .build();
+            let placement = StagePlacement {
+                stage: stage_idx,
+                num_stages: 2,
+                microbatches: m,
+                kind: ScheduleKind::OneFOneB,
+            };
+            let batch_size = 8usize;
+            let mut losses = Vec::new();
+            for it in 0..iters {
+                let batch = ds.batch(it, batch_size);
+                let mbs = split_microbatches(&batch, m);
+                let mut obs = NullObserver;
+                let mut transport = CommTransport {
+                    comm: &mut ctx.comm,
+                    prev: (stage_idx > 0).then(|| stage_idx - 1),
+                    next: (stage_idx < 1).then(|| stage_idx + 1),
+                    observer: &mut obs,
+                };
+                let mbs_in = mbs.clone();
+                let mut input = move |mb: usize| mbs_in[mb].batch.x.clone();
+                let mbs_loss = mbs.clone();
+                let mut loss = move |mb: usize, y: &Tensor| {
+                    softmax_cross_entropy_scaled(y, &mbs_loss[mb].batch.y, 1.0 / batch_size as f32)
+                };
+                let l = run_iteration(
+                    &mut model,
+                    placement,
+                    it,
+                    &mut transport,
+                    &mut input,
+                    &mut loss,
+                    &mut |_| {},
+                )
+                .unwrap();
+                losses.push(l);
+                model.optimizer_step(opt.as_mut());
+                model.zero_grads();
+            }
+            (model.params_snapshot(), losses)
+        });
+        let (p0, _) = results[0].clone();
+        let (_, l1) = results[1].clone();
+        (p0, l1)
+    }
+
+    #[test]
+    fn pipeline_matches_monolithic_training() {
+        let iters = 5u64;
+        let m = 4usize;
+        let (stage0_params, pipe_losses) = run_pipeline(iters, m);
+
+        // Monolithic reference: same model, same data, full batches.
+        let ds = BlobsDataset::new(3, 6, 3, 0.3);
+        let mut model = mlp("m", &[6, 16, 16, 3], 11);
+        let mut opt = OptimizerKind::SgdMomentum {
+            lr: 0.05,
+            weight_decay: 0.0,
+            momentum: 0.9,
+            dampening: 0.0,
+        }
+        .build();
+        let mut mono_losses = Vec::new();
+        for it in 0..iters {
+            let batch = ds.batch(it, 8);
+            let ctx = StepCtx::new(it, 0);
+            let y = model.forward(ctx, &batch.x, Mode::Train);
+            let (l, g) = softmax_cross_entropy(&y, &batch.y);
+            model.backward(ctx, &g);
+            model.optimizer_step(opt.as_mut());
+            model.zero_grads();
+            mono_losses.push(l);
+        }
+        // Micro-batched losses sum to ~the full-batch mean loss.
+        for (a, b) in pipe_losses.iter().zip(mono_losses.iter()) {
+            assert!((a - b).abs() < 1e-4, "loss mismatch {a} vs {b}");
+        }
+        // Stage-0 parameters match the monolithic front layers closely.
+        let mono_params = model.params_snapshot();
+        for (i, sp) in stage0_params.iter().enumerate() {
+            assert!(
+                sp.max_abs_diff(&mono_params[i]) < 1e-4,
+                "param {i} drifted: {}",
+                sp.max_abs_diff(&mono_params[i])
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_are_bitwise_deterministic() {
+        let (a, la) = run_pipeline(3, 4);
+        let (b, lb) = run_pipeline(3, 4);
+        assert_eq!(la.len(), lb.len());
+        for (x, y) in la.iter().zip(lb.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "losses must be bit-identical");
+        }
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(x.bit_eq(y), "params must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn gpipe_schedule_also_trains() {
+        let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
+            let ds = BlobsDataset::new(5, 4, 2, 0.2);
+            let stages = split_stages(mlp("m", &[4, 8, 2], 7), 2);
+            let stage_idx = ctx.rank();
+            let mut model = stages.into_iter().nth(stage_idx).unwrap();
+            let placement = StagePlacement {
+                stage: stage_idx,
+                num_stages: 2,
+                microbatches: 2,
+                kind: ScheduleKind::GPipe,
+            };
+            let batch = ds.batch(0, 4);
+            let mbs = split_microbatches(&batch, 2);
+            let mut obs = NullObserver;
+            let mut transport = CommTransport {
+                comm: &mut ctx.comm,
+                prev: (stage_idx > 0).then(|| stage_idx - 1),
+                next: (stage_idx < 1).then(|| stage_idx + 1),
+                observer: &mut obs,
+            };
+            let mbs_in = mbs.clone();
+            let mut input = move |mb: usize| mbs_in[mb].batch.x.clone();
+            let mut loss = move |mb: usize, y: &Tensor| {
+                softmax_cross_entropy_scaled(y, &mbs[mb].batch.y, 0.25)
+            };
+            run_iteration(&mut model, placement, 0, &mut transport, &mut input, &mut loss, &mut |_| {})
+                .unwrap()
+        });
+        assert!(results[1] > 0.0, "last stage observed a positive loss");
+        assert_eq!(results[0], 0.0, "first stage reports no loss");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use swift_data::{split_microbatches, BlobsDataset, Dataset};
+    use swift_dnn::models::{mlp, split_stages};
+    use swift_dnn::softmax_cross_entropy_scaled;
+    use swift_net::{Cluster, Topology};
+
+    /// Staged pipeline forward+backward gradients equal the monolithic
+    /// model's within float-reassociation noise, for random (p, m, kind).
+    fn staged_matches_monolithic(p: usize, m: usize, kind: ScheduleKind, seed: u64) {
+        let dims = vec![6, 16, 16, 16, 3];
+        let batch_size = 8usize;
+        let grads_staged = Cluster::run_all(Topology::uniform(p, 1), move |mut ctx| {
+            let ds = BlobsDataset::new(seed, 6, 3, 0.4);
+            let stages = split_stages(mlp("pp", &dims, seed), p);
+            let stage_idx = ctx.rank();
+            let mut model = stages.into_iter().nth(stage_idx).unwrap();
+            let placement =
+                StagePlacement { stage: stage_idx, num_stages: p, microbatches: m, kind };
+            let batch = ds.batch(0, batch_size);
+            let mbs = split_microbatches(&batch, m);
+            let mut obs = NullObserver;
+            let mut transport = CommTransport {
+                comm: &mut ctx.comm,
+                prev: (stage_idx > 0).then(|| stage_idx - 1),
+                next: (stage_idx + 1 < p).then(|| stage_idx + 1),
+                observer: &mut obs,
+            };
+            let mbs_in = mbs.clone();
+            let mut input = move |mb: usize| mbs_in[mb].batch.x.clone();
+            let mut loss = move |mb: usize, y: &Tensor| {
+                softmax_cross_entropy_scaled(y, &mbs[mb].batch.y, 1.0 / batch_size as f32)
+            };
+            run_iteration(&mut model, placement, 0, &mut transport, &mut input, &mut loss, &mut |_| {})
+                .unwrap();
+            model.grads_snapshot()
+        });
+
+        let ds = BlobsDataset::new(seed, 6, 3, 0.4);
+        let mut mono = mlp("pp", &[6, 16, 16, 16, 3], seed);
+        let batch = ds.batch(0, batch_size);
+        let ctx = swift_dnn::StepCtx::new(0, 0);
+        let y = mono.forward(ctx, &batch.x, swift_dnn::Mode::Train);
+        let (_, g) = softmax_cross_entropy_scaled(&y, &batch.y, 1.0 / batch_size as f32);
+        mono.backward(ctx, &g);
+        let grads_mono = mono.grads_snapshot();
+
+        let flat: Vec<Tensor> = grads_staged.into_iter().flatten().collect();
+        assert_eq!(flat.len(), grads_mono.len(), "p={p} m={m} {kind:?}");
+        for (i, (a, b)) in flat.iter().zip(grads_mono.iter()).enumerate() {
+            let err = a.max_abs_diff(b);
+            assert!(err < 2e-4, "p={p} m={m} {kind:?} grad {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn staged_equals_monolithic_across_configs() {
+        // Sweep the (p, m, schedule) space — every configuration must
+        // produce the monolithic gradients.
+        for (p, m) in [(2usize, 1usize), (2, 4), (3, 2), (4, 4), (4, 8), (2, 8)] {
+            for kind in [ScheduleKind::OneFOneB, ScheduleKind::GPipe] {
+                staged_matches_monolithic(p, m, kind, 100 + (p * 10 + m) as u64);
+            }
+        }
+    }
+}

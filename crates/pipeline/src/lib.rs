@@ -1,0 +1,23 @@
+//! # swift-pipeline
+//!
+//! Pipeline parallelism for the SWIFT reproduction (paper §2.1):
+//!
+//! - [`schedule`]: 1F1B (PipeDream-Flush) and GPipe schedules, the
+//!   closed-form bubble ratio `(p−1)/(m+p−1)`, an event-driven timeline
+//!   simulator, and ASCII rendering of the paper's Fig. 1a;
+//! - [`executor`]: runs one stage's schedule over a pluggable
+//!   [`Transport`] — live communication during training, log replay during
+//!   recovery — with [`PipelineObserver`] hooks at exactly the points
+//!   SWIFT's logging needs (after sends, and at bubble onsets).
+
+pub mod executor;
+pub mod schedule;
+
+pub use executor::{
+    run_iteration, run_ops, tags, CommTransport, MsgKind, NullObserver, PipelineObserver, StagePlacement,
+    Transport,
+};
+pub use schedule::{
+    bubble_ratio, gpipe, one_f_one_b, render_ascii, simulate, stage_bubble_time, Op, ScheduleKind,
+    Slot,
+};

@@ -1,0 +1,323 @@
+//! Synchronous pipeline schedules: 1F1B (PipeDream-Flush) and GPipe,
+//! with bubble-time analysis (paper §2.1, Fig. 1a).
+
+/// One unit of work in a stage's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Forward pass of micro-batch `mb`.
+    Forward {
+        /// Micro-batch index.
+        mb: usize,
+    },
+    /// Backward pass of micro-batch `mb`.
+    Backward {
+        /// Micro-batch index.
+        mb: usize,
+    },
+}
+
+/// Which synchronous schedule to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// One-forward-one-backward (PipeDream-Flush). Same bubble ratio as
+    /// GPipe, lower peak memory — the paper's default (§2.1).
+    OneFOneB,
+    /// GPipe: all forwards, then all backwards.
+    GPipe,
+}
+
+/// The in-order op list for `stage` of a `p`-stage pipeline running `m`
+/// micro-batches under 1F1B.
+///
+/// Warmup: `min(p−1−stage, m)` forwards; steady state: alternating F/B;
+/// cooldown: the remaining backwards.
+pub fn one_f_one_b(p: usize, stage: usize, m: usize) -> Vec<Op> {
+    assert!(stage < p && m >= 1);
+    let warmup = (p - 1 - stage).min(m);
+    let mut ops = Vec::with_capacity(2 * m);
+    for mb in 0..warmup {
+        ops.push(Op::Forward { mb });
+    }
+    for i in 0..m - warmup {
+        ops.push(Op::Forward { mb: warmup + i });
+        ops.push(Op::Backward { mb: i });
+    }
+    for mb in m - warmup..m {
+        ops.push(Op::Backward { mb });
+    }
+    ops
+}
+
+/// The GPipe schedule for any stage: all forwards then all backwards.
+pub fn gpipe(m: usize) -> Vec<Op> {
+    assert!(m >= 1);
+    (0..m)
+        .map(|mb| Op::Forward { mb })
+        .chain((0..m).map(|mb| Op::Backward { mb }))
+        .collect()
+}
+
+/// The schedule for a stage under the chosen kind.
+pub fn schedule(kind: ScheduleKind, p: usize, stage: usize, m: usize) -> Vec<Op> {
+    match kind {
+        ScheduleKind::OneFOneB => one_f_one_b(p, stage, m),
+        ScheduleKind::GPipe => gpipe(m),
+    }
+}
+
+/// Closed-form bubble ratio `(p−1)/(m+p−1)` (paper §2.1), identical for
+/// GPipe and 1F1B.
+pub fn bubble_ratio(p: usize, m: usize) -> f64 {
+    (p as f64 - 1.0) / (m as f64 + p as f64 - 1.0)
+}
+
+/// A simulated execution slot on a stage's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    /// The op that ran.
+    pub op: Op,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Event-driven simulation of a pipeline schedule with per-op durations
+/// `t_f` / `t_b`: returns each stage's executed slots plus the makespan.
+///
+/// Dependencies: `F(s, mb)` needs `F(s−1, mb)`; `B(s, mb)` needs
+/// `B(s+1, mb)`; ops on a stage run in schedule order. Gaps between slots
+/// are the *bubbles* the logging subsystem exploits (§5.1).
+pub fn simulate(
+    kind: ScheduleKind,
+    p: usize,
+    m: usize,
+    t_f: f64,
+    t_b: f64,
+) -> (Vec<Vec<Slot>>, f64) {
+    let schedules: Vec<Vec<Op>> = (0..p).map(|s| schedule(kind, p, s, m)).collect();
+    let mut done: std::collections::HashMap<(usize, Op), f64> = std::collections::HashMap::new();
+    let mut next_idx = vec![0usize; p];
+    let mut stage_free = vec![0f64; p];
+    let mut slots: Vec<Vec<Slot>> = vec![Vec::new(); p];
+    let total_ops: usize = schedules.iter().map(|s| s.len()).sum();
+    let mut executed = 0usize;
+    while executed < total_ops {
+        let mut progressed = false;
+        for s in 0..p {
+            while next_idx[s] < schedules[s].len() {
+                let op = schedules[s][next_idx[s]];
+                let dep_end = match op {
+                    Op::Forward { mb } if s > 0 => done.get(&(s - 1, Op::Forward { mb })).copied(),
+                    Op::Backward { mb } if s + 1 < p => {
+                        done.get(&(s + 1, Op::Backward { mb })).copied()
+                    }
+                    _ => Some(0.0),
+                };
+                let Some(dep_end) = dep_end else { break };
+                let start = stage_free[s].max(dep_end);
+                let dur = match op {
+                    Op::Forward { .. } => t_f,
+                    Op::Backward { .. } => t_b,
+                };
+                let end = start + dur;
+                slots[s].push(Slot { op, start, end });
+                done.insert((s, op), end);
+                stage_free[s] = end;
+                next_idx[s] += 1;
+                executed += 1;
+                progressed = true;
+            }
+        }
+        assert!(progressed, "schedule deadlocked — dependency cycle");
+    }
+    let makespan = stage_free.iter().copied().fold(0.0, f64::max);
+    (slots, makespan)
+}
+
+/// Total idle (bubble) time of `stage` within `[0, makespan]` of a
+/// simulated timeline.
+pub fn stage_bubble_time(slots: &[Slot], makespan: f64) -> f64 {
+    let busy: f64 = slots.iter().map(|s| s.end - s.start).sum();
+    makespan - busy
+}
+
+/// Renders a simulated timeline as ASCII art (one row per stage), the
+/// shape of the paper's Fig. 1a.
+pub fn render_ascii(slots: &[Vec<Slot>], makespan: f64, cols: usize) -> String {
+    let scale = cols as f64 / makespan;
+    let mut out = String::new();
+    for (s, stage_slots) in slots.iter().enumerate() {
+        let mut row = vec![' '; cols];
+        for slot in stage_slots {
+            let a = (slot.start * scale).round() as usize;
+            let b = ((slot.end * scale).round() as usize).min(cols);
+            let ch = match slot.op {
+                Op::Forward { mb } => char::from_digit(mb as u32 % 10, 10).unwrap(),
+                Op::Backward { .. } => 'b',
+            };
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("P{s} |{}|\n", row.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_f_one_b_counts() {
+        for p in 1..6 {
+            for stage in 0..p {
+                for m in 1..8 {
+                    let ops = one_f_one_b(p, stage, m);
+                    let f = ops.iter().filter(|o| matches!(o, Op::Forward { .. })).count();
+                    let b = ops.iter().filter(|o| matches!(o, Op::Backward { .. })).count();
+                    assert_eq!((f, b), (m, m), "p={p} stage={stage} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_last_stage_alternates() {
+        // Last stage has no warmup: F0 B0 F1 B1 …
+        let ops = one_f_one_b(4, 3, 3);
+        assert_eq!(
+            ops,
+            vec![
+                Op::Forward { mb: 0 },
+                Op::Backward { mb: 0 },
+                Op::Forward { mb: 1 },
+                Op::Backward { mb: 1 },
+                Op::Forward { mb: 2 },
+                Op::Backward { mb: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn one_f_one_b_first_stage_warmup() {
+        let ops = one_f_one_b(4, 0, 4);
+        // Warmup of 3 forwards before the first backward.
+        assert_eq!(&ops[0..3], &[
+            Op::Forward { mb: 0 },
+            Op::Forward { mb: 1 },
+            Op::Forward { mb: 2 },
+        ]);
+        assert_eq!(ops[3], Op::Forward { mb: 3 });
+        assert_eq!(ops[4], Op::Backward { mb: 0 });
+    }
+
+    #[test]
+    fn backward_order_is_fifo() {
+        for p in 1..5 {
+            for stage in 0..p {
+                let ops = one_f_one_b(p, stage, 6);
+                let bw: Vec<usize> = ops
+                    .iter()
+                    .filter_map(|o| match o {
+                        Op::Backward { mb } => Some(*mb),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(bw, (0..6).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_ratio_fig1a() {
+        // Paper Fig. 1a: p = 4, m = 4 → ratio 3/7.
+        assert!((bubble_ratio(4, 4) - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(bubble_ratio(1, 8), 0.0);
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        // With t_f = t_b, makespan = (m + p − 1)(t_f + t_b) and the average
+        // bubble fraction equals (p−1)/(m+p−1).
+        for (p, m) in [(4usize, 4usize), (2, 8), (8, 2), (3, 5)] {
+            let (slots, makespan) = simulate(ScheduleKind::OneFOneB, p, m, 1.0, 1.0);
+            assert!(
+                (makespan - (m + p - 1) as f64 * 2.0).abs() < 1e-9,
+                "p={p} m={m} makespan {makespan}"
+            );
+            let total_bubble: f64 =
+                slots.iter().map(|s| stage_bubble_time(s, makespan)).sum();
+            let ratio = total_bubble / (makespan * p as f64);
+            assert!(
+                (ratio - bubble_ratio(p, m)).abs() < 1e-9,
+                "p={p} m={m} ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpipe_same_bubble_ratio_as_1f1b() {
+        let (s1, mk1) = simulate(ScheduleKind::OneFOneB, 4, 4, 1.0, 1.0);
+        let (s2, mk2) = simulate(ScheduleKind::GPipe, 4, 4, 1.0, 1.0);
+        assert!((mk1 - mk2).abs() < 1e-9);
+        let b1: f64 = s1.iter().map(|s| stage_bubble_time(s, mk1)).sum();
+        let b2: f64 = s2.iter().map(|s| stage_bubble_time(s, mk2)).sum();
+        assert!((b1 - b2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_f_one_b_peak_in_flight_lower_than_gpipe() {
+        // 1F1B's advantage (§2.1): fewer concurrent live activations.
+        fn peak_in_flight(ops: &[Op]) -> usize {
+            let mut live = 0usize;
+            let mut peak = 0;
+            for op in ops {
+                match op {
+                    Op::Forward { .. } => {
+                        live += 1;
+                        peak = peak.max(live);
+                    }
+                    Op::Backward { .. } => live -= 1,
+                }
+            }
+            peak
+        }
+        let p = 8;
+        let m = 8;
+        let f1b = peak_in_flight(&one_f_one_b(p, 0, m));
+        let gp = peak_in_flight(&gpipe(m));
+        assert!(f1b <= gp);
+        // Last stage in 1F1B keeps only 1 in flight.
+        assert_eq!(peak_in_flight(&one_f_one_b(p, p - 1, m)), 1);
+    }
+
+    #[test]
+    fn simulation_respects_dependencies() {
+        let (slots, _) = simulate(ScheduleKind::OneFOneB, 4, 4, 1.0, 2.0);
+        let find = |s: usize, op: Op| slots[s].iter().find(|x| x.op == op).copied().unwrap();
+        for mb in 0..4usize {
+            for s in 1..4usize {
+                assert!(
+                    find(s, Op::Forward { mb }).start
+                        >= find(s - 1, Op::Forward { mb }).end - 1e-12
+                );
+            }
+            for s in 0..3usize {
+                assert!(
+                    find(s, Op::Backward { mb }).start
+                        >= find(s + 1, Op::Backward { mb }).end - 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_stage() {
+        let (slots, mk) = simulate(ScheduleKind::OneFOneB, 4, 4, 1.0, 1.0);
+        let art = render_ascii(&slots, mk, 56);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('b'));
+    }
+}

@@ -1,0 +1,29 @@
+//! # swift-sim
+//!
+//! The evaluation-scale performance model. The in-process runtime
+//! (`swift-net` + `swift-core`) proves SWIFT's *protocol and numerical*
+//! properties on real tensors; this crate models the *wall-clock*
+//! behaviour of the paper's testbed (16 DGX-2 machines, §7) from first
+//! principles — compute/bandwidth constants, schedule structure, and the
+//! recovery protocols — to regenerate every quantitative figure:
+//!
+//! - [`throughput`]: Fig. 3 iteration-time series, Fig. 8 (top)
+//!   failure-free throughput, Fig. 9 recovery-window timelines;
+//! - [`recovery`]: Fig. 8 (bottom) recovery times;
+//! - [`study`]: §7.3's end-to-end study — Tables 4–5, Figs. 12–13.
+//!
+//! Absolute numbers are modeled, not measured; the claims preserved are
+//! the *shapes*: orderings, crossover locations, and approximate factors
+//! (see EXPERIMENTS.md for paper-vs-model values).
+
+pub mod eventsim;
+pub mod method;
+pub mod recovery;
+pub mod study;
+pub mod throughput;
+
+pub use method::{CostModel, Method};
+pub use eventsim::{pipelined_recovery, simulate_tasks, RecoveryBreakdown, Task};
+pub use recovery::{logging_recovery_event_s, recovery_time_s, RecoveryTime};
+pub use study::{simulate_mean, simulate_run, sweep_ckpt_interval, sweep_mtbf, RunOutcome};
+pub use throughput::{iteration_times, mean_throughput, recovery_timeline, TimelinePoint};

@@ -1,0 +1,191 @@
+//! Failure-free iteration-time / throughput series (paper Fig. 3 and the
+//! top halves of Fig. 8) and the recovery-window throughput timeline
+//! (Fig. 9).
+
+use crate::method::{CostModel, Method};
+use crate::recovery::recovery_time_s;
+
+/// Per-iteration wall time for iterations `0..iters` under `method`
+/// during failure-free execution — the Fig. 3 series.
+pub fn iteration_times(cm: &CostModel, method: Method, iters: u64) -> Vec<f64> {
+    let base = cm.model.iter_time_s;
+    let mut out = Vec::with_capacity(iters as usize);
+    // CheckFreq persist tail: iterations still overlapping the background
+    // disk write run slower.
+    let mut persist_left = 0.0f64;
+    for it in 0..iters {
+        let mut t = base;
+        match method {
+            Method::Normal => {}
+            Method::GlobalCkpt { interval } => {
+                if it > 0 && it % interval == 0 {
+                    t += cm.global_ckpt_time_s();
+                }
+            }
+            Method::CheckFreq { interval } => {
+                if persist_left > 0.0 {
+                    t *= 1.0 + cm.persist_interference();
+                    persist_left -= t;
+                }
+                if it > 0 && it % interval == 0 {
+                    // Stall if the previous persist is still running, then
+                    // take the snapshot.
+                    t += persist_left.max(0.0);
+                    t += cm.snapshot_time_s();
+                    persist_left = cm.persist_time_s();
+                }
+            }
+            Method::ElasticHorovod { interval } => {
+                if it > 0 && it % interval == 0 {
+                    t += cm.snapshot_time_s();
+                }
+            }
+            Method::SwiftReplication { ckpt_interval } => {
+                if it > 0 && it % ckpt_interval == 0 {
+                    t += cm.global_ckpt_time_s();
+                }
+            }
+            Method::SwiftLogging { ckpt_interval, groups, sync, .. } => {
+                t += if sync {
+                    cm.sync_logging_overhead_s(groups)
+                } else {
+                    cm.async_logging_overhead_s(groups)
+                };
+                if it > 0 && it % ckpt_interval == 0 {
+                    t += cm.global_ckpt_time_s();
+                }
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Mean failure-free throughput in samples (images/tokens×seq) per second.
+pub fn mean_throughput(cm: &CostModel, method: Method, iters: u64) -> f64 {
+    let times = iteration_times(cm, method, iters);
+    let total: f64 = times.iter().sum();
+    cm.model.batch_size as f64 * iters as f64 / total
+}
+
+/// One point of the Fig. 9 timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Seconds since the failure.
+    pub t: f64,
+    /// Throughput (samples/s) at that instant.
+    pub throughput: f64,
+}
+
+/// Throughput timeline around a failure (Fig. 9): zero during
+/// initialization + recovery, full speed after. The lost-work "area"
+/// differentiates the methods.
+pub fn recovery_timeline(
+    cm: &CostModel,
+    method: Method,
+    iters_since_ckpt: u64,
+    horizon_s: f64,
+    step_s: f64,
+) -> Vec<TimelinePoint> {
+    let rec = recovery_time_s(cm, method, iters_since_ckpt);
+    let ready = rec.init_s + rec.recovery_s;
+    let full = cm.model.batch_size as f64 / cm.model.iter_time_s;
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t <= horizon_s {
+        let tp = if t < ready {
+            0.0
+        } else if matches!(method, Method::SwiftLogging { parallel_recovery, .. } if parallel_recovery > 1)
+            && t < ready + 60.0
+        {
+            // §7.1: with parallel recovery, file transfer becomes the
+            // bottleneck right after replay — throughput fluctuates while
+            // the tail of log downloads drains.
+            let phase = ((t - ready) / step_s) as u64;
+            if phase % 3 == 2 {
+                0.6 * full
+            } else {
+                full
+            }
+        } else {
+            full
+        };
+        out.push(TimelinePoint { t, throughput: tp });
+        t += step_s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_dnn::profile::{vit_128_32, wide_resnet_50, TESTBED};
+
+    fn wrn_cm() -> CostModel {
+        CostModel::new(wide_resnet_50(), TESTBED)
+    }
+
+    #[test]
+    fn fig3_shape_snapshot_spikes() {
+        // Snapshot iterations (30/60/90) are visibly slower for CheckFreq
+        // and Elastic Horovod; global ckpt spikes at 100.
+        let cm = wrn_cm();
+        let cf = iteration_times(&cm, Method::CheckFreq { interval: 30 }, 110);
+        let eh = iteration_times(&cm, Method::ElasticHorovod { interval: 30 }, 110);
+        let gc = iteration_times(&cm, Method::GlobalCkpt { interval: 100 }, 110);
+        let normal = iteration_times(&cm, Method::Normal, 110);
+        for spike in [30usize, 60, 90] {
+            assert!(cf[spike] > 1.15 * normal[spike], "CheckFreq spike at {spike}");
+            assert!(eh[spike] > 1.15 * normal[spike], "EH spike at {spike}");
+        }
+        assert!(gc[100] > gc[99] + 1.0, "global ckpt spike at 100");
+        // CheckFreq's post-snapshot iterations slower than EH's (persist).
+        assert!(cf[31] > eh[31]);
+    }
+
+    #[test]
+    fn fig8a_swift_throughput_beats_snapshotters() {
+        let cm = wrn_cm();
+        let swift = mean_throughput(&cm, Method::SwiftReplication { ckpt_interval: 100 }, 100);
+        let cf = mean_throughput(&cm, Method::CheckFreq { interval: 30 }, 100);
+        let eh = mean_throughput(&cm, Method::ElasticHorovod { interval: 30 }, 100);
+        let normal = mean_throughput(&cm, Method::Normal, 100);
+        assert!(swift > cf && swift > eh);
+        assert!(swift / normal > 0.98, "SWIFT within 2% of normal training");
+    }
+
+    #[test]
+    fn fig8b_sync_logging_degrades_vit() {
+        let cm = CostModel::new(vit_128_32(), TESTBED);
+        let async_tp = mean_throughput(
+            &cm,
+            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 },
+            100,
+        );
+        let sync_tp = mean_throughput(
+            &cm,
+            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: true, parallel_recovery: 1 },
+            100,
+        );
+        let gc_tp = mean_throughput(&cm, Method::GlobalCkpt { interval: 100 }, 100);
+        assert!(sync_tp < 0.9 * gc_tp, "sync logging significantly degrades throughput");
+        assert!(async_tp > 0.97 * gc_tp, "bubble-time logging is off the critical path");
+    }
+
+    #[test]
+    fn fig9_timeline_recovers_earlier_with_logging() {
+        let cm = CostModel::new(vit_128_32(), TESTBED);
+        let gc = recovery_timeline(&cm, Method::GlobalCkpt { interval: 100 }, 50, 400.0, 1.0);
+        let lg = recovery_timeline(
+            &cm,
+            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 },
+            50,
+            400.0,
+            1.0,
+        );
+        let first_up = |tl: &[TimelinePoint]| {
+            tl.iter().find(|p| p.throughput > 0.0).map(|p| p.t).unwrap_or(f64::INFINITY)
+        };
+        assert!(first_up(&lg) < first_up(&gc), "logging resumes before global checkpointing");
+    }
+}

@@ -1,0 +1,176 @@
+//! Software `f16` (IEEE 754 binary16) conversion.
+//!
+//! The paper (§8) notes mixed-precision training halves the logging volume
+//! because boundary tensors travel in half precision. We provide exact
+//! bit-level conversions so the logging subsystem can store records in
+//! `f16` with well-defined rounding (round-to-nearest-even).
+
+/// Converts an `f32` to `f16` bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: preserve a NaN payload bit so NaN stays NaN.
+        let nan_bit = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan_bit | ((mant >> 13) as u16 & 0x03FF);
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflow → ±inf.
+        return sign | 0x7C00;
+    }
+    if e >= -14 {
+        // Normal f16. Round mantissa from 23 to 10 bits (RNE).
+        let mant10 = mant >> 13;
+        let round_bits = mant & 0x1FFF;
+        let mut out = sign | (((e + 15) as u16) << 10) | mant10 as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mant10 & 1) == 1) {
+            out = out.wrapping_add(1); // may carry into exponent — correct
+        }
+        return out;
+    }
+    if e >= -24 {
+        // Subnormal f16.
+        let full_mant = mant | 0x0080_0000; // implicit leading 1
+        let shift = (-14 - e) as u32 + 13;
+        let mant10 = full_mant >> shift;
+        let round_mask = (1u32 << shift) - 1;
+        let round_bits = full_mant & round_mask;
+        let half = 1u32 << (shift - 1);
+        let mut out = sign | mant10 as u16;
+        if round_bits > half || (round_bits == half && (mant10 & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    // Underflow → ±0.
+    sign
+}
+
+/// Converts `f16` bits to an `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = if exp == 0x1F {
+        // Inf / NaN.
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // ±0
+        } else {
+            // Subnormal: normalize. After s left-shifts the value is
+            // 1.f × 2^(−14−s), i.e. a biased f32 exponent of 113 − s.
+            let mut e = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03FF;
+            sign | (((113 + e) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes a slice through f16 and back (what an f16 log record stores).
+pub fn quantize_f16(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|&x| f16_bits_to_f32(f32_to_f16_bits(x))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(x: f32) -> f32 {
+        f16_bits_to_f32(f32_to_f16_bits(x))
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, -65504.0, 65504.0, 0.25] {
+            assert_eq!(round_trip(x), x, "{x}");
+        }
+        // Signed zero preserved.
+        assert_eq!(round_trip(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(round_trip(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_trip(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(round_trip(f32::NAN).is_nan());
+        // Overflow clamps to infinity.
+        assert_eq!(round_trip(1e6), f32::INFINITY);
+        assert_eq!(round_trip(-1e6), f32::NEG_INFINITY);
+        // Underflow flushes to zero.
+        assert_eq!(round_trip(1e-9), 0.0);
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive f16 subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(round_trip(tiny), tiny);
+        let sub = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(round_trip(sub), sub);
+        // Largest subnormal.
+        let max_sub = 1023.0 * 2.0f32.powi(-24);
+        assert_eq!(round_trip(max_sub), max_sub);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // For normal-range values the relative error is ≤ 2^-11.
+        let mut rng = crate::rng::CounterRng::new(0, 0);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-1000.0, 1000.0);
+            if x.abs() < 1e-4 {
+                continue;
+            }
+            let err = (round_trip(x) - x).abs() / x.abs();
+            assert!(err <= 1.0 / 2048.0 + 1e-7, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and the next f16 (1 + 2^-10):
+        // ties-to-even picks 1.0 (even mantissa).
+        let midpoint = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(round_trip(midpoint), 1.0);
+        // Just above the midpoint rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-16);
+        assert_eq!(round_trip(above), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn quantize_slice() {
+        let xs = vec![1.0f32, 0.333333, -2.5, 100.7];
+        let q = quantize_f16(&xs);
+        assert_eq!(q[0], 1.0);
+        assert_eq!(q[2], -2.5);
+        assert!((q[1] - 0.333333).abs() < 3e-4);
+        assert!((q[3] - 100.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn exhaustive_f16_identity() {
+        // Every finite f16 must survive f16 → f32 → f16 exactly.
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // inf/nan payloads handled separately
+            }
+            let x = f16_bits_to_f32(h);
+            assert_eq!(f32_to_f16_bits(x), h, "h={h:#06x} x={x}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! # swift-tensor
+//!
+//! Deterministic dense tensor math for the SWIFT reproduction.
+//!
+//! SWIFT's recovery correctness rests on two numerical properties this crate
+//! provides:
+//!
+//! 1. **Bitwise determinism** — every kernel produces bit-identical output
+//!    for identical input, independent of thread count or scheduling
+//!    (fixed-order reductions, counter-based RNG). This is the Rust
+//!    equivalent of the paper's `cudnn.deterministic = True` discussion
+//!    (§6): without it, replaying logged activations would diverge from the
+//!    pre-failure execution.
+//! 2. **Exact serialization** — tensors round-trip through the logging /
+//!    checkpoint wire format without loss, including NaN/∞ payloads.
+//!
+//! Parallel kernels use rayon with deterministic chunked reductions, per the
+//! HPC-parallel guides for this codebase.
+
+pub mod half;
+pub mod matmul;
+pub mod rng;
+pub mod serialize;
+pub mod shape;
+pub mod tensor;
+
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use rng::{stream_id, CounterRng};
+pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
+pub use serialize::{
+    decode, decode_slice, encode, encode_f16, encode_f16_into, encode_into, encoded_f16_size,
+    encoded_size, DecodeError,
+};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_tensor(max_elems: usize) -> impl Strategy<Value = Tensor> {
+        (1usize..=max_elems).prop_flat_map(|n| {
+            prop::collection::vec(-1e3f32..1e3f32, n).prop_map(move |v| Tensor::from_vec([n], v))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn serialize_round_trip(t in arb_tensor(256)) {
+            let back = decode(&mut encode(&t)).unwrap();
+            prop_assert!(back.bit_eq(&t));
+        }
+
+        #[test]
+        fn add_sub_inverse_within_tolerance(t in arb_tensor(128), s in -100.0f32..100.0) {
+            // x + s - s stays within rounding of x. This mirrors the paper's
+            // observation that undo is exact up to floating-point error (§4).
+            let other = Tensor::full(t.shape().clone(), s);
+            let round = t.add(&other).sub(&other);
+            prop_assert!(round.max_abs_diff(&t) <= 1e-2);
+        }
+
+        #[test]
+        fn axpy_matches_add_scale(t in arb_tensor(128), alpha in -10.0f32..10.0) {
+            let g = t.scale(0.5);
+            let mut via_axpy = t.clone();
+            via_axpy.axpy(alpha, &g);
+            let via_ops = t.add(&g.scale(alpha));
+            prop_assert!(via_axpy.max_abs_diff(&via_ops) < 1e-1);
+        }
+
+        #[test]
+        fn scale_undo_exact_for_pow2(t in arb_tensor(128)) {
+            // Scaling by a power of two is exactly invertible in binary
+            // floating point.
+            let scaled = t.scale(0.5).scale(2.0);
+            prop_assert!(scaled.bit_eq(&t));
+        }
+
+        #[test]
+        fn reductions_bitwise_stable(t in arb_tensor(512)) {
+            prop_assert_eq!(t.sum().to_bits(), t.sum().to_bits());
+            prop_assert_eq!(t.sum_sq().to_bits(), t.sum_sq().to_bits());
+        }
+
+        #[test]
+        fn transpose_involution(rows in 1usize..12, cols in 1usize..12, seed in 0u64..100) {
+            let t = Tensor::randn([rows, cols], 0.0, 1.0, &mut CounterRng::new(seed, 0));
+            prop_assert!(t.transpose().transpose().bit_eq(&t));
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(seed in 0u64..50) {
+            let mut rng = CounterRng::new(seed, 0);
+            let a = Tensor::randn([4, 6], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn([6, 3], 0.0, 1.0, &mut rng);
+            let c = Tensor::randn([6, 3], 0.0, 1.0, &mut rng);
+            let lhs = matmul(&a, &b.add(&c));
+            let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic, cache-blocked, rayon-parallel matrix multiplication.
+//!
+//! Parallelism is over *output rows*: each output element is accumulated by
+//! exactly one thread in a fixed `k` order, so results are bit-identical
+//! regardless of thread count — required for SWIFT's replay determinism.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows below this run sequentially (rayon dispatch isn't worth it).
+const PAR_ROWS: usize = 8;
+/// Minimum per-row work (in multiply-adds) before parallelizing.
+const PAR_WORK: usize = 64 * 1024;
+
+/// `C = A · B` on the matrix views of `a` (`[m, k]`) and `b` (`[k, n]`).
+///
+/// # Panics
+/// Panics if inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul inner dim mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let row_kernel = |r: usize, out_row: &mut [f32]| {
+        // i-k-j loop order: streams through B rows, SIMD-friendly, and
+        // accumulates each C element in a fixed order.
+        let a_row = &ad[r * k..(r + 1) * k];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    };
+
+    if m >= PAR_ROWS && k * n >= PAR_WORK {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| row_kernel(r, row));
+    } else {
+        for (r, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(r, row);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C = Aᵀ · B` without materializing the transpose: `a` is `[k, m]`,
+/// result is `[m, n]`. Used for weight gradients (`xᵀ · dy`).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul_at_b inner dim mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+
+    let row_kernel = |r: usize, out_row: &mut [f32]| {
+        for kk in 0..k {
+            let av = ad[kk * m + r];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    };
+
+    if m >= PAR_ROWS && k * n >= PAR_WORK {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| row_kernel(r, row));
+    } else {
+        for (r, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(r, row);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C = A · Bᵀ` without materializing the transpose: `a` is `[m, k]`,
+/// `b` is `[n, k]`, result is `[m, n]`. Used for input gradients
+/// (`dy · Wᵀ` with row-major `W: [out, in]` stored as `[n, k]`).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (n, k2) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul_a_bt inner dim mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+
+    let row_kernel = |r: usize, out_row: &mut [f32]| {
+        let a_row = &ad[r * k..(r + 1) * k];
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[c * k..(c + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    };
+
+    if m >= PAR_ROWS && k * n >= PAR_WORK {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| row_kernel(r, row));
+    } else {
+        for (r, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(r, row);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CounterRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix();
+        let (_, n) = b.shape().as_matrix();
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for kk in 0..k {
+                    s += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out.set(&[i, j], s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec([3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = CounterRng::new(1, 0);
+        let a = Tensor::randn([5, 5], 0.0, 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_loop_order() {
+        // The kernel uses ikj order which accumulates in the same k-order
+        // as the naive ijk loop, so results agree exactly for exact inputs
+        // and within float tolerance for random ones.
+        let mut rng = CounterRng::new(2, 0);
+        let a = Tensor::randn([17, 23], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([23, 11], 0.0, 1.0, &mut rng);
+        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = CounterRng::new(3, 0);
+        let a = Tensor::randn([13, 7], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([13, 9], 0.0, 1.0, &mut rng);
+        let expect = matmul(&a.transpose(), &b);
+        assert!(matmul_at_b(&a, &b).max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = CounterRng::new(4, 0);
+        let a = Tensor::randn([6, 8], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([5, 8], 0.0, 1.0, &mut rng);
+        let expect = matmul(&a, &b.transpose());
+        assert!(matmul_a_bt(&a, &b).max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn parallel_path_bitwise_deterministic() {
+        let mut rng = CounterRng::new(5, 0);
+        let a = Tensor::randn([256, 512], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([512, 128], 0.0, 1.0, &mut rng);
+        let c1 = matmul(&a, &b);
+        for _ in 0..3 {
+            assert!(c1.bit_eq(&matmul(&a, &b)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn dim_mismatch_panics() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

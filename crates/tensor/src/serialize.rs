@@ -1,0 +1,237 @@
+//! Compact binary serialization for tensors.
+//!
+//! Logging-based recovery persists every inter-machine tensor; checkpoints
+//! persist the whole model state. Both need a stable, self-describing,
+//! zero-copy-friendly wire format. Layout:
+//!
+//! ```text
+//! magic  u32  = 0x53_57_46_54 ("SWFT")
+//! rank   u32
+//! dims   u64 × rank
+//! len    u64  (element count, redundant with dims — integrity check)
+//! data   f32 × len (little endian)
+//! ```
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5357_4654;
+/// Magic for half-precision payloads ("SWFH").
+const MAGIC_F16: u32 = 0x5357_4648;
+
+/// Errors produced when decoding a tensor payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer ended before the declared payload.
+    Truncated,
+    /// Magic number mismatch — not a tensor payload.
+    BadMagic(u32),
+    /// Declared element count disagrees with declared dims.
+    LengthMismatch { dims_numel: u64, declared: u64 },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "tensor payload truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad tensor magic {m:#x}"),
+            DecodeError::LengthMismatch { dims_numel, declared } => {
+                write!(f, "length mismatch: dims imply {dims_numel}, header says {declared}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a tensor into a freshly allocated byte buffer.
+pub fn encode(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_size(t));
+    encode_into(t, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a tensor, appending to `buf`.
+pub fn encode_into(t: &Tensor, buf: &mut BytesMut) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(t.shape().rank() as u32);
+    for &d in t.shape().dims() {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_u64_le(t.numel() as u64);
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Exact number of bytes [`encode`] will produce for `t`.
+pub fn encoded_size(t: &Tensor) -> usize {
+    4 + 4 + 8 * t.shape().rank() + 8 + 4 * t.numel()
+}
+
+/// Encodes a tensor in half precision (f16 payload) — halves the logging
+/// volume at a ≤2⁻¹¹ relative rounding cost (paper §8, mixed precision).
+pub fn encode_f16_into(t: &Tensor, buf: &mut BytesMut) {
+    buf.put_u32_le(MAGIC_F16);
+    buf.put_u32_le(t.shape().rank() as u32);
+    for &d in t.shape().dims() {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_u64_le(t.numel() as u64);
+    for &v in t.data() {
+        buf.put_u16_le(crate::half::f32_to_f16_bits(v));
+    }
+}
+
+/// Encodes a tensor in half precision into a fresh buffer.
+pub fn encode_f16(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_f16_size(t));
+    encode_f16_into(t, &mut buf);
+    buf.freeze()
+}
+
+/// Exact number of bytes [`encode_f16`] will produce.
+pub fn encoded_f16_size(t: &Tensor) -> usize {
+    4 + 4 + 8 * t.shape().rank() + 8 + 2 * t.numel()
+}
+
+/// Decodes one tensor from the front of `buf`, advancing it.
+pub fn decode(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC && magic != MAGIC_F16 {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let half = magic == MAGIC_F16;
+    let rank = buf.get_u32_le() as usize;
+    if buf.remaining() < 8 * rank + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let declared = buf.get_u64_le();
+    let numel: u64 = dims.iter().map(|&d| d as u64).product();
+    if numel != declared {
+        return Err(DecodeError::LengthMismatch { dims_numel: numel, declared });
+    }
+    let elem = if half { 2 } else { 4 };
+    if (buf.remaining() as u64) < elem * declared {
+        return Err(DecodeError::Truncated);
+    }
+    let mut data = Vec::with_capacity(declared as usize);
+    for _ in 0..declared {
+        if half {
+            data.push(crate::half::f16_bits_to_f32(buf.get_u16_le()));
+        } else {
+            data.push(buf.get_f32_le());
+        }
+    }
+    Ok(Tensor::from_vec(Shape(dims), data))
+}
+
+/// Decodes a tensor from a standalone byte slice.
+pub fn decode_slice(bytes: &[u8]) -> Result<Tensor, DecodeError> {
+    let mut b = Bytes::copy_from_slice(bytes);
+    decode(&mut b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CounterRng;
+
+    #[test]
+    fn round_trip_bitwise() {
+        let t = Tensor::randn([3, 7, 2], 0.5, 2.0, &mut CounterRng::new(0, 0));
+        let mut bytes = encode(&t);
+        assert_eq!(bytes.len(), encoded_size(&t));
+        let back = decode(&mut bytes).unwrap();
+        assert!(back.bit_eq(&t));
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn round_trip_scalar_and_empty() {
+        let s = Tensor::scalar(std::f32::consts::PI);
+        assert!(decode(&mut encode(&s)).unwrap().bit_eq(&s));
+        let e = Tensor::zeros([0]);
+        assert!(decode(&mut encode(&e)).unwrap().bit_eq(&e));
+    }
+
+    #[test]
+    fn special_values_preserved() {
+        let t = Tensor::from_vec([4], vec![f32::NAN, f32::INFINITY, -0.0, f32::MIN_POSITIVE]);
+        let back = decode(&mut encode(&t)).unwrap();
+        assert!(back.bit_eq(&t));
+    }
+
+    #[test]
+    fn multiple_tensors_in_stream() {
+        let a = Tensor::ones([2, 2]);
+        let b = Tensor::full([3], 9.0);
+        let mut buf = BytesMut::new();
+        encode_into(&a, &mut buf);
+        encode_into(&b, &mut buf);
+        let mut stream = buf.freeze();
+        assert!(decode(&mut stream).unwrap().bit_eq(&a));
+        assert!(decode(&mut stream).unwrap().bit_eq(&b));
+        assert!(stream.is_empty());
+    }
+
+    #[test]
+    fn f16_round_trip_quantizes() {
+        let t = Tensor::from_vec([4], vec![1.0, 0.333333, -2.5, 65504.0]);
+        let enc = encode_f16(&t);
+        assert_eq!(enc.len(), encoded_f16_size(&t));
+        assert!(enc.len() < encoded_size(&t));
+        let back = decode(&mut enc.clone()).unwrap();
+        assert_eq!(back.data()[0], 1.0);
+        assert_eq!(back.data()[2], -2.5);
+        assert!((back.data()[1] - 0.333333).abs() < 3e-4);
+    }
+
+    #[test]
+    fn f16_halves_payload() {
+        let t = Tensor::zeros([1000]);
+        let full = encode(&t).len();
+        let half = encode_f16(&t).len();
+        assert!(half < full * 6 / 10, "f16 must roughly halve the payload: {half} vs {full}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_u32_le(0xDEAD_BEEF);
+        bytes.put_u32_le(0);
+        let mut b = bytes.freeze();
+        assert!(matches!(decode(&mut b), Err(DecodeError::BadMagic(0xDEAD_BEEF))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let t = Tensor::ones([10]);
+        let full = encode(&t);
+        for cut in [0, 4, 9, full.len() - 1] {
+            let mut b = full.slice(0..cut);
+            assert!(matches!(decode(&mut b), Err(DecodeError::Truncated)), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let t = Tensor::ones([3]);
+        let enc = encode(&t);
+        let mut raw = enc.to_vec();
+        // Corrupt declared length (offset 4 + 4 + 8 = 16).
+        raw[16] = 99;
+        assert!(matches!(
+            decode_slice(&raw),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Shape arithmetic for dense, row-major tensors.
+
+use std::fmt;
+
+/// A tensor shape: a list of dimension extents, row-major layout.
+///
+/// Rank-0 (scalar) shapes are represented by an empty dimension list and
+/// have one element.
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank-0).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `d`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for d in (0..self.rank().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.0[d + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            assert!(i < self.0[d], "index {i} out of bounds for dim {d} ({})", self.0[d]);
+            off += i * s;
+        }
+        off
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`, flattening all but
+    /// the last dimension into rows. A rank-1 shape is `[1, n]`.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.rank() {
+            0 => (1, 1),
+            1 => (1, self.0[0]),
+            _ => {
+                let cols = self.0[self.rank() - 1];
+                (self.numel() / cols, cols)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_oob_panics() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn matrix_view() {
+        assert_eq!(Shape::new(&[6, 4]).as_matrix(), (6, 4));
+        assert_eq!(Shape::new(&[2, 3, 4]).as_matrix(), (6, 4));
+        assert_eq!(Shape::new(&[7]).as_matrix(), (1, 7));
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+}

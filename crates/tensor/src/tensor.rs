@@ -1,0 +1,531 @@
+//! The dense tensor type and its deterministic kernels.
+
+use crate::rng::CounterRng;
+use crate::shape::Shape;
+use rayon::prelude::*;
+
+/// Below this element count, kernels run sequentially: rayon dispatch
+/// overhead dominates for small tensors.
+const PAR_THRESHOLD: usize = 32_768;
+
+/// Fixed reduction block size. All reductions sum fixed-extent blocks and
+/// then combine block partials in index order, so the result is independent
+/// of how rayon schedules the blocks — a requirement for SWIFT's bitwise
+/// deterministic replay (paper §6).
+const REDUCE_BLOCK: usize = 1024;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// All operations are deterministic: given identical inputs they produce
+/// bit-identical outputs regardless of thread count or scheduling. This is
+/// the foundation for SWIFT's replay-based recovery.
+#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor(shape={}, numel={})", self.shape, self.numel())
+    }
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Creates a tensor from raw data; `data.len()` must equal the shape's
+    /// element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "shape {shape} does not match data length {}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Uniform random tensor in `[lo, hi)` from a deterministic stream.
+    pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut CounterRng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Normal random tensor with the given mean and standard deviation.
+    pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut CounterRng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| mean + std * rng.normal()).collect();
+        Tensor { shape, data }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size in bytes of the raw payload (excluding shape metadata).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Immutable view of the raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Value of a rank-0 or single-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        self.data[0]
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(shape.numel(), self.numel(), "reshape numel mismatch");
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// True when the two tensors are bit-identical (shape and payload).
+    pub fn bit_eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self.data.len() == other.data.len()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Maximum absolute elementwise difference; `inf` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        if self.shape != other.shape {
+            return f32::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    // -------------------------------------------------------- unary mapping
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync + Send) -> Tensor {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync + Send) {
+        if self.data.len() >= PAR_THRESHOLD {
+            self.data.par_iter_mut().for_each(|x| *x = f(*x));
+        } else {
+            self.data.iter_mut().for_each(|x| *x = f(*x));
+        }
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(move |x| x * s)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(move |x| x + s)
+    }
+
+    // -------------------------------------------------------- binary zips
+
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync + Send) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        let mut out = self.clone();
+        out.zip_inplace(other, f);
+        out
+    }
+
+    /// Applies `f(self, other)` elementwise in place on `self`.
+    pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync + Send) {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        if self.data.len() >= PAR_THRESHOLD {
+            self.data
+                .par_iter_mut()
+                .zip(other.data.par_iter())
+                .for_each(|(a, &b)| *a = f(*a, b));
+        } else {
+            self.data
+                .iter_mut()
+                .zip(other.data.iter())
+                .for_each(|(a, &b)| *a = f(*a, b));
+        }
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication (Hadamard product).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, f32::max)
+    }
+
+    /// In-place `self += alpha * other` (the BLAS `axpy` primitive that
+    /// underlies every optimizer update in the paper's Table 1).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        self.zip_inplace(other, move |a, b| a + alpha * b);
+    }
+
+    /// In-place elementwise addition.
+    pub fn add_inplace(&mut self, other: &Tensor) {
+        self.zip_inplace(other, |a, b| a + b);
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(move |x| x * s);
+    }
+
+    // ---------------------------------------------------------- reductions
+
+    /// Deterministic sum of all elements.
+    ///
+    /// Blocks of fixed extent are summed independently (possibly in
+    /// parallel) and the block partials are combined in index order, so the
+    /// result does not depend on the rayon schedule.
+    pub fn sum(&self) -> f32 {
+        deterministic_block_reduce(&self.data, |chunk| chunk.iter().sum::<f32>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Deterministic sum of squares.
+    pub fn sum_sq(&self) -> f32 {
+        deterministic_block_reduce(&self.data, |chunk| chunk.iter().map(|x| x * x).sum::<f32>())
+            .into_iter()
+            .sum()
+    }
+
+    /// L2 norm (used by the LAMB optimizer's trust ratio; the paper saves
+    /// this scalar to make LAMB undoable).
+    pub fn l2_norm(&self) -> f32 {
+        self.sum_sq().sqrt()
+    }
+
+    /// Maximum element (`-inf` for empty tensors).
+    pub fn max(&self) -> f32 {
+        deterministic_block_reduce(&self.data, |chunk| {
+            chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        })
+        .into_iter()
+        .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element along the last axis, per row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, cols) = self.shape.as_matrix();
+        (0..rows)
+            .map(|r| {
+                let row = &self.data[r * cols..(r + 1) * cols];
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    // -------------------------------------------------------- matrix views
+
+    /// Sums over rows of the matrix view, producing a `[cols]` tensor
+    /// (used for bias gradients).
+    pub fn sum_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec([cols], out)
+    }
+
+    /// Adds a `[cols]` vector to every row of the matrix view.
+    pub fn add_row_vector(&self, bias: &Tensor) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        assert_eq!(bias.numel(), cols, "bias length mismatch");
+        let mut out = self.clone();
+        for r in 0..rows {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax over the matrix view.
+    pub fn softmax_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = self.clone();
+        for r in 0..rows {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            let inv = 1.0 / z;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Transposes the matrix view, returning a `[cols, rows]` tensor.
+    pub fn transpose(&self) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec([cols, rows], out)
+    }
+}
+
+/// Splits `data` into fixed-size blocks, reduces each block with `f`, and
+/// returns the per-block partials in index order. Blocks may be reduced in
+/// parallel; determinism follows because block boundaries are fixed and the
+/// caller combines partials sequentially.
+fn deterministic_block_reduce<R: Send>(data: &[f32], f: impl Fn(&[f32]) -> R + Sync) -> Vec<R> {
+    if data.len() >= PAR_THRESHOLD {
+        data.par_chunks(REDUCE_BLOCK).map(&f).collect()
+    } else {
+        data.chunks(REDUCE_BLOCK).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Tensor {
+        Tensor::from_vec([n], (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn ctors_shapes() {
+        assert_eq!(Tensor::zeros([2, 3]).numel(), 6);
+        assert_eq!(Tensor::ones([4]).sum(), 4.0);
+        assert_eq!(Tensor::full([2, 2], 2.5).sum(), 10.0);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match data length")]
+    fn from_vec_validates() {
+        Tensor::from_vec([3], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([3], vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).data(), &[4.0, 2.5, 2.0]);
+        assert_eq!(a.maximum(&b).data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let g = Tensor::from_vec([3], vec![0.5, 0.5, 0.5]);
+        a.axpy(-2.0, &g);
+        assert_eq!(a.data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = seq(5);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.sum_sq(), 0.0 + 1.0 + 4.0 + 9.0 + 16.0);
+        assert!((Tensor::from_vec([2], vec![3.0, 4.0]).l2_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_reduction_deterministic_across_runs() {
+        // Parallel path: result must be identical every evaluation.
+        let t = Tensor::uniform([200_000], -1.0, 1.0, &mut CounterRng::new(1, 1));
+        let s1 = t.sum();
+        for _ in 0..5 {
+            assert_eq!(s1.to_bits(), t.sum().to_bits());
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let tt = t.transpose();
+        assert_eq!(tt.shape().dims(), &[3, 2]);
+        assert_eq!(tt.at(&[0, 1]), 4.0);
+        assert!(tt.transpose().bit_eq(&t));
+    }
+
+    #[test]
+    fn sum_rows_and_bias() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.sum_rows().data(), &[5.0, 7.0, 9.0]);
+        let b = Tensor::from_vec([3], vec![10.0, 20.0, 30.0]);
+        assert_eq!(t.add_row_vector(&b).data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let t = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5]);
+        assert_eq!(t.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bit_eq_detects_payload_change() {
+        let a = Tensor::ones([4]);
+        let mut b = a.clone();
+        assert!(a.bit_eq(&b));
+        b.data_mut()[2] = 1.0 + f32::EPSILON;
+        assert!(!a.bit_eq(&b));
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = seq(6);
+        let r = t.reshape([2, 3]);
+        assert_eq!(r.at(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn random_ctors_deterministic() {
+        let a = Tensor::randn([100], 0.0, 1.0, &mut CounterRng::new(5, 0));
+        let b = Tensor::randn([100], 0.0, 1.0, &mut CounterRng::new(5, 0));
+        assert!(a.bit_eq(&b));
+    }
+}

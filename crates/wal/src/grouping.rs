@@ -1,0 +1,389 @@
+//! Selective logging: machine grouping under a storage budget (§5.3).
+//!
+//! Logging every inter-machine boundary can cost hundreds of GB per
+//! checkpoint period. SWIFT groups machines and logs only *inter-group*
+//! boundaries; a failure inside a group rolls the whole group back to the
+//! last checkpoint, so grouping trades recovery time for storage. The
+//! planner greedily merges the adjacent pair minimizing ΔR/ΔM — recovery
+//! time added per byte saved — until the storage cap is met.
+
+use swift_net::MachineId;
+
+/// Assignment of machines to contiguous logging groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMap {
+    group_of: Vec<usize>,
+}
+
+impl GroupMap {
+    /// Every machine its own group (full per-machine logging).
+    pub fn singletons(machines: usize) -> Self {
+        GroupMap { group_of: (0..machines).collect() }
+    }
+
+    /// `n_groups` contiguous groups of (near-)equal size — the simple
+    /// balanced strategy the paper's §7.1 default configs use.
+    pub fn uniform_split(machines: usize, n_groups: usize) -> Self {
+        assert!(n_groups >= 1 && n_groups <= machines);
+        let group_of = (0..machines).map(|m| m * n_groups / machines).collect();
+        GroupMap { group_of }
+    }
+
+    /// Builds from explicit machine groups (must be contiguous and cover
+    /// all machines in order).
+    pub fn from_groups(groups: Vec<Vec<MachineId>>) -> Self {
+        let machines: usize = groups.iter().map(|g| g.len()).sum();
+        let mut group_of = vec![usize::MAX; machines];
+        let mut expected = 0usize;
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in g {
+                assert_eq!(m, expected, "groups must be contiguous and ordered");
+                group_of[m] = gi;
+                expected += 1;
+            }
+        }
+        GroupMap { group_of }
+    }
+
+    /// The group of `machine`.
+    pub fn group_of(&self, machine: MachineId) -> usize {
+        self.group_of[machine]
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_of.last().map(|&g| g + 1).unwrap_or(0)
+    }
+
+    /// The machines of each group, in order.
+    pub fn groups(&self) -> Vec<Vec<MachineId>> {
+        let mut out = vec![Vec::new(); self.num_groups()];
+        for (m, &g) in self.group_of.iter().enumerate() {
+            out[g].push(m);
+        }
+        out
+    }
+
+    /// Whether the boundary between machines `m` and `m+1` is logged.
+    pub fn boundary_logged(&self, m: MachineId) -> bool {
+        self.group_of[m] != self.group_of[m + 1]
+    }
+}
+
+/// Inputs to the §5.3 planner, profiled (or synthesized) per machine.
+#[derive(Debug, Clone)]
+pub struct PlannerInput {
+    /// `R_i`: per-iteration computation time of machine `i`, seconds.
+    pub per_machine_compute_s: Vec<f64>,
+    /// `M(i, i+1)`: bytes crossing the boundary between machines `i` and
+    /// `i+1` per iteration (both directions).
+    pub boundary_bytes_per_iter: Vec<f64>,
+    /// Network bandwidth `B`, bytes/s (assumed homogeneous).
+    pub bandwidth_bps: f64,
+    /// Checkpoint interval `T` in iterations — the upper bound on how
+    /// many iterations of logs accumulate before GC.
+    pub ckpt_interval: u64,
+    /// Whether parallel recovery (§5.2) divides each group's replay time
+    /// by `⌊N/|G|⌋`.
+    pub parallel_recovery: bool,
+}
+
+impl PlannerInput {
+    fn validate(&self) {
+        let n = self.per_machine_compute_s.len();
+        assert!(n >= 1);
+        assert_eq!(self.boundary_bytes_per_iter.len(), n - 1);
+        assert!(self.bandwidth_bps > 0.0);
+        assert!(self.ckpt_interval >= 1);
+    }
+}
+
+/// A planner outcome.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The chosen grouping.
+    pub map: GroupMap,
+    /// Total log storage `M(𝒢) = T · Σ inter-group boundary bytes`.
+    pub storage_bytes: f64,
+    /// Expected recovery time per replayed iteration,
+    /// `Σ (|G|/N) · R(G)` (with the parallel-recovery divisor if enabled).
+    pub expected_recovery_s_per_iter: f64,
+}
+
+/// Internal group bookkeeping during the greedy merge.
+#[derive(Debug, Clone)]
+struct G {
+    first: usize,
+    last: usize,
+    r: f64,
+}
+
+/// Runs the greedy §5.3 planner: starts from singletons and merges the
+/// adjacent pair with minimal ΔR/ΔM until storage fits `m_max_bytes`.
+///
+/// Returns the final plan. Panics if even a single group (no logging at
+/// all, storage 0) is somehow above the cap (it never is, since 0 ≤ cap).
+pub fn plan_groups(input: &PlannerInput, m_max_bytes: f64) -> Plan {
+    input.validate();
+    assert!(m_max_bytes >= 0.0);
+    let n = input.per_machine_compute_s.len();
+    let t = input.ckpt_interval as f64;
+    let mut groups: Vec<G> = (0..n)
+        .map(|i| G { first: i, last: i, r: input.per_machine_compute_s[i] })
+        .collect();
+
+    let storage = |groups: &[G]| -> f64 {
+        t * groups
+            .windows(2)
+            .map(|w| input.boundary_bytes_per_iter[w[0].last])
+            .sum::<f64>()
+    };
+
+    while storage(&groups) > m_max_bytes && groups.len() > 1 {
+        // Find the adjacent pair with minimal ΔR/ΔM.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..groups.len() - 1 {
+            let (a, b) = (&groups[i], &groups[i + 1]);
+            let m_ab = input.boundary_bytes_per_iter[a.last];
+            let r_merged = a.r + b.r + m_ab / input.bandwidth_bps;
+            let size_a = (a.last - a.first + 1) as f64;
+            let size_b = (b.last - b.first + 1) as f64;
+            let eff = |r: f64, size: f64| {
+                if input.parallel_recovery {
+                    r / ((n as f64 / size).floor().max(1.0))
+                } else {
+                    r
+                }
+            };
+            let delta_r = eff(r_merged, size_a + size_b) * (size_a + size_b) / n as f64
+                - eff(a.r, size_a) * size_a / n as f64
+                - eff(b.r, size_b) * size_b / n as f64;
+            let delta_m = m_ab * t;
+            let score = if delta_m > 0.0 { delta_r / delta_m } else { f64::INFINITY };
+            if best.map(|(_, s)| score < s).unwrap_or(true) {
+                best = Some((i, score));
+            }
+        }
+        let (i, _) = best.expect("at least one adjacent pair");
+        let b = groups.remove(i + 1);
+        let a = &mut groups[i];
+        let m_ab = input.boundary_bytes_per_iter[a.last];
+        a.r = a.r + b.r + m_ab / input.bandwidth_bps;
+        a.last = b.last;
+    }
+
+    let map = GroupMap::from_groups(
+        groups.iter().map(|g| (g.first..=g.last).collect()).collect(),
+    );
+    let expected = groups
+        .iter()
+        .map(|g| {
+            let size = (g.last - g.first + 1) as f64;
+            let r = if input.parallel_recovery {
+                g.r / ((n as f64 / size).floor().max(1.0))
+            } else {
+                g.r
+            };
+            r * size / n as f64
+        })
+        .sum();
+    Plan { storage_bytes: storage(&groups), expected_recovery_s_per_iter: expected, map }
+}
+
+/// Sweeps the planner over a set of storage caps, returning
+/// `(cap, plan)` pairs — the data behind the paper's Fig. 10 and
+/// Tables 6–7.
+pub fn sweep_storage_caps(input: &PlannerInput, caps: &[f64]) -> Vec<(f64, Plan)> {
+    caps.iter().map(|&c| (c, plan_groups(input, c))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_input(n: usize, parallel: bool) -> PlannerInput {
+        PlannerInput {
+            per_machine_compute_s: vec![0.2; n],
+            boundary_bytes_per_iter: vec![1e9; n - 1],
+            bandwidth_bps: 5e9,
+            ckpt_interval: 100,
+            parallel_recovery: parallel,
+        }
+    }
+
+    #[test]
+    fn group_map_basics() {
+        let m = GroupMap::uniform_split(16, 8);
+        assert_eq!(m.num_groups(), 8);
+        assert!(m.groups().iter().all(|g| g.len() == 2));
+        assert!(m.boundary_logged(1));
+        assert!(!m.boundary_logged(0));
+        let s = GroupMap::singletons(4);
+        assert_eq!(s.num_groups(), 4);
+        assert!((0..3).all(|b| s.boundary_logged(b)));
+    }
+
+    #[test]
+    fn high_cap_keeps_singletons() {
+        let input = uniform_input(8, false);
+        let plan = plan_groups(&input, 1e15);
+        assert_eq!(plan.map.num_groups(), 8);
+        // Storage = T × 7 boundaries × 1 GB.
+        assert!((plan.storage_bytes - 100.0 * 7.0 * 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_cap_merges_everything() {
+        let input = uniform_input(8, false);
+        let plan = plan_groups(&input, 0.0);
+        assert_eq!(plan.map.num_groups(), 1);
+        assert_eq!(plan.storage_bytes, 0.0);
+    }
+
+    #[test]
+    fn tighter_caps_mean_fewer_groups_and_longer_recovery() {
+        let input = uniform_input(16, false);
+        let caps = [1e15, 1e12, 5e11, 2e11, 1e11, 0.0];
+        let plans = sweep_storage_caps(&input, &caps);
+        for w in plans.windows(2) {
+            let (_, a) = &w[0];
+            let (_, b) = &w[1];
+            assert!(b.map.num_groups() <= a.map.num_groups());
+            assert!(
+                b.expected_recovery_s_per_iter >= a.expected_recovery_s_per_iter - 1e-12,
+                "recovery time must not improve as storage shrinks"
+            );
+        }
+        for (cap, plan) in &plans {
+            assert!(plan.storage_bytes <= *cap + 1.0, "cap violated");
+        }
+    }
+
+    #[test]
+    fn skewed_compute_merges_cheap_machines_first() {
+        // Machines 6,7 have much cheaper compute: merging them adds the
+        // least recovery time per byte saved, so the first merge under a
+        // barely-tight cap should involve the tail.
+        let mut input = uniform_input(8, false);
+        input.per_machine_compute_s = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.01, 0.01];
+        // Cap forcing exactly one merge: storage of 6 boundaries.
+        let cap = 100.0 * 6.0 * 1e9;
+        let plan = plan_groups(&input, cap);
+        assert_eq!(plan.map.num_groups(), 7);
+        let groups = plan.map.groups();
+        let merged: Vec<_> = groups.iter().filter(|g| g.len() == 2).collect();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0], &vec![6, 7]);
+    }
+
+    #[test]
+    fn parallel_recovery_reduces_expected_time() {
+        let input_seq = uniform_input(8, false);
+        let input_par = uniform_input(8, true);
+        let cap = 100.0 * 3.0 * 1e9; // force merging to ≤4 groups
+        let p_seq = plan_groups(&input_seq, cap);
+        let p_par = plan_groups(&input_par, cap);
+        assert!(
+            p_par.expected_recovery_s_per_iter < p_seq.expected_recovery_s_per_iter,
+            "parallel recovery must shorten expected replay"
+        );
+    }
+
+    #[test]
+    fn merged_group_r_includes_link_time() {
+        // Two machines, forced merge: R = r0 + r1 + M/B.
+        let input = PlannerInput {
+            per_machine_compute_s: vec![0.5, 0.3],
+            boundary_bytes_per_iter: vec![2e9],
+            bandwidth_bps: 4e9,
+            ckpt_interval: 10,
+            parallel_recovery: false,
+        };
+        let plan = plan_groups(&input, 0.0);
+        // Expected = (2/2)·(0.5+0.3+0.5) = 1.3
+        assert!((plan.expected_recovery_s_per_iter - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planner_is_deterministic() {
+        let input = uniform_input(16, true);
+        let a = plan_groups(&input, 3e11);
+        let b = plan_groups(&input, 3e11);
+        assert_eq!(a.map, b.map);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_groups_rejected() {
+        GroupMap::from_groups(vec![vec![0, 2], vec![1]]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_input() -> impl Strategy<Value = (PlannerInput, f64)> {
+        (2usize..12).prop_flat_map(|n| {
+            (
+                prop::collection::vec(0.01f64..2.0, n),
+                prop::collection::vec(1e6f64..1e10, n - 1),
+                1u64..500,
+                any::<bool>(),
+                0.0f64..1.0,
+            )
+                .prop_map(move |(compute, bounds, t, par, cap_frac)| {
+                    let full: f64 = bounds.iter().sum::<f64>() * t as f64;
+                    (
+                        PlannerInput {
+                            per_machine_compute_s: compute,
+                            boundary_bytes_per_iter: bounds,
+                            bandwidth_bps: 5e9,
+                            ckpt_interval: t,
+                            parallel_recovery: par,
+                        },
+                        full * cap_frac,
+                    )
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn plan_respects_cap_and_covers_machines((input, cap) in arb_input()) {
+            let plan = plan_groups(&input, cap);
+            prop_assert!(plan.storage_bytes <= cap + 1e-6);
+            let n = input.per_machine_compute_s.len();
+            prop_assert_eq!(plan.map.num_machines(), n);
+            // Groups are contiguous and cover every machine exactly once.
+            let mut covered = 0usize;
+            for g in plan.map.groups() {
+                for (i, &m) in g.iter().enumerate() {
+                    prop_assert_eq!(m, covered + i);
+                }
+                covered += g.len();
+            }
+            prop_assert_eq!(covered, n);
+        }
+
+        #[test]
+        fn recovery_time_monotone_in_cap((input, cap) in arb_input()) {
+            let tight = plan_groups(&input, cap * 0.5);
+            let loose = plan_groups(&input, cap);
+            prop_assert!(
+                tight.expected_recovery_s_per_iter + 1e-9
+                    >= loose.expected_recovery_s_per_iter,
+                "tightening the cap must not speed up recovery"
+            );
+            prop_assert!(tight.map.num_groups() <= loose.map.num_groups());
+        }
+    }
+}

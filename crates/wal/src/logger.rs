@@ -1,0 +1,404 @@
+//! The logging engine: upstream backup with synchronous, asynchronous, and
+//! bubble-time-asynchronous modes (§5.1).
+//!
+//! The paper's pipeline is: outbound tensor → (stays "on the GPU") →
+//! copied to CPU during the next bubble → background thread writes it to
+//! the local disk. Here:
+//!
+//! - `Sync` writes inline on `on_send` (the `torch.save`-before-send
+//!   baseline of §7.1);
+//! - `Async` enqueues to the writer thread immediately on `on_send`;
+//! - `BubbleAsync` stages the record in memory on `on_send` and hands the
+//!   staged batch to the writer thread only at the next bubble
+//!   ([`PipelineObserver::on_idle`]) — logging fully off the critical
+//!   path.
+//!
+//! On failure detection the owner calls [`Logger::flush`], which drains
+//! the staging area and blocks until the writer is idle — the paper's
+//! "flush the queue of uncompleted logging tasks".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use swift_dnn::StepCtx;
+use swift_net::{Rank, Topology};
+use swift_pipeline::{MsgKind, PipelineObserver};
+use swift_store::BlobStore;
+use swift_tensor::Tensor;
+
+use crate::grouping::GroupMap;
+use crate::record::LogRecord;
+
+/// When records leave the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// Write inline before returning from the send (baseline).
+    Sync,
+    /// Enqueue to the background writer immediately.
+    Async,
+    /// Stage in memory; enqueue at the next pipeline bubble.
+    BubbleAsync,
+}
+
+/// Payload precision for persisted records (§8 mixed precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogPrecision {
+    /// Full precision: replay is bitwise exact.
+    F32,
+    /// Half precision: half the volume, ≤2⁻¹¹ relative rounding on replay.
+    F16,
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Default)]
+pub struct LogStats {
+    /// Records durably written.
+    pub records_written: AtomicU64,
+    /// Payload bytes durably written.
+    pub bytes_written: AtomicU64,
+    /// Records dropped because the destination was intra-group (not
+    /// logged under selective logging).
+    pub records_skipped: AtomicU64,
+}
+
+/// The per-machine logger. One logger serves all workers of a machine
+/// (they share its disk); it decides *what* to log from the topology and
+/// the selective-logging group map.
+pub struct Logger {
+    mode: LogMode,
+    precision: LogPrecision,
+    topology: Topology,
+    groups: GroupMap,
+    staged: Vec<LogRecord>,
+    tx: Option<Sender<LogRecord>>,
+    writer: Option<JoinHandle<()>>,
+    in_flight: Arc<AtomicU64>,
+    stats: Arc<LogStats>,
+    store: BlobStore,
+}
+
+impl Logger {
+    /// Creates a logger writing to the machine-local `store`.
+    ///
+    /// `groups` controls selective logging (§5.3): traffic between ranks
+    /// whose machines share a group is *not* logged. Use
+    /// [`GroupMap::singletons`] for full (per-machine) logging.
+    pub fn new(mode: LogMode, topology: Topology, groups: GroupMap, store: BlobStore) -> Self {
+        Self::with_precision(mode, topology, groups, store, LogPrecision::F32)
+    }
+
+    /// Creates a logger persisting records at the given precision.
+    pub fn with_precision(
+        mode: LogMode,
+        topology: Topology,
+        groups: GroupMap,
+        store: BlobStore,
+        precision: LogPrecision,
+    ) -> Self {
+        let stats = Arc::new(LogStats::default());
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let (tx, writer) = if mode == LogMode::Sync {
+            (None, None)
+        } else {
+            let (tx, rx) = unbounded::<LogRecord>();
+            let store2 = store.clone();
+            let stats2 = stats.clone();
+            let in_flight2 = in_flight.clone();
+            let handle = std::thread::Builder::new()
+                .name("wal-writer".into())
+                .spawn(move || {
+                    while let Ok(rec) = rx.recv() {
+                        write_record(&store2, &rec, &stats2, precision);
+                        in_flight2.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+                .expect("failed to spawn wal writer");
+            (Some(tx), Some(handle))
+        };
+        Logger {
+            mode,
+            precision,
+            topology,
+            groups,
+            staged: Vec::new(),
+            tx,
+            writer,
+            in_flight,
+            stats,
+            store,
+        }
+    }
+
+    /// The logging mode.
+    pub fn mode(&self) -> LogMode {
+        self.mode
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &Arc<LogStats> {
+        &self.stats
+    }
+
+    /// The machine-local store records land in.
+    pub fn store(&self) -> &BlobStore {
+        &self.store
+    }
+
+    /// Whether traffic `src → dst` must be logged: inter-machine (§5.1)
+    /// *and* inter-group (§5.3).
+    pub fn should_log(&self, src: Rank, dst: Rank) -> bool {
+        let (ms, md) = (self.topology.machine_of(src), self.topology.machine_of(dst));
+        ms != md && self.groups.group_of(ms) != self.groups.group_of(md)
+    }
+
+    /// Records an outbound tensor (called from the send path).
+    pub fn log_send(&mut self, src: Rank, dst: Rank, ctx: StepCtx, kind: MsgKind, t: &Tensor) {
+        if !self.should_log(src, dst) {
+            self.stats.records_skipped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let rec = LogRecord::new(src, dst, ctx.iteration, ctx.microbatch, kind, t.clone());
+        match self.mode {
+            LogMode::Sync => write_record(&self.store, &rec, &self.stats, self.precision),
+            LogMode::Async => self.enqueue(rec),
+            LogMode::BubbleAsync => self.staged.push(rec),
+        }
+    }
+
+    /// Bubble callback: hand staged records to the background writer
+    /// ("copy to CPU during the bubble").
+    pub fn on_bubble(&mut self) {
+        if self.mode == LogMode::BubbleAsync {
+            for rec in self.staged.drain(..) {
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                self.tx.as_ref().unwrap().send(rec).expect("wal writer gone");
+            }
+        }
+    }
+
+    fn enqueue(&mut self, rec: LogRecord) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.tx.as_ref().unwrap().send(rec).expect("wal writer gone");
+    }
+
+    /// Records staged in memory, not yet handed to the writer.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Drains staging and blocks until every record is durable — called on
+    /// failure detection (§5.1 recovery step 1–2) and at checkpoints.
+    pub fn flush(&mut self) {
+        let staged: Vec<LogRecord> = self.staged.drain(..).collect();
+        match self.mode {
+            LogMode::Sync => {
+                for rec in &staged {
+                    write_record(&self.store, rec, &self.stats, self.precision);
+                }
+            }
+            _ => {
+                for rec in staged {
+                    self.enqueue(rec);
+                }
+                while self.in_flight.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            }
+        }
+    }
+
+    /// Garbage-collects every record older than `checkpoint_iteration`
+    /// (obsoleted by the checkpoint, §5.1); returns the count removed.
+    pub fn gc_before(&self, checkpoint_iteration: u64) -> std::io::Result<usize> {
+        let mut removed = 0;
+        for key in self.store.list("wal/")? {
+            // Keys embed the iteration: wal/it{iter:012}/...
+            if let Some(it) = key
+                .strip_prefix("wal/it")
+                .and_then(|s| s.get(0..12))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                if it < checkpoint_iteration {
+                    self.store.delete(&key)?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+impl Drop for Logger {
+    fn drop(&mut self) {
+        self.flush();
+        drop(self.tx.take());
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn write_record(store: &BlobStore, rec: &LogRecord, stats: &LogStats, precision: LogPrecision) {
+    let payload = rec.encode_precision(precision == LogPrecision::F16);
+    let bytes = payload.len() as u64;
+    store.put(&rec.key(), &payload).expect("log write failed");
+    stats.records_written.fetch_add(1, Ordering::Relaxed);
+    stats.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// A [`PipelineObserver`] binding a worker rank to its machine's logger —
+/// the seam between the pipeline executor and the WAL.
+pub struct LoggingObserver<'a> {
+    /// The sending rank.
+    pub rank: Rank,
+    /// The machine's logger.
+    pub logger: &'a mut Logger,
+}
+
+impl PipelineObserver for LoggingObserver<'_> {
+    fn on_send(&mut self, dst: Rank, ctx: StepCtx, kind: MsgKind, t: &Tensor) {
+        self.logger.log_send(self.rank, dst, ctx, kind, t);
+    }
+
+    fn on_idle(&mut self, _ctx: StepCtx) {
+        self.logger.on_bubble();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_pipeline::MsgKind;
+
+    fn setup(mode: LogMode) -> Logger {
+        let topo = Topology::uniform(2, 2); // ranks 0,1 | 2,3
+        let store = BlobStore::new_temp("wal").unwrap();
+        Logger::new(mode, topo.clone(), GroupMap::singletons(2), store)
+    }
+
+    fn ctx(it: u64, mb: u64) -> StepCtx {
+        StepCtx::new(it, mb)
+    }
+
+    #[test]
+    fn intra_machine_traffic_not_logged() {
+        let mut l = setup(LogMode::Sync);
+        l.log_send(0, 1, ctx(0, 0), MsgKind::Activation, &Tensor::ones([4]));
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 0);
+        assert_eq!(l.stats().records_skipped.load(Ordering::Relaxed), 1);
+        l.log_send(1, 2, ctx(0, 0), MsgKind::Activation, &Tensor::ones([4]));
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn selective_logging_skips_intra_group() {
+        let topo = Topology::uniform(4, 1);
+        let store = BlobStore::new_temp("wal-sel").unwrap();
+        // Machines {0,1} and {2,3} grouped: only the 1→2 boundary logs.
+        let groups = GroupMap::from_groups(vec![vec![0, 1], vec![2, 3]]);
+        let mut l = Logger::new(LogMode::Sync, topo, groups, store);
+        assert!(!l.should_log(0, 1));
+        assert!(l.should_log(1, 2));
+        assert!(!l.should_log(2, 3));
+        l.log_send(0, 1, ctx(0, 0), MsgKind::Activation, &Tensor::ones([2]));
+        l.log_send(1, 2, ctx(0, 0), MsgKind::Activation, &Tensor::ones([2]));
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sync_mode_is_immediately_durable() {
+        let mut l = setup(LogMode::Sync);
+        l.log_send(1, 2, ctx(3, 1), MsgKind::Gradient, &Tensor::full([8], 2.0));
+        assert_eq!(l.store().list("wal/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bubble_mode_stages_until_idle() {
+        let mut l = setup(LogMode::BubbleAsync);
+        l.log_send(1, 2, ctx(0, 0), MsgKind::Activation, &Tensor::ones([4]));
+        l.log_send(1, 2, ctx(0, 1), MsgKind::Activation, &Tensor::ones([4]));
+        assert_eq!(l.staged_len(), 2, "records wait for a bubble");
+        l.on_bubble();
+        assert_eq!(l.staged_len(), 0);
+        l.flush();
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn flush_drains_staging_on_failure() {
+        let mut l = setup(LogMode::BubbleAsync);
+        l.log_send(1, 2, ctx(5, 0), MsgKind::Activation, &Tensor::ones([4]));
+        // Failure detected before any bubble: flush must persist it.
+        l.flush();
+        assert_eq!(l.store().list("wal/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn async_mode_eventually_durable() {
+        let mut l = setup(LogMode::Async);
+        for mb in 0..4 {
+            l.log_send(1, 2, ctx(0, mb), MsgKind::Activation, &Tensor::ones([16]));
+        }
+        l.flush();
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 4);
+        // Each record stores its metadata header plus the 64-byte payload.
+        assert!(l.stats().bytes_written.load(Ordering::Relaxed) >= 4 * 64);
+    }
+
+    #[test]
+    fn gc_removes_pre_checkpoint_records() {
+        let mut l = setup(LogMode::Sync);
+        for it in 0..6u64 {
+            l.log_send(1, 2, ctx(it, 0), MsgKind::Activation, &Tensor::ones([2]));
+        }
+        let removed = l.gc_before(4).unwrap();
+        assert_eq!(removed, 4);
+        let remaining = l.store().list("wal/").unwrap();
+        assert_eq!(remaining.len(), 2);
+        assert!(remaining.iter().all(|k| k.contains("it000000000004") || k.contains("it000000000005")));
+    }
+
+    #[test]
+    fn f16_precision_halves_stored_volume() {
+        let topo = Topology::uniform(2, 1);
+        let mk = |precision| {
+            Logger::with_precision(
+                LogMode::Sync,
+                topo.clone(),
+                GroupMap::singletons(2),
+                BlobStore::new_temp("wal-prec").unwrap(),
+                precision,
+            )
+        };
+        let t = Tensor::full([4096], 0.125);
+        let mut full = mk(LogPrecision::F32);
+        let mut half = mk(LogPrecision::F16);
+        full.log_send(0, 1, ctx(0, 0), MsgKind::Activation, &t);
+        half.log_send(0, 1, ctx(0, 0), MsgKind::Activation, &t);
+        let fb = full.store().total_bytes().unwrap();
+        let hb = half.store().total_bytes().unwrap();
+        assert!(hb < fb * 6 / 10, "f16 logging must roughly halve storage: {hb} vs {fb}");
+        // And the stored record still decodes to the exact tensor (0.125
+        // is representable in f16).
+        let key = full.store().list("wal/").unwrap().remove(0);
+        let rec = crate::record::LogRecord::decode(half.store().get(&key).unwrap()).unwrap();
+        assert!(rec.tensor.bit_eq(&t));
+    }
+
+    #[test]
+    fn drop_flushes_outstanding_records() {
+        let store = BlobStore::new_temp("wal-drop").unwrap();
+        {
+            let mut l = Logger::new(
+                LogMode::BubbleAsync,
+                Topology::uniform(2, 1),
+                GroupMap::singletons(2),
+                store.clone(),
+            );
+            l.log_send(0, 1, ctx(9, 0), MsgKind::Gradient, &Tensor::ones([4]));
+        } // drop
+        assert_eq!(store.list("wal/").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Log records: the unit of upstream-backup logging (§5.1).
+//!
+//! Each record carries the raw boundary tensor plus the metadata the paper
+//! prescribes: sender, receiver, and the *timestamp* — (iteration,
+//! micro-batch) — that fixes the replay order during recovery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use swift_net::Rank;
+use swift_pipeline::MsgKind;
+use swift_tensor::Tensor;
+
+/// The replay timestamp: recovery re-executes records in ascending
+/// `(iteration, microbatch)` order, forwards before backwards within a
+/// micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogStamp {
+    /// Training iteration.
+    pub iteration: u64,
+    /// Micro-batch within the iteration.
+    pub microbatch: u64,
+    /// Message direction (activation = forward, gradient = backward).
+    pub kind: MsgKindCode,
+}
+
+/// Direction code with a total order (forward replays before backward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgKindCode {
+    /// Forward activation.
+    Activation = 0,
+    /// Backward gradient.
+    Gradient = 1,
+}
+
+impl From<MsgKind> for MsgKindCode {
+    fn from(k: MsgKind) -> Self {
+        match k {
+            MsgKind::Activation => MsgKindCode::Activation,
+            MsgKind::Gradient => MsgKindCode::Gradient,
+        }
+    }
+}
+
+impl From<MsgKindCode> for MsgKind {
+    fn from(k: MsgKindCode) -> Self {
+        match k {
+            MsgKindCode::Activation => MsgKind::Activation,
+            MsgKindCode::Gradient => MsgKind::Gradient,
+        }
+    }
+}
+
+/// One logged boundary tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Sending rank (the upstream machine keeps the record — upstream
+    /// backup).
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Replay timestamp.
+    pub stamp: LogStamp,
+    /// The boundary tensor.
+    pub tensor: Tensor,
+}
+
+impl LogRecord {
+    /// Creates a record.
+    pub fn new(src: Rank, dst: Rank, iteration: u64, microbatch: u64, kind: MsgKind, tensor: Tensor) -> Self {
+        LogRecord {
+            src,
+            dst,
+            stamp: LogStamp { iteration, microbatch, kind: kind.into() },
+            tensor,
+        }
+    }
+
+    /// Store key for this record, prefix-organized so recovery can fetch
+    /// by iteration range and boundary:
+    /// `wal/it{iter:012}/mb{mb:06}/{kind}_{src}to{dst}.bin`.
+    pub fn key(&self) -> String {
+        let kind = match self.stamp.kind {
+            MsgKindCode::Activation => "act",
+            MsgKindCode::Gradient => "grad",
+        };
+        format!(
+            "wal/it{:012}/mb{:06}/{kind}_{}to{}.bin",
+            self.stamp.iteration, self.stamp.microbatch, self.src, self.dst
+        )
+    }
+
+    /// Prefix of every record of iteration `it`.
+    pub fn iter_prefix(it: u64) -> String {
+        format!("wal/it{it:012}/")
+    }
+
+    /// Binary encoding (metadata header + tensor payload).
+    pub fn encode(&self) -> Bytes {
+        self.encode_precision(false)
+    }
+
+    /// Binary encoding with an optional half-precision payload (§8 mixed
+    /// precision: halves the logging volume; replay then carries a ≤2⁻¹¹
+    /// relative quantization error instead of being bitwise).
+    pub fn encode_precision(&self, half: bool) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.src as u64);
+        buf.put_u64_le(self.dst as u64);
+        buf.put_u64_le(self.stamp.iteration);
+        buf.put_u64_le(self.stamp.microbatch);
+        buf.put_u8(self.stamp.kind as u8);
+        if half {
+            swift_tensor::encode_f16_into(&self.tensor, &mut buf);
+        } else {
+            swift_tensor::encode_into(&self.tensor, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a record payload.
+    pub fn decode(mut buf: Bytes) -> Result<Self, String> {
+        if buf.remaining() < 33 {
+            return Err("log record truncated".into());
+        }
+        let src = buf.get_u64_le() as Rank;
+        let dst = buf.get_u64_le() as Rank;
+        let iteration = buf.get_u64_le();
+        let microbatch = buf.get_u64_le();
+        let kind = match buf.get_u8() {
+            0 => MsgKindCode::Activation,
+            1 => MsgKindCode::Gradient,
+            b => return Err(format!("bad kind byte {b}")),
+        };
+        let tensor = swift_tensor::decode(&mut buf).map_err(|e| e.to_string())?;
+        Ok(LogRecord {
+            src,
+            dst,
+            stamp: LogStamp { iteration, microbatch, kind },
+            tensor,
+        })
+    }
+
+    /// Payload bytes of the carried tensor.
+    pub fn tensor_bytes(&self) -> usize {
+        self.tensor.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(it: u64, mb: u64, kind: MsgKind) -> LogRecord {
+        LogRecord::new(3, 4, it, mb, kind, Tensor::full([4], it as f32))
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = rec(7, 2, MsgKind::Gradient);
+        let back = LogRecord::decode(r.encode()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn f16_encoding_halves_payload_and_decodes() {
+        let r = LogRecord::new(0, 1, 3, 0, MsgKind::Activation, Tensor::full([1000], 0.5));
+        let full = r.encode();
+        let half = r.encode_precision(true);
+        assert!(half.len() < full.len() * 6 / 10);
+        let back = LogRecord::decode(half).unwrap();
+        assert_eq!(back.stamp, r.stamp);
+        assert!(back.tensor.bit_eq(&r.tensor), "0.5 is exactly representable in f16");
+    }
+
+    #[test]
+    fn stamp_order_is_replay_order() {
+        let mut stamps = [LogStamp { iteration: 1, microbatch: 0, kind: MsgKindCode::Gradient },
+            LogStamp { iteration: 0, microbatch: 1, kind: MsgKindCode::Activation },
+            LogStamp { iteration: 0, microbatch: 0, kind: MsgKindCode::Gradient },
+            LogStamp { iteration: 0, microbatch: 0, kind: MsgKindCode::Activation }];
+        stamps.sort();
+        assert_eq!(stamps[0].kind, MsgKindCode::Activation);
+        assert_eq!(stamps[0].microbatch, 0);
+        assert_eq!(stamps[1].kind, MsgKindCode::Gradient);
+        assert_eq!(stamps[2].microbatch, 1);
+        assert_eq!(stamps[3].iteration, 1);
+    }
+
+    #[test]
+    fn keys_sort_by_timestamp() {
+        let a = rec(1, 0, MsgKind::Activation).key();
+        let b = rec(1, 1, MsgKind::Activation).key();
+        let c = rec(2, 0, MsgKind::Activation).key();
+        assert!(a < b && b < c);
+        assert!(a.starts_with(&LogRecord::iter_prefix(1)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let enc = rec(1, 1, MsgKind::Activation).encode();
+        assert!(LogRecord::decode(enc.slice(0..10)).is_err());
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut raw = rec(0, 0, MsgKind::Activation).encode().to_vec();
+        raw[32] = 9;
+        assert!(LogRecord::decode(Bytes::from(raw)).is_err());
+    }
+}

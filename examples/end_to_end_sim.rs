@@ -1,0 +1,53 @@
+//! The §7.3 simulation study at the paper's full scale: end-to-end
+//! training time with randomly injected failures, for all three benchmark
+//! models and all methods (Tables 4–5 condensed, plus the MTBF sweep of
+//! Fig. 13).
+//!
+//! Run with: `cargo run --release --example end_to_end_sim`
+
+use swift_dnn::profile::{bert_128, vit_128_32, wide_resnet_50, TESTBED};
+use swift_sim::{simulate_mean, sweep_mtbf, CostModel, Method};
+
+fn main() {
+    println!("Table 4/5 — simulated end-to-end training time (MTBF 17 h, mean of 10 runs):");
+    let jobs = [
+        (
+            wide_resnet_50(),
+            Method::SwiftReplication { ckpt_interval: 5_004 },
+            "replication",
+        ),
+        (
+            vit_128_32(),
+            Method::SwiftLogging { ckpt_interval: 312, groups: 16, sync: false, parallel_recovery: 16 },
+            "logging+PR",
+        ),
+        (
+            bert_128(),
+            Method::SwiftLogging { ckpt_interval: 5_000, groups: 16, sync: false, parallel_recovery: 16 },
+            "logging+PR",
+        ),
+    ];
+    for (model, swift_method, tag) in jobs {
+        let cm = CostModel::new(model, TESTBED);
+        let ff = cm.model.failure_free_seconds() / 3600.0;
+        let gc =
+            simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let sw = simulate_mean(&cm, swift_method, 17.0, 10);
+        println!(
+            "  {:<16} failure-free {ff:>6.1} h | global-ckpt {:>6.1} h ({} failures) | \
+             swift[{tag}] {:>6.1} h | speedup {:.2}x",
+            cm.model.name, gc.hours, gc.failures, sw.hours, gc.hours / sw.hours
+        );
+    }
+
+    println!("\nFig 13 — Wide-ResNet-50 end-to-end hours vs MTBF:");
+    let cm = CostModel::new(wide_resnet_50(), TESTBED);
+    let mtbfs = [4.0, 8.0, 17.0, 34.0, 68.0];
+    let gc = sweep_mtbf(&cm, Method::GlobalCkpt { interval: 5_004 }, &mtbfs, 6);
+    let sw = sweep_mtbf(&cm, Method::SwiftReplication { ckpt_interval: 5_004 }, &mtbfs, 6);
+    println!("  {:>10} {:>14} {:>10} {:>9}", "MTBF (h)", "global (h)", "swift (h)", "speedup");
+    for (g, s) in gc.iter().zip(sw.iter()) {
+        println!("  {:>10.0} {:>14.1} {:>10.1} {:>8.2}x", g.0, g.1, s.1, g.1 / s.1);
+    }
+    println!("OK");
+}

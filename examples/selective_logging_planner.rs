@@ -1,0 +1,62 @@
+//! Selective logging and the §5.3/§5.4 planning machinery.
+//!
+//! Prints (1) the §5.4 use-case verdicts — which of the paper's models are
+//! worth logging at all, (2) Table 3's logging volumes, and (3) the greedy
+//! ΔR/ΔM grouping outcomes under shrinking storage caps (Tables 6–7 /
+//! Fig. 10).
+//!
+//! Run with: `cargo run --example selective_logging_planner`
+
+use swift_dnn::profile::{all_models, TESTBED};
+use swift_wal::{cnn_pipeline_profile, evaluate_usecase, plan_groups, PlannerInput};
+
+fn main() {
+    println!("§5.4 use-case test — is logging worth doing?");
+    for model in all_models().iter().chain([cnn_pipeline_profile()].iter()) {
+        let r = evaluate_usecase(model, &TESTBED);
+        println!(
+            "  {:<16} log/iter/machine {:>7.2} GB | PCIe {:>6.3}s vs bubble {:>6.3}s | \
+             interval volume {:>8.2} TB | verdict: {}",
+            r.model,
+            r.per_machine_log_bytes / 1e9,
+            r.pcie_time_s,
+            r.bubble_time_s,
+            r.per_machine_interval_bytes / 1e12,
+            if r.worth_logging { "LOG" } else { "checkpoint only" },
+        );
+    }
+
+    println!("\nTable 3 — logging volume per iteration:");
+    for model in all_models().iter().filter(|m| m.stages_per_machine > 0) {
+        for groups in [16usize, 8] {
+            println!(
+                "  {:<12} {groups:>2} groups: {:>6.2} GB/iter, {:>6.3} GB/s consumed bandwidth",
+                model.name,
+                model.logging_bytes_per_iteration(groups) / 1e9,
+                model.avg_logging_bandwidth(groups) / 1e9,
+            );
+        }
+    }
+
+    println!("\n§5.3 greedy grouping under a shrinking storage cap (BERT-128):");
+    let bert = swift_dnn::profile::bert_128();
+    let input = PlannerInput {
+        per_machine_compute_s: bert.per_machine_compute_s(),
+        boundary_bytes_per_iter: vec![bert.boundary_bytes_per_iteration(); bert.machines - 1],
+        bandwidth_bps: TESTBED.net_bps,
+        ckpt_interval: bert.ckpt_interval,
+        parallel_recovery: false,
+    };
+    for cap in [5.0e13, 3.0e13, 2.0e13, 1.0e13, 5.0e12, 1.0e12, 0.0] {
+        let plan = plan_groups(&input, cap);
+        println!(
+            "  cap {:>8.1} GB → {:>2} groups, storage {:>8.1} GB, expected recovery {:>7.2} s/iter: {:?}",
+            cap / 1e9,
+            plan.map.num_groups(),
+            plan.storage_bytes / 1e9,
+            plan.expected_recovery_s_per_iter,
+            plan.map.groups().iter().map(|g| g.len()).collect::<Vec<_>>(),
+        );
+    }
+    println!("OK");
+}

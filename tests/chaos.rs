@@ -1,0 +1,133 @@
+//! Chaos testing: randomized failure injection across the scenario space.
+//!
+//! Deterministically seeded sweeps over crash coordinates (which machine,
+//! which iteration, how deep into the update) — every combination must
+//! recover to the failure-free trajectory. This is the breadth companion
+//! to the targeted integration tests.
+
+use std::sync::Arc;
+
+use swift::core::{
+    run_dp_scenario, run_pipeline_scenario, DpScenario, ModelFn, PipelineScenario,
+};
+use swift::data::BlobsDataset;
+use swift::dnn::models::mlp;
+use swift::optim::OptimizerKind;
+use swift::tensor::CounterRng;
+use swift::wal::{LogMode, LogPrecision};
+
+const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
+    lr: 0.05,
+    weight_decay: 0.001,
+    momentum: 0.9,
+    dampening: 0.0,
+};
+
+#[test]
+fn dp_random_crash_points_all_recover() {
+    let iters = 14u64;
+    let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-dp", &[6, 16, 12, 3], 97)) };
+    let run = |crash| {
+        run_dp_scenario(DpScenario {
+            machines: 3,
+            model_fn: model_fn(),
+            opt: SGDM,
+            dataset: Arc::new(BlobsDataset::new(41, 6, 3, 0.4)),
+            batch_size: 12,
+            iters,
+            crash,
+        })
+    };
+    let clean = run(None);
+    let mut rng = CounterRng::new(0xC405, 0);
+    for trial in 0..6 {
+        let machine = rng.below(3) as usize;
+        let iteration = 1 + rng.below(iters - 2);
+        let after_groups = 1 + rng.below(5) as usize; // 6 groups in the model
+        let failed = run(Some((machine, iteration, after_groups)));
+        assert!(
+            failed.states[0].bit_eq(&failed.states[1])
+                && failed.states[0].bit_eq(&failed.states[2]),
+            "trial {trial} (m{machine}, it{iteration}, g{after_groups}): replicas diverged"
+        );
+        let drift = clean.states[0].max_abs_diff(&failed.states[0]);
+        assert!(
+            drift < 1e-3,
+            "trial {trial} (m{machine}, it{iteration}, g{after_groups}): drift {drift}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_random_crash_points_all_recover_bitwise() {
+    let iters = 16u64;
+    let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-pp", &[8, 20, 20, 20, 3], 98)) };
+    let run = |crash, d| {
+        run_pipeline_scenario(PipelineScenario {
+            stages: 4,
+            model_fn: model_fn(),
+            opt: SGDM,
+            dataset: Arc::new(BlobsDataset::new(43, 8, 3, 0.4)),
+            batch_size: 8,
+            microbatches: 4,
+            ckpt_interval: 5,
+            iters,
+            schedule: swift::pipeline::ScheduleKind::OneFOneB,
+            log_mode: LogMode::BubbleAsync,
+            log_precision: LogPrecision::F32,
+            crash,
+            parallel_recovery: d,
+        })
+    };
+    let clean = run(None, 1);
+    let mut rng = CounterRng::new(0xC406, 0);
+    for trial in 0..5 {
+        let machine = rng.below(4) as usize;
+        let iteration = 1 + rng.below(iters - 2);
+        let failed = run(Some((machine, iteration)), 1);
+        for s in 0..4 {
+            assert!(
+                clean.states[s].bit_eq(&failed.states[s]),
+                "trial {trial} (m{machine}, it{iteration}): stage {s} not bitwise"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_random_parallel_recovery_tracks_sequential() {
+    let iters = 12u64;
+    let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-pr", &[8, 20, 20, 3], 99)) };
+    let run = |crash, d| {
+        run_pipeline_scenario(PipelineScenario {
+            stages: 3,
+            model_fn: model_fn(),
+            opt: SGDM,
+            dataset: Arc::new(BlobsDataset::new(45, 8, 3, 0.4)),
+            batch_size: 8,
+            microbatches: 4,
+            ckpt_interval: 4,
+            iters,
+            schedule: swift::pipeline::ScheduleKind::OneFOneB,
+            log_mode: LogMode::BubbleAsync,
+            log_precision: LogPrecision::F32,
+            crash,
+            parallel_recovery: d,
+        })
+    };
+    let clean = run(None, 1);
+    let mut rng = CounterRng::new(0xC407, 0);
+    for trial in 0..3 {
+        let machine = rng.below(3) as usize;
+        let iteration = 1 + rng.below(iters - 2);
+        let d = 2 + rng.below(2) as usize; // 2 or 3 replicas
+        let failed = run(Some((machine, iteration)), d);
+        for s in 0..3 {
+            let drift = clean.states[s].max_abs_diff(&failed.states[s]);
+            assert!(
+                drift < 1e-3,
+                "trial {trial} (m{machine}, it{iteration}, d{d}): stage {s} drift {drift}"
+            );
+        }
+    }
+}

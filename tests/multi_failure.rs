@@ -1,0 +1,493 @@
+//! Integration: multiple simultaneous failures and joint/independent
+//! recovery (paper Appendix B).
+//!
+//! - Replication: two of three replicas die at once; the lone survivor's
+//!   copy recovers both replacements.
+//! - Logging, adjacent machines: two consecutive pipeline stages die and
+//!   are *recovered jointly* — the inner boundary replays live between the
+//!   two replacements, outer boundaries come from the logs.
+//! - Logging, non-adjacent machines: the failed portions are recovered
+//!   *independently*.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use swift::ckpt::CheckpointManager;
+use swift::core::{
+    pipeline_maybe_checkpoint, pipeline_on_failure_survivor, pipeline_replay,
+    pipeline_train_iteration, recovery_fence, replication_join, replication_recover_survivor,
+    DatasetSource, DpWorker, PipelineJob, PipelineWorker, RecoveryRole,
+};
+use swift::data::{BlobsDataset, Dataset};
+use swift::dnn::models::{mlp, split_stages};
+use swift::dnn::{ModelState, Sequential};
+use swift::net::{Cluster, CommError, Rank, Topology};
+use swift::optim::OptimizerKind;
+use swift::pipeline::ScheduleKind;
+use swift::store::{BlobStore, GlobalStore};
+use swift::wal::{GroupMap, LogMode, Logger, WalReader};
+
+const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
+    lr: 0.05,
+    weight_decay: 0.0,
+    momentum: 0.9,
+    dampening: 0.0,
+};
+
+// ---------------------------------------------------------------- helpers
+
+fn pipeline_job(stages: usize) -> PipelineJob {
+    PipelineJob {
+        stage_ranks: (0..stages).collect(),
+        microbatches: 4,
+        kind: ScheduleKind::OneFOneB,
+        ckpt_interval: 5,
+        batch_size: 8,
+    }
+}
+
+fn stage_model(stages: usize, stage: usize) -> Sequential {
+    let dims: Vec<usize> = std::iter::once(8)
+        .chain(std::iter::repeat_n(16, stages))
+        .chain(std::iter::once(3))
+        .collect();
+    split_stages(mlp("mf", &dims, 31), stages).into_iter().nth(stage).unwrap()
+}
+
+fn make_pworker(
+    stages: usize,
+    stage: usize,
+    topo: &Topology,
+    rank: Rank,
+    global: &GlobalStore,
+) -> PipelineWorker {
+    PipelineWorker {
+        stage,
+        model: stage_model(stages, stage),
+        opt: SGDM.build(),
+        iteration: 0,
+        logger: Logger::new(
+            LogMode::BubbleAsync,
+            topo.clone(),
+            GroupMap::singletons(topo.num_machines()),
+            BlobStore::new_temp(&format!("mf-m{rank}")).unwrap(),
+        ),
+        ckpt: CheckpointManager::new(global.blob().clone(), rank),
+        global: global.clone(),
+        last_grads: Vec::new(),
+    }
+}
+
+fn data_source(stages: usize) -> DatasetSource {
+    let _ = stages;
+    DatasetSource {
+        dataset: Arc::new(BlobsDataset::new(17, 8, 3, 0.3)),
+        batch_size: 8,
+        microbatches: 4,
+    }
+}
+
+/// Failure-free reference states for a `stages`-stage pipeline.
+fn pipeline_reference(stages: usize, iters: u64) -> Vec<ModelState> {
+    let global = GlobalStore::new_temp().unwrap();
+    Cluster::run_all(Topology::uniform(stages, 1), move |mut ctx| {
+        let topo = ctx.topology.clone();
+        let mut w = make_pworker(stages, ctx.rank(), &topo, ctx.rank(), &global);
+        let data = data_source(stages);
+        let job = pipeline_job(stages);
+        for _ in 0..iters {
+            pipeline_train_iteration(&mut ctx, &job, &mut w, &data).unwrap();
+            pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+        }
+        w.model.state()
+    })
+}
+
+// ------------------------------------------------------------------ tests
+
+#[test]
+fn replication_survives_double_failure() {
+    // 3 replicas; machines 1 and 2 die simultaneously at iteration 4. The
+    // lone survivor (rank 0) recovers both replacements from its replica.
+    let world = 3usize;
+    let iters = 8u64;
+    let cluster = Cluster::new(Topology::uniform(world, 1));
+    let fc = cluster.failure_controller();
+    let kv = cluster.kv();
+
+    let spawn_worker = |rank: usize, cluster: &Cluster| {
+        cluster.spawn(rank, move |mut ctx| {
+            let ds = BlobsDataset::new(3, 6, 3, 0.3);
+            let mut w = DpWorker::new(mlp("r", &[6, 12, 3], 5), SGDM.build());
+            loop {
+                if w.iteration >= iters {
+                    return Some(w.model.state());
+                }
+                if ctx.rank() != 0 && w.iteration == 4 {
+                    // Victims rendezvous and wait to be killed atomically.
+                    ctx.kv.incr("victims-ready");
+                    while !ctx.comm.failure_controller().is_dead(ctx.rank()) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return None;
+                }
+                let b = ds.batch(w.iteration, 12);
+                let shard = swift::data::shard_batch(&b, ctx.rank(), 3);
+                match swift::core::dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1, 2],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 12.0,
+                    None,
+                ) {
+                    Ok(_) => {}
+                    Err(CommError::SelfKilled) => return None,
+                    Err(CommError::PeerFailed { .. }) => {
+                        ctx.kv.set("survivor-detected", "1");
+                        ctx.kv
+                            .wait_for("replacements-up", Duration::from_secs(30))
+                            .expect("no replacements");
+                        replication_recover_survivor(&mut ctx, &mut w, &[0], &[0, 1, 2])
+                            .unwrap();
+                    }
+                }
+            }
+        })
+    };
+    let h0 = spawn_worker(0, &cluster);
+    let h1 = spawn_worker(1, &cluster);
+    let h2 = spawn_worker(2, &cluster);
+
+    // Kill both victims atomically once they reach the rendezvous.
+    assert_eq!(kv.wait_for("victims-ready", Duration::from_secs(30)).as_deref(), Some("1"));
+    while kv.get("victims-ready").as_deref() != Some("2") {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    fc.kill_machines(&[1, 2]);
+    assert!(h1.join().unwrap().is_none());
+    assert!(h2.join().unwrap().is_none());
+    kv.wait_for("survivor-detected", Duration::from_secs(30)).expect("survivor never detected");
+
+    // Bring up both replacements.
+    fc.replace_machine(1);
+    fc.replace_machine(2);
+    let mut handles = Vec::new();
+    for mach in [1usize, 2] {
+        let mut rctx = cluster.respawn(mach);
+        handles.push(std::thread::spawn(move || {
+            let mut w = replication_join(
+                &mut rctx,
+                mlp("r", &[6, 12, 3], 5),
+                SGDM.build(),
+                &[0],
+                &[0, 1, 2],
+            )
+            .unwrap();
+            let ds = BlobsDataset::new(3, 6, 3, 0.3);
+            while w.iteration < iters {
+                let b = ds.batch(w.iteration, 12);
+                let shard = swift::data::shard_batch(&b, rctx.rank(), 3);
+                swift::core::dp_train_step(
+                    &mut rctx,
+                    &mut w,
+                    &[0, 1, 2],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 12.0,
+                    None,
+                )
+                .unwrap();
+            }
+            w.model.state()
+        }));
+    }
+    kv.set("replacements-up", "1");
+
+    let s0 = h0.join().unwrap().unwrap();
+    let s1 = handles.remove(0).join().unwrap();
+    let s2 = handles.remove(0).join().unwrap();
+    assert!(s0.bit_eq(&s1) && s0.bit_eq(&s2), "all replicas identical after double recovery");
+}
+
+/// Joint recovery of two *adjacent* failed machines (Appendix B): the
+/// replacements replay together — live inner boundary, logged outer ones.
+#[test]
+fn adjacent_double_failure_recovered_jointly() {
+    let stages = 4usize;
+    let iters = 10u64;
+    let kill_at = 7u64; // ckpt at 5 → replay iterations 5, 6
+    let reference = pipeline_reference(stages, iters);
+
+    let global = GlobalStore::new_temp().unwrap();
+    let cluster = Cluster::new(Topology::uniform(stages, 1));
+    let fc = cluster.failure_controller();
+    let kv = cluster.kv();
+
+    // Survivors: stages 0 and 3.
+    let mut survivors = Vec::new();
+    for rank in [0usize, 3] {
+        let g = global.clone();
+        survivors.push(cluster.spawn(rank, move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let mut w = make_pworker(stages, ctx.rank(), &topo, ctx.rank(), &g);
+            let data = data_source(stages);
+            let job = pipeline_job(stages);
+            loop {
+                if w.iteration >= iters {
+                    return w.model.state();
+                }
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {
+                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+                    }
+                    Err(CommError::PeerFailed { .. }) => {
+                        let gen = ctx.comm.failure_controller().generation();
+                        pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 3]).unwrap();
+                        recovery_fence(&mut ctx, gen * 10 + 2, &[0, 1, 2, 3]).unwrap();
+                    }
+                    Err(e) => panic!("survivor: {e}"),
+                }
+            }
+        }));
+    }
+    // Victims: stages 1 and 2, rendezvous then die together.
+    let mut victims = Vec::new();
+    for rank in [1usize, 2] {
+        let g = global.clone();
+        victims.push(cluster.spawn(rank, move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let mut w = make_pworker(stages, ctx.rank(), &topo, ctx.rank(), &g);
+            let data = data_source(stages);
+            let job = pipeline_job(stages);
+            loop {
+                if w.iteration == kill_at {
+                    ctx.kv.incr("pp-victims-ready");
+                    // Spin until killed; the next comm op reports it.
+                    while !ctx.comm.failure_controller().is_dead(ctx.rank()) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return None;
+                }
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {
+                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+                    }
+                    Err(CommError::SelfKilled) => return None::<ModelState>,
+                    Err(e) => panic!("victim: {e}"),
+                }
+            }
+        }));
+    }
+
+    while kv.get("pp-victims-ready").as_deref() != Some("2") {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    fc.kill_machines(&[1, 2]);
+    for v in victims {
+        assert!(v.join().unwrap().is_none());
+    }
+    // Wait for both survivors' consensus, then revive.
+    for r in [0usize, 3] {
+        kv.wait_for(&format!("consensus/1/{r}"), Duration::from_secs(30))
+            .expect("survivor consensus");
+    }
+    fc.replace_machine(1);
+    fc.replace_machine(2);
+
+    // Joint replacements: stage 1 ↔ stage 2 replay with a live inner edge.
+    let mut repl = Vec::new();
+    for mach in [1usize, 2] {
+        let mut rctx = cluster.respawn(mach);
+        let g = global.clone();
+        repl.push(std::thread::spawn(move || {
+            let topo = rctx.topology.clone();
+            let mut w = make_pworker(stages, mach, &topo, mach, &g);
+            let job = pipeline_job(stages);
+            let data = data_source(stages);
+            let ckpt = w.ckpt.load_latest().unwrap().expect("ckpt");
+            w.model.load_state(&ckpt.model);
+            w.opt.load_state(&ckpt.optim);
+            let from = ckpt.iteration;
+            let consensus: u64 =
+                kv_consensus(&rctx.kv, 1, &[0, 3]).expect("consensus from survivors");
+            // Fence the joint replay pair (fresh comms, but symmetric).
+            recovery_fence(&mut rctx, 10 + 1, &[1, 2]).unwrap();
+            let role = RecoveryRole {
+                stage: mach, // stage == rank in this layout
+                recovered_stages: vec![1, 2],
+                group_ranks: vec![1, 2],
+                replica: 0,
+                num_replicas: 1,
+                allreduce_peers: vec![mach],
+            };
+            let reader = WalReader::new(w.global.blob().clone());
+            pipeline_replay(
+                &mut rctx, &job, &role, &mut w.model, &mut *w.opt, &reader, &data, from,
+                consensus,
+            )
+            .unwrap();
+            w.iteration = consensus;
+            recovery_fence(&mut rctx, 10 + 2, &[0, 1, 2, 3]).unwrap();
+            // Resume normal training.
+            loop {
+                if w.iteration >= iters {
+                    return w.model.state();
+                }
+                pipeline_train_iteration(&mut rctx, &job, &mut w, &data).unwrap();
+                pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+            }
+        }));
+    }
+
+    let s0 = survivors.remove(0).join().unwrap();
+    let s3 = survivors.remove(0).join().unwrap();
+    let s1 = repl.remove(0).join().unwrap();
+    let s2 = repl.remove(0).join().unwrap();
+    assert!(s0.bit_eq(&reference[0]), "stage 0");
+    assert!(s1.bit_eq(&reference[1]), "stage 1 (jointly recovered)");
+    assert!(s2.bit_eq(&reference[2]), "stage 2 (jointly recovered)");
+    assert!(s3.bit_eq(&reference[3]), "stage 3");
+}
+
+fn kv_consensus(kv: &swift::net::KvStore, generation: u64, survivors: &[Rank]) -> Option<u64> {
+    let mut consensus = u64::MAX;
+    for &r in survivors {
+        let v = kv.wait_for(&format!("consensus/{generation}/{r}"), Duration::from_secs(30))?;
+        consensus = consensus.min(v.parse().ok()?);
+    }
+    Some(consensus)
+}
+
+/// Non-adjacent failures recover independently (Appendix B): stages 1 and
+/// 3 of a 4-stage pipeline die; each replacement replays alone.
+#[test]
+fn non_adjacent_double_failure_recovered_independently() {
+    let stages = 4usize;
+    let iters = 10u64;
+    let kill_at = 7u64;
+    let reference = pipeline_reference(stages, iters);
+
+    let global = GlobalStore::new_temp().unwrap();
+    let cluster = Cluster::new(Topology::uniform(stages, 1));
+    let fc = cluster.failure_controller();
+    let kv = cluster.kv();
+
+    let mut survivors = Vec::new();
+    for rank in [0usize, 2] {
+        let g = global.clone();
+        survivors.push(cluster.spawn(rank, move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let mut w = make_pworker(stages, ctx.rank(), &topo, ctx.rank(), &g);
+            let data = data_source(stages);
+            let job = pipeline_job(stages);
+            loop {
+                if w.iteration >= iters {
+                    return w.model.state();
+                }
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {
+                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+                    }
+                    Err(CommError::PeerFailed { .. }) => {
+                        let gen = ctx.comm.failure_controller().generation();
+                        pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 2]).unwrap();
+                        recovery_fence(&mut ctx, gen * 10 + 2, &[0, 1, 2, 3]).unwrap();
+                    }
+                    Err(e) => panic!("survivor: {e}"),
+                }
+            }
+        }));
+    }
+    let mut victims = Vec::new();
+    for rank in [1usize, 3] {
+        let g = global.clone();
+        victims.push(cluster.spawn(rank, move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let mut w = make_pworker(stages, ctx.rank(), &topo, ctx.rank(), &g);
+            let data = data_source(stages);
+            let job = pipeline_job(stages);
+            loop {
+                if w.iteration == kill_at {
+                    ctx.kv.incr("pp2-victims-ready");
+                    while !ctx.comm.failure_controller().is_dead(ctx.rank()) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return None;
+                }
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {
+                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+                    }
+                    Err(CommError::SelfKilled) => return None::<ModelState>,
+                    Err(e) => panic!("victim: {e}"),
+                }
+            }
+        }));
+    }
+
+    while kv.get("pp2-victims-ready").as_deref() != Some("2") {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    fc.kill_machines(&[1, 3]);
+    for v in victims {
+        assert!(v.join().unwrap().is_none());
+    }
+    for r in [0usize, 2] {
+        kv.wait_for(&format!("consensus/1/{r}"), Duration::from_secs(30))
+            .expect("survivor consensus");
+    }
+    fc.replace_machine(1);
+    fc.replace_machine(3);
+
+    // Independent replacements: each replays its own stage alone.
+    let mut repl = Vec::new();
+    for mach in [1usize, 3] {
+        let mut rctx = cluster.respawn(mach);
+        let g = global.clone();
+        repl.push(std::thread::spawn(move || {
+            let topo = rctx.topology.clone();
+            let mut w = make_pworker(stages, mach, &topo, mach, &g);
+            let job = pipeline_job(stages);
+            let data = data_source(stages);
+            let ckpt = w.ckpt.load_latest().unwrap().expect("ckpt");
+            w.model.load_state(&ckpt.model);
+            w.opt.load_state(&ckpt.optim);
+            let from = ckpt.iteration;
+            let consensus = kv_consensus(&rctx.kv, 1, &[0, 2]).expect("consensus");
+            let role = RecoveryRole {
+                stage: mach,
+                recovered_stages: vec![mach],
+                group_ranks: vec![mach],
+                replica: 0,
+                num_replicas: 1,
+                allreduce_peers: vec![mach],
+            };
+            let reader = WalReader::new(w.global.blob().clone());
+            pipeline_replay(
+                &mut rctx, &job, &role, &mut w.model, &mut *w.opt, &reader, &data, from,
+                consensus,
+            )
+            .unwrap();
+            w.iteration = consensus;
+            recovery_fence(&mut rctx, 10 + 2, &[0, 1, 2, 3]).unwrap();
+            loop {
+                if w.iteration >= iters {
+                    return w.model.state();
+                }
+                pipeline_train_iteration(&mut rctx, &job, &mut w, &data).unwrap();
+                pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+            }
+        }));
+    }
+
+    let s0 = survivors.remove(0).join().unwrap();
+    let s2 = survivors.remove(0).join().unwrap();
+    let s1 = repl.remove(0).join().unwrap();
+    let s3 = repl.remove(0).join().unwrap();
+    assert!(s0.bit_eq(&reference[0]), "stage 0");
+    assert!(s1.bit_eq(&reference[1]), "stage 1 (independent recovery)");
+    assert!(s2.bit_eq(&reference[2]), "stage 2");
+    assert!(s3.bit_eq(&reference[3]), "stage 3 (independent recovery)");
+}

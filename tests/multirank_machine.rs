@@ -1,0 +1,275 @@
+//! Integration: machines hosting *multiple* pipeline stages — the paper's
+//! actual deployment shape (8 stages per DGX machine) and its Fig. 6b
+//! recovery scenario.
+//!
+//! With two stages per machine, only the machine-crossing edge is logged
+//! (§5.1: intra-machine GPU-to-GPU traffic is not); when a machine dies,
+//! its two stages are recovered *jointly*: the inner edge replays live
+//! between the two replacement workers, the outer edges come from the
+//! surviving machines' logs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use swift::ckpt::CheckpointManager;
+use swift::core::{
+    pipeline_maybe_checkpoint, pipeline_on_failure_survivor, pipeline_replay,
+    pipeline_train_iteration, recovery_fence, DatasetSource, PipelineJob, PipelineWorker,
+    RecoveryRole,
+};
+use swift::data::BlobsDataset;
+use swift::dnn::models::{mlp, split_stages};
+use swift::dnn::{ModelState, Sequential};
+use swift::net::{Cluster, CommError, Rank, Topology};
+use swift::optim::OptimizerKind;
+use swift::pipeline::ScheduleKind;
+use swift::store::{BlobStore, GlobalStore};
+use swift::wal::{GroupMap, LogMode, Logger, WalReader};
+
+const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
+    lr: 0.05,
+    weight_decay: 0.0,
+    momentum: 0.9,
+    dampening: 0.0,
+};
+
+const STAGES: usize = 4; // 2 machines × 2 stages
+
+fn job() -> PipelineJob {
+    PipelineJob {
+        stage_ranks: (0..STAGES).collect(),
+        microbatches: 4,
+        kind: ScheduleKind::OneFOneB,
+        ckpt_interval: 5,
+        batch_size: 8,
+    }
+}
+
+fn stage_model(stage: usize) -> Sequential {
+    split_stages(mlp("mr", &[8, 16, 16, 16, 3], 61), STAGES)
+        .into_iter()
+        .nth(stage)
+        .unwrap()
+}
+
+fn make_worker(
+    stage: usize,
+    topo: &Topology,
+    rank: Rank,
+    global: &GlobalStore,
+    machine_store: BlobStore,
+) -> PipelineWorker {
+    PipelineWorker {
+        stage,
+        model: stage_model(stage),
+        opt: SGDM.build(),
+        iteration: 0,
+        logger: Logger::new(
+            LogMode::BubbleAsync,
+            topo.clone(),
+            GroupMap::singletons(topo.num_machines()),
+            machine_store,
+        ),
+        ckpt: CheckpointManager::new(global.blob().clone(), rank),
+        global: global.clone(),
+        last_grads: Vec::new(),
+    }
+}
+
+fn data_source() -> DatasetSource {
+    DatasetSource {
+        dataset: Arc::new(BlobsDataset::new(29, 8, 3, 0.3)),
+        batch_size: 8,
+        microbatches: 4,
+    }
+}
+
+fn reference(iters: u64) -> Vec<ModelState> {
+    let global = GlobalStore::new_temp().unwrap();
+    Cluster::run_all(Topology::uniform(2, 2), move |mut ctx| {
+        let topo = ctx.topology.clone();
+        let store = BlobStore::new_temp(&format!("mrref-{}", ctx.rank())).unwrap();
+        let mut w = make_worker(ctx.rank(), &topo, ctx.rank(), &global, store);
+        let data = data_source();
+        let job = job();
+        for _ in 0..iters {
+            pipeline_train_iteration(&mut ctx, &job, &mut w, &data).unwrap();
+            pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+        }
+        w.model.state()
+    })
+}
+
+#[test]
+fn only_machine_crossing_edges_are_logged() {
+    // Ranks 0,1 on machine 0; ranks 2,3 on machine 1. The only logged
+    // edges are 1→2 (activations) and 2→1 (gradients).
+    let global = GlobalStore::new_temp().unwrap();
+    let g2 = global.clone();
+    let results = Cluster::run_all(Topology::uniform(2, 2), move |mut ctx| {
+        let topo = ctx.topology.clone();
+        let store = BlobStore::new_temp(&format!("mrlog-{}", ctx.rank())).unwrap();
+        let mut w = make_worker(ctx.rank(), &topo, ctx.rank(), &g2, store);
+        let data = data_source();
+        let job = job();
+        for _ in 0..3 {
+            pipeline_train_iteration(&mut ctx, &job, &mut w, &data).unwrap();
+        }
+        w.logger.flush();
+        w.logger.store().list("wal/").unwrap()
+    });
+    assert!(results[0].is_empty(), "0→1 is intra-machine: nothing logged");
+    assert!(results[3].is_empty(), "3 has no outbound inter-machine edge");
+    assert_eq!(results[1].len(), 12, "rank 1 logs activations 1→2 (3 iters × 4 µb)");
+    assert!(results[1].iter().all(|k| k.contains("act_1to2")));
+    assert_eq!(results[2].len(), 12, "rank 2 logs gradients 2→1");
+    assert!(results[2].iter().all(|k| k.contains("grad_2to1")));
+}
+
+#[test]
+fn whole_machine_failure_joint_recovery_is_bitwise_exact() {
+    // Machine 1 (stages 2 and 3) dies at iteration 7; both its workers'
+    // replacements recover jointly from the iteration-5 checkpoint and the
+    // logs, replaying the inner 2↔3 edge live. Final states must match the
+    // failure-free run bitwise.
+    let iters = 10u64;
+    let kill_at = 7u64;
+    let expect = reference(iters);
+
+    let global = GlobalStore::new_temp().unwrap();
+    let cluster = Cluster::new(Topology::uniform(2, 2));
+    let fc = cluster.failure_controller();
+    let kv = cluster.kv();
+
+    // Survivors: ranks 0 and 1 (machine 0).
+    let mut survivors = Vec::new();
+    for rank in [0usize, 1] {
+        let g = global.clone();
+        survivors.push(cluster.spawn(rank, move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let store = BlobStore::new_temp("mr-m0").unwrap();
+            let mut w = make_worker(ctx.rank(), &topo, ctx.rank(), &g, store);
+            let data = data_source();
+            let job = job();
+            loop {
+                if w.iteration >= iters {
+                    return w.model.state();
+                }
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {
+                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+                    }
+                    Err(CommError::PeerFailed { .. }) => {
+                        let gen = ctx.comm.failure_controller().generation();
+                        pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 1]).unwrap();
+                        recovery_fence(&mut ctx, gen * 10 + 2, &[0, 1, 2, 3]).unwrap();
+                    }
+                    Err(e) => panic!("survivor {rank}: {e}"),
+                }
+            }
+        }));
+    }
+    // Victims: ranks 2 and 3 (machine 1) — rendezvous, then the driver
+    // kills the machine.
+    let mut victims = Vec::new();
+    for rank in [2usize, 3] {
+        let g = global.clone();
+        victims.push(cluster.spawn(rank, move |mut ctx| {
+            let topo = ctx.topology.clone();
+            let store = BlobStore::new_temp("mr-m1").unwrap();
+            let mut w = make_worker(ctx.rank(), &topo, ctx.rank(), &g, store);
+            let data = data_source();
+            let job = job();
+            loop {
+                if w.iteration == kill_at {
+                    ctx.kv.incr("mr-victims-ready");
+                    while !ctx.comm.failure_controller().is_dead(ctx.rank()) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return None;
+                }
+                match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
+                    Ok(_) => {
+                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+                    }
+                    Err(CommError::SelfKilled) => return None::<ModelState>,
+                    Err(e) => panic!("victim {rank}: {e}"),
+                }
+            }
+        }));
+    }
+
+    while kv.get("mr-victims-ready").as_deref() != Some("2") {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    fc.kill_machine(1);
+    for v in victims {
+        assert!(v.join().unwrap().is_none());
+    }
+    for r in [0usize, 1] {
+        kv.wait_for(&format!("consensus/1/{r}"), Duration::from_secs(30))
+            .expect("survivor consensus");
+    }
+    fc.replace_machine(1);
+
+    // The replacement machine: two workers recovering stages 2 and 3
+    // jointly (inner edge live).
+    let mut repl = Vec::new();
+    for rank in [2usize, 3] {
+        let mut rctx = cluster.respawn(rank);
+        let g = global.clone();
+        repl.push(std::thread::spawn(move || {
+            let topo = rctx.topology.clone();
+            let store = BlobStore::new_temp("mr-m1b").unwrap();
+            let mut w = make_worker(rank, &topo, rank, &g, store);
+            let job = job();
+            let data = data_source();
+            let ckpt = w.ckpt.load_latest().unwrap().expect("ckpt");
+            w.model.load_state(&ckpt.model);
+            w.opt.load_state(&ckpt.optim);
+            let from = ckpt.iteration;
+            let mut consensus = u64::MAX;
+            for r in [0usize, 1] {
+                let v = rctx
+                    .kv
+                    .wait_for(&format!("consensus/1/{r}"), Duration::from_secs(30))
+                    .expect("consensus");
+                consensus = consensus.min(v.parse().unwrap());
+            }
+            // Fence the joint pair, replay, fence everyone, resume.
+            recovery_fence(&mut rctx, 10 + 1, &[2, 3]).unwrap();
+            let role = RecoveryRole {
+                stage: rank, // stage == rank in this layout
+                recovered_stages: vec![2, 3],
+                group_ranks: vec![2, 3],
+                replica: 0,
+                num_replicas: 1,
+                allreduce_peers: vec![rank],
+            };
+            let reader = WalReader::new(w.global.blob().clone());
+            pipeline_replay(
+                &mut rctx, &job, &role, &mut w.model, &mut *w.opt, &reader, &data, from,
+                consensus,
+            )
+            .unwrap();
+            w.iteration = consensus;
+            recovery_fence(&mut rctx, 10 + 2, &[0, 1, 2, 3]).unwrap();
+            loop {
+                if w.iteration >= iters {
+                    return w.model.state();
+                }
+                pipeline_train_iteration(&mut rctx, &job, &mut w, &data).unwrap();
+                pipeline_maybe_checkpoint(&job, &mut w).unwrap();
+            }
+        }));
+    }
+
+    let s0 = survivors.remove(0).join().unwrap();
+    let s1 = survivors.remove(0).join().unwrap();
+    let s2 = repl.remove(0).join().unwrap();
+    let s3 = repl.remove(0).join().unwrap();
+    assert!(s0.bit_eq(&expect[0]), "stage 0");
+    assert!(s1.bit_eq(&expect[1]), "stage 1");
+    assert!(s2.bit_eq(&expect[2]), "stage 2 (jointly recovered, inner edge live)");
+    assert!(s3.bit_eq(&expect[3]), "stage 3 (jointly recovered, inner edge live)");
+}
