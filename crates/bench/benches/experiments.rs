@@ -15,7 +15,10 @@ fn main() {
         }
         let t0 = Instant::now();
         let report = f();
-        println!("================ {name} ({:.2}s) ================", t0.elapsed().as_secs_f64());
+        println!(
+            "================ {name} ({:.2}s) ================",
+            t0.elapsed().as_secs_f64()
+        );
         print!("{report}");
         println!();
         total += 1;

@@ -29,9 +29,20 @@ fn bench_optimizer_step_undo(c: &mut Criterion) {
     let mut g = c.benchmark_group("optimizer");
     let n = 1 << 16;
     for kind in [
-        OptimizerKind::SgdMomentum { lr: 0.1, weight_decay: 0.01, momentum: 0.9, dampening: 0.0 },
-        OptimizerKind::Adam { lr: 1e-3, weight_decay: 0.01 },
-        OptimizerKind::Lamb { lr: 1e-3, weight_decay: 0.01 },
+        OptimizerKind::SgdMomentum {
+            lr: 0.1,
+            weight_decay: 0.01,
+            momentum: 0.9,
+            dampening: 0.0,
+        },
+        OptimizerKind::Adam {
+            lr: 1e-3,
+            weight_decay: 0.01,
+        },
+        OptimizerKind::Lamb {
+            lr: 1e-3,
+            weight_decay: 0.01,
+        },
     ] {
         let mut opt = kind.build();
         let mut rng = CounterRng::new(1, 0);
@@ -47,7 +58,8 @@ fn bench_optimizer_step_undo(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("step+undo", name), |bench| {
             bench.iter(|| {
                 opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&grad));
-                opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&grad)).unwrap();
+                opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&grad))
+                    .unwrap();
             })
         });
     }
@@ -72,7 +84,10 @@ fn bench_allreduce(c: &mut Criterion) {
             bench.iter(|| {
                 Cluster::run_all(Topology::uniform(4, 1), move |mut ctx| {
                     let t = Tensor::full([n], ctx.rank() as f32);
-                    ctx.comm.ring_allreduce_among(&[0, 1, 2, 3], &t).unwrap().sum()
+                    ctx.comm
+                        .ring_allreduce_among(&[0, 1, 2, 3], &t)
+                        .unwrap()
+                        .sum()
                 })
             })
         });
@@ -88,7 +103,10 @@ fn bench_logging(c: &mut Criterion) {
     // One store for the whole group: record keys repeat across iterations,
     // so writes overwrite in place instead of littering the filesystem.
     let store = BlobStore::new_temp("bench-logging").unwrap();
-    for (name, mode) in [("sync", LogMode::Sync), ("bubble-async", LogMode::BubbleAsync)] {
+    for (name, mode) in [
+        ("sync", LogMode::Sync),
+        ("bubble-async", LogMode::BubbleAsync),
+    ] {
         let store = store.clone();
         g.bench_function(name, |bench| {
             bench.iter_with_setup(
@@ -117,7 +135,9 @@ fn bench_logging(c: &mut Criterion) {
 fn bench_schedule_and_planner(c: &mut Criterion) {
     c.bench_function("schedule/1f1b-128x16", |b| {
         b.iter(|| {
-            (0..128).map(|s| one_f_one_b(128, s, 16).len()).sum::<usize>()
+            (0..128)
+                .map(|s| one_f_one_b(128, s, 16).len())
+                .sum::<usize>()
         })
     });
     let m = bert_128();

@@ -3,15 +3,13 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use swift_core::{
-    run_dp_scenario, run_pipeline_scenario, DpScenario, PipelineScenario,
-};
+use swift_core::{run_dp_scenario, run_pipeline_scenario, DpScenario, PipelineScenario};
 use swift_data::BlobsDataset;
 use swift_dnn::profile::{bert_128, vit_128_32, wide_resnet_50, PaperModel, TESTBED};
 use swift_optim::OptimizerKind;
 use swift_sim::{
-    iteration_times, logging_recovery_event_s, mean_throughput, recovery_time_s,
-    recovery_timeline, simulate_mean, sweep_ckpt_interval, sweep_mtbf, CostModel, Method,
+    iteration_times, logging_recovery_event_s, mean_throughput, recovery_time_s, recovery_timeline,
+    simulate_mean, sweep_ckpt_interval, sweep_mtbf, CostModel, Method,
 };
 use swift_wal::{plan_groups, sweep_storage_caps, LogMode, PlannerInput};
 
@@ -20,8 +18,11 @@ const GB: f64 = 1e9;
 /// Fig. 1a: the 1F1B schedule with p = 4, m = 4, rendered as ASCII, plus
 /// the closed-form bubble ratio 3/7.
 pub fn fig01_schedule() -> String {
-    let (slots, makespan) = swift_pipeline::simulate(swift_pipeline::ScheduleKind::OneFOneB, 4, 4, 1.0, 1.0);
-    let mut out = String::from("Fig 1a — 1F1B pipeline schedule (p=4, m=4); digits = forward µbatch, b = backward\n");
+    let (slots, makespan) =
+        swift_pipeline::simulate(swift_pipeline::ScheduleKind::OneFOneB, 4, 4, 1.0, 1.0);
+    let mut out = String::from(
+        "Fig 1a — 1F1B pipeline schedule (p=4, m=4); digits = forward µbatch, b = backward\n",
+    );
     out.push_str(&swift_pipeline::render_ascii(&slots, makespan, 56));
     let _ = writeln!(
         out,
@@ -55,21 +56,33 @@ pub fn fig02_placement() -> String {
             }
         }
     }
-    let _ = writeln!(out, "cross-machine replica available: {}", plan.cross_machine_replica());
-    let _ = writeln!(out, "strategy selected: {:?}", select_strategy(plan.job_shape(true)));
+    let _ = writeln!(
+        out,
+        "cross-machine replica available: {}",
+        plan.cross_machine_replica()
+    );
+    let _ = writeln!(
+        out,
+        "strategy selected: {:?}",
+        select_strategy(plan.job_shape(true))
+    );
     let _ = writeln!(
         out,
         "GPUs that must log (machine-crossing pipeline edges): {:?}",
         plan.logging_ranks()
     );
-    out.push_str("paper: 'GPU 3 & 7 log the intermediate activations, GPU 11 & 15 log the gradients'.\n");
+    out.push_str(
+        "paper: 'GPU 3 & 7 log the intermediate activations, GPU 11 & 15 log the gradients'.\n",
+    );
     out
 }
 
 /// Table 2: the benchmark models, generated from the profiles.
 pub fn table2_models() -> String {
-    let mut out = String::from("Table 2 — benchmark models
-");
+    let mut out = String::from(
+        "Table 2 — benchmark models
+",
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>10} {:>16} {:>14} {:>12}",
@@ -102,12 +115,18 @@ pub fn fig03_throughput_timeline() -> String {
         ("elastic-horovod", Method::ElasticHorovod { interval: 30 }),
         ("swift", Method::SwiftReplication { ckpt_interval: 100 }),
     ];
-    let series: Vec<(&str, Vec<f64>)> =
-        methods.iter().map(|(n, m)| (*n, iteration_times(&cm, *m, 110))).collect();
+    let series: Vec<(&str, Vec<f64>)> = methods
+        .iter()
+        .map(|(n, m)| (*n, iteration_times(&cm, *m, 110)))
+        .collect();
     let mut out = String::from(
         "Fig 3 — Wide-ResNet-50 failure-free iteration time (s); snapshots at 30/60/90, global ckpt at 100\n",
     );
-    let _ = writeln!(out, "{:>5} {:>9} {:>12} {:>10} {:>16} {:>8}", "iter", "normal", "global-ckpt", "checkfreq", "elastic-horovod", "swift");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>12} {:>10} {:>16} {:>8}",
+        "iter", "normal", "global-ckpt", "checkfreq", "elastic-horovod", "swift"
+    );
     for it in (25..35).chain(58..62).chain(88..92).chain(98..104) {
         let _ = write!(out, "{it:>5}");
         for (_, s) in &series {
@@ -135,7 +154,15 @@ pub fn table1_operators() -> String {
         for p in &profiles {
             let _ = write!(out, "{:>9}", if p.ops.contains(&op) { "x" } else { "" });
         }
-        let _ = writeln!(out, "   ({})", if op.invertible() { "invertible" } else { "NOT invertible" });
+        let _ = writeln!(
+            out,
+            "   ({})",
+            if op.invertible() {
+                "invertible"
+            } else {
+                "NOT invertible"
+            }
+        );
     }
     let _ = write!(out, "{:<12}", "undoable?");
     for p in &profiles {
@@ -164,12 +191,40 @@ pub fn fig08a_replication() -> String {
     let mut out = String::from(
         "Fig 8a — Wide-ResNet-50 (DP, replication-based recovery); kill at iter 150, ckpt at 100\n",
     );
-    let _ = writeln!(out, "{:<28} {:>14} {:>10} {:>10} {:>10}", "method", "imgs/s", "init(s)", "recov(s)", "total(s)");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>10} {:>10} {:>10}",
+        "method", "imgs/s", "init(s)", "recov(s)", "total(s)"
+    );
     fig8_row(&mut out, &cm, "normal", Method::Normal, 50);
-    fig8_row(&mut out, &cm, "global-ckpt", Method::GlobalCkpt { interval: 100 }, 50);
-    fig8_row(&mut out, &cm, "checkfreq", Method::CheckFreq { interval: 30 }, 50);
-    fig8_row(&mut out, &cm, "elastic-horovod", Method::ElasticHorovod { interval: 30 }, 50);
-    fig8_row(&mut out, &cm, "swift-replication", Method::SwiftReplication { ckpt_interval: 100 }, 50);
+    fig8_row(
+        &mut out,
+        &cm,
+        "global-ckpt",
+        Method::GlobalCkpt { interval: 100 },
+        50,
+    );
+    fig8_row(
+        &mut out,
+        &cm,
+        "checkfreq",
+        Method::CheckFreq { interval: 30 },
+        50,
+    );
+    fig8_row(
+        &mut out,
+        &cm,
+        "elastic-horovod",
+        Method::ElasticHorovod { interval: 30 },
+        50,
+    );
+    fig8_row(
+        &mut out,
+        &cm,
+        "swift-replication",
+        Method::SwiftReplication { ckpt_interval: 100 },
+        50,
+    );
     let gc = recovery_time_s(&cm, Method::GlobalCkpt { interval: 100 }, 50).recovery_s;
     let cf = recovery_time_s(&cm, Method::CheckFreq { interval: 30 }, 50).recovery_s;
     let eh = recovery_time_s(&cm, Method::ElasticHorovod { interval: 30 }, 50).recovery_s;
@@ -190,13 +245,49 @@ fn fig8_logging(model: PaperModel, label: &str, paper_red_16: f64, paper_red_pr:
         "Fig 8{label} — {} (PP, logging-based recovery); kill at iter 150, ckpt at 100\n",
         cm.model.name
     );
-    let _ = writeln!(out, "{:<28} {:>14} {:>10} {:>10} {:>10}", "method", "samples/s", "init(s)", "recov(s)", "total(s)");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>10} {:>10} {:>10}",
+        "method", "samples/s", "init(s)", "recov(s)", "total(s)"
+    );
     let methods = [
         ("global-ckpt", Method::GlobalCkpt { interval: 100 }),
-        ("swift-logging-16g-sync", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: true, parallel_recovery: 1 }),
-        ("swift-logging-16g-async", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 }),
-        ("swift-logging-8g-async", Method::SwiftLogging { ckpt_interval: 100, groups: 8, sync: false, parallel_recovery: 1 }),
-        ("swift-logging-16g-async+PR", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 16 }),
+        (
+            "swift-logging-16g-sync",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: true,
+                parallel_recovery: 1,
+            },
+        ),
+        (
+            "swift-logging-16g-async",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 1,
+            },
+        ),
+        (
+            "swift-logging-8g-async",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 8,
+                sync: false,
+                parallel_recovery: 1,
+            },
+        ),
+        (
+            "swift-logging-16g-async+PR",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 16,
+            },
+        ),
     ];
     for (name, m) in methods {
         fig8_row(&mut out, &cm, name, m, 50);
@@ -237,11 +328,37 @@ pub fn fig09_recovery_timeline() -> String {
     let cm = CostModel::new(vit_128_32(), TESTBED);
     let methods = [
         ("global-ckpt", Method::GlobalCkpt { interval: 100 }),
-        ("swift-logging-16g", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 }),
-        ("swift-logging-8g", Method::SwiftLogging { ckpt_interval: 100, groups: 8, sync: false, parallel_recovery: 1 }),
-        ("swift-logging-16g+PR", Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 16 }),
+        (
+            "swift-logging-16g",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 1,
+            },
+        ),
+        (
+            "swift-logging-8g",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 8,
+                sync: false,
+                parallel_recovery: 1,
+            },
+        ),
+        (
+            "swift-logging-16g+PR",
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 16,
+            },
+        ),
     ];
-    let mut out = String::from("Fig 9 — ViT-128/32 throughput (samples/s) during failure recovery (t = s since failure)\n");
+    let mut out = String::from(
+        "Fig 9 — ViT-128/32 throughput (samples/s) during failure recovery (t = s since failure)\n",
+    );
     let _ = write!(out, "{:>6}", "t(s)");
     for (n, _) in &methods {
         let _ = write!(out, " {n:>22}");
@@ -264,7 +381,11 @@ pub fn fig09_recovery_timeline() -> String {
 /// Table 3: logging volume per iteration and consumed bandwidth.
 pub fn table3_logging_volume() -> String {
     let mut out = String::from("Table 3 — space overhead caused by logging per iteration\n");
-    let _ = writeln!(out, "{:<12} {:>8} {:>22} {:>28}", "model", "#groups", "total log size (GB)", "avg consumed bw (GB/s)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>22} {:>28}",
+        "model", "#groups", "total log size (GB)", "avg consumed bw (GB/s)"
+    );
     let paper = [
         ("ViT-128/32", 16usize, 24.66, 0.23),
         ("ViT-128/32", 8, 11.51, 0.11),
@@ -272,7 +393,11 @@ pub fn table3_logging_volume() -> String {
         ("BERT-128", 8, 3.76, 0.035),
     ];
     for (model, groups, p_sz, p_bw) in paper {
-        let m = if model.starts_with("ViT") { vit_128_32() } else { bert_128() };
+        let m = if model.starts_with("ViT") {
+            vit_128_32()
+        } else {
+            bert_128()
+        };
         let sz = m.logging_bytes_per_iteration(groups) / GB;
         let bw = m.avg_logging_bandwidth(groups) / GB;
         let _ = writeln!(
@@ -306,7 +431,11 @@ pub fn fig10_tradeoff() -> String {
         let full = m.boundary_bytes_per_iteration() * (m.machines - 1) as f64 * 50.0;
         let caps: Vec<f64> = (0..=8).map(|i| full * (8 - i) as f64 / 8.0).collect();
         let _ = writeln!(out, "{}:", m.name);
-        let _ = writeln!(out, "{:>16} {:>10} {:>20}", "storage cap (GB)", "#groups", "recovery (s/50 it)");
+        let _ = writeln!(
+            out,
+            "{:>16} {:>10} {:>20}",
+            "storage cap (GB)", "#groups", "recovery (s/50 it)"
+        );
         for (cap, plan) in sweep_storage_caps(&input, &caps) {
             let _ = writeln!(
                 out,
@@ -317,7 +446,9 @@ pub fn fig10_tradeoff() -> String {
             );
         }
     }
-    out.push_str("shape: recovery time rises monotonically as the storage cap tightens (paper Fig. 10).\n");
+    out.push_str(
+        "shape: recovery time rises monotonically as the storage cap tightens (paper Fig. 10).\n",
+    );
     out
 }
 
@@ -331,12 +462,19 @@ pub fn fig10_tradeoff() -> String {
 ///     machine dies; the replacement replays from logs; accuracy must
 ///     match.
 pub fn fig11_accuracy() -> String {
-    let mut out = String::from("Fig 11 — end-to-end training accuracy with failure + recovery (real execution)\n");
+    let mut out = String::from(
+        "Fig 11 — end-to-end training accuracy with failure + recovery (real execution)\n",
+    );
     let iters = 60u64;
     // (a) Data parallelism + update-undo.
     let model_fn: swift_core::ModelFn = Arc::new(|| swift_dnn::models::mlp("m", &[8, 32, 3], 42));
     let dataset = Arc::new(BlobsDataset::new(7, 8, 3, 0.3));
-    let opt = OptimizerKind::SgdMomentum { lr: 0.05, weight_decay: 0.001, momentum: 0.9, dampening: 0.0 };
+    let opt = OptimizerKind::SgdMomentum {
+        lr: 0.05,
+        weight_decay: 0.001,
+        momentum: 0.9,
+        dampening: 0.0,
+    };
     let base = |crash| {
         run_dp_scenario(DpScenario {
             machines: 2,
@@ -346,6 +484,7 @@ pub fn fig11_accuracy() -> String {
             batch_size: 16,
             iters,
             crash,
+            faults: None,
         })
     };
     let clean = base(None);
@@ -378,6 +517,7 @@ pub fn fig11_accuracy() -> String {
             log_mode: LogMode::BubbleAsync,
             log_precision: swift_wal::LogPrecision::F32,
             crash,
+            faults: None,
             parallel_recovery: 1,
         })
     };
@@ -394,7 +534,9 @@ pub fn fig11_accuracy() -> String {
         out,
         "(b) ViT-finetune stand-in, PP + logging recovery: accuracy failure-free {p_clean:.3} vs failed+recovered {p_failed:.3} (states bitwise identical: {bitwise})"
     );
-    out.push_str("paper: update-undo and logging-based recovery cause no loss of final accuracy.\n");
+    out.push_str(
+        "paper: update-undo and logging-based recovery cause no loss of final accuracy.\n",
+    );
     out
 }
 
@@ -424,7 +566,11 @@ fn pipeline_eval(
 /// Table 4: the simulation-study workloads.
 pub fn table4_workloads() -> String {
     let mut out = String::from("Table 4 — training workloads in the simulation study\n");
-    let _ = writeln!(out, "{:<16} {:>12} {:>10} {:>26}", "model", "total iters", "ckpt int.", "failure-free time (h)");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>10} {:>26}",
+        "model", "total iters", "ckpt int.", "failure-free time (h)"
+    );
     let paper = [479.4, 85.6, 461.1];
     for (m, p) in swift_dnn::profile::all_models().into_iter().zip(paper) {
         let _ = writeln!(
@@ -441,7 +587,9 @@ pub fn table4_workloads() -> String {
 
 /// Table 5: simulated end-to-end training time with failures.
 pub fn table5_end_to_end() -> String {
-    let mut out = String::from("Table 5 — simulated end-to-end training time with failures (MTBF 17 h, 10 runs)\n");
+    let mut out = String::from(
+        "Table 5 — simulated end-to-end training time with failures (MTBF 17 h, 10 runs)\n",
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>9} {:>14} {:>12} {:>9}",
@@ -453,21 +601,43 @@ pub fn table5_end_to_end() -> String {
         ("BERT-128", 27, 524.2, 476.1, 1.10),
     ];
     for ((m, swift_method), (pname, pfail, pg, ps, pspd)) in [
-        (wide_resnet_50(), Method::SwiftReplication { ckpt_interval: 5_004 }),
+        (
+            wide_resnet_50(),
+            Method::SwiftReplication {
+                ckpt_interval: 5_004,
+            },
+        ),
         (
             vit_128_32(),
-            Method::SwiftLogging { ckpt_interval: 312, groups: 16, sync: false, parallel_recovery: 16 },
+            Method::SwiftLogging {
+                ckpt_interval: 312,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 16,
+            },
         ),
         (
             bert_128(),
-            Method::SwiftLogging { ckpt_interval: 5_000, groups: 16, sync: false, parallel_recovery: 16 },
+            Method::SwiftLogging {
+                ckpt_interval: 5_000,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 16,
+            },
         ),
     ]
     .into_iter()
     .zip(paper)
     {
         let cm = CostModel::new(m, TESTBED);
-        let gc = simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let gc = simulate_mean(
+            &cm,
+            Method::GlobalCkpt {
+                interval: cm.model.ckpt_interval,
+            },
+            17.0,
+            10,
+        );
         let sw = simulate_mean(&cm, swift_method, 17.0, 10);
         let _ = writeln!(
             out,
@@ -492,14 +662,51 @@ pub fn table5_end_to_end() -> String {
 
 /// Fig. 12: end-to-end time vs checkpoint/snapshot interval.
 pub fn fig12_ckpt_freq() -> String {
-    let mut out = String::from("Fig 12 — impact of checkpoint frequency on end-to-end time (h), MTBF 17 h\n");
+    let mut out =
+        String::from("Fig 12 — impact of checkpoint frequency on end-to-end time (h), MTBF 17 h\n");
     let cm = CostModel::new(wide_resnet_50(), TESTBED);
     let intervals = [200u64, 1_000, 5_004, 25_000, 100_000];
     let rows: Vec<(&str, Vec<(u64, f64)>)> = vec![
-        ("global-ckpt", sweep_ckpt_interval(&cm, |iv| Method::GlobalCkpt { interval: iv }, &intervals, 17.0, 6)),
-        ("checkfreq", sweep_ckpt_interval(&cm, |iv| Method::CheckFreq { interval: iv }, &intervals, 17.0, 6)),
-        ("elastic-horovod", sweep_ckpt_interval(&cm, |iv| Method::ElasticHorovod { interval: iv }, &intervals, 17.0, 6)),
-        ("swift", sweep_ckpt_interval(&cm, |iv| Method::SwiftReplication { ckpt_interval: iv }, &intervals, 17.0, 6)),
+        (
+            "global-ckpt",
+            sweep_ckpt_interval(
+                &cm,
+                |iv| Method::GlobalCkpt { interval: iv },
+                &intervals,
+                17.0,
+                6,
+            ),
+        ),
+        (
+            "checkfreq",
+            sweep_ckpt_interval(
+                &cm,
+                |iv| Method::CheckFreq { interval: iv },
+                &intervals,
+                17.0,
+                6,
+            ),
+        ),
+        (
+            "elastic-horovod",
+            sweep_ckpt_interval(
+                &cm,
+                |iv| Method::ElasticHorovod { interval: iv },
+                &intervals,
+                17.0,
+                6,
+            ),
+        ),
+        (
+            "swift",
+            sweep_ckpt_interval(
+                &cm,
+                |iv| Method::SwiftReplication { ckpt_interval: iv },
+                &intervals,
+                17.0,
+                6,
+            ),
+        ),
     ];
     out.push_str("Wide-ResNet-50:\n");
     let _ = write!(out, "{:>18}", "interval");
@@ -517,10 +724,21 @@ pub fn fig12_ckpt_freq() -> String {
     // BERT: global vs swift-logging.
     let cmb = CostModel::new(bert_128(), TESTBED);
     let intervals_b = [500u64, 2_000, 5_000, 20_000, 100_000];
-    let gb = sweep_ckpt_interval(&cmb, |iv| Method::GlobalCkpt { interval: iv }, &intervals_b, 17.0, 6);
+    let gb = sweep_ckpt_interval(
+        &cmb,
+        |iv| Method::GlobalCkpt { interval: iv },
+        &intervals_b,
+        17.0,
+        6,
+    );
     let sb = sweep_ckpt_interval(
         &cmb,
-        |iv| Method::SwiftLogging { ckpt_interval: iv, groups: 16, sync: false, parallel_recovery: 16 },
+        |iv| Method::SwiftLogging {
+            ckpt_interval: iv,
+            groups: 16,
+            sync: false,
+            parallel_recovery: 16,
+        },
         &intervals_b,
         17.0,
         6,
@@ -544,14 +762,34 @@ pub fn fig12_ckpt_freq() -> String {
 
 /// Fig. 13: end-to-end time vs failure frequency.
 pub fn fig13_failure_freq() -> String {
-    let mut out = String::from("Fig 13 — impact of failure frequency (MTBF sweep) on end-to-end time (h)\n");
+    let mut out =
+        String::from("Fig 13 — impact of failure frequency (MTBF sweep) on end-to-end time (h)\n");
     let mtbfs = [4.0, 8.0, 17.0, 34.0, 68.0];
     let cm = CostModel::new(wide_resnet_50(), TESTBED);
     let rows = vec![
-        ("global-ckpt", sweep_mtbf(&cm, Method::GlobalCkpt { interval: 5_004 }, &mtbfs, 6)),
-        ("checkfreq", sweep_mtbf(&cm, Method::CheckFreq { interval: 30 }, &mtbfs, 6)),
-        ("elastic-horovod", sweep_mtbf(&cm, Method::ElasticHorovod { interval: 30 }, &mtbfs, 6)),
-        ("swift", sweep_mtbf(&cm, Method::SwiftReplication { ckpt_interval: 5_004 }, &mtbfs, 6)),
+        (
+            "global-ckpt",
+            sweep_mtbf(&cm, Method::GlobalCkpt { interval: 5_004 }, &mtbfs, 6),
+        ),
+        (
+            "checkfreq",
+            sweep_mtbf(&cm, Method::CheckFreq { interval: 30 }, &mtbfs, 6),
+        ),
+        (
+            "elastic-horovod",
+            sweep_mtbf(&cm, Method::ElasticHorovod { interval: 30 }, &mtbfs, 6),
+        ),
+        (
+            "swift",
+            sweep_mtbf(
+                &cm,
+                Method::SwiftReplication {
+                    ckpt_interval: 5_004,
+                },
+                &mtbfs,
+                6,
+            ),
+        ),
     ];
     out.push_str("Wide-ResNet-50:\n");
     let _ = write!(out, "{:>18}", "MTBF (h)");
@@ -572,7 +810,10 @@ pub fn fig13_failure_freq() -> String {
 
 fn grouping_table(m: PaperModel, caps: &[f64]) -> String {
     let input = planner_input(&m, false);
-    let mut out = format!("{} grouping outcomes (greedy ΔR/ΔM planner, §5.3)\n", m.name);
+    let mut out = format!(
+        "{} grouping outcomes (greedy ΔR/ΔM planner, §5.3)\n",
+        m.name
+    );
     let _ = writeln!(out, "{:>18}  outcome", "storage limit (B)");
     for &cap in caps {
         let plan = plan_groups(&input, cap);
@@ -595,7 +836,9 @@ fn grouping_table(m: PaperModel, caps: &[f64]) -> String {
 
 /// Table 6: BERT-128 grouping results per storage limit.
 pub fn table6_grouping_bert() -> String {
-    let caps = [5.0e11, 4.0e11, 3.5e11, 3.0e11, 2.5e11, 2.2e11, 1.5e11, 1.0e11, 8.0e10, 5.0e10];
+    let caps = [
+        5.0e11, 4.0e11, 3.5e11, 3.0e11, 2.5e11, 2.2e11, 1.5e11, 1.0e11, 8.0e10, 5.0e10,
+    ];
     let mut out = String::from("Table 6 — ");
     out.push_str(&grouping_table(bert_128(), &caps));
     out
@@ -695,7 +938,12 @@ pub fn ablation_log_modes() -> String {
     let async_ = run(Some(LogMode::Async));
     let sync = run(Some(LogMode::Sync));
     let _ = writeln!(out, "{:<16} {:>12}", "mode", "wall (ms)");
-    for (name, v) in [("no-logging", none), ("bubble-async", bubble), ("async", async_), ("sync", sync)] {
+    for (name, v) in [
+        ("no-logging", none),
+        ("bubble-async", bubble),
+        ("async", async_),
+        ("sync", sync),
+    ] {
         let _ = writeln!(out, "{name:<16} {v:>12.1}");
     }
     let _ = writeln!(

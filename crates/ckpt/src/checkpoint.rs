@@ -52,7 +52,11 @@ impl Checkpoint {
         let model = ModelState::decode(&mut m)?;
         let mut o = take_section(&mut buf)?;
         let optim = OptimState::decode(&mut o)?;
-        Ok(Checkpoint { iteration, model, optim })
+        Ok(Checkpoint {
+            iteration,
+            model,
+            optim,
+        })
     }
 
     /// Payload size in bytes (the cost every strategy pays to persist).
@@ -130,8 +134,9 @@ impl CheckpointManager {
     /// removed.
     pub fn gc(&self) -> std::io::Result<usize> {
         let latest = match self.store.contains(&self.latest_key()) {
-            true => String::from_utf8(self.store.get(&self.latest_key())?.to_vec())
-                .unwrap_or_default(),
+            true => {
+                String::from_utf8(self.store.get(&self.latest_key())?.to_vec()).unwrap_or_default()
+            }
             false => return Ok(0),
         };
         let mut removed = 0;
@@ -215,7 +220,10 @@ mod tests {
         mgr.save_chunked(&ckpt, 64).unwrap();
         // Several chunks on disk, none with the whole-file key.
         let keys = store.list("ckpt/rank0/").unwrap();
-        assert!(keys.iter().filter(|k| k.contains(".chunk")).count() >= 2, "{keys:?}");
+        assert!(
+            keys.iter().filter(|k| k.contains(".chunk")).count() >= 2,
+            "{keys:?}"
+        );
         let back = mgr.load_latest().unwrap().unwrap();
         assert_eq!(back, ckpt);
     }

@@ -19,6 +19,4 @@ pub mod checkpoint;
 pub mod strategy;
 
 pub use checkpoint::{Checkpoint, CheckpointManager};
-pub use strategy::{
-    checkfreq_interval, AsyncPersister, BaselineCheckpointer, StrategyKind,
-};
+pub use strategy::{checkfreq_interval, AsyncPersister, BaselineCheckpointer, StrategyKind};

@@ -82,13 +82,22 @@ impl AsyncPersister {
                 }
             })
             .expect("failed to spawn persister");
-        AsyncPersister { tx: Some(tx), handle: Some(handle), submitted, completed }
+        AsyncPersister {
+            tx: Some(tx),
+            handle: Some(handle),
+            submitted,
+            completed,
+        }
     }
 
     /// Enqueues a persist; returns immediately.
     pub fn persist(&self, key: String, payload: Bytes) {
         self.submitted.fetch_add(1, Ordering::SeqCst);
-        self.tx.as_ref().unwrap().send((key, payload)).expect("persister gone");
+        self.tx
+            .as_ref()
+            .unwrap()
+            .send((key, payload))
+            .expect("persister gone");
     }
 
     /// Number of persists not yet durable — a non-zero value at snapshot
@@ -131,7 +140,13 @@ impl BaselineCheckpointer {
     pub fn new(kind: StrategyKind, manager: CheckpointManager) -> Self {
         let persister = matches!(kind, StrategyKind::CheckFreq { .. })
             .then(|| AsyncPersister::new(manager.store().clone()));
-        BaselineCheckpointer { kind, manager, persister, snapshot: None, stalls: 0 }
+        BaselineCheckpointer {
+            kind,
+            manager,
+            persister,
+            snapshot: None,
+            stalls: 0,
+        }
     }
 
     /// The strategy kind.
@@ -221,7 +236,11 @@ mod tests {
             model: ModelState {
                 entries: vec![("0:w.0".into(), Tensor::full([64], it as f32))],
             },
-            optim: OptimState { name: "SGD".into(), t: it, ..Default::default() },
+            optim: OptimState {
+                name: "SGD".into(),
+                t: it,
+                ..Default::default()
+            },
         }
     }
 

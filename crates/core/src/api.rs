@@ -20,8 +20,7 @@ use swift_wal::{LogMode, LogPrecision};
 
 use crate::config::{select_strategy, JobShape, Strategy};
 use crate::scenario::{
-    run_dp_scenario, run_pipeline_scenario, DpScenario, ModelFn, PipelineScenario,
-    ScenarioResult,
+    run_dp_scenario, run_pipeline_scenario, DpScenario, ModelFn, PipelineScenario, ScenarioResult,
 };
 
 /// How the job is parallelized across machines.
@@ -114,25 +113,31 @@ impl SwiftJob {
                     batch_size: self.batch_size,
                     iters,
                     crash: crash.map(|c| (c.machine, c.iteration, c.after_groups.max(1))),
+                    faults: None,
                 })
             }
-            (Parallelism::Pipeline { stages, microbatches }, Strategy::Logging { .. }) => {
-                run_pipeline_scenario(PipelineScenario {
+            (
+                Parallelism::Pipeline {
                     stages,
-                    model_fn: self.model_fn.clone(),
-                    opt: self.opt,
-                    dataset: self.dataset.clone(),
-                    batch_size: self.batch_size,
                     microbatches,
-                    ckpt_interval: self.ckpt_interval,
-                    iters,
-                    schedule: ScheduleKind::OneFOneB,
-                    log_mode: self.log_mode,
-                    log_precision: self.log_precision,
-                    crash: crash.map(|c| (c.machine, c.iteration)),
-                    parallel_recovery: self.parallel_recovery,
-                })
-            }
+                },
+                Strategy::Logging { .. },
+            ) => run_pipeline_scenario(PipelineScenario {
+                stages,
+                model_fn: self.model_fn.clone(),
+                opt: self.opt,
+                dataset: self.dataset.clone(),
+                batch_size: self.batch_size,
+                microbatches,
+                ckpt_interval: self.ckpt_interval,
+                iters,
+                schedule: ScheduleKind::OneFOneB,
+                log_mode: self.log_mode,
+                log_precision: self.log_precision,
+                crash: crash.map(|c| (c.machine, c.iteration)),
+                faults: None,
+                parallel_recovery: self.parallel_recovery,
+            }),
             (p, s) => unreachable!("no runner for {p:?} under {s:?}"),
         }
     }
@@ -213,12 +218,19 @@ mod tests {
 
     #[test]
     fn dp_job_selects_replication_and_recovers() {
-        let job = base().parallelism(Parallelism::Data { machines: 2 }).batch_size(12).build();
+        let job = base()
+            .parallelism(Parallelism::Data { machines: 2 })
+            .batch_size(12)
+            .build();
         assert_eq!(job.strategy(), Strategy::Replication);
         let clean = job.run(12, None);
         let failed = job.run(
             12,
-            Some(JobCrash { machine: 1, iteration: 6, after_groups: 2 }),
+            Some(JobCrash {
+                machine: 1,
+                iteration: 6,
+                after_groups: 2,
+            }),
         );
         assert!(failed.states[0].bit_eq(&failed.states[1]));
         assert!(clean.states[0].max_abs_diff(&failed.states[0]) < 1e-3);
@@ -227,14 +239,23 @@ mod tests {
     #[test]
     fn pipeline_job_selects_logging_and_recovers_bitwise() {
         let job = base()
-            .parallelism(Parallelism::Pipeline { stages: 3, microbatches: 4 })
+            .parallelism(Parallelism::Pipeline {
+                stages: 3,
+                microbatches: 4,
+            })
             .batch_size(8)
             .ckpt_interval(4)
             .build();
         assert!(matches!(job.strategy(), Strategy::Logging { .. }));
         let clean = job.run(10, None);
-        let failed =
-            job.run(10, Some(JobCrash { machine: 1, iteration: 6, after_groups: 0 }));
+        let failed = job.run(
+            10,
+            Some(JobCrash {
+                machine: 1,
+                iteration: 6,
+                after_groups: 0,
+            }),
+        );
         for s in 0..3 {
             assert!(clean.states[s].bit_eq(&failed.states[s]), "stage {s}");
         }
@@ -243,16 +264,28 @@ mod tests {
     #[test]
     fn pipeline_job_with_parallel_recovery() {
         let job = base()
-            .parallelism(Parallelism::Pipeline { stages: 3, microbatches: 4 })
+            .parallelism(Parallelism::Pipeline {
+                stages: 3,
+                microbatches: 4,
+            })
             .batch_size(8)
             .ckpt_interval(4)
             .parallel_recovery(2)
             .build();
         let clean = job.run(10, None);
-        let failed =
-            job.run(10, Some(JobCrash { machine: 1, iteration: 6, after_groups: 0 }));
+        let failed = job.run(
+            10,
+            Some(JobCrash {
+                machine: 1,
+                iteration: 6,
+                after_groups: 0,
+            }),
+        );
         for s in 0..3 {
-            assert!(clean.states[s].max_abs_diff(&failed.states[s]) < 1e-3, "stage {s}");
+            assert!(
+                clean.states[s].max_abs_diff(&failed.states[s]) < 1e-3,
+                "stage {s}"
+            );
         }
     }
 }

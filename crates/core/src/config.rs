@@ -51,7 +51,11 @@ pub fn select_strategy(shape: JobShape) -> Strategy {
     if shape.cross_machine_replica {
         Strategy::Replication
     } else if shape.cross_machine_pipeline && shape.logging_worth_it {
-        Strategy::Logging { mode: LogMode::BubbleAsync, groups: 0, parallel_recovery: false }
+        Strategy::Logging {
+            mode: LogMode::BubbleAsync,
+            groups: 0,
+            parallel_recovery: false,
+        }
     } else {
         Strategy::GlobalCheckpointOnly
     }
@@ -70,7 +74,11 @@ pub struct FtConfig {
 
 impl Default for FtConfig {
     fn default() -> Self {
-        FtConfig { strategy: Strategy::GlobalCheckpointOnly, ckpt_interval: 100, seed: 0 }
+        FtConfig {
+            strategy: Strategy::GlobalCheckpointOnly,
+            ckpt_interval: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -95,7 +103,13 @@ mod tests {
             cross_machine_pipeline: true,
             logging_worth_it: true,
         });
-        assert!(matches!(s, Strategy::Logging { mode: LogMode::BubbleAsync, .. }));
+        assert!(matches!(
+            s,
+            Strategy::Logging {
+                mode: LogMode::BubbleAsync,
+                ..
+            }
+        ));
     }
 
     #[test]

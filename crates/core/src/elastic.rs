@@ -42,7 +42,10 @@ impl Membership {
 
     /// This rank's shard index within the membership.
     pub fn shard_of(&self, rank: Rank) -> usize {
-        self.members.iter().position(|&r| r == rank).expect("rank not a member")
+        self.members
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank not a member")
     }
 
     /// World size.
@@ -87,8 +90,12 @@ pub fn elastic_transition_incumbent(
     new: &Membership,
 ) -> Result<(), CommError> {
     recovery_fence(ctx, elastic_fence_gen(new.epoch), &new.members)?;
-    let joiners: Vec<Rank> =
-        new.members.iter().copied().filter(|r| !old.members.contains(r)).collect();
+    let joiners: Vec<Rank> = new
+        .members
+        .iter()
+        .copied()
+        .filter(|r| !old.members.contains(r))
+        .collect();
     if !joiners.is_empty() {
         let root = *old
             .members
@@ -97,7 +104,9 @@ pub fn elastic_transition_incumbent(
             .min()
             .expect("no incumbent remains");
         let payload = (ctx.rank() == root).then(|| crate::replication::encode_dp_state(w));
-        let state = ctx.comm.broadcast_bytes_among(&new.members, root, payload)?;
+        let state = ctx
+            .comm
+            .broadcast_bytes_among(&new.members, root, payload)?;
         crate::replication::decode_dp_state_into(w, state);
     }
     Ok(())
@@ -209,21 +218,38 @@ mod tests {
         let (oldj, newj) = (old.clone(), new.clone());
         let joiner = cluster.spawn(2, move |mut ctx| {
             let ds = BlobsDataset::new(6, 6, 3, 0.3);
-            let mut w = elastic_join(&mut ctx, mlp("e", &[6, 12, 3], 23), SGDM.build(), &oldj, &newj)
-                .unwrap();
+            let mut w = elastic_join(
+                &mut ctx,
+                mlp("e", &[6, 12, 3], 23),
+                SGDM.build(),
+                &oldj,
+                &newj,
+            )
+            .unwrap();
             assert_eq!(w.iteration, 4, "joiner starts at the incumbents' iteration");
             for it in 4..8u64 {
                 let b = ds.batch(it, 12);
                 let s = shard_batch(&b, newj.shard_of(ctx.rank()), 3);
-                dp_train_step(&mut ctx, &mut w, &newj.members, &s.x, &s.y, 1.0 / 12.0, None)
-                    .unwrap();
+                dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &newj.members,
+                    &s.x,
+                    &s.y,
+                    1.0 / 12.0,
+                    None,
+                )
+                .unwrap();
             }
             w.model.state()
         });
         let s0 = handles.remove(0).join().unwrap();
         let s1 = handles.remove(0).join().unwrap();
         let s2 = joiner.join().unwrap();
-        assert!(s0.bit_eq(&s1) && s0.bit_eq(&s2), "all three replicas identical after scale-out");
+        assert!(
+            s0.bit_eq(&s1) && s0.bit_eq(&s2),
+            "all three replicas identical after scale-out"
+        );
     }
 
     #[test]
@@ -260,8 +286,16 @@ mod tests {
             for it in 0..3u64 {
                 let b = ds.batch(it, 12);
                 let s = shard_batch(&b, oldl.shard_of(ctx.rank()), 3);
-                dp_train_step(&mut ctx, &mut w, &oldl.members, &s.x, &s.y, 1.0 / 12.0, None)
-                    .unwrap();
+                dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &oldl.members,
+                    &s.x,
+                    &s.y,
+                    1.0 / 12.0,
+                    None,
+                )
+                .unwrap();
             }
             elastic_leave(&mut ctx, &oldl, &newl).unwrap();
             None::<swift_dnn::ModelState>
@@ -269,7 +303,10 @@ mod tests {
         assert!(leaver.join().unwrap().is_none());
         let s0 = handles.remove(0).join().unwrap().unwrap();
         let s1 = handles.remove(0).join().unwrap().unwrap();
-        assert!(s0.bit_eq(&s1), "remaining replicas stay identical after scale-in");
+        assert!(
+            s0.bit_eq(&s1),
+            "remaining replicas stay identical after scale-in"
+        );
     }
 
     #[test]
@@ -308,9 +345,14 @@ mod tests {
         let (m0j, m1j, m2j) = (m0.clone(), m1.clone(), m2.clone());
         let transient = cluster.spawn(2, move |mut ctx| {
             let ds = BlobsDataset::new(6, 6, 3, 0.3);
-            let mut w =
-                elastic_join(&mut ctx, mlp("e", &[6, 12, 3], 23), SGDM.build(), &m0j, &m1j)
-                    .unwrap();
+            let mut w = elastic_join(
+                &mut ctx,
+                mlp("e", &[6, 12, 3], 23),
+                SGDM.build(),
+                &m0j,
+                &m1j,
+            )
+            .unwrap();
             for _ in 0..2 {
                 let b = ds.batch(w.iteration, 12);
                 let s = shard_batch(&b, m1j.shard_of(ctx.rank()), 3);

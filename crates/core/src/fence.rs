@@ -16,55 +16,80 @@
 //! paper's §6 coordination channel): each participant publishes its
 //! sequence under the failure generation, waits for all, jumps every
 //! sequence to a common value past the maximum, purges, and barriers.
+//!
+//! A fourth problem is *cascading* failure (Appendix B): a participant
+//! can die while the others are already waiting for it inside the fence.
+//! Every fence wait therefore watches the declared dead set and aborts
+//! with [`CommError::PeerFailed`] the moment a participant that was alive
+//! at fence entry is declared dead — the supervisor then restarts
+//! recovery under the new epoch instead of deadlocking until a timeout.
 
-use std::time::Duration;
+use swift_net::{
+    declare_recovered, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
+};
 
-use swift_net::{CommError, Rank, WorkerCtx};
-
-/// How long fence participants wait for each other before giving up.
-const FENCE_TIMEOUT: Duration = Duration::from_secs(30);
+use crate::supervisor::wait_cascade_aware as fence_wait;
 
 /// Runs the recovery fence. Every participant (survivors + replacements)
-/// must call this with the same `generation` (use
-/// [`FailureController::generation`](swift_net::FailureController::generation))
-/// and the same participant set.
+/// must call this with the same `generation` namespace (derived from the
+/// declared failure epoch, [`swift_net::failure_epoch`]) and the same
+/// participant set. Waits are bounded by the [`RetryPolicy::poll`]
+/// deadline and abort early if a participant dies mid-fence.
+///
+/// On success the caller is removed from the declared dead set: a
+/// replacement that completes the fence has rejoined, and leaving it
+/// listed would make the *next* failure declaration fence it out again.
 pub fn recovery_fence(
     ctx: &mut WorkerCtx,
     generation: u64,
     participants: &[Rank],
 ) -> Result<(), CommError> {
+    let policy = RetryPolicy::poll();
     let me = ctx.rank();
+    let (_, entry_dead) = failure_state(&ctx.kv);
     ctx.kv.set(
         &format!("fence/{generation}/seq/{me}"),
         ctx.comm.coll_seq().to_string(),
     );
     let mut max_seq = 0u64;
     for &r in participants {
-        let v = ctx
-            .kv
-            .wait_for(&format!("fence/{generation}/seq/{r}"), FENCE_TIMEOUT)
-            .unwrap_or_else(|| panic!("fence: rank {r} never arrived"));
+        let v = fence_wait(
+            ctx,
+            &format!("fence/{generation}/seq/{r}"),
+            participants,
+            &entry_dead,
+            &policy,
+        )?;
         max_seq = max_seq.max(v.parse().expect("bad seq in kv"));
     }
-    // Jump well past any sequence in use, then purge stale traffic.
+    // Jump well past any sequence in use, synchronize to the declared
+    // failure epoch (older-generation stragglers are fenced on receipt
+    // from here on), then purge stale traffic.
     ctx.comm.set_coll_seq(max_seq + 16);
+    ctx.comm.set_generation(failure_epoch(&ctx.kv));
     ctx.comm.purge();
     // Second phase: nobody may send (even the barrier's own messages!)
     // until *everyone* has purged — otherwise a fast participant's barrier
     // arrival could itself be purged by a slow one.
     ctx.kv.set(&format!("fence/{generation}/purged/{me}"), "1");
     for &r in participants {
-        ctx.kv
-            .wait_for(&format!("fence/{generation}/purged/{r}"), FENCE_TIMEOUT)
-            .unwrap_or_else(|| panic!("fence: rank {r} never purged"));
+        fence_wait(
+            ctx,
+            &format!("fence/{generation}/purged/{r}"),
+            participants,
+            &entry_dead,
+            &policy,
+        )?;
     }
-    ctx.comm.barrier_among(participants)
+    ctx.comm.barrier_among(participants)?;
+    declare_recovered(&ctx.kv, &[me]);
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swift_net::{Cluster, Topology};
+    use swift_net::{declare_failed, Cluster, Topology};
     use swift_tensor::Tensor;
 
     #[test]
@@ -110,5 +135,27 @@ mod tests {
             ctx.comm.allreduce_sum(&Tensor::scalar(1.0)).unwrap().item()
         });
         assert_eq!(results, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn fence_aborts_when_participant_dies_mid_fence() {
+        // Rank 1 never enters the fence; instead it is declared dead after
+        // rank 0 is already waiting. Rank 0's wait must abort with
+        // PeerFailed rather than time out.
+        let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
+            if ctx.rank() == 0 {
+                let r = recovery_fence(&mut ctx, 3, &[0, 1]);
+                matches!(r, Err(CommError::PeerFailed { rank: 1 }))
+            } else {
+                // Wait until rank 0 has published its fence key, then get
+                // declared dead (simulating a mid-fence crash being
+                // detected elsewhere).
+                RetryPolicy::poll().wait_until(|| ctx.kv.get("fence/3/seq/0").is_some());
+                declare_failed(&ctx.kv, &[1]);
+                true
+            }
+        });
+        assert!(results[0], "rank 0 must observe the mid-fence death");
+        assert!(results[1]);
     }
 }

@@ -16,12 +16,13 @@
 //! granularity, with update-undo repairing any partially-applied update.
 
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, Sequential, StepCtx};
-use swift_net::{CommError, Rank, WorkerCtx};
+use swift_net::{failure_epoch, failure_state, CommError, Rank, WorkerCtx};
 use swift_optim::Optimizer;
 use swift_tensor::Tensor;
 
 use crate::consistency::UpdateTracker;
 use crate::fence::recovery_fence;
+use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport, SupervisorConfig};
 
 /// Shard assignment: contiguous blocks of parameter groups per rank.
 #[derive(Debug, Clone)]
@@ -36,7 +37,9 @@ impl ShardMap {
     /// shards (group counts differ by at most one).
     pub fn new(num_groups: usize, world: usize) -> Self {
         assert!(world >= 2, "sharded replication needs at least two ranks");
-        let owner = (0..num_groups).map(|g| g * world / num_groups.max(1)).collect();
+        let owner = (0..num_groups)
+            .map(|g| g * world / num_groups.max(1))
+            .collect();
         ShardMap { owner, world }
     }
 
@@ -58,12 +61,16 @@ impl ShardMap {
 
     /// Groups owned by `rank`.
     pub fn owned_groups(&self, rank: Rank) -> Vec<usize> {
-        (0..self.owner.len()).filter(|&g| self.owner(g) == rank).collect()
+        (0..self.owner.len())
+            .filter(|&g| self.owner(g) == rank)
+            .collect()
     }
 
     /// Groups this rank stores (owned + backed up).
     pub fn stored_groups(&self, rank: Rank) -> Vec<usize> {
-        (0..self.owner.len()).filter(|&g| self.stores(rank, g)).collect()
+        (0..self.owner.len())
+            .filter(|&g| self.stores(rank, g))
+            .collect()
     }
 
     /// Number of groups.
@@ -135,7 +142,9 @@ pub fn gather_full_params(
         for g in 0..n {
             let owner = w.shards.owner(g);
             let mine = (ctx.rank() == owner).then(|| params[g].clone());
-            let t = ctx.comm.broadcast_tensor_among(ranks, owner, mine.as_ref())?;
+            let t = ctx
+                .comm
+                .broadcast_tensor_among(ranks, owner, mine.as_ref())?;
             gathered.push(t);
         }
     }
@@ -202,7 +211,8 @@ pub fn fsdp_train_step(
     let me = ctx.rank();
     let mut applied = 0usize;
     for g in w.shards.stored_groups(me) {
-        w.model.apply_update_with(&mut *w.opt, &w.last_grads, g, g + 1);
+        w.model
+            .apply_update_with(&mut *w.opt, &w.last_grads, g, g + 1);
         w.tracker.mark(g);
         applied += 1;
         if crash_after_groups == Some(applied) {
@@ -228,6 +238,16 @@ pub fn fsdp_recover_survivor(
     failed: Rank,
     participants: &[Rank],
 ) -> Result<(), CommError> {
+    fsdp_repair_consistency(w);
+    let generation = failure_epoch(&ctx.kv);
+    recovery_fence(ctx, generation.wrapping_mul(1000) + 7, participants)?;
+    fsdp_ship_shards(ctx, w, failed)
+}
+
+/// Local crash-consistency repair: drop caches and undo any partially
+/// applied update. Guarded by the update tracker, so re-entering after a
+/// completed undo is a no-op.
+fn fsdp_repair_consistency(w: &mut FsdpWorker) {
     w.model.clear_caches();
     let groups = w.tracker.updated().to_vec();
     if !groups.is_empty() {
@@ -237,10 +257,11 @@ pub fn fsdp_recover_survivor(
             .expect("sharded recovery requires an invertible optimizer");
         w.tracker.reset();
     }
-    let generation = ctx.comm.failure_controller().generation();
-    recovery_fence(ctx, generation.wrapping_mul(1000) + 7, participants)?;
-    // Ship surviving copies of the failed rank's stored groups, plus the
-    // iteration counter and optimizer state from one designated peer.
+}
+
+/// Ships surviving copies of the failed rank's stored groups, plus the
+/// iteration counter and optimizer state from one designated peer.
+fn fsdp_ship_shards(ctx: &mut WorkerCtx, w: &FsdpWorker, failed: Rank) -> Result<(), CommError> {
     let me = ctx.rank();
     let params = w.model.params_snapshot();
     for g in w.shards.stored_groups(failed) {
@@ -253,7 +274,8 @@ pub fn fsdp_recover_survivor(
     // merges the slots of exactly the groups each sender authoritatively
     // holds. The ring predecessor also sends the iteration counter.
     let state = w.opt.state();
-    ctx.comm.send_bytes(failed, shard_tag((1 << 21) + me), state.encode())?;
+    ctx.comm
+        .send_bytes(failed, shard_tag((1 << 21) + me), state.encode())?;
     let designated = (failed + w.shards.world - 1) % w.shards.world;
     if me == designated {
         ctx.comm.send_bytes(
@@ -263,6 +285,59 @@ pub fn fsdp_recover_survivor(
         )?;
     }
     Ok(())
+}
+
+/// Survivor-side recovery under the [`supervise`] state machine: the
+/// failed rank is re-derived per attempt from the *declared* dead set
+/// (never from injector ground truth), and every phase is idempotent so a
+/// cascading failure restarts cleanly from the top. Sharded recovery
+/// handles one failure per epoch — the shard math keeps exactly two
+/// copies, so a second concurrent loss within the same group is
+/// unrecoverable by design.
+pub fn fsdp_recover_supervised(
+    ctx: &mut WorkerCtx,
+    w: &mut FsdpWorker,
+    group: &[Rank],
+    cfg: &SupervisorConfig,
+) -> Result<RecoveryReport, CommError> {
+    let (_, report) = supervise(ctx, cfg, |ctx, epoch, phases| {
+        let (_, dead) = failure_state(&ctx.kv);
+        let failed = *group
+            .iter()
+            .find(|r| dead.contains(r))
+            .expect("supervised shard recovery: no declared failure in group");
+        phases.enter(RecoveryPhase::RepairConsistency);
+        fsdp_repair_consistency(w);
+        phases.enter(RecoveryPhase::Fence);
+        recovery_fence(ctx, epoch.wrapping_mul(1000) + 7, group)?;
+        phases.enter(RecoveryPhase::Synchronize);
+        fsdp_ship_shards(ctx, w, failed)?;
+        phases.enter(RecoveryPhase::Rejoin);
+        Ok(())
+    })?;
+    Ok(report)
+}
+
+/// Replacement-side recovery under the [`supervise`] state machine. The
+/// worker is rebuilt from the factories on every attempt (the fence and
+/// receive phases of an aborted attempt leave no partial state behind).
+pub fn fsdp_join_supervised(
+    ctx: &mut WorkerCtx,
+    model_fn: &dyn Fn() -> Sequential,
+    opt_fn: &dyn Fn() -> Box<dyn Optimizer>,
+    world: usize,
+    group: &[Rank],
+    cfg: &SupervisorConfig,
+) -> Result<(FsdpWorker, RecoveryReport), CommError> {
+    supervise(ctx, cfg, |ctx, _epoch, phases| {
+        // `fsdp_join` runs the fence and the shard synchronization
+        // back-to-back; the phase entries bracket the whole call.
+        phases.enter(RecoveryPhase::Fence);
+        phases.enter(RecoveryPhase::Synchronize);
+        let w = fsdp_join(ctx, model_fn(), opt_fn(), world, group)?;
+        phases.enter(RecoveryPhase::Rejoin);
+        Ok(w)
+    })
 }
 
 /// Replacement-side shard recovery: fence, receive every stored group
@@ -277,11 +352,13 @@ pub fn fsdp_join(
 ) -> Result<FsdpWorker, CommError> {
     let mut w = FsdpWorker::new(model_template, opt_template, world);
     let me = ctx.rank();
-    let generation = ctx.comm.failure_controller().generation();
+    let generation = failure_epoch(&ctx.kv);
     recovery_fence(ctx, generation.wrapping_mul(1000) + 7, participants)?;
     let mut state = w.model.state();
     for g in w.shards.stored_groups(me) {
-        let t = ctx.comm.recv_tensor(surviving_copy_holder(&w.shards, g, me), shard_tag(g))?;
+        let t = ctx
+            .comm
+            .recv_tensor(surviving_copy_holder(&w.shards, g, me), shard_tag(g))?;
         state.entries[g].1 = t;
     }
     w.model.load_state(&state);
@@ -347,7 +424,7 @@ mod tests {
     use super::*;
     use swift_data::{shard_batch, BlobsDataset, Dataset};
     use swift_dnn::models::mlp;
-    use swift_net::{Cluster, Topology};
+    use swift_net::{Cluster, RetryPolicy, Topology};
     use swift_optim::OptimizerKind;
 
     const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
@@ -397,10 +474,8 @@ mod tests {
         // Plain DP reference with the same deterministic ingredients.
         let dp_states = Cluster::run_all(Topology::uniform(3, 1), move |mut ctx| {
             let ds = BlobsDataset::new(8, 6, 3, 0.3);
-            let mut w = crate::replication::DpWorker::new(
-                mlp("f", &[6, 16, 16, 3], 88),
-                SGDM.build(),
-            );
+            let mut w =
+                crate::replication::DpWorker::new(mlp("f", &[6, 16, 16, 3], 88), SGDM.build());
             for it in 0..iters {
                 let b = ds.batch(it, 12);
                 let s = shard_batch(&b, ctx.rank(), 3);
@@ -455,7 +530,10 @@ mod tests {
         let w = make_worker(3);
         let full = w.model.byte_size();
         let stored = w.stored_bytes(0);
-        assert!(stored < full, "sharding must save memory: {stored} vs {full}");
+        assert!(
+            stored < full,
+            "sharding must save memory: {stored} vs {full}"
+        );
     }
 
     #[test]
@@ -483,8 +561,8 @@ mod tests {
                         }
                         let b = ds.batch(w.iteration, 12);
                         let s = shard_batch(&b, ctx.rank(), 3);
-                        let crash_now = (crash && ctx.rank() == 1 && w.iteration == 3)
-                            .then_some(2usize);
+                        let crash_now =
+                            (crash && ctx.rank() == 1 && w.iteration == 3).then_some(2usize);
                         match fsdp_train_step(
                             &mut ctx,
                             &mut w,
@@ -496,14 +574,21 @@ mod tests {
                         ) {
                             Ok(_) => {}
                             Err(CommError::SelfKilled) => return None,
-                            Err(CommError::PeerFailed { rank }) => {
-                                let gen = ctx.comm.failure_controller().generation();
+                            Err(CommError::PeerFailed { .. }) => {
+                                let gen = swift_net::failure_epoch(&ctx.kv);
                                 ctx.kv.set(&format!("fsdp/ack/{gen}/{}", ctx.rank()), "1");
-                                ctx.kv
-                                    .wait_for("fsdp/replacement", std::time::Duration::from_secs(30))
-                                    .expect("no replacement");
-                                fsdp_recover_survivor(&mut ctx, &mut w, rank, &[0, 1, 2])
-                                    .unwrap();
+                                assert!(
+                                    RetryPolicy::poll()
+                                        .wait_until(|| ctx.kv.get("fsdp/replacement").is_some()),
+                                    "no replacement"
+                                );
+                                fsdp_recover_supervised(
+                                    &mut ctx,
+                                    &mut w,
+                                    &[0, 1, 2],
+                                    &SupervisorConfig::default(),
+                                )
+                                .unwrap();
                             }
                         }
                     }
@@ -511,32 +596,48 @@ mod tests {
             }
             let mut replacement = None;
             if crash {
-                while !fc.any_dead() {
-                    std::thread::sleep(std::time::Duration::from_millis(1));
-                }
+                // The driver learns of the failure from the *declared*
+                // state in the KV store, not the injector's ground truth.
+                assert!(
+                    RetryPolicy::poll().wait_until(|| !swift_net::failure_state(&kv).1.is_empty()),
+                    "failure never declared"
+                );
+                let p = RetryPolicy::poll();
                 for r in [0usize, 2] {
-                    kv.wait_for(&format!("fsdp/ack/1/{r}"), std::time::Duration::from_secs(30))
-                        .expect("survivor ack");
+                    assert!(
+                        p.wait_until(|| kv.get(&format!("fsdp/ack/1/{r}")).is_some()),
+                        "survivor ack"
+                    );
                 }
                 fc.replace_machine(1);
                 let mut rctx = cluster.respawn(1);
                 let kv2 = kv.clone();
                 replacement = Some(std::thread::spawn(move || {
                     kv2.set("fsdp/replacement", "1");
-                    let mut w = fsdp_join(
+                    let (mut w, report) = fsdp_join_supervised(
                         &mut rctx,
-                        mlp("f", &[6, 16, 16, 3], 88),
-                        SGDM.build(),
+                        &|| mlp("f", &[6, 16, 16, 3], 88),
+                        &|| SGDM.build(),
                         3,
                         &[0, 1, 2],
+                        &SupervisorConfig::default(),
                     )
                     .unwrap();
+                    assert_eq!(report.restarts, 0);
                     let ds = BlobsDataset::new(8, 6, 3, 0.3);
                     while w.iteration < iters {
                         let b = ds.batch(w.iteration, 12);
                         let s = shard_batch(&b, rctx.rank(), 3);
-                        fsdp_train_step(&mut rctx, &mut w, &[0, 1, 2], &s.x, &s.y, 1.0 / 12.0, None)
-                            .unwrap();
+                        fsdp_train_step(
+                            &mut rctx,
+                            &mut w,
+                            &[0, 1, 2],
+                            &s.x,
+                            &s.y,
+                            1.0 / 12.0,
+                            None,
+                        )
+                        .unwrap();
                     }
                     gather_full_params(&mut rctx, &mut w, &[0, 1, 2]).unwrap();
                     w.model.state()

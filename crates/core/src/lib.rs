@@ -12,6 +12,7 @@ pub mod pipeline_ft;
 pub mod plan;
 pub mod replication;
 pub mod scenario;
+pub mod supervisor;
 pub mod tensor_parallel;
 
 pub use api::{JobCrash, Parallelism, SwiftJob, SwiftJobBuilder};
@@ -22,20 +23,24 @@ pub use elastic::{
     Membership,
 };
 pub use fence::recovery_fence;
-pub use plan::{ParallelismPlan, PlacementPolicy};
-pub use tensor_parallel::TpLinear;
 pub use fsdp::{
-    free_unstored, fsdp_join, fsdp_recover_survivor, fsdp_train_step, gather_full_params,
-    FsdpWorker, ShardMap,
+    free_unstored, fsdp_join, fsdp_join_supervised, fsdp_recover_supervised, fsdp_recover_survivor,
+    fsdp_train_step, gather_full_params, FsdpWorker, ShardMap,
 };
 pub use pipeline_ft::{
     pipeline_maybe_checkpoint, pipeline_on_failure_survivor, pipeline_replay,
     pipeline_train_iteration, DataSource, PipelineJob, PipelineWorker, RecoveryRole,
 };
+pub use plan::{ParallelismPlan, PlacementPolicy};
 pub use replication::{
-    dp_train_step, replication_join, replication_recover_survivor, CrashPoint, DpWorker,
+    dp_train_step, replication_join, replication_join_supervised, replication_recover_supervised,
+    replication_recover_survivor, CrashPoint, DpWorker,
 };
 pub use scenario::{
     evaluate_state, optimizer_from_state, run_dp_scenario, run_pipeline_scenario, DatasetSource,
     DpScenario, ModelFn, PipelineScenario, ScenarioResult,
 };
+pub use supervisor::{
+    supervise, wait_cascade_aware, PhaseTracker, RecoveryPhase, RecoveryReport, SupervisorConfig,
+};
+pub use tensor_parallel::TpLinear;

@@ -13,14 +13,16 @@
 
 use swift_ckpt::{Checkpoint, CheckpointManager};
 use swift_dnn::Sequential;
-use swift_net::{CommError, Rank, WorkerCtx};
+use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
 use swift_optim::Optimizer;
-use swift_pipeline::{
-    run_iteration, run_ops, CommTransport, Op, ScheduleKind, StagePlacement,
-};
+use swift_pipeline::{run_iteration, run_ops, CommTransport, Op, ScheduleKind, StagePlacement};
 use swift_store::GlobalStore;
 use swift_tensor::Tensor;
-use swift_wal::{assign_microbatches, Endpoint, Logger, LoggingObserver, ReplayTransport, WalReader};
+use swift_wal::{
+    assign_microbatches, Endpoint, Logger, LoggingObserver, ReplayTransport, WalReader,
+};
+
+use crate::supervisor::wait_cascade_aware;
 
 /// Static pipeline-job configuration shared by every worker.
 #[derive(Debug, Clone)]
@@ -45,7 +47,10 @@ impl PipelineJob {
 
     /// The stage hosted by `rank`.
     pub fn stage_of(&self, rank: Rank) -> usize {
-        self.stage_ranks.iter().position(|&r| r == rank).expect("rank not in pipeline")
+        self.stage_ranks
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank not in pipeline")
     }
 
     /// Placement descriptor for `stage`.
@@ -105,9 +110,16 @@ pub fn pipeline_train_iteration(
     let prev = (w.stage > 0).then(|| job.stage_ranks[w.stage - 1]);
     let next = (w.stage + 1 < job.num_stages()).then(|| job.stage_ranks[w.stage + 1]);
     let loss = {
-        let mut observer = LoggingObserver { rank: ctx.rank(), logger: &mut w.logger };
-        let mut transport =
-            CommTransport { comm: &mut ctx.comm, prev, next, observer: &mut observer };
+        let mut observer = LoggingObserver {
+            rank: ctx.rank(),
+            logger: &mut w.logger,
+        };
+        let mut transport = CommTransport {
+            comm: &mut ctx.comm,
+            prev,
+            next,
+            observer: &mut observer,
+        };
         let mut input = |mb: usize| data.input(it, mb);
         let mut lossf = |mb: usize, y: &Tensor| data.loss(it, mb, y);
         run_iteration(
@@ -138,7 +150,11 @@ pub fn pipeline_maybe_checkpoint(
     if w.iteration == 0 || !w.iteration.is_multiple_of(job.ckpt_interval) {
         return Ok(false);
     }
-    let ckpt = Checkpoint { iteration: w.iteration, model: w.model.state(), optim: w.opt.state() };
+    let ckpt = Checkpoint {
+        iteration: w.iteration,
+        model: w.model.state(),
+        optim: w.opt.state(),
+    };
     w.ckpt.save(&ckpt)?;
     w.ckpt.gc()?;
     // Flush pending log writes, then GC records the checkpoint covers.
@@ -164,20 +180,34 @@ pub fn pipeline_on_failure_survivor(
     w.global
         .upload_prefix(w.logger.store(), "wal/")
         .expect("log upload failed");
-    // Consensus via the KV store (collectives may be skewed mid-failure).
-    let generation = ctx.comm.failure_controller().generation();
+    // Consensus via the KV store (collectives may be skewed mid-failure),
+    // namespaced by the *declared* failure epoch — no oracle reads. The
+    // waits are cascade-aware: a survivor dying before it reports aborts
+    // the consensus so the supervisor can restart under the new epoch.
+    let generation = failure_epoch(&ctx.kv);
+    let (_, entry_dead) = failure_state(&ctx.kv);
+    let policy = RetryPolicy::poll();
     let me = ctx.rank();
-    ctx.kv.set(&format!("consensus/{generation}/{me}"), w.iteration.to_string());
+    ctx.kv.set(
+        &format!("consensus/{generation}/{me}"),
+        w.iteration.to_string(),
+    );
     let mut consensus = w.iteration;
     for &r in survivors {
-        let v = ctx
-            .kv
-            .wait_for(&format!("consensus/{generation}/{r}"), std::time::Duration::from_secs(30))
-            .unwrap_or_else(|| panic!("survivor {r} never reported its iteration"));
+        let v = wait_cascade_aware(
+            ctx,
+            &format!("consensus/{generation}/{r}"),
+            survivors,
+            &entry_dead,
+            &policy,
+        )?;
         consensus = consensus.min(v.parse().expect("bad iteration in kv"));
     }
     // Undo past the consensus (synchronous pipelines stay within 1).
-    assert!(w.iteration - consensus <= 1, "pipeline flush bounds the skew to one step");
+    assert!(
+        w.iteration - consensus <= 1,
+        "pipeline flush bounds the skew to one step"
+    );
     while w.iteration > consensus {
         let groups: Vec<usize> = (0..w.model.num_param_groups()).collect();
         w.model
@@ -199,16 +229,24 @@ fn recovery_endpoints(
     let prev = if stage == 0 {
         Endpoint::None
     } else if recovered.contains(&(stage - 1)) {
-        Endpoint::Live { peer: replica_rank_of_stage(stage - 1) }
+        Endpoint::Live {
+            peer: replica_rank_of_stage(stage - 1),
+        }
     } else {
-        Endpoint::Logged { peer: job.stage_ranks[stage - 1] }
+        Endpoint::Logged {
+            peer: job.stage_ranks[stage - 1],
+        }
     };
     let next = if stage + 1 == job.num_stages() {
         Endpoint::None
     } else if recovered.contains(&(stage + 1)) {
-        Endpoint::Live { peer: replica_rank_of_stage(stage + 1) }
+        Endpoint::Live {
+            peer: replica_rank_of_stage(stage + 1),
+        }
     } else {
-        Endpoint::Logged { peer: job.stage_ranks[stage + 1] }
+        Endpoint::Logged {
+            peer: job.stage_ranks[stage + 1],
+        }
     };
     (prev, next)
 }
@@ -332,7 +370,11 @@ mod tests {
 
     impl BlobSource {
         pub fn new(seed: u64, batch: usize, m: usize) -> Self {
-            BlobSource { ds: BlobsDataset::new(seed, 6, 3, 0.3), batch, m }
+            BlobSource {
+                ds: BlobsDataset::new(seed, 6, 3, 0.3),
+                batch,
+                m,
+            }
         }
 
         fn mbs(&self, it: u64) -> Vec<Batch> {
@@ -388,13 +430,19 @@ mod tests {
         global: &GlobalStore,
         mode: LogMode,
     ) -> PipelineWorker {
-        let machine_store = BlobStore::new_temp(&format!("pft-m{}", topo.machine_of(rank))).unwrap();
+        let machine_store =
+            BlobStore::new_temp(&format!("pft-m{}", topo.machine_of(rank))).unwrap();
         PipelineWorker {
             stage,
             model: stage_model(stage),
             opt: make_opt(),
             iteration: 0,
-            logger: Logger::new(mode, topo.clone(), GroupMap::singletons(topo.num_machines()), machine_store),
+            logger: Logger::new(
+                mode,
+                topo.clone(),
+                GroupMap::singletons(topo.num_machines()),
+                machine_store,
+            ),
             ckpt: CheckpointManager::new(global.blob().clone(), rank),
             global: global.clone(),
             last_grads: Vec::new(),
@@ -405,7 +453,7 @@ mod tests {
     /// `iters`.
     fn failure_free(iters: u64) -> Vec<swift_dnn::ModelState> {
         let global = GlobalStore::new_temp().unwrap();
-        
+
         swift_net::Cluster::run_all(Topology::uniform(3, 1), move |mut ctx| {
             let stage = ctx.rank();
             let topo = ctx.topology.clone();
@@ -433,7 +481,11 @@ mod tests {
                 losses.push(pipeline_train_iteration(&mut ctx, &job(), &mut w, &data).unwrap());
                 pipeline_maybe_checkpoint(&job(), &mut w).unwrap();
             }
-            (w.iteration, losses, w.ckpt.load_latest().unwrap().map(|c| c.iteration))
+            (
+                w.iteration,
+                losses,
+                w.ckpt.load_latest().unwrap().map(|c| c.iteration),
+            )
         });
         for (it, _, ck) in &results {
             assert_eq!(*it, 5);
@@ -463,7 +515,9 @@ mod tests {
         // Stage 0 logs activations to stage 1; ckpt at it 2 GC'd iterations
         // 0-1, leaving iteration 2 only: 4 micro-batches.
         assert_eq!(results[0].len(), 4);
-        assert!(results[0].iter().all(|k| k.contains("it000000000002") && k.contains("act_0to1")));
+        assert!(results[0]
+            .iter()
+            .all(|k| k.contains("it000000000002") && k.contains("act_0to1")));
         // Stage 1 logs both directions (acts to 2, grads to 0).
         assert_eq!(results[1].len(), 8);
         // Stage 2 logs gradients to stage 1.
@@ -504,9 +558,13 @@ mod tests {
                                 pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 2]).unwrap();
                             assert_eq!(consensus, kill_after_iter);
                             // Wait for the replacement, then fence and resume.
-                            ctx.kv.wait_for("pipeline-replacement-done", std::time::Duration::from_secs(30))
+                            ctx.kv
+                                .wait_for(
+                                    "pipeline-replacement-done",
+                                    std::time::Duration::from_secs(30),
+                                )
                                 .expect("replacement never finished");
-                            let generation = ctx.comm.failure_controller().generation();
+                            let generation = failure_epoch(&ctx.kv);
                             crate::fence::recovery_fence(&mut ctx, generation, &[0, 1, 2]).unwrap();
                         }
                         Err(e) => panic!("survivor {stage}: {e}"),
@@ -526,7 +584,10 @@ mod tests {
             }
             // Fail-stop: volatile state lost; logs on the *other* machines
             // survive (upstream backup).
-            ctx.comm.failure_controller().clone().kill_machine(ctx.machine());
+            ctx.comm
+                .failure_controller()
+                .clone()
+                .kill_machine(ctx.machine());
         });
         hv.join().unwrap();
         std::thread::sleep(std::time::Duration::from_millis(30));
@@ -570,7 +631,7 @@ mod tests {
             .unwrap();
             w.iteration = kill_after_iter;
             kv.set("pipeline-replacement-done", "1");
-            let generation = rctx.comm.failure_controller().generation();
+            let generation = failure_epoch(&rctx.kv);
             crate::fence::recovery_fence(&mut rctx, generation, &[0, 1, 2]).unwrap();
             // Resume normal training.
             while w.iteration < iters_total {
@@ -584,8 +645,17 @@ mod tests {
         let s2 = handles.remove(0).join().unwrap();
         let s1 = hr.join().unwrap();
         let reference = failure_free(iters_total);
-        assert!(s0.bit_eq(&reference[0]), "stage 0 must match failure-free bitwise");
-        assert!(s1.bit_eq(&reference[1]), "recovered stage 1 must match failure-free bitwise");
-        assert!(s2.bit_eq(&reference[2]), "stage 2 must match failure-free bitwise");
+        assert!(
+            s0.bit_eq(&reference[0]),
+            "stage 0 must match failure-free bitwise"
+        );
+        assert!(
+            s1.bit_eq(&reference[1]),
+            "recovered stage 1 must match failure-free bitwise"
+        );
+        assert!(
+            s2.bit_eq(&reference[2]),
+            "stage 2 must match failure-free bitwise"
+        );
     }
 }

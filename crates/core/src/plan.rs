@@ -72,7 +72,14 @@ impl ParallelismPlan {
                 }
             }
         }
-        ParallelismPlan { dp, pp, op, machines, gpus_per_machine, placement }
+        ParallelismPlan {
+            dp,
+            pp,
+            op,
+            machines,
+            gpus_per_machine,
+            placement,
+        }
     }
 
     fn index_of(dp: usize, pp: usize, op: usize, d: usize, p: usize, o: usize) -> usize {
@@ -111,9 +118,8 @@ impl ParallelismPlan {
     /// Whether pipeline stages span machines (the condition for logging to
     /// be applicable at all).
     pub fn cross_machine_pipeline(&self) -> bool {
-        let machines: std::collections::HashSet<MachineId> = (0..self.pp)
-            .map(|p| self.machine_of(0, p, 0))
-            .collect();
+        let machines: std::collections::HashSet<MachineId> =
+            (0..self.pp).map(|p| self.machine_of(0, p, 0)).collect();
         machines.len() >= 2
     }
 
@@ -214,13 +220,19 @@ mod tests {
 
     #[test]
     fn placement_is_a_bijection() {
-        for policy in [PlacementPolicy::ReplicasSameMachine, PlacementPolicy::ReplicasAcrossMachines] {
+        for policy in [
+            PlacementPolicy::ReplicasSameMachine,
+            PlacementPolicy::ReplicasAcrossMachines,
+        ] {
             let plan = ParallelismPlan::new(2, 4, 2, 2, 8, policy);
             let mut seen = std::collections::HashSet::new();
             for d in 0..2 {
                 for p in 0..4 {
                     for o in 0..2 {
-                        assert!(seen.insert(plan.rank_of(d, p, o)), "{policy:?} rank collision");
+                        assert!(
+                            seen.insert(plan.rank_of(d, p, o)),
+                            "{policy:?} rank collision"
+                        );
                         assert!(plan.machine_of(d, p, o) < 2);
                     }
                 }
@@ -234,6 +246,9 @@ mod tests {
         let plan = ParallelismPlan::new(4, 1, 1, 2, 2, PlacementPolicy::ReplicasAcrossMachines);
         assert!(plan.cross_machine_replica());
         assert!(!plan.cross_machine_pipeline());
-        assert_eq!(select_strategy(plan.job_shape(false)), Strategy::Replication);
+        assert_eq!(
+            select_strategy(plan.job_shape(false)),
+            Strategy::Replication
+        );
     }
 }

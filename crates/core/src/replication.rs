@@ -10,12 +10,13 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
-use swift_net::{CommError, Rank, WorkerCtx};
+use swift_net::{failure_epoch, failure_state, CommError, Rank, WorkerCtx};
 use swift_optim::{OptimState, Optimizer};
 use swift_tensor::Tensor;
 
 use crate::consistency::UpdateTracker;
 use crate::fence::recovery_fence;
+use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport, SupervisorConfig};
 
 /// One data-parallel replica worker's training state.
 pub struct DpWorker {
@@ -35,7 +36,13 @@ pub struct DpWorker {
 impl DpWorker {
     /// Wraps a model + optimizer as a replica worker.
     pub fn new(model: Sequential, opt: Box<dyn Optimizer>) -> Self {
-        DpWorker { model, opt, tracker: UpdateTracker::new(), iteration: 0, last_grads: Vec::new() }
+        DpWorker {
+            model,
+            opt,
+            tracker: UpdateTracker::new(),
+            iteration: 0,
+            last_grads: Vec::new(),
+        }
     }
 }
 
@@ -83,7 +90,8 @@ pub fn dp_train_step(
     #[allow(clippy::needless_range_loop)] // idx is the global group index
     for idx in 0..n {
         w.last_grads[idx] = ctx.comm.allreduce_sum_among(replicas, &local[idx])?;
-        w.model.apply_update_with(&mut *w.opt, &w.last_grads, idx, idx + 1);
+        w.model
+            .apply_update_with(&mut *w.opt, &w.last_grads, idx, idx + 1);
         w.tracker.mark(idx);
         if crash_at == Some(idx + 1) {
             // Fail-stop: this machine dies mid-update, volatile state lost.
@@ -143,6 +151,23 @@ pub fn replication_recover_survivor(
     survivors: &[Rank],
     participants: &[Rank],
 ) -> Result<(), CommError> {
+    repair_dp_consistency(w);
+    let epoch = failure_epoch(&ctx.kv);
+    recovery_fence(ctx, epoch, participants)?;
+    let root = *survivors.iter().min().expect("no survivors");
+    let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
+    let state = ctx
+        .comm
+        .broadcast_bytes_among(participants, root, payload)?;
+    decode_dp_state_into(w, state);
+    Ok(())
+}
+
+/// Undoes a partially-applied update (§4). Idempotent: the update tracker
+/// records exactly the applied-but-uncommitted groups, so re-entering
+/// after a completed undo is a no-op — which is what lets the supervisor
+/// restart an abandoned recovery attempt from the top.
+pub(crate) fn repair_dp_consistency(w: &mut DpWorker) {
     w.model.clear_caches();
     let groups = w.tracker.updated().to_vec();
     if !groups.is_empty() {
@@ -155,13 +180,6 @@ pub fn replication_recover_survivor(
             .expect("replication recovery requires an invertible optimizer");
         w.tracker.reset();
     }
-    let generation = ctx.comm.failure_controller().generation();
-    recovery_fence(ctx, generation, participants)?;
-    let root = *survivors.iter().min().expect("no survivors");
-    let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
-    let state = ctx.comm.broadcast_bytes_among(participants, root, payload)?;
-    decode_dp_state_into(w, state);
-    Ok(())
 }
 
 /// Replacement-side recovery: build a fresh worker (same model structure
@@ -175,12 +193,79 @@ pub fn replication_join(
     participants: &[Rank],
 ) -> Result<DpWorker, CommError> {
     let mut w = DpWorker::new(model_template, opt_template);
-    let generation = ctx.comm.failure_controller().generation();
-    recovery_fence(ctx, generation, participants)?;
+    let epoch = failure_epoch(&ctx.kv);
+    recovery_fence(ctx, epoch, participants)?;
     let root = *survivors.iter().min().expect("no survivors");
     let state = ctx.comm.broadcast_bytes_among(participants, root, None)?;
     decode_dp_state_into(&mut w, state);
     Ok(w)
+}
+
+/// The survivor set for the current attempt: the replica group minus the
+/// declared-dead ranks. All participants compute this *before* entering
+/// the epoch's fence and removal from the dead set happens only after
+/// everyone has entered it, so every participant of an attempt derives
+/// the same set (a concurrent new declaration bumps the epoch and aborts
+/// the fence instead).
+fn live_survivors(ctx: &WorkerCtx, group: &[Rank]) -> Vec<Rank> {
+    let (_, dead) = failure_state(&ctx.kv);
+    group
+        .iter()
+        .copied()
+        .filter(|r| !dead.contains(r))
+        .collect()
+}
+
+/// Survivor-side recovery run under the [`supervise`] state machine: the
+/// survivor set and broadcast root are re-derived from the KV failure
+/// state on every attempt, so a cascading failure mid-recovery restarts
+/// cleanly under the new epoch instead of deadlocking.
+pub fn replication_recover_supervised(
+    ctx: &mut WorkerCtx,
+    w: &mut DpWorker,
+    group: &[Rank],
+    cfg: &SupervisorConfig,
+) -> Result<RecoveryReport, CommError> {
+    let (_, report) = supervise(ctx, cfg, |ctx, epoch, phases| {
+        phases.enter(RecoveryPhase::RepairConsistency);
+        repair_dp_consistency(w);
+        let survivors = live_survivors(ctx, group);
+        let root = *survivors.iter().min().expect("no survivors");
+        phases.enter(RecoveryPhase::Fence);
+        recovery_fence(ctx, epoch, group)?;
+        phases.enter(RecoveryPhase::Synchronize);
+        let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
+        let state = ctx.comm.broadcast_bytes_among(group, root, payload)?;
+        phases.enter(RecoveryPhase::Rejoin);
+        decode_dp_state_into(w, state);
+        Ok(())
+    })?;
+    Ok(report)
+}
+
+/// Replacement-side recovery under the [`supervise`] state machine. The
+/// worker is rebuilt from the factories on every attempt, making the
+/// whole join idempotent under restarts.
+pub fn replication_join_supervised(
+    ctx: &mut WorkerCtx,
+    model_fn: &dyn Fn() -> Sequential,
+    opt_fn: &dyn Fn() -> Box<dyn Optimizer>,
+    group: &[Rank],
+    cfg: &SupervisorConfig,
+) -> Result<(DpWorker, RecoveryReport), CommError> {
+    supervise(ctx, cfg, |ctx, epoch, phases| {
+        phases.enter(RecoveryPhase::RepairConsistency);
+        let mut w = DpWorker::new(model_fn(), opt_fn());
+        let survivors = live_survivors(ctx, group);
+        let root = *survivors.iter().min().expect("no survivors");
+        phases.enter(RecoveryPhase::Fence);
+        recovery_fence(ctx, epoch, group)?;
+        phases.enter(RecoveryPhase::Synchronize);
+        let state = ctx.comm.broadcast_bytes_among(group, root, None)?;
+        phases.enter(RecoveryPhase::Rejoin);
+        decode_dp_state_into(&mut w, state);
+        Ok(w)
+    })
 }
 
 #[cfg(test)]
@@ -212,8 +297,16 @@ mod tests {
             for it in 0..iters {
                 let batch = ds.batch(it, 16);
                 let shard = shard_batch(&batch, ctx.rank(), 2);
-                dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
-                    .unwrap();
+                dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    None,
+                )
+                .unwrap();
             }
             w.model.state()
         });
@@ -228,12 +321,23 @@ mod tests {
             for it in 0..4 {
                 let batch = ds.batch(it, 16);
                 let shard = shard_batch(&batch, ctx.rank(), 2);
-                dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
-                    .unwrap();
+                dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    None,
+                )
+                .unwrap();
             }
             w.model.state()
         });
-        assert!(results[0].bit_eq(&results[1]), "synchronous DP must keep replicas in lockstep");
+        assert!(
+            results[0].bit_eq(&results[1]),
+            "synchronous DP must keep replicas in lockstep"
+        );
     }
 
     #[test]
@@ -253,12 +357,20 @@ mod tests {
             while it < iters_total {
                 let batch = ds.batch(it, 16);
                 let shard = shard_batch(&batch, ctx.rank(), 2);
-                match dp_train_step(&mut ctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
-                {
+                match dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    None,
+                ) {
                     Ok(_) => it += 1,
                     Err(CommError::PeerFailed { .. }) => {
                         // Wait for the replacement to be announced.
-                        ctx.kv.wait_for("replacement-up", std::time::Duration::from_secs(5));
+                        ctx.kv
+                            .wait_for("replacement-up", std::time::Duration::from_secs(5));
                         replication_recover_survivor(&mut ctx, &mut w, &[0], &[0, 1]).unwrap();
                         it = w.iteration;
                     }
@@ -271,7 +383,10 @@ mod tests {
         let h1 = cluster.spawn(1, move |mut ctx| {
             let ds = BlobsDataset::new(9, 6, 3, 0.3);
             let mut w = make_worker();
-            let crash = CrashPoint { iteration: 3, after_groups: 2 };
+            let crash = CrashPoint {
+                iteration: 3,
+                after_groups: 2,
+            };
             let mut it = 0u64;
             loop {
                 let batch = ds.batch(it, 16);
@@ -314,14 +429,25 @@ mod tests {
                 &[0, 1],
             )
             .unwrap();
-            assert_eq!(w.iteration, 3, "resumes from the consistent pre-crash iteration");
+            assert_eq!(
+                w.iteration, 3,
+                "resumes from the consistent pre-crash iteration"
+            );
             let ds = BlobsDataset::new(9, 6, 3, 0.3);
             let mut it = w.iteration;
             while it < iters_total {
                 let batch = ds.batch(it, 16);
                 let shard = shard_batch(&batch, rctx.rank(), 2);
-                dp_train_step(&mut rctx, &mut w, &[0, 1], &shard.x, &shard.y, 1.0 / 16.0, None)
-                    .unwrap();
+                dp_train_step(
+                    &mut rctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    None,
+                )
+                .unwrap();
                 it += 1;
             }
             w.model.state()
@@ -355,7 +481,10 @@ mod tests {
             let (_, g) = softmax_cross_entropy_scaled(&out, &shard.y, 0.125);
             w.model.backward(sctx, &g);
             w.last_grads = w.model.grads_snapshot();
-            for idx in w.model.apply_update_with(&mut *w.opt, &w.last_grads.clone(), 0, 2) {
+            for idx in w
+                .model
+                .apply_update_with(&mut *w.opt, &w.last_grads.clone(), 0, 2)
+            {
                 w.tracker.mark(idx);
             }
             assert!(w.model.state().max_abs_diff(&consistent) > 0.0);

@@ -7,7 +7,10 @@ use std::sync::Arc;
 use swift_ckpt::CheckpointManager;
 use swift_data::{shard_batch, split_microbatches, Dataset};
 use swift_dnn::{accuracy, softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
-use swift_net::{Cluster, CommError, Rank, Topology, WorkerCtx};
+use swift_net::{
+    failure_epoch, failure_state, Cluster, CommError, CrashTrigger, FaultPlan, FaultStatsSnapshot,
+    Rank, RetryPolicy, Topology, WorkerCtx,
+};
 use swift_optim::OptimizerKind;
 use swift_pipeline::ScheduleKind;
 use swift_store::{BlobStore, GlobalStore};
@@ -20,8 +23,10 @@ use crate::pipeline_ft::{
     pipeline_train_iteration, DataSource, PipelineJob, PipelineWorker, RecoveryRole,
 };
 use crate::replication::{
-    dp_train_step, replication_join, replication_recover_survivor, CrashPoint, DpWorker,
+    dp_train_step, replication_join_supervised, replication_recover_supervised, CrashPoint,
+    DpWorker,
 };
+use crate::supervisor::SupervisorConfig;
 
 /// A model factory (must be deterministic: every call builds the same
 /// initialization, as all replicas/replacements construct it).
@@ -40,7 +45,10 @@ pub struct DatasetSource {
 impl DataSource for DatasetSource {
     fn input(&self, iteration: u64, mb: usize) -> Tensor {
         let batch = self.dataset.batch(iteration, self.batch_size);
-        split_microbatches(&batch, self.microbatches)[mb].batch.x.clone()
+        split_microbatches(&batch, self.microbatches)[mb]
+            .batch
+            .x
+            .clone()
     }
 
     fn loss(&self, iteration: u64, mb: usize, output: &Tensor) -> (f32, Tensor) {
@@ -87,6 +95,9 @@ pub struct DpScenario {
     pub iters: u64,
     /// Optional mid-update crash: (machine, iteration, after_groups).
     pub crash: Option<(usize, u64, usize)>,
+    /// Optional adversarial fault plan installed on the fabric (delay,
+    /// reorder, drop/retransmit, duplicate, stall, crash triggers).
+    pub faults: Option<FaultPlan>,
 }
 
 /// Result of a scenario run.
@@ -101,6 +112,9 @@ pub struct ScenarioResult {
     /// Wall-clock recovery phases recorded by the replacement, in order:
     /// `(phase name, milliseconds)`. Empty for failure-free runs.
     pub recovery_trace: Vec<(String, f64)>,
+    /// Fault-injector counters (delays, reorders, drops, duplicates,
+    /// crashes fired) when a [`FaultPlan`] was installed.
+    pub fault_stats: Option<FaultStatsSnapshot>,
 }
 
 /// Runs a data-parallel scenario end to end, including crash injection,
@@ -109,8 +123,20 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
     let world = cfg.machines;
     let cluster = Cluster::new(Topology::uniform(world, 1));
     let fc = cluster.failure_controller();
+    let injector = cfg.faults.clone().map(|plan| cluster.install_faults(plan));
     let replicas: Vec<Rank> = (0..world).collect();
-    let had_crash = cfg.crash.is_some();
+    // A machine doomed to die: either the scripted mid-update crash or a
+    // crash trigger in the fault plan (the plan is *configuration* — the
+    // driver still waits for the failure to be declared before reacting).
+    let trigger_victim = cfg.faults.as_ref().and_then(|p| {
+        p.crashes.first().map(|t| match t {
+            CrashTrigger::AtNthSend { rank, .. }
+            | CrashTrigger::AtNthDelivery { rank, .. }
+            | CrashTrigger::AtIteration { rank, .. } => *rank,
+        })
+    });
+    let doomed = cfg.crash.map(|(mach, _, _)| mach).or(trigger_victim);
+    let had_crash = doomed.is_some();
 
     let model_fn = cfg.model_fn.clone();
     let dataset = cfg.dataset.clone();
@@ -128,10 +154,18 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
           -> (Option<ModelState>, Vec<f32>) {
         let my_crash = crash.and_then(|(mach, it, groups)| {
             (ctx.machine() == mach && crash_armed.swap(false, std::sync::atomic::Ordering::SeqCst))
-                .then_some(CrashPoint { iteration: it, after_groups: groups })
+                .then_some(CrashPoint {
+                    iteration: it,
+                    after_groups: groups,
+                })
         });
         let mut losses = Vec::new();
         loop {
+            // Report progress to the fault injector so AtIteration crash
+            // triggers can fire; a killed worker unwinds here.
+            if ctx.note_iteration(w.iteration).is_err() {
+                return (None, losses);
+            }
             if w.iteration >= iters {
                 return (Some(w.model.state()), losses);
             }
@@ -152,22 +186,25 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
                     losses.push(loss * replicas.len() as f32);
                 }
                 Err(CommError::SelfKilled) => return (None, losses),
-                Err(CommError::PeerFailed { rank: failed_rank }) => {
-                    let survivors: Vec<Rank> = replicas
-                        .iter()
-                        .copied()
-                        .filter(|&r| r != failed_rank)
-                        .collect();
-                    // Acknowledge detection; the driver revives the machine
-                    // only once every survivor has seen the failure (else a
-                    // survivor could block on the revived-but-idle rank).
-                    let generation = ctx.comm.failure_controller().generation();
-                    ctx.kv.set(&format!("dp/ack/{generation}/{}", ctx.rank()), "1");
-                    ctx.kv
-                        .wait_for("dp/replacement-up", std::time::Duration::from_secs(30))
-                        .expect("replacement never came up");
-                    replication_recover_survivor(&mut ctx, &mut w, &survivors, &replicas)
-                        .expect("survivor recovery failed");
+                Err(CommError::PeerFailed { .. }) => {
+                    // Acknowledge detection under the *declared* failure
+                    // epoch; the driver revives the machine only once every
+                    // survivor has seen the failure (else a survivor could
+                    // block on the revived-but-idle rank).
+                    let epoch = failure_epoch(&ctx.kv);
+                    ctx.kv.set(&format!("dp/ack/{epoch}/{}", ctx.rank()), "1");
+                    assert!(
+                        RetryPolicy::poll()
+                            .wait_until(|| ctx.kv.get("dp/replacement-up").is_some()),
+                        "replacement never came up"
+                    );
+                    replication_recover_supervised(
+                        &mut ctx,
+                        &mut w,
+                        &replicas,
+                        &SupervisorConfig::default(),
+                    )
+                    .expect("survivor recovery failed");
                 }
             }
         }
@@ -185,30 +222,40 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
     }
 
     let mut replacement_handle = None;
-    if let Some((mach, _, _)) = cfg.crash {
-        // Wait for the victim to die and every survivor to *detect* the
-        // death before reviving the machine — revival clears the failure
-        // flag, after which undetected survivors would block forever.
-        while !fc.any_dead() {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+    if let Some(mach) = doomed {
+        // Wait for the failure to be *declared* in the KV store (the
+        // driver has no access to injector ground truth) and for every
+        // survivor to ack it before reviving the machine — revival
+        // restores links, after which undetected survivors would block.
         let kv = cluster.kv();
-        let generation = fc.generation();
+        let policy = RetryPolicy::poll();
+        assert!(
+            policy.wait_until(|| !failure_state(&kv).1.is_empty()),
+            "failure never declared"
+        );
+        let epoch = failure_epoch(&kv);
         for r in (0..world).filter(|&r| r != mach) {
-            kv.wait_for(&format!("dp/ack/{generation}/{r}"), std::time::Duration::from_secs(30))
-                .expect("survivor never acked the failure");
+            assert!(
+                policy.wait_until(|| kv.get(&format!("dp/ack/{epoch}/{r}")).is_some()),
+                "survivor never acked the failure"
+            );
         }
         fc.replace_machine(mach);
         let mut rctx = cluster.respawn(mach);
         let kv = cluster.kv();
         let wl = worker_loop.clone();
         let mf = model_fn.clone();
-        let survivors: Vec<Rank> = (0..world).filter(|&r| r != mach).collect();
         let all = replicas.clone();
         replacement_handle = Some(std::thread::spawn(move || {
             kv.set("dp/replacement-up", "1");
-            let w = replication_join(&mut rctx, mf(), opt_kind.build(), &survivors, &all)
-                .expect("replacement join failed");
+            let (w, _report) = replication_join_supervised(
+                &mut rctx,
+                &*mf,
+                &|| opt_kind.build(),
+                &all,
+                &SupervisorConfig::default(),
+            )
+            .expect("replacement join failed");
             wl(rctx, w, all)
         }));
     }
@@ -224,14 +271,17 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
     }
     if let Some(h) = replacement_handle {
         let (state, _) = h.join().expect("replacement panicked");
-        let (mach, _, _) = cfg.crash.unwrap();
-        states[mach] = state;
+        states[doomed.unwrap()] = state;
     }
     ScenarioResult {
-        states: states.into_iter().map(|s| s.expect("missing final state")).collect(),
+        states: states
+            .into_iter()
+            .map(|s| s.expect("missing final state"))
+            .collect(),
         losses,
         recovered: had_crash,
         recovery_trace: Vec::new(),
+        fault_stats: injector.map(|i| i.stats()),
     }
 }
 
@@ -273,8 +323,13 @@ pub struct PipelineScenario {
     /// Logged-payload precision (F16 halves the volume; replay then
     /// carries a bounded quantization error instead of being bitwise).
     pub log_precision: LogPrecision,
-    /// Optional crash: (machine, after_iteration).
+    /// Optional crash: (machine, after_iteration). Converted into a
+    /// [`CrashTrigger::AtIteration`] on the fault injector — the victim
+    /// discovers its death through the fabric, not an oracle flag.
     pub crash: Option<(usize, u64)>,
+    /// Optional adversarial fault plan installed on the fabric; the
+    /// `crash` trigger (if any) is merged into it.
+    pub faults: Option<FaultPlan>,
     /// Parallel-recovery replica count `d` (1 = sequential replay;
     /// assistants are drawn from the lowest-ranked survivors).
     pub parallel_recovery: usize,
@@ -286,6 +341,22 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
     let stages = cfg.stages;
     let cluster = Cluster::new(Topology::uniform(stages, 1));
     let fc = cluster.failure_controller();
+    // The scripted crash rides on the fault injector: an `AtIteration`
+    // trigger kills the machine when the victim reports that iteration
+    // (one rank per machine, so rank == machine). Triggers are one-shot,
+    // so the replacement re-running the same iteration survives.
+    let injector = if cfg.faults.is_some() || cfg.crash.is_some() {
+        let mut plan = cfg.faults.clone().unwrap_or_else(|| FaultPlan::new(0));
+        if let Some((mach, after)) = cfg.crash {
+            plan = plan.with_crash(CrashTrigger::AtIteration {
+                rank: mach,
+                iteration: after,
+            });
+        }
+        Some(cluster.install_faults(plan))
+    } else {
+        None
+    };
     let global = GlobalStore::new_temp().expect("global store");
     let job = PipelineJob {
         stage_ranks: (0..stages).collect(),
@@ -340,8 +411,6 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
     });
 
     let iters = cfg.iters;
-    let crash = cfg.crash;
-    let crash_armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
     let all_ranks: Vec<Rank> = (0..stages).collect();
 
     // Survivor/steady-state loop, shared by original and replacement
@@ -359,14 +428,10 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
                 if w.iteration >= iters {
                     return (Some(w.model.state()), losses);
                 }
-                if let Some((mach, after)) = crash {
-                    if ctx.machine() == mach
-                        && w.iteration == after
-                        && crash_armed.swap(false, std::sync::atomic::Ordering::SeqCst)
-                    {
-                        ctx.comm.failure_controller().clone().kill_machine(mach);
-                        return (None, losses);
-                    }
+                // Report progress to the fault injector; an `AtIteration`
+                // crash trigger takes this machine down right here.
+                if ctx.note_iteration(w.iteration).is_err() {
+                    return (None, losses);
                 }
                 match pipeline_train_iteration(&mut ctx, &job, &mut w, &*data) {
                     Ok(l) => {
@@ -377,10 +442,11 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
                     }
                     Err(CommError::SelfKilled) => return (None, losses),
                     Err(CommError::PeerFailed { rank: failed_rank }) => {
-                        // The failed machine's rank comes from the error:
-                        // the dead flag may already be cleared by the time
-                        // survivors get here (the replacement joins fast).
-                        let generation = ctx.comm.failure_controller().generation();
+                        // The failed machine's rank comes from the error
+                        // (the detection paths declare before returning);
+                        // all recovery namespaces derive from the declared
+                        // failure epoch.
+                        let generation = failure_epoch(&ctx.kv);
                         let survivors: Vec<Rank> = all_ranks
                             .iter()
                             .copied()
@@ -388,8 +454,7 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
                             .collect();
                         let consensus =
                             pipeline_on_failure_survivor(&mut ctx, &mut w, &survivors).unwrap();
-                        let assistants: Vec<Rank> =
-                            survivors.iter().copied().take(d - 1).collect();
+                        let assistants: Vec<Rank> = survivors.iter().copied().take(d - 1).collect();
                         if assistants.contains(&ctx.rank()) {
                             assist_replay(
                                 &mut ctx,
@@ -426,20 +491,21 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
 
     let mut replacement_handle = None;
     if let Some((mach, _)) = cfg.crash {
-        // Wait for the victim to die and for every survivor to publish its
-        // consensus iteration (proof it detected the failure) before
-        // reviving the machine.
-        while !fc.any_dead() {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+        // Wait for the failure to be *declared* in the KV store and for
+        // every survivor to publish its consensus iteration (proof it
+        // detected the failure) before reviving the machine.
         let kv = cluster.kv();
-        let generation = fc.generation();
+        let policy = RetryPolicy::poll();
+        assert!(
+            policy.wait_until(|| !failure_state(&kv).1.is_empty()),
+            "failure never declared"
+        );
+        let generation = failure_epoch(&kv);
         for r in (0..stages).filter(|&r| r != mach) {
-            kv.wait_for(
-                &format!("consensus/{generation}/{r}"),
-                std::time::Duration::from_secs(30),
-            )
-            .expect("survivor never reached consensus");
+            assert!(
+                policy.wait_until(|| kv.get(&format!("consensus/{generation}/{r}")).is_some()),
+                "survivor never reached consensus"
+            );
         }
         fc.replace_machine(mach);
         let mut rctx = cluster.respawn(mach);
@@ -472,23 +538,22 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
                     None => 0,
                 };
                 // Consensus published by the survivors.
-                let generation = rctx.comm.failure_controller().generation();
+                let generation = failure_epoch(&rctx.kv);
+                let policy = RetryPolicy::poll();
                 let mut consensus = u64::MAX;
                 for &r in &survivors {
-                    let v = rctx
-                        .kv
-                        .wait_for(
-                            &format!("consensus/{generation}/{r}"),
-                            std::time::Duration::from_secs(30),
-                        )
-                        .expect("no consensus");
-                    consensus = consensus.min(v.parse().unwrap());
+                    let key = format!("consensus/{generation}/{r}");
+                    assert!(
+                        policy.wait_until(|| rctx.kv.get(&key).is_some()),
+                        "no consensus"
+                    );
+                    consensus = consensus.min(rctx.kv.get(&key).unwrap().parse().unwrap());
                 }
                 (from, consensus)
             };
             w.iteration = from;
             trace_mark(&rctx.kv, "checkpoint-loaded+consensus", trace_t0);
-            let generation = rctx.comm.failure_controller().generation();
+            let generation = failure_epoch(&rctx.kv);
             let replay_ranks = replay_participants(mach, &survivors, d);
             if replay_ranks.len() > 1 {
                 recovery_fence(&mut rctx, generation * 10 + 1, &replay_ranks).unwrap();
@@ -516,8 +581,12 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
             .unwrap();
             w.iteration = consensus;
             trace_mark(&rctx.kv, "replay-done", trace_t0);
-            recovery_fence(&mut rctx, generation * 10 + 2, &(0..stages).collect::<Vec<_>>())
-                .unwrap();
+            recovery_fence(
+                &mut rctx,
+                generation * 10 + 2,
+                &(0..stages).collect::<Vec<_>>(),
+            )
+            .unwrap();
             trace_mark(&rctx.kv, "resume-fence-done", trace_t0);
             wl(rctx, w)
         }));
@@ -552,10 +621,14 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
         }
     }
     ScenarioResult {
-        states: states.into_iter().map(|s| s.expect("missing final state")).collect(),
+        states: states
+            .into_iter()
+            .map(|s| s.expect("missing final state"))
+            .collect(),
         losses,
         recovered: had_crash,
         recovery_trace,
+        fault_stats: injector.map(|i| i.stats()),
     }
 }
 
@@ -616,15 +689,7 @@ fn assist_replay(
     // source unused unless the failed stage is first/last; pass the real
     // one if so — handled by the caller configuration).
     pipeline_replay(
-        ctx,
-        job,
-        &role,
-        &mut model,
-        &mut *opt,
-        &reader,
-        data,
-        from,
-        consensus,
+        ctx, job, &role, &mut model, &mut *opt, &reader, data, from, consensus,
     )
     .unwrap();
     // Own state was never touched; nothing to restore.
@@ -644,21 +709,35 @@ pub fn optimizer_from_state(state: &swift_optim::OptimState) -> Box<dyn swift_op
             .unwrap_or(0.0)
     };
     let kind = match state.name.as_str() {
-        "SGD" => OptimizerKind::Sgd { lr: get("lr"), weight_decay: get("wd") },
+        "SGD" => OptimizerKind::Sgd {
+            lr: get("lr"),
+            weight_decay: get("wd"),
+        },
         "SGD-momentum" => OptimizerKind::SgdMomentum {
             lr: get("lr"),
             weight_decay: get("wd"),
             momentum: get("momentum"),
             dampening: get("dampening"),
         },
-        "Adam" => OptimizerKind::Adam { lr: get("lr"), weight_decay: get("wd") },
-        "AdamW" => OptimizerKind::AdamW { lr: get("lr"), weight_decay: get("wd") },
-        "LAMB" => OptimizerKind::Lamb { lr: get("lr"), weight_decay: get("wd") },
-        "AMSGrad" => OptimizerKind::AmsGrad { lr: get("lr"), weight_decay: get("wd") },
+        "Adam" => OptimizerKind::Adam {
+            lr: get("lr"),
+            weight_decay: get("wd"),
+        },
+        "AdamW" => OptimizerKind::AdamW {
+            lr: get("lr"),
+            weight_decay: get("wd"),
+        },
+        "LAMB" => OptimizerKind::Lamb {
+            lr: get("lr"),
+            weight_decay: get("wd"),
+        },
+        "AMSGrad" => OptimizerKind::AmsGrad {
+            lr: get("lr"),
+            weight_decay: get("wd"),
+        },
         other => panic!("unknown optimizer kind {other}"),
     };
     let mut opt = kind.build();
     opt.load_state(state);
     opt
 }
-

@@ -1,0 +1,288 @@
+//! The recovery supervisor: drives undo → fence → synchronize → rejoin as
+//! an idempotent, re-entrant state machine.
+//!
+//! The paper's Appendix B observes that failures cascade: a second
+//! machine can die while the survivors are mid-recovery from the first.
+//! A recovery written as straight-line code deadlocks there — some
+//! participant is gone, so a fence `wait_for` or a state broadcast blocks
+//! forever. The supervisor instead treats one *recovery attempt* as a
+//! restartable transaction keyed by the failure epoch it started under:
+//!
+//! - every phase inside an attempt must be **idempotent** (undo is
+//!   guarded by the update tracker, fences are namespaced by epoch,
+//!   synchronization rebuilds state from scratch), so an attempt may be
+//!   abandoned at any point and re-run;
+//! - when an attempt fails with [`CommError::PeerFailed`] — a cascading
+//!   failure, observed either as a comm error or as a mid-fence death
+//!   declaration — the supervisor backs off exponentially
+//!   ([`RetryPolicy`]) and restarts from the top under the *new* epoch;
+//! - restarts are bounded ([`SupervisorConfig::max_restarts`]); a
+//!   [`CommError::SelfKilled`] (including false-suspicion self-fencing)
+//!   always unwinds immediately — a dead worker must not retry.
+//!
+//! Convergence argument: each restart re-reads the declared failure
+//! epoch, which is monotone, and all participants' fences abort on newly
+//! declared deaths, so after the last failure is declared every
+//! participant runs its final attempt under the same epoch and the same
+//! (kv-derived) survivor set.
+
+use std::time::Instant;
+
+use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
+
+/// The phases of one recovery attempt, in order. Used for reporting and
+/// assertions; the phase *logic* lives in the per-strategy closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// Local crash-consistency repair: undo any partially applied update
+    /// (§4). Must be a no-op when re-entered after a completed undo.
+    RepairConsistency,
+    /// The epoch-namespaced recovery fence: sequence realignment, purge,
+    /// generation sync.
+    Fence,
+    /// State synchronization: replication broadcast (§3), log replay
+    /// (§5), or shard reconstruction.
+    Synchronize,
+    /// Final bookkeeping before resuming training.
+    Rejoin,
+}
+
+impl std::fmt::Display for RecoveryPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RecoveryPhase::RepairConsistency => "repair-consistency",
+            RecoveryPhase::Fence => "fence",
+            RecoveryPhase::Synchronize => "synchronize",
+            RecoveryPhase::Rejoin => "rejoin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Records which phase each attempt reached; handed to the attempt
+/// closure so phase entry is declared in one place and visible to tests
+/// and traces.
+#[derive(Debug, Default)]
+pub struct PhaseTracker {
+    attempt: u32,
+    log: Vec<(u32, RecoveryPhase)>,
+}
+
+impl PhaseTracker {
+    fn begin_attempt(&mut self, attempt: u32) {
+        self.attempt = attempt;
+    }
+
+    /// Declares entry into `phase` for the current attempt.
+    pub fn enter(&mut self, phase: RecoveryPhase) {
+        self.log.push((self.attempt, phase));
+    }
+
+    /// The `(attempt, phase)` entries recorded so far.
+    pub fn log(&self) -> &[(u32, RecoveryPhase)] {
+        &self.log
+    }
+}
+
+/// Supervisor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Backoff schedule between restarts.
+    pub policy: RetryPolicy,
+    /// Maximum restarts after the first attempt (so `max_restarts + 1`
+    /// attempts in total) before the error propagates.
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            policy: RetryPolicy::recovery(),
+            max_restarts: 4,
+        }
+    }
+}
+
+/// What a completed supervised recovery looked like.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The failure epoch the successful attempt ran under.
+    pub epoch: u64,
+    /// How many restarts were needed (0 = first attempt succeeded).
+    pub restarts: u32,
+    /// Phase entries per attempt.
+    pub phases: Vec<(u32, RecoveryPhase)>,
+}
+
+/// Waits for a KV rendezvous `key` published by one of `participants`,
+/// aborting with [`CommError::PeerFailed`] if any participant that was
+/// not in `entry_dead` is declared dead mid-wait — the waited-for rank
+/// may be the victim, in which case the key will never come. Panics only
+/// when the policy deadline expires with *no* new failure declared,
+/// which indicates a protocol bug rather than a crash.
+pub fn wait_cascade_aware(
+    ctx: &WorkerCtx,
+    key: &str,
+    participants: &[Rank],
+    entry_dead: &[Rank],
+    policy: &RetryPolicy,
+) -> Result<String, CommError> {
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        // Fail-stop applies to pollers too: a worker whose machine was
+        // killed while it sat in this loop must unwind (in a real
+        // deployment the process would simply be gone), not keep
+        // publishing rendezvous keys as a zombie.
+        ctx.comm.check_self()?;
+        if let Some(v) = ctx.kv.get(key) {
+            return Ok(v);
+        }
+        let (_, dead) = failure_state(&ctx.kv);
+        if let Some(&r) = dead
+            .iter()
+            .find(|r| participants.contains(r) && !entry_dead.contains(r))
+        {
+            return Err(CommError::PeerFailed { rank: r });
+        }
+        assert!(
+            start.elapsed() < policy.deadline,
+            "recovery wait: {key} never arrived and no failure was declared"
+        );
+        std::thread::sleep(policy.delay_for(attempt));
+        attempt += 1;
+    }
+}
+
+/// Runs `attempt` until it succeeds, restarting on cascading failures.
+///
+/// Each attempt receives the failure epoch read at its start — the
+/// namespace for its fences and rendezvous keys — and the shared
+/// [`PhaseTracker`]. The closure must re-derive *all* of its
+/// per-attempt inputs (survivor sets, roots, checkpoints) from the epoch
+/// and the KV state, never from a previous attempt.
+pub fn supervise<T>(
+    ctx: &mut WorkerCtx,
+    cfg: &SupervisorConfig,
+    mut attempt: impl FnMut(&mut WorkerCtx, u64, &mut PhaseTracker) -> Result<T, CommError>,
+) -> Result<(T, RecoveryReport), CommError> {
+    let mut tracker = PhaseTracker::default();
+    let mut restarts = 0u32;
+    loop {
+        let epoch = failure_epoch(&ctx.kv);
+        tracker.begin_attempt(restarts);
+        match attempt(ctx, epoch, &mut tracker) {
+            Ok(v) => {
+                let report = RecoveryReport {
+                    epoch,
+                    restarts,
+                    phases: std::mem::take(&mut tracker.log),
+                };
+                return Ok((v, report));
+            }
+            Err(CommError::PeerFailed { .. }) if restarts < cfg.max_restarts => {
+                // Cascading failure mid-recovery. Back off, then restart
+                // from the top: by the time we retry, the new death is
+                // declared (the error path that got us here declares
+                // before returning), so the next attempt reads a fresh
+                // epoch and a fresh survivor set.
+                std::thread::sleep(cfg.policy.delay_for(restarts));
+                restarts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_net::{declare_failed, Cluster, Rank, Topology};
+
+    #[test]
+    fn first_attempt_success_reports_no_restarts() {
+        let cluster = Cluster::new(Topology::uniform(1, 1));
+        let mut ctx = cluster.take_ctx(0);
+        let (v, report) = supervise(&mut ctx, &SupervisorConfig::default(), |_, epoch, t| {
+            t.enter(RecoveryPhase::RepairConsistency);
+            t.enter(RecoveryPhase::Fence);
+            Ok(epoch)
+        })
+        .unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(
+            report.phases,
+            vec![
+                (0, RecoveryPhase::RepairConsistency),
+                (0, RecoveryPhase::Fence)
+            ]
+        );
+    }
+
+    #[test]
+    fn peer_failure_restarts_under_new_epoch() {
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let mut ctx = cluster.take_ctx(0);
+        let mut seen_epochs: Vec<u64> = Vec::new();
+        let (_, report) = supervise(&mut ctx, &SupervisorConfig::default(), |ctx, epoch, t| {
+            t.enter(RecoveryPhase::RepairConsistency);
+            seen_epochs.push(epoch);
+            if seen_epochs.len() == 1 {
+                // A cascading failure strikes mid-attempt: rank 1 is
+                // declared dead, and this attempt aborts the way a fence
+                // or comm op would.
+                declare_failed(&ctx.kv, &[1]);
+                return Err(CommError::PeerFailed { rank: 1 });
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(
+            seen_epochs,
+            vec![0, 1],
+            "restart must observe the bumped epoch"
+        );
+        assert_eq!(report.epoch, 1);
+        // Both attempts logged their phase entries.
+        assert_eq!(
+            report.phases,
+            vec![
+                (0, RecoveryPhase::RepairConsistency),
+                (1, RecoveryPhase::RepairConsistency)
+            ]
+        );
+    }
+
+    #[test]
+    fn self_kill_propagates_immediately() {
+        let cluster = Cluster::new(Topology::uniform(1, 1));
+        let mut ctx = cluster.take_ctx(0);
+        let mut calls = 0u32;
+        let r: Result<((), RecoveryReport), _> =
+            supervise(&mut ctx, &SupervisorConfig::default(), |_, _, _| {
+                calls += 1;
+                Err(CommError::SelfKilled)
+            });
+        assert_eq!(r.unwrap_err(), CommError::SelfKilled);
+        assert_eq!(calls, 1, "a dead worker must not retry");
+    }
+
+    #[test]
+    fn restarts_are_bounded() {
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let mut ctx = cluster.take_ctx(0);
+        let cfg = SupervisorConfig {
+            policy: RetryPolicy::recovery().with_deadline(std::time::Duration::from_millis(50)),
+            max_restarts: 2,
+        };
+        let mut calls = 0u32;
+        let r: Result<((), RecoveryReport), _> = supervise(&mut ctx, &cfg, |_, _, _| {
+            calls += 1;
+            Err(CommError::PeerFailed { rank: 1 as Rank })
+        });
+        assert!(matches!(r.unwrap_err(), CommError::PeerFailed { rank: 1 }));
+        assert_eq!(calls, 3, "1 attempt + max_restarts retries");
+    }
+}

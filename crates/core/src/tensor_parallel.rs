@@ -44,7 +44,10 @@ impl TpLinear {
         group: usize,
         seed: u64,
     ) -> Self {
-        assert!(out_dim.is_multiple_of(group), "output features must split evenly");
+        assert!(
+            out_dim.is_multiple_of(group),
+            "output features must split evenly"
+        );
         assert!(slot < group);
         let shard_out = out_dim / group;
         let mut rng = CounterRng::new(seed, 0x7970 + slot as u64);
@@ -57,7 +60,13 @@ impl TpLinear {
     }
 
     /// The monolithic reference layer equal to concatenating all shards.
-    pub fn monolithic(name: &str, in_dim: usize, out_dim: usize, group: usize, seed: u64) -> Linear {
+    pub fn monolithic(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        group: usize,
+        seed: u64,
+    ) -> Linear {
         let shards: Vec<Linear> = (0..group)
             .map(|s| TpLinear::new(name, in_dim, out_dim, s, group, seed).inner)
             .collect();
@@ -92,8 +101,8 @@ impl TpLinear {
     ) -> Result<Tensor, CommError> {
         use swift_dnn::Layer;
         let local = self.inner.forward(ctx, x, mode); // [batch, out/group]
-        // All-gather: each slot broadcasts its slice; everyone assembles
-        // in slot order (deterministic).
+                                                      // All-gather: each slot broadcasts its slice; everyone assembles
+                                                      // in slot order (deterministic).
         let batch = local.shape().dim(0);
         let shard_out = self.full_out / self.group;
         let mut slices = Vec::with_capacity(self.group);
@@ -104,8 +113,8 @@ impl TpLinear {
         let mut out = Tensor::zeros([batch, self.full_out]);
         for r in 0..batch {
             for (slot, slice) in slices.iter().enumerate() {
-                let dst = &mut out.data_mut()
-                    [r * self.full_out + slot * shard_out..r * self.full_out + (slot + 1) * shard_out];
+                let dst = &mut out.data_mut()[r * self.full_out + slot * shard_out
+                    ..r * self.full_out + (slot + 1) * shard_out];
                 dst.copy_from_slice(&slice.data()[r * shard_out..(r + 1) * shard_out]);
             }
         }
@@ -128,8 +137,8 @@ impl TpLinear {
         // Slice out this shard's dy columns.
         let mut dy = Tensor::zeros([batch, shard_out]);
         for r in 0..batch {
-            let src = &dy_full.data()
-                [r * self.full_out + self.slot * shard_out..r * self.full_out + (self.slot + 1) * shard_out];
+            let src = &dy_full.data()[r * self.full_out + self.slot * shard_out
+                ..r * self.full_out + (self.slot + 1) * shard_out];
             dy.data_mut()[r * shard_out..(r + 1) * shard_out].copy_from_slice(src);
         }
         let dx_partial = self.inner.backward(ctx, &dy);
@@ -160,12 +169,16 @@ mod tests {
         let x2 = x.clone();
         let results = Cluster::run_all(Topology::uniform(2, 1), move |mut ctx| {
             let mut tp = TpLinear::new("l", in_dim, out_dim, ctx.rank(), group, 9);
-            tp.forward(&mut ctx.comm, &[0, 1], StepCtx::new(0, 0), &x2, Mode::Eval).unwrap()
+            tp.forward(&mut ctx.comm, &[0, 1], StepCtx::new(0, 0), &x2, Mode::Eval)
+                .unwrap()
         });
         let mut mono = TpLinear::monolithic("l", in_dim, out_dim, group, 9);
         let expect = mono.forward(StepCtx::new(0, 0), &x, Mode::Eval);
         for r in &results {
-            assert!(r.bit_eq(&expect), "sharded forward must equal monolithic bitwise");
+            assert!(
+                r.bit_eq(&expect),
+                "sharded forward must equal monolithic bitwise"
+            );
         }
     }
 
@@ -179,7 +192,8 @@ mod tests {
         let results = Cluster::run_all(Topology::uniform(2, 1), move |mut ctx| {
             let sctx = StepCtx::new(0, 0);
             let mut tp = TpLinear::new("l", in_dim, out_dim, ctx.rank(), group, 7);
-            tp.forward(&mut ctx.comm, &[0, 1], sctx, &x2, Mode::Train).unwrap();
+            tp.forward(&mut ctx.comm, &[0, 1], sctx, &x2, Mode::Train)
+                .unwrap();
             let dx = tp.backward(&mut ctx.comm, &[0, 1], sctx, &dy2).unwrap();
             let gw = tp.shard().grads()[0].clone();
             let gb = tp.shard().grads()[1].clone();
@@ -223,7 +237,9 @@ mod tests {
             let mut rng = CounterRng::new(2, ctx.rank() as u64);
             let x = Tensor::randn([batch, in_dim], 0.0, 1.0, &mut rng);
             let mut tp = TpLinear::new("l", in_dim, out_dim, ctx.rank(), group, 3);
-            let y = tp.forward(&mut ctx.comm, &[0, 1], sctx, &x, Mode::Train).unwrap();
+            let y = tp
+                .forward(&mut ctx.comm, &[0, 1], sctx, &x, Mode::Train)
+                .unwrap();
             tp.backward(&mut ctx.comm, &[0, 1], sctx, &y).unwrap();
             ctx.comm.bytes_sent() + ctx.comm.bytes_received()
         });

@@ -29,7 +29,13 @@ impl BlobsDataset {
                 Tensor::randn([dim], 0.0, 2.0, &mut rng)
             })
             .collect();
-        BlobsDataset { seed, dim, classes, noise_std, centers }
+        BlobsDataset {
+            seed,
+            dim,
+            classes,
+            noise_std,
+            centers,
+        }
     }
 
     /// Class center `c`.
@@ -60,7 +66,10 @@ impl Dataset for BlobsDataset {
             }
             y.push(class);
         }
-        Batch { x: Tensor::from_vec([batch_size, self.dim], data), y }
+        Batch {
+            x: Tensor::from_vec([batch_size, self.dim], data),
+            y,
+        }
     }
 }
 
@@ -91,7 +100,10 @@ mod tests {
         let b = ds.batch(0, 256);
         assert!(b.y.iter().all(|&c| c < 3));
         let distinct: std::collections::HashSet<_> = b.y.iter().collect();
-        assert!(distinct.len() >= 2, "labels should be mixed in a large batch");
+        assert!(
+            distinct.len() >= 2,
+            "labels should be mixed in a large batch"
+        );
     }
 
     #[test]

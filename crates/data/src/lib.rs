@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn batch_len() {
-        let b = Batch { x: Tensor::zeros([4, 2]), y: vec![0, 1, 0, 1] };
+        let b = Batch {
+            x: Tensor::zeros([4, 2]),
+            y: vec![0, 1, 0, 1],
+        };
         assert_eq!(b.len(), 4);
         assert!(!b.is_empty());
     }

@@ -38,7 +38,13 @@ impl TokenDataset {
                 s
             })
             .collect();
-        TokenDataset { seed, vocab, context, fidelity, successor }
+        TokenDataset {
+            seed,
+            vocab,
+            context,
+            fidelity,
+            successor,
+        }
     }
 
     /// The preferred successor of token `t`.
@@ -83,7 +89,10 @@ impl Dataset for TokenDataset {
             }
             y.push(target);
         }
-        Batch { x: Tensor::from_vec([batch_size, dim], data), y }
+        Batch {
+            x: Tensor::from_vec([batch_size, dim], data),
+            y,
+        }
     }
 }
 

@@ -63,7 +63,11 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(name: impl Into<String>, kind: ActKind) -> Self {
-        Activation { name: name.into(), kind, cache: ActivationCache::new() }
+        Activation {
+            name: name.into(),
+            kind,
+            cache: ActivationCache::new(),
+        }
     }
 
     /// Convenience: ReLU.

@@ -61,7 +61,10 @@ impl SelfAttention {
         heads: usize,
         rng: &mut CounterRng,
     ) -> Self {
-        assert!(heads >= 1 && hidden % heads == 0, "hidden must split evenly across heads");
+        assert!(
+            heads >= 1 && hidden.is_multiple_of(heads),
+            "hidden must split evenly across heads"
+        );
         let bound = (1.0 / hidden as f32).sqrt();
         let mut w = || Tensor::uniform([hidden, hidden], -bound, bound, rng);
         SelfAttention {
@@ -90,7 +93,10 @@ impl SelfAttention {
 
     fn example(&self, t: &Tensor, b: usize) -> Tensor {
         let per = self.seq * self.hidden;
-        Tensor::from_vec([self.seq, self.hidden], t.data()[b * per..(b + 1) * per].to_vec())
+        Tensor::from_vec(
+            [self.seq, self.hidden],
+            t.data()[b * per..(b + 1) * per].to_vec(),
+        )
     }
 }
 
@@ -230,7 +236,7 @@ impl Layer for SelfAttention {
             // Y = Z Wo
             self.go.add_inplace(&matmul_at_b(&z, &dy));
             let dz = matmul_a_bt(&dy, &self.wo); // dy · Woᵀ
-            // Per-head backward through Z_h = A_h V_h and the softmax.
+                                                 // Per-head backward through Z_h = A_h V_h and the softmax.
             let mut dq = Tensor::zeros([s, h]);
             let mut dk = Tensor::zeros([s, h]);
             let mut dv = Tensor::zeros([s, h]);
@@ -242,7 +248,7 @@ impl Layer for SelfAttention {
                 let dzh = col_slice(&dz, head * hh, hh);
                 let da = matmul_a_bt(&dzh, &vh); // dz_h · V_hᵀ
                 let dvh = matmul_at_b(&a, &dzh); // A_hᵀ dz_h
-                // softmax backward, row-wise
+                                                 // softmax backward, row-wise
                 let mut dsm = Tensor::zeros([s, s]);
                 for r in 0..s {
                     let a_row = &a.data()[r * s..(r + 1) * s];

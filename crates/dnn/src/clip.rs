@@ -54,13 +54,24 @@ mod tests {
         // The undo contract: pass the gradients the step actually used —
         // i.e. the clipped ones.
         let mut rng = CounterRng::new(4, 0);
-        let mut opt = OptimizerKind::Adam { lr: 1e-2, weight_decay: 0.01 }.build();
+        let mut opt = OptimizerKind::Adam {
+            lr: 1e-2,
+            weight_decay: 0.01,
+        }
+        .build();
         let mut p = Tensor::randn([64], 0.0, 1.0, &mut rng);
         let before = p.clone();
         let mut grads = vec![Tensor::randn([64], 0.0, 5.0, &mut rng)];
         clip_grad_norm(&mut grads, 1.0);
-        opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&grads[0]));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&grads[0])).unwrap();
+        opt.step(
+            std::slice::from_mut(&mut p),
+            std::slice::from_ref(&grads[0]),
+        );
+        opt.undo(
+            std::slice::from_mut(&mut p),
+            std::slice::from_ref(&grads[0]),
+        )
+        .unwrap();
         assert!(p.max_abs_diff(&before) < 1e-4);
     }
 }

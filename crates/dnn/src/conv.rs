@@ -139,7 +139,11 @@ impl Layer for Conv2d {
     fn forward(&mut self, ctx: StepCtx, input: &Tensor, mode: Mode) -> Tensor {
         let per_in = self.in_elems();
         let b = input.numel() / per_in;
-        assert_eq!(b * per_in, input.numel(), "input is not a multiple of C·H·W");
+        assert_eq!(
+            b * per_in,
+            input.numel(),
+            "input is not a multiple of C·H·W"
+        );
         let hw = self.height * self.width;
         let cols = self.c_in * self.ksize * self.ksize;
         let mut y = Vec::with_capacity(b * self.out_elems());
@@ -156,7 +160,8 @@ impl Layer for Conv2d {
             }
         }
         if mode == Mode::Train {
-            self.cache_col.put(ctx, Tensor::from_vec([b * hw, cols], col_stack));
+            self.cache_col
+                .put(ctx, Tensor::from_vec([b * hw, cols], col_stack));
         }
         Tensor::from_vec([b, self.out_elems()], y)
     }

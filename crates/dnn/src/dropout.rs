@@ -26,15 +26,30 @@ impl Dropout {
     /// Creates a dropout layer. `layer_id` must be unique within the model
     /// so sibling dropouts draw independent masks.
     pub fn new(name: impl Into<String>, p: f32, seed: u64, layer_id: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
-        Dropout { name: name.into(), p, seed, layer_id, cache_mask: ActivationCache::new() }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
+        Dropout {
+            name: name.into(),
+            p,
+            seed,
+            layer_id,
+            cache_mask: ActivationCache::new(),
+        }
     }
 
     fn mask_for(&self, ctx: StepCtx, numel: usize) -> Tensor {
         let mut rng = CounterRng::new(self.seed, ctx.stream(self.layer_id, 0xD0));
         let keep_scale = 1.0 / (1.0 - self.p);
         let data = (0..numel)
-            .map(|_| if rng.bernoulli(self.p) { 0.0 } else { keep_scale })
+            .map(|_| {
+                if rng.bernoulli(self.p) {
+                    0.0
+                } else {
+                    keep_scale
+                }
+            })
             .collect();
         Tensor::from_vec([numel], data)
     }
@@ -49,7 +64,9 @@ impl Layer for Dropout {
         if mode == Mode::Eval || self.p == 0.0 {
             return input.clone();
         }
-        let mask = self.mask_for(ctx, input.numel()).reshape(input.shape().clone());
+        let mask = self
+            .mask_for(ctx, input.numel())
+            .reshape(input.shape().clone());
         let y = input.mul(&mask);
         self.cache_mask.put(ctx, mask);
         y
@@ -128,7 +145,10 @@ mod tests {
         let mut d = Dropout::new("d", 0.4, 6, 0);
         let x = Tensor::ones([50_000]);
         let y = d.forward(StepCtx::new(0, 0), &x, Mode::Train);
-        assert!((y.mean() - 1.0).abs() < 0.02, "inverted scaling keeps E[y]=E[x]");
+        assert!(
+            (y.mean() - 1.0).abs() < 0.02,
+            "inverted scaling keeps E[y]=E[x]"
+        );
     }
 
     #[test]

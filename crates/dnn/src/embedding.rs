@@ -162,7 +162,11 @@ mod tests {
     #[should_panic(expected = "invalid for vocab")]
     fn out_of_vocab_rejected() {
         let mut e = emb();
-        e.forward(StepCtx::new(0, 0), &Tensor::from_vec([1, 1], vec![9.0]), Mode::Eval);
+        e.forward(
+            StepCtx::new(0, 0),
+            &Tensor::from_vec([1, 1], vec![9.0]),
+            Mode::Eval,
+        );
     }
 
     #[test]
@@ -184,7 +188,11 @@ mod tests {
         let g = e.grad_table.clone();
         opt.step(std::slice::from_mut(&mut e.table), std::slice::from_ref(&g));
         assert!(e.table.max_abs_diff(&before) > 0.0);
-        opt.undo(std::slice::from_mut(&mut e.table), std::slice::from_ref(&g)).unwrap();
-        assert!(e.table.max_abs_diff(&before) < 1e-6, "embedding update is undoable too");
+        opt.undo(std::slice::from_mut(&mut e.table), std::slice::from_ref(&g))
+            .unwrap();
+        assert!(
+            e.table.max_abs_diff(&before) < 1e-6,
+            "embedding update is undoable too"
+        );
     }
 }

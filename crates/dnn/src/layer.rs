@@ -24,7 +24,10 @@ pub struct StepCtx {
 impl StepCtx {
     /// Context for iteration `iteration`, micro-batch `microbatch`.
     pub fn new(iteration: u64, microbatch: u64) -> Self {
-        StepCtx { iteration, microbatch }
+        StepCtx {
+            iteration,
+            microbatch,
+        }
     }
 
     /// Collapses to a single stream id for RNG keying.

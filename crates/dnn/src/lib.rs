@@ -38,12 +38,14 @@ pub use activation::{ActKind, Activation};
 pub use attention::SelfAttention;
 pub use clip::clip_grad_norm;
 pub use conv::Conv2d;
-pub use embedding::Embedding;
 pub use dropout::Dropout;
+pub use embedding::Embedding;
 pub use layer::{ActivationCache, Layer, Mode, StepCtx};
 pub use linear::Linear;
 pub use loss::{accuracy, mse, softmax_cross_entropy, softmax_cross_entropy_scaled};
 pub use models::{bert_tiny, mlp, split_stages, vit_tiny, wide_resnet_tiny, TokenLinear};
 pub use norm::LayerNorm;
-pub use profile::{all_models, bert_128, vit_128_32, wide_resnet_50, PaperModel, RecoveryFamily, Testbed, TESTBED};
+pub use profile::{
+    all_models, bert_128, vit_128_32, wide_resnet_50, PaperModel, RecoveryFamily, Testbed, TESTBED,
+};
 pub use sequential::{ModelState, Sequential};

@@ -23,7 +23,12 @@ pub struct Linear {
 impl Linear {
     /// Creates a linear layer with Kaiming-uniform initialization drawn
     /// from a deterministic stream.
-    pub fn new(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut CounterRng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut CounterRng,
+    ) -> Self {
         let bound = (1.0 / in_dim as f32).sqrt();
         Linear {
             name: name.into(),

@@ -52,7 +52,11 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
 /// Fraction of rows whose argmax equals the target.
 pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
     let preds = logits.argmax_rows();
-    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     correct as f32 / targets.len() as f32
 }
 

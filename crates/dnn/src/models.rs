@@ -36,7 +36,10 @@ impl TokenLinear {
         out_dim: usize,
         rng: &mut CounterRng,
     ) -> Self {
-        TokenLinear { inner: Linear::new(name, in_dim, out_dim, rng), seq }
+        TokenLinear {
+            inner: Linear::new(name, in_dim, out_dim, rng),
+            seq,
+        }
     }
 }
 
@@ -87,7 +90,12 @@ pub fn mlp(name: &str, dims: &[usize], seed: u64) -> Sequential {
     let mut rng = CounterRng::new(seed, 0x3310);
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     for i in 0..dims.len() - 1 {
-        layers.push(Box::new(Linear::new(format!("fc{i}"), dims[i], dims[i + 1], &mut rng)));
+        layers.push(Box::new(Linear::new(
+            format!("fc{i}"),
+            dims[i],
+            dims[i + 1],
+            &mut rng,
+        )));
         if i + 2 < dims.len() {
             layers.push(Box::new(Activation::relu(format!("relu{i}"))));
         }
@@ -106,10 +114,28 @@ fn transformer_block(
     seed: u64,
     rng: &mut CounterRng,
 ) {
-    layers.push(Box::new(SelfAttention::new(format!("attn{block}"), seq, hidden, rng)));
-    layers.push(Box::new(LayerNorm::new(format!("ln_a{block}"), seq * hidden, rng)));
-    layers.push(Box::new(TokenLinear::new(format!("mlp_up{block}"), seq, hidden, hidden * 2, rng)));
-    layers.push(Box::new(Activation::new(format!("gelu{block}"), ActKind::Gelu)));
+    layers.push(Box::new(SelfAttention::new(
+        format!("attn{block}"),
+        seq,
+        hidden,
+        rng,
+    )));
+    layers.push(Box::new(LayerNorm::new(
+        format!("ln_a{block}"),
+        seq * hidden,
+        rng,
+    )));
+    layers.push(Box::new(TokenLinear::new(
+        format!("mlp_up{block}"),
+        seq,
+        hidden,
+        hidden * 2,
+        rng,
+    )));
+    layers.push(Box::new(Activation::new(
+        format!("gelu{block}"),
+        ActKind::Gelu,
+    )));
     layers.push(Box::new(TokenLinear::new(
         format!("mlp_down{block}"),
         seq,
@@ -125,7 +151,11 @@ fn transformer_block(
             block as u64,
         )));
     }
-    layers.push(Box::new(LayerNorm::new(format!("ln_m{block}"), seq * hidden, rng)));
+    layers.push(Box::new(LayerNorm::new(
+        format!("ln_m{block}"),
+        seq * hidden,
+        rng,
+    )));
 }
 
 /// ViT-tiny: token embedding, `blocks` transformer blocks, linear
@@ -143,11 +173,18 @@ pub fn vit_tiny(
 ) -> Sequential {
     let mut rng = CounterRng::new(seed, 0x517);
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
-    layers.push(Box::new(TokenLinear::new("embed", seq, in_dim, hidden, &mut rng)));
+    layers.push(Box::new(TokenLinear::new(
+        "embed", seq, in_dim, hidden, &mut rng,
+    )));
     for b in 0..blocks {
         transformer_block(&mut layers, b, seq, hidden, dropout_p, seed, &mut rng);
     }
-    layers.push(Box::new(Linear::new("head", seq * hidden, classes, &mut rng)));
+    layers.push(Box::new(Linear::new(
+        "head",
+        seq * hidden,
+        classes,
+        &mut rng,
+    )));
     Sequential::new(name, layers)
 }
 
@@ -165,7 +202,9 @@ pub fn bert_tiny(
 ) -> Sequential {
     let mut rng = CounterRng::new(seed, 0xBE27);
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
-    layers.push(Box::new(TokenLinear::new("embed", seq, vocab, hidden, &mut rng)));
+    layers.push(Box::new(TokenLinear::new(
+        "embed", seq, vocab, hidden, &mut rng,
+    )));
     for b in 0..blocks {
         transformer_block(&mut layers, b, seq, hidden, dropout_p, seed, &mut rng);
     }
@@ -203,10 +242,13 @@ pub fn split_stages(model: Sequential, n: usize) -> Vec<Sequential> {
     assert!(n >= 1);
     let name = model.name().to_string();
     let mut layers = model.into_layers();
-    assert!(layers.len() >= n, "fewer layers ({}) than stages ({n})", layers.len());
+    assert!(
+        layers.len() >= n,
+        "fewer layers ({}) than stages ({n})",
+        layers.len()
+    );
     let counts: Vec<usize> = layers.iter().map(|l| l.param_count()).collect();
-    let param_layers: Vec<usize> =
-        (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+    let param_layers: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
 
     let boundaries = if param_layers.len() >= n {
         // Balance over *parameter-bearing* layers so every stage holds
@@ -307,7 +349,11 @@ mod tests {
         use swift_optim::OptimizerKind;
         let ds = BlobsDataset::new(2, 24, 3, 0.3); // 4 tokens × 6 dims
         let mut model = vit_tiny("vit", 4, 6, 16, 2, 3, 0.0, 21);
-        let mut opt = OptimizerKind::Adam { lr: 3e-3, weight_decay: 0.0 }.build();
+        let mut opt = OptimizerKind::Adam {
+            lr: 3e-3,
+            weight_decay: 0.0,
+        }
+        .build();
         let mut first = 0.0;
         let mut last = 0.0;
         for it in 0..50 {
@@ -323,7 +369,10 @@ mod tests {
             }
             last = l;
         }
-        assert!(last < 0.5 * first, "transformer failed to learn: {first} -> {last}");
+        assert!(
+            last < 0.5 * first,
+            "transformer failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -332,7 +381,11 @@ mod tests {
         use swift_optim::OptimizerKind;
         let ds = TokenDataset::new(5, 8, 3, 0.95);
         let mut model = bert_tiny("bert", 3, 8, 16, 2, 0.0, 22);
-        let mut opt = OptimizerKind::Adam { lr: 3e-3, weight_decay: 0.0 }.build();
+        let mut opt = OptimizerKind::Adam {
+            lr: 3e-3,
+            weight_decay: 0.0,
+        }
+        .build();
         let mut accs = Vec::new();
         for it in 0..150 {
             let b = ds.batch(it, 16);
@@ -389,7 +442,10 @@ mod tests {
         let stages = split_stages(m, 4);
         assert_eq!(stages.len(), 4);
         assert_eq!(stages.iter().map(|s| s.len()).sum::<usize>(), n_layers);
-        assert_eq!(stages.iter().map(|s| s.param_count()).sum::<usize>(), total_params);
+        assert_eq!(
+            stages.iter().map(|s| s.param_count()).sum::<usize>(),
+            total_params
+        );
         assert!(stages.iter().all(|s| !s.is_empty()));
     }
 
@@ -404,7 +460,10 @@ mod tests {
         for s in &mut stages {
             h = s.forward(ctx, &h, Mode::Eval);
         }
-        assert!(h.bit_eq(&y_mono), "staged forward must be bitwise identical");
+        assert!(
+            h.bit_eq(&y_mono),
+            "staged forward must be bitwise identical"
+        );
     }
 
     #[test]
@@ -414,7 +473,10 @@ mod tests {
         for n in [2usize, 3] {
             let stages = split_stages(mlp("m", &[8, 24, 24, 3], 1), n);
             for (i, s) in stages.iter().enumerate() {
-                assert!(s.param_count() > 0, "{n}-way split: stage {i} has no parameters");
+                assert!(
+                    s.param_count() > 0,
+                    "{n}-way split: stage {i} has no parameters"
+                );
             }
         }
         let stages = split_stages(vit_tiny("v", 4, 6, 8, 4, 5, 0.0, 2), 4);

@@ -66,7 +66,8 @@ impl Layer for LayerNorm {
         }
         if mode == Mode::Train {
             self.cache_xhat.put(ctx, xhat);
-            self.cache_inv_std.put(ctx, Tensor::from_vec([rows], inv_stds));
+            self.cache_inv_std
+                .put(ctx, Tensor::from_vec([rows], inv_stds));
         }
         y
     }

@@ -215,9 +215,8 @@ impl PaperModel {
         // A stage is busy for m of the (m+p-1) schedule slots, i.e. a
         // (1 - bubble_ratio) fraction of the iteration; a machine's serial
         // re-computation work is that fraction times its stage count.
-        let base = self.iter_time_s
-            * (1.0 - self.bubble_ratio())
-            * self.stages_per_machine.max(1) as f64;
+        let base =
+            self.iter_time_s * (1.0 - self.bubble_ratio()) * self.stages_per_machine.max(1) as f64;
         (0..n)
             .map(|i| {
                 // ±10% linear skew, heavier at the front of the pipeline.
@@ -265,9 +264,11 @@ mod tests {
     fn failure_free_hours_close_to_table4() {
         // Table 4: 479.4 h / 85.6 h / 461.1 h (checkpoint cost included in
         // the iteration-derived times, so we allow ~1% slack).
-        for (m, expect) in
-            [(wide_resnet_50(), 479.4), (vit_128_32(), 85.6), (bert_128(), 461.1)]
-        {
+        for (m, expect) in [
+            (wide_resnet_50(), 479.4),
+            (vit_128_32(), 85.6),
+            (bert_128(), 461.1),
+        ] {
             let hours = m.failure_free_seconds() / 3600.0;
             assert!(
                 (hours - expect).abs() / expect < 0.02,
@@ -295,8 +296,7 @@ mod tests {
         let bert = bert_128();
         let v = bert.per_machine_compute_s();
         let total: f64 = v.iter().sum();
-        let expect =
-            bert.iter_time_s * (1.0 - bert.bubble_ratio()) * bert.total_stages() as f64;
+        let expect = bert.iter_time_s * (1.0 - bert.bubble_ratio()) * bert.total_stages() as f64;
         assert!((total - expect).abs() / expect < 1e-6);
         let mean = total / 16.0;
         assert!((mean - 0.81).abs() < 0.05, "per-machine replay work {mean}");

@@ -20,14 +20,23 @@ pub struct Sequential {
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Sequential({}, {} layers, {} params)", self.name, self.layers.len(), self.param_count())
+        write!(
+            f,
+            "Sequential({}, {} layers, {} params)",
+            self.name,
+            self.layers.len(),
+            self.param_count()
+        )
     }
 }
 
 impl Sequential {
     /// Creates a named sequential model.
     pub fn new(name: impl Into<String>, layers: Vec<Box<dyn Layer>>) -> Self {
-        Sequential { name: name.into(), layers }
+        Sequential {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// Model name.
@@ -249,10 +258,15 @@ impl Sequential {
                     .next()
                     .unwrap_or_else(|| panic!("model state too short at layer {li}"));
                 assert_eq!(
-                    name, &format!("{li}:{lname}.{pi}"),
+                    name,
+                    &format!("{li}:{lname}.{pi}"),
                     "model state entry mismatch"
                 );
-                assert_eq!(p.shape(), tensor.shape(), "parameter shape mismatch at {name}");
+                assert_eq!(
+                    p.shape(),
+                    tensor.shape(),
+                    "parameter shape mismatch at {name}"
+                );
                 *p = tensor.clone();
             }
         }
@@ -388,7 +402,11 @@ mod tests {
     fn partial_update_then_undo_restores_consistency() {
         // Crash mid-update: only the first 2 groups were updated.
         let mut m = tiny_model(2);
-        let mut opt = OptimizerKind::Adam { lr: 1e-2, weight_decay: 0.0 }.build();
+        let mut opt = OptimizerKind::Adam {
+            lr: 1e-2,
+            weight_decay: 0.0,
+        }
+        .build();
         let ctx = StepCtx::new(0, 0);
         let x = Tensor::ones([2, 4]);
         let y = m.forward(ctx, &x, Mode::Train);

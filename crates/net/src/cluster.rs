@@ -6,8 +6,10 @@ use std::thread;
 
 use parking_lot::Mutex;
 
-use crate::comm::{build_comms, respawn_comm, Comm, Fabric};
+use crate::comm::{build_comms, respawn_comm, Comm, CommError, Fabric};
+use crate::detector::{Heartbeat, HeartbeatConfig, HeartbeatMonitor};
 use crate::failure::FailureController;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::kv::KvStore;
 use crate::topology::{Rank, Topology};
 
@@ -19,6 +21,10 @@ pub struct WorkerCtx {
     pub kv: KvStore,
     /// Cluster topology.
     pub topology: Topology,
+    /// Heartbeat lease publisher (when the cluster enables heartbeats).
+    /// Owned by the context so a crashed worker's unwinding stops its
+    /// beats — which is precisely how the monitor learns of the death.
+    heartbeat: Option<Heartbeat>,
 }
 
 impl WorkerCtx {
@@ -30,6 +36,23 @@ impl WorkerCtx {
     /// The machine hosting this worker.
     pub fn machine(&self) -> usize {
         self.topology.machine_of(self.comm.rank())
+    }
+
+    /// Whether this context is publishing heartbeats.
+    pub fn heartbeating(&self) -> bool {
+        self.heartbeat.is_some()
+    }
+
+    /// Reports training progress to the fault injector so `AtIteration`
+    /// crash triggers can fire. Returns `Err(SelfKilled)` when the
+    /// trigger just took this worker's machine down.
+    pub fn note_iteration(&self, iteration: u64) -> Result<(), CommError> {
+        if let Some(inj) = self.comm.injector() {
+            if inj.note_iteration(self.rank(), iteration) {
+                return Err(CommError::SelfKilled);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -44,23 +67,71 @@ pub struct Cluster {
     kv: KvStore,
     fabric: Arc<Fabric>,
     pending: Mutex<Vec<Option<Comm>>>,
+    hb_cfg: Mutex<Option<HeartbeatConfig>>,
+    monitor: Mutex<Option<HeartbeatMonitor>>,
 }
 
 impl Cluster {
     /// Builds the fabric for `topology`.
     pub fn new(topology: Topology) -> Self {
         let fc = FailureController::new(topology.clone());
-        let (fabric, comms) = build_comms(topology.world_size(), fc.clone());
+        let kv = KvStore::new();
+        let (fabric, comms) = build_comms(topology.world_size(), fc.clone(), kv.clone());
         Cluster {
             topology,
             fc,
-            kv: KvStore::new(),
+            kv,
             fabric,
             pending: Mutex::new(comms.into_iter().map(Some).collect()),
+            hb_cfg: Mutex::new(None),
+            monitor: Mutex::new(None),
         }
     }
 
-    /// The failure controller (injection + detection source of truth).
+    /// Builds a cluster with a fault plan installed on the fabric.
+    pub fn with_faults(topology: Topology, plan: FaultPlan) -> (Self, Arc<FaultInjector>) {
+        let cluster = Cluster::new(topology);
+        let inj = cluster.install_faults(plan);
+        (cluster, inj)
+    }
+
+    /// Installs `plan` on the fabric (call before spawning workers for
+    /// full coverage). Returns the injector for stats and assertions.
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = FaultInjector::new(plan, self.fc.clone());
+        self.fabric.install_injector(inj.clone());
+        inj
+    }
+
+    /// Turns on heartbeat-lease failure detection: every context taken
+    /// from now on publishes a lease, and a monitor thread declares
+    /// ranks whose lease goes stale. Idempotent.
+    pub fn enable_heartbeats(&self, cfg: HeartbeatConfig) {
+        *self.hb_cfg.lock() = Some(cfg);
+        let mut mon = self.monitor.lock();
+        if mon.is_none() {
+            *mon = Some(HeartbeatMonitor::start(
+                self.kv.clone(),
+                cfg,
+                self.topology.world_size(),
+            ));
+        }
+    }
+
+    /// Stops the heartbeat monitor (graceful shutdown: a driver that is
+    /// about to tear the cluster down should stop suspecting it first).
+    pub fn stop_heartbeat_monitor(&self) {
+        *self.hb_cfg.lock() = None;
+        *self.monitor.lock() = None;
+    }
+
+    /// The shared channel fabric.
+    pub fn fabric(&self) -> Arc<Fabric> {
+        self.fabric.clone()
+    }
+
+    /// The failure controller (the injection mechanism; production code
+    /// must not consult it for detection).
     pub fn failure_controller(&self) -> Arc<FailureController> {
         self.fc.clone()
     }
@@ -81,7 +152,25 @@ impl Cluster {
         let comm = self.pending.lock()[rank]
             .take()
             .unwrap_or_else(|| panic!("context for rank {rank} already taken"));
-        WorkerCtx { comm, kv: self.kv.clone(), topology: self.topology.clone() }
+        self.make_ctx(comm)
+    }
+
+    fn make_ctx(&self, comm: Comm) -> WorkerCtx {
+        let heartbeat = (*self.hb_cfg.lock()).map(|cfg| {
+            Heartbeat::start(
+                self.kv.clone(),
+                comm.rank(),
+                cfg,
+                self.fc.clone(),
+                self.fabric.injector(),
+            )
+        });
+        WorkerCtx {
+            comm,
+            kv: self.kv.clone(),
+            topology: self.topology.clone(),
+            heartbeat,
+        }
     }
 
     /// Spawns a worker thread for `rank` running `f`.
@@ -101,8 +190,14 @@ impl Cluster {
     /// existing rank (after [`FailureController::replace_machine`]): new
     /// inbox, stale messages discarded.
     pub fn respawn(&self, rank: Rank) -> WorkerCtx {
-        let comm = respawn_comm(&self.fabric, rank, self.topology.world_size(), self.fc.clone());
-        WorkerCtx { comm, kv: self.kv.clone(), topology: self.topology.clone() }
+        let comm = respawn_comm(
+            &self.fabric,
+            rank,
+            self.topology.world_size(),
+            self.fc.clone(),
+            self.kv.clone(),
+        );
+        self.make_ctx(comm)
     }
 
     /// Runs `f` on every rank and joins all threads, returning results in
@@ -120,7 +215,10 @@ impl Cluster {
                 cluster.spawn(rank, move |ctx| f(ctx))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     }
 }
 
@@ -277,9 +375,75 @@ mod tests {
         fc.replace_machine(1);
         let mut new1 = cluster.respawn(1);
         // The stale pre-failure message is gone; a fresh one arrives.
-        let fabric_send_ok = new1.comm.send_bytes(1, 1, bytes::Bytes::from_static(b"x")).is_ok();
+        let fabric_send_ok = new1
+            .comm
+            .send_bytes(1, 1, bytes::Bytes::from_static(b"x"))
+            .is_ok();
         assert!(fabric_send_ok, "self-send through fabric");
         assert_eq!(new1.comm.recv_bytes(1, 1).unwrap().as_ref(), b"x");
+    }
+
+    #[test]
+    fn respawn_rejoins_under_queued_traffic() {
+        // Messages queued for the victim before its death must be
+        // invisible to the replacement, and fresh post-respawn traffic
+        // must flow in order even though the sender's link counters
+        // advanced past the lost messages.
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+        let ctx0 = cluster.take_ctx(0);
+        let _ctx1 = cluster.take_ctx(1);
+        for i in 0..3 {
+            ctx0.comm
+                .send_tensor(1, 4, &Tensor::scalar(i as f32))
+                .unwrap();
+        }
+        fc.kill_machine(1);
+        fc.replace_machine(1);
+        let mut new1 = cluster.respawn(1);
+        ctx0.comm.send_tensor(1, 4, &Tensor::scalar(10.0)).unwrap();
+        ctx0.comm.send_tensor(1, 4, &Tensor::scalar(11.0)).unwrap();
+        assert_eq!(new1.comm.recv_tensor(0, 4).unwrap().item(), 10.0);
+        assert_eq!(new1.comm.recv_tensor(0, 4).unwrap().item(), 11.0);
+    }
+
+    #[test]
+    fn purge_discards_stash_from_dead_rank() {
+        // Out-of-order receives stash messages per (src, tag). A stash
+        // entry from a rank that then dies must not satisfy post-recovery
+        // receives once the survivor purges — the replacement's fresh
+        // message must win.
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let fc = cluster.failure_controller();
+        let ctx0 = cluster.take_ctx(0);
+        let mut ctx1 = cluster.take_ctx(1);
+        ctx0.comm.send_tensor(1, 7, &Tensor::scalar(-1.0)).unwrap(); // goes stale
+        ctx0.comm.send_tensor(1, 8, &Tensor::scalar(2.0)).unwrap();
+        // Receiving tag 8 first forces the tag-7 message into the stash.
+        assert_eq!(ctx1.comm.recv_tensor(0, 8).unwrap().item(), 2.0);
+        fc.kill_machine(0);
+        ctx1.comm.purge();
+        fc.replace_machine(0);
+        let new0 = cluster.respawn(0);
+        new0.comm.send_tensor(1, 7, &Tensor::scalar(42.0)).unwrap();
+        assert_eq!(ctx1.comm.recv_tensor(0, 7).unwrap().item(), 42.0);
+    }
+
+    #[test]
+    fn stale_generation_traffic_is_fenced_on_receive() {
+        // A message sent under an old failure generation must not satisfy
+        // receives after the communicator has advanced generations (the
+        // recovery fence's bulkhead against pre-failure stragglers).
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        let ctx0 = cluster.take_ctx(0);
+        let mut ctx1 = cluster.take_ctx(1);
+        ctx0.comm.send_tensor(1, 5, &Tensor::scalar(-7.0)).unwrap();
+        // Both sides move to generation 1 (as the recovery fence does)
+        // and the sender retransmits under the new generation.
+        ctx0.comm.set_generation(1);
+        ctx1.comm.set_generation(1);
+        ctx0.comm.send_tensor(1, 5, &Tensor::scalar(8.0)).unwrap();
+        assert_eq!(ctx1.comm.recv_tensor(0, 5).unwrap().item(), 8.0);
     }
 
     #[test]

@@ -3,20 +3,37 @@
 //!
 //! Each rank owns a [`Comm`] handle. Sends are non-blocking (unbounded
 //! channels); receives block with a poll loop that doubles as the failure
-//! detector: while waiting, the receiver checks the [`FailureController`]
-//! — the analogue of the paper's background thread polling
-//! `ncclCommGetAsyncError()` (§6).
+//! detector — the analogue of the paper's background thread polling
+//! `ncclCommGetAsyncError()` (§6). Detection uses only *observable*
+//! signals: severed fabric links (the victim's NIC going dark), channel
+//! disconnects, and the key-value failure state published by other
+//! detectors ([`crate::detector`]). The [`FailureController`] is
+//! consulted for exactly one thing: whether *this* rank has been killed,
+//! which is the mechanism by which the crashed process ceases to run.
+//!
+//! Messages carry three pieces of fault armor:
+//! - a per-`(src, dst, tag)` stream sequence number (`tag_seq`), giving
+//!   in-order, exactly-once delivery under injected reordering, drops
+//!   (repaired by retransmission) and duplicates;
+//! - the sender's failure *generation*: receivers drop traffic from
+//!   generations older than their own, so delayed pre-failure messages
+//!   can never satisfy post-recovery receives;
+//! - a `deliver_at` timestamp, the injector's delivery-delay lever.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use swift_tensor::{decode_slice, encode, Tensor};
 
+use crate::detector;
 use crate::failure::FailureController;
+use crate::faults::{FaultInjector, SendFate};
+use crate::kv::KvStore;
 use crate::topology::Rank;
 
 /// Tag bit reserved for internal collective sequencing; user tags must
@@ -49,14 +66,134 @@ impl std::error::Error for CommError {}
 struct Message {
     src: Rank,
     tag: u64,
+    /// Position in the per-`(src, dst, tag)` stream. Receivers deliver
+    /// each stream strictly in order, exactly once.
+    tag_seq: u64,
+    /// Sender's failure generation; receivers fence older generations.
+    generation: u64,
+    /// Earliest delivery time (injected delay; `now` when fault-free).
+    deliver_at: Instant,
     payload: Bytes,
+}
+
+/// Sender-side stream state for one `(src, dst)` link. Lives in the
+/// fabric (not the `Comm`), so a replacement worker under the same rank
+/// transparently continues its predecessor's outbound stream positions —
+/// which is exactly what survivors' delivery cursors expect. Streams
+/// *into* a respawned rank are the one exception: its inbox starts empty,
+/// so [`Fabric::reset_links_into`] restarts them from zero.
+#[derive(Debug, Default)]
+struct LinkState {
+    /// Messages ever pushed onto this link (keys the injector's RNG).
+    link_seq: u64,
+    /// Next sequence number per tag.
+    tag_seqs: HashMap<u64, u64>,
+}
+
+/// What became of a [`Fabric::transmit`] call.
+enum Transmit {
+    Sent,
+    /// A crash trigger fired on the sender mid-send; the message died
+    /// with the machine.
+    SenderCrashed,
+    /// The destination inbox no longer exists.
+    PeerGone,
 }
 
 /// Shared channel fabric: one inbox per rank, senders replaceable so a
 /// replacement worker can re-join under the same rank. Opaque to users;
 /// obtained from [`build_comms`] and passed to [`respawn_comm`].
+///
+/// The fabric also owns the *observable* per-rank link state: killing a
+/// machine severs its ranks' links (registered as a
+/// [`FailureController::on_transition`] observer), which survivors see as
+/// connection errors — no ground-truth liveness is consulted.
 pub struct Fabric {
     senders: RwLock<Vec<Sender<Message>>>,
+    /// Per-rank "NIC is reachable".
+    link_up: Vec<AtomicBool>,
+    /// Sender-side stream counters.
+    links: Mutex<HashMap<(Rank, Rank), LinkState>>,
+    /// Optional fault injector (the adversary).
+    injector: RwLock<Option<Arc<FaultInjector>>>,
+}
+
+impl Fabric {
+    /// Installs a fault injector; all subsequent traffic passes through
+    /// it. Call before spawning workers for full coverage.
+    pub fn install_injector(&self, inj: Arc<FaultInjector>) {
+        *self.injector.write() = Some(inj);
+    }
+
+    /// The installed injector, if any.
+    pub fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.injector.read().clone()
+    }
+
+    /// Whether `rank`'s link is up (the observable liveness signal).
+    pub fn link_up(&self, rank: Rank) -> bool {
+        self.link_up[rank].load(Ordering::SeqCst)
+    }
+
+    /// Raises or severs `rank`'s link.
+    pub fn set_link(&self, rank: Rank, up: bool) {
+        self.link_up[rank].store(up, Ordering::SeqCst);
+    }
+
+    /// Forgets sender-side stream state for every link *into* `rank` — a
+    /// replacement worker starts with an empty inbox and expects every
+    /// stream from position zero.
+    fn reset_links_into(&self, rank: Rank) {
+        self.links.lock().retain(|&(_, dst), _| dst != rank);
+    }
+
+    /// Stamps sequence numbers, consults the injector for the message's
+    /// fate, and enqueues the surviving copies.
+    fn transmit(
+        &self,
+        src: Rank,
+        dst: Rank,
+        generation: u64,
+        tag: u64,
+        payload: Bytes,
+    ) -> Transmit {
+        let (copies, tag_seq) = {
+            let mut links = self.links.lock();
+            let ls = links.entry((src, dst)).or_default();
+            let link_seq = ls.link_seq;
+            ls.link_seq += 1;
+            let seq = ls.tag_seqs.entry(tag).or_insert(0);
+            let tag_seq = *seq;
+            *seq += 1;
+            let fate = match self.injector.read().as_ref() {
+                Some(inj) => inj.on_send(src, dst, link_seq),
+                None => SendFate {
+                    copies: vec![Duration::ZERO],
+                    crashed: false,
+                },
+            };
+            if fate.crashed {
+                return Transmit::SenderCrashed;
+            }
+            (fate.copies, tag_seq)
+        };
+        let sender = self.senders.read()[dst].clone();
+        let now = Instant::now();
+        for delay in copies {
+            let msg = Message {
+                src,
+                tag,
+                tag_seq,
+                generation,
+                deliver_at: now + delay,
+                payload: payload.clone(),
+            };
+            if sender.send(msg).is_err() {
+                return Transmit::PeerGone;
+            }
+        }
+        Transmit::Sent
+    }
 }
 
 /// A per-rank communicator handle.
@@ -65,9 +202,17 @@ pub struct Comm {
     world: usize,
     fabric: Arc<Fabric>,
     inbox: Receiver<Message>,
-    /// Out-of-order stash for messages whose (src, tag) didn't match.
+    /// Out-of-order stash for messages that arrived early (wrong stream,
+    /// future sequence number, or injected delay not yet elapsed).
     stash: Vec<Message>,
+    /// Next expected `tag_seq` per `(src, tag)` stream.
+    expected: HashMap<(Rank, u64), u64>,
     fc: Arc<FailureController>,
+    kv: KvStore,
+    /// Failure generation this communicator has synchronized to
+    /// (advanced by the recovery fence). Outgoing traffic is stamped with
+    /// it; inbound traffic from older generations is fenced.
+    generation: AtomicU64,
     coll_seq: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
@@ -76,8 +221,39 @@ pub struct Comm {
 /// Poll interval while blocked in `recv` (the failure-detector cadence).
 const POLL: Duration = Duration::from_micros(200);
 
-/// Builds the fabric and one `Comm` per rank.
-pub fn build_comms(world: usize, fc: Arc<FailureController>) -> (Arc<Fabric>, Vec<Comm>) {
+fn new_comm(
+    rank: Rank,
+    world: usize,
+    fabric: Arc<Fabric>,
+    inbox: Receiver<Message>,
+    fc: Arc<FailureController>,
+    kv: KvStore,
+    generation: u64,
+) -> Comm {
+    Comm {
+        rank,
+        world,
+        fabric,
+        inbox,
+        stash: Vec::new(),
+        expected: HashMap::new(),
+        fc,
+        kv,
+        generation: AtomicU64::new(generation),
+        coll_seq: AtomicU64::new(0),
+        bytes_sent: AtomicU64::new(0),
+        bytes_received: AtomicU64::new(0),
+    }
+}
+
+/// Builds the fabric and one `Comm` per rank. The failure controller's
+/// kill/replace transitions are wired to the fabric's link state, which
+/// is how an injected crash becomes observable to survivors.
+pub fn build_comms(
+    world: usize,
+    fc: Arc<FailureController>,
+    kv: KvStore,
+) -> (Arc<Fabric>, Vec<Comm>) {
     let mut senders = Vec::with_capacity(world);
     let mut receivers = Vec::with_capacity(world);
     for _ in 0..world {
@@ -85,20 +261,34 @@ pub fn build_comms(world: usize, fc: Arc<FailureController>) -> (Arc<Fabric>, Ve
         senders.push(s);
         receivers.push(r);
     }
-    let fabric = Arc::new(Fabric { senders: RwLock::new(senders) });
+    let fabric = Arc::new(Fabric {
+        senders: RwLock::new(senders),
+        link_up: (0..world).map(|_| AtomicBool::new(true)).collect(),
+        links: Mutex::new(HashMap::new()),
+        injector: RwLock::new(None),
+    });
+    {
+        let fabric = fabric.clone();
+        fc.on_transition(move |ranks, alive| {
+            for &r in ranks {
+                fabric.set_link(r, alive);
+            }
+        });
+    }
+    let epoch = detector::failure_epoch(&kv);
     let comms = receivers
         .into_iter()
         .enumerate()
-        .map(|(rank, inbox)| Comm {
-            rank,
-            world,
-            fabric: fabric.clone(),
-            inbox,
-            stash: Vec::new(),
-            fc: fc.clone(),
-            coll_seq: AtomicU64::new(0),
-            bytes_sent: AtomicU64::new(0),
-            bytes_received: AtomicU64::new(0),
+        .map(|(rank, inbox)| {
+            new_comm(
+                rank,
+                world,
+                fabric.clone(),
+                inbox,
+                fc.clone(),
+                kv.clone(),
+                epoch,
+            )
         })
         .collect();
     (fabric, comms)
@@ -106,26 +296,21 @@ pub fn build_comms(world: usize, fc: Arc<FailureController>) -> (Arc<Fabric>, Ve
 
 /// Creates a fresh `Comm` for `rank` on an existing fabric (a replacement
 /// worker joining after a failure, §3). Messages queued for the dead
-/// predecessor are discarded with its receiver.
+/// predecessor are discarded with its receiver, sender-side streams into
+/// the rank restart from zero, and the communicator joins at the current
+/// failure epoch.
 pub fn respawn_comm(
     fabric: &Arc<Fabric>,
     rank: Rank,
     world: usize,
     fc: Arc<FailureController>,
+    kv: KvStore,
 ) -> Comm {
     let (s, r) = unbounded();
     fabric.senders.write()[rank] = s;
-    Comm {
-        rank,
-        world,
-        fabric: fabric.clone(),
-        inbox: r,
-        stash: Vec::new(),
-        fc,
-        coll_seq: AtomicU64::new(0),
-        bytes_sent: AtomicU64::new(0),
-        bytes_received: AtomicU64::new(0),
-    }
+    fabric.reset_links_into(rank);
+    let epoch = detector::failure_epoch(&kv);
+    new_comm(rank, world, fabric.clone(), r, fc, kv, epoch)
 }
 
 impl Comm {
@@ -139,12 +324,23 @@ impl Comm {
         self.world
     }
 
-    /// The failure controller this communicator observes.
+    /// The failure controller this communicator unwinds through (the
+    /// injection mechanism — not a detection input).
     pub fn failure_controller(&self) -> &Arc<FailureController> {
         &self.fc
     }
 
-    fn check_self(&self) -> Result<(), CommError> {
+    /// The fault injector installed on the fabric, if any.
+    pub fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fabric.injector()
+    }
+
+    /// The mechanism of fail-stop: a killed rank's next communication
+    /// unwinds. This is the *only* ground-truth liveness read in the
+    /// communication path, and it is strictly self-directed. Public so
+    /// that KV-polling recovery waits can serve the same fail-stop
+    /// semantics a real dead process would get for free.
+    pub fn check_self(&self) -> Result<(), CommError> {
         if self.fc.is_dead(self.rank) {
             Err(CommError::SelfKilled)
         } else {
@@ -152,61 +348,177 @@ impl Comm {
         }
     }
 
+    /// Serves an injected stall: the whole rank freezes until it ends
+    /// (heartbeats freeze with it — see [`crate::detector::Heartbeat`]).
+    fn serve_stall(&self) {
+        if let Some(inj) = self.fabric.injector() {
+            while let Some(end) = inj.stalled_until(self.rank) {
+                let now = Instant::now();
+                if end <= now {
+                    break;
+                }
+                std::thread::sleep(end - now);
+            }
+        }
+    }
+
+    /// Publishes an observed link failure. Every currently-dark link is
+    /// declared in one atomic call, so a simultaneous multi-machine
+    /// failure (Appendix B) lands in a *single* epoch bump no matter
+    /// which victim a survivor happens to notice first — every observer
+    /// then agrees on the resulting epoch.
+    fn declare_downed_links(&self, observed: Rank) -> CommError {
+        let downed: Vec<Rank> = (0..self.world)
+            .filter(|&r| r != self.rank && !self.fabric.link_up(r))
+            .collect();
+        if downed.is_empty() {
+            // The link flapped back up (a replacement already joined);
+            // report the rank we were blocked on.
+            return CommError::PeerFailed { rank: observed };
+        }
+        detector::declare_failed(&self.kv, &downed);
+        let rank = if downed.contains(&observed) {
+            observed
+        } else {
+            downed[0]
+        };
+        CommError::PeerFailed { rank }
+    }
+
+    /// Checks the observable KV failure state (§6: the flag workers poll).
+    /// An epoch ahead of ours means a failure we have not yet fenced:
+    /// unwind — as ourselves if we are the one declared dead (false
+    /// suspicion self-fencing), otherwise reporting a declared-dead peer.
+    fn check_failure_state(&self, fallback: Rank) -> Result<(), CommError> {
+        let (epoch, dead) = detector::failure_state(&self.kv);
+        if epoch > self.generation.load(Ordering::SeqCst) {
+            if dead.contains(&self.rank) {
+                return Err(CommError::SelfKilled);
+            }
+            let rank = dead
+                .iter()
+                .copied()
+                .find(|&r| r != self.rank)
+                .unwrap_or(fallback);
+            return Err(CommError::PeerFailed { rank });
+        }
+        Ok(())
+    }
+
     /// Sends raw bytes to `dst` with a user tag (must not set
     /// [`COLLECTIVE_BIT`]).
     pub fn send_bytes(&self, dst: Rank, tag: u64, payload: Bytes) -> Result<(), CommError> {
         self.check_self()?;
-        if self.fc.is_dead(dst) {
-            return Err(CommError::PeerFailed { rank: dst });
+        self.serve_stall();
+        // The stall may have outlived us (or our false suspicion).
+        self.check_self()?;
+        if !self.fabric.link_up(dst) {
+            // Connection error: the peer's NIC is dark. Publish what we
+            // observed so the rest of the job learns without touching it.
+            return Err(self.declare_downed_links(dst));
         }
-        self.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
-        let msg = Message { src: self.rank, tag, payload };
+        self.check_failure_state(dst)?;
+        self.bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         // A send can still race with the peer dying; that surfaces on the
         // peer's side (or on our next call), matching async NCCL errors.
-        let _ = self.fabric.senders.read()[dst].send(msg);
-        Ok(())
+        let gen = self.generation.load(Ordering::SeqCst);
+        match self.fabric.transmit(self.rank, dst, gen, tag, payload) {
+            Transmit::Sent => Ok(()),
+            Transmit::SenderCrashed => Err(CommError::SelfKilled),
+            Transmit::PeerGone => Err(CommError::PeerFailed { rank: dst }),
+        }
+    }
+
+    /// Consumes a matched message: advances the stream cursor, counts the
+    /// bytes, and gives crash triggers their shot at the consumer.
+    fn deliver(&mut self, m: Message) -> Result<Bytes, CommError> {
+        self.expected.insert((m.src, m.tag), m.tag_seq + 1);
+        self.bytes_received
+            .fetch_add(m.payload.len() as u64, Ordering::Relaxed);
+        if let Some(inj) = self.fabric.injector() {
+            if inj.on_delivery(self.rank) {
+                return Err(CommError::SelfKilled);
+            }
+        }
+        Ok(m.payload)
     }
 
     /// Receives raw bytes from `src` with the given tag, blocking until
-    /// the message arrives or a failure is detected.
+    /// the next in-stream message arrives or a failure is detected.
+    ///
+    /// Delivery is in-order and exactly-once per `(src, tag)` stream:
+    /// reordered messages wait in the stash for their turn, duplicates of
+    /// already-consumed sequence numbers are suppressed, and messages
+    /// stamped with a pre-recovery generation are fenced.
     pub fn recv_bytes(&mut self, src: Rank, tag: u64) -> Result<Bytes, CommError> {
         loop {
             self.check_self()?;
-            if let Some(pos) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
-                let payload = self.stash.swap_remove(pos).payload;
-                self.bytes_received.fetch_add(payload.len() as u64, Ordering::Relaxed);
-                return Ok(payload);
-            }
-            match self.inbox.recv_timeout(POLL) {
-                Ok(m) if m.src == src && m.tag == tag => {
-                    self.bytes_received.fetch_add(m.payload.len() as u64, Ordering::Relaxed);
-                    return Ok(m.payload);
+            self.serve_stall();
+            let gen = self.generation.load(Ordering::SeqCst);
+            let now = Instant::now();
+            // Scan the stash: drop fenced/duplicate traffic, deliver the
+            // expected in-stream message if its delay has elapsed, and
+            // otherwise note when the earliest candidate matures.
+            let mut hit = None;
+            let mut matures: Option<Instant> = None;
+            let mut i = 0;
+            while i < self.stash.len() {
+                let m = &self.stash[i];
+                if m.generation < gen {
+                    // Pre-recovery traffic: fenced. Advance the cursor —
+                    // the sender's stream position consumed this slot.
+                    let m = self.stash.swap_remove(i);
+                    let cursor = self.expected.entry((m.src, m.tag)).or_insert(0);
+                    *cursor = (*cursor).max(m.tag_seq + 1);
+                    continue;
                 }
-                Ok(m) => self.stash.push(m),
-                Err(RecvTimeoutError::Timeout) => {
-                    // Failure detector: the sender died and nothing is
-                    // buffered for us → the message will never come.
-                    if self.fc.is_dead(src) {
-                        return Err(CommError::PeerFailed { rank: src });
+                if m.src == src && m.tag == tag {
+                    let expected = self.expected.get(&(src, tag)).copied().unwrap_or(0);
+                    if m.tag_seq < expected {
+                        // Duplicate of an already-consumed message.
+                        self.stash.swap_remove(i);
+                        continue;
                     }
-                    // Global failure flag (§6): some *other* machine died.
-                    // Our sender may be alive but itself blocked on the
-                    // dead machine, so this receive would hang — abort,
-                    // reporting the actually-dead rank, exactly like
-                    // workers aborting their NCCL communicators when the
-                    // KV-store flag is set.
-                    if self.fc.failure_detected() {
-                        if self.fc.is_dead(self.rank) {
-                            return Err(CommError::SelfKilled);
+                    if m.tag_seq == expected {
+                        if m.deliver_at <= now {
+                            hit = Some(i);
+                            break;
                         }
-                        let rank = self
-                            .fc
-                            .dead_ranks()
-                            .into_iter()
-                            .find(|&r| r != self.rank)
-                            .unwrap_or(src);
-                        return Err(CommError::PeerFailed { rank });
+                        matures = Some(matures.map_or(m.deliver_at, |t| t.min(m.deliver_at)));
                     }
+                }
+                i += 1;
+            }
+            if let Some(i) = hit {
+                let m = self.stash.swap_remove(i);
+                return self.deliver(m);
+            }
+            let wait = matures
+                .map(|t| t.saturating_duration_since(now).min(POLL))
+                .unwrap_or(POLL)
+                .max(Duration::from_micros(10));
+            match self.inbox.recv_timeout(wait) {
+                Ok(m) => {
+                    if m.generation >= gen {
+                        self.stash.push(m);
+                    } else {
+                        let cursor = self.expected.entry((m.src, m.tag)).or_insert(0);
+                        *cursor = (*cursor).max(m.tag_seq + 1);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Failure detector, observable signals only. First:
+                    // is the sender's link dark (connection error)?
+                    if !self.fabric.link_up(src) {
+                        return Err(self.declare_downed_links(src));
+                    }
+                    // Second: has anyone declared a failure we have not
+                    // fenced? Our sender may be alive but itself blocked
+                    // on the dead machine, so this receive would hang —
+                    // abort, exactly like workers tearing down their NCCL
+                    // communicators when the KV-store flag is set.
+                    self.check_failure_state(src)?;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::PeerFailed { rank: src });
@@ -253,12 +565,36 @@ impl Comm {
         self.bytes_received.load(Ordering::Relaxed)
     }
 
-    /// Discards every buffered inbound message (stash + channel). Called
-    /// during the recovery fence: pre-failure in-flight traffic must not
-    /// satisfy post-recovery receives.
+    /// Discards every buffered inbound message (stash + channel),
+    /// advancing each stream's delivery cursor past the discarded
+    /// traffic so senders' stream positions stay aligned. Called during
+    /// the recovery fence: pre-failure in-flight traffic must not
+    /// satisfy post-recovery receives. (Late stragglers that arrive
+    /// *after* the purge are fenced by their generation stamp instead.)
     pub fn purge(&mut self) {
-        self.stash.clear();
-        while self.inbox.try_recv().is_ok() {}
+        let discard = |expected: &mut HashMap<(Rank, u64), u64>, m: Message| {
+            let cursor = expected.entry((m.src, m.tag)).or_insert(0);
+            *cursor = (*cursor).max(m.tag_seq + 1);
+        };
+        for m in std::mem::take(&mut self.stash) {
+            discard(&mut self.expected, m);
+        }
+        while let Ok(m) = self.inbox.try_recv() {
+            discard(&mut self.expected, m);
+        }
+    }
+
+    /// The failure generation (epoch) this communicator is synchronized
+    /// to.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Synchronizes the failure generation to the declared epoch
+    /// (recovery fence only). Inbound traffic stamped with an older
+    /// generation is fenced on receipt.
+    pub fn set_generation(&self, g: u64) {
+        self.generation.store(g, Ordering::SeqCst);
     }
 
     /// Barrier among `participants` (must be called by all of them, in the
@@ -373,7 +709,10 @@ impl Comm {
         if n == 1 {
             return Ok(t.clone());
         }
-        let me = ring.iter().position(|&r| r == self.rank).expect("not a participant");
+        let me = ring
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("not a participant");
         let next = ring[(me + 1) % n];
         let prev = ring[(me + n - 1) % n];
         let numel = t.numel();
@@ -388,11 +727,15 @@ impl Comm {
             let send_c = (me + n - step) % n;
             let recv_c = (me + n - 1 - step) % n;
             let tag = tag_base ^ (step as u64) << 32;
-            let chunk = Bytes::copy_from_slice(bytemuck_f32(&data[bounds[send_c]..bounds[send_c + 1]]));
+            let chunk =
+                Bytes::copy_from_slice(bytemuck_f32(&data[bounds[send_c]..bounds[send_c + 1]]));
             self.send_bytes(next, tag, chunk)?;
             let incoming = self.recv_bytes(prev, tag)?;
             let vals = f32_from_bytes(&incoming);
-            for (dst, v) in data[bounds[recv_c]..bounds[recv_c + 1]].iter_mut().zip(vals) {
+            for (dst, v) in data[bounds[recv_c]..bounds[recv_c + 1]]
+                .iter_mut()
+                .zip(vals)
+            {
                 *dst += v;
             }
         }
@@ -401,11 +744,15 @@ impl Comm {
             let send_c = (me + 1 + n - step) % n;
             let recv_c = (me + n - step) % n;
             let tag = tag_base ^ (0x100 + step as u64) << 32;
-            let chunk = Bytes::copy_from_slice(bytemuck_f32(&data[bounds[send_c]..bounds[send_c + 1]]));
+            let chunk =
+                Bytes::copy_from_slice(bytemuck_f32(&data[bounds[send_c]..bounds[send_c + 1]]));
             self.send_bytes(next, tag, chunk)?;
             let incoming = self.recv_bytes(prev, tag)?;
             let vals = f32_from_bytes(&incoming);
-            for (dst, v) in data[bounds[recv_c]..bounds[recv_c + 1]].iter_mut().zip(vals) {
+            for (dst, v) in data[bounds[recv_c]..bounds[recv_c + 1]]
+                .iter_mut()
+                .zip(vals)
+            {
                 *dst = v;
             }
         }
@@ -443,7 +790,9 @@ impl Comm {
         } else {
             self.send_bytes(root, tag, Bytes::copy_from_slice(&value.to_le_bytes()))?;
             let b = self.recv_bytes(root, tag)?;
-            Ok(b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+            Ok(b.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
         }
     }
 }
@@ -454,5 +803,6 @@ fn bytemuck_f32(v: &[f32]) -> &[u8] {
 }
 
 fn f32_from_bytes(b: &[u8]) -> impl Iterator<Item = f32> + '_ {
-    b.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+    b.chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
 }

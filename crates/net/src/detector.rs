@@ -1,0 +1,374 @@
+//! Observable failure detection: heartbeat leases and the key-value
+//! failure state.
+//!
+//! The paper detects failures two ways (§6): communication errors
+//! surfaced NCCL-style at the call site, and a failure flag in the rank-0
+//! key-value store set by whoever notices first. This module is the
+//! second path, generalized into an *epoch*: the KV store holds one
+//! record `"epoch|r1,r2,..."` under [`STATE_KEY`] listing the declared
+//! dead ranks, and the epoch bumps every time the set grows. Workers
+//! stamp outgoing traffic with the epoch they have synchronized to, and
+//! receivers fence anything older — so two overlapping recoveries can
+//! never consume each other's traffic.
+//!
+//! Detection inputs are strictly *observable*: severed fabric links
+//! (connection errors), channel disconnects, missing heartbeats, and
+//! this KV record. Production code never reads the fault injector's
+//! ground truth. A consequence is that detection can be *wrong*: a
+//! stalled-but-alive rank stops heartbeating and gets declared dead
+//! (false suspicion). The system survives because the suspected rank
+//! fences itself — on its next communication it observes its own rank in
+//! the dead set and unwinds exactly as if it had crashed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::failure::FailureController;
+use crate::faults::FaultInjector;
+use crate::kv::KvStore;
+use crate::topology::Rank;
+
+/// KV key holding the failure record: `"<epoch>|<rank>,<rank>,..."`.
+pub const STATE_KEY: &str = "failure/state";
+
+/// KV key for a rank's heartbeat lease.
+pub fn hb_key(rank: Rank) -> String {
+    format!("hb/{rank}")
+}
+
+/// Heartbeat value published by a rank that left the job gracefully
+/// (deregistration — not a missed lease).
+const RETIRED: &str = "retired";
+
+fn parse_state(s: &str) -> (u64, Vec<Rank>) {
+    let (epoch, list) = s.split_once('|').unwrap_or(("0", ""));
+    let ranks = list.split(',').filter_map(|r| r.parse().ok()).collect();
+    (epoch.parse().unwrap_or(0), ranks)
+}
+
+fn format_state(epoch: u64, ranks: &[Rank]) -> String {
+    let list: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
+    format!("{epoch}|{}", list.join(","))
+}
+
+/// The current failure epoch and declared-dead ranks.
+pub fn failure_state(kv: &KvStore) -> (u64, Vec<Rank>) {
+    kv.get(STATE_KEY)
+        .map(|s| parse_state(&s))
+        .unwrap_or((0, Vec::new()))
+}
+
+/// The current failure epoch (0 = no failure ever declared).
+pub fn failure_epoch(kv: &KvStore) -> u64 {
+    failure_state(kv).0
+}
+
+/// Declares `ranks` failed, atomically unioning them into the dead set
+/// and bumping the epoch *only if the set grew*. Idempotent: concurrent
+/// detectors reporting the same rank produce one epoch bump. Returns the
+/// resulting epoch.
+pub fn declare_failed(kv: &KvStore, ranks: &[Rank]) -> u64 {
+    let v = kv.update(STATE_KEY, |cur| {
+        let (epoch, mut dead) = cur.map(parse_state).unwrap_or((0, Vec::new()));
+        let mut grew = false;
+        for &r in ranks {
+            if !dead.contains(&r) {
+                dead.push(r);
+                grew = true;
+            }
+        }
+        if !grew {
+            return None;
+        }
+        dead.sort_unstable();
+        Some(format_state(epoch + 1, &dead))
+    });
+    v.map(|s| parse_state(&s).0).unwrap_or(0)
+}
+
+/// Removes `ranks` from the dead set (their replacements have rejoined).
+/// The epoch is *not* rolled back — it only ever increases.
+pub fn declare_recovered(kv: &KvStore, ranks: &[Rank]) {
+    kv.update(STATE_KEY, |cur| {
+        let (epoch, mut dead) = cur.map(parse_state).unwrap_or((0, Vec::new()));
+        let before = dead.len();
+        dead.retain(|r| !ranks.contains(r));
+        (dead.len() != before).then(|| format_state(epoch, &dead))
+    });
+}
+
+/// Lease parameters for heartbeat-based detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often a live rank publishes its beat.
+    pub interval: Duration,
+    /// How long without a fresh beat before the monitor declares the
+    /// rank failed.
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A rank's heartbeat publisher thread.
+///
+/// Models the machine's NIC: it beats while the machine is up, goes
+/// silent the instant the machine is killed, and pauses through injected
+/// stalls (both are the *mechanism* by which a fault manifests, not a
+/// detection channel — detection happens in [`HeartbeatMonitor`], which
+/// sees only the lease going stale). Dropping the handle deregisters
+/// gracefully when — and only when — the machine is still alive.
+pub struct Heartbeat {
+    rank: Rank,
+    kv: KvStore,
+    fc: Arc<FailureController>,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Starts beating for `rank` every `cfg.interval`.
+    pub fn start(
+        kv: KvStore,
+        rank: Rank,
+        cfg: HeartbeatConfig,
+        fc: Arc<FailureController>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (kv, fc, stop) = (kv.clone(), fc.clone(), stop.clone());
+            thread::Builder::new()
+                .name(format!("hb-{rank}"))
+                .spawn(move || {
+                    let key = hb_key(rank);
+                    let mut beat = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        // A killed machine's NIC falls silent immediately.
+                        if fc.is_dead(rank) {
+                            return;
+                        }
+                        // An injected stall freezes the whole machine —
+                        // including its heartbeats (this is what
+                        // manufactures false suspicion).
+                        if let Some(end) = injector.as_ref().and_then(|i| i.stalled_until(rank)) {
+                            let now = Instant::now();
+                            if end > now {
+                                thread::sleep((end - now).min(cfg.interval));
+                                continue;
+                            }
+                        }
+                        beat += 1;
+                        kv.set(&key, beat.to_string());
+                        thread::sleep(cfg.interval);
+                    }
+                })
+                .expect("failed to spawn heartbeat thread")
+        };
+        Heartbeat {
+            rank,
+            kv,
+            fc,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        // Graceful deregistration — only a live machine can say goodbye.
+        if !self.fc.is_dead(self.rank) {
+            self.kv.set(&hb_key(self.rank), RETIRED);
+        }
+    }
+}
+
+/// The cluster-side lease monitor: declares a rank failed when its
+/// heartbeat goes stale for longer than [`HeartbeatConfig::timeout`].
+pub struct HeartbeatMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl HeartbeatMonitor {
+    /// Watches ranks `0..world`, polling at half the beat interval.
+    pub fn start(kv: KvStore, cfg: HeartbeatConfig, world: usize) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            thread::Builder::new()
+                .name("hb-monitor".into())
+                .spawn(move || {
+                    // Per-rank (last value, when it last changed).
+                    let mut seen: HashMap<Rank, (Option<String>, Instant)> = HashMap::new();
+                    let tick = (cfg.interval / 2).max(Duration::from_micros(500));
+                    while !stop.load(Ordering::SeqCst) {
+                        let (_, dead) = failure_state(&kv);
+                        let now = Instant::now();
+                        // Collect every expired lease first and declare the
+                        // batch in one atomic call: simultaneous failures
+                        // produce a single epoch bump.
+                        let mut expired = Vec::new();
+                        for rank in 0..world {
+                            let val = kv.get(&hb_key(rank));
+                            if dead.contains(&rank) || val.as_deref() == Some(RETIRED) {
+                                // Declared or deregistered: restart the
+                                // lease clock so a future replacement gets
+                                // a full timeout to produce its first beat.
+                                seen.insert(rank, (val, now));
+                                continue;
+                            }
+                            let entry = seen.entry(rank).or_insert_with(|| (val.clone(), now));
+                            if entry.0 != val {
+                                *entry = (val, now);
+                            } else if now - entry.1 > cfg.timeout {
+                                expired.push(rank);
+                                entry.1 = now;
+                            }
+                        }
+                        if !expired.is_empty() {
+                            declare_failed(&kv, &expired);
+                        }
+                        thread::sleep(tick);
+                    }
+                })
+                .expect("failed to spawn heartbeat monitor")
+        };
+        HeartbeatMonitor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for HeartbeatMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::topology::Topology;
+
+    #[test]
+    fn declare_failed_is_idempotent_and_unions() {
+        let kv = KvStore::new();
+        assert_eq!(failure_state(&kv), (0, vec![]));
+        assert_eq!(declare_failed(&kv, &[2]), 1);
+        assert_eq!(
+            declare_failed(&kv, &[2]),
+            1,
+            "re-declaring must not bump the epoch"
+        );
+        assert_eq!(declare_failed(&kv, &[0, 2]), 2);
+        assert_eq!(failure_state(&kv), (2, vec![0, 2]));
+        declare_recovered(&kv, &[2]);
+        assert_eq!(failure_state(&kv), (2, vec![0]));
+        declare_recovered(&kv, &[0]);
+        assert_eq!(failure_state(&kv), (2, vec![]));
+    }
+
+    #[test]
+    fn concurrent_declarations_lose_no_ranks() {
+        let kv = KvStore::new();
+        let handles: Vec<_> = (0..8)
+            .map(|r| {
+                let kv = kv.clone();
+                thread::spawn(move || declare_failed(&kv, &[r]))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (epoch, dead) = failure_state(&kv);
+        assert_eq!(epoch, 8);
+        assert_eq!(dead, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn monitor_declares_silent_rank_and_spares_beating_one() {
+        let kv = KvStore::new();
+        let fc = FailureController::new(Topology::uniform(2, 1));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(2),
+            timeout: Duration::from_millis(30),
+        };
+        // Rank 0 beats; rank 1 never starts.
+        let hb0 = Heartbeat::start(kv.clone(), 0, cfg, fc.clone(), None);
+        let _mon = HeartbeatMonitor::start(kv.clone(), cfg, 2);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while failure_state(&kv).1 != vec![1] {
+            assert!(Instant::now() < deadline, "monitor never declared rank 1");
+            thread::sleep(Duration::from_millis(2));
+        }
+        drop(hb0);
+        // Graceful drop deregisters: rank 0 must not be declared.
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(failure_state(&kv).1, vec![1]);
+    }
+
+    #[test]
+    fn killed_rank_goes_silent_and_is_declared() {
+        let kv = KvStore::new();
+        let fc = FailureController::new(Topology::uniform(2, 1));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(2),
+            timeout: Duration::from_millis(25),
+        };
+        let _hb = Heartbeat::start(kv.clone(), 1, cfg, fc.clone(), None);
+        let _mon = HeartbeatMonitor::start(kv.clone(), cfg, 2);
+        thread::sleep(Duration::from_millis(10));
+        fc.kill_machine(1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !failure_state(&kv).1.contains(&1) {
+            assert!(
+                Instant::now() < deadline,
+                "kill was never detected via lease expiry"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn stalled_rank_draws_false_suspicion() {
+        let kv = KvStore::new();
+        let fc = FailureController::new(Topology::uniform(2, 1));
+        let inj = FaultInjector::new(
+            FaultPlan::new(9).with_stall(0, 0, Duration::from_millis(80)),
+            fc.clone(),
+        );
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(2),
+            timeout: Duration::from_millis(25),
+        };
+        let _hb = Heartbeat::start(kv.clone(), 0, cfg, fc.clone(), Some(inj));
+        let _mon = HeartbeatMonitor::start(kv.clone(), cfg, 1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !failure_state(&kv).1.contains(&0) {
+            assert!(Instant::now() < deadline, "stall never drew suspicion");
+            thread::sleep(Duration::from_millis(2));
+        }
+        // The rank is alive the whole time — suspicion is false.
+        assert!(!fc.is_dead(0));
+    }
+}

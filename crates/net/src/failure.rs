@@ -9,31 +9,73 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::topology::{MachineId, Rank, Topology};
 
+/// Callback invoked when ranks transition between alive and dead
+/// (`alive = false` on a kill, `true` on a replacement). The fabric
+/// registers one to sever/restore the victims' links, which is how a
+/// crash becomes *observable* to survivors as connection errors.
+type TransitionObserver = Box<dyn Fn(&[Rank], bool) + Send + Sync>;
+
 /// Shared fail-stop state for a cluster.
-#[derive(Debug)]
+///
+/// This is the *injection mechanism* — the hand that pulls the plug.
+/// Production code must never consult it for detection; survivors learn
+/// of failures only through observable signals (severed links, channel
+/// disconnects, stale heartbeat leases, the KV failure state — see
+/// [`crate::detector`]). The one legitimate worker-side read is
+/// [`is_dead`](Self::is_dead) *of the worker's own rank*: that is the
+/// mechanism by which the killed process ceases to exist.
 pub struct FailureController {
     topology: Topology,
     /// Per-rank "this rank is dead".
     dead: Vec<AtomicBool>,
     /// Global failure flag (the paper's KV-store flag at rank 0).
     failure_flag: AtomicBool,
-    /// Generation counter: bumped on every injection, letting detectors
+    /// Generation counter: bumped on every injection, letting tests
     /// distinguish successive failures (cascading failures, Appendix B).
     generation: AtomicU64,
+    /// Liveness-transition observers (the fabric's link state).
+    observers: Mutex<Vec<TransitionObserver>>,
+}
+
+impl std::fmt::Debug for FailureController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureController")
+            .field("topology", &self.topology)
+            .field("dead", &self.dead)
+            .field("failure_flag", &self.failure_flag)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FailureController {
     /// Creates a controller with all ranks alive.
     pub fn new(topology: Topology) -> Arc<Self> {
-        let dead = (0..topology.world_size()).map(|_| AtomicBool::new(false)).collect();
+        let dead = (0..topology.world_size())
+            .map(|_| AtomicBool::new(false))
+            .collect();
         Arc::new(FailureController {
             topology,
             dead,
             failure_flag: AtomicBool::new(false),
             generation: AtomicU64::new(0),
+            observers: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Registers a liveness-transition observer.
+    pub fn on_transition(&self, f: impl Fn(&[Rank], bool) + Send + Sync + 'static) {
+        self.observers.lock().push(Box::new(f));
+    }
+
+    fn notify(&self, ranks: &[Rank], alive: bool) {
+        for obs in self.observers.lock().iter() {
+            obs(ranks, alive);
+        }
     }
 
     /// The cluster topology.
@@ -45,23 +87,22 @@ impl FailureController {
     /// their next communication involving those ranks, or by polling
     /// [`failure_detected`](Self::failure_detected).
     pub fn kill_machine(&self, machine: MachineId) {
-        for &r in self.topology.ranks_of(machine) {
-            self.dead[r].store(true, Ordering::SeqCst);
-        }
-        self.failure_flag.store(true, Ordering::SeqCst);
-        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.kill_machines(&[machine]);
     }
 
     /// Kills several machines *atomically* (one failure generation) —
     /// simultaneous multi-machine failures, Appendix B.
     pub fn kill_machines(&self, machines: &[MachineId]) {
+        let mut killed = Vec::new();
         for &m in machines {
             for &r in self.topology.ranks_of(m) {
                 self.dead[r].store(true, Ordering::SeqCst);
+                killed.push(r);
             }
         }
         self.failure_flag.store(true, Ordering::SeqCst);
         self.generation.fetch_add(1, Ordering::SeqCst);
+        self.notify(&killed, false);
     }
 
     /// Kills a single rank (rare in practice — the paper logs only
@@ -70,17 +111,21 @@ impl FailureController {
         self.dead[rank].store(true, Ordering::SeqCst);
         self.failure_flag.store(true, Ordering::SeqCst);
         self.generation.fetch_add(1, Ordering::SeqCst);
+        self.notify(&[rank], false);
     }
 
     /// Revives every rank on `machine` (the replacement machine joining,
     /// §3). Clears the global flag if no rank remains dead.
     pub fn replace_machine(&self, machine: MachineId) {
+        let mut revived = Vec::new();
         for &r in self.topology.ranks_of(machine) {
             self.dead[r].store(false, Ordering::SeqCst);
+            revived.push(r);
         }
         if !self.any_dead() {
             self.failure_flag.store(false, Ordering::SeqCst);
         }
+        self.notify(&revived, true);
     }
 
     /// Whether `rank` is currently dead.
@@ -113,7 +158,9 @@ impl FailureController {
 
     /// The currently dead ranks.
     pub fn dead_ranks(&self) -> Vec<Rank> {
-        (0..self.topology.world_size()).filter(|&r| self.is_dead(r)).collect()
+        (0..self.topology.world_size())
+            .filter(|&r| self.is_dead(r))
+            .collect()
     }
 }
 
@@ -149,6 +196,20 @@ mod tests {
         assert!(fc.failure_detected());
         fc.replace_machine(2);
         assert!(!fc.failure_detected());
+    }
+
+    #[test]
+    fn observers_see_kill_and_replace_transitions() {
+        use std::sync::Mutex as StdMutex;
+        let fc = FailureController::new(Topology::uniform(2, 2));
+        type EventLog = Arc<StdMutex<Vec<(Vec<Rank>, bool)>>>;
+        let events: EventLog = Arc::new(StdMutex::new(Vec::new()));
+        let ev = events.clone();
+        fc.on_transition(move |ranks, alive| ev.lock().unwrap().push((ranks.to_vec(), alive)));
+        fc.kill_machine(1);
+        fc.replace_machine(1);
+        let got = events.lock().unwrap().clone();
+        assert_eq!(got, vec![(vec![2, 3], false), (vec![2, 3], true)]);
     }
 
     #[test]

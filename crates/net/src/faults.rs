@@ -1,0 +1,533 @@
+//! Deterministic, seeded fault injection for the channel fabric.
+//!
+//! A [`FaultPlan`] describes the adversary: per-link delay and jitter,
+//! message reordering, transient drops (repaired by retransmission),
+//! duplicate delivery, transient rank stalls, and crash *triggers* that
+//! fire on the Nth message or the Kth iteration of a target rank —
+//! replacing the oracle-style "kill machine M at iteration I" coordinates
+//! with conditions the workload itself trips over.
+//!
+//! The [`FaultInjector`] is the fabric-side interpreter of a plan. Every
+//! per-message decision is drawn from an RNG keyed on
+//! `(seed, src, dst, link_seq)`, so the *fate* of each message is a pure
+//! function of the plan and the traffic pattern — independent of thread
+//! scheduling. (Delivery *timing* still depends on the OS scheduler; the
+//! deterministic collectives in [`crate::comm`] are what turn a chaotic
+//! schedule back into bit-identical numerics.)
+//!
+//! The injector is strictly a *cause* of failures, never an input to
+//! detection: production code observes faults only through severed fabric
+//! links, missing heartbeats, channel errors, and the key-value store
+//! (see [`crate::detector`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::failure::FailureController;
+use crate::topology::Rank;
+
+/// A condition under which the injector kills a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Kill `rank`'s machine the moment it attempts its `n`-th message
+    /// send (1-based). The message is swallowed — the machine died with
+    /// it on the wire.
+    AtNthSend { rank: Rank, n: u64 },
+    /// Kill `rank`'s machine when it consumes its `n`-th delivered
+    /// message (1-based).
+    AtNthDelivery { rank: Rank, n: u64 },
+    /// Kill `rank`'s machine when it reports reaching training iteration
+    /// `iteration` (workers call [`FaultInjector::note_iteration`]).
+    AtIteration { rank: Rank, iteration: u64 },
+}
+
+/// A transient freeze: `rank` stops making progress for `duration` once
+/// it has sent `after_sends` messages. The rank is *alive* the whole
+/// time — this is the adversary that manufactures false suspicion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSpec {
+    pub rank: Rank,
+    pub after_sends: u64,
+    pub duration: Duration,
+}
+
+/// A complete, seeded description of the faults to inject.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Master seed; every per-message decision derives from it.
+    pub seed: u64,
+    /// Base delivery delay added to every message.
+    pub delay: Duration,
+    /// Extra uniform-random delay in `[0, jitter)` per message.
+    pub jitter: Duration,
+    /// Probability a message is held back long enough to arrive after
+    /// its successors.
+    pub reorder_prob: f64,
+    /// How long a reordered message is held back.
+    pub reorder_extra: Duration,
+    /// Probability the first transmission of a message is dropped.
+    pub drop_prob: f64,
+    /// How long after a drop the retransmission arrives.
+    pub retransmit_after: Duration,
+    /// Probability a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Transient rank freezes.
+    pub stalls: Vec<StallSpec>,
+    /// Crash triggers.
+    pub crashes: Vec<CrashTrigger>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all probabilities zero).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            reorder_prob: 0.0,
+            reorder_extra: Duration::ZERO,
+            drop_prob: 0.0,
+            retransmit_after: Duration::from_millis(1),
+            duplicate_prob: 0.0,
+            stalls: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A ready-made adversarial network: delayed, jittered, reordered,
+    /// lossy, and duplicating — but with no crashes or stalls. Training
+    /// under this plan must converge bit-identically to a fault-free run.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .with_delay(Duration::from_micros(20), Duration::from_micros(200))
+            .with_reorder(0.2, Duration::from_micros(500))
+            .with_drops(0.05, Duration::from_millis(1))
+            .with_duplicates(0.05)
+    }
+
+    /// Sets the base delay and jitter.
+    pub fn with_delay(mut self, delay: Duration, jitter: Duration) -> Self {
+        self.delay = delay;
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the reorder probability and hold-back duration.
+    pub fn with_reorder(mut self, prob: f64, extra: Duration) -> Self {
+        self.reorder_prob = prob;
+        self.reorder_extra = extra;
+        self
+    }
+
+    /// Sets the transient-drop probability and the retransmission delay.
+    pub fn with_drops(mut self, prob: f64, retransmit_after: Duration) -> Self {
+        self.drop_prob = prob;
+        self.retransmit_after = retransmit_after;
+        self
+    }
+
+    /// Sets the duplicate-delivery probability.
+    pub fn with_duplicates(mut self, prob: f64) -> Self {
+        self.duplicate_prob = prob;
+        self
+    }
+
+    /// Adds a transient stall.
+    pub fn with_stall(mut self, rank: Rank, after_sends: u64, duration: Duration) -> Self {
+        self.stalls.push(StallSpec {
+            rank,
+            after_sends,
+            duration,
+        });
+        self
+    }
+
+    /// Adds a crash trigger.
+    pub fn with_crash(mut self, trigger: CrashTrigger) -> Self {
+        self.crashes.push(trigger);
+        self
+    }
+
+    /// Whether the plan perturbs message delivery at all (used by the
+    /// fabric to skip the injector entirely on the fault-free fast path).
+    pub fn perturbs_delivery(&self) -> bool {
+        self.delay > Duration::ZERO
+            || self.jitter > Duration::ZERO
+            || self.reorder_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+    }
+}
+
+/// Counters for what the injector actually did (assertion material for
+/// chaos tests: a run that claims to survive reordering should show
+/// `reordered > 0`).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+    dropped: AtomicU64,
+    retransmitted: AtomicU64,
+    duplicated: AtomicU64,
+    stalls_served: AtomicU64,
+    crashes_fired: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    pub delayed: u64,
+    pub reordered: u64,
+    pub dropped: u64,
+    pub retransmitted: u64,
+    pub duplicated: u64,
+    pub stalls_served: u64,
+    pub crashes_fired: u64,
+}
+
+/// The fate of one message send, as decided by the injector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendFate {
+    /// Delivery delays, one per copy to enqueue. Empty only when
+    /// `crashed` (the message died with its sender). A dropped first
+    /// transmission appears here as a single late (retransmitted) copy; a
+    /// duplicate as two copies.
+    pub copies: Vec<Duration>,
+    /// The sender's machine was killed by a crash trigger on this send.
+    pub crashed: bool,
+}
+
+/// Fabric-side interpreter of a [`FaultPlan`].
+///
+/// Holds the [`FailureController`] purely as the *kill mechanism* for
+/// crash triggers; it never exposes liveness back to production code.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    fc: Arc<FailureController>,
+    send_counts: Vec<AtomicU64>,
+    delivery_counts: Vec<AtomicU64>,
+    /// Activation state per `plan.stalls` entry: `None` = not yet
+    /// triggered, `Some(end)` = serving (or served) until `end`.
+    stall_ends: Mutex<Vec<Option<Instant>>>,
+    /// One-shot latches per `plan.crashes` entry.
+    crash_fired: Vec<AtomicBool>,
+    stats: FaultStats,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan` over the world managed by `fc`.
+    pub fn new(plan: FaultPlan, fc: Arc<FailureController>) -> Arc<Self> {
+        let world = fc.topology().world_size();
+        let stall_ends = Mutex::new(vec![None; plan.stalls.len()]);
+        let crash_fired = (0..plan.crashes.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        Arc::new(FaultInjector {
+            plan,
+            fc,
+            send_counts: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            delivery_counts: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            stall_ends,
+            crash_fired,
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// The plan being interpreted.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of the message `src` is about to send to `dst`.
+    /// `link_seq` is the per-`(src, dst)` message index, which keys the
+    /// deterministic RNG.
+    pub fn on_send(&self, src: Rank, dst: Rank, link_seq: u64) -> SendFate {
+        let count = self.send_counts[src].fetch_add(1, Ordering::SeqCst) + 1;
+        for (i, trig) in self.plan.crashes.iter().enumerate() {
+            if let CrashTrigger::AtNthSend { rank, n } = *trig {
+                if rank == src && count >= n && self.fire_crash(i, rank) {
+                    return SendFate {
+                        copies: Vec::new(),
+                        crashed: true,
+                    };
+                }
+            }
+        }
+        if !self.plan.perturbs_delivery() {
+            return SendFate {
+                copies: vec![Duration::ZERO],
+                crashed: false,
+            };
+        }
+        let mut rng = MsgRng::new(self.plan.seed, src, dst, link_seq);
+        let base = self.plan.delay + mul_duration(self.plan.jitter, rng.next_f64());
+        if base > Duration::ZERO {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut copies = Vec::with_capacity(2);
+        if rng.next_f64() < self.plan.drop_prob {
+            // First transmission lost; the (sole) copy that arrives is the
+            // retransmission, carrying the same sequence numbers.
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.stats.retransmitted.fetch_add(1, Ordering::Relaxed);
+            copies.push(base + self.plan.retransmit_after);
+        } else {
+            let mut d = base;
+            if rng.next_f64() < self.plan.reorder_prob {
+                self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                d += self.plan.reorder_extra;
+            }
+            copies.push(d);
+            if rng.next_f64() < self.plan.duplicate_prob {
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                copies.push(d + mul_duration(self.plan.jitter, rng.next_f64()));
+            }
+        }
+        SendFate {
+            copies,
+            crashed: false,
+        }
+    }
+
+    /// Records that `rank` consumed a delivered message; returns whether a
+    /// crash trigger fired on it (the consumer dies mid-receive).
+    pub fn on_delivery(&self, rank: Rank) -> bool {
+        let count = self.delivery_counts[rank].fetch_add(1, Ordering::SeqCst) + 1;
+        for (i, trig) in self.plan.crashes.iter().enumerate() {
+            if let CrashTrigger::AtNthDelivery { rank: r, n } = *trig {
+                if r == rank && count >= n && self.fire_crash(i, r) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Workers report iteration progress here so `AtIteration` triggers
+    /// can fire. Returns whether this rank's machine was just killed.
+    pub fn note_iteration(&self, rank: Rank, iteration: u64) -> bool {
+        let mut crashed = false;
+        for (i, trig) in self.plan.crashes.iter().enumerate() {
+            if let CrashTrigger::AtIteration {
+                rank: r,
+                iteration: k,
+            } = *trig
+            {
+                if r == rank && iteration >= k && self.fire_crash(i, r) {
+                    crashed = true;
+                }
+            }
+        }
+        crashed
+    }
+
+    /// If `rank` is inside an injected stall, returns when it ends. Both
+    /// the communicator (to freeze traffic) and the heartbeat publisher
+    /// (to starve the lease) consult this.
+    pub fn stalled_until(&self, rank: Rank) -> Option<Instant> {
+        if self.plan.stalls.is_empty() {
+            return None;
+        }
+        let sent = self.send_counts[rank].load(Ordering::SeqCst);
+        let now = Instant::now();
+        let mut ends = self.stall_ends.lock();
+        for (i, spec) in self.plan.stalls.iter().enumerate() {
+            if spec.rank != rank {
+                continue;
+            }
+            match ends[i] {
+                Some(end) if now < end => return Some(end),
+                Some(_) => {}
+                None if sent >= spec.after_sends => {
+                    let end = now + spec.duration;
+                    ends[i] = Some(end);
+                    self.stats.stalls_served.fetch_add(1, Ordering::Relaxed);
+                    return Some(end);
+                }
+                None => {}
+            }
+        }
+        None
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            delayed: self.stats.delayed.load(Ordering::Relaxed),
+            reordered: self.stats.reordered.load(Ordering::Relaxed),
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+            retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
+            duplicated: self.stats.duplicated.load(Ordering::Relaxed),
+            stalls_served: self.stats.stalls_served.load(Ordering::Relaxed),
+            crashes_fired: self.stats.crashes_fired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fires crash trigger `i` on `rank`'s machine exactly once.
+    fn fire_crash(&self, i: usize, rank: Rank) -> bool {
+        if self.crash_fired[i].swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let machine = self.fc.topology().machine_of(rank);
+        self.fc.kill_machine(machine);
+        self.stats.crashes_fired.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// Per-message deterministic RNG: SplitMix64 seeded by hashing
+/// `(seed, src, dst, link_seq)`.
+struct MsgRng {
+    state: u64,
+}
+
+impl MsgRng {
+    fn new(seed: u64, src: Rank, dst: Rank, link_seq: u64) -> Self {
+        let mut h = 0xcbf29ce484222325u64 ^ seed;
+        for v in [src as u64, dst as u64, link_seq] {
+            h = (h ^ v).wrapping_mul(0x100000001b3);
+        }
+        MsgRng { state: h }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn mul_duration(d: Duration, f: f64) -> Duration {
+    Duration::from_secs_f64(d.as_secs_f64() * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn injector(plan: FaultPlan) -> Arc<FaultInjector> {
+        FaultInjector::new(plan, FailureController::new(Topology::uniform(2, 2)))
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_message() {
+        let plan = FaultPlan::chaos(42);
+        let a = injector(plan.clone());
+        let b = injector(plan);
+        for seq in 0..200 {
+            assert_eq!(a.on_send(0, 1, seq), b.on_send(0, 1, seq), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fates() {
+        let a = injector(FaultPlan::chaos(1));
+        let b = injector(FaultPlan::chaos(2));
+        let diff = (0..100)
+            .filter(|&s| a.on_send(0, 1, s) != b.on_send(0, 1, s))
+            .count();
+        assert!(diff > 0, "seeds 1 and 2 produced identical fates");
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let inj = injector(FaultPlan::new(7));
+        let fate = inj.on_send(0, 1, 0);
+        assert_eq!(
+            fate,
+            SendFate {
+                copies: vec![Duration::ZERO],
+                crashed: false
+            }
+        );
+        assert_eq!(inj.stats().delayed, 0);
+    }
+
+    #[test]
+    fn drop_yields_single_late_copy() {
+        let plan = FaultPlan::new(3).with_drops(1.0, Duration::from_millis(5));
+        let inj = injector(plan);
+        let fate = inj.on_send(0, 1, 0);
+        assert_eq!(fate.copies.len(), 1);
+        assert!(fate.copies[0] >= Duration::from_millis(5));
+        let s = inj.stats();
+        assert_eq!((s.dropped, s.retransmitted), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_yields_two_copies_same_stream_position() {
+        let plan = FaultPlan::new(3)
+            .with_duplicates(1.0)
+            .with_delay(Duration::ZERO, Duration::from_micros(50));
+        let inj = injector(plan);
+        let fate = inj.on_send(0, 1, 0);
+        assert_eq!(fate.copies.len(), 2);
+        assert_eq!(inj.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn nth_send_trigger_kills_whole_machine_once() {
+        let fc = FailureController::new(Topology::uniform(2, 2));
+        let inj = FaultInjector::new(
+            FaultPlan::new(0).with_crash(CrashTrigger::AtNthSend { rank: 2, n: 3 }),
+            fc.clone(),
+        );
+        assert!(!inj.on_send(2, 0, 0).crashed);
+        assert!(!inj.on_send(2, 0, 1).crashed);
+        let fate = inj.on_send(2, 0, 2);
+        assert!(fate.crashed && fate.copies.is_empty());
+        // Whole machine 1 (ranks 2, 3) is down; trigger is one-shot.
+        assert!(fc.is_dead(2) && fc.is_dead(3));
+        assert!(!inj.on_send(2, 0, 3).crashed);
+        assert_eq!(inj.stats().crashes_fired, 1);
+    }
+
+    #[test]
+    fn iteration_trigger_fires_at_or_after_threshold() {
+        let fc = FailureController::new(Topology::uniform(4, 1));
+        let inj = FaultInjector::new(
+            FaultPlan::new(0).with_crash(CrashTrigger::AtIteration {
+                rank: 1,
+                iteration: 5,
+            }),
+            fc.clone(),
+        );
+        assert!(!inj.note_iteration(1, 4));
+        assert!(!inj.note_iteration(0, 9));
+        assert!(inj.note_iteration(1, 6));
+        assert!(fc.is_dead(1));
+    }
+
+    #[test]
+    fn stall_activates_after_send_threshold_and_expires() {
+        let inj = injector(FaultPlan::new(0).with_stall(1, 2, Duration::from_millis(20)));
+        assert!(inj.stalled_until(1).is_none());
+        inj.on_send(1, 0, 0);
+        inj.on_send(1, 0, 1);
+        let end = inj.stalled_until(1).expect("stall should be active");
+        assert!(end > Instant::now());
+        assert!(inj.stalled_until(0).is_none());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(inj.stalled_until(1).is_none(), "stall must expire");
+        assert_eq!(inj.stats().stalls_served, 1);
+    }
+}

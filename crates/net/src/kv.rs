@@ -65,6 +65,28 @@ impl KvStore {
         }
     }
 
+    /// Atomically replaces the value at `key` with `f(current)`, holding
+    /// the store lock across the read-modify-write. Returning `None`
+    /// leaves the key unchanged; the final value (old or new) is
+    /// returned. Used for idempotent failure declarations: concurrent
+    /// detectors can union into the dead-rank list without losing ranks.
+    pub fn update(
+        &self,
+        key: &str,
+        f: impl FnOnce(Option<&str>) -> Option<String>,
+    ) -> Option<String> {
+        let mut m = self.inner.map.lock();
+        let current = m.get(key).cloned();
+        match f(current.as_deref()) {
+            Some(new) => {
+                m.insert(key.to_string(), new.clone());
+                self.inner.cv.notify_all();
+                Some(new)
+            }
+            None => current,
+        }
+    }
+
     /// Atomically increments an integer counter at `key`, returning the
     /// new value (missing keys count as 0).
     pub fn incr(&self, key: &str) -> i64 {
@@ -107,6 +129,20 @@ mod tests {
         let t0 = Instant::now();
         assert!(kv.wait_for("never", Duration::from_millis(30)).is_none());
         assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn late_set_after_timeout_is_not_lost() {
+        // A timed-out waiter must not poison the key: a set landing after
+        // the timeout is visible to get() and to a fresh wait_for().
+        let kv = KvStore::new();
+        assert!(kv.wait_for("late", Duration::from_millis(20)).is_none());
+        kv.set("late", "v");
+        assert_eq!(kv.get("late").as_deref(), Some("v"));
+        assert_eq!(
+            kv.wait_for("late", Duration::from_millis(20)).as_deref(),
+            Some("v")
+        );
     }
 
     #[test]

@@ -6,13 +6,24 @@
 //! - one OS thread per worker rank, crossbeam channels as the network;
 //! - [`Comm`]: point-to-point sends/receives plus deterministic
 //!   collectives (tree and ring all-reduce, broadcast, barriers,
-//!   `all_gather_u64` for pre-failure-iteration consensus);
-//! - [`FailureController`]: fail-stop injection (kill a machine) and
-//!   NCCL-style asynchronous detection — blocked receivers observe
-//!   `PeerFailed`, victims observe `SelfKilled` and unwind, losing their
-//!   volatile state exactly as a crashed machine would;
-//! - [`KvStore`]: the rank-0 key-value store holding the failure flag
-//!   (§6);
+//!   `all_gather_u64` for pre-failure-iteration consensus), with
+//!   sequence-numbered, generation-stamped streams that survive injected
+//!   reordering, drops, duplicates and cross-recovery stragglers;
+//! - [`FaultPlan`]/[`FaultInjector`]: a deterministic, seeded adversary
+//!   woven into the fabric — per-link delay/jitter, reordering, transient
+//!   drops with retransmission, duplicate delivery, rank stalls, and
+//!   crash triggers that fire on the Nth message or Kth iteration;
+//! - [`FailureController`]: the fail-stop *mechanism* (kill a machine).
+//!   Detection is strictly observable: severed fabric links surface as
+//!   `PeerFailed` at blocked callers, victims observe `SelfKilled` and
+//!   unwind, losing their volatile state exactly as a crashed machine
+//!   would;
+//! - [`Heartbeat`]/[`HeartbeatMonitor`]: lease-based suspicion layered on
+//!   the KV store (§6) — workers act on suspicion, and a falsely
+//!   suspected rank fences itself out;
+//! - [`KvStore`]: the rank-0 key-value store holding the failure state;
+//! - [`RetryPolicy`]: the single bounded-backoff schedule every recovery
+//!   wait goes through;
 //! - [`Topology`]: the rank↔machine map that decides which traffic is
 //!   *inter-machine* and therefore logged (§5.1).
 //!
@@ -23,12 +34,21 @@
 
 pub mod cluster;
 pub mod comm;
+pub mod detector;
 pub mod failure;
+pub mod faults;
 pub mod kv;
+pub mod retry;
 pub mod topology;
 
 pub use cluster::{Cluster, WorkerCtx};
-pub use comm::{build_comms, respawn_comm, Comm, CommError, COLLECTIVE_BIT};
+pub use comm::{build_comms, respawn_comm, Comm, CommError, Fabric, COLLECTIVE_BIT};
+pub use detector::{
+    declare_failed, declare_recovered, failure_epoch, failure_state, Heartbeat, HeartbeatConfig,
+    HeartbeatMonitor,
+};
 pub use failure::FailureController;
+pub use faults::{CrashTrigger, FaultInjector, FaultPlan, FaultStatsSnapshot, SendFate, StallSpec};
 pub use kv::KvStore;
+pub use retry::RetryPolicy;
 pub use topology::{MachineId, Rank, Topology};

@@ -25,11 +25,16 @@ impl Topology {
     /// DGX layout.
     pub fn uniform(machines: usize, per_machine: usize) -> Self {
         assert!(machines >= 1 && per_machine >= 1);
-        let machine_of = (0..machines * per_machine).map(|r| r / per_machine).collect();
+        let machine_of = (0..machines * per_machine)
+            .map(|r| r / per_machine)
+            .collect();
         let ranks_of = (0..machines)
             .map(|m| (m * per_machine..(m + 1) * per_machine).collect())
             .collect();
-        Topology { machine_of, ranks_of }
+        Topology {
+            machine_of,
+            ranks_of,
+        }
     }
 
     /// Arbitrary layout: `ranks_of[m]` lists machine `m`'s ranks.
@@ -43,8 +48,14 @@ impl Topology {
                 machine_of[r] = m;
             }
         }
-        assert!(machine_of.iter().all(|&m| m != usize::MAX), "unassigned rank");
-        Topology { machine_of, ranks_of: groups }
+        assert!(
+            machine_of.iter().all(|&m| m != usize::MAX),
+            "unassigned rank"
+        );
+        Topology {
+            machine_of,
+            ranks_of: groups,
+        }
     }
 
     /// Total number of ranks.

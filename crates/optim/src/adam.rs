@@ -34,7 +34,13 @@ pub struct AdamParams {
 
 impl Default for AdamParams {
     fn default() -> Self {
-        AdamParams { lr: 1e-3, weight_decay: 0.0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        AdamParams {
+            lr: 1e-3,
+            weight_decay: 0.0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -43,7 +49,10 @@ impl AdamParams {
         assert!(self.lr > 0.0);
         assert!((0.0..1.0).contains(&self.beta1));
         assert!((0.0..1.0).contains(&self.beta2));
-        assert!(self.beta1 > 0.0 && self.beta2 > 0.0, "zero betas make moments unrecoverable");
+        assert!(
+            self.beta1 > 0.0 && self.beta2 > 0.0,
+            "zero betas make moments unrecoverable"
+        );
         assert!(self.eps > 0.0);
         assert!(self.weight_decay >= 0.0);
     }
@@ -95,7 +104,13 @@ impl Adam {
     /// Creates an Adam optimizer.
     pub fn new(params: AdamParams) -> Self {
         params.validate();
-        Adam { params, t: 0, last_lr: params.lr, m: Vec::new(), v: Vec::new() }
+        Adam {
+            params,
+            t: 0,
+            last_lr: params.lr,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// First-moment buffer for a group, if initialized.
@@ -115,7 +130,13 @@ impl Optimizer for Adam {
     }
 
     fn operators(&self) -> &'static [OpKind] {
-        &[OpKind::EwAdd, OpKind::ScalarMul, OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv]
+        &[
+            OpKind::EwAdd,
+            OpKind::ScalarMul,
+            OpKind::EwMul,
+            OpKind::EwSqrt,
+            OpKind::EwDiv,
+        ]
     }
 
     fn invertible(&self) -> bool {
@@ -230,7 +251,13 @@ impl AdamW {
             params.lr * params.weight_decay < 1.0,
             "η·λ ≥ 1 makes the decoupled decay non-invertible"
         );
-        AdamW { params, t: 0, last_lr: params.lr, m: Vec::new(), v: Vec::new() }
+        AdamW {
+            params,
+            t: 0,
+            last_lr: params.lr,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -240,7 +267,13 @@ impl Optimizer for AdamW {
     }
 
     fn operators(&self) -> &'static [OpKind] {
-        &[OpKind::EwAdd, OpKind::ScalarMul, OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv]
+        &[
+            OpKind::EwAdd,
+            OpKind::ScalarMul,
+            OpKind::EwMul,
+            OpKind::EwSqrt,
+            OpKind::EwDiv,
+        ]
     }
 
     fn invertible(&self) -> bool {
@@ -502,14 +535,23 @@ mod tests {
         }
         let p_ref = p.clone();
         let state_ref = opt.state();
-        opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&grads[k - 1]));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&grads[k - 1]))
-            .unwrap();
-        assert!(p.max_abs_diff(&p_ref) < tol, "param undo error {}", p.max_abs_diff(&p_ref));
+        opt.step(
+            std::slice::from_mut(&mut p),
+            std::slice::from_ref(&grads[k - 1]),
+        );
+        opt.undo(
+            std::slice::from_mut(&mut p),
+            std::slice::from_ref(&grads[k - 1]),
+        )
+        .unwrap();
+        assert!(
+            p.max_abs_diff(&p_ref) < tol,
+            "param undo error {}",
+            p.max_abs_diff(&p_ref)
+        );
         let state_now = opt.state();
         assert_eq!(state_now.t, state_ref.t);
-        for ((name_a, slots_a), (_, slots_b)) in
-            state_now.slots.iter().zip(state_ref.slots.iter())
+        for ((name_a, slots_a), (_, slots_b)) in state_now.slots.iter().zip(state_ref.slots.iter())
         {
             for (a, b) in slots_a.iter().zip(slots_b.iter()) {
                 if let (Some(a), Some(b)) = (a, b) {
@@ -521,18 +563,36 @@ mod tests {
 
     #[test]
     fn adam_undo_after_first_step() {
-        check_undo(Adam::new(AdamParams { lr: 1e-2, ..Default::default() }), 1, 1e-4);
+        check_undo(
+            Adam::new(AdamParams {
+                lr: 1e-2,
+                ..Default::default()
+            }),
+            1,
+            1e-4,
+        );
     }
 
     #[test]
     fn adam_undo_after_many_steps() {
-        check_undo(Adam::new(AdamParams { lr: 1e-2, ..Default::default() }), 7, 1e-4);
+        check_undo(
+            Adam::new(AdamParams {
+                lr: 1e-2,
+                ..Default::default()
+            }),
+            7,
+            1e-4,
+        );
     }
 
     #[test]
     fn adam_undo_with_weight_decay() {
         check_undo(
-            Adam::new(AdamParams { lr: 1e-2, weight_decay: 0.01, ..Default::default() }),
+            Adam::new(AdamParams {
+                lr: 1e-2,
+                weight_decay: 0.01,
+                ..Default::default()
+            }),
             4,
             1e-4,
         );
@@ -541,7 +601,11 @@ mod tests {
     #[test]
     fn adamw_undo_after_many_steps() {
         check_undo(
-            AdamW::new(AdamParams { lr: 1e-2, weight_decay: 0.05, ..Default::default() }),
+            AdamW::new(AdamParams {
+                lr: 1e-2,
+                weight_decay: 0.05,
+                ..Default::default()
+            }),
             5,
             1e-4,
         );
@@ -577,12 +641,17 @@ mod tests {
 
     #[test]
     fn second_moment_never_negative_after_undo() {
-        let mut opt = Adam::new(AdamParams { lr: 1e-2, beta2: 0.9, ..Default::default() });
+        let mut opt = Adam::new(AdamParams {
+            lr: 1e-2,
+            beta2: 0.9,
+            ..Default::default()
+        });
         // Tiny gradients provoke cancellation in (v_t − (1−β2)g²)/β2.
         let mut p = Tensor::full([16], 1.0);
         let g = Tensor::full([16], 1e-20);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         let v = opt.moment2(0).unwrap();
         assert!(v.data().iter().all(|&x| x >= 0.0));
         // And another step after undo must not produce NaNs.
@@ -593,7 +662,11 @@ mod tests {
     #[test]
     fn adam_state_round_trip_continues_identically() {
         let (p0, g) = rand_pair(16, 3);
-        let mut opt = Adam::new(AdamParams { lr: 5e-3, weight_decay: 0.01, ..Default::default() });
+        let mut opt = Adam::new(AdamParams {
+            lr: 5e-3,
+            weight_decay: 0.01,
+            ..Default::default()
+        });
         let mut p = p0.clone();
         for _ in 0..3 {
             opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));

@@ -130,7 +130,11 @@ impl Optimizer for Lamb {
         }
         let x_norm = param.l2_norm();
         let u_norm = u.l2_norm();
-        let ratio = if x_norm > 0.0 && u_norm > 0.0 { x_norm / u_norm } else { 1.0 };
+        let ratio = if x_norm > 0.0 && u_norm > 0.0 {
+            x_norm / u_norm
+        } else {
+            1.0
+        };
         if self.saved_ratio.len() <= idx {
             self.saved_ratio.resize(idx + 1, 1.0);
         }
@@ -229,7 +233,11 @@ mod tests {
 
     #[test]
     fn step_saves_ratio() {
-        let mut opt = Lamb::new(AdamParams { lr: 1e-2, weight_decay: 0.01, ..Default::default() });
+        let mut opt = Lamb::new(AdamParams {
+            lr: 1e-2,
+            weight_decay: 0.01,
+            ..Default::default()
+        });
         let (mut p, g) = rand_pair(32, 1);
         assert!(opt.saved_ratio(0).is_none());
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
@@ -239,7 +247,11 @@ mod tests {
 
     #[test]
     fn undo_restores_params_and_moments() {
-        let mut opt = Lamb::new(AdamParams { lr: 1e-2, weight_decay: 0.01, ..Default::default() });
+        let mut opt = Lamb::new(AdamParams {
+            lr: 1e-2,
+            weight_decay: 0.01,
+            ..Default::default()
+        });
         let (p0, _) = rand_pair(64, 2);
         let mut p = p0.clone();
         for i in 0..4 {
@@ -251,8 +263,13 @@ mod tests {
         let v_ref = opt.v[0].as_ref().unwrap().clone();
         let (_, g) = rand_pair(64, 99);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
-        assert!(p.max_abs_diff(&p_ref) < 1e-4, "param err {}", p.max_abs_diff(&p_ref));
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
+        assert!(
+            p.max_abs_diff(&p_ref) < 1e-4,
+            "param err {}",
+            p.max_abs_diff(&p_ref)
+        );
         assert!(opt.m[0].as_ref().unwrap().max_abs_diff(&m_ref) < 1e-5);
         assert!(opt.v[0].as_ref().unwrap().max_abs_diff(&v_ref) < 1e-5);
         assert_eq!(opt.iteration(), 4);
@@ -260,7 +277,10 @@ mod tests {
 
     #[test]
     fn zero_param_norm_uses_unit_ratio() {
-        let mut opt = Lamb::new(AdamParams { lr: 1e-2, ..Default::default() });
+        let mut opt = Lamb::new(AdamParams {
+            lr: 1e-2,
+            ..Default::default()
+        });
         let mut p = Tensor::zeros([8]);
         let g = Tensor::ones([8]);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
@@ -270,7 +290,11 @@ mod tests {
 
     #[test]
     fn state_round_trip_includes_ratio() {
-        let mut opt = Lamb::new(AdamParams { lr: 1e-2, weight_decay: 0.02, ..Default::default() });
+        let mut opt = Lamb::new(AdamParams {
+            lr: 1e-2,
+            weight_decay: 0.02,
+            ..Default::default()
+        });
         let (mut p, g) = rand_pair(16, 3);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
         let mut bytes = opt.state().encode();
@@ -280,9 +304,11 @@ mod tests {
         assert_eq!(opt2.saved_ratio(0), opt.saved_ratio(0));
         // Undo on the restored optimizer works.
         let mut p2 = p.clone();
-        opt2.undo(std::slice::from_mut(&mut p2), std::slice::from_ref(&g)).unwrap();
+        opt2.undo(std::slice::from_mut(&mut p2), std::slice::from_ref(&g))
+            .unwrap();
         let mut p1 = p.clone();
-        opt.undo(std::slice::from_mut(&mut p1), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p1), std::slice::from_ref(&g))
+            .unwrap();
         assert!(p1.bit_eq(&p2));
     }
 

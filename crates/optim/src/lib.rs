@@ -40,7 +40,12 @@ pub enum OptimizerKind {
     /// Plain SGD with weight decay.
     Sgd { lr: f32, weight_decay: f32 },
     /// SGD with momentum and dampening.
-    SgdMomentum { lr: f32, weight_decay: f32, momentum: f32, dampening: f32 },
+    SgdMomentum {
+        lr: f32,
+        weight_decay: f32,
+        momentum: f32,
+        dampening: f32,
+    },
     /// Adam (coupled weight decay).
     Adam { lr: f32, weight_decay: f32 },
     /// AdamW (decoupled weight decay).
@@ -56,21 +61,32 @@ impl OptimizerKind {
     pub fn build(&self) -> Box<dyn Optimizer> {
         match *self {
             OptimizerKind::Sgd { lr, weight_decay } => Box::new(Sgd::new(lr, weight_decay)),
-            OptimizerKind::SgdMomentum { lr, weight_decay, momentum, dampening } => {
-                Box::new(SgdMomentum::new(lr, weight_decay, momentum, dampening))
-            }
-            OptimizerKind::Adam { lr, weight_decay } => {
-                Box::new(Adam::new(AdamParams { lr, weight_decay, ..Default::default() }))
-            }
-            OptimizerKind::AdamW { lr, weight_decay } => {
-                Box::new(AdamW::new(AdamParams { lr, weight_decay, ..Default::default() }))
-            }
-            OptimizerKind::Lamb { lr, weight_decay } => {
-                Box::new(Lamb::new(AdamParams { lr, weight_decay, ..Default::default() }))
-            }
-            OptimizerKind::AmsGrad { lr, weight_decay } => {
-                Box::new(AmsGrad::new(AdamParams { lr, weight_decay, ..Default::default() }))
-            }
+            OptimizerKind::SgdMomentum {
+                lr,
+                weight_decay,
+                momentum,
+                dampening,
+            } => Box::new(SgdMomentum::new(lr, weight_decay, momentum, dampening)),
+            OptimizerKind::Adam { lr, weight_decay } => Box::new(Adam::new(AdamParams {
+                lr,
+                weight_decay,
+                ..Default::default()
+            })),
+            OptimizerKind::AdamW { lr, weight_decay } => Box::new(AdamW::new(AdamParams {
+                lr,
+                weight_decay,
+                ..Default::default()
+            })),
+            OptimizerKind::Lamb { lr, weight_decay } => Box::new(Lamb::new(AdamParams {
+                lr,
+                weight_decay,
+                ..Default::default()
+            })),
+            OptimizerKind::AmsGrad { lr, weight_decay } => Box::new(AmsGrad::new(AdamParams {
+                lr,
+                weight_decay,
+                ..Default::default()
+            })),
         }
     }
 }
@@ -83,12 +99,32 @@ mod tests {
     #[test]
     fn factory_builds_all_kinds() {
         let kinds = [
-            OptimizerKind::Sgd { lr: 0.1, weight_decay: 0.0 },
-            OptimizerKind::SgdMomentum { lr: 0.1, weight_decay: 0.0, momentum: 0.9, dampening: 0.0 },
-            OptimizerKind::Adam { lr: 1e-3, weight_decay: 0.0 },
-            OptimizerKind::AdamW { lr: 1e-3, weight_decay: 0.01 },
-            OptimizerKind::Lamb { lr: 1e-3, weight_decay: 0.01 },
-            OptimizerKind::AmsGrad { lr: 1e-3, weight_decay: 0.0 },
+            OptimizerKind::Sgd {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+            OptimizerKind::SgdMomentum {
+                lr: 0.1,
+                weight_decay: 0.0,
+                momentum: 0.9,
+                dampening: 0.0,
+            },
+            OptimizerKind::Adam {
+                lr: 1e-3,
+                weight_decay: 0.0,
+            },
+            OptimizerKind::AdamW {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::Lamb {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::AmsGrad {
+                lr: 1e-3,
+                weight_decay: 0.0,
+            },
         ];
         let mut names = Vec::new();
         for k in kinds {
@@ -99,7 +135,10 @@ mod tests {
             assert_eq!(opt.iteration(), 1);
             names.push(opt.name());
         }
-        assert_eq!(names, ["SGD", "SGD-momentum", "Adam", "AdamW", "LAMB", "AMSGrad"]);
+        assert_eq!(
+            names,
+            ["SGD", "SGD-momentum", "Adam", "AdamW", "LAMB", "AMSGrad"]
+        );
     }
 
     #[test]
@@ -107,11 +146,26 @@ mod tests {
         let profiles = table1();
         for profile in &profiles {
             let kind = match profile.optimizer {
-                "SGD" => OptimizerKind::Sgd { lr: 0.1, weight_decay: 0.0 },
-                "Adam" => OptimizerKind::Adam { lr: 1e-3, weight_decay: 0.0 },
-                "AdamW" => OptimizerKind::AdamW { lr: 1e-3, weight_decay: 0.01 },
-                "LAMB" => OptimizerKind::Lamb { lr: 1e-3, weight_decay: 0.01 },
-                "AMSGrad" => OptimizerKind::AmsGrad { lr: 1e-3, weight_decay: 0.0 },
+                "SGD" => OptimizerKind::Sgd {
+                    lr: 0.1,
+                    weight_decay: 0.0,
+                },
+                "Adam" => OptimizerKind::Adam {
+                    lr: 1e-3,
+                    weight_decay: 0.0,
+                },
+                "AdamW" => OptimizerKind::AdamW {
+                    lr: 1e-3,
+                    weight_decay: 0.01,
+                },
+                "LAMB" => OptimizerKind::Lamb {
+                    lr: 1e-3,
+                    weight_decay: 0.01,
+                },
+                "AMSGrad" => OptimizerKind::AmsGrad {
+                    lr: 1e-3,
+                    weight_decay: 0.0,
+                },
                 other => panic!("unknown optimizer {other}"),
             };
             let opt = kind.build();
@@ -121,7 +175,12 @@ mod tests {
                 "{} invertibility disagrees with Table 1",
                 profile.optimizer
             );
-            assert_eq!(opt.operators(), profile.ops, "{} operator set", profile.optimizer);
+            assert_eq!(
+                opt.operators(),
+                profile.ops,
+                "{} operator set",
+                profile.optimizer
+            );
         }
     }
 }
@@ -143,7 +202,8 @@ mod proptests {
         let p_ref = p.clone();
         let g = Tensor::randn([32], 0.0, 0.1, &mut rng);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         let err = p.max_abs_diff(&p_ref);
         assert!(err < tol, "undo error {err} for {kind:?}");
     }

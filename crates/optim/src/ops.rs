@@ -87,14 +87,29 @@ impl OperatorProfile {
 /// The paper's Table 1, generated from the optimizer implementations.
 pub fn table1() -> Vec<OperatorProfile> {
     vec![
-        OperatorProfile { optimizer: "SGD", ops: &[OpKind::EwAdd, OpKind::ScalarMul] },
+        OperatorProfile {
+            optimizer: "SGD",
+            ops: &[OpKind::EwAdd, OpKind::ScalarMul],
+        },
         OperatorProfile {
             optimizer: "Adam",
-            ops: &[OpKind::EwAdd, OpKind::ScalarMul, OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv],
+            ops: &[
+                OpKind::EwAdd,
+                OpKind::ScalarMul,
+                OpKind::EwMul,
+                OpKind::EwSqrt,
+                OpKind::EwDiv,
+            ],
         },
         OperatorProfile {
             optimizer: "AdamW",
-            ops: &[OpKind::EwAdd, OpKind::ScalarMul, OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv],
+            ops: &[
+                OpKind::EwAdd,
+                OpKind::ScalarMul,
+                OpKind::EwMul,
+                OpKind::EwSqrt,
+                OpKind::EwDiv,
+            ],
         },
         OperatorProfile {
             optimizer: "LAMB",

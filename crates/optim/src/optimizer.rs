@@ -205,7 +205,13 @@ impl OptimState {
             }
             slots.push((sname, tensors));
         }
-        Ok(OptimState { name, t, last_lr, scalars, slots })
+        Ok(OptimState {
+            name,
+            t,
+            last_lr,
+            scalars,
+            slots,
+        })
     }
 
     /// Total payload bytes held in slot tensors.
@@ -261,7 +267,10 @@ mod tests {
             scalars: vec![("ratio".into(), vec![1.0, 0.5])],
             slots: vec![
                 ("m".into(), vec![Some(Tensor::ones([3])), None]),
-                ("v".into(), vec![Some(Tensor::full([2, 2], 0.25)), Some(Tensor::zeros([1]))]),
+                (
+                    "v".into(),
+                    vec![Some(Tensor::full([2, 2], 0.25)), Some(Tensor::zeros([1]))],
+                ),
             ],
         };
         let mut bytes = state.encode();
@@ -272,7 +281,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation() {
-        let state = OptimState { name: "SGD".into(), ..Default::default() };
+        let state = OptimState {
+            name: "SGD".into(),
+            ..Default::default()
+        };
         let full = state.encode();
         let mut cut = full.slice(0..full.len() - 1);
         assert!(OptimState::decode(&mut cut).is_err());

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let s = LrSchedule::Warmup { peak: 1.0, warmup: 10 };
+        let s = LrSchedule::Warmup {
+            peak: 1.0,
+            warmup: 10,
+        };
         assert!((s.at(0) - 0.1).abs() < 1e-6);
         assert!((s.at(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.at(9), 1.0);
@@ -98,7 +101,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { lr0: 0.8, gamma: 0.5, every: 100 };
+        let s = LrSchedule::StepDecay {
+            lr0: 0.8,
+            gamma: 0.5,
+            every: 100,
+        };
         assert_eq!(s.at(0), 0.8);
         assert_eq!(s.at(99), 0.8);
         assert_eq!(s.at(100), 0.4);
@@ -107,7 +114,11 @@ mod tests {
 
     #[test]
     fn cosine_monotone_decreasing() {
-        let s = LrSchedule::Cosine { peak: 1.0, floor: 0.01, total: 100 };
+        let s = LrSchedule::Cosine {
+            peak: 1.0,
+            floor: 0.01,
+            total: 100,
+        };
         assert!((s.at(0) - 1.0).abs() < 1e-6);
         let mut prev = f32::INFINITY;
         for t in 0..100 {
@@ -125,7 +136,11 @@ mod tests {
         // Step at η(t)=0.5, then move the schedule on to η(t+1)=0.05; the
         // undo must still revert with 0.5 (the optimizer's recorded
         // last_lr), restoring the original parameters.
-        let sched = LrSchedule::StepDecay { lr0: 0.5, gamma: 0.1, every: 1 };
+        let sched = LrSchedule::StepDecay {
+            lr0: 0.5,
+            gamma: 0.1,
+            every: 1,
+        };
         let mut opt = OptimizerKind::SgdMomentum {
             lr: 0.5,
             weight_decay: 0.0,
@@ -143,17 +158,33 @@ mod tests {
         sched.apply(opt.as_mut(), 1);
         assert!((opt.lr() - 0.05).abs() < 1e-6);
         // …but undo still reverts the *taken* step exactly.
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
-        assert!(p.max_abs_diff(&p0) < 1e-5, "undo must use η_t, err {}", p.max_abs_diff(&p0));
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
+        assert!(
+            p.max_abs_diff(&p0) < 1e-5,
+            "undo must use η_t, err {}",
+            p.max_abs_diff(&p0)
+        );
     }
 
     #[test]
     fn schedule_is_a_pure_function_of_t() {
         // Recovery replays iteration t and must get the same rate.
         for s in [
-            LrSchedule::Warmup { peak: 0.3, warmup: 7 },
-            LrSchedule::Cosine { peak: 0.3, floor: 0.0, total: 41 },
-            LrSchedule::StepDecay { lr0: 0.3, gamma: 0.7, every: 13 },
+            LrSchedule::Warmup {
+                peak: 0.3,
+                warmup: 7,
+            },
+            LrSchedule::Cosine {
+                peak: 0.3,
+                floor: 0.0,
+                total: 41,
+            },
+            LrSchedule::StepDecay {
+                lr0: 0.3,
+                gamma: 0.7,
+                every: 13,
+            },
         ] {
             for t in [0u64, 5, 13, 41, 1000] {
                 assert_eq!(s.at(t).to_bits(), s.at(t).to_bits());

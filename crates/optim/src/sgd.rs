@@ -23,8 +23,16 @@ impl Sgd {
     pub fn new(lr: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!(weight_decay >= 0.0);
-        assert!(lr * weight_decay < 1.0, "η·λ ≥ 1 makes the update non-invertible");
-        Sgd { lr, weight_decay, t: 0, last_lr: lr }
+        assert!(
+            lr * weight_decay < 1.0,
+            "η·λ ≥ 1 makes the update non-invertible"
+        );
+        Sgd {
+            lr,
+            weight_decay,
+            t: 0,
+            last_lr: lr,
+        }
     }
 }
 
@@ -64,7 +72,12 @@ impl Optimizer for Sgd {
         self.t += 1;
     }
 
-    fn undo_one(&mut self, _idx: usize, param: &mut Tensor, grad: &Tensor) -> Result<(), UndoError> {
+    fn undo_one(
+        &mut self,
+        _idx: usize,
+        param: &mut Tensor,
+        grad: &Tensor,
+    ) -> Result<(), UndoError> {
         let eta = self.last_lr;
         param.axpy(eta, grad);
         let decay = 1.0 - eta * self.weight_decay;
@@ -81,7 +94,10 @@ impl Optimizer for Sgd {
             name: self.name().into(),
             t: self.t,
             last_lr: self.last_lr,
-            scalars: vec![("lr".into(), vec![self.lr]), ("wd".into(), vec![self.weight_decay])],
+            scalars: vec![
+                ("lr".into(), vec![self.lr]),
+                ("wd".into(), vec![self.weight_decay]),
+            ],
             slots: Vec::new(),
         }
     }
@@ -289,7 +305,8 @@ mod tests {
         let mut p = p0.clone();
         let mut opt = Sgd::new(0.05, 0.0);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         assert!(p.max_abs_diff(&p0) < 1e-6);
         assert_eq!(opt.iteration(), 0);
     }
@@ -300,7 +317,8 @@ mod tests {
         let mut p = p0.clone();
         let mut opt = Sgd::new(0.05, 0.01);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         assert!(p.max_abs_diff(&p0) < 1e-5);
     }
 
@@ -314,7 +332,8 @@ mod tests {
         let p_after_1 = p.clone();
         let m_after_1 = opt.momentum_buffer(0).unwrap().clone();
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g2));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g2)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g2))
+            .unwrap();
         assert!(p.max_abs_diff(&p_after_1) < 1e-5, "param undo error");
         assert!(
             opt.momentum_buffer(0).unwrap().max_abs_diff(&m_after_1) < 1e-5,
@@ -329,7 +348,8 @@ mod tests {
         let mut opt = SgdMomentum::new(0.1, 0.0, 0.9, 0.1);
         let mut p = p0.clone();
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         assert!(p.max_abs_diff(&p0) < 1e-5);
         let m = opt.momentum_buffer(0).unwrap();
         assert!(m.max_abs_diff(&Tensor::zeros([20])) < 1e-6);
@@ -341,7 +361,8 @@ mod tests {
         let mut opt = SgdMomentum::new(0.1, 0.0, 0.0, 0.0);
         let mut p = p0.clone();
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         assert!(p.max_abs_diff(&p0) < 1e-6);
     }
 

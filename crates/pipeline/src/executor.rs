@@ -89,8 +89,11 @@ pub struct CommTransport<'a, O: PipelineObserver> {
 impl<O: PipelineObserver> Transport for CommTransport<'_, O> {
     fn send_activation(&mut self, ctx: StepCtx, t: &Tensor) -> Result<(), CommError> {
         let dst = self.next.expect("last stage has no downstream");
-        self.comm
-            .send_tensor(dst, tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize), t)?;
+        self.comm.send_tensor(
+            dst,
+            tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize),
+            t,
+        )?;
         self.observer.on_send(dst, ctx, MsgKind::Activation, t);
         Ok(())
     }
@@ -98,14 +101,19 @@ impl<O: PipelineObserver> Transport for CommTransport<'_, O> {
     fn recv_activation(&mut self, ctx: StepCtx) -> Result<Tensor, CommError> {
         let src = self.prev.expect("first stage has no upstream");
         self.observer.on_idle(ctx);
-        self.comm
-            .recv_tensor(src, tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize))
+        self.comm.recv_tensor(
+            src,
+            tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize),
+        )
     }
 
     fn send_gradient(&mut self, ctx: StepCtx, t: &Tensor) -> Result<(), CommError> {
         let dst = self.prev.expect("first stage has no upstream");
-        self.comm
-            .send_tensor(dst, tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize), t)?;
+        self.comm.send_tensor(
+            dst,
+            tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize),
+            t,
+        )?;
         self.observer.on_send(dst, ctx, MsgKind::Gradient, t);
         Ok(())
     }
@@ -113,8 +121,10 @@ impl<O: PipelineObserver> Transport for CommTransport<'_, O> {
     fn recv_gradient(&mut self, ctx: StepCtx) -> Result<Tensor, CommError> {
         let src = self.next.expect("last stage has no downstream");
         self.observer.on_idle(ctx);
-        self.comm
-            .recv_tensor(src, tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize))
+        self.comm.recv_tensor(
+            src,
+            tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize),
+        )
     }
 }
 
@@ -159,7 +169,12 @@ pub fn run_iteration<T: Transport>(
     loss: &mut dyn FnMut(usize, &Tensor) -> (f32, Tensor),
     observer_ops: &mut dyn FnMut(Op),
 ) -> Result<f32, CommError> {
-    let ops = schedule(placement.kind, placement.num_stages, placement.stage, placement.microbatches);
+    let ops = schedule(
+        placement.kind,
+        placement.num_stages,
+        placement.stage,
+        placement.microbatches,
+    );
     run_ops(
         model,
         &ops,
@@ -195,7 +210,11 @@ pub fn run_ops<T: Transport>(
         match op {
             Op::Forward { mb } => {
                 let ctx = StepCtx::new(iteration, mb as u64);
-                let x = if is_first { input(mb) } else { transport.recv_activation(ctx)? };
+                let x = if is_first {
+                    input(mb)
+                } else {
+                    transport.recv_activation(ctx)?
+                };
                 let y = model.forward(ctx, &x, Mode::Train);
                 if is_last {
                     let (l, g) = loss(mb, &y);
@@ -374,8 +393,16 @@ mod tests {
             let mut loss = move |mb: usize, y: &Tensor| {
                 softmax_cross_entropy_scaled(y, &mbs[mb].batch.y, 0.25)
             };
-            run_iteration(&mut model, placement, 0, &mut transport, &mut input, &mut loss, &mut |_| {})
-                .unwrap()
+            run_iteration(
+                &mut model,
+                placement,
+                0,
+                &mut transport,
+                &mut input,
+                &mut loss,
+                &mut |_| {},
+            )
+            .unwrap()
         });
         assert!(results[1] > 0.0, "last stage observed a positive loss");
         assert_eq!(results[0], 0.0, "first stage reports no loss");
@@ -400,8 +427,12 @@ mod proptests {
             let stages = split_stages(mlp("pp", &dims, seed), p);
             let stage_idx = ctx.rank();
             let mut model = stages.into_iter().nth(stage_idx).unwrap();
-            let placement =
-                StagePlacement { stage: stage_idx, num_stages: p, microbatches: m, kind };
+            let placement = StagePlacement {
+                stage: stage_idx,
+                num_stages: p,
+                microbatches: m,
+                kind,
+            };
             let batch = ds.batch(0, batch_size);
             let mbs = split_microbatches(&batch, m);
             let mut obs = NullObserver;
@@ -416,8 +447,16 @@ mod proptests {
             let mut loss = move |mb: usize, y: &Tensor| {
                 softmax_cross_entropy_scaled(y, &mbs[mb].batch.y, 1.0 / batch_size as f32)
             };
-            run_iteration(&mut model, placement, 0, &mut transport, &mut input, &mut loss, &mut |_| {})
-                .unwrap();
+            run_iteration(
+                &mut model,
+                placement,
+                0,
+                &mut transport,
+                &mut input,
+                &mut loss,
+                &mut |_| {},
+            )
+            .unwrap();
             model.grads_snapshot()
         });
 

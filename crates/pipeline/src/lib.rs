@@ -14,8 +14,8 @@ pub mod executor;
 pub mod schedule;
 
 pub use executor::{
-    run_iteration, run_ops, tags, CommTransport, MsgKind, NullObserver, PipelineObserver, StagePlacement,
-    Transport,
+    run_iteration, run_ops, tags, CommTransport, MsgKind, NullObserver, PipelineObserver,
+    StagePlacement, Transport,
 };
 pub use schedule::{
     bubble_ratio, gpipe, one_f_one_b, render_ascii, simulate, stage_bubble_time, Op, ScheduleKind,

@@ -175,8 +175,14 @@ mod tests {
             for stage in 0..p {
                 for m in 1..8 {
                     let ops = one_f_one_b(p, stage, m);
-                    let f = ops.iter().filter(|o| matches!(o, Op::Forward { .. })).count();
-                    let b = ops.iter().filter(|o| matches!(o, Op::Backward { .. })).count();
+                    let f = ops
+                        .iter()
+                        .filter(|o| matches!(o, Op::Forward { .. }))
+                        .count();
+                    let b = ops
+                        .iter()
+                        .filter(|o| matches!(o, Op::Backward { .. }))
+                        .count();
                     assert_eq!((f, b), (m, m), "p={p} stage={stage} m={m}");
                 }
             }
@@ -204,11 +210,14 @@ mod tests {
     fn one_f_one_b_first_stage_warmup() {
         let ops = one_f_one_b(4, 0, 4);
         // Warmup of 3 forwards before the first backward.
-        assert_eq!(&ops[0..3], &[
-            Op::Forward { mb: 0 },
-            Op::Forward { mb: 1 },
-            Op::Forward { mb: 2 },
-        ]);
+        assert_eq!(
+            &ops[0..3],
+            &[
+                Op::Forward { mb: 0 },
+                Op::Forward { mb: 1 },
+                Op::Forward { mb: 2 },
+            ]
+        );
         assert_eq!(ops[3], Op::Forward { mb: 3 });
         assert_eq!(ops[4], Op::Backward { mb: 0 });
     }
@@ -247,8 +256,7 @@ mod tests {
                 (makespan - (m + p - 1) as f64 * 2.0).abs() < 1e-9,
                 "p={p} m={m} makespan {makespan}"
             );
-            let total_bubble: f64 =
-                slots.iter().map(|s| stage_bubble_time(s, makespan)).sum();
+            let total_bubble: f64 = slots.iter().map(|s| stage_bubble_time(s, makespan)).sum();
             let ratio = total_bubble / (makespan * p as f64);
             assert!(
                 (ratio - bubble_ratio(p, m)).abs() < 1e-9,

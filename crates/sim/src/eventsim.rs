@@ -116,18 +116,34 @@ pub fn pipelined_recovery(
     let n = iters as usize;
     let mut tasks = Vec::with_capacity(3 * n + 1);
     // Task 0: checkpoint load on the compute resource.
-    tasks.push(Task { duration: load_s, deps: vec![], resource: 2 });
+    tasks.push(Task {
+        duration: load_s,
+        deps: vec![],
+        resource: 2,
+    });
     for i in 0..n {
         let up = tasks.len(); // 1 + 3i
-        tasks.push(Task { duration: upload_s, deps: vec![], resource: 0 });
+        tasks.push(Task {
+            duration: upload_s,
+            deps: vec![],
+            resource: 0,
+        });
         let down = tasks.len(); // 2 + 3i
-        tasks.push(Task { duration: download_s, deps: vec![up], resource: 1 });
+        tasks.push(Task {
+            duration: download_s,
+            deps: vec![up],
+            resource: 1,
+        });
         let replay = tasks.len(); // 3 + 3i
         let mut deps = vec![down, 0];
         if i > 0 {
             deps.push(replay - 3); // the previous iteration's replay
         }
-        tasks.push(Task { duration: replay_s, deps, resource: 2 });
+        tasks.push(Task {
+            duration: replay_s,
+            deps,
+            resource: 2,
+        });
     }
     let (finish, _) = simulate_tasks(&tasks, 3);
     let mut upload_done = 0f64;
@@ -154,9 +170,21 @@ mod tests {
     #[test]
     fn independent_tasks_run_back_to_back() {
         let tasks = vec![
-            Task { duration: 1.0, deps: vec![], resource: 0 },
-            Task { duration: 2.0, deps: vec![], resource: 0 },
-            Task { duration: 1.5, deps: vec![], resource: 1 },
+            Task {
+                duration: 1.0,
+                deps: vec![],
+                resource: 0,
+            },
+            Task {
+                duration: 2.0,
+                deps: vec![],
+                resource: 0,
+            },
+            Task {
+                duration: 1.5,
+                deps: vec![],
+                resource: 1,
+            },
         ];
         let (finish, makespan) = simulate_tasks(&tasks, 2);
         assert!((finish[0] - 1.0).abs() < 1e-9);
@@ -168,9 +196,21 @@ mod tests {
     #[test]
     fn dependencies_are_respected() {
         let tasks = vec![
-            Task { duration: 2.0, deps: vec![], resource: 0 },
-            Task { duration: 1.0, deps: vec![0], resource: 1 },
-            Task { duration: 1.0, deps: vec![1], resource: 0 },
+            Task {
+                duration: 2.0,
+                deps: vec![],
+                resource: 0,
+            },
+            Task {
+                duration: 1.0,
+                deps: vec![0],
+                resource: 1,
+            },
+            Task {
+                duration: 1.0,
+                deps: vec![1],
+                resource: 0,
+            },
         ];
         let (finish, makespan) = simulate_tasks(&tasks, 2);
         assert!((finish[1] - 3.0).abs() < 1e-9);
@@ -182,8 +222,16 @@ mod tests {
     #[should_panic(expected = "dependency cycle")]
     fn cycle_detected() {
         let tasks = vec![
-            Task { duration: 1.0, deps: vec![1], resource: 0 },
-            Task { duration: 1.0, deps: vec![0], resource: 0 },
+            Task {
+                duration: 1.0,
+                deps: vec![1],
+                resource: 0,
+            },
+            Task {
+                duration: 1.0,
+                deps: vec![0],
+                resource: 0,
+            },
         ];
         simulate_tasks(&tasks, 1);
     }
@@ -204,7 +252,10 @@ mod tests {
     fn transfer_bound_when_network_is_slow() {
         let b = pipelined_recovery(50, 2.0, 2.0, 0.1, 0.0);
         // Download stream gates everything: ~2 s upload head start + 50×2 s.
-        assert!((b.replay_done_s - (2.0 + 50.0 * 2.0 + 0.1)).abs() < 1.0, "{b:?}");
+        assert!(
+            (b.replay_done_s - (2.0 + 50.0 * 2.0 + 0.1)).abs() < 1.0,
+            "{b:?}"
+        );
     }
 
     #[test]

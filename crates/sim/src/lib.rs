@@ -22,8 +22,8 @@ pub mod recovery;
 pub mod study;
 pub mod throughput;
 
-pub use method::{CostModel, Method};
 pub use eventsim::{pipelined_recovery, simulate_tasks, RecoveryBreakdown, Task};
+pub use method::{CostModel, Method};
 pub use recovery::{logging_recovery_event_s, recovery_time_s, RecoveryTime};
 pub use study::{simulate_mean, simulate_run, sweep_ckpt_interval, sweep_mtbf, RunOutcome};
 pub use throughput::{iteration_times, mean_throughput, recovery_timeline, TimelinePoint};

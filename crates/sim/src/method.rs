@@ -52,7 +52,12 @@ impl Method {
             Method::CheckFreq { .. } => "checkfreq".into(),
             Method::ElasticHorovod { .. } => "elastic-horovod".into(),
             Method::SwiftReplication { .. } => "swift-replication".into(),
-            Method::SwiftLogging { groups, sync, parallel_recovery, .. } => {
+            Method::SwiftLogging {
+                groups,
+                sync,
+                parallel_recovery,
+                ..
+            } => {
                 let mode = if *sync { "sync" } else { "async" };
                 if *parallel_recovery > 1 {
                     format!("swift-logging-{groups}g-{mode}+PR")
@@ -82,7 +87,12 @@ pub struct CostModel {
 impl CostModel {
     /// Builds the cost model the paper's testbed implies.
     pub fn new(model: PaperModel, testbed: Testbed) -> Self {
-        CostModel { model, testbed, init_time_s: 35.0, logging_extra_init_s: 5.0 }
+        CostModel {
+            model,
+            testbed,
+            init_time_s: 35.0,
+            logging_extra_init_s: 5.0,
+        }
     }
 
     /// Time to write a full snapshot GPU→CPU over PCIe (CheckFreq/Elastic
@@ -174,9 +184,24 @@ mod tests {
             Method::CheckFreq { interval: 30 },
             Method::ElasticHorovod { interval: 30 },
             Method::SwiftReplication { ckpt_interval: 100 },
-            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 },
-            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: true, parallel_recovery: 1 },
-            Method::SwiftLogging { ckpt_interval: 100, groups: 8, sync: false, parallel_recovery: 16 },
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 1,
+            },
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: true,
+                parallel_recovery: 1,
+            },
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 8,
+                sync: false,
+                parallel_recovery: 16,
+            },
         ];
         let labels: HashSet<String> = methods.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), methods.len());

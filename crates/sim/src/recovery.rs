@@ -45,7 +45,10 @@ pub fn recovery_time_s(cm: &CostModel, method: Method, iters_since_ckpt: u64) ->
             // No fault tolerance: the entire run is lost. Modeled as
             // re-computing everything since iteration 0 — callers of the
             // study use checkpointed methods instead.
-            RecoveryTime { init_s: cm.init_time_s, recovery_s: f64::INFINITY }
+            RecoveryTime {
+                init_s: cm.init_time_s,
+                recovery_s: f64::INFINITY,
+            }
         }
         Method::GlobalCkpt { .. } => {
             let load = m.state_bytes / tb.global_store_bps;
@@ -59,21 +62,34 @@ pub fn recovery_time_s(cm: &CostModel, method: Method, iters_since_ckpt: u64) ->
             // failure lands `iters_since_ckpt mod interval` after it.
             let lost = iters_since_ckpt % interval;
             let load = m.state_bytes / tb.disk_write_bps; // local NVMe read
-            RecoveryTime { init_s: cm.init_time_s, recovery_s: load + lost as f64 * iter }
+            RecoveryTime {
+                init_s: cm.init_time_s,
+                recovery_s: load + lost as f64 * iter,
+            }
         }
         Method::ElasticHorovod { interval } => {
             let lost = iters_since_ckpt % interval;
             let bcast = m.state_bytes / tb.net_bps;
-            RecoveryTime { init_s: cm.init_time_s, recovery_s: bcast + lost as f64 * iter }
+            RecoveryTime {
+                init_s: cm.init_time_s,
+                recovery_s: bcast + lost as f64 * iter,
+            }
         }
         Method::SwiftReplication { .. } => {
             // Undo (a handful of element-wise kernels) + broadcast the
             // replica state to the replacement. No iterations lost.
             let undo = 0.05;
             let bcast = m.state_bytes / tb.net_bps;
-            RecoveryTime { init_s: cm.init_time_s, recovery_s: undo + bcast }
+            RecoveryTime {
+                init_s: cm.init_time_s,
+                recovery_s: undo + bcast,
+            }
         }
-        Method::SwiftLogging { groups, parallel_recovery, .. } => {
+        Method::SwiftLogging {
+            groups,
+            parallel_recovery,
+            ..
+        } => {
             // Group of machines to re-compute: its stages replay as a
             // pipelined sub-pipeline of p_sub stages.
             let group_machines = (m.machines / groups.max(1)).max(1);
@@ -100,8 +116,7 @@ pub fn recovery_time_s(cm: &CostModel, method: Method, iters_since_ckpt: u64) ->
             // Gradient sync overhead under parallel recovery (§5.2 "extra
             // time is needed for gradient synchronization").
             let sync = if d > 1.0 {
-                iters_since_ckpt as f64
-                    * (m.state_bytes / m.machines as f64 / groups.max(1) as f64)
+                iters_since_ckpt as f64 * (m.state_bytes / m.machines as f64 / groups.max(1) as f64)
                     / tb.net_bps
                     * 0.05
             } else {
@@ -145,7 +160,12 @@ mod tests {
     use swift_dnn::profile::{bert_128, vit_128_32, wide_resnet_50, TESTBED};
 
     fn logging(groups: usize, d: usize) -> Method {
-        Method::SwiftLogging { ckpt_interval: 100, groups, sync: false, parallel_recovery: d }
+        Method::SwiftLogging {
+            ckpt_interval: 100,
+            groups,
+            sync: false,
+            parallel_recovery: d,
+        }
     }
 
     #[test]
@@ -176,7 +196,10 @@ mod tests {
                 lg.recovery_s,
                 gc.recovery_s
             );
-            assert!(pr.recovery_s < lg.recovery_s, "parallel recovery is faster still");
+            assert!(
+                pr.recovery_s < lg.recovery_s,
+                "parallel recovery is faster still"
+            );
             // Logging needs slightly more init (§7.1).
             assert!(lg.init_s > gc.init_s);
         }
@@ -189,7 +212,12 @@ mod tests {
         let cm = CostModel::new(vit_128_32(), TESTBED);
         let g16 = recovery_time_s(&cm, logging(16, 1), 50);
         let g8 = recovery_time_s(&cm, logging(8, 1), 50);
-        assert!(g8.recovery_s > 1.2 * g16.recovery_s, "g8 {:.1}s vs g16 {:.1}s", g8.recovery_s, g16.recovery_s);
+        assert!(
+            g8.recovery_s > 1.2 * g16.recovery_s,
+            "g8 {:.1}s vs g16 {:.1}s",
+            g8.recovery_s,
+            g16.recovery_s
+        );
     }
 
     #[test]

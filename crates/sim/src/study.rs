@@ -36,8 +36,9 @@ pub fn simulate_run(cm: &CostModel, method: Method, mtbf_hours: f64, seed: u64) 
         Method::GlobalCkpt { interval }
         | Method::CheckFreq { interval }
         | Method::ElasticHorovod { interval } => interval,
-        Method::SwiftReplication { ckpt_interval }
-        | Method::SwiftLogging { ckpt_interval, .. } => ckpt_interval,
+        Method::SwiftReplication { ckpt_interval } | Method::SwiftLogging { ckpt_interval, .. } => {
+            ckpt_interval
+        }
         Method::Normal => u64::MAX,
     };
 
@@ -47,7 +48,8 @@ pub fn simulate_run(cm: &CostModel, method: Method, mtbf_hours: f64, seed: u64) 
     let mut next_failure_s = rng.exponential(mean_s);
     while done_iters < model.total_iters {
         let remaining = model.total_iters - done_iters;
-        let seg_iters_until_failure = ((next_failure_s - wall_s) / per_iter).floor().max(0.0) as u64;
+        let seg_iters_until_failure =
+            ((next_failure_s - wall_s) / per_iter).floor().max(0.0) as u64;
         if seg_iters_until_failure >= remaining {
             wall_s += remaining as f64 * per_iter;
             break;
@@ -59,7 +61,11 @@ pub fn simulate_run(cm: &CostModel, method: Method, mtbf_hours: f64, seed: u64) 
 
         // Iterations since the last *global checkpoint* (backstop for
         // SWIFT, primary for the baselines).
-        let since_ckpt = if ckpt_interval == u64::MAX { done_iters } else { done_iters % ckpt_interval };
+        let since_ckpt = if ckpt_interval == u64::MAX {
+            done_iters
+        } else {
+            done_iters % ckpt_interval
+        };
         let rec = recovery_time_s(cm, method, since_ckpt);
         wall_s += rec.total_s();
         // Methods that roll back lose the re-computed iterations from
@@ -75,16 +81,14 @@ pub fn simulate_run(cm: &CostModel, method: Method, mtbf_hours: f64, seed: u64) 
             next_failure_s += rng.exponential(mean_s);
         }
     }
-    RunOutcome { hours: wall_s / 3600.0, failures }
+    RunOutcome {
+        hours: wall_s / 3600.0,
+        failures,
+    }
 }
 
 /// Averages `runs` seeded simulations (the paper repeats 10×).
-pub fn simulate_mean(
-    cm: &CostModel,
-    method: Method,
-    mtbf_hours: f64,
-    runs: u64,
-) -> RunOutcome {
+pub fn simulate_mean(cm: &CostModel, method: Method, mtbf_hours: f64, runs: u64) -> RunOutcome {
     let mut hours = 0.0;
     let mut failures = 0u64;
     for seed in 0..runs {
@@ -92,7 +96,10 @@ pub fn simulate_mean(
         hours += o.hours;
         failures += o.failures;
     }
-    RunOutcome { hours: hours / runs as f64, failures: failures / runs }
+    RunOutcome {
+        hours: hours / runs as f64,
+        failures: failures / runs,
+    }
 }
 
 /// Sweeps the checkpoint/snapshot interval (Fig. 12), returning
@@ -106,7 +113,12 @@ pub fn sweep_ckpt_interval(
 ) -> Vec<(u64, f64)> {
     intervals
         .iter()
-        .map(|&iv| (iv, simulate_mean(cm, make_method(iv), mtbf_hours, runs).hours))
+        .map(|&iv| {
+            (
+                iv,
+                simulate_mean(cm, make_method(iv), mtbf_hours, runs).hours,
+            )
+        })
         .collect()
 }
 
@@ -132,10 +144,19 @@ mod tests {
     fn table5_wrn_speedup_band() {
         // Paper: 28 failures; global 557.4 h vs SWIFT 480.7 h → 1.16×.
         let cm = CostModel::new(wide_resnet_50(), TESTBED);
-        let gc = simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let gc = simulate_mean(
+            &cm,
+            Method::GlobalCkpt {
+                interval: cm.model.ckpt_interval,
+            },
+            17.0,
+            10,
+        );
         let sw = simulate_mean(
             &cm,
-            Method::SwiftReplication { ckpt_interval: cm.model.ckpt_interval },
+            Method::SwiftReplication {
+                ckpt_interval: cm.model.ckpt_interval,
+            },
             17.0,
             10,
         );
@@ -146,15 +167,29 @@ mod tests {
             gc.hours,
             sw.hours
         );
-        assert!((20..40).contains(&gc.failures), "≈28 failures, got {}", gc.failures);
-        assert!((sw.hours - 479.4).abs() < 15.0, "SWIFT near failure-free time");
+        assert!(
+            (20..40).contains(&gc.failures),
+            "≈28 failures, got {}",
+            gc.failures
+        );
+        assert!(
+            (sw.hours - 479.4).abs() < 15.0,
+            "SWIFT near failure-free time"
+        );
     }
 
     #[test]
     fn table5_bert_speedup_band() {
         // Paper: 27 failures; global 524.2 h vs SWIFT 476.1 h → 1.10×.
         let cm = CostModel::new(bert_128(), TESTBED);
-        let gc = simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let gc = simulate_mean(
+            &cm,
+            Method::GlobalCkpt {
+                interval: cm.model.ckpt_interval,
+            },
+            17.0,
+            10,
+        );
         let sw = simulate_mean(
             &cm,
             Method::SwiftLogging {
@@ -179,7 +214,14 @@ mod tests {
     fn table5_vit_short_job_benefits_little() {
         // Paper: only ~5 failures; 86.4 h vs 86.0 h → 1.01×.
         let cm = CostModel::new(vit_128_32(), TESTBED);
-        let gc = simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let gc = simulate_mean(
+            &cm,
+            Method::GlobalCkpt {
+                interval: cm.model.ckpt_interval,
+            },
+            17.0,
+            10,
+        );
         let sw = simulate_mean(
             &cm,
             Method::SwiftLogging {
@@ -192,8 +234,15 @@ mod tests {
             10,
         );
         let speedup = gc.hours / sw.hours;
-        assert!((1.0..1.05).contains(&speedup), "ViT speedup {speedup:.3} (paper: 1.01×)");
-        assert!(gc.failures <= 10, "short job sees few failures: {}", gc.failures);
+        assert!(
+            (1.0..1.05).contains(&speedup),
+            "ViT speedup {speedup:.3} (paper: 1.01×)"
+        );
+        assert!(
+            gc.failures <= 10,
+            "short job sees few failures: {}",
+            gc.failures
+        );
     }
 
     #[test]
@@ -228,12 +277,25 @@ mod tests {
     #[test]
     fn fig13_more_failures_more_swift_advantage() {
         let cm = CostModel::new(wide_resnet_50(), TESTBED);
-        let gc = sweep_mtbf(&cm, Method::GlobalCkpt { interval: 5004 }, &[4.0, 17.0, 68.0], 6);
-        let sw =
-            sweep_mtbf(&cm, Method::SwiftReplication { ckpt_interval: 5004 }, &[4.0, 17.0, 68.0], 6);
+        let gc = sweep_mtbf(
+            &cm,
+            Method::GlobalCkpt { interval: 5004 },
+            &[4.0, 17.0, 68.0],
+            6,
+        );
+        let sw = sweep_mtbf(
+            &cm,
+            Method::SwiftReplication {
+                ckpt_interval: 5004,
+            },
+            &[4.0, 17.0, 68.0],
+            6,
+        );
         let speedup: Vec<f64> = gc.iter().zip(sw.iter()).map(|(g, s)| g.1 / s.1).collect();
-        assert!(speedup[0] > speedup[1] && speedup[1] > speedup[2],
-            "speedup grows with failure frequency: {speedup:?}");
+        assert!(
+            speedup[0] > speedup[1] && speedup[1] > speedup[2],
+            "speedup grows with failure frequency: {speedup:?}"
+        );
         // SWIFT still (weakly) best when failures are rare.
         assert!(sw[2].1 <= gc[2].1 + 0.5);
     }
@@ -242,10 +304,22 @@ mod tests {
     fn zero_failures_reduces_to_failure_free_time() {
         let cm = CostModel::new(bert_128(), TESTBED);
         // Enormous MTBF → essentially no failures.
-        let o = simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 1e9, 3);
+        let o = simulate_mean(
+            &cm,
+            Method::GlobalCkpt {
+                interval: cm.model.ckpt_interval,
+            },
+            1e9,
+            3,
+        );
         assert_eq!(o.failures, 0);
         let expect = cm.model.failure_free_seconds() / 3600.0;
-        assert!((o.hours - expect).abs() / expect < 0.02, "{} vs {}", o.hours, expect);
+        assert!(
+            (o.hours - expect).abs() / expect < 0.02,
+            "{} vs {}",
+            o.hours,
+            expect
+        );
     }
 
     #[test]
@@ -279,17 +353,32 @@ mod more_tests {
         let cm = CostModel::new(bert_128(), TESTBED);
         let sync = simulate_mean(
             &cm,
-            Method::SwiftLogging { ckpt_interval: 5_000, groups: 16, sync: true, parallel_recovery: 1 },
+            Method::SwiftLogging {
+                ckpt_interval: 5_000,
+                groups: 16,
+                sync: true,
+                parallel_recovery: 1,
+            },
             1e9, // effectively failure-free
             2,
         );
         let async_ = simulate_mean(
             &cm,
-            Method::SwiftLogging { ckpt_interval: 5_000, groups: 16, sync: false, parallel_recovery: 1 },
+            Method::SwiftLogging {
+                ckpt_interval: 5_000,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 1,
+            },
             1e9,
             2,
         );
-        assert!(sync.hours > async_.hours, "sync {:.1} vs async {:.1}", sync.hours, async_.hours);
+        assert!(
+            sync.hours > async_.hours,
+            "sync {:.1} vs async {:.1}",
+            sync.hours,
+            async_.hours
+        );
     }
 
     #[test]
@@ -298,6 +387,11 @@ mod more_tests {
         let cm = CostModel::new(wide_resnet_50(), TESTBED);
         let cf = simulate_mean(&cm, Method::CheckFreq { interval: 30 }, 17.0, 6);
         let eh = simulate_mean(&cm, Method::ElasticHorovod { interval: 30 }, 17.0, 6);
-        assert!(eh.hours <= cf.hours, "EH {:.1} vs CF {:.1}", eh.hours, cf.hours);
+        assert!(
+            eh.hours <= cf.hours,
+            "EH {:.1} vs CF {:.1}",
+            eh.hours,
+            cf.hours
+        );
     }
 }

@@ -45,7 +45,12 @@ pub fn iteration_times(cm: &CostModel, method: Method, iters: u64) -> Vec<f64> {
                     t += cm.global_ckpt_time_s();
                 }
             }
-            Method::SwiftLogging { ckpt_interval, groups, sync, .. } => {
+            Method::SwiftLogging {
+                ckpt_interval,
+                groups,
+                sync,
+                ..
+            } => {
                 t += if sync {
                     cm.sync_logging_overhead_s(groups)
                 } else {
@@ -135,7 +140,10 @@ mod tests {
         let gc = iteration_times(&cm, Method::GlobalCkpt { interval: 100 }, 110);
         let normal = iteration_times(&cm, Method::Normal, 110);
         for spike in [30usize, 60, 90] {
-            assert!(cf[spike] > 1.15 * normal[spike], "CheckFreq spike at {spike}");
+            assert!(
+                cf[spike] > 1.15 * normal[spike],
+                "CheckFreq spike at {spike}"
+            );
             assert!(eh[spike] > 1.15 * normal[spike], "EH spike at {spike}");
         }
         assert!(gc[100] > gc[99] + 1.0, "global ckpt spike at 100");
@@ -159,17 +167,33 @@ mod tests {
         let cm = CostModel::new(vit_128_32(), TESTBED);
         let async_tp = mean_throughput(
             &cm,
-            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 },
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 1,
+            },
             100,
         );
         let sync_tp = mean_throughput(
             &cm,
-            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: true, parallel_recovery: 1 },
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: true,
+                parallel_recovery: 1,
+            },
             100,
         );
         let gc_tp = mean_throughput(&cm, Method::GlobalCkpt { interval: 100 }, 100);
-        assert!(sync_tp < 0.9 * gc_tp, "sync logging significantly degrades throughput");
-        assert!(async_tp > 0.97 * gc_tp, "bubble-time logging is off the critical path");
+        assert!(
+            sync_tp < 0.9 * gc_tp,
+            "sync logging significantly degrades throughput"
+        );
+        assert!(
+            async_tp > 0.97 * gc_tp,
+            "bubble-time logging is off the critical path"
+        );
     }
 
     #[test]
@@ -178,14 +202,25 @@ mod tests {
         let gc = recovery_timeline(&cm, Method::GlobalCkpt { interval: 100 }, 50, 400.0, 1.0);
         let lg = recovery_timeline(
             &cm,
-            Method::SwiftLogging { ckpt_interval: 100, groups: 16, sync: false, parallel_recovery: 1 },
+            Method::SwiftLogging {
+                ckpt_interval: 100,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 1,
+            },
             50,
             400.0,
             1.0,
         );
         let first_up = |tl: &[TimelinePoint]| {
-            tl.iter().find(|p| p.throughput > 0.0).map(|p| p.t).unwrap_or(f64::INFINITY)
+            tl.iter()
+                .find(|p| p.throughput > 0.0)
+                .map(|p| p.t)
+                .unwrap_or(f64::INFINITY)
         };
-        assert!(first_up(&lg) < first_up(&gc), "logging resumes before global checkpointing");
+        assert!(
+            first_up(&lg) < first_up(&gc),
+            "logging resumes before global checkpointing"
+        );
     }
 }

@@ -37,10 +37,7 @@ impl BlobStore {
     pub fn new_temp(label: &str) -> std::io::Result<Self> {
         static NEXT: AtomicU64 = AtomicU64::new(0);
         let n = NEXT.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "swift-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("swift-{label}-{}-{n}", std::process::id()));
         Self::open(dir)
     }
 
@@ -63,14 +60,16 @@ impl BlobStore {
         let tmp = path.with_extension("tmp");
         fs::write(&tmp, data)?;
         fs::rename(&tmp, &path)?;
-        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
     /// Reads the blob under `key`.
     pub fn get(&self, key: &str) -> std::io::Result<Bytes> {
         let data = fs::read(self.path_of(key))?;
-        self.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(Bytes::from(data))
     }
 
@@ -243,7 +242,7 @@ mod concurrency_tests {
                 thread::spawn(move || {
                     for i in 0..25 {
                         let key = format!("t{t}/f{i}.bin");
-                        s.put(&key, &vec![t as u8; 64]).unwrap();
+                        s.put(&key, &[t as u8; 64]).unwrap();
                     }
                 })
             })
@@ -268,7 +267,7 @@ mod concurrency_tests {
             let s = s.clone();
             thread::spawn(move || {
                 for v in 1..=50u8 {
-                    s.put("k", &vec![v; 128]).unwrap();
+                    s.put("k", &[v; 128]).unwrap();
                 }
             })
         };

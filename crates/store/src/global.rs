@@ -15,7 +15,9 @@ pub struct GlobalStore {
 impl GlobalStore {
     /// Creates a global store in a fresh temp directory.
     pub fn new_temp() -> std::io::Result<Self> {
-        Ok(GlobalStore { inner: BlobStore::new_temp("global")? })
+        Ok(GlobalStore {
+            inner: BlobStore::new_temp("global")?,
+        })
     }
 
     /// Wraps an existing blob store.

@@ -82,7 +82,9 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 
 /// Quantizes a slice through f16 and back (what an f16 log record stores).
 pub fn quantize_f16(xs: &[f32]) -> Vec<f32> {
-    xs.iter().map(|&x| f16_bits_to_f32(f32_to_f16_bits(x))).collect()
+    xs.iter()
+        .map(|&x| f16_bits_to_f32(f32_to_f16_bits(x)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -95,7 +97,9 @@ mod tests {
 
     #[test]
     fn exact_values_round_trip() {
-        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, -65504.0, 65504.0, 0.25] {
+        for &x in &[
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, -65504.0, 65504.0, 0.25,
+        ] {
             assert_eq!(round_trip(x), x, "{x}");
         }
         // Signed zero preserved.

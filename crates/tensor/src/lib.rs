@@ -24,9 +24,9 @@ pub mod serialize;
 pub mod shape;
 pub mod tensor;
 
+pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use rng::{stream_id, CounterRng};
-pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
 pub use serialize::{
     decode, decode_slice, encode, encode_f16, encode_f16_into, encode_into, encoded_f16_size,
     encoded_size, DecodeError,

@@ -52,7 +52,10 @@ impl CounterRng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let v = splitmix64(self.key.wrapping_add(self.counter.wrapping_mul(0xA076_1D64_78BD_642F)));
+        let v = splitmix64(
+            self.key
+                .wrapping_add(self.counter.wrapping_mul(0xA076_1D64_78BD_642F)),
+        );
         self.counter += 1;
         v
     }
@@ -144,9 +147,7 @@ mod tests {
     fn replay_subset_is_exact() {
         // Drawing stream 5 after drawing streams 0..4 equals drawing stream 5
         // alone — the property recovery replay relies on.
-        let draws: Vec<u64> = (0..5)
-            .map(|s| CounterRng::new(9, s).next_u64())
-            .collect();
+        let draws: Vec<u64> = (0..5).map(|s| CounterRng::new(9, s).next_u64()).collect();
         let alone = CounterRng::new(9, 3).next_u64();
         assert_eq!(draws[3], alone);
     }

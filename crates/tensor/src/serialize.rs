@@ -36,8 +36,14 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "tensor payload truncated"),
             DecodeError::BadMagic(m) => write!(f, "bad tensor magic {m:#x}"),
-            DecodeError::LengthMismatch { dims_numel, declared } => {
-                write!(f, "length mismatch: dims imply {dims_numel}, header says {declared}")
+            DecodeError::LengthMismatch {
+                dims_numel,
+                declared,
+            } => {
+                write!(
+                    f,
+                    "length mismatch: dims imply {dims_numel}, header says {declared}"
+                )
             }
         }
     }
@@ -117,7 +123,10 @@ pub fn decode(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
     let declared = buf.get_u64_le();
     let numel: u64 = dims.iter().map(|&d| d as u64).product();
     if numel != declared {
-        return Err(DecodeError::LengthMismatch { dims_numel: numel, declared });
+        return Err(DecodeError::LengthMismatch {
+            dims_numel: numel,
+            declared,
+        });
     }
     let elem = if half { 2 } else { 4 };
     if (buf.remaining() as u64) < elem * declared {
@@ -200,7 +209,10 @@ mod tests {
         let t = Tensor::zeros([1000]);
         let full = encode(&t).len();
         let half = encode_f16(&t).len();
-        assert!(half < full * 6 / 10, "f16 must roughly halve the payload: {half} vs {full}");
+        assert!(
+            half < full * 6 / 10,
+            "f16 must roughly halve the payload: {half} vs {full}"
+        );
     }
 
     #[test]
@@ -209,7 +221,10 @@ mod tests {
         bytes.put_u32_le(0xDEAD_BEEF);
         bytes.put_u32_le(0);
         let mut b = bytes.freeze();
-        assert!(matches!(decode(&mut b), Err(DecodeError::BadMagic(0xDEAD_BEEF))));
+        assert!(matches!(
+            decode(&mut b),
+            Err(DecodeError::BadMagic(0xDEAD_BEEF))
+        ));
     }
 
     #[test]
@@ -218,7 +233,10 @@ mod tests {
         let full = encode(&t);
         for cut in [0, 4, 9, full.len() - 1] {
             let mut b = full.slice(0..cut);
-            assert!(matches!(decode(&mut b), Err(DecodeError::Truncated)), "cut={cut}");
+            assert!(
+                matches!(decode(&mut b), Err(DecodeError::Truncated)),
+                "cut={cut}"
+            );
         }
     }
 

@@ -58,7 +58,11 @@ impl Shape {
         let mut off = 0;
         let strides = self.strides();
         for (d, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
-            assert!(i < self.0[d], "index {i} out of bounds for dim {d} ({})", self.0[d]);
+            assert!(
+                i < self.0[d],
+                "index {i} out of bounds for dim {d} ({})",
+                self.0[d]
+            );
             off += i * s;
         }
         off

@@ -51,7 +51,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// All-ones tensor.
@@ -63,12 +66,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Uniform random tensor in `[lo, hi)` from a deterministic stream.
@@ -127,7 +136,12 @@ impl Tensor {
 
     /// Value of a rank-0 or single-element tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -135,7 +149,10 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         assert_eq!(shape.numel(), self.numel(), "reshape numel mismatch");
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// True when the two tensors are bit-identical (shape and payload).
@@ -207,7 +224,11 @@ impl Tensor {
     // -------------------------------------------------------- binary zips
 
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync + Send) -> Tensor {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         let mut out = self.clone();
         out.zip_inplace(other, f);
         out
@@ -215,7 +236,11 @@ impl Tensor {
 
     /// Applies `f(self, other)` elementwise in place on `self`.
     pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync + Send) {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         if self.data.len() >= PAR_THRESHOLD {
             self.data
                 .par_iter_mut()
@@ -496,7 +521,10 @@ mod tests {
         let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(t.sum_rows().data(), &[5.0, 7.0, 9.0]);
         let b = Tensor::from_vec([3], vec![10.0, 20.0, 30.0]);
-        assert_eq!(t.add_row_vector(&b).data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(
+            t.add_row_vector(&b).data(),
+            &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub struct GroupMap {
 impl GroupMap {
     /// Every machine its own group (full per-machine logging).
     pub fn singletons(machines: usize) -> Self {
-        GroupMap { group_of: (0..machines).collect() }
+        GroupMap {
+            group_of: (0..machines).collect(),
+        }
     }
 
     /// `n_groups` contiguous groups of (near-)equal size — the simple
@@ -134,7 +136,11 @@ pub fn plan_groups(input: &PlannerInput, m_max_bytes: f64) -> Plan {
     let n = input.per_machine_compute_s.len();
     let t = input.ckpt_interval as f64;
     let mut groups: Vec<G> = (0..n)
-        .map(|i| G { first: i, last: i, r: input.per_machine_compute_s[i] })
+        .map(|i| G {
+            first: i,
+            last: i,
+            r: input.per_machine_compute_s[i],
+        })
         .collect();
 
     let storage = |groups: &[G]| -> f64 {
@@ -164,7 +170,11 @@ pub fn plan_groups(input: &PlannerInput, m_max_bytes: f64) -> Plan {
                 - eff(a.r, size_a) * size_a / n as f64
                 - eff(b.r, size_b) * size_b / n as f64;
             let delta_m = m_ab * t;
-            let score = if delta_m > 0.0 { delta_r / delta_m } else { f64::INFINITY };
+            let score = if delta_m > 0.0 {
+                delta_r / delta_m
+            } else {
+                f64::INFINITY
+            };
             if best.map(|(_, s)| score < s).unwrap_or(true) {
                 best = Some((i, score));
             }
@@ -178,7 +188,10 @@ pub fn plan_groups(input: &PlannerInput, m_max_bytes: f64) -> Plan {
     }
 
     let map = GroupMap::from_groups(
-        groups.iter().map(|g| (g.first..=g.last).collect()).collect(),
+        groups
+            .iter()
+            .map(|g| (g.first..=g.last).collect())
+            .collect(),
     );
     let expected = groups
         .iter()
@@ -192,7 +205,11 @@ pub fn plan_groups(input: &PlannerInput, m_max_bytes: f64) -> Plan {
             r * size / n as f64
         })
         .sum();
-    Plan { storage_bytes: storage(&groups), expected_recovery_s_per_iter: expected, map }
+    Plan {
+        storage_bytes: storage(&groups),
+        expected_recovery_s_per_iter: expected,
+        map,
+    }
 }
 
 /// Sweeps the planner over a set of storage caps, returning

@@ -173,14 +173,22 @@ impl Logger {
         if self.mode == LogMode::BubbleAsync {
             for rec in self.staged.drain(..) {
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
-                self.tx.as_ref().unwrap().send(rec).expect("wal writer gone");
+                self.tx
+                    .as_ref()
+                    .unwrap()
+                    .send(rec)
+                    .expect("wal writer gone");
             }
         }
     }
 
     fn enqueue(&mut self, rec: LogRecord) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
-        self.tx.as_ref().unwrap().send(rec).expect("wal writer gone");
+        self.tx
+            .as_ref()
+            .unwrap()
+            .send(rec)
+            .expect("wal writer gone");
     }
 
     /// Records staged in memory, not yet handed to the writer.
@@ -357,7 +365,9 @@ mod tests {
         assert_eq!(removed, 4);
         let remaining = l.store().list("wal/").unwrap();
         assert_eq!(remaining.len(), 2);
-        assert!(remaining.iter().all(|k| k.contains("it000000000004") || k.contains("it000000000005")));
+        assert!(remaining
+            .iter()
+            .all(|k| k.contains("it000000000004") || k.contains("it000000000005")));
     }
 
     #[test]
@@ -379,7 +389,10 @@ mod tests {
         half.log_send(0, 1, ctx(0, 0), MsgKind::Activation, &t);
         let fb = full.store().total_bytes().unwrap();
         let hb = half.store().total_bytes().unwrap();
-        assert!(hb < fb * 6 / 10, "f16 logging must roughly halve storage: {hb} vs {fb}");
+        assert!(
+            hb < fb * 6 / 10,
+            "f16 logging must roughly halve storage: {hb} vs {fb}"
+        );
         // And the stored record still decodes to the exact tensor (0.125
         // is representable in f16).
         let key = full.store().list("wal/").unwrap().remove(0);

@@ -65,11 +65,22 @@ pub struct LogRecord {
 
 impl LogRecord {
     /// Creates a record.
-    pub fn new(src: Rank, dst: Rank, iteration: u64, microbatch: u64, kind: MsgKind, tensor: Tensor) -> Self {
+    pub fn new(
+        src: Rank,
+        dst: Rank,
+        iteration: u64,
+        microbatch: u64,
+        kind: MsgKind,
+        tensor: Tensor,
+    ) -> Self {
         LogRecord {
             src,
             dst,
-            stamp: LogStamp { iteration, microbatch, kind: kind.into() },
+            stamp: LogStamp {
+                iteration,
+                microbatch,
+                kind: kind.into(),
+            },
             tensor,
         }
     }
@@ -134,7 +145,11 @@ impl LogRecord {
         Ok(LogRecord {
             src,
             dst,
-            stamp: LogStamp { iteration, microbatch, kind },
+            stamp: LogStamp {
+                iteration,
+                microbatch,
+                kind,
+            },
             tensor,
         })
     }
@@ -168,15 +183,36 @@ mod tests {
         assert!(half.len() < full.len() * 6 / 10);
         let back = LogRecord::decode(half).unwrap();
         assert_eq!(back.stamp, r.stamp);
-        assert!(back.tensor.bit_eq(&r.tensor), "0.5 is exactly representable in f16");
+        assert!(
+            back.tensor.bit_eq(&r.tensor),
+            "0.5 is exactly representable in f16"
+        );
     }
 
     #[test]
     fn stamp_order_is_replay_order() {
-        let mut stamps = [LogStamp { iteration: 1, microbatch: 0, kind: MsgKindCode::Gradient },
-            LogStamp { iteration: 0, microbatch: 1, kind: MsgKindCode::Activation },
-            LogStamp { iteration: 0, microbatch: 0, kind: MsgKindCode::Gradient },
-            LogStamp { iteration: 0, microbatch: 0, kind: MsgKindCode::Activation }];
+        let mut stamps = [
+            LogStamp {
+                iteration: 1,
+                microbatch: 0,
+                kind: MsgKindCode::Gradient,
+            },
+            LogStamp {
+                iteration: 0,
+                microbatch: 1,
+                kind: MsgKindCode::Activation,
+            },
+            LogStamp {
+                iteration: 0,
+                microbatch: 0,
+                kind: MsgKindCode::Gradient,
+            },
+            LogStamp {
+                iteration: 0,
+                microbatch: 0,
+                kind: MsgKindCode::Activation,
+            },
+        ];
         stamps.sort();
         assert_eq!(stamps[0].kind, MsgKindCode::Activation);
         assert_eq!(stamps[0].microbatch, 0);

@@ -130,7 +130,11 @@ impl Transport for ReplayTransport<'_> {
         match self.next {
             Endpoint::Live { peer } => self.comm.send_tensor(
                 peer,
-                swift_pipeline::tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize),
+                swift_pipeline::tags::tag(
+                    MsgKind::Activation,
+                    ctx.iteration,
+                    ctx.microbatch as usize,
+                ),
                 t,
             ),
             Endpoint::Logged { .. } => {
@@ -145,7 +149,11 @@ impl Transport for ReplayTransport<'_> {
         match self.prev {
             Endpoint::Live { peer } => self.comm.recv_tensor(
                 peer,
-                swift_pipeline::tags::tag(MsgKind::Activation, ctx.iteration, ctx.microbatch as usize),
+                swift_pipeline::tags::tag(
+                    MsgKind::Activation,
+                    ctx.iteration,
+                    ctx.microbatch as usize,
+                ),
             ),
             Endpoint::Logged { peer } => self.read_log(peer, ctx, MsgKind::Activation),
             Endpoint::None => unreachable!("first stage never receives activations"),
@@ -156,7 +164,11 @@ impl Transport for ReplayTransport<'_> {
         match self.prev {
             Endpoint::Live { peer } => self.comm.send_tensor(
                 peer,
-                swift_pipeline::tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize),
+                swift_pipeline::tags::tag(
+                    MsgKind::Gradient,
+                    ctx.iteration,
+                    ctx.microbatch as usize,
+                ),
                 t,
             ),
             Endpoint::Logged { .. } => {
@@ -171,7 +183,11 @@ impl Transport for ReplayTransport<'_> {
         match self.next {
             Endpoint::Live { peer } => self.comm.recv_tensor(
                 peer,
-                swift_pipeline::tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize),
+                swift_pipeline::tags::tag(
+                    MsgKind::Gradient,
+                    ctx.iteration,
+                    ctx.microbatch as usize,
+                ),
             ),
             Endpoint::Logged { peer } => self.read_log(peer, ctx, MsgKind::Gradient),
             Endpoint::None => unreachable!("last stage never receives gradients"),
@@ -293,7 +309,10 @@ mod audit_tests {
         let store = BlobStore::new_temp("audit1").unwrap();
         for it in 3..6u64 {
             for mb in 0..2u64 {
-                for (src, dst, kind) in [(0usize, 1usize, MsgKind::Activation), (2, 1, MsgKind::Gradient)] {
+                for (src, dst, kind) in [
+                    (0usize, 1usize, MsgKind::Activation),
+                    (2, 1, MsgKind::Gradient),
+                ] {
                     let r = LogRecord::new(src, dst, it, mb, kind, Tensor::ones([2]));
                     store.put(&r.key(), &r.encode()).unwrap();
                 }

@@ -107,7 +107,11 @@ mod tests {
         // — an order of magnitude over the 3.6 TB NVMe. Exactly §5.4's
         // "logging size far exceeds the model size" rejection.
         let r = evaluate(&cnn_pipeline_profile(), &TESTBED);
-        assert!(!r.fits_storage, "interval {:.1} TB", r.per_machine_interval_bytes / 1e12);
+        assert!(
+            !r.fits_storage,
+            "interval {:.1} TB",
+            r.per_machine_interval_bytes / 1e12
+        );
         assert!(!r.worth_logging);
         assert!(r.per_machine_interval_bytes > 10.0 * TESTBED.disk_capacity_bytes);
     }
@@ -125,6 +129,9 @@ mod tests {
     #[test]
     fn bubble_budget_has_headroom_for_transformers() {
         let r = evaluate(&bert_128(), &TESTBED);
-        assert!(r.pcie_time_s * 10.0 < r.bubble_time_s, "logging is far off the critical path");
+        assert!(
+            r.pcie_time_s * 10.0 < r.bubble_time_s,
+            "logging is far off the critical path"
+        );
     }
 }

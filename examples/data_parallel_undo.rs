@@ -28,11 +28,28 @@ fn main() {
     // --- 2. Step + undo round-trips for every invertible optimizer.
     println!("\nstep → undo round-trip error (max |Δ| on 4096 params, 5 steps):");
     let kinds = [
-        OptimizerKind::Sgd { lr: 0.05, weight_decay: 0.01 },
-        OptimizerKind::SgdMomentum { lr: 0.05, weight_decay: 0.01, momentum: 0.9, dampening: 0.0 },
-        OptimizerKind::Adam { lr: 1e-2, weight_decay: 0.01 },
-        OptimizerKind::AdamW { lr: 1e-2, weight_decay: 0.05 },
-        OptimizerKind::Lamb { lr: 1e-2, weight_decay: 0.01 },
+        OptimizerKind::Sgd {
+            lr: 0.05,
+            weight_decay: 0.01,
+        },
+        OptimizerKind::SgdMomentum {
+            lr: 0.05,
+            weight_decay: 0.01,
+            momentum: 0.9,
+            dampening: 0.0,
+        },
+        OptimizerKind::Adam {
+            lr: 1e-2,
+            weight_decay: 0.01,
+        },
+        OptimizerKind::AdamW {
+            lr: 1e-2,
+            weight_decay: 0.05,
+        },
+        OptimizerKind::Lamb {
+            lr: 1e-2,
+            weight_decay: 0.01,
+        },
     ];
     for kind in kinds {
         let mut opt = kind.build();
@@ -45,12 +62,17 @@ fn main() {
         let before = p.clone();
         let g = Tensor::randn([4096], 0.0, 0.1, &mut rng);
         opt.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
-        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g)).unwrap();
+        opt.undo(std::slice::from_mut(&mut p), std::slice::from_ref(&g))
+            .unwrap();
         println!("  {:<14} {:.2e}", opt.name(), p.max_abs_diff(&before));
     }
 
     // AMSGrad cannot be undone (element-wise max destroys information).
-    let mut ams = OptimizerKind::AmsGrad { lr: 1e-3, weight_decay: 0.0 }.build();
+    let mut ams = OptimizerKind::AmsGrad {
+        lr: 1e-3,
+        weight_decay: 0.0,
+    }
+    .build();
     let mut p = Tensor::ones([4]);
     let g = Tensor::full([4], 0.1);
     ams.step(std::slice::from_mut(&mut p), std::slice::from_ref(&g));
@@ -58,14 +80,21 @@ fn main() {
         ams.undo_one(0, &mut p, &g),
         Err(UndoError::NotInvertible("AMSGrad"))
     );
-    println!("  AMSGrad        rejected: {:?}", UndoError::NotInvertible("AMSGrad"));
+    println!(
+        "  AMSGrad        rejected: {:?}",
+        UndoError::NotInvertible("AMSGrad")
+    );
 
     // --- 3. The crash-consistency scenario (paper Fig. 4/5): a model's
     // update is interrupted after 2 of 4 parameter groups.
     let mut model = mlp("m", &[8, 16, 4], 9);
-    let mut opt =
-        OptimizerKind::SgdMomentum { lr: 0.1, weight_decay: 0.0, momentum: 0.9, dampening: 0.0 }
-            .build();
+    let mut opt = OptimizerKind::SgdMomentum {
+        lr: 0.1,
+        weight_decay: 0.0,
+        momentum: 0.9,
+        dampening: 0.0,
+    }
+    .build();
     let ctx = StepCtx::new(0, 0);
     let y = model.forward(ctx, &Tensor::ones([4, 8]), Mode::Train);
     model.backward(ctx, &y.scale(0.05));

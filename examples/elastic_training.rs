@@ -60,9 +60,18 @@ fn main() {
     let (m0j, m1j, m2j) = (m0.clone(), m1.clone(), m2.clone());
     let transient = cluster.spawn(2, move |mut ctx| {
         // The joiner arrives with nothing but the job config.
-        let mut w = elastic_join(&mut ctx, mlp("el", &[6, 24, 3], 15), SGDM.build(), &m0j, &m1j)
-            .unwrap();
-        println!("joiner admitted at iteration {} (state broadcast, no checkpoint)", w.iteration);
+        let mut w = elastic_join(
+            &mut ctx,
+            mlp("el", &[6, 24, 3], 15),
+            SGDM.build(),
+            &m0j,
+            &m1j,
+        )
+        .unwrap();
+        println!(
+            "joiner admitted at iteration {} (state broadcast, no checkpoint)",
+            w.iteration
+        );
         for _ in 0..5 {
             step(&mut ctx, &mut w, &m1j);
         }
@@ -74,8 +83,10 @@ fn main() {
     let (it0, s0) = incumbents.remove(0).join().unwrap();
     let (_, s1) = incumbents.remove(0).join().unwrap();
     let left_at = transient.join().unwrap();
-    println!("incumbents finished at iteration {it0}; replicas bitwise identical: {}",
-        s0.bit_eq(&s1));
+    println!(
+        "incumbents finished at iteration {it0}; replicas bitwise identical: {}",
+        s0.bit_eq(&s1)
+    );
     assert!(s0.bit_eq(&s1));
     assert_eq!(left_at, 10);
     println!("OK");

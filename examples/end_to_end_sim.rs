@@ -13,30 +13,52 @@ fn main() {
     let jobs = [
         (
             wide_resnet_50(),
-            Method::SwiftReplication { ckpt_interval: 5_004 },
+            Method::SwiftReplication {
+                ckpt_interval: 5_004,
+            },
             "replication",
         ),
         (
             vit_128_32(),
-            Method::SwiftLogging { ckpt_interval: 312, groups: 16, sync: false, parallel_recovery: 16 },
+            Method::SwiftLogging {
+                ckpt_interval: 312,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 16,
+            },
             "logging+PR",
         ),
         (
             bert_128(),
-            Method::SwiftLogging { ckpt_interval: 5_000, groups: 16, sync: false, parallel_recovery: 16 },
+            Method::SwiftLogging {
+                ckpt_interval: 5_000,
+                groups: 16,
+                sync: false,
+                parallel_recovery: 16,
+            },
             "logging+PR",
         ),
     ];
     for (model, swift_method, tag) in jobs {
         let cm = CostModel::new(model, TESTBED);
         let ff = cm.model.failure_free_seconds() / 3600.0;
-        let gc =
-            simulate_mean(&cm, Method::GlobalCkpt { interval: cm.model.ckpt_interval }, 17.0, 10);
+        let gc = simulate_mean(
+            &cm,
+            Method::GlobalCkpt {
+                interval: cm.model.ckpt_interval,
+            },
+            17.0,
+            10,
+        );
         let sw = simulate_mean(&cm, swift_method, 17.0, 10);
         println!(
             "  {:<16} failure-free {ff:>6.1} h | global-ckpt {:>6.1} h ({} failures) | \
              swift[{tag}] {:>6.1} h | speedup {:.2}x",
-            cm.model.name, gc.hours, gc.failures, sw.hours, gc.hours / sw.hours
+            cm.model.name,
+            gc.hours,
+            gc.failures,
+            sw.hours,
+            gc.hours / sw.hours
         );
     }
 
@@ -44,10 +66,26 @@ fn main() {
     let cm = CostModel::new(wide_resnet_50(), TESTBED);
     let mtbfs = [4.0, 8.0, 17.0, 34.0, 68.0];
     let gc = sweep_mtbf(&cm, Method::GlobalCkpt { interval: 5_004 }, &mtbfs, 6);
-    let sw = sweep_mtbf(&cm, Method::SwiftReplication { ckpt_interval: 5_004 }, &mtbfs, 6);
-    println!("  {:>10} {:>14} {:>10} {:>9}", "MTBF (h)", "global (h)", "swift (h)", "speedup");
+    let sw = sweep_mtbf(
+        &cm,
+        Method::SwiftReplication {
+            ckpt_interval: 5_004,
+        },
+        &mtbfs,
+        6,
+    );
+    println!(
+        "  {:>10} {:>14} {:>10} {:>9}",
+        "MTBF (h)", "global (h)", "swift (h)", "speedup"
+    );
     for (g, s) in gc.iter().zip(sw.iter()) {
-        println!("  {:>10.0} {:>14.1} {:>10.1} {:>8.2}x", g.0, g.1, s.1, g.1 / s.1);
+        println!(
+            "  {:>10.0} {:>14.1} {:>10.1} {:>8.2}x",
+            g.0,
+            g.1,
+            s.1,
+            g.1 / s.1
+        );
     }
     println!("OK");
 }

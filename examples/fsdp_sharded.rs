@@ -7,7 +7,9 @@
 
 use std::time::Duration;
 
-use swift::core::{fsdp_join, fsdp_recover_survivor, fsdp_train_step, gather_full_params, FsdpWorker};
+use swift::core::{
+    fsdp_join, fsdp_recover_survivor, fsdp_train_step, gather_full_params, FsdpWorker,
+};
 use swift::data::{shard_batch, BlobsDataset, Dataset};
 use swift::dnn::models::mlp;
 use swift::net::{Cluster, CommError, Topology};
@@ -52,14 +54,16 @@ fn main() {
                 let b = ds.batch(w.iteration, 12);
                 let s = shard_batch(&b, ctx.rank(), 3);
                 let crash = (ctx.rank() == 1 && w.iteration == 5).then_some(2usize);
-                match fsdp_train_step(&mut ctx, &mut w, &[0, 1, 2], &s.x, &s.y, 1.0 / 12.0, crash)
-                {
+                match fsdp_train_step(&mut ctx, &mut w, &[0, 1, 2], &s.x, &s.y, 1.0 / 12.0, crash) {
                     Ok(_) => {}
                     Err(CommError::SelfKilled) => return None,
                     Err(CommError::PeerFailed { rank }) => {
                         let gen = ctx.comm.failure_controller().generation();
-                        ctx.kv.set(&format!("fsdp-ex/ack/{gen}/{}", ctx.rank()), "1");
-                        ctx.kv.wait_for("fsdp-ex/up", Duration::from_secs(30)).unwrap();
+                        ctx.kv
+                            .set(&format!("fsdp-ex/ack/{gen}/{}", ctx.rank()), "1");
+                        ctx.kv
+                            .wait_for("fsdp-ex/up", Duration::from_secs(30))
+                            .unwrap();
                         fsdp_recover_survivor(&mut ctx, &mut w, rank, &[0, 1, 2]).unwrap();
                     }
                 }
@@ -73,17 +77,26 @@ fn main() {
     }
     println!("machine 1 died mid-update at iteration 5 (its shards live on ranks 0 and 2)");
     for r in [0usize, 2] {
-        kv.wait_for(&format!("fsdp-ex/ack/1/{r}"), Duration::from_secs(30)).unwrap();
+        kv.wait_for(&format!("fsdp-ex/ack/1/{r}"), Duration::from_secs(30))
+            .unwrap();
     }
     fc.replace_machine(1);
     let mut rctx = cluster.respawn(1);
     let kv2 = kv.clone();
     let replacement = std::thread::spawn(move || {
         kv2.set("fsdp-ex/up", "1");
-        let mut w =
-            fsdp_join(&mut rctx, mlp("fs", &[6, 32, 32, 3], 88), SGDM.build(), 3, &[0, 1, 2])
-                .unwrap();
-        println!("replacement rebuilt its shards from the surviving copies (iteration {})", w.iteration);
+        let mut w = fsdp_join(
+            &mut rctx,
+            mlp("fs", &[6, 32, 32, 3], 88),
+            SGDM.build(),
+            3,
+            &[0, 1, 2],
+        )
+        .unwrap();
+        println!(
+            "replacement rebuilt its shards from the surviving copies (iteration {})",
+            w.iteration
+        );
         let ds = BlobsDataset::new(8, 6, 3, 0.3);
         while w.iteration < iters {
             let b = ds.batch(w.iteration, 12);

@@ -37,6 +37,7 @@ fn scenario(crash: Option<(usize, u64)>, d: usize) -> swift::core::ScenarioResul
         log_mode: LogMode::BubbleAsync,
         log_precision: swift::wal::LogPrecision::F32,
         crash,
+        faults: None,
         parallel_recovery: d,
     })
 }
@@ -70,6 +71,9 @@ fn main() {
         "  stage 1 drift vs failure-free: {drift:.2e} \
          (parallel replay reorders the gradient sum — logically equivalent, §5.2)"
     );
-    assert!(drift < 1e-3, "parallel recovery must track the sequential trajectory");
+    assert!(
+        drift < 1e-3,
+        "parallel recovery must track the sequential trajectory"
+    );
     println!("OK");
 }

@@ -48,6 +48,7 @@ fn main() {
         batch_size: 16,
         iters: 80,
         crash: Some((1, 40, 2)),
+        faults: None,
     });
 
     println!(

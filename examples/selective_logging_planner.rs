@@ -22,7 +22,11 @@ fn main() {
             r.pcie_time_s,
             r.bubble_time_s,
             r.per_machine_interval_bytes / 1e12,
-            if r.worth_logging { "LOG" } else { "checkpoint only" },
+            if r.worth_logging {
+                "LOG"
+            } else {
+                "checkpoint only"
+            },
         );
     }
 

@@ -8,10 +8,16 @@
 use std::sync::Arc;
 
 use swift::core::{
-    run_dp_scenario, run_pipeline_scenario, DpScenario, ModelFn, PipelineScenario,
+    dp_train_step, replication_join_supervised, replication_recover_supervised, run_dp_scenario,
+    run_pipeline_scenario, DpScenario, DpWorker, ModelFn, PipelineScenario, SupervisorConfig,
 };
-use swift::data::BlobsDataset;
+use swift::data::{shard_batch, BlobsDataset, Dataset};
 use swift::dnn::models::mlp;
+use swift::dnn::ModelState;
+use swift::net::{
+    failure_epoch, failure_state, Cluster, CommError, CrashTrigger, FaultPlan, HeartbeatConfig,
+    Rank, RetryPolicy, Topology, WorkerCtx,
+};
 use swift::optim::OptimizerKind;
 use swift::tensor::CounterRng;
 use swift::wal::{LogMode, LogPrecision};
@@ -36,6 +42,7 @@ fn dp_random_crash_points_all_recover() {
             batch_size: 12,
             iters,
             crash,
+            faults: None,
         })
     };
     let clean = run(None);
@@ -76,6 +83,7 @@ fn pipeline_random_crash_points_all_recover_bitwise() {
             log_mode: LogMode::BubbleAsync,
             log_precision: LogPrecision::F32,
             crash,
+            faults: None,
             parallel_recovery: d,
         })
     };
@@ -91,6 +99,217 @@ fn pipeline_random_crash_points_all_recover_bitwise() {
                 "trial {trial} (m{machine}, it{iteration}): stage {s} not bitwise"
             );
         }
+    }
+}
+
+#[test]
+fn dp_message_chaos_converges_bit_identically() {
+    // A seeded adversarial fault plan — per-link delay/jitter, reordering,
+    // transient drops (with retransmission), duplicates — must be fully
+    // absorbed by the sequence-numbered transport: training converges
+    // bit-identically to the fault-free run.
+    let iters = 10u64;
+    let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-msg-dp", &[6, 14, 3], 96)) };
+    let run = |faults| {
+        run_dp_scenario(DpScenario {
+            machines: 3,
+            model_fn: model_fn(),
+            opt: SGDM,
+            dataset: Arc::new(BlobsDataset::new(40, 6, 3, 0.4)),
+            batch_size: 12,
+            iters,
+            crash: None,
+            faults,
+        })
+    };
+    let clean = run(None);
+    let chaotic = run(Some(FaultPlan::chaos(0xD15C0)));
+    for r in 0..3 {
+        assert!(
+            clean.states[r].bit_eq(&chaotic.states[r]),
+            "rank {r} diverged under message chaos"
+        );
+    }
+    let stats = chaotic.fault_stats.expect("injector stats");
+    assert!(stats.delayed > 0, "chaos plan never delayed a message");
+    assert!(
+        stats.reordered + stats.dropped + stats.duplicated > 0,
+        "chaos plan never perturbed ordering: {stats:?}"
+    );
+    assert_eq!(
+        stats.retransmitted, stats.dropped,
+        "every drop must be retransmitted"
+    );
+}
+
+#[test]
+fn pipeline_message_chaos_converges_bit_identically() {
+    // Same adversary against the pipeline: activation/gradient traffic is
+    // delayed, reordered, dropped and duplicated, yet the run is bitwise
+    // identical to fault-free.
+    let iters = 8u64;
+    let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-msg-pp", &[8, 18, 18, 3], 95)) };
+    let run = |faults| {
+        run_pipeline_scenario(PipelineScenario {
+            stages: 3,
+            model_fn: model_fn(),
+            opt: SGDM,
+            dataset: Arc::new(BlobsDataset::new(46, 8, 3, 0.4)),
+            batch_size: 8,
+            microbatches: 4,
+            ckpt_interval: 3,
+            iters,
+            schedule: swift::pipeline::ScheduleKind::OneFOneB,
+            log_mode: LogMode::BubbleAsync,
+            log_precision: LogPrecision::F32,
+            crash: None,
+            faults,
+            parallel_recovery: 1,
+        })
+    };
+    let clean = run(None);
+    let chaotic = run(Some(FaultPlan::chaos(0xD15C1)));
+    for s in 0..3 {
+        assert!(
+            clean.states[s].bit_eq(&chaotic.states[s]),
+            "stage {s} diverged under message chaos"
+        );
+    }
+    let stats = chaotic.fault_stats.expect("injector stats");
+    assert!(stats.delayed > 0);
+}
+
+/// The data-parallel training loop used by the cascading-failure test:
+/// detection, acknowledgment, and recovery all run off the declared
+/// failure state — the only injector interaction is `note_iteration`
+/// (progress reporting for the scripted crash trigger).
+fn cascade_train(
+    ctx: &mut WorkerCtx,
+    w: &mut DpWorker,
+    iters: u64,
+) -> Result<ModelState, CommError> {
+    let group: Vec<Rank> = (0..4).collect();
+    let ds = BlobsDataset::new(33, 6, 3, 0.4);
+    loop {
+        if w.iteration >= iters {
+            return Ok(w.model.state());
+        }
+        ctx.note_iteration(w.iteration)?;
+        let b = ds.batch(w.iteration, 12);
+        let s = shard_batch(&b, ctx.rank(), 4);
+        match dp_train_step(ctx, w, &group, &s.x, &s.y, 1.0 / 12.0, None) {
+            Ok(_) => {}
+            Err(CommError::PeerFailed { .. }) => {
+                let epoch = failure_epoch(&ctx.kv);
+                ctx.kv.set(&format!("casc/ack/{epoch}/{}", ctx.rank()), "1");
+                replication_recover_supervised(ctx, w, &group, &SupervisorConfig::default())?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[test]
+fn cascading_failure_mid_recovery_converges() {
+    // Machine 1 dies via a crash trigger at iteration 3. While the
+    // survivors are mid-recovery (acked, inside the supervised fence),
+    // machine 2 is killed too — the cascade of paper Appendix B. The
+    // heartbeat detector declares it, every fence wait aborts, and the
+    // supervisor restarts recovery under the new epoch with both
+    // replacements. No production path consults injector ground truth;
+    // the driver itself waits on *declared* state.
+    let iters = 10u64;
+    let run = |cascade: bool| -> Vec<ModelState> {
+        let cluster = Cluster::new(Topology::uniform(4, 1));
+        let fc = cluster.failure_controller();
+        let kv = cluster.kv();
+        if cascade {
+            cluster.install_faults(FaultPlan::new(7).with_crash(CrashTrigger::AtIteration {
+                rank: 1,
+                iteration: 3,
+            }));
+            cluster.enable_heartbeats(HeartbeatConfig::default());
+        }
+        let mut handles = Vec::new();
+        for rank in 0..4usize {
+            handles.push(cluster.spawn(rank, move |mut ctx| {
+                let mut w = DpWorker::new(mlp("casc", &[6, 14, 3], 31), SGDM.build());
+                match cascade_train(&mut ctx, &mut w, iters) {
+                    Ok(state) => Some(state),
+                    Err(CommError::SelfKilled) => {
+                        // Fail-stop: the (simulated) process is gone. The
+                        // exit marker lets the driver sequence the respawn.
+                        ctx.kv.set(&format!("casc/dead/{}", ctx.rank()), "1");
+                        None
+                    }
+                    Err(e) => panic!("rank {}: {e}", ctx.rank()),
+                }
+            }));
+        }
+        let mut replacements = Vec::new();
+        if cascade {
+            let p = RetryPolicy::poll();
+            // First failure: declared, and every survivor acked under
+            // epoch 1 — so all of them are inside supervised recovery.
+            assert!(
+                p.wait_until(|| failure_state(&kv).1.contains(&1)),
+                "failure 1 undeclared"
+            );
+            for r in [0usize, 2, 3] {
+                assert!(
+                    p.wait_until(|| kv.get(&format!("casc/ack/1/{r}")).is_some()),
+                    "rank {r} never acked"
+                );
+            }
+            // The cascade: a second machine dies mid-recovery.
+            fc.kill_machine(2);
+            assert!(
+                p.wait_until(|| kv.get("casc/dead/2").is_some()),
+                "victim 2 never unwound"
+            );
+            assert!(
+                p.wait_until(|| failure_state(&kv).1.contains(&2)),
+                "cascade never declared (heartbeat detector)"
+            );
+            for mach in [1usize, 2] {
+                assert!(p.wait_until(|| kv.get(&format!("casc/dead/{mach}")).is_some()));
+                fc.replace_machine(mach);
+                let mut rctx = cluster.respawn(mach);
+                replacements.push(std::thread::spawn(move || {
+                    let (mut w, _report) = replication_join_supervised(
+                        &mut rctx,
+                        &|| mlp("casc", &[6, 14, 3], 31),
+                        &|| SGDM.build(),
+                        &[0, 1, 2, 3],
+                        &SupervisorConfig::default(),
+                    )
+                    .expect("replacement join failed");
+                    cascade_train(&mut rctx, &mut w, iters).expect("replacement training failed")
+                }));
+            }
+        }
+        let mut states: Vec<Option<ModelState>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (h, mach) in replacements.into_iter().zip([1usize, 2]) {
+            states[mach] = Some(h.join().unwrap());
+        }
+        cluster.stop_heartbeat_monitor();
+        states
+            .into_iter()
+            .map(|s| s.expect("missing state"))
+            .collect()
+    };
+    let clean = run(false);
+    let recovered = run(true);
+    for r in 1..4 {
+        assert!(
+            recovered[0].bit_eq(&recovered[r]),
+            "rank {r} diverged from rank 0 after cascading recovery"
+        );
+    }
+    for r in 0..4 {
+        let drift = clean[r].max_abs_diff(&recovered[r]);
+        assert!(drift < 1e-3, "rank {r} drift {drift} vs fault-free");
     }
 }
 
@@ -112,6 +331,7 @@ fn pipeline_random_parallel_recovery_tracks_sequential() {
             log_mode: LogMode::BubbleAsync,
             log_precision: LogPrecision::F32,
             crash,
+            faults: None,
             parallel_recovery: d,
         })
     };

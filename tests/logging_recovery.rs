@@ -17,7 +17,12 @@ const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
     dampening: 0.0,
 };
 
-fn scenario(crash: Option<(usize, u64)>, d: usize, log_mode: LogMode, iters: u64) -> swift::core::ScenarioResult {
+fn scenario(
+    crash: Option<(usize, u64)>,
+    d: usize,
+    log_mode: LogMode,
+    iters: u64,
+) -> swift::core::ScenarioResult {
     scenario_precision(crash, d, log_mode, iters, LogPrecision::F32)
 }
 
@@ -42,6 +47,7 @@ fn scenario_precision(
         log_mode,
         log_precision,
         crash,
+        faults: None,
         parallel_recovery: d,
     })
 }
@@ -57,10 +63,18 @@ fn middle_stage_recovery_is_bitwise_exact() {
         );
     }
     // The replacement recorded its recovery phases in order.
-    let phases: Vec<&str> = failed.recovery_trace.iter().map(|(p, _)| p.as_str()).collect();
+    let phases: Vec<&str> = failed
+        .recovery_trace
+        .iter()
+        .map(|(p, _)| p.as_str())
+        .collect();
     assert_eq!(
         phases,
-        ["checkpoint-loaded+consensus", "replay-done", "resume-fence-done"]
+        [
+            "checkpoint-loaded+consensus",
+            "replay-done",
+            "resume-fence-done"
+        ]
     );
     assert!(clean.recovery_trace.is_empty());
     // Phase timestamps are cumulative.
@@ -143,8 +157,7 @@ fn f16_logging_recovers_with_bounded_quantization_drift() {
     // early-training window on a noisy task), else the replayed updates
     // are no-ops and quantization is invisible.
     let hard = |crash, prec| {
-        let model_fn: swift::core::ModelFn =
-            Arc::new(|| mlp("plq", &[8, 24, 24, 6], 47));
+        let model_fn: swift::core::ModelFn = Arc::new(|| mlp("plq", &[8, 24, 24, 6], 47));
         run_pipeline_scenario(PipelineScenario {
             stages: 3,
             model_fn,
@@ -163,6 +176,7 @@ fn f16_logging_recovers_with_bounded_quantization_drift() {
             log_mode: LogMode::BubbleAsync,
             log_precision: prec,
             crash,
+            faults: None,
             parallel_recovery: 1,
         })
     };
@@ -201,6 +215,7 @@ fn gpipe_schedule_recovery_is_bitwise_exact() {
             log_mode: LogMode::BubbleAsync,
             log_precision: LogPrecision::F32,
             crash,
+            faults: None,
             parallel_recovery: 1,
         })
     };
@@ -220,7 +235,10 @@ fn adam_pipeline_recovery_is_bitwise_exact() {
         run_pipeline_scenario(PipelineScenario {
             stages: 3,
             model_fn,
-            opt: OptimizerKind::Adam { lr: 5e-3, weight_decay: 0.01 },
+            opt: OptimizerKind::Adam {
+                lr: 5e-3,
+                weight_decay: 0.01,
+            },
             dataset: Arc::new(BlobsDataset::new(9, 8, 3, 0.3)),
             batch_size: 8,
             microbatches: 4,
@@ -230,6 +248,7 @@ fn adam_pipeline_recovery_is_bitwise_exact() {
             log_mode: LogMode::BubbleAsync,
             log_precision: LogPrecision::F32,
             crash,
+            faults: None,
             parallel_recovery: 1,
         })
     };
@@ -248,8 +267,7 @@ fn transformer_with_dropout_recovers_bitwise() {
     // the identical masks and the recovered state is bitwise equal.
     use swift::dnn::models::vit_tiny;
     let run = |crash| {
-        let model_fn: swift::core::ModelFn =
-            Arc::new(|| vit_tiny("vt", 4, 6, 8, 3, 3, 0.1, 71));
+        let model_fn: swift::core::ModelFn = Arc::new(|| vit_tiny("vt", 4, 6, 8, 3, 3, 0.1, 71));
         run_pipeline_scenario(PipelineScenario {
             stages: 3,
             model_fn,
@@ -263,6 +281,7 @@ fn transformer_with_dropout_recovers_bitwise() {
             log_mode: LogMode::BubbleAsync,
             log_precision: LogPrecision::F32,
             crash,
+            faults: None,
             parallel_recovery: 1,
         })
     };

@@ -118,9 +118,19 @@ fn only_machine_crossing_edges_are_logged() {
         w.logger.flush();
         w.logger.store().list("wal/").unwrap()
     });
-    assert!(results[0].is_empty(), "0→1 is intra-machine: nothing logged");
-    assert!(results[3].is_empty(), "3 has no outbound inter-machine edge");
-    assert_eq!(results[1].len(), 12, "rank 1 logs activations 1→2 (3 iters × 4 µb)");
+    assert!(
+        results[0].is_empty(),
+        "0→1 is intra-machine: nothing logged"
+    );
+    assert!(
+        results[3].is_empty(),
+        "3 has no outbound inter-machine edge"
+    );
+    assert_eq!(
+        results[1].len(),
+        12,
+        "rank 1 logs activations 1→2 (3 iters × 4 µb)"
+    );
     assert!(results[1].iter().all(|k| k.contains("act_1to2")));
     assert_eq!(results[2].len(), 12, "rank 2 logs gradients 2→1");
     assert!(results[2].iter().all(|k| k.contains("grad_2to1")));
@@ -248,7 +258,14 @@ fn whole_machine_failure_joint_recovery_is_bitwise_exact() {
             };
             let reader = WalReader::new(w.global.blob().clone());
             pipeline_replay(
-                &mut rctx, &job, &role, &mut w.model, &mut *w.opt, &reader, &data, from,
+                &mut rctx,
+                &job,
+                &role,
+                &mut w.model,
+                &mut *w.opt,
+                &reader,
+                &data,
+                from,
                 consensus,
             )
             .unwrap();
@@ -270,6 +287,12 @@ fn whole_machine_failure_joint_recovery_is_bitwise_exact() {
     let s3 = repl.remove(0).join().unwrap();
     assert!(s0.bit_eq(&expect[0]), "stage 0");
     assert!(s1.bit_eq(&expect[1]), "stage 1");
-    assert!(s2.bit_eq(&expect[2]), "stage 2 (jointly recovered, inner edge live)");
-    assert!(s3.bit_eq(&expect[3]), "stage 3 (jointly recovered, inner edge live)");
+    assert!(
+        s2.bit_eq(&expect[2]),
+        "stage 2 (jointly recovered, inner edge live)"
+    );
+    assert!(
+        s3.bit_eq(&expect[3]),
+        "stage 3 (jointly recovered, inner edge live)"
+    );
 }

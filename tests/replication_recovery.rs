@@ -9,7 +9,11 @@ use swift::data::BlobsDataset;
 use swift::dnn::models::mlp;
 use swift::optim::OptimizerKind;
 
-fn scenario(opt: OptimizerKind, crash: Option<(usize, u64, usize)>, iters: u64) -> swift::core::ScenarioResult {
+fn scenario(
+    opt: OptimizerKind,
+    crash: Option<(usize, u64, usize)>,
+    iters: u64,
+) -> swift::core::ScenarioResult {
     let model_fn: ModelFn = Arc::new(|| mlp("it", &[6, 24, 3], 77));
     run_dp_scenario(DpScenario {
         machines: 2,
@@ -19,6 +23,7 @@ fn scenario(opt: OptimizerKind, crash: Option<(usize, u64, usize)>, iters: u64) 
         batch_size: 16,
         iters,
         crash,
+        faults: None,
     })
 }
 
@@ -43,7 +48,10 @@ fn recovered_run_matches_failure_free_trajectory() {
 
 #[test]
 fn recovery_works_with_adam() {
-    let opt = OptimizerKind::Adam { lr: 5e-3, weight_decay: 0.01 };
+    let opt = OptimizerKind::Adam {
+        lr: 5e-3,
+        weight_decay: 0.01,
+    };
     let clean = scenario(opt, None, 30);
     let failed = scenario(opt, Some((0, 15, 1)), 30);
     assert!(failed.states[0].bit_eq(&failed.states[1]));
@@ -70,7 +78,10 @@ fn crash_at_first_group_and_last_group() {
     // Edge positions of the crash window.
     for after_groups in [1usize, 4] {
         let failed = scenario(SGDM, Some((1, 10, after_groups)), 20);
-        assert!(failed.states[0].bit_eq(&failed.states[1]), "after_groups={after_groups}");
+        assert!(
+            failed.states[0].bit_eq(&failed.states[1]),
+            "after_groups={after_groups}"
+        );
     }
 }
 
@@ -79,7 +90,10 @@ fn losses_continue_decreasing_after_recovery() {
     let failed = scenario(SGDM, Some((1, 20, 2)), 60);
     let early: f32 = failed.losses[2..6].iter().sum::<f32>() / 4.0;
     let late: f32 = failed.losses[failed.losses.len() - 4..].iter().sum::<f32>() / 4.0;
-    assert!(late < early, "loss should keep decreasing: early {early} late {late}");
+    assert!(
+        late < early,
+        "loss should keep decreasing: early {early} late {late}"
+    );
 }
 
 #[test]
@@ -98,6 +112,7 @@ fn cnn_model_recovery_through_conv_layers() {
             batch_size: 8,
             iters: 10,
             crash,
+            faults: None,
         })
     };
     let clean = run(None);

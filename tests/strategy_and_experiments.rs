@@ -18,9 +18,15 @@ fn paper_models_route_to_the_paper_strategies() {
         };
         let strategy = select_strategy(shape);
         match model.family {
-            RecoveryFamily::Replication => assert_eq!(strategy, Strategy::Replication, "{}", model.name),
+            RecoveryFamily::Replication => {
+                assert_eq!(strategy, Strategy::Replication, "{}", model.name)
+            }
             RecoveryFamily::Logging => {
-                assert!(matches!(strategy, Strategy::Logging { .. }), "{}", model.name)
+                assert!(
+                    matches!(strategy, Strategy::Logging { .. }),
+                    "{}",
+                    model.name
+                )
             }
         }
     }
@@ -45,25 +51,72 @@ fn hypothetical_cnn_pipeline_falls_back_to_checkpointing() {
 fn experiment_harnesses_regenerate_reports() {
     type Check = (&'static str, fn() -> String, &'static str);
     let checks: &[Check] = &[
-        ("fig01", swift_bench::experiments::fig01_schedule, "bubble ratio"),
-        ("fig03", swift_bench::experiments::fig03_throughput_timeline, "checkfreq"),
-        ("table1", swift_bench::experiments::table1_operators, "AMSGrad"),
-        ("fig08a", swift_bench::experiments::fig08a_replication, "swift-replication"),
+        (
+            "fig01",
+            swift_bench::experiments::fig01_schedule,
+            "bubble ratio",
+        ),
+        (
+            "fig03",
+            swift_bench::experiments::fig03_throughput_timeline,
+            "checkfreq",
+        ),
+        (
+            "table1",
+            swift_bench::experiments::table1_operators,
+            "AMSGrad",
+        ),
+        (
+            "fig08a",
+            swift_bench::experiments::fig08a_replication,
+            "swift-replication",
+        ),
         ("fig08b", swift_bench::experiments::fig08b_vit, "ViT-128/32"),
         ("fig08c", swift_bench::experiments::fig08c_bert, "BERT-128"),
-        ("fig09", swift_bench::experiments::fig09_recovery_timeline, "recovery"),
-        ("table3", swift_bench::experiments::table3_logging_volume, "24.66"),
+        (
+            "fig09",
+            swift_bench::experiments::fig09_recovery_timeline,
+            "recovery",
+        ),
+        (
+            "table3",
+            swift_bench::experiments::table3_logging_volume,
+            "24.66",
+        ),
         ("fig10", swift_bench::experiments::fig10_tradeoff, "storage"),
-        ("table4", swift_bench::experiments::table4_workloads, "479.4"),
-        ("fig12", swift_bench::experiments::fig12_ckpt_freq, "interval"),
-        ("fig13", swift_bench::experiments::fig13_failure_freq, "MTBF"),
-        ("table6", swift_bench::experiments::table6_grouping_bert, "BERT-128"),
-        ("table7", swift_bench::experiments::table7_grouping_vit, "ViT-128/32"),
+        (
+            "table4",
+            swift_bench::experiments::table4_workloads,
+            "479.4",
+        ),
+        (
+            "fig12",
+            swift_bench::experiments::fig12_ckpt_freq,
+            "interval",
+        ),
+        (
+            "fig13",
+            swift_bench::experiments::fig13_failure_freq,
+            "MTBF",
+        ),
+        (
+            "table6",
+            swift_bench::experiments::table6_grouping_bert,
+            "BERT-128",
+        ),
+        (
+            "table7",
+            swift_bench::experiments::table7_grouping_vit,
+            "ViT-128/32",
+        ),
     ];
     for (name, f, needle) in checks {
         let report = f();
         assert!(report.len() > 100, "{name} report too short");
-        assert!(report.contains(needle), "{name} report missing '{needle}':\n{report}");
+        assert!(
+            report.contains(needle),
+            "{name} report missing '{needle}':\n{report}"
+        );
     }
 }
 
@@ -79,5 +132,8 @@ fn fig11_accuracy_experiment() {
     // The real-training Fig. 11 harness: both sub-experiments must report
     // matching accuracies and the pipeline states must be bit-identical.
     let report = swift_bench::experiments::fig11_accuracy();
-    assert!(report.contains("states bitwise identical: true"), "{report}");
+    assert!(
+        report.contains("states bitwise identical: true"),
+        "{report}"
+    );
 }
