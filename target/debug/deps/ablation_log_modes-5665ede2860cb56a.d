@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_log_modes-5665ede2860cb56a.d: crates/bench/src/bin/ablation_log_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_log_modes-5665ede2860cb56a.rmeta: crates/bench/src/bin/ablation_log_modes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_log_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_log_modes-734bc46d4bfa592d.d: crates/bench/src/bin/ablation_log_modes.rs
+
+/root/repo/target/debug/deps/ablation_log_modes-734bc46d4bfa592d: crates/bench/src/bin/ablation_log_modes.rs
+
+crates/bench/src/bin/ablation_log_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_log_modes-7c9a778413355104.d: crates/bench/src/bin/ablation_log_modes.rs
+
+/root/repo/target/debug/deps/ablation_log_modes-7c9a778413355104: crates/bench/src/bin/ablation_log_modes.rs
+
+crates/bench/src/bin/ablation_log_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_log_modes-8ee54b37d37dbfcb.d: crates/bench/src/bin/ablation_log_modes.rs
+
+/root/repo/target/debug/deps/ablation_log_modes-8ee54b37d37dbfcb: crates/bench/src/bin/ablation_log_modes.rs
+
+crates/bench/src/bin/ablation_log_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_log_modes-e29fe9a52108b9b3.d: crates/bench/src/bin/ablation_log_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_log_modes-e29fe9a52108b9b3.rmeta: crates/bench/src/bin/ablation_log_modes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_log_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-177218da7a79bdeb.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-177218da7a79bdeb: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

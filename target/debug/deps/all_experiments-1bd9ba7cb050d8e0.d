@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-1bd9ba7cb050d8e0.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-1bd9ba7cb050d8e0: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

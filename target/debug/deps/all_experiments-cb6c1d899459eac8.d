@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-cb6c1d899459eac8.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-cb6c1d899459eac8: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

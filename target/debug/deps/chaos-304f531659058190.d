@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-304f531659058190.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-304f531659058190: tests/chaos.rs
+
+tests/chaos.rs:

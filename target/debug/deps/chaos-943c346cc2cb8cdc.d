@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-943c346cc2cb8cdc.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-943c346cc2cb8cdc: tests/chaos.rs
+
+tests/chaos.rs:

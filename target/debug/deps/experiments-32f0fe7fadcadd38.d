@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-32f0fe7fadcadd38.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-32f0fe7fadcadd38: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_schedule-35fba130a4d27ff2.d: crates/bench/src/bin/fig01_schedule.rs
+
+/root/repo/target/debug/deps/fig01_schedule-35fba130a4d27ff2: crates/bench/src/bin/fig01_schedule.rs
+
+crates/bench/src/bin/fig01_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_schedule-45bab2abd06372a0.d: crates/bench/src/bin/fig01_schedule.rs
+
+/root/repo/target/debug/deps/fig01_schedule-45bab2abd06372a0: crates/bench/src/bin/fig01_schedule.rs
+
+crates/bench/src/bin/fig01_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_schedule-49a76422aacd1697.d: crates/bench/src/bin/fig01_schedule.rs
+
+/root/repo/target/debug/deps/fig01_schedule-49a76422aacd1697: crates/bench/src/bin/fig01_schedule.rs
+
+crates/bench/src/bin/fig01_schedule.rs:

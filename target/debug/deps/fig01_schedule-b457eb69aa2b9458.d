@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_schedule-b457eb69aa2b9458.d: crates/bench/src/bin/fig01_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_schedule-b457eb69aa2b9458.rmeta: crates/bench/src/bin/fig01_schedule.rs Cargo.toml
+
+crates/bench/src/bin/fig01_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

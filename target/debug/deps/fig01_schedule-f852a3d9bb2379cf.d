@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_schedule-f852a3d9bb2379cf.d: crates/bench/src/bin/fig01_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_schedule-f852a3d9bb2379cf.rmeta: crates/bench/src/bin/fig01_schedule.rs Cargo.toml
+
+crates/bench/src/bin/fig01_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

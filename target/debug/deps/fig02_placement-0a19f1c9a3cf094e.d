@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_placement-0a19f1c9a3cf094e.d: crates/bench/src/bin/fig02_placement.rs
+
+/root/repo/target/debug/deps/fig02_placement-0a19f1c9a3cf094e: crates/bench/src/bin/fig02_placement.rs
+
+crates/bench/src/bin/fig02_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_placement-1baece42e6c1b109.d: crates/bench/src/bin/fig02_placement.rs
+
+/root/repo/target/debug/deps/fig02_placement-1baece42e6c1b109: crates/bench/src/bin/fig02_placement.rs
+
+crates/bench/src/bin/fig02_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_placement-6785c6ba2f98d79e.d: crates/bench/src/bin/fig02_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_placement-6785c6ba2f98d79e.rmeta: crates/bench/src/bin/fig02_placement.rs Cargo.toml
+
+crates/bench/src/bin/fig02_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_placement-8410d0b03e64a5be.d: crates/bench/src/bin/fig02_placement.rs
+
+/root/repo/target/debug/deps/fig02_placement-8410d0b03e64a5be: crates/bench/src/bin/fig02_placement.rs
+
+crates/bench/src/bin/fig02_placement.rs:

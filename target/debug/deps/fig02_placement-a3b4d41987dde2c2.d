@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_placement-a3b4d41987dde2c2.d: crates/bench/src/bin/fig02_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_placement-a3b4d41987dde2c2.rmeta: crates/bench/src/bin/fig02_placement.rs Cargo.toml
+
+crates/bench/src/bin/fig02_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_throughput_timeline-665ecda7f0fc0d03.d: crates/bench/src/bin/fig03_throughput_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_throughput_timeline-665ecda7f0fc0d03.rmeta: crates/bench/src/bin/fig03_throughput_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig03_throughput_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

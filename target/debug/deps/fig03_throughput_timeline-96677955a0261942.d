@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_throughput_timeline-96677955a0261942.d: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+/root/repo/target/debug/deps/fig03_throughput_timeline-96677955a0261942: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+crates/bench/src/bin/fig03_throughput_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_throughput_timeline-e0c6d400bffb5488.d: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+/root/repo/target/debug/deps/fig03_throughput_timeline-e0c6d400bffb5488: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+crates/bench/src/bin/fig03_throughput_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_throughput_timeline-fd2c6c9b3a678574.d: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+/root/repo/target/debug/deps/fig03_throughput_timeline-fd2c6c9b3a678574: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+crates/bench/src/bin/fig03_throughput_timeline.rs:

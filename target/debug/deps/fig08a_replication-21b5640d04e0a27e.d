@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08a_replication-21b5640d04e0a27e.d: crates/bench/src/bin/fig08a_replication.rs
+
+/root/repo/target/debug/deps/fig08a_replication-21b5640d04e0a27e: crates/bench/src/bin/fig08a_replication.rs
+
+crates/bench/src/bin/fig08a_replication.rs:

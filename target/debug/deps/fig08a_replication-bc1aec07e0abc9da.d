@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08a_replication-bc1aec07e0abc9da.d: crates/bench/src/bin/fig08a_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08a_replication-bc1aec07e0abc9da.rmeta: crates/bench/src/bin/fig08a_replication.rs Cargo.toml
+
+crates/bench/src/bin/fig08a_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08a_replication-c2d3fcb55a0aa915.d: crates/bench/src/bin/fig08a_replication.rs
+
+/root/repo/target/debug/deps/fig08a_replication-c2d3fcb55a0aa915: crates/bench/src/bin/fig08a_replication.rs
+
+crates/bench/src/bin/fig08a_replication.rs:

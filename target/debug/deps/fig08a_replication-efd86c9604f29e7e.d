@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08a_replication-efd86c9604f29e7e.d: crates/bench/src/bin/fig08a_replication.rs
+
+/root/repo/target/debug/deps/fig08a_replication-efd86c9604f29e7e: crates/bench/src/bin/fig08a_replication.rs
+
+crates/bench/src/bin/fig08a_replication.rs:

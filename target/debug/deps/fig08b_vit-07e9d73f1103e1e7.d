@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08b_vit-07e9d73f1103e1e7.d: crates/bench/src/bin/fig08b_vit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08b_vit-07e9d73f1103e1e7.rmeta: crates/bench/src/bin/fig08b_vit.rs Cargo.toml
+
+crates/bench/src/bin/fig08b_vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08b_vit-2a4d27a6a597d144.d: crates/bench/src/bin/fig08b_vit.rs
+
+/root/repo/target/debug/deps/fig08b_vit-2a4d27a6a597d144: crates/bench/src/bin/fig08b_vit.rs
+
+crates/bench/src/bin/fig08b_vit.rs:

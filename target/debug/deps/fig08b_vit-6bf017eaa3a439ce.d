@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08b_vit-6bf017eaa3a439ce.d: crates/bench/src/bin/fig08b_vit.rs
+
+/root/repo/target/debug/deps/fig08b_vit-6bf017eaa3a439ce: crates/bench/src/bin/fig08b_vit.rs
+
+crates/bench/src/bin/fig08b_vit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08b_vit-efc99c4c3fa17de0.d: crates/bench/src/bin/fig08b_vit.rs
+
+/root/repo/target/debug/deps/fig08b_vit-efc99c4c3fa17de0: crates/bench/src/bin/fig08b_vit.rs
+
+crates/bench/src/bin/fig08b_vit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08c_bert-6490a921ea76bc65.d: crates/bench/src/bin/fig08c_bert.rs
+
+/root/repo/target/debug/deps/fig08c_bert-6490a921ea76bc65: crates/bench/src/bin/fig08c_bert.rs
+
+crates/bench/src/bin/fig08c_bert.rs:

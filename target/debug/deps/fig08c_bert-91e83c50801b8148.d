@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08c_bert-91e83c50801b8148.d: crates/bench/src/bin/fig08c_bert.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08c_bert-91e83c50801b8148.rmeta: crates/bench/src/bin/fig08c_bert.rs Cargo.toml
+
+crates/bench/src/bin/fig08c_bert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08c_bert-ce018c406d5aace4.d: crates/bench/src/bin/fig08c_bert.rs
+
+/root/repo/target/debug/deps/fig08c_bert-ce018c406d5aace4: crates/bench/src/bin/fig08c_bert.rs
+
+crates/bench/src/bin/fig08c_bert.rs:

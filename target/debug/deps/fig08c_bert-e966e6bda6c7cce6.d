@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08c_bert-e966e6bda6c7cce6.d: crates/bench/src/bin/fig08c_bert.rs
+
+/root/repo/target/debug/deps/fig08c_bert-e966e6bda6c7cce6: crates/bench/src/bin/fig08c_bert.rs
+
+crates/bench/src/bin/fig08c_bert.rs:

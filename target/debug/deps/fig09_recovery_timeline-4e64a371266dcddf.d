@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_recovery_timeline-4e64a371266dcddf.d: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+/root/repo/target/debug/deps/fig09_recovery_timeline-4e64a371266dcddf: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+crates/bench/src/bin/fig09_recovery_timeline.rs:

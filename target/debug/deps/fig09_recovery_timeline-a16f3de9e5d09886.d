@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_recovery_timeline-a16f3de9e5d09886.d: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+/root/repo/target/debug/deps/fig09_recovery_timeline-a16f3de9e5d09886: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+crates/bench/src/bin/fig09_recovery_timeline.rs:

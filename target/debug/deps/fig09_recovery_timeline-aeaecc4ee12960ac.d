@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_recovery_timeline-aeaecc4ee12960ac.d: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+/root/repo/target/debug/deps/fig09_recovery_timeline-aeaecc4ee12960ac: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+crates/bench/src/bin/fig09_recovery_timeline.rs:

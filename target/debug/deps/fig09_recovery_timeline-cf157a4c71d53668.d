@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_recovery_timeline-cf157a4c71d53668.d: crates/bench/src/bin/fig09_recovery_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_recovery_timeline-cf157a4c71d53668.rmeta: crates/bench/src/bin/fig09_recovery_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig09_recovery_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

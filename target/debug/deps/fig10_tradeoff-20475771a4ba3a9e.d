@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_tradeoff-20475771a4ba3a9e.d: crates/bench/src/bin/fig10_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_tradeoff-20475771a4ba3a9e.rmeta: crates/bench/src/bin/fig10_tradeoff.rs Cargo.toml
+
+crates/bench/src/bin/fig10_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff-3967f9773bf51c68.d: crates/bench/src/bin/fig10_tradeoff.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff-3967f9773bf51c68: crates/bench/src/bin/fig10_tradeoff.rs
+
+crates/bench/src/bin/fig10_tradeoff.rs:

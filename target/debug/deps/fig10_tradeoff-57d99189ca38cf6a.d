@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff-57d99189ca38cf6a.d: crates/bench/src/bin/fig10_tradeoff.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff-57d99189ca38cf6a: crates/bench/src/bin/fig10_tradeoff.rs
+
+crates/bench/src/bin/fig10_tradeoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_tradeoff-868fd2c07a4d830b.d: crates/bench/src/bin/fig10_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_tradeoff-868fd2c07a4d830b.rmeta: crates/bench/src/bin/fig10_tradeoff.rs Cargo.toml
+
+crates/bench/src/bin/fig10_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

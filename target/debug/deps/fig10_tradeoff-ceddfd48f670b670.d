@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff-ceddfd48f670b670.d: crates/bench/src/bin/fig10_tradeoff.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff-ceddfd48f670b670: crates/bench/src/bin/fig10_tradeoff.rs
+
+crates/bench/src/bin/fig10_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_accuracy-15735199d44bdff8.d: crates/bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_accuracy-15735199d44bdff8: crates/bench/src/bin/fig11_accuracy.rs
+
+crates/bench/src/bin/fig11_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_accuracy-2da2f33a612a8577.d: crates/bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_accuracy-2da2f33a612a8577: crates/bench/src/bin/fig11_accuracy.rs
+
+crates/bench/src/bin/fig11_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_accuracy-9fa3660c4796a66b.d: crates/bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_accuracy-9fa3660c4796a66b: crates/bench/src/bin/fig11_accuracy.rs
+
+crates/bench/src/bin/fig11_accuracy.rs:

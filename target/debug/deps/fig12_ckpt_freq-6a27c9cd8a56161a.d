@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_ckpt_freq-6a27c9cd8a56161a.d: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+/root/repo/target/debug/deps/fig12_ckpt_freq-6a27c9cd8a56161a: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+crates/bench/src/bin/fig12_ckpt_freq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_ckpt_freq-7b7c41280c8ed997.d: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+/root/repo/target/debug/deps/fig12_ckpt_freq-7b7c41280c8ed997: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+crates/bench/src/bin/fig12_ckpt_freq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_ckpt_freq-a0fef847441cdc78.d: crates/bench/src/bin/fig12_ckpt_freq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_ckpt_freq-a0fef847441cdc78.rmeta: crates/bench/src/bin/fig12_ckpt_freq.rs Cargo.toml
+
+crates/bench/src/bin/fig12_ckpt_freq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_ckpt_freq-f30fed61dab15915.d: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+/root/repo/target/debug/deps/fig12_ckpt_freq-f30fed61dab15915: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+crates/bench/src/bin/fig12_ckpt_freq.rs:

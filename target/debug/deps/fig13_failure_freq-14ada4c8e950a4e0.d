@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_failure_freq-14ada4c8e950a4e0.d: crates/bench/src/bin/fig13_failure_freq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_failure_freq-14ada4c8e950a4e0.rmeta: crates/bench/src/bin/fig13_failure_freq.rs Cargo.toml
+
+crates/bench/src/bin/fig13_failure_freq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_failure_freq-3cc059a00c38c4b4.d: crates/bench/src/bin/fig13_failure_freq.rs
+
+/root/repo/target/debug/deps/fig13_failure_freq-3cc059a00c38c4b4: crates/bench/src/bin/fig13_failure_freq.rs
+
+crates/bench/src/bin/fig13_failure_freq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_failure_freq-4490ba473c100650.d: crates/bench/src/bin/fig13_failure_freq.rs
+
+/root/repo/target/debug/deps/fig13_failure_freq-4490ba473c100650: crates/bench/src/bin/fig13_failure_freq.rs
+
+crates/bench/src/bin/fig13_failure_freq.rs:

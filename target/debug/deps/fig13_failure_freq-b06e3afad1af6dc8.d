@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_failure_freq-b06e3afad1af6dc8.d: crates/bench/src/bin/fig13_failure_freq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_failure_freq-b06e3afad1af6dc8.rmeta: crates/bench/src/bin/fig13_failure_freq.rs Cargo.toml
+
+crates/bench/src/bin/fig13_failure_freq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_failure_freq-b20675b2d3964e4d.d: crates/bench/src/bin/fig13_failure_freq.rs
+
+/root/repo/target/debug/deps/fig13_failure_freq-b20675b2d3964e4d: crates/bench/src/bin/fig13_failure_freq.rs
+
+crates/bench/src/bin/fig13_failure_freq.rs:

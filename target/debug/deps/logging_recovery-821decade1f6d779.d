@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/logging_recovery-821decade1f6d779.d: tests/logging_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblogging_recovery-821decade1f6d779.rmeta: tests/logging_recovery.rs Cargo.toml
+
+tests/logging_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

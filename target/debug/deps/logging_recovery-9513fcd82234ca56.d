@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/logging_recovery-9513fcd82234ca56.d: tests/logging_recovery.rs
+
+/root/repo/target/debug/deps/logging_recovery-9513fcd82234ca56: tests/logging_recovery.rs
+
+tests/logging_recovery.rs:

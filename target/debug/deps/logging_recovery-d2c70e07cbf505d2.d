@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/logging_recovery-d2c70e07cbf505d2.d: tests/logging_recovery.rs
+
+/root/repo/target/debug/deps/logging_recovery-d2c70e07cbf505d2: tests/logging_recovery.rs
+
+tests/logging_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_failure-0da57aa11e427335.d: tests/multi_failure.rs
+
+/root/repo/target/debug/deps/multi_failure-0da57aa11e427335: tests/multi_failure.rs
+
+tests/multi_failure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_failure-145f08ae0588072f.d: tests/multi_failure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_failure-145f08ae0588072f.rmeta: tests/multi_failure.rs Cargo.toml
+
+tests/multi_failure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

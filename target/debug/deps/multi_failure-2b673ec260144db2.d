@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_failure-2b673ec260144db2.d: tests/multi_failure.rs
+
+/root/repo/target/debug/deps/multi_failure-2b673ec260144db2: tests/multi_failure.rs
+
+tests/multi_failure.rs:

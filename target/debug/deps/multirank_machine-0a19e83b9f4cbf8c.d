@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multirank_machine-0a19e83b9f4cbf8c.d: tests/multirank_machine.rs
+
+/root/repo/target/debug/deps/multirank_machine-0a19e83b9f4cbf8c: tests/multirank_machine.rs
+
+tests/multirank_machine.rs:

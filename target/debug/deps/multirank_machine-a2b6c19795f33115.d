@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multirank_machine-a2b6c19795f33115.d: tests/multirank_machine.rs
+
+/root/repo/target/debug/deps/multirank_machine-a2b6c19795f33115: tests/multirank_machine.rs
+
+tests/multirank_machine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multirank_machine-ae4098a334fdd351.d: tests/multirank_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultirank_machine-ae4098a334fdd351.rmeta: tests/multirank_machine.rs Cargo.toml
+
+tests/multirank_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication_recovery-01ad958d54b19938.d: tests/replication_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication_recovery-01ad958d54b19938.rmeta: tests/replication_recovery.rs Cargo.toml
+
+tests/replication_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_recovery-c27ca94e72e8c284.d: tests/replication_recovery.rs
+
+/root/repo/target/debug/deps/replication_recovery-c27ca94e72e8c284: tests/replication_recovery.rs
+
+tests/replication_recovery.rs:

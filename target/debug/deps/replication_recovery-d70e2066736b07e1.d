@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_recovery-d70e2066736b07e1.d: tests/replication_recovery.rs
+
+/root/repo/target/debug/deps/replication_recovery-d70e2066736b07e1: tests/replication_recovery.rs
+
+tests/replication_recovery.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-0bddee0906c3dcc4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0bddee0906c3dcc4.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0bddee0906c3dcc4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

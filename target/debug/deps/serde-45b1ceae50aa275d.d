@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-45b1ceae50aa275d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-45b1ceae50aa275d: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

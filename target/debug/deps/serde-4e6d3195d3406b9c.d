@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4e6d3195d3406b9c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-4e6d3195d3406b9c: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-96fe558a20a7533d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-96fe558a20a7533d.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-96fe558a20a7533d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

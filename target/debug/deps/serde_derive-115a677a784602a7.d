@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-115a677a784602a7.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-115a677a784602a7: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-11f2f3004d59c9b3.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-11f2f3004d59c9b3.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-cb6d5f50e5ef6408.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-cb6d5f50e5ef6408.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

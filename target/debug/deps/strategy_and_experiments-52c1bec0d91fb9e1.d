@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_and_experiments-52c1bec0d91fb9e1.d: tests/strategy_and_experiments.rs
+
+/root/repo/target/debug/deps/strategy_and_experiments-52c1bec0d91fb9e1: tests/strategy_and_experiments.rs
+
+tests/strategy_and_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_and_experiments-94851ad085cb3f25.d: tests/strategy_and_experiments.rs
+
+/root/repo/target/debug/deps/strategy_and_experiments-94851ad085cb3f25: tests/strategy_and_experiments.rs
+
+tests/strategy_and_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_and_experiments-b9b1d5120c084ff3.d: tests/strategy_and_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_and_experiments-b9b1d5120c084ff3.rmeta: tests/strategy_and_experiments.rs Cargo.toml
+
+tests/strategy_and_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

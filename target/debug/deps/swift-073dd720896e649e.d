@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swift-073dd720896e649e.d: src/lib.rs
+
+/root/repo/target/debug/deps/swift-073dd720896e649e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift-290a9fae8d2cee0e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift-290a9fae8d2cee0e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

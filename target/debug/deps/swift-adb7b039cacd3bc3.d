@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swift-adb7b039cacd3bc3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswift-adb7b039cacd3bc3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswift-adb7b039cacd3bc3.rmeta: src/lib.rs
+
+src/lib.rs:

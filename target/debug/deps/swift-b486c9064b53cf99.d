@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swift-b486c9064b53cf99.d: src/lib.rs
+
+/root/repo/target/debug/deps/swift-b486c9064b53cf99: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift-c46942ba53ab48ac.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift-c46942ba53ab48ac.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swift-d14c2e9a4f64ea62.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswift-d14c2e9a4f64ea62.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswift-d14c2e9a4f64ea62.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/swift_bench-1756bf4c54c92aa7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/swift_bench-1756bf4c54c92aa7: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

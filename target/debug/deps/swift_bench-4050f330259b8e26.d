@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/swift_bench-4050f330259b8e26.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/swift_bench-4050f330259b8e26: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

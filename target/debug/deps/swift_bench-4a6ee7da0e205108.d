@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/swift_bench-4a6ee7da0e205108.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libswift_bench-4a6ee7da0e205108.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libswift_bench-4a6ee7da0e205108.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/swift_bench-e1b28ac3e61b388f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libswift_bench-e1b28ac3e61b388f.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libswift_bench-e1b28ac3e61b388f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift_ckpt-24780da6d6550c77.d: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/debug/deps/libswift_ckpt-24780da6d6550c77.rlib: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/debug/deps/libswift_ckpt-24780da6d6550c77.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/checkpoint.rs:
+crates/ckpt/src/strategy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swift_ckpt-262c69f40270f0cd.d: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_ckpt-262c69f40270f0cd.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs Cargo.toml
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/checkpoint.rs:
+crates/ckpt/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swift_ckpt-53ecc81dd77bb59f.d: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/debug/deps/swift_ckpt-53ecc81dd77bb59f: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/checkpoint.rs:
+crates/ckpt/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift_ckpt-5ed7d69f74e3b415.d: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/debug/deps/libswift_ckpt-5ed7d69f74e3b415.rlib: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/debug/deps/libswift_ckpt-5ed7d69f74e3b415.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/checkpoint.rs:
+crates/ckpt/src/strategy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swift_ckpt-ff97a035c7a72abd.d: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_ckpt-ff97a035c7a72abd.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs Cargo.toml
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/checkpoint.rs:
+crates/ckpt/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/swift_core-dc9f9f3facabeec8.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs
+
+/root/repo/target/debug/deps/libswift_core-dc9f9f3facabeec8.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs
+
+/root/repo/target/debug/deps/libswift_core-dc9f9f3facabeec8.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/consistency.rs:
+crates/core/src/elastic.rs:
+crates/core/src/fence.rs:
+crates/core/src/fsdp.rs:
+crates/core/src/pipeline_ft.rs:
+crates/core/src/plan.rs:
+crates/core/src/replication.rs:
+crates/core/src/scenario.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/tensor_parallel.rs:

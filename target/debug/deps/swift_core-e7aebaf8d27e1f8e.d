@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/swift_core-e7aebaf8d27e1f8e.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_core-e7aebaf8d27e1f8e.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/consistency.rs:
+crates/core/src/elastic.rs:
+crates/core/src/fence.rs:
+crates/core/src/fsdp.rs:
+crates/core/src/pipeline_ft.rs:
+crates/core/src/plan.rs:
+crates/core/src/replication.rs:
+crates/core/src/scenario.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/tensor_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/swift_core-f0042b5b0e1b8389.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs
+
+/root/repo/target/debug/deps/swift_core-f0042b5b0e1b8389: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/consistency.rs crates/core/src/elastic.rs crates/core/src/fence.rs crates/core/src/fsdp.rs crates/core/src/pipeline_ft.rs crates/core/src/plan.rs crates/core/src/replication.rs crates/core/src/scenario.rs crates/core/src/supervisor.rs crates/core/src/tensor_parallel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/consistency.rs:
+crates/core/src/elastic.rs:
+crates/core/src/fence.rs:
+crates/core/src/fsdp.rs:
+crates/core/src/pipeline_ft.rs:
+crates/core/src/plan.rs:
+crates/core/src/replication.rs:
+crates/core/src/scenario.rs:
+crates/core/src/supervisor.rs:
+crates/core/src/tensor_parallel.rs:

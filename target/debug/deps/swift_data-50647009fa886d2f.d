@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swift_data-50647009fa886d2f.d: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_data-50647009fa886d2f.rmeta: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/blobs.rs:
+crates/data/src/microbatch.rs:
+crates/data/src/tokens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swift_data-c01d5823c90b3f99.d: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/debug/deps/libswift_data-c01d5823c90b3f99.rlib: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/debug/deps/libswift_data-c01d5823c90b3f99.rmeta: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+crates/data/src/lib.rs:
+crates/data/src/blobs.rs:
+crates/data/src/microbatch.rs:
+crates/data/src/tokens.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/swift_data-d319f11c71efbd4a.d: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/debug/deps/swift_data-d319f11c71efbd4a: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+crates/data/src/lib.rs:
+crates/data/src/blobs.rs:
+crates/data/src/microbatch.rs:
+crates/data/src/tokens.rs:

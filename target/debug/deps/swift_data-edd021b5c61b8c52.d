@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swift_data-edd021b5c61b8c52.d: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/debug/deps/libswift_data-edd021b5c61b8c52.rlib: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/debug/deps/libswift_data-edd021b5c61b8c52.rmeta: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+crates/data/src/lib.rs:
+crates/data/src/blobs.rs:
+crates/data/src/microbatch.rs:
+crates/data/src/tokens.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/swift_dnn-d10f6064dec9c33f.d: crates/dnn/src/lib.rs crates/dnn/src/activation.rs crates/dnn/src/attention.rs crates/dnn/src/clip.rs crates/dnn/src/conv.rs crates/dnn/src/dropout.rs crates/dnn/src/embedding.rs crates/dnn/src/layer.rs crates/dnn/src/linear.rs crates/dnn/src/loss.rs crates/dnn/src/models.rs crates/dnn/src/norm.rs crates/dnn/src/profile.rs crates/dnn/src/sequential.rs crates/dnn/src/testutil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_dnn-d10f6064dec9c33f.rmeta: crates/dnn/src/lib.rs crates/dnn/src/activation.rs crates/dnn/src/attention.rs crates/dnn/src/clip.rs crates/dnn/src/conv.rs crates/dnn/src/dropout.rs crates/dnn/src/embedding.rs crates/dnn/src/layer.rs crates/dnn/src/linear.rs crates/dnn/src/loss.rs crates/dnn/src/models.rs crates/dnn/src/norm.rs crates/dnn/src/profile.rs crates/dnn/src/sequential.rs crates/dnn/src/testutil.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/activation.rs:
+crates/dnn/src/attention.rs:
+crates/dnn/src/clip.rs:
+crates/dnn/src/conv.rs:
+crates/dnn/src/dropout.rs:
+crates/dnn/src/embedding.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/linear.rs:
+crates/dnn/src/loss.rs:
+crates/dnn/src/models.rs:
+crates/dnn/src/norm.rs:
+crates/dnn/src/profile.rs:
+crates/dnn/src/sequential.rs:
+crates/dnn/src/testutil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

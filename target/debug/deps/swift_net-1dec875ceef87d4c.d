@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swift_net-1dec875ceef87d4c.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libswift_net-1dec875ceef87d4c.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libswift_net-1dec875ceef87d4c.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/comm.rs:
+crates/net/src/detector.rs:
+crates/net/src/failure.rs:
+crates/net/src/faults.rs:
+crates/net/src/kv.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:

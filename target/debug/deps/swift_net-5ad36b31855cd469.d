@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/swift_net-5ad36b31855cd469.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_net-5ad36b31855cd469.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/comm.rs:
+crates/net/src/detector.rs:
+crates/net/src/failure.rs:
+crates/net/src/faults.rs:
+crates/net/src/kv.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swift_net-76359fb30d7e8c10.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/swift_net-76359fb30d7e8c10: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/comm.rs:
+crates/net/src/detector.rs:
+crates/net/src/failure.rs:
+crates/net/src/faults.rs:
+crates/net/src/kv.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:

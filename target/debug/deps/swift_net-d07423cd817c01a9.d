@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swift_net-d07423cd817c01a9.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libswift_net-d07423cd817c01a9.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libswift_net-d07423cd817c01a9.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/comm.rs:
+crates/net/src/detector.rs:
+crates/net/src/failure.rs:
+crates/net/src/faults.rs:
+crates/net/src/kv.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:

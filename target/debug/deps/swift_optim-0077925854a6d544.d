@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swift_optim-0077925854a6d544.d: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_optim-0077925854a6d544.rmeta: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs Cargo.toml
+
+crates/optim/src/lib.rs:
+crates/optim/src/adam.rs:
+crates/optim/src/lamb.rs:
+crates/optim/src/ops.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/schedule.rs:
+crates/optim/src/sgd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

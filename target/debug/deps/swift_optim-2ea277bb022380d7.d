@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swift_optim-2ea277bb022380d7.d: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/debug/deps/libswift_optim-2ea277bb022380d7.rlib: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/debug/deps/libswift_optim-2ea277bb022380d7.rmeta: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+crates/optim/src/lib.rs:
+crates/optim/src/adam.rs:
+crates/optim/src/lamb.rs:
+crates/optim/src/ops.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/schedule.rs:
+crates/optim/src/sgd.rs:

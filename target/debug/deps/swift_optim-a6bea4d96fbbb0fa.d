@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swift_optim-a6bea4d96fbbb0fa.d: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/debug/deps/libswift_optim-a6bea4d96fbbb0fa.rlib: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/debug/deps/libswift_optim-a6bea4d96fbbb0fa.rmeta: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+crates/optim/src/lib.rs:
+crates/optim/src/adam.rs:
+crates/optim/src/lamb.rs:
+crates/optim/src/ops.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/schedule.rs:
+crates/optim/src/sgd.rs:

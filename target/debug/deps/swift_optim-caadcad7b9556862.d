@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swift_optim-caadcad7b9556862.d: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/debug/deps/swift_optim-caadcad7b9556862: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+crates/optim/src/lib.rs:
+crates/optim/src/adam.rs:
+crates/optim/src/lamb.rs:
+crates/optim/src/ops.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/schedule.rs:
+crates/optim/src/sgd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swift_pipeline-197508f2dec9c0a2.d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/debug/deps/swift_pipeline-197508f2dec9c0a2: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift_pipeline-5a7882073748ca3b.d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/debug/deps/libswift_pipeline-5a7882073748ca3b.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/debug/deps/libswift_pipeline-5a7882073748ca3b.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/schedule.rs:

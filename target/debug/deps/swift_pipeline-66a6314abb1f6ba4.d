@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift_pipeline-66a6314abb1f6ba4.d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/debug/deps/libswift_pipeline-66a6314abb1f6ba4.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/debug/deps/libswift_pipeline-66a6314abb1f6ba4.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/schedule.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swift_pipeline-a50ee28cee66a89d.d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/debug/deps/swift_pipeline-a50ee28cee66a89d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/schedule.rs:

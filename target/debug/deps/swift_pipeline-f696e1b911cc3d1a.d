@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swift_pipeline-f696e1b911cc3d1a.d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_pipeline-f696e1b911cc3d1a.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs Cargo.toml
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

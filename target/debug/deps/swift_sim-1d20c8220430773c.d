@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swift_sim-1d20c8220430773c.d: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/swift_sim-1d20c8220430773c: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/eventsim.rs:
+crates/sim/src/method.rs:
+crates/sim/src/recovery.rs:
+crates/sim/src/study.rs:
+crates/sim/src/throughput.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swift_sim-6413a82cd144e122.d: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/libswift_sim-6413a82cd144e122.rlib: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/libswift_sim-6413a82cd144e122.rmeta: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/eventsim.rs:
+crates/sim/src/method.rs:
+crates/sim/src/recovery.rs:
+crates/sim/src/study.rs:
+crates/sim/src/throughput.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swift_sim-bcac27d6307ca42f.d: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+/root/repo/target/debug/deps/swift_sim-bcac27d6307ca42f: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/eventsim.rs:
+crates/sim/src/method.rs:
+crates/sim/src/recovery.rs:
+crates/sim/src/study.rs:
+crates/sim/src/throughput.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swift_sim-c66f49d624dbcde3.d: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_sim-c66f49d624dbcde3.rmeta: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/eventsim.rs:
+crates/sim/src/method.rs:
+crates/sim/src/recovery.rs:
+crates/sim/src/study.rs:
+crates/sim/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

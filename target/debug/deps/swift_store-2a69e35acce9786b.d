@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swift_store-2a69e35acce9786b.d: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+/root/repo/target/debug/deps/libswift_store-2a69e35acce9786b.rlib: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+/root/repo/target/debug/deps/libswift_store-2a69e35acce9786b.rmeta: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+crates/store/src/lib.rs:
+crates/store/src/blob.rs:
+crates/store/src/global.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swift_store-cf774c0c09d547c1.d: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+/root/repo/target/debug/deps/swift_store-cf774c0c09d547c1: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+crates/store/src/lib.rs:
+crates/store/src/blob.rs:
+crates/store/src/global.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swift_store-e29c2aa4c6c52fe7.d: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_store-e29c2aa4c6c52fe7.rmeta: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/blob.rs:
+crates/store/src/global.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

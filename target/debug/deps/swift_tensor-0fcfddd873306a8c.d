@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swift_tensor-0fcfddd873306a8c.d: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_tensor-0fcfddd873306a8c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/half.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swift_tensor-214e80a640862333.d: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libswift_tensor-214e80a640862333.rlib: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libswift_tensor-214e80a640862333.rmeta: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/half.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

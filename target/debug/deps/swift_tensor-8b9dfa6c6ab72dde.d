@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swift_tensor-8b9dfa6c6ab72dde.d: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libswift_tensor-8b9dfa6c6ab72dde.rlib: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libswift_tensor-8b9dfa6c6ab72dde.rmeta: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/half.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swift_tensor-abdbdd13ed758927.d: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/swift_tensor-abdbdd13ed758927: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/half.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swift_wal-369553b41b23efb2.d: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+/root/repo/target/debug/deps/libswift_wal-369553b41b23efb2.rlib: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+/root/repo/target/debug/deps/libswift_wal-369553b41b23efb2.rmeta: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/grouping.rs:
+crates/wal/src/logger.rs:
+crates/wal/src/record.rs:
+crates/wal/src/replay.rs:
+crates/wal/src/usecase.rs:

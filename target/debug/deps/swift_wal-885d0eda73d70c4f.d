@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swift_wal-885d0eda73d70c4f.d: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswift_wal-885d0eda73d70c4f.rmeta: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/grouping.rs:
+crates/wal/src/logger.rs:
+crates/wal/src/record.rs:
+crates/wal/src/replay.rs:
+crates/wal/src/usecase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swift_wal-a8ed82199fcf58e9.d: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+/root/repo/target/debug/deps/swift_wal-a8ed82199fcf58e9: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/grouping.rs:
+crates/wal/src/logger.rs:
+crates/wal/src/record.rs:
+crates/wal/src/replay.rs:
+crates/wal/src/usecase.rs:

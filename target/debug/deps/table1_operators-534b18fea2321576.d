@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_operators-534b18fea2321576.d: crates/bench/src/bin/table1_operators.rs
+
+/root/repo/target/debug/deps/table1_operators-534b18fea2321576: crates/bench/src/bin/table1_operators.rs
+
+crates/bench/src/bin/table1_operators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_operators-b3c94fa2895fce19.d: crates/bench/src/bin/table1_operators.rs
+
+/root/repo/target/debug/deps/table1_operators-b3c94fa2895fce19: crates/bench/src/bin/table1_operators.rs
+
+crates/bench/src/bin/table1_operators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_operators-b573506a99225ea8.d: crates/bench/src/bin/table1_operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_operators-b573506a99225ea8.rmeta: crates/bench/src/bin/table1_operators.rs Cargo.toml
+
+crates/bench/src/bin/table1_operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_operators-c9dc82a0f4af3a96.d: crates/bench/src/bin/table1_operators.rs
+
+/root/repo/target/debug/deps/table1_operators-c9dc82a0f4af3a96: crates/bench/src/bin/table1_operators.rs
+
+crates/bench/src/bin/table1_operators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-0876290fad7013eb.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/table2_models-0876290fad7013eb: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-48cfd656da13831a.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/table2_models-48cfd656da13831a: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

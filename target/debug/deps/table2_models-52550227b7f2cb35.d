@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-52550227b7f2cb35.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/table2_models-52550227b7f2cb35: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

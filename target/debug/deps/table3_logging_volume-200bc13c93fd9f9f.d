@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_logging_volume-200bc13c93fd9f9f.d: crates/bench/src/bin/table3_logging_volume.rs
+
+/root/repo/target/debug/deps/table3_logging_volume-200bc13c93fd9f9f: crates/bench/src/bin/table3_logging_volume.rs
+
+crates/bench/src/bin/table3_logging_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_logging_volume-770320fd548fed78.d: crates/bench/src/bin/table3_logging_volume.rs
+
+/root/repo/target/debug/deps/table3_logging_volume-770320fd548fed78: crates/bench/src/bin/table3_logging_volume.rs
+
+crates/bench/src/bin/table3_logging_volume.rs:

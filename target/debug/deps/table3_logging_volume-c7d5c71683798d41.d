@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_logging_volume-c7d5c71683798d41.d: crates/bench/src/bin/table3_logging_volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_logging_volume-c7d5c71683798d41.rmeta: crates/bench/src/bin/table3_logging_volume.rs Cargo.toml
+
+crates/bench/src/bin/table3_logging_volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

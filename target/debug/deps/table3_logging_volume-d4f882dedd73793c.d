@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_logging_volume-d4f882dedd73793c.d: crates/bench/src/bin/table3_logging_volume.rs
+
+/root/repo/target/debug/deps/table3_logging_volume-d4f882dedd73793c: crates/bench/src/bin/table3_logging_volume.rs
+
+crates/bench/src/bin/table3_logging_volume.rs:

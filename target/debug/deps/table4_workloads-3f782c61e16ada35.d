@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_workloads-3f782c61e16ada35.d: crates/bench/src/bin/table4_workloads.rs
+
+/root/repo/target/debug/deps/table4_workloads-3f782c61e16ada35: crates/bench/src/bin/table4_workloads.rs
+
+crates/bench/src/bin/table4_workloads.rs:

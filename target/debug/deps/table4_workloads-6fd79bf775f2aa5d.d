@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_workloads-6fd79bf775f2aa5d.d: crates/bench/src/bin/table4_workloads.rs
+
+/root/repo/target/debug/deps/table4_workloads-6fd79bf775f2aa5d: crates/bench/src/bin/table4_workloads.rs
+
+crates/bench/src/bin/table4_workloads.rs:

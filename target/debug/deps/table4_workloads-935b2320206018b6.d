@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_workloads-935b2320206018b6.d: crates/bench/src/bin/table4_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_workloads-935b2320206018b6.rmeta: crates/bench/src/bin/table4_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table4_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_workloads-ca46b86a8e0a430c.d: crates/bench/src/bin/table4_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_workloads-ca46b86a8e0a430c.rmeta: crates/bench/src/bin/table4_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table4_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_workloads-d33556f5f3686677.d: crates/bench/src/bin/table4_workloads.rs
+
+/root/repo/target/debug/deps/table4_workloads-d33556f5f3686677: crates/bench/src/bin/table4_workloads.rs
+
+crates/bench/src/bin/table4_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_end_to_end-622dd631cbf11aa8.d: crates/bench/src/bin/table5_end_to_end.rs
+
+/root/repo/target/debug/deps/table5_end_to_end-622dd631cbf11aa8: crates/bench/src/bin/table5_end_to_end.rs
+
+crates/bench/src/bin/table5_end_to_end.rs:

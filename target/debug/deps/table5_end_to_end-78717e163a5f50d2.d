@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_end_to_end-78717e163a5f50d2.d: crates/bench/src/bin/table5_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_end_to_end-78717e163a5f50d2.rmeta: crates/bench/src/bin/table5_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/table5_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

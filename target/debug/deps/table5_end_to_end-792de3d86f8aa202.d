@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_end_to_end-792de3d86f8aa202.d: crates/bench/src/bin/table5_end_to_end.rs
+
+/root/repo/target/debug/deps/table5_end_to_end-792de3d86f8aa202: crates/bench/src/bin/table5_end_to_end.rs
+
+crates/bench/src/bin/table5_end_to_end.rs:

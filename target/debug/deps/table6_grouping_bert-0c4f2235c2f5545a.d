@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_grouping_bert-0c4f2235c2f5545a.d: crates/bench/src/bin/table6_grouping_bert.rs
+
+/root/repo/target/debug/deps/table6_grouping_bert-0c4f2235c2f5545a: crates/bench/src/bin/table6_grouping_bert.rs
+
+crates/bench/src/bin/table6_grouping_bert.rs:

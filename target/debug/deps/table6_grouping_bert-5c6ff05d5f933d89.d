@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_grouping_bert-5c6ff05d5f933d89.d: crates/bench/src/bin/table6_grouping_bert.rs
+
+/root/repo/target/debug/deps/table6_grouping_bert-5c6ff05d5f933d89: crates/bench/src/bin/table6_grouping_bert.rs
+
+crates/bench/src/bin/table6_grouping_bert.rs:

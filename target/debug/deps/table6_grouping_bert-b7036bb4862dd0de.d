@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_grouping_bert-b7036bb4862dd0de.d: crates/bench/src/bin/table6_grouping_bert.rs
+
+/root/repo/target/debug/deps/table6_grouping_bert-b7036bb4862dd0de: crates/bench/src/bin/table6_grouping_bert.rs
+
+crates/bench/src/bin/table6_grouping_bert.rs:

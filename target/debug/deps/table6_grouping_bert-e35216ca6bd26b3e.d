@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_grouping_bert-e35216ca6bd26b3e.d: crates/bench/src/bin/table6_grouping_bert.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_grouping_bert-e35216ca6bd26b3e.rmeta: crates/bench/src/bin/table6_grouping_bert.rs Cargo.toml
+
+crates/bench/src/bin/table6_grouping_bert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_grouping_bert-e7169723feb48e4c.d: crates/bench/src/bin/table6_grouping_bert.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_grouping_bert-e7169723feb48e4c.rmeta: crates/bench/src/bin/table6_grouping_bert.rs Cargo.toml
+
+crates/bench/src/bin/table6_grouping_bert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

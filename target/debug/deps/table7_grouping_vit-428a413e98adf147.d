@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_grouping_vit-428a413e98adf147.d: crates/bench/src/bin/table7_grouping_vit.rs
+
+/root/repo/target/debug/deps/table7_grouping_vit-428a413e98adf147: crates/bench/src/bin/table7_grouping_vit.rs
+
+crates/bench/src/bin/table7_grouping_vit.rs:

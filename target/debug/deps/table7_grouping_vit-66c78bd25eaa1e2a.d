@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_grouping_vit-66c78bd25eaa1e2a.d: crates/bench/src/bin/table7_grouping_vit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_grouping_vit-66c78bd25eaa1e2a.rmeta: crates/bench/src/bin/table7_grouping_vit.rs Cargo.toml
+
+crates/bench/src/bin/table7_grouping_vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_grouping_vit-ad74b289c930342d.d: crates/bench/src/bin/table7_grouping_vit.rs
+
+/root/repo/target/debug/deps/table7_grouping_vit-ad74b289c930342d: crates/bench/src/bin/table7_grouping_vit.rs
+
+crates/bench/src/bin/table7_grouping_vit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_grouping_vit-f36dbd2b39cb7a24.d: crates/bench/src/bin/table7_grouping_vit.rs
+
+/root/repo/target/debug/deps/table7_grouping_vit-f36dbd2b39cb7a24: crates/bench/src/bin/table7_grouping_vit.rs
+
+crates/bench/src/bin/table7_grouping_vit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_parallel_undo-29b82300208c6634.d: examples/data_parallel_undo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_parallel_undo-29b82300208c6634.rmeta: examples/data_parallel_undo.rs Cargo.toml
+
+examples/data_parallel_undo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

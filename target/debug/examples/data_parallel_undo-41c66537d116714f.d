@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_parallel_undo-41c66537d116714f.d: examples/data_parallel_undo.rs
+
+/root/repo/target/debug/examples/data_parallel_undo-41c66537d116714f: examples/data_parallel_undo.rs
+
+examples/data_parallel_undo.rs:

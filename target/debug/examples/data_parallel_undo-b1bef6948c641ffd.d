@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_parallel_undo-b1bef6948c641ffd.d: examples/data_parallel_undo.rs
+
+/root/repo/target/debug/examples/data_parallel_undo-b1bef6948c641ffd: examples/data_parallel_undo.rs
+
+examples/data_parallel_undo.rs:

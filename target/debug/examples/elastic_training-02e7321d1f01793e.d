@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/elastic_training-02e7321d1f01793e.d: examples/elastic_training.rs
+
+/root/repo/target/debug/examples/elastic_training-02e7321d1f01793e: examples/elastic_training.rs
+
+examples/elastic_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/elastic_training-251c2a3ed95685bc.d: examples/elastic_training.rs
+
+/root/repo/target/debug/examples/elastic_training-251c2a3ed95685bc: examples/elastic_training.rs
+
+examples/elastic_training.rs:

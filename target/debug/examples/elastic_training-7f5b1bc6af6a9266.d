@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/elastic_training-7f5b1bc6af6a9266.d: examples/elastic_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libelastic_training-7f5b1bc6af6a9266.rmeta: examples/elastic_training.rs Cargo.toml
+
+examples/elastic_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/end_to_end_sim-0a62149760b9d849.d: examples/end_to_end_sim.rs
+
+/root/repo/target/debug/examples/end_to_end_sim-0a62149760b9d849: examples/end_to_end_sim.rs
+
+examples/end_to_end_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/end_to_end_sim-2b48b30ea500c358.d: examples/end_to_end_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libend_to_end_sim-2b48b30ea500c358.rmeta: examples/end_to_end_sim.rs Cargo.toml
+
+examples/end_to_end_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/end_to_end_sim-c4839d5f6a830b0c.d: examples/end_to_end_sim.rs
+
+/root/repo/target/debug/examples/end_to_end_sim-c4839d5f6a830b0c: examples/end_to_end_sim.rs
+
+examples/end_to_end_sim.rs:

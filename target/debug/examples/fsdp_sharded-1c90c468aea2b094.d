@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_sharded-1c90c468aea2b094.d: examples/fsdp_sharded.rs
+
+/root/repo/target/debug/examples/fsdp_sharded-1c90c468aea2b094: examples/fsdp_sharded.rs
+
+examples/fsdp_sharded.rs:

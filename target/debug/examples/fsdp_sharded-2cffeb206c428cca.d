@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_sharded-2cffeb206c428cca.d: examples/fsdp_sharded.rs
+
+/root/repo/target/debug/examples/fsdp_sharded-2cffeb206c428cca: examples/fsdp_sharded.rs
+
+examples/fsdp_sharded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fsdp_sharded-894b0f65f01108b7.d: examples/fsdp_sharded.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfsdp_sharded-894b0f65f01108b7.rmeta: examples/fsdp_sharded.rs Cargo.toml
+
+examples/fsdp_sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_logging-506c1a421103545a.d: examples/pipeline_logging.rs
+
+/root/repo/target/debug/examples/pipeline_logging-506c1a421103545a: examples/pipeline_logging.rs
+
+examples/pipeline_logging.rs:

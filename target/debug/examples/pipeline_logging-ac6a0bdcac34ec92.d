@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_logging-ac6a0bdcac34ec92.d: examples/pipeline_logging.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_logging-ac6a0bdcac34ec92.rmeta: examples/pipeline_logging.rs Cargo.toml
+
+examples/pipeline_logging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_logging-f17dcde4c0a6a064.d: examples/pipeline_logging.rs
+
+/root/repo/target/debug/examples/pipeline_logging-f17dcde4c0a6a064: examples/pipeline_logging.rs
+
+examples/pipeline_logging.rs:

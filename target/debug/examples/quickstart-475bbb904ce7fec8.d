@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-475bbb904ce7fec8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-475bbb904ce7fec8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8d6ea03f3e8be322.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8d6ea03f3e8be322: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d8f05c96b0c6fab6.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d8f05c96b0c6fab6.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_logging_planner-5823b58768a2bd80.d: examples/selective_logging_planner.rs
+
+/root/repo/target/debug/examples/selective_logging_planner-5823b58768a2bd80: examples/selective_logging_planner.rs
+
+examples/selective_logging_planner.rs:

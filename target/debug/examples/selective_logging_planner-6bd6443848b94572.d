@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selective_logging_planner-6bd6443848b94572.d: examples/selective_logging_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselective_logging_planner-6bd6443848b94572.rmeta: examples/selective_logging_planner.rs Cargo.toml
+
+examples/selective_logging_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

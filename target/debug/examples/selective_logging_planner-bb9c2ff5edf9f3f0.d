@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_logging_planner-bb9c2ff5edf9f3f0.d: examples/selective_logging_planner.rs
+
+/root/repo/target/debug/examples/selective_logging_planner-bb9c2ff5edf9f3f0: examples/selective_logging_planner.rs
+
+examples/selective_logging_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_log_modes-7e2b560d2ae3ed45.d: crates/bench/src/bin/ablation_log_modes.rs
+
+/root/repo/target/release/deps/ablation_log_modes-7e2b560d2ae3ed45: crates/bench/src/bin/ablation_log_modes.rs
+
+crates/bench/src/bin/ablation_log_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-89c091716ab6de86.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-89c091716ab6de86: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

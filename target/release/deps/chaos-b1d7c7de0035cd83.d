@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-b1d7c7de0035cd83.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-b1d7c7de0035cd83: tests/chaos.rs
+
+tests/chaos.rs:

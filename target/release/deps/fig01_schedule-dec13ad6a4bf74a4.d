@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_schedule-dec13ad6a4bf74a4.d: crates/bench/src/bin/fig01_schedule.rs
+
+/root/repo/target/release/deps/fig01_schedule-dec13ad6a4bf74a4: crates/bench/src/bin/fig01_schedule.rs
+
+crates/bench/src/bin/fig01_schedule.rs:

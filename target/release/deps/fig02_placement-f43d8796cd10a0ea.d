@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_placement-f43d8796cd10a0ea.d: crates/bench/src/bin/fig02_placement.rs
+
+/root/repo/target/release/deps/fig02_placement-f43d8796cd10a0ea: crates/bench/src/bin/fig02_placement.rs
+
+crates/bench/src/bin/fig02_placement.rs:

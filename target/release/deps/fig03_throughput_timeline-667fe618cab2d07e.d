@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_throughput_timeline-667fe618cab2d07e.d: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+/root/repo/target/release/deps/fig03_throughput_timeline-667fe618cab2d07e: crates/bench/src/bin/fig03_throughput_timeline.rs
+
+crates/bench/src/bin/fig03_throughput_timeline.rs:

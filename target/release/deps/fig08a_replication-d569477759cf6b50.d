@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08a_replication-d569477759cf6b50.d: crates/bench/src/bin/fig08a_replication.rs
+
+/root/repo/target/release/deps/fig08a_replication-d569477759cf6b50: crates/bench/src/bin/fig08a_replication.rs
+
+crates/bench/src/bin/fig08a_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08b_vit-b4ef9be8013ecb2b.d: crates/bench/src/bin/fig08b_vit.rs
+
+/root/repo/target/release/deps/fig08b_vit-b4ef9be8013ecb2b: crates/bench/src/bin/fig08b_vit.rs
+
+crates/bench/src/bin/fig08b_vit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08c_bert-211ee6666528f456.d: crates/bench/src/bin/fig08c_bert.rs
+
+/root/repo/target/release/deps/fig08c_bert-211ee6666528f456: crates/bench/src/bin/fig08c_bert.rs
+
+crates/bench/src/bin/fig08c_bert.rs:

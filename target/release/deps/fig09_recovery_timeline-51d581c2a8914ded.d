@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_recovery_timeline-51d581c2a8914ded.d: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+/root/repo/target/release/deps/fig09_recovery_timeline-51d581c2a8914ded: crates/bench/src/bin/fig09_recovery_timeline.rs
+
+crates/bench/src/bin/fig09_recovery_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tradeoff-520d5b767ece0603.d: crates/bench/src/bin/fig10_tradeoff.rs
+
+/root/repo/target/release/deps/fig10_tradeoff-520d5b767ece0603: crates/bench/src/bin/fig10_tradeoff.rs
+
+crates/bench/src/bin/fig10_tradeoff.rs:

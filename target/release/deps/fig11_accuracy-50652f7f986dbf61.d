@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_accuracy-50652f7f986dbf61.d: crates/bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/release/deps/fig11_accuracy-50652f7f986dbf61: crates/bench/src/bin/fig11_accuracy.rs
+
+crates/bench/src/bin/fig11_accuracy.rs:

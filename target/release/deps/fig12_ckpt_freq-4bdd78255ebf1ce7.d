@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_ckpt_freq-4bdd78255ebf1ce7.d: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+/root/repo/target/release/deps/fig12_ckpt_freq-4bdd78255ebf1ce7: crates/bench/src/bin/fig12_ckpt_freq.rs
+
+crates/bench/src/bin/fig12_ckpt_freq.rs:

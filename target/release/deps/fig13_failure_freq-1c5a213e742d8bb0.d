@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_failure_freq-1c5a213e742d8bb0.d: crates/bench/src/bin/fig13_failure_freq.rs
+
+/root/repo/target/release/deps/fig13_failure_freq-1c5a213e742d8bb0: crates/bench/src/bin/fig13_failure_freq.rs
+
+crates/bench/src/bin/fig13_failure_freq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/logging_recovery-5f3ac6b8c3fffc5a.d: tests/logging_recovery.rs
+
+/root/repo/target/release/deps/logging_recovery-5f3ac6b8c3fffc5a: tests/logging_recovery.rs
+
+tests/logging_recovery.rs:

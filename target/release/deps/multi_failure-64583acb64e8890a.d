@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_failure-64583acb64e8890a.d: tests/multi_failure.rs
+
+/root/repo/target/release/deps/multi_failure-64583acb64e8890a: tests/multi_failure.rs
+
+tests/multi_failure.rs:

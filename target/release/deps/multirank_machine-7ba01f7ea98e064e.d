@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multirank_machine-7ba01f7ea98e064e.d: tests/multirank_machine.rs
+
+/root/repo/target/release/deps/multirank_machine-7ba01f7ea98e064e: tests/multirank_machine.rs
+
+tests/multirank_machine.rs:

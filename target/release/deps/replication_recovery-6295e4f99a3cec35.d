@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication_recovery-6295e4f99a3cec35.d: tests/replication_recovery.rs
+
+/root/repo/target/release/deps/replication_recovery-6295e4f99a3cec35: tests/replication_recovery.rs
+
+tests/replication_recovery.rs:

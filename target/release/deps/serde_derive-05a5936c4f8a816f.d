@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-05a5936c4f8a816f.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-05a5936c4f8a816f.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

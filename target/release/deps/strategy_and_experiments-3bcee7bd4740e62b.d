@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strategy_and_experiments-3bcee7bd4740e62b.d: tests/strategy_and_experiments.rs
+
+/root/repo/target/release/deps/strategy_and_experiments-3bcee7bd4740e62b: tests/strategy_and_experiments.rs
+
+tests/strategy_and_experiments.rs:

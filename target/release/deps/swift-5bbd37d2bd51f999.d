@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swift-5bbd37d2bd51f999.d: src/lib.rs
+
+/root/repo/target/release/deps/libswift-5bbd37d2bd51f999.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswift-5bbd37d2bd51f999.rmeta: src/lib.rs
+
+src/lib.rs:

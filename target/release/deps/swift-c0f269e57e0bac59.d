@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/swift-c0f269e57e0bac59.d: src/lib.rs
+
+/root/repo/target/release/deps/swift-c0f269e57e0bac59: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/swift_bench-cbdeac18abf00bef.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libswift_bench-cbdeac18abf00bef.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libswift_bench-cbdeac18abf00bef.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/swift_ckpt-63f3f03496884d6a.d: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/release/deps/libswift_ckpt-63f3f03496884d6a.rlib: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+/root/repo/target/release/deps/libswift_ckpt-63f3f03496884d6a.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/checkpoint.rs crates/ckpt/src/strategy.rs
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/checkpoint.rs:
+crates/ckpt/src/strategy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/swift_data-e0ddbaded0f805ae.d: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/release/deps/libswift_data-e0ddbaded0f805ae.rlib: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+/root/repo/target/release/deps/libswift_data-e0ddbaded0f805ae.rmeta: crates/data/src/lib.rs crates/data/src/blobs.rs crates/data/src/microbatch.rs crates/data/src/tokens.rs
+
+crates/data/src/lib.rs:
+crates/data/src/blobs.rs:
+crates/data/src/microbatch.rs:
+crates/data/src/tokens.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/swift_dnn-604384906521d719.d: crates/dnn/src/lib.rs crates/dnn/src/activation.rs crates/dnn/src/attention.rs crates/dnn/src/clip.rs crates/dnn/src/conv.rs crates/dnn/src/dropout.rs crates/dnn/src/embedding.rs crates/dnn/src/layer.rs crates/dnn/src/linear.rs crates/dnn/src/loss.rs crates/dnn/src/models.rs crates/dnn/src/norm.rs crates/dnn/src/profile.rs crates/dnn/src/sequential.rs crates/dnn/src/testutil.rs
+
+/root/repo/target/release/deps/libswift_dnn-604384906521d719.rlib: crates/dnn/src/lib.rs crates/dnn/src/activation.rs crates/dnn/src/attention.rs crates/dnn/src/clip.rs crates/dnn/src/conv.rs crates/dnn/src/dropout.rs crates/dnn/src/embedding.rs crates/dnn/src/layer.rs crates/dnn/src/linear.rs crates/dnn/src/loss.rs crates/dnn/src/models.rs crates/dnn/src/norm.rs crates/dnn/src/profile.rs crates/dnn/src/sequential.rs crates/dnn/src/testutil.rs
+
+/root/repo/target/release/deps/libswift_dnn-604384906521d719.rmeta: crates/dnn/src/lib.rs crates/dnn/src/activation.rs crates/dnn/src/attention.rs crates/dnn/src/clip.rs crates/dnn/src/conv.rs crates/dnn/src/dropout.rs crates/dnn/src/embedding.rs crates/dnn/src/layer.rs crates/dnn/src/linear.rs crates/dnn/src/loss.rs crates/dnn/src/models.rs crates/dnn/src/norm.rs crates/dnn/src/profile.rs crates/dnn/src/sequential.rs crates/dnn/src/testutil.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/activation.rs:
+crates/dnn/src/attention.rs:
+crates/dnn/src/clip.rs:
+crates/dnn/src/conv.rs:
+crates/dnn/src/dropout.rs:
+crates/dnn/src/embedding.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/linear.rs:
+crates/dnn/src/loss.rs:
+crates/dnn/src/models.rs:
+crates/dnn/src/norm.rs:
+crates/dnn/src/profile.rs:
+crates/dnn/src/sequential.rs:
+crates/dnn/src/testutil.rs:

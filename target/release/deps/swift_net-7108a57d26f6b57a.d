@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/swift_net-7108a57d26f6b57a.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libswift_net-7108a57d26f6b57a.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libswift_net-7108a57d26f6b57a.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/comm.rs crates/net/src/detector.rs crates/net/src/failure.rs crates/net/src/faults.rs crates/net/src/kv.rs crates/net/src/retry.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/comm.rs:
+crates/net/src/detector.rs:
+crates/net/src/failure.rs:
+crates/net/src/faults.rs:
+crates/net/src/kv.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:

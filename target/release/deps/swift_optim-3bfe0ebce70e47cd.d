@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/swift_optim-3bfe0ebce70e47cd.d: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/release/deps/libswift_optim-3bfe0ebce70e47cd.rlib: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+/root/repo/target/release/deps/libswift_optim-3bfe0ebce70e47cd.rmeta: crates/optim/src/lib.rs crates/optim/src/adam.rs crates/optim/src/lamb.rs crates/optim/src/ops.rs crates/optim/src/optimizer.rs crates/optim/src/schedule.rs crates/optim/src/sgd.rs
+
+crates/optim/src/lib.rs:
+crates/optim/src/adam.rs:
+crates/optim/src/lamb.rs:
+crates/optim/src/ops.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/schedule.rs:
+crates/optim/src/sgd.rs:

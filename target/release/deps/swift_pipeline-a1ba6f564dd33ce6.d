@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/swift_pipeline-a1ba6f564dd33ce6.d: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/release/deps/libswift_pipeline-a1ba6f564dd33ce6.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+/root/repo/target/release/deps/libswift_pipeline-a1ba6f564dd33ce6.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/executor.rs crates/pipeline/src/schedule.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/schedule.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swift_sim-01c076c927ef848a.d: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+/root/repo/target/release/deps/libswift_sim-01c076c927ef848a.rlib: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+/root/repo/target/release/deps/libswift_sim-01c076c927ef848a.rmeta: crates/sim/src/lib.rs crates/sim/src/eventsim.rs crates/sim/src/method.rs crates/sim/src/recovery.rs crates/sim/src/study.rs crates/sim/src/throughput.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/eventsim.rs:
+crates/sim/src/method.rs:
+crates/sim/src/recovery.rs:
+crates/sim/src/study.rs:
+crates/sim/src/throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/swift_store-11f72b3c55eed143.d: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+/root/repo/target/release/deps/libswift_store-11f72b3c55eed143.rlib: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+/root/repo/target/release/deps/libswift_store-11f72b3c55eed143.rmeta: crates/store/src/lib.rs crates/store/src/blob.rs crates/store/src/global.rs
+
+crates/store/src/lib.rs:
+crates/store/src/blob.rs:
+crates/store/src/global.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/swift_tensor-d12d5e9319300b57.d: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libswift_tensor-d12d5e9319300b57.rlib: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libswift_tensor-d12d5e9319300b57.rmeta: crates/tensor/src/lib.rs crates/tensor/src/half.rs crates/tensor/src/matmul.rs crates/tensor/src/rng.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/half.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swift_wal-d8e795b7c7fc4333.d: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+/root/repo/target/release/deps/libswift_wal-d8e795b7c7fc4333.rlib: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+/root/repo/target/release/deps/libswift_wal-d8e795b7c7fc4333.rmeta: crates/wal/src/lib.rs crates/wal/src/grouping.rs crates/wal/src/logger.rs crates/wal/src/record.rs crates/wal/src/replay.rs crates/wal/src/usecase.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/grouping.rs:
+crates/wal/src/logger.rs:
+crates/wal/src/record.rs:
+crates/wal/src/replay.rs:
+crates/wal/src/usecase.rs:

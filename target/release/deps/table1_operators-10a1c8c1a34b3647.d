@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_operators-10a1c8c1a34b3647.d: crates/bench/src/bin/table1_operators.rs
+
+/root/repo/target/release/deps/table1_operators-10a1c8c1a34b3647: crates/bench/src/bin/table1_operators.rs
+
+crates/bench/src/bin/table1_operators.rs:

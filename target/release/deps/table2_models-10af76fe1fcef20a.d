@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_models-10af76fe1fcef20a.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/release/deps/table2_models-10af76fe1fcef20a: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

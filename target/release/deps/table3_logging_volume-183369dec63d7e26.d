@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_logging_volume-183369dec63d7e26.d: crates/bench/src/bin/table3_logging_volume.rs
+
+/root/repo/target/release/deps/table3_logging_volume-183369dec63d7e26: crates/bench/src/bin/table3_logging_volume.rs
+
+crates/bench/src/bin/table3_logging_volume.rs:

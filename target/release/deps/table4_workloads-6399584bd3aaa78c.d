@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_workloads-6399584bd3aaa78c.d: crates/bench/src/bin/table4_workloads.rs
+
+/root/repo/target/release/deps/table4_workloads-6399584bd3aaa78c: crates/bench/src/bin/table4_workloads.rs
+
+crates/bench/src/bin/table4_workloads.rs:

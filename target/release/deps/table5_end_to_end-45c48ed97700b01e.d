@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_end_to_end-45c48ed97700b01e.d: crates/bench/src/bin/table5_end_to_end.rs
+
+/root/repo/target/release/deps/table5_end_to_end-45c48ed97700b01e: crates/bench/src/bin/table5_end_to_end.rs
+
+crates/bench/src/bin/table5_end_to_end.rs:

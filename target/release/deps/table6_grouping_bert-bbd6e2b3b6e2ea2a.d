@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_grouping_bert-bbd6e2b3b6e2ea2a.d: crates/bench/src/bin/table6_grouping_bert.rs
+
+/root/repo/target/release/deps/table6_grouping_bert-bbd6e2b3b6e2ea2a: crates/bench/src/bin/table6_grouping_bert.rs
+
+crates/bench/src/bin/table6_grouping_bert.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_grouping_vit-4e8e5bbeda27c1bf.d: crates/bench/src/bin/table7_grouping_vit.rs
+
+/root/repo/target/release/deps/table7_grouping_vit-4e8e5bbeda27c1bf: crates/bench/src/bin/table7_grouping_vit.rs
+
+crates/bench/src/bin/table7_grouping_vit.rs:

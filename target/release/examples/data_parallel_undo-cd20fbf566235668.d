@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/data_parallel_undo-cd20fbf566235668.d: examples/data_parallel_undo.rs
+
+/root/repo/target/release/examples/data_parallel_undo-cd20fbf566235668: examples/data_parallel_undo.rs
+
+examples/data_parallel_undo.rs:

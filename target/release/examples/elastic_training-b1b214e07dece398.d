@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/elastic_training-b1b214e07dece398.d: examples/elastic_training.rs
+
+/root/repo/target/release/examples/elastic_training-b1b214e07dece398: examples/elastic_training.rs
+
+examples/elastic_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/end_to_end_sim-e4d375a8df756669.d: examples/end_to_end_sim.rs
+
+/root/repo/target/release/examples/end_to_end_sim-e4d375a8df756669: examples/end_to_end_sim.rs
+
+examples/end_to_end_sim.rs:

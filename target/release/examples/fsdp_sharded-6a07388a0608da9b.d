@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fsdp_sharded-6a07388a0608da9b.d: examples/fsdp_sharded.rs
+
+/root/repo/target/release/examples/fsdp_sharded-6a07388a0608da9b: examples/fsdp_sharded.rs
+
+examples/fsdp_sharded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipeline_logging-a4339c6c7dc4be8e.d: examples/pipeline_logging.rs
+
+/root/repo/target/release/examples/pipeline_logging-a4339c6c7dc4be8e: examples/pipeline_logging.rs
+
+examples/pipeline_logging.rs:

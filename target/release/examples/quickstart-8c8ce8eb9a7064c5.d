@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8c8ce8eb9a7064c5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8c8ce8eb9a7064c5: examples/quickstart.rs
+
+examples/quickstart.rs:

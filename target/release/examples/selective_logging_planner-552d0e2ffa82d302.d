@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/selective_logging_planner-552d0e2ffa82d302.d: examples/selective_logging_planner.rs
+
+/root/repo/target/release/examples/selective_logging_planner-552d0e2ffa82d302: examples/selective_logging_planner.rs
+
+examples/selective_logging_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe-21e89d14fd6c5208.d: examples/verify_probe.rs
+
+/root/repo/target/release/examples/verify_probe-21e89d14fd6c5208: examples/verify_probe.rs
+
+examples/verify_probe.rs:

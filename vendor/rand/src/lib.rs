@@ -1,0 +1,37 @@
+//! Offline stand-in for the `rand` crate. The workspace does all its random
+//! generation through `swift-tensor`'s deterministic `CounterRng`; this
+//! placeholder exists only so dependency resolution succeeds in the hermetic
+//! container. A tiny seedable generator is provided for completeness.
+
+/// Minimal seedable generator (SplitMix64).
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

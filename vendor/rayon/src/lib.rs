@@ -1,0 +1,72 @@
+//! Offline stand-in for the `rayon` crate (hermetic container, no registry
+//! access). Exposes the `par_iter`/`par_chunks` surface this workspace uses
+//! but executes sequentially on the calling thread. The tensor kernels are
+//! written to be schedule-independent, so sequential execution changes
+//! nothing but wall-clock time.
+
+pub mod prelude {
+    /// Shared-slice half of the parallel-iterator surface.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// Mutable-slice half of the parallel-iterator surface.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_surface_matches_sequential() {
+        let mut v = vec![1, 2, 3, 4];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, [2, 4, 6, 8]);
+        let sums: Vec<i32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, [6, 14]);
+        let total: i32 = v.par_iter().sum();
+        assert_eq!(total, 20);
+        v.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c[0] += i as i32);
+        assert_eq!(v, [2, 4, 7, 8]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate (hermetic container, no registry
+//! access). This workspace hand-rolls its wire format (`swift-tensor`'s
+//! `serialize` module); the serde derives on `Tensor`/`Shape`/etc. exist
+//! only to mark types as serialization-safe. The traits here are therefore
+//! empty markers and the derive shim emits empty impls.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type has a stable, serializable representation.
+pub trait Serialize {}
+
+/// Marker: the type can be reconstructed from its serialized form.
+pub trait Deserialize<'de>: Sized {}
