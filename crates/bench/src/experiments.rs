@@ -925,7 +925,11 @@ pub fn ablation_log_modes() -> String {
             for _ in 0..30 {
                 match pipeline_train_iteration(&mut ctx, &job, &mut w, &data) {
                     Ok(_) => {}
-                    Err(CommError::SelfKilled | CommError::PeerFailed { .. }) => unreachable!(),
+                    Err(
+                        CommError::SelfKilled
+                        | CommError::PeerFailed { .. }
+                        | CommError::Protocol { .. },
+                    ) => unreachable!(),
                 }
             }
         });

@@ -98,7 +98,7 @@ impl CheckpointManager {
     pub fn save(&self, ckpt: &Checkpoint) -> std::io::Result<()> {
         let key = self.key(ckpt.iteration);
         self.store.put(&key, &ckpt.encode())?;
-        self.store.put(&self.latest_key(), key.as_bytes())
+        Ok(self.store.put(&self.latest_key(), key.as_bytes())?)
     }
 
     /// Persists a checkpoint as fixed-size chunks so upload/download can
@@ -108,7 +108,7 @@ impl CheckpointManager {
         let key = self.key(ckpt.iteration);
         let xfer = ChunkedTransfer::new(chunk_bytes);
         xfer.put_chunked(&self.store, &key, &ckpt.encode())?;
-        self.store.put(&self.latest_key(), key.as_bytes())
+        Ok(self.store.put(&self.latest_key(), key.as_bytes())?)
     }
 
     /// Loads the most recent checkpoint (whole-file or chunked), if any.

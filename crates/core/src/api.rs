@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use swift_data::Dataset;
-use swift_optim::OptimizerKind;
+use swift_optim::{chain_for, ChainError, OptimizerKind};
 use swift_pipeline::ScheduleKind;
 use swift_wal::{LogMode, LogPrecision};
 
@@ -39,6 +39,33 @@ pub enum Parallelism {
         microbatches: usize,
     },
 }
+
+/// Why a job configuration was rejected at plan-build time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// SWIFT's crash-consistency repair relies on update-undo (§4); an
+    /// optimizer whose update chain cannot be inverted symbolically would
+    /// fail at the *first* recovery, so it is rejected before training
+    /// starts.
+    NonInvertibleOptimizer {
+        /// What exactly cannot be inverted, from the symbolic derivation.
+        error: ChainError,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NonInvertibleOptimizer { error } => write!(
+                f,
+                "optimizer update is not undoable, so crash-consistency \
+                 repair (§4) would fail at first recovery: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A fault-tolerant training job. Build with [`SwiftJob::builder`].
 pub struct SwiftJob {
@@ -191,9 +218,17 @@ impl SwiftJobBuilder {
         self
     }
 
-    /// Finalizes the job.
-    pub fn build(self) -> SwiftJob {
-        self.job
+    /// Finalizes the job, statically validating the plan: the optimizer's
+    /// update chain must be symbolically invertible (undo derivable for
+    /// every op under its hyperparameters), because every recovery
+    /// strategy leans on update-undo for crash consistency (§4). AMSGrad
+    /// (running max) and AdamW with `η·λ ≥ 1` are rejected here, before
+    /// training starts, instead of failing at first undo.
+    pub fn build(self) -> Result<SwiftJob, PlanError> {
+        chain_for(&self.job.opt)
+            .derive_undo()
+            .map_err(|error| PlanError::NonInvertibleOptimizer { error })?;
+        Ok(self.job)
     }
 }
 
@@ -221,7 +256,8 @@ mod tests {
         let job = base()
             .parallelism(Parallelism::Data { machines: 2 })
             .batch_size(12)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(job.strategy(), Strategy::Replication);
         let clean = job.run(12, None);
         let failed = job.run(
@@ -245,7 +281,8 @@ mod tests {
             })
             .batch_size(8)
             .ckpt_interval(4)
-            .build();
+            .build()
+            .unwrap();
         assert!(matches!(job.strategy(), Strategy::Logging { .. }));
         let clean = job.run(10, None);
         let failed = job.run(
@@ -271,7 +308,8 @@ mod tests {
             .batch_size(8)
             .ckpt_interval(4)
             .parallel_recovery(2)
-            .build();
+            .build()
+            .unwrap();
         let clean = job.run(10, None);
         let failed = job.run(
             10,
@@ -287,5 +325,51 @@ mod tests {
                 "stage {s}"
             );
         }
+    }
+
+    fn with_opt(opt: OptimizerKind) -> SwiftJobBuilder {
+        SwiftJob::builder(
+            Arc::new(|| mlp("api", &[6, 16, 3], 11)),
+            opt,
+            Arc::new(BlobsDataset::new(3, 6, 3, 0.3)),
+        )
+    }
+
+    #[test]
+    fn build_rejects_amsgrad_statically() {
+        let err = with_opt(OptimizerKind::AmsGrad {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        })
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("AMSGrad"), "got: {msg}");
+        assert!(msg.contains("EW-max"), "got: {msg}");
+    }
+
+    #[test]
+    fn build_rejects_adamw_with_eta_lambda_ge_one() {
+        let err = with_opt(OptimizerKind::AdamW {
+            lr: 2.0,
+            weight_decay: 0.6,
+        })
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, PlanError::NonInvertibleOptimizer { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("η·λ"), "got: {msg}");
+    }
+
+    #[test]
+    fn build_accepts_adamw_with_small_decay() {
+        assert!(with_opt(OptimizerKind::AdamW {
+            lr: 1e-3,
+            weight_decay: 0.01,
+        })
+        .build()
+        .is_ok());
     }
 }

@@ -46,6 +46,7 @@ pub fn recovery_fence(
 ) -> Result<(), CommError> {
     let policy = RetryPolicy::poll();
     let me = ctx.rank();
+    ctx.comm.trace_mark("fence-enter");
     let (_, entry_dead) = failure_state(&ctx.kv);
     ctx.kv.set(
         &format!("fence/{generation}/seq/{me}"),
@@ -60,7 +61,10 @@ pub fn recovery_fence(
             &entry_dead,
             &policy,
         )?;
-        max_seq = max_seq.max(v.parse().expect("bad seq in kv"));
+        let seq: u64 = v.parse().map_err(|_| CommError::Protocol {
+            detail: format!("fence/{generation}/seq/{r}: unparsable sequence {v:?}"),
+        })?;
+        max_seq = max_seq.max(seq);
     }
     // Jump well past any sequence in use, synchronize to the declared
     // failure epoch (older-generation stragglers are fenced on receipt
@@ -82,6 +86,16 @@ pub fn recovery_fence(
         )?;
     }
     ctx.comm.barrier_among(participants)?;
+    // The exit mark happens-after the post-purge barrier, i.e. after every
+    // participant's purge — the invariant the race checker verifies. The
+    // label carries the participant set so the checker knows exactly whose
+    // purges this exit must dominate.
+    let plist = participants
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    ctx.comm.trace_mark(&format!("fence-exit:{plist}"));
     declare_recovered(&ctx.kv, &[me]);
     Ok(())
 }

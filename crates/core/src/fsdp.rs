@@ -574,6 +574,7 @@ mod tests {
                         ) {
                             Ok(_) => {}
                             Err(CommError::SelfKilled) => return None,
+                            Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
                             Err(CommError::PeerFailed { .. }) => {
                                 let gen = swift_net::failure_epoch(&ctx.kv);
                                 ctx.kv.set(&format!("fsdp/ack/{gen}/{}", ctx.rank()), "1");

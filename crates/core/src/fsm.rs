@@ -1,0 +1,214 @@
+//! The recovery state machine as data: a declarative transition table
+//! that both the supervisor (at runtime) and `swift-verify`'s FSM
+//! analyzer (statically, on every CI run) check against.
+//!
+//! PR 1 encoded the phase order — repair → fence → synchronize → rejoin,
+//! with failure-triggered restarts — implicitly in the per-strategy
+//! recovery closures. This module makes the legal transition graph
+//! explicit so the analyzer can prove, independently of any execution:
+//! every phase is reachable, terminal states have no exits, every
+//! non-terminal phase has a failure edge back to the restart state, and
+//! the only cycles run through backoff-bounded restart edges (so the
+//! supervisor's bounded-restart argument is structural, not incidental).
+
+use crate::supervisor::RecoveryPhase;
+
+/// A node of the recovery state machine: the four in-attempt phases plus
+/// the two ways an attempt sequence ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsmState {
+    /// An in-progress recovery phase.
+    Phase(RecoveryPhase),
+    /// Recovery completed; training resumes.
+    Done,
+    /// Recovery abandoned: the worker itself died (fail-stop) or the
+    /// restart budget was exhausted.
+    Aborted,
+}
+
+impl std::fmt::Display for FsmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsmState::Phase(p) => write!(f, "{p}"),
+            FsmState::Done => f.write_str("done"),
+            FsmState::Aborted => f.write_str("aborted"),
+        }
+    }
+}
+
+/// Why an edge is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Normal forward progress to the next phase of the attempt.
+    Advance,
+    /// The attempt finished; recovery is complete.
+    Complete,
+    /// A cascading failure aborted the attempt; the supervisor restarts
+    /// it. `backoff` marks edges rate-limited by the supervisor's
+    /// exponential backoff and restart budget — the property that bounds
+    /// every cycle in the graph.
+    Failure {
+        /// Whether the supervisor backs off (and counts the restart)
+        /// before taking this edge.
+        backoff: bool,
+    },
+    /// Terminal abandonment (self-kill or restart budget exhausted).
+    Abort,
+}
+
+/// One legal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: FsmState,
+    /// Destination state.
+    pub to: FsmState,
+    /// Why the edge is taken.
+    pub kind: EdgeKind,
+}
+
+/// A recovery state machine: states, entry/restart points, transitions.
+#[derive(Debug, Clone)]
+pub struct TransitionTable {
+    /// Human-readable name (for analyzer reports).
+    pub name: &'static str,
+    /// All states (the analyzer checks each is reachable).
+    pub states: Vec<FsmState>,
+    /// Where a fresh recovery begins.
+    pub start: FsmState,
+    /// Where failure edges must lead (attempts restart from the top).
+    pub restart: FsmState,
+    /// The legal transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl TransitionTable {
+    /// Outgoing transitions of `from`.
+    pub fn outgoing(&self, from: FsmState) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == from)
+    }
+
+    /// Whether `state` is terminal (no outgoing edges expected).
+    pub fn is_terminal(&self, state: FsmState) -> bool {
+        matches!(state, FsmState::Done | FsmState::Aborted)
+    }
+
+    /// Whether an attempt may move directly from phase `from` to phase
+    /// `to` (an `Advance` edge). Used by the runtime `PhaseTracker` to
+    /// reject transitions the static table does not license.
+    pub fn advance_allowed(&self, from: RecoveryPhase, to: RecoveryPhase) -> bool {
+        self.transitions.iter().any(|t| {
+            t.from == FsmState::Phase(from)
+                && t.to == FsmState::Phase(to)
+                && t.kind == EdgeKind::Advance
+        })
+    }
+
+    /// Whether `phase` is a legal first phase of an attempt: the start
+    /// phase itself, or any phase on the `Advance` chain from it
+    /// (strategies whose repair step is vacuous may enter at the fence).
+    pub fn entry_allowed(&self, phase: RecoveryPhase) -> bool {
+        let mut cur = self.start;
+        loop {
+            if cur == FsmState::Phase(phase) {
+                return true;
+            }
+            match self
+                .outgoing(cur)
+                .find(|t| t.kind == EdgeKind::Advance)
+                .map(|t| t.to)
+            {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// The SWIFT recovery state machine the supervisor implements: four
+/// phases advancing in order; completion from rejoin; a backoff-bounded
+/// failure edge from every phase back to the restart state (cascading
+/// failures, Appendix B); and an abort edge from every phase (fail-stop
+/// self-kill or exhausted restart budget).
+pub fn recovery_fsm() -> TransitionTable {
+    use EdgeKind::*;
+    use FsmState::*;
+    use RecoveryPhase::*;
+    let phases = [RepairConsistency, Fence, Synchronize, Rejoin];
+    let mut transitions = vec![
+        Transition {
+            from: Phase(RepairConsistency),
+            to: Phase(Fence),
+            kind: Advance,
+        },
+        Transition {
+            from: Phase(Fence),
+            to: Phase(Synchronize),
+            kind: Advance,
+        },
+        Transition {
+            from: Phase(Synchronize),
+            to: Phase(Rejoin),
+            kind: Advance,
+        },
+        Transition {
+            from: Phase(Rejoin),
+            to: Done,
+            kind: Complete,
+        },
+    ];
+    for p in phases {
+        transitions.push(Transition {
+            from: Phase(p),
+            to: Phase(RepairConsistency),
+            kind: Failure { backoff: true },
+        });
+        transitions.push(Transition {
+            from: Phase(p),
+            to: Aborted,
+            kind: Abort,
+        });
+    }
+    TransitionTable {
+        name: "swift-recovery",
+        states: phases
+            .into_iter()
+            .map(Phase)
+            .chain([Done, Aborted])
+            .collect(),
+        start: Phase(RepairConsistency),
+        restart: Phase(RepairConsistency),
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RecoveryPhase::*;
+
+    #[test]
+    fn advance_chain_is_the_phase_order() {
+        let t = recovery_fsm();
+        assert!(t.advance_allowed(RepairConsistency, Fence));
+        assert!(t.advance_allowed(Fence, Synchronize));
+        assert!(t.advance_allowed(Synchronize, Rejoin));
+        assert!(!t.advance_allowed(RepairConsistency, Rejoin));
+        assert!(!t.advance_allowed(Rejoin, Fence));
+    }
+
+    #[test]
+    fn any_phase_on_the_chain_may_begin_an_attempt() {
+        let t = recovery_fsm();
+        for p in [RepairConsistency, Fence, Synchronize, Rejoin] {
+            assert!(t.entry_allowed(p), "{p} must be a legal attempt entry");
+        }
+    }
+
+    #[test]
+    fn terminals_have_no_outgoing_edges() {
+        let t = recovery_fsm();
+        assert_eq!(t.outgoing(FsmState::Done).count(), 0);
+        assert_eq!(t.outgoing(FsmState::Aborted).count(), 0);
+    }
+}

@@ -8,6 +8,7 @@ pub mod consistency;
 pub mod elastic;
 pub mod fence;
 pub mod fsdp;
+pub mod fsm;
 pub mod pipeline_ft;
 pub mod plan;
 pub mod replication;
@@ -15,7 +16,7 @@ pub mod scenario;
 pub mod supervisor;
 pub mod tensor_parallel;
 
-pub use api::{JobCrash, Parallelism, SwiftJob, SwiftJobBuilder};
+pub use api::{JobCrash, Parallelism, PlanError, SwiftJob, SwiftJobBuilder};
 pub use config::{select_strategy, FtConfig, JobShape, Strategy};
 pub use consistency::{consensus_undo, repair_partial_update, UpdateTracker};
 pub use elastic::{
@@ -27,6 +28,7 @@ pub use fsdp::{
     free_unstored, fsdp_join, fsdp_join_supervised, fsdp_recover_supervised, fsdp_recover_survivor,
     fsdp_train_step, gather_full_params, FsdpWorker, ShardMap,
 };
+pub use fsm::{recovery_fsm, EdgeKind, FsmState, Transition, TransitionTable};
 pub use pipeline_ft::{
     pipeline_maybe_checkpoint, pipeline_on_failure_survivor, pipeline_replay,
     pipeline_train_iteration, DataSource, PipelineJob, PipelineWorker, RecoveryRole,

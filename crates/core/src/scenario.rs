@@ -186,6 +186,7 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
                     losses.push(loss * replicas.len() as f32);
                 }
                 Err(CommError::SelfKilled) => return (None, losses),
+                Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
                 Err(CommError::PeerFailed { .. }) => {
                     // Acknowledge detection under the *declared* failure
                     // epoch; the driver revives the machine only once every
@@ -441,6 +442,7 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
                         pipeline_maybe_checkpoint(&job, &mut w).unwrap();
                     }
                     Err(CommError::SelfKilled) => return (None, losses),
+                    Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
                     Err(CommError::PeerFailed { rank: failed_rank }) => {
                         // The failed machine's rank comes from the error
                         // (the detection paths declare before returning);

@@ -32,7 +32,7 @@ use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, Work
 
 /// The phases of one recovery attempt, in order. Used for reporting and
 /// assertions; the phase *logic* lives in the per-strategy closures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecoveryPhase {
     /// Local crash-consistency repair: undo any partially applied update
     /// (§4). Must be a no-op when re-entered after a completed undo.
@@ -62,19 +62,52 @@ impl std::fmt::Display for RecoveryPhase {
 /// Records which phase each attempt reached; handed to the attempt
 /// closure so phase entry is declared in one place and visible to tests
 /// and traces.
-#[derive(Debug, Default)]
+///
+/// Every entry is validated against the declarative transition table
+/// ([`crate::fsm::recovery_fsm`]): within an attempt, phases must follow
+/// the table's `Advance` edges, and an attempt may only begin at a phase
+/// on the advance chain. A violation is a protocol bug in the recovery
+/// closure and fails loudly.
+#[derive(Debug)]
 pub struct PhaseTracker {
     attempt: u32,
+    /// Last phase entered in the current attempt (reset per attempt).
+    current: Option<RecoveryPhase>,
+    table: crate::fsm::TransitionTable,
     log: Vec<(u32, RecoveryPhase)>,
+}
+
+impl Default for PhaseTracker {
+    fn default() -> Self {
+        PhaseTracker {
+            attempt: 0,
+            current: None,
+            table: crate::fsm::recovery_fsm(),
+            log: Vec::new(),
+        }
+    }
 }
 
 impl PhaseTracker {
     fn begin_attempt(&mut self, attempt: u32) {
         self.attempt = attempt;
+        self.current = None;
     }
 
-    /// Declares entry into `phase` for the current attempt.
+    /// Declares entry into `phase` for the current attempt, rejecting
+    /// transitions the static table does not license.
     pub fn enter(&mut self, phase: RecoveryPhase) {
+        match self.current {
+            None => assert!(
+                self.table.entry_allowed(phase),
+                "recovery FSM: attempt may not begin at phase {phase}"
+            ),
+            Some(prev) => assert!(
+                self.table.advance_allowed(prev, phase),
+                "recovery FSM: illegal transition {prev} -> {phase}"
+            ),
+        }
+        self.current = Some(phase);
         self.log.push((self.attempt, phase));
     }
 

@@ -12,6 +12,40 @@ use crate::failure::FailureController;
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::kv::KvStore;
 use crate::topology::{Rank, Topology};
+use crate::trace::Tracer;
+
+/// A cluster-lifecycle error (misuse of the launcher API), kept separate
+/// from [`CommError`] which reports *runtime* failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The context for a rank was requested twice without a respawn.
+    CtxAlreadyTaken {
+        /// The doubly-requested rank.
+        rank: Rank,
+    },
+    /// A rank outside the topology was named.
+    UnknownRank {
+        /// The out-of-range rank.
+        rank: Rank,
+        /// The world size it must be below.
+        world: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::CtxAlreadyTaken { rank } => {
+                write!(f, "context for rank {rank} already taken")
+            }
+            ClusterError::UnknownRank { rank, world } => {
+                write!(f, "rank {rank} outside world of size {world}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// Everything a worker thread needs.
 pub struct WorkerCtx {
@@ -125,6 +159,16 @@ impl Cluster {
         *self.monitor.lock() = None;
     }
 
+    /// Turns on protocol tracing: every subsequent send, delivery, epoch
+    /// bump and purge is recorded with vector clocks. Returns the tracer;
+    /// snapshot it after the run and feed the trace to `swift-verify`'s
+    /// race checker. Call before spawning workers for a complete trace.
+    pub fn enable_tracing(&self) -> Arc<Tracer> {
+        let tracer = Tracer::new(self.topology.world_size());
+        self.fabric.install_tracer(tracer.clone());
+        tracer
+    }
+
     /// The shared channel fabric.
     pub fn fabric(&self) -> Arc<Fabric> {
         self.fabric.clone()
@@ -146,13 +190,26 @@ impl Cluster {
         &self.topology
     }
 
+    /// Takes the worker context for `rank`, reporting misuse as a typed
+    /// error instead of panicking (each rank's context can be taken
+    /// exactly once; use [`Cluster::respawn`] for replacements).
+    pub fn try_take_ctx(&self, rank: Rank) -> Result<WorkerCtx, ClusterError> {
+        let mut pending = self.pending.lock();
+        let slot = pending.get_mut(rank).ok_or(ClusterError::UnknownRank {
+            rank,
+            world: self.topology.world_size(),
+        })?;
+        let comm = slot.take().ok_or(ClusterError::CtxAlreadyTaken { rank })?;
+        drop(pending);
+        Ok(self.make_ctx(comm))
+    }
+
     /// Takes the worker context for `rank` (exactly once per rank; use
-    /// [`Cluster::respawn`] for replacements).
+    /// [`Cluster::respawn`] for replacements). Panicking convenience
+    /// wrapper around [`Cluster::try_take_ctx`] for test drivers.
     pub fn take_ctx(&self, rank: Rank) -> WorkerCtx {
-        let comm = self.pending.lock()[rank]
-            .take()
-            .unwrap_or_else(|| panic!("context for rank {rank} already taken"));
-        self.make_ctx(comm)
+        self.try_take_ctx(rank)
+            .unwrap_or_else(|e| panic!("take_ctx: {e}"))
     }
 
     fn make_ctx(&self, comm: Comm) -> WorkerCtx {
@@ -227,6 +284,20 @@ mod tests {
     use super::*;
     use crate::comm::CommError;
     use swift_tensor::Tensor;
+
+    #[test]
+    fn try_take_ctx_reports_misuse_as_typed_errors() {
+        let cluster = Cluster::new(Topology::uniform(1, 2));
+        let _ctx0 = cluster.try_take_ctx(0).unwrap();
+        assert_eq!(
+            cluster.try_take_ctx(0).err(),
+            Some(ClusterError::CtxAlreadyTaken { rank: 0 })
+        );
+        assert_eq!(
+            cluster.try_take_ctx(5).err(),
+            Some(ClusterError::UnknownRank { rank: 5, world: 2 })
+        );
+    }
 
     #[test]
     fn p2p_send_recv() {

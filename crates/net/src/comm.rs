@@ -35,6 +35,7 @@ use crate::failure::FailureController;
 use crate::faults::{FaultInjector, SendFate};
 use crate::kv::KvStore;
 use crate::topology::Rank;
+use crate::trace::Tracer;
 
 /// Tag bit reserved for internal collective sequencing; user tags must
 /// leave it clear.
@@ -48,6 +49,9 @@ pub enum CommError {
     /// This rank itself was killed; the worker must unwind (its volatile
     /// state is considered lost).
     SelfKilled,
+    /// Shared coordination state was malformed (e.g. an unparsable value
+    /// in the key-value store) — a protocol bug, not a rank failure.
+    Protocol { detail: String },
 }
 
 impl std::fmt::Display for CommError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for CommError {
         match self {
             CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
             CommError::SelfKilled => write!(f, "this rank was killed"),
+            CommError::Protocol { detail } => write!(f, "protocol error: {detail}"),
         }
     }
 }
@@ -74,6 +79,8 @@ struct Message {
     /// Earliest delivery time (injected delay; `now` when fault-free).
     deliver_at: Instant,
     payload: Bytes,
+    /// Sender's vector clock at send time (tracing enabled only).
+    vc: Option<Arc<Vec<u64>>>,
 }
 
 /// Sender-side stream state for one `(src, dst)` link. Lives in the
@@ -116,6 +123,8 @@ pub struct Fabric {
     links: Mutex<HashMap<(Rank, Rank), LinkState>>,
     /// Optional fault injector (the adversary).
     injector: RwLock<Option<Arc<FaultInjector>>>,
+    /// Optional protocol tracer (the observer for `swift-verify`).
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl Fabric {
@@ -128,6 +137,18 @@ impl Fabric {
     /// The installed injector, if any.
     pub fn injector(&self) -> Option<Arc<FaultInjector>> {
         self.injector.read().clone()
+    }
+
+    /// Installs a protocol tracer; all subsequent sends, deliveries,
+    /// epoch bumps and purges are recorded with vector clocks. Install
+    /// before spawning workers for a complete trace.
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.read().clone()
     }
 
     /// Whether `rank`'s link is up (the observable liveness signal).
@@ -177,6 +198,11 @@ impl Fabric {
             }
             (fate.copies, tag_seq)
         };
+        let vc = self
+            .tracer
+            .read()
+            .as_ref()
+            .map(|t| Arc::new(t.on_send(src, dst, tag, tag_seq, generation)));
         let sender = self.senders.read()[dst].clone();
         let now = Instant::now();
         for delay in copies {
@@ -187,6 +213,7 @@ impl Fabric {
                 generation,
                 deliver_at: now + delay,
                 payload: payload.clone(),
+                vc: vc.clone(),
             };
             if sender.send(msg).is_err() {
                 return Transmit::PeerGone;
@@ -266,6 +293,7 @@ pub fn build_comms(
         link_up: (0..world).map(|_| AtomicBool::new(true)).collect(),
         links: Mutex::new(HashMap::new()),
         injector: RwLock::new(None),
+        tracer: RwLock::new(None),
     });
     {
         let fabric = fabric.clone();
@@ -436,6 +464,17 @@ impl Comm {
         self.expected.insert((m.src, m.tag), m.tag_seq + 1);
         self.bytes_received
             .fetch_add(m.payload.len() as u64, Ordering::Relaxed);
+        if let Some(t) = self.fabric.tracer() {
+            t.on_deliver(
+                self.rank,
+                m.src,
+                m.tag,
+                m.tag_seq,
+                m.generation,
+                self.generation.load(Ordering::SeqCst),
+                m.vc.as_deref().map(Vec::as_slice).unwrap_or(&[]),
+            );
+        }
         if let Some(inj) = self.fabric.injector() {
             if inj.on_delivery(self.rank) {
                 return Err(CommError::SelfKilled);
@@ -582,6 +621,9 @@ impl Comm {
         while let Ok(m) = self.inbox.try_recv() {
             discard(&mut self.expected, m);
         }
+        if let Some(t) = self.fabric.tracer() {
+            t.on_purge(self.rank, self.generation.load(Ordering::SeqCst));
+        }
     }
 
     /// The failure generation (epoch) this communicator is synchronized
@@ -594,7 +636,21 @@ impl Comm {
     /// (recovery fence only). Inbound traffic stamped with an older
     /// generation is fenced on receipt.
     pub fn set_generation(&self, g: u64) {
-        self.generation.store(g, Ordering::SeqCst);
+        let from = self.generation.swap(g, Ordering::SeqCst);
+        if from != g {
+            if let Some(t) = self.fabric.tracer() {
+                t.on_epoch_bump(self.rank, from, g);
+            }
+        }
+    }
+
+    /// Records a protocol milestone in the trace (no-op unless tracing is
+    /// enabled). Used by the recovery fence to mark entry and exit so the
+    /// race checker can anchor its happens-before invariants.
+    pub fn trace_mark(&self, label: &str) {
+        if let Some(t) = self.fabric.tracer() {
+            t.mark(self.rank, label, self.generation.load(Ordering::SeqCst));
+        }
     }
 
     /// Barrier among `participants` (must be called by all of them, in the

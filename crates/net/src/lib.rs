@@ -40,8 +40,9 @@ pub mod faults;
 pub mod kv;
 pub mod retry;
 pub mod topology;
+pub mod trace;
 
-pub use cluster::{Cluster, WorkerCtx};
+pub use cluster::{Cluster, ClusterError, WorkerCtx};
 pub use comm::{build_comms, respawn_comm, Comm, CommError, Fabric, COLLECTIVE_BIT};
 pub use detector::{
     declare_failed, declare_recovered, failure_epoch, failure_state, Heartbeat, HeartbeatConfig,
@@ -52,3 +53,4 @@ pub use faults::{CrashTrigger, FaultInjector, FaultPlan, FaultStatsSnapshot, Sen
 pub use kv::KvStore;
 pub use retry::RetryPolicy;
 pub use topology::{MachineId, Rank, Topology};
+pub use trace::{vc_join, vc_le, EventKind, Trace, TraceEvent, Tracer, VectorClock};

@@ -1,0 +1,274 @@
+//! Deterministic event tracing with vector clocks for the recovery
+//! protocol's happens-before analysis.
+//!
+//! When a [`Tracer`] is installed on the fabric, every protocol-relevant
+//! action — message send, in-order delivery, failure-epoch bump, queue
+//! purge, and explicit protocol marks (fence enter/exit) — is recorded as
+//! a [`TraceEvent`] stamped with the acting rank's vector clock. Sends
+//! also stamp the clock *onto the message*, and deliveries join it into
+//! the receiver's clock, so the trace carries the full happens-before
+//! partial order of the execution.
+//!
+//! The tracer, not the per-rank communicator, owns the clocks: a
+//! replacement worker respawned under a failed rank transparently
+//! *continues* that rank's clock, keeping per-rank event sequences
+//! monotone across respawns.
+//!
+//! Traces are consumed by `swift-verify`'s race/fence checker, which
+//! replays them and flags generation-fencing violations (§5): stale-epoch
+//! deliveries, receives concurrent with an epoch bump, and fence exits
+//! that do not happen-after every participant's purge.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::topology::Rank;
+
+/// A vector clock over `world` ranks.
+pub type VectorClock = Vec<u64>;
+
+/// Joins `other` into `clock` (element-wise max).
+pub fn vc_join(clock: &mut VectorClock, other: &[u64]) {
+    for (c, o) in clock.iter_mut().zip(other.iter()) {
+        *c = (*c).max(*o);
+    }
+}
+
+/// Whether `a` happened-before-or-equals `b` (`a ≤ b` component-wise).
+pub fn vc_le(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message was pushed onto the fabric.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Stream tag.
+        tag: u64,
+        /// Position in the `(src, dst, tag)` stream.
+        tag_seq: u64,
+        /// Sender's failure generation stamped on the message.
+        gen: u64,
+    },
+    /// A message was matched and consumed by a receive.
+    Deliver {
+        /// Source rank.
+        src: Rank,
+        /// Stream tag.
+        tag: u64,
+        /// Stream position consumed.
+        tag_seq: u64,
+        /// Generation stamped on the message at send time.
+        msg_gen: u64,
+        /// The receiver's generation at delivery time.
+        recv_gen: u64,
+        /// The sender's vector clock at send time (empty if the message
+        /// was sent before tracing was enabled).
+        send_vc: VectorClock,
+    },
+    /// The rank synchronized its failure generation (recovery fence).
+    EpochBump {
+        /// Previous generation.
+        from: u64,
+        /// New generation.
+        to: u64,
+    },
+    /// The rank discarded all buffered inbound traffic.
+    Purge {
+        /// Generation at purge time.
+        gen: u64,
+    },
+    /// A protocol milestone (e.g. `fence-enter` / `fence-exit`).
+    Mark {
+        /// Milestone label.
+        label: String,
+        /// Generation at mark time.
+        gen: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Acting rank.
+    pub rank: Rank,
+    /// The rank's local event sequence (its own clock component after
+    /// this event) — totally orders each rank's events.
+    pub lseq: u64,
+    /// The rank's vector clock after this event.
+    pub vc: VectorClock,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A complete recorded execution.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// World size (vector-clock width).
+    pub world: usize,
+    /// Events in recording order. Per-rank order is deterministic
+    /// (`lseq`); cross-rank order is only the happens-before partial
+    /// order carried by the clocks.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events of one rank, in local order.
+    pub fn rank_events(&self, rank: Rank) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+}
+
+struct Inner {
+    clocks: Vec<VectorClock>,
+    events: Vec<TraceEvent>,
+}
+
+/// Collects [`TraceEvent`]s and owns the per-rank vector clocks.
+pub struct Tracer {
+    world: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Tracer {
+    /// A tracer for a `world`-rank job.
+    pub fn new(world: usize) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            world,
+            inner: Mutex::new(Inner {
+                clocks: vec![vec![0; world]; world],
+                events: Vec::new(),
+            }),
+        })
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    fn record(inner: &mut Inner, rank: Rank, kind: EventKind) {
+        inner.clocks[rank][rank] += 1;
+        let vc = inner.clocks[rank].clone();
+        let lseq = vc[rank];
+        inner.events.push(TraceEvent {
+            rank,
+            lseq,
+            vc,
+            kind,
+        });
+    }
+
+    /// Records a send and returns the clock to stamp on the message.
+    pub fn on_send(&self, src: Rank, dst: Rank, tag: u64, tag_seq: u64, gen: u64) -> VectorClock {
+        let mut inner = self.inner.lock();
+        Self::record(
+            &mut inner,
+            src,
+            EventKind::Send {
+                dst,
+                tag,
+                tag_seq,
+                gen,
+            },
+        );
+        inner.clocks[src].clone()
+    }
+
+    /// Records an in-order delivery, joining the message's send-time
+    /// clock into the receiver's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_deliver(
+        &self,
+        dst: Rank,
+        src: Rank,
+        tag: u64,
+        tag_seq: u64,
+        msg_gen: u64,
+        recv_gen: u64,
+        send_vc: &[u64],
+    ) {
+        let mut inner = self.inner.lock();
+        vc_join(&mut inner.clocks[dst], send_vc);
+        Self::record(
+            &mut inner,
+            dst,
+            EventKind::Deliver {
+                src,
+                tag,
+                tag_seq,
+                msg_gen,
+                recv_gen,
+                send_vc: send_vc.to_vec(),
+            },
+        );
+    }
+
+    /// Records a failure-generation bump.
+    pub fn on_epoch_bump(&self, rank: Rank, from: u64, to: u64) {
+        let mut inner = self.inner.lock();
+        Self::record(&mut inner, rank, EventKind::EpochBump { from, to });
+    }
+
+    /// Records an inbound-queue purge.
+    pub fn on_purge(&self, rank: Rank, gen: u64) {
+        let mut inner = self.inner.lock();
+        Self::record(&mut inner, rank, EventKind::Purge { gen });
+    }
+
+    /// Records a protocol milestone.
+    pub fn mark(&self, rank: Rank, label: &str, gen: u64) {
+        let mut inner = self.inner.lock();
+        Self::record(
+            &mut inner,
+            rank,
+            EventKind::Mark {
+                label: label.to_string(),
+                gen,
+            },
+        );
+    }
+
+    /// Snapshots the trace recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let inner = self.inner.lock();
+        Trace {
+            world: self.world,
+            events: inner.events.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_tick_and_join() {
+        let t = Tracer::new(2);
+        let vc = t.on_send(0, 1, 7, 0, 0);
+        assert_eq!(vc, vec![1, 0]);
+        t.on_deliver(1, 0, 7, 0, 0, 0, &vc);
+        let trace = t.snapshot();
+        assert_eq!(trace.events.len(), 2);
+        // Receiver's clock joined the sender's then ticked its own slot.
+        assert_eq!(trace.events[1].vc, vec![1, 1]);
+        assert!(vc_le(&trace.events[0].vc, &trace.events[1].vc));
+    }
+
+    #[test]
+    fn respawn_continues_rank_clock() {
+        let t = Tracer::new(2);
+        t.on_send(0, 1, 1, 0, 0);
+        t.on_send(0, 1, 1, 1, 0);
+        // A replacement comm for rank 0 keeps ticking the same clock.
+        let vc = t.on_send(0, 1, 1, 2, 1);
+        assert_eq!(vc[0], 3);
+        let lseqs: Vec<u64> = t.snapshot().rank_events(0).map(|e| e.lseq).collect();
+        assert_eq!(lseqs, vec![1, 2, 3]);
+    }
+}

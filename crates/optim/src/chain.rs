@@ -1,0 +1,841 @@
+//! Symbolic update chains: each optimizer's update rule as a static
+//! composition of primitive operators (paper §4, Table 1), with enough
+//! structure to *derive* the undo chain mechanically.
+//!
+//! [`ops`](crate::ops) classifies individual operators; this module goes
+//! further and represents the whole update as an ordered [`UpdateChain`]
+//! whose inverse can be derived op-by-op. The derivation succeeds exactly
+//! when every op is invertible *under its parameter constraints*:
+//!
+//! - AMSGrad's running `max` ([`ChainOp::RunningMax`]) has no inverse at
+//!   any hyperparameter setting — derivation fails;
+//! - AdamW's decoupled decay `x ← (1 − ηλ)x − …` is only invertible when
+//!   `ηλ < 1`: at `ηλ ≥ 1` the scale factor is ≤ 0 and the update leaves
+//!   its valid domain — derivation fails with a descriptive error;
+//! - LAMB's trust-ratio norm is a non-invertible reduction made undoable
+//!   by saving the scalar ([`ChainOp::SaveTrustRatio`]), exactly as §4
+//!   prescribes.
+//!
+//! Every op also carries *numeric semantics* ([`ChainOp::apply`] /
+//! [`ChainOp::unapply`] over a [`ChainState`]), so a checker can validate
+//! `undo ∘ apply = id` on concrete states in addition to the symbolic
+//! derivation — see `swift-verify`.
+
+use std::collections::BTreeMap;
+
+use crate::ops::OpKind;
+use crate::OptimizerKind;
+
+/// Default Adam-family constants used by [`OptimizerKind::build`].
+const BETA1: f32 = 0.9;
+const BETA2: f32 = 0.999;
+const EPS: f32 = 1e-8;
+
+/// What feeds a slot advance: the raw gradient, the (coupled-decay)
+/// effective gradient `g + λx`, or their element-wise squares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlotInput {
+    /// `g`
+    Grad,
+    /// `g + λx` (coupled weight decay; `λ = 0` degenerates to `g`)
+    GradPlusDecay { lambda: f32 },
+    /// `g²`
+    GradSquared,
+    /// `(g + λx)²`
+    GradPlusDecaySquared { lambda: f32 },
+}
+
+/// The recomputable update direction added to the parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Direction {
+    /// `d = g`
+    Grad,
+    /// `d = s` for a named slot (SGD-momentum's buffer)
+    Slot(&'static str),
+    /// `d = m̂ / (√v̂ + ε)` with bias correction at step `t`
+    AdamHat { beta1: f32, beta2: f32, eps: f32 },
+    /// `d = m̂ / (√v_max + ε)` — reads the running-max slot
+    AmsHat { beta1: f32, beta2: f32, eps: f32 },
+}
+
+/// The scalar multiplying the parameter in a [`ChainOp::ScaleParam`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Factor {
+    /// A hyperparameter-determined constant, e.g. `1 − ηλ`.
+    Const { value: f32, desc: &'static str },
+    /// `1 − η·r·λ` where `r` is the saved trust ratio (LAMB).
+    TrustDecay { eta: f32, lambda: f32 },
+}
+
+/// The scalar multiplying the direction in a [`ChainOp::AddDirection`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Coeff {
+    /// A constant, e.g. `−η`.
+    Const(f32),
+    /// `−η·r` where `r` is the saved trust ratio (LAMB).
+    EtaRatio { eta: f32 },
+}
+
+/// One primitive operation of an optimizer update, in application order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChainOp {
+    /// `s ← decay·s + mix·input` — moment/momentum advance.
+    AdvanceSlot {
+        /// Slot name (`"m"`, `"v"`, …).
+        slot: &'static str,
+        /// Retention factor (β or μ). Invertible iff > 0; at exactly 0
+        /// the buffer is memoryless and undo resets it to zero.
+        decay: f32,
+        /// Mix-in factor (1−β or 1−τ).
+        mix: f32,
+        /// What is mixed in.
+        input: SlotInput,
+    },
+    /// `x ← factor · x` — parameter scale (decay application).
+    ScaleParam {
+        /// The factor and its provenance.
+        factor: Factor,
+    },
+    /// `x ← x + coeff · d` — apply the update direction.
+    AddDirection {
+        /// The coefficient (−η or −η·r).
+        coeff: Coeff,
+        /// The recomputable direction.
+        dir: Direction,
+    },
+    /// `s ← max(s, v̂)` — AMSGrad's running maximum. **Not invertible.**
+    RunningMax {
+        /// The max slot name.
+        slot: &'static str,
+    },
+    /// `r ← ‖x‖/‖d + λx‖` reduced to a per-group scalar that the
+    /// optimizer saves; the save is what makes LAMB undoable (§4).
+    SaveTrustRatio {
+        /// Decoupled decay λ entering the denominator.
+        lambda: f32,
+    },
+}
+
+/// Why an undo chain could not be derived.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainError {
+    /// An op has no mathematical inverse regardless of hyperparameters.
+    NonInvertibleOp {
+        /// Optimizer name.
+        optimizer: String,
+        /// Offending op (paper Table 1 row name).
+        op: &'static str,
+        /// Why it cannot be inverted.
+        reason: String,
+    },
+    /// An op is invertible in general but not at these hyperparameters.
+    ConstraintViolated {
+        /// Optimizer name.
+        optimizer: String,
+        /// Offending op.
+        op: &'static str,
+        /// The violated constraint, with concrete values.
+        constraint: String,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::NonInvertibleOp {
+                optimizer,
+                op,
+                reason,
+            } => write!(
+                f,
+                "{optimizer}: update chain contains non-invertible op `{op}`: {reason}"
+            ),
+            ChainError::ConstraintViolated {
+                optimizer,
+                op,
+                constraint,
+            } => write!(
+                f,
+                "{optimizer}: op `{op}` violates its invertibility constraint: {constraint}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// One derived undo step: the forward op plus a human-readable statement
+/// of its inverse (the "proof step" emitted by the checker).
+#[derive(Debug, Clone)]
+pub struct UndoStep {
+    /// The forward op being inverted.
+    pub op: ChainOp,
+    /// The inverse, spelled out (e.g. `x ← (x + η·d) — then ÷(1−ηλ)`).
+    pub inverse: String,
+}
+
+/// A full optimizer update as an ordered op composition.
+#[derive(Debug, Clone)]
+pub struct UpdateChain {
+    /// Optimizer name (paper Table 1 row).
+    pub optimizer: String,
+    /// Ops in application order.
+    pub ops: Vec<ChainOp>,
+}
+
+impl ChainOp {
+    /// Table-1 name of the op.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChainOp::AdvanceSlot { .. } => "slot advance (EW add + scalar mul)",
+            ChainOp::ScaleParam { .. } => "scalar mul",
+            ChainOp::AddDirection { .. } => "EW add",
+            ChainOp::RunningMax { .. } => "EW-max",
+            ChainOp::SaveTrustRatio { .. } => "sum (norm, saved scalar)",
+        }
+    }
+
+    /// The Table-1 primitive operators this chain op decomposes into.
+    pub fn op_kinds(&self) -> Vec<OpKind> {
+        let mut kinds = match self {
+            ChainOp::AdvanceSlot { input, .. } => {
+                let mut k = vec![OpKind::ScalarMul, OpKind::EwAdd];
+                if matches!(
+                    input,
+                    SlotInput::GradSquared | SlotInput::GradPlusDecaySquared { .. }
+                ) {
+                    k.push(OpKind::EwMul);
+                }
+                k
+            }
+            ChainOp::ScaleParam { .. } => vec![OpKind::ScalarMul],
+            ChainOp::AddDirection { dir, .. } => {
+                let mut k = vec![OpKind::EwAdd, OpKind::ScalarMul];
+                if matches!(dir, Direction::AdamHat { .. } | Direction::AmsHat { .. }) {
+                    k.extend([OpKind::EwMul, OpKind::EwSqrt, OpKind::EwDiv]);
+                }
+                k
+            }
+            ChainOp::RunningMax { .. } => vec![OpKind::EwMax],
+            ChainOp::SaveTrustRatio { .. } => vec![OpKind::Sum],
+        };
+        kinds.sort_by_key(|k| *k as u8);
+        kinds.dedup();
+        kinds
+    }
+
+    /// Checks invertibility under the op's parameter constraints and, on
+    /// success, describes the inverse.
+    fn invert(&self, optimizer: &str) -> Result<String, ChainError> {
+        match *self {
+            ChainOp::AdvanceSlot { slot, decay, .. } => {
+                if decay == 0.0 {
+                    Ok(format!(
+                        "{slot} is memoryless at decay 0; undo resets it to zero"
+                    ))
+                } else if !(0.0..1.0).contains(&decay) {
+                    Err(ChainError::ConstraintViolated {
+                        optimizer: optimizer.into(),
+                        op: "slot advance (EW add + scalar mul)",
+                        constraint: format!("decay factor must lie in [0, 1), got {decay}"),
+                    })
+                } else {
+                    Ok(format!("{slot} ← ({slot} − mix·input) / {decay}"))
+                }
+            }
+            ChainOp::ScaleParam { factor } => match factor {
+                Factor::Const { value, desc } => {
+                    if value > 0.0 {
+                        Ok(format!("x ← x / {value} ({desc})"))
+                    } else {
+                        Err(ChainError::ConstraintViolated {
+                            optimizer: optimizer.into(),
+                            op: "scalar mul",
+                            constraint: format!(
+                                "decay factor {desc} = {value} ≤ 0 (η·λ ≥ 1): the scale \
+                                 destroys or flips the parameter and cannot be undone; \
+                                 require η·λ < 1"
+                            ),
+                        })
+                    }
+                }
+                Factor::TrustDecay { eta, lambda } => Ok(format!(
+                    "x ← x / (1 − {eta}·r·{lambda}) with the saved trust ratio r \
+                     (guarded at runtime: η·r·λ < 1)"
+                )),
+            },
+            ChainOp::AddDirection { coeff, .. } => {
+                let c = match coeff {
+                    Coeff::Const(c) => format!("{c}"),
+                    Coeff::EtaRatio { eta } => format!("−{eta}·r"),
+                };
+                Ok(format!(
+                    "x ← x − ({c})·d with d recomputed from the still-advanced slots"
+                ))
+            }
+            ChainOp::RunningMax { slot } => Err(ChainError::NonInvertibleOp {
+                optimizer: optimizer.into(),
+                op: "EW-max",
+                reason: format!(
+                    "max(s, v̂) over slot `{slot}` discards the smaller operand; no saved \
+                     scalar can recover it (paper Table 1)"
+                ),
+            }),
+            ChainOp::SaveTrustRatio { .. } => Ok(
+                "the norm reduction is non-invertible, but the scalar r was saved during \
+                 the update and is simply reused (paper §4, LAMB)"
+                    .into(),
+            ),
+        }
+    }
+}
+
+impl UpdateChain {
+    /// Derives the undo chain symbolically: ops are inverted individually
+    /// (checking each op's parameter constraints) and composed in reverse
+    /// order, so that `undo ∘ apply = id` holds by construction.
+    ///
+    /// Fails with a descriptive [`ChainError`] on the first op that has no
+    /// inverse — AMSGrad's `EW-max`, or a constraint violation such as
+    /// AdamW with `η·λ ≥ 1`.
+    pub fn derive_undo(&self) -> Result<Vec<UndoStep>, ChainError> {
+        let mut steps = Vec::with_capacity(self.ops.len());
+        // Invert in application order (so the *first* offending op is
+        // reported), then reverse into undo order.
+        for op in &self.ops {
+            steps.push(UndoStep {
+                op: *op,
+                inverse: op.invert(&self.optimizer)?,
+            });
+        }
+        steps.reverse();
+        Ok(steps)
+    }
+
+    /// The set of Table-1 primitive operators used by the chain, sorted
+    /// and deduplicated — must agree with
+    /// [`Optimizer::operators`](crate::Optimizer::operators).
+    pub fn op_kinds(&self) -> Vec<OpKind> {
+        let mut kinds: Vec<OpKind> = self.ops.iter().flat_map(|o| o.op_kinds()).collect();
+        kinds.sort_by_key(|k| *k as u8);
+        kinds.dedup();
+        kinds
+    }
+
+    /// Applies the chain's numeric semantics to `state` (one `step_one`).
+    pub fn apply(&self, state: &mut ChainState) {
+        for op in &self.ops {
+            op.apply(state);
+        }
+    }
+
+    /// Applies the derived undo to `state` (one `undo_one`): each op's
+    /// inverse, in reverse order. Call only after [`derive_undo`]
+    /// succeeded; ops whose inverse does not exist panic here, which the
+    /// derivation is exactly meant to prevent.
+    pub fn unapply(&self, state: &mut ChainState) {
+        for op in self.ops.iter().rev() {
+            op.unapply(state);
+        }
+    }
+}
+
+/// Builds the symbolic update chain for an optimizer configuration,
+/// mirroring the arithmetic in `sgd.rs` / `adam.rs` / `lamb.rs`.
+pub fn chain_for(kind: &OptimizerKind) -> UpdateChain {
+    match *kind {
+        OptimizerKind::Sgd { lr, weight_decay } => UpdateChain {
+            optimizer: "SGD".into(),
+            ops: vec![
+                ChainOp::ScaleParam {
+                    factor: Factor::Const {
+                        value: 1.0 - lr * weight_decay,
+                        desc: "1 − η·λ, coupled decay",
+                    },
+                },
+                ChainOp::AddDirection {
+                    coeff: Coeff::Const(-lr),
+                    dir: Direction::Grad,
+                },
+            ],
+        },
+        OptimizerKind::SgdMomentum {
+            lr,
+            weight_decay,
+            momentum,
+            dampening,
+        } => UpdateChain {
+            optimizer: "SGD-momentum".into(),
+            ops: vec![
+                ChainOp::AdvanceSlot {
+                    slot: "m",
+                    decay: momentum,
+                    mix: 1.0 - dampening,
+                    input: SlotInput::GradPlusDecay {
+                        lambda: weight_decay,
+                    },
+                },
+                ChainOp::AddDirection {
+                    coeff: Coeff::Const(-lr),
+                    dir: Direction::Slot("m"),
+                },
+            ],
+        },
+        OptimizerKind::Adam { lr, weight_decay } => UpdateChain {
+            optimizer: "Adam".into(),
+            ops: vec![
+                ChainOp::AdvanceSlot {
+                    slot: "m",
+                    decay: BETA1,
+                    mix: 1.0 - BETA1,
+                    input: SlotInput::GradPlusDecay {
+                        lambda: weight_decay,
+                    },
+                },
+                ChainOp::AdvanceSlot {
+                    slot: "v",
+                    decay: BETA2,
+                    mix: 1.0 - BETA2,
+                    input: SlotInput::GradPlusDecaySquared {
+                        lambda: weight_decay,
+                    },
+                },
+                ChainOp::AddDirection {
+                    coeff: Coeff::Const(-lr),
+                    dir: Direction::AdamHat {
+                        beta1: BETA1,
+                        beta2: BETA2,
+                        eps: EPS,
+                    },
+                },
+            ],
+        },
+        OptimizerKind::AdamW { lr, weight_decay } => UpdateChain {
+            optimizer: "AdamW".into(),
+            ops: vec![
+                ChainOp::AdvanceSlot {
+                    slot: "m",
+                    decay: BETA1,
+                    mix: 1.0 - BETA1,
+                    input: SlotInput::Grad,
+                },
+                ChainOp::AdvanceSlot {
+                    slot: "v",
+                    decay: BETA2,
+                    mix: 1.0 - BETA2,
+                    input: SlotInput::GradSquared,
+                },
+                ChainOp::ScaleParam {
+                    factor: Factor::Const {
+                        value: 1.0 - lr * weight_decay,
+                        desc: "1 − η·λ, decoupled decay",
+                    },
+                },
+                ChainOp::AddDirection {
+                    coeff: Coeff::Const(-lr),
+                    dir: Direction::AdamHat {
+                        beta1: BETA1,
+                        beta2: BETA2,
+                        eps: EPS,
+                    },
+                },
+            ],
+        },
+        OptimizerKind::Lamb { lr, weight_decay } => UpdateChain {
+            optimizer: "LAMB".into(),
+            ops: vec![
+                ChainOp::AdvanceSlot {
+                    slot: "m",
+                    decay: BETA1,
+                    mix: 1.0 - BETA1,
+                    input: SlotInput::Grad,
+                },
+                ChainOp::AdvanceSlot {
+                    slot: "v",
+                    decay: BETA2,
+                    mix: 1.0 - BETA2,
+                    input: SlotInput::GradSquared,
+                },
+                ChainOp::SaveTrustRatio {
+                    lambda: weight_decay,
+                },
+                ChainOp::ScaleParam {
+                    factor: Factor::TrustDecay {
+                        eta: lr,
+                        lambda: weight_decay,
+                    },
+                },
+                ChainOp::AddDirection {
+                    coeff: Coeff::EtaRatio { eta: lr },
+                    dir: Direction::AdamHat {
+                        beta1: BETA1,
+                        beta2: BETA2,
+                        eps: EPS,
+                    },
+                },
+            ],
+        },
+        OptimizerKind::AmsGrad { lr, weight_decay } => UpdateChain {
+            optimizer: "AMSGrad".into(),
+            ops: vec![
+                ChainOp::AdvanceSlot {
+                    slot: "m",
+                    decay: BETA1,
+                    mix: 1.0 - BETA1,
+                    input: SlotInput::GradPlusDecay {
+                        lambda: weight_decay,
+                    },
+                },
+                ChainOp::AdvanceSlot {
+                    slot: "v",
+                    decay: BETA2,
+                    mix: 1.0 - BETA2,
+                    input: SlotInput::GradPlusDecaySquared {
+                        lambda: weight_decay,
+                    },
+                },
+                ChainOp::RunningMax { slot: "v_max" },
+                ChainOp::AddDirection {
+                    coeff: Coeff::Const(-lr),
+                    dir: Direction::AmsHat {
+                        beta1: BETA1,
+                        beta2: BETA2,
+                        eps: EPS,
+                    },
+                },
+            ],
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric semantics (used by swift-verify's round-trip validation).
+// ---------------------------------------------------------------------------
+
+/// Concrete per-group state the chain operates on: the parameter vector,
+/// the cached gradient, named slots and saved scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainState {
+    /// Parameter vector `x`.
+    pub param: Vec<f32>,
+    /// Cached gradient `g_t` of the update being applied/undone.
+    pub grad: Vec<f32>,
+    /// Named slot vectors (moments, momentum, running max).
+    pub slots: BTreeMap<&'static str, Vec<f32>>,
+    /// Saved per-group scalars (LAMB trust ratio).
+    pub saved: BTreeMap<&'static str, f32>,
+    /// Step index `t` of the update (for bias correction).
+    pub t: u64,
+}
+
+impl ChainState {
+    /// A fresh state with zeroed slots, ready for step `t = 1`.
+    pub fn new(param: Vec<f32>, grad: Vec<f32>) -> Self {
+        let n = param.len();
+        let mut slots = BTreeMap::new();
+        for s in ["m", "v", "v_max"] {
+            slots.insert(s, vec![0.0; n]);
+        }
+        ChainState {
+            param,
+            grad,
+            slots,
+            saved: BTreeMap::new(),
+            t: 1,
+        }
+    }
+
+    fn input_vec(&self, input: SlotInput) -> Vec<f32> {
+        let eff = |lambda: f32| -> Vec<f32> {
+            self.grad
+                .iter()
+                .zip(self.param.iter())
+                .map(|(&g, &x)| g + lambda * x)
+                .collect()
+        };
+        match input {
+            SlotInput::Grad => self.grad.clone(),
+            SlotInput::GradPlusDecay { lambda } => eff(lambda),
+            SlotInput::GradSquared => self.grad.iter().map(|g| g * g).collect(),
+            SlotInput::GradPlusDecaySquared { lambda } => {
+                eff(lambda).iter().map(|e| e * e).collect()
+            }
+        }
+    }
+
+    fn direction_vec(&self, dir: Direction) -> Vec<f32> {
+        match dir {
+            Direction::Grad => self.grad.clone(),
+            Direction::Slot(s) => self.slots[s].clone(),
+            Direction::AdamHat { beta1, beta2, eps } => self.hat_direction(beta1, beta2, eps, "v"),
+            Direction::AmsHat {
+                beta1,
+                beta2: _,
+                eps,
+            } => {
+                // v_max already holds v̂-scale values (the max absorbs the
+                // bias correction at write time), so only m̂ is corrected.
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                self.slots["m"]
+                    .iter()
+                    .zip(self.slots["v_max"].iter())
+                    .map(|(&m, &vm)| (m / bc1) / (vm.sqrt() + eps))
+                    .collect()
+            }
+        }
+    }
+
+    fn hat_direction(&self, beta1: f32, beta2: f32, eps: f32, v_slot: &str) -> Vec<f32> {
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        self.slots["m"]
+            .iter()
+            .zip(self.slots[v_slot].iter())
+            .map(|(&m, &v)| (m / bc1) / ((v / bc2).sqrt() + eps))
+            .collect()
+    }
+
+    fn v_hat(&self, beta2: f32) -> Vec<f32> {
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        self.slots["v"].iter().map(|&v| v / bc2).collect()
+    }
+}
+
+fn l2(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+impl ChainOp {
+    /// Executes the op's numeric semantics (one forward step).
+    pub fn apply(&self, state: &mut ChainState) {
+        match *self {
+            ChainOp::AdvanceSlot {
+                slot,
+                decay,
+                mix,
+                input,
+            } => {
+                let e = state.input_vec(input);
+                let s = state.slots.get_mut(slot).expect("slot exists");
+                for (si, ei) in s.iter_mut().zip(e.iter()) {
+                    *si = decay * *si + mix * ei;
+                }
+            }
+            ChainOp::ScaleParam { factor } => {
+                let f = factor_value(factor, state);
+                for x in &mut state.param {
+                    *x *= f;
+                }
+            }
+            ChainOp::AddDirection { coeff, dir } => {
+                let d = state.direction_vec(dir);
+                let c = coeff_value(coeff, state);
+                for (x, di) in state.param.iter_mut().zip(d.iter()) {
+                    *x += c * di;
+                }
+            }
+            ChainOp::RunningMax { slot } => {
+                // The chain that contains RunningMax always advances "v"
+                // first; mirror AMSGrad: v_max ← max(v_max, v̂).
+                let v_hat = state.v_hat(BETA2);
+                let s = state.slots.get_mut(slot).expect("slot exists");
+                for (si, vi) in s.iter_mut().zip(v_hat.iter()) {
+                    *si = si.max(*vi);
+                }
+            }
+            ChainOp::SaveTrustRatio { lambda } => {
+                let d = state.hat_direction(BETA1, BETA2, EPS, "v");
+                let u: Vec<f32> = d
+                    .iter()
+                    .zip(state.param.iter())
+                    .map(|(&di, &x)| di + lambda * x)
+                    .collect();
+                let (xn, un) = (l2(&state.param), l2(&u));
+                let r = if xn > 0.0 && un > 0.0 { xn / un } else { 1.0 };
+                state.saved.insert("ratio", r);
+            }
+        }
+    }
+
+    /// Executes the op's inverse. Panics on [`ChainOp::RunningMax`] —
+    /// which [`UpdateChain::derive_undo`] statically prevents.
+    pub fn unapply(&self, state: &mut ChainState) {
+        match *self {
+            ChainOp::AdvanceSlot {
+                slot,
+                decay,
+                mix,
+                input,
+            } => {
+                // Runs after the param ops were unapplied, so `input_vec`
+                // sees the *restored* x — matching Algorithms 2/6/8.
+                let e = state.input_vec(input);
+                let s = state.slots.get_mut(slot).expect("slot exists");
+                if decay == 0.0 {
+                    for si in s.iter_mut() {
+                        *si = 0.0;
+                    }
+                } else {
+                    for (si, ei) in s.iter_mut().zip(e.iter()) {
+                        *si = (*si - mix * ei) / decay;
+                    }
+                }
+            }
+            ChainOp::ScaleParam { factor } => {
+                let f = factor_value(factor, state);
+                for x in &mut state.param {
+                    *x /= f;
+                }
+            }
+            ChainOp::AddDirection { coeff, dir } => {
+                let d = state.direction_vec(dir);
+                let c = coeff_value(coeff, state);
+                for (x, di) in state.param.iter_mut().zip(d.iter()) {
+                    *x -= c * di;
+                }
+            }
+            ChainOp::RunningMax { .. } => {
+                unreachable!("EW-max has no inverse; derive_undo rejects this chain")
+            }
+            ChainOp::SaveTrustRatio { .. } => {
+                // The saved scalar is simply retained; nothing to revert.
+            }
+        }
+    }
+}
+
+fn factor_value(factor: Factor, state: &ChainState) -> f32 {
+    match factor {
+        Factor::Const { value, .. } => value,
+        Factor::TrustDecay { eta, lambda } => {
+            1.0 - eta * state.saved.get("ratio").copied().unwrap_or(1.0) * lambda
+        }
+    }
+}
+
+fn coeff_value(coeff: Coeff, state: &ChainState) -> f32 {
+    match coeff {
+        Coeff::Const(c) => c,
+        Coeff::EtaRatio { eta } => -eta * state.saved.get("ratio").copied().unwrap_or(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amsgrad_chain_rejects_undo_derivation() {
+        let chain = chain_for(&OptimizerKind::AmsGrad {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        });
+        let err = chain.derive_undo().unwrap_err();
+        assert!(matches!(
+            err,
+            ChainError::NonInvertibleOp { op: "EW-max", .. }
+        ));
+        assert!(err.to_string().contains("AMSGrad"));
+    }
+
+    #[test]
+    fn adamw_chain_rejects_eta_lambda_ge_one() {
+        let chain = chain_for(&OptimizerKind::AdamW {
+            lr: 2.0,
+            weight_decay: 0.6,
+        });
+        let err = chain.derive_undo().unwrap_err();
+        assert!(matches!(err, ChainError::ConstraintViolated { .. }));
+        assert!(err.to_string().contains("η·λ"));
+    }
+
+    #[test]
+    fn invertible_chains_derive_undo() {
+        for kind in [
+            OptimizerKind::Sgd {
+                lr: 0.1,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::SgdMomentum {
+                lr: 0.1,
+                weight_decay: 0.01,
+                momentum: 0.9,
+                dampening: 0.1,
+            },
+            OptimizerKind::Adam {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::AdamW {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::Lamb {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+        ] {
+            let chain = chain_for(&kind);
+            let steps = chain
+                .derive_undo()
+                .unwrap_or_else(|e| panic!("{} must be undoable: {e}", chain.optimizer));
+            assert_eq!(steps.len(), chain.ops.len());
+            // Undo steps come in reverse application order.
+            assert_eq!(steps.last().map(|s| s.op), chain.ops.first().copied());
+        }
+    }
+
+    #[test]
+    fn chain_op_kinds_match_optimizer_operators() {
+        for kind in [
+            OptimizerKind::Sgd {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+            OptimizerKind::Adam {
+                lr: 1e-3,
+                weight_decay: 0.0,
+            },
+            OptimizerKind::AdamW {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::Lamb {
+                lr: 1e-3,
+                weight_decay: 0.01,
+            },
+            OptimizerKind::AmsGrad {
+                lr: 1e-3,
+                weight_decay: 0.0,
+            },
+        ] {
+            let chain = chain_for(&kind);
+            let opt = kind.build();
+            let mut expected: Vec<OpKind> = opt.operators().to_vec();
+            expected.sort_by_key(|k| *k as u8);
+            expected.dedup();
+            assert_eq!(
+                chain.op_kinds(),
+                expected,
+                "{}: chain ops disagree with Table 1 operator set",
+                chain.optimizer
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_roundtrip_sgd() {
+        let chain = chain_for(&OptimizerKind::Sgd {
+            lr: 0.05,
+            weight_decay: 0.01,
+        });
+        let mut s = ChainState::new(vec![1.0, -2.0, 0.5], vec![0.3, -0.1, 0.2]);
+        let before = s.clone();
+        chain.apply(&mut s);
+        assert_ne!(s.param, before.param);
+        chain.unapply(&mut s);
+        for (a, b) in s.param.iter().zip(before.param.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

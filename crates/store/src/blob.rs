@@ -7,6 +7,65 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+/// Why a store operation failed.
+///
+/// Converts to and from [`std::io::Error`] so callers that plumb store
+/// failures through `io::Result` chains (the WAL logger, checkpointers)
+/// keep working with `?`, while callers that care can match on the typed
+/// variants.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The key cannot be mapped to a path inside the store root.
+    InvalidKey {
+        /// The offending key.
+        key: String,
+        /// What rule it broke.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::InvalidKey { key, reason } => {
+                write!(f, "invalid store key {key:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::InvalidKey { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => e,
+            StoreError::InvalidKey { .. } => {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            }
+        }
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
 /// A file-backed blob store with byte accounting.
 ///
 /// Keys are arbitrary strings (slashes allowed — they become
@@ -22,7 +81,7 @@ pub struct BlobStore {
 
 impl BlobStore {
     /// Opens (creating if needed) a store rooted at `root`.
-    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+    pub fn open(root: impl Into<PathBuf>) -> StoreResult<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
         Ok(BlobStore {
@@ -34,7 +93,7 @@ impl BlobStore {
 
     /// Creates a store in a fresh unique temp directory labelled for
     /// debuggability.
-    pub fn new_temp(label: &str) -> std::io::Result<Self> {
+    pub fn new_temp(label: &str) -> StoreResult<Self> {
         static NEXT: AtomicU64 = AtomicU64::new(0);
         let n = NEXT.fetch_add(1, Ordering::Relaxed);
         let dir = std::env::temp_dir().join(format!("swift-{label}-{}-{n}", std::process::id()));
@@ -46,14 +105,25 @@ impl BlobStore {
         &self.root
     }
 
-    fn path_of(&self, key: &str) -> PathBuf {
-        assert!(!key.contains(".."), "path traversal in key");
-        self.root.join(key)
+    fn path_of(&self, key: &str) -> StoreResult<PathBuf> {
+        if key.split(['/', '\\']).any(|seg| seg == "..") {
+            return Err(StoreError::InvalidKey {
+                key: key.to_string(),
+                reason: "path traversal (`..`) would escape the store root",
+            });
+        }
+        if Path::new(key).is_absolute() {
+            return Err(StoreError::InvalidKey {
+                key: key.to_string(),
+                reason: "absolute paths are not store keys",
+            });
+        }
+        Ok(self.root.join(key))
     }
 
     /// Writes `data` under `key` (atomic replace).
-    pub fn put(&self, key: &str, data: &[u8]) -> std::io::Result<()> {
-        let path = self.path_of(key);
+    pub fn put(&self, key: &str, data: &[u8]) -> StoreResult<()> {
+        let path = self.path_of(key)?;
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
@@ -66,32 +136,32 @@ impl BlobStore {
     }
 
     /// Reads the blob under `key`.
-    pub fn get(&self, key: &str) -> std::io::Result<Bytes> {
-        let data = fs::read(self.path_of(key))?;
+    pub fn get(&self, key: &str) -> StoreResult<Bytes> {
+        let data = fs::read(self.path_of(key)?)?;
         self.bytes_read
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(Bytes::from(data))
     }
 
-    /// Whether `key` exists.
+    /// Whether `key` exists (false for keys that are not valid).
     pub fn contains(&self, key: &str) -> bool {
-        self.path_of(key).is_file()
+        self.path_of(key).map(|p| p.is_file()).unwrap_or(false)
     }
 
     /// Deletes `key` (ok if absent).
-    pub fn delete(&self, key: &str) -> std::io::Result<()> {
-        match fs::remove_file(self.path_of(key)) {
+    pub fn delete(&self, key: &str) -> StoreResult<()> {
+        match fs::remove_file(self.path_of(key)?) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e),
+            Err(e) => Err(e.into()),
         }
     }
 
     /// All keys under the (optional) prefix, sorted.
-    pub fn list(&self, prefix: &str) -> std::io::Result<Vec<String>> {
+    pub fn list(&self, prefix: &str) -> StoreResult<Vec<String>> {
         let mut keys = Vec::new();
         let base = self.root.clone();
-        fn walk(dir: &Path, base: &Path, keys: &mut Vec<String>) -> std::io::Result<()> {
+        fn walk(dir: &Path, base: &Path, keys: &mut Vec<String>) -> StoreResult<()> {
             if !dir.is_dir() {
                 return Ok(());
             }
@@ -101,7 +171,14 @@ impl BlobStore {
                 if path.is_dir() {
                     walk(&path, base, keys)?;
                 } else if path.extension().map(|e| e != "tmp").unwrap_or(true) {
-                    let rel = path.strip_prefix(base).unwrap();
+                    // Every walked path sits under `base` by construction;
+                    // a failure here means the walk itself escaped the root.
+                    let rel = path
+                        .strip_prefix(base)
+                        .map_err(|_| StoreError::InvalidKey {
+                            key: path.to_string_lossy().into_owned(),
+                            reason: "listed file lies outside the store root",
+                        })?;
                     keys.push(rel.to_string_lossy().replace('\\', "/"));
                 }
             }
@@ -116,7 +193,7 @@ impl BlobStore {
     /// Deletes every key under the prefix; returns the count removed —
     /// the garbage-collection primitive logging uses after a global
     /// checkpoint (§5.1).
-    pub fn delete_prefix(&self, prefix: &str) -> std::io::Result<usize> {
+    pub fn delete_prefix(&self, prefix: &str) -> StoreResult<usize> {
         let keys = self.list(prefix)?;
         for k in &keys {
             self.delete(k)?;
@@ -125,10 +202,10 @@ impl BlobStore {
     }
 
     /// Total bytes currently stored.
-    pub fn total_bytes(&self) -> std::io::Result<u64> {
+    pub fn total_bytes(&self) -> StoreResult<u64> {
         let mut total = 0u64;
         for key in self.list("")? {
-            total += fs::metadata(self.path_of(&key))?.len();
+            total += fs::metadata(self.path_of(&key)?)?.len();
         }
         Ok(total)
     }
@@ -144,8 +221,8 @@ impl BlobStore {
     }
 
     /// Removes the entire store directory.
-    pub fn destroy(self) -> std::io::Result<()> {
-        fs::remove_dir_all(&self.root)
+    pub fn destroy(self) -> StoreResult<()> {
+        Ok(fs::remove_dir_all(&self.root)?)
     }
 }
 
@@ -219,10 +296,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "path traversal")]
-    fn traversal_rejected() {
+    fn traversal_rejected_as_typed_error() {
         let s = BlobStore::new_temp("t7").unwrap();
-        let _ = s.put("../evil", b"x");
+        let err = s.put("../evil", b"x").unwrap_err();
+        assert!(matches!(err, StoreError::InvalidKey { .. }), "got: {err:?}");
+        assert!(err.to_string().contains("path traversal"), "got: {err}");
+        // Dotted *file names* are fine; only `..` path segments escape.
+        s.put("log/archive.v2.bin", b"ok").unwrap();
+        s.put("log/../../evil", b"x").unwrap_err();
+        // The io::Error conversion keeps `?`-chains working and maps to
+        // InvalidInput.
+        let io: std::io::Error = s.put("/abs", b"x").unwrap_err().into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidInput);
+        s.destroy().unwrap();
     }
 }
 

@@ -33,7 +33,7 @@ impl GlobalStore {
     /// Uploads one key from a machine-local store.
     pub fn upload(&self, local: &BlobStore, key: &str) -> std::io::Result<()> {
         let data = local.get(key)?;
-        self.inner.put(key, &data)
+        Ok(self.inner.put(key, &data)?)
     }
 
     /// Uploads every local key under `prefix`; returns the keys uploaded.
@@ -48,7 +48,7 @@ impl GlobalStore {
     /// Downloads one key into a machine-local store.
     pub fn download(&self, local: &BlobStore, key: &str) -> std::io::Result<()> {
         let data = self.inner.get(key)?;
-        local.put(key, &data)
+        Ok(local.put(key, &data)?)
     }
 
     /// Downloads every global key under `prefix` into `local`; returns
@@ -63,7 +63,7 @@ impl GlobalStore {
 
     /// Garbage-collects everything under `prefix` (post-checkpoint GC).
     pub fn delete_prefix(&self, prefix: &str) -> std::io::Result<usize> {
-        self.inner.delete_prefix(prefix)
+        Ok(self.inner.delete_prefix(prefix)?)
     }
 }
 

@@ -13,5 +13,5 @@
 pub mod blob;
 pub mod global;
 
-pub use blob::BlobStore;
+pub use blob::{BlobStore, StoreError, StoreResult};
 pub use global::{ChunkedTransfer, GlobalStore};

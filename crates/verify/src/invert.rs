@@ -1,0 +1,251 @@
+//! The undo-invertibility checker: certifies, per optimizer
+//! configuration, that `undo ∘ apply = id` is derivable from the symbolic
+//! update chain (paper §4, Table 1) — and that the non-invertible
+//! configurations are *rejected* rather than silently accepted.
+//!
+//! For each [`OptimizerKind`] the checker:
+//!
+//! 1. **derives the undo symbolically** — every op in the chain must have
+//!    an inverse under its hyperparameter constraints
+//!    ([`UpdateChain::derive_undo`]);
+//! 2. **cross-checks Table 1** — the chain's primitive-operator set must
+//!    equal the set the optimizer implementation declares
+//!    ([`Optimizer::operators`]), so the symbolic model cannot drift from
+//!    the real arithmetic unnoticed;
+//! 3. **validates the round trip numerically** — applies the chain to a
+//!    deterministic pseudo-random state, unapplies it, and requires the
+//!    parameters and slots to come back within tolerance.
+//!
+//! [`Optimizer::operators`]: swift_optim::Optimizer::operators
+
+use swift_optim::{chain_for, ChainState, OptimizerKind, UpdateChain};
+
+use crate::Violation;
+
+fn v(detail: String) -> Violation {
+    Violation::new("invert", detail)
+}
+
+/// A tiny deterministic LCG so the numeric round-trip needs no RNG crate
+/// and reproduces bit-identically across runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f32(&mut self) -> f32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Top 24 bits → [-1, 1).
+        ((self.0 >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+    }
+
+    fn vec(&mut self, n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|_| self.next_f32() * scale).collect()
+    }
+}
+
+/// Checks one optimizer configuration that is *expected to be
+/// invertible*. Returns violations for: failed undo derivation, operator
+/// sets diverging from the optimizer's declared Table-1 set, or a numeric
+/// round trip that does not restore the state.
+pub fn check_invertible(kind: &OptimizerKind) -> Vec<Violation> {
+    let chain = chain_for(kind);
+    let mut out = Vec::new();
+    if let Err(e) = chain.derive_undo() {
+        out.push(v(format!(
+            "{}: undo ∘ apply = id is not derivable: {e}",
+            chain.optimizer
+        )));
+        return out; // round trip would panic in a non-invertible op
+    }
+    check_table1_consistency(&chain, kind, &mut out);
+    check_roundtrip(&chain, &mut out);
+    out
+}
+
+/// Checks one configuration that is *expected to be rejected* (AMSGrad,
+/// AdamW with `η·λ ≥ 1`, …). The violation here is the checker *not*
+/// rejecting it.
+pub fn check_rejected(kind: &OptimizerKind) -> Vec<Violation> {
+    let chain = chain_for(kind);
+    match chain.derive_undo() {
+        Err(_) => Vec::new(),
+        Ok(_) => vec![v(format!(
+            "{}: expected the undo derivation to fail for this configuration, \
+             but it produced an undo chain — a non-invertible update would be \
+             silently accepted",
+            chain.optimizer
+        ))],
+    }
+}
+
+/// The symbolic chain's primitive-operator set must equal the set the
+/// optimizer implementation declares (both in Table-1 terms).
+fn check_table1_consistency(chain: &UpdateChain, kind: &OptimizerKind, out: &mut Vec<Violation>) {
+    let mut declared: Vec<_> = kind.build().operators().to_vec();
+    declared.sort_by_key(|k| *k as u8);
+    declared.dedup();
+    let derived = chain.op_kinds();
+    if derived != declared {
+        out.push(v(format!(
+            "{}: symbolic chain uses operators {derived:?} but the optimizer \
+             declares {declared:?} (Table 1 drift)",
+            chain.optimizer
+        )));
+    }
+}
+
+/// `unapply(apply(state))` must restore parameters and slots.
+fn check_roundtrip(chain: &UpdateChain, out: &mut Vec<Violation>) {
+    const N: usize = 32;
+    const TOL: f32 = 1e-3;
+    let mut rng = Lcg(0x5357_4946_5400_0001); // "SWIFT"-flavored fixed seed
+    for step in 1..=3u64 {
+        let mut state = ChainState::new(rng.vec(N, 1.0), rng.vec(N, 0.1));
+        state.t = step;
+        // Warm the slots so the round trip exercises non-zero moments.
+        for s in state.slots.values_mut() {
+            *s = (0..N).map(|_| rng.next_f32().abs() * 0.01).collect();
+        }
+        let before = state.clone();
+        chain.apply(&mut state);
+        chain.unapply(&mut state);
+        let param_err = max_abs_diff(&before.param, &state.param);
+        if param_err > TOL {
+            out.push(v(format!(
+                "{}: numeric round trip failed at t={step}: max parameter \
+                 error {param_err:e} exceeds {TOL:e}",
+                chain.optimizer
+            )));
+        }
+        for (name, slot) in &before.slots {
+            let e = max_abs_diff(slot, &state.slots[name]);
+            if e > TOL {
+                out.push(v(format!(
+                    "{}: numeric round trip failed at t={step}: slot `{name}` \
+                     error {e:e} exceeds {TOL:e}",
+                    chain.optimizer
+                )));
+            }
+        }
+    }
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// The default certification sweep: every invertible optimizer family at
+/// representative hyperparameters must pass, and the known-bad
+/// configurations must be rejected.
+pub fn check_all() -> Vec<Violation> {
+    let invertible = [
+        OptimizerKind::Sgd {
+            lr: 0.05,
+            weight_decay: 0.01,
+        },
+        OptimizerKind::SgdMomentum {
+            lr: 0.05,
+            weight_decay: 0.01,
+            momentum: 0.9,
+            dampening: 0.1,
+        },
+        OptimizerKind::Adam {
+            lr: 1e-3,
+            weight_decay: 0.01,
+        },
+        OptimizerKind::AdamW {
+            lr: 1e-3,
+            weight_decay: 0.01,
+        },
+        OptimizerKind::Lamb {
+            lr: 1e-3,
+            weight_decay: 0.01,
+        },
+    ];
+    let rejected = [
+        OptimizerKind::AmsGrad {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        },
+        // η·λ ≥ 1 flips the sign of the coupled-decay scale.
+        OptimizerKind::Sgd {
+            lr: 2.0,
+            weight_decay: 0.6,
+        },
+        OptimizerKind::AdamW {
+            lr: 2.0,
+            weight_decay: 0.6,
+        },
+    ];
+    let mut out = Vec::new();
+    for k in &invertible {
+        out.extend(check_invertible(k));
+    }
+    for k in &rejected {
+        out.extend(check_rejected(k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_optim::ChainError;
+
+    #[test]
+    fn full_sweep_is_clean() {
+        let vs = check_all();
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    /// Seeded violation: AMSGrad treated as invertible must be caught.
+    #[test]
+    fn amsgrad_fails_invertibility() {
+        let vs = check_invertible(&OptimizerKind::AmsGrad {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        });
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].detail.contains("not derivable"), "{}", vs[0]);
+        assert!(vs[0].detail.contains("EW-max"), "{}", vs[0]);
+    }
+
+    #[test]
+    fn amsgrad_rejection_is_the_chain_error() {
+        let err = chain_for(&OptimizerKind::AmsGrad {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        })
+        .derive_undo()
+        .unwrap_err();
+        assert!(matches!(err, ChainError::NonInvertibleOp { .. }));
+    }
+
+    /// Seeded violation: AdamW at η·λ ≥ 1 accepted as invertible.
+    #[test]
+    fn adamw_eta_lambda_ge_one_fails_invertibility() {
+        let vs = check_invertible(&OptimizerKind::AdamW {
+            lr: 2.0,
+            weight_decay: 0.6,
+        });
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].detail.contains("η·λ"), "{}", vs[0]);
+    }
+
+    /// Seeded violation on the expectation side: a perfectly invertible
+    /// SGD must NOT pass `check_rejected`.
+    #[test]
+    fn check_rejected_flags_invertible_configs() {
+        let vs = check_rejected(&OptimizerKind::Sgd {
+            lr: 0.05,
+            weight_decay: 0.0,
+        });
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].detail.contains("silently accepted"), "{}", vs[0]);
+    }
+}

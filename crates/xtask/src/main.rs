@@ -1,0 +1,142 @@
+//! `cargo xtask` — workspace task runner (aliased in `.cargo/config.toml`).
+//!
+//! `cargo xtask verify` runs the project's correctness gate:
+//!
+//! 1. **Source lints** the compiler cannot express:
+//!    - no `unwrap()` / `expect()` in the recovery paths
+//!      (`crates/core/src/supervisor.rs`, `crates/core/src/fence.rs`) —
+//!      a recovery path that panics turns a survivable cascading failure
+//!      into a lost job, so those files must surface errors as values
+//!      (asserts that document protocol bugs are allowed);
+//!    - no raw `std::time::Instant` in the simulated code paths
+//!      (`crates/sim`) — the simulator owns virtual time, and real clocks
+//!      leaking in make simulated results wall-clock dependent.
+//!
+//!    Both lints skip the `#[cfg(test)]` region (test modules sit at the
+//!    bottom of each file by repo convention) and comment lines.
+//!
+//! 2. **The `swift-verify` analyzers** (race / fsm / invert) against live
+//!    traced executions and the real transition table and update chains.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("verify") => verify(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: verify)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask verify");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn verify() -> ExitCode {
+    let root = workspace_root();
+    let mut failures = 0usize;
+
+    failures += lint_no_panics_in_recovery(&root);
+    failures += lint_no_instant_in_sim(&root);
+
+    if failures > 0 {
+        eprintln!("xtask verify: {failures} lint violation(s); skipping analyzers");
+        return ExitCode::FAILURE;
+    }
+    println!("xtask verify: source lints clean");
+
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "swift-verify"])
+        .current_dir(&root)
+        .status()
+        .expect("failed to launch cargo");
+    if status.success() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Recovery code must propagate failures, not panic on them.
+fn lint_no_panics_in_recovery(root: &Path) -> usize {
+    let files = ["crates/core/src/supervisor.rs", "crates/core/src/fence.rs"];
+    let mut violations = 0;
+    for rel in files {
+        violations += lint_file(root, rel, &[".unwrap()", ".expect("], |line| {
+            format!(
+                "`{}` in a recovery path — return a typed error instead",
+                line
+            )
+        });
+    }
+    violations
+}
+
+/// Simulated code paths must use virtual time, never the wall clock.
+fn lint_no_instant_in_sim(root: &Path) -> usize {
+    let dir = root.join("crates/sim/src");
+    let mut violations = 0;
+    for entry in std::fs::read_dir(&dir).expect("crates/sim/src exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("under root")
+                .to_string_lossy()
+                .into_owned();
+            violations += lint_file(root, &rel, &["std::time::Instant", "Instant::now"], |_| {
+                "raw `Instant` in simulated code — use the simulator's virtual clock".into()
+            });
+        }
+    }
+    violations
+}
+
+/// Scans the non-test, non-comment lines of `rel` for any of `needles`.
+/// Returns the number of violations (each printed with file:line).
+fn lint_file(root: &Path, rel: &str, needles: &[&str], describe: impl Fn(&str) -> String) -> usize {
+    let text = std::fs::read_to_string(root.join(rel))
+        .unwrap_or_else(|e| panic!("xtask: cannot read {rel}: {e}"));
+    let mut violations = 0;
+    for (i, line) in text.lines().enumerate() {
+        // The test module terminates the linted region (repo convention:
+        // `#[cfg(test)]` at the bottom of the file).
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = line.split("//").next().unwrap_or("");
+        if needles.iter().any(|n| code.contains(n)) {
+            eprintln!("  LINT {rel}:{}: {}", i + 1, describe(line.trim()));
+            violations += 1;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_paths_are_panic_free() {
+        assert_eq!(lint_no_panics_in_recovery(&workspace_root()), 0);
+    }
+
+    #[test]
+    fn sim_paths_are_wall_clock_free() {
+        assert_eq!(lint_no_instant_in_sim(&workspace_root()), 0);
+    }
+}

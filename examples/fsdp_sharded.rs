@@ -57,6 +57,7 @@ fn main() {
                 match fsdp_train_step(&mut ctx, &mut w, &[0, 1, 2], &s.x, &s.y, 1.0 / 12.0, crash) {
                     Ok(_) => {}
                     Err(CommError::SelfKilled) => return None,
+                    Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
                     Err(CommError::PeerFailed { rank }) => {
                         let gen = ctx.comm.failure_controller().generation();
                         ctx.kv

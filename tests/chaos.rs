@@ -351,3 +351,83 @@ fn pipeline_random_parallel_recovery_tracks_sequential() {
         }
     }
 }
+
+#[test]
+fn traced_recovery_has_no_protocol_races() {
+    // A full failure + supervised recovery with the fabric tracer
+    // installed: rank 1 crashes at iteration 3, the heartbeat detector
+    // declares it, the survivors recover through the supervised fence
+    // and a respawned replacement joins, then training finishes. The
+    // recorded vector-clocked trace must replay clean through the
+    // swift-verify happens-before checker: no stale-epoch deliveries, no
+    // receive racing an epoch bump, and every fence exit happening-after
+    // all participants' purges.
+    let iters = 8u64;
+    let cluster = Cluster::new(Topology::uniform(4, 1));
+    let tracer = cluster.enable_tracing();
+    let fc = cluster.failure_controller();
+    let kv = cluster.kv();
+    cluster.install_faults(FaultPlan::new(11).with_crash(CrashTrigger::AtIteration {
+        rank: 1,
+        iteration: 3,
+    }));
+    cluster.enable_heartbeats(HeartbeatConfig::default());
+    let mut handles = Vec::new();
+    for rank in 0..4usize {
+        handles.push(cluster.spawn(rank, move |mut ctx| {
+            let mut w = DpWorker::new(mlp("traced", &[6, 14, 3], 31), SGDM.build());
+            match cascade_train(&mut ctx, &mut w, iters) {
+                Ok(state) => Some(state),
+                Err(CommError::SelfKilled) => {
+                    ctx.kv.set(&format!("casc/dead/{}", ctx.rank()), "1");
+                    None
+                }
+                Err(e) => panic!("rank {}: {e}", ctx.rank()),
+            }
+        }));
+    }
+    let p = RetryPolicy::poll();
+    assert!(
+        p.wait_until(|| kv.get("casc/dead/1").is_some()),
+        "victim never unwound"
+    );
+    assert!(
+        p.wait_until(|| failure_state(&kv).1.contains(&1)),
+        "failure never declared"
+    );
+    fc.replace_machine(1);
+    let mut rctx = cluster.respawn(1);
+    let replacement = std::thread::spawn(move || {
+        let (mut w, _report) = replication_join_supervised(
+            &mut rctx,
+            &|| mlp("traced", &[6, 14, 3], 31),
+            &|| SGDM.build(),
+            &[0, 1, 2, 3],
+            &SupervisorConfig::default(),
+        )
+        .expect("replacement join failed");
+        cascade_train(&mut rctx, &mut w, iters).expect("replacement training failed")
+    });
+    let states: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let rstate = replacement.join().unwrap();
+    cluster.stop_heartbeat_monitor();
+    assert!(
+        states[0].as_ref().expect("rank 0 state").bit_eq(&rstate),
+        "replicas diverged after recovery"
+    );
+
+    let trace = tracer.snapshot();
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, swift::net::EventKind::EpochBump { .. })),
+        "trace must cover the recovery epoch bump"
+    );
+    let violations = swift_verify::race::check_trace(&trace);
+    assert!(
+        violations.is_empty(),
+        "protocol races in a {}-event trace: {violations:?}",
+        trace.events.len()
+    );
+}

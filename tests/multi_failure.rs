@@ -147,6 +147,7 @@ fn replication_survives_double_failure() {
                 ) {
                     Ok(_) => {}
                     Err(CommError::SelfKilled) => return None,
+                    Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
                     Err(CommError::PeerFailed { .. }) => {
                         ctx.kv.set("survivor-detected", "1");
                         ctx.kv
