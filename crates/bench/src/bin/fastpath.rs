@@ -1,0 +1,34 @@
+//! Recovery fast-path microbench runner.
+//!
+//! Prints a JSON array (one record per line) to stdout — or to `--out
+//! PATH` — and a human-readable summary to stderr. `--quick` keeps the
+//! problem shapes but lowers the repetition count; `cargo xtask bench`
+//! is the usual front end.
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown flag {other} (expected --quick, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let results = swift_bench::fastpath::run(quick);
+    for r in &results {
+        eprintln!(
+            "{:>20} {:>20} {:>14} ns/iter {:>7.2}x vs seed {:>8.3} GB/s",
+            r.op, r.shape, r.ns_per_iter, r.speedup, r.gb_per_s
+        );
+    }
+    let json = swift_bench::fastpath::to_json(&results);
+    match out {
+        Some(path) => std::fs::write(&path, json).expect("write bench json"),
+        None => print!("{json}"),
+    }
+}

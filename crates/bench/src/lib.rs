@@ -11,5 +11,6 @@
 //! implementations directly.
 
 pub mod experiments;
+pub mod fastpath;
 
 pub use experiments::all_experiments;

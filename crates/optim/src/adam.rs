@@ -58,33 +58,91 @@ impl AdamParams {
     }
 }
 
-/// Bias-corrected update direction `m̂ / (√v̂ + ε)` at step `t`.
-fn adam_direction(m: &Tensor, v: &Tensor, t: u64, p: &AdamParams) -> Tensor {
-    let bc1 = 1.0 - p.beta1.powi(t as i32);
-    let bc2 = 1.0 - p.beta2.powi(t as i32);
-    let m_hat = m.scale(1.0 / bc1);
-    let v_hat = v.scale(1.0 / bc2);
-    m_hat.div(&v_hat.sqrt().add_scalar(p.eps))
+/// The bias-corrected direction element `m̂ / (√v̂ + ε)` with the inverse
+/// corrections precomputed, so the fused closures below share one rounding
+/// sequence: `(m·(1/bc₁)) / (√(v·(1/bc₂)) + ε)`.
+#[inline]
+fn hat(m: f32, v: f32, inv_bc1: f32, inv_bc2: f32, eps: f32) -> f32 {
+    (m * inv_bc1) / ((v * inv_bc2).sqrt() + eps)
 }
 
-/// Advances moments in place: `m ← β₁m + (1−β₁)g`, `v ← β₂v + (1−β₂)g²`.
-fn advance_moments(m: &mut Tensor, v: &mut Tensor, g: &Tensor, p: &AdamParams) {
-    m.scale_inplace(p.beta1);
-    m.axpy(1.0 - p.beta1, g);
-    v.scale_inplace(p.beta2);
-    let g_sq = g.mul(g);
-    v.axpy(1.0 - p.beta2, &g_sq);
+fn inv_bias_corrections(t: u64, p: &AdamParams) -> (f32, f32) {
+    (
+        1.0 / (1.0 - p.beta1.powi(t as i32)),
+        1.0 / (1.0 - p.beta2.powi(t as i32)),
+    )
+}
+
+/// Fused `x ← x + α · m̂/(√v̂ + ε)` (bias correction at step `t`) — one pass
+/// over the parameter, no direction temporary.
+pub(crate) fn apply_direction(
+    param: &mut Tensor,
+    m: &Tensor,
+    v: &Tensor,
+    t: u64,
+    alpha: f32,
+    p: &AdamParams,
+) {
+    let (inv_bc1, inv_bc2) = inv_bias_corrections(t, p);
+    let eps = p.eps;
+    param.zip2_inplace(m, v, move |x, m, v| {
+        x + alpha * hat(m, v, inv_bc1, inv_bc2, eps)
+    });
+}
+
+/// Advances moments in place: `m ← β₁m + (1−β₁)g'`, `v ← β₂v + (1−β₂)g'²`,
+/// with `g' = g + λx` when `decay_x` carries the parameter (coupled decay)
+/// and `g' = g` otherwise. Fused: no `g'` or `g'²` temporaries. The
+/// per-element rounding sequence is exactly the unfused
+/// scale/axpy chain, so results are bit-identical to the reference form.
+pub(crate) fn advance_moments(
+    m: &mut Tensor,
+    v: &mut Tensor,
+    g: &Tensor,
+    decay_x: Option<(&Tensor, f32)>,
+    p: &AdamParams,
+) {
+    let (b1, mix1) = (p.beta1, 1.0 - p.beta1);
+    let (b2, mix2) = (p.beta2, 1.0 - p.beta2);
+    match decay_x {
+        None => {
+            m.zip_inplace(g, move |m, g| b1 * m + mix1 * g);
+            v.zip_inplace(g, move |v, g| b2 * v + mix2 * (g * g));
+        }
+        Some((x, wd)) => {
+            m.zip2_inplace(g, x, move |m, g, x| b1 * m + mix1 * (g + wd * x));
+            v.zip2_inplace(g, x, move |v, g, x| {
+                let e = g + wd * x;
+                b2 * v + mix2 * (e * e)
+            });
+        }
+    }
 }
 
 /// Reverts moments in place (inverse of [`advance_moments`]), clamping the
 /// second moment at zero against rounding-induced negatives.
-fn revert_moments(m: &mut Tensor, v: &mut Tensor, g: &Tensor, p: &AdamParams) {
-    m.axpy(-(1.0 - p.beta1), g);
-    m.scale_inplace(1.0 / p.beta1);
-    let g_sq = g.mul(g);
-    v.axpy(-(1.0 - p.beta2), &g_sq);
-    v.scale_inplace(1.0 / p.beta2);
-    v.map_inplace(|x| x.max(0.0));
+pub(crate) fn revert_moments(
+    m: &mut Tensor,
+    v: &mut Tensor,
+    g: &Tensor,
+    decay_x: Option<(&Tensor, f32)>,
+    p: &AdamParams,
+) {
+    let (inv_b1, mix1) = (1.0 / p.beta1, 1.0 - p.beta1);
+    let (inv_b2, mix2) = (1.0 / p.beta2, 1.0 - p.beta2);
+    match decay_x {
+        None => {
+            m.zip_inplace(g, move |m, g| (m - mix1 * g) * inv_b1);
+            v.zip_inplace(g, move |v, g| ((v - mix2 * (g * g)) * inv_b2).max(0.0));
+        }
+        Some((x, wd)) => {
+            m.zip2_inplace(g, x, move |m, g, x| (m - mix1 * (g + wd * x)) * inv_b1);
+            v.zip2_inplace(g, x, move |v, g, x| {
+                let e = g + wd * x;
+                ((v - mix2 * (e * e)) * inv_b2).max(0.0)
+            });
+        }
+    }
 }
 
 /// Adam with coupled weight decay (paper Algorithm 5; undo is Algorithm 6).
@@ -158,17 +216,13 @@ impl Optimizer for Adam {
     fn step_one(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
         self.last_lr = self.params.lr;
         let p = self.params;
-        // g' = g + λ x_t (coupled decay)
-        let mut g = grad.clone();
-        if p.weight_decay != 0.0 {
-            g.axpy(p.weight_decay, param);
-        }
         let step_t = self.t + 1;
         let m = slot(&mut self.m, idx, param);
         let v = slot(&mut self.v, idx, param);
-        advance_moments(m, v, &g, &p);
-        let dir = adam_direction(m, v, step_t, &p);
-        param.axpy(-p.lr, &dir);
+        // g' = g + λ x_t (coupled decay), fused into the moment advance.
+        let decay_x = (p.weight_decay != 0.0).then_some((&*param, p.weight_decay));
+        advance_moments(m, v, grad, decay_x, &p);
+        apply_direction(param, m, v, step_t, -p.lr, &p);
     }
 
     fn finish_step(&mut self) {
@@ -186,17 +240,14 @@ impl Optimizer for Adam {
             let m = self.m[idx].as_ref().unwrap();
             let v = self.v[idx].as_ref().unwrap();
             // x_t = x_{t+1} + η · m̂/(√v̂ + ε)  (Algorithm 6, line 4)
-            let dir = adam_direction(m, v, step_t, &p);
-            param.axpy(eta, &dir);
+            apply_direction(param, m, v, step_t, eta, &p);
         }
-        // g' = g + λ x_t with the recovered x_t (Algorithm 6, line 5)
-        let mut g = grad.clone();
-        if p.weight_decay != 0.0 {
-            g.axpy(p.weight_decay, param);
-        }
+        // g' = g + λ x_t with the recovered x_t (Algorithm 6, line 5),
+        // fused into the moment reversal.
         let m = self.m[idx].as_mut().unwrap();
         let v = self.v[idx].as_mut().unwrap();
-        revert_moments(m, v, &g, &p);
+        let decay_x = (p.weight_decay != 0.0).then_some((&*param, p.weight_decay));
+        revert_moments(m, v, grad, decay_x, &p);
         Ok(())
     }
 
@@ -298,11 +349,14 @@ impl Optimizer for AdamW {
         let step_t = self.t + 1;
         let m = slot(&mut self.m, idx, param);
         let v = slot(&mut self.v, idx, param);
-        advance_moments(m, v, grad, &p);
-        let dir = adam_direction(m, v, step_t, &p);
-        // x ← (1 − ηλ) x − η·dir
-        param.scale_inplace(1.0 - p.lr * p.weight_decay);
-        param.axpy(-p.lr, &dir);
+        advance_moments(m, v, grad, None, &p);
+        // x ← (1 − ηλ) x − η·dir, fused into one pass.
+        let (inv_bc1, inv_bc2) = inv_bias_corrections(step_t, &p);
+        let decay = 1.0 - p.lr * p.weight_decay;
+        let (lr, eps) = (p.lr, p.eps);
+        param.zip2_inplace(m, v, move |x, m, v| {
+            decay * x - lr * hat(m, v, inv_bc1, inv_bc2, eps)
+        });
     }
 
     fn finish_step(&mut self) {
@@ -319,14 +373,17 @@ impl Optimizer for AdamW {
         {
             let m = self.m[idx].as_ref().unwrap();
             let v = self.v[idx].as_ref().unwrap();
-            let dir = adam_direction(m, v, step_t, &p);
             // x_t = (x_{t+1} + η·dir) / (1 − ηλ)   (Algorithm 8, line 4)
-            param.axpy(eta, &dir);
-            param.scale_inplace(1.0 / (1.0 - eta * p.weight_decay));
+            let (inv_bc1, inv_bc2) = inv_bias_corrections(step_t, &p);
+            let inv_decay = 1.0 / (1.0 - eta * p.weight_decay);
+            let eps = p.eps;
+            param.zip2_inplace(m, v, move |x, m, v| {
+                (x + eta * hat(m, v, inv_bc1, inv_bc2, eps)) * inv_decay
+            });
         }
         let m = self.m[idx].as_mut().unwrap();
         let v = self.v[idx].as_mut().unwrap();
-        revert_moments(m, v, grad, &p);
+        revert_moments(m, v, grad, None, &p);
         Ok(())
     }
 
@@ -423,22 +480,20 @@ impl Optimizer for AmsGrad {
     fn step_one(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
         self.last_lr = self.params.lr;
         let p = self.params;
-        let mut g = grad.clone();
-        if p.weight_decay != 0.0 {
-            g.axpy(p.weight_decay, param);
-        }
         let step_t = self.t + 1;
-        let bc1 = 1.0 - p.beta1.powi(step_t as i32);
-        let bc2 = 1.0 - p.beta2.powi(step_t as i32);
+        let (inv_bc1, inv_bc2) = inv_bias_corrections(step_t, &p);
         let m = slot(&mut self.m, idx, param);
         let v = slot(&mut self.v, idx, param);
-        advance_moments(m, v, &g, &p);
-        let m_hat = m.scale(1.0 / bc1);
-        let v_hat = v.scale(1.0 / bc2);
+        let decay_x = (p.weight_decay != 0.0).then_some((&*param, p.weight_decay));
+        advance_moments(m, v, grad, decay_x, &p);
+        // v_max ← max(v_max, v̂): the max absorbs the bias correction at
+        // write time, so the direction divides by √v_max directly.
         let v_max = slot(&mut self.v_max, idx, param);
-        *v_max = v_max.maximum(&v_hat);
-        let dir = m_hat.div(&v_max.sqrt().add_scalar(p.eps));
-        param.axpy(-p.lr, &dir);
+        v_max.zip_inplace(v, move |vm, v| vm.max(v * inv_bc2));
+        let (lr, eps) = (p.lr, p.eps);
+        param.zip2_inplace(m, v_max, move |x, m, vm| {
+            x - lr * ((m * inv_bc1) / (vm.sqrt() + eps))
+        });
     }
 
     fn finish_step(&mut self) {

@@ -15,7 +15,7 @@
 
 use swift_tensor::Tensor;
 
-use crate::adam::AdamParams;
+use crate::adam::{advance_moments, revert_moments, AdamParams};
 use crate::ops::OpKind;
 use crate::optimizer::{slot, OptimState, Optimizer, UndoError};
 
@@ -53,11 +53,16 @@ impl Lamb {
 
     fn direction(&self, idx: usize, step_t: u64) -> Tensor {
         let p = &self.params;
-        let bc1 = 1.0 - p.beta1.powi(step_t as i32);
-        let bc2 = 1.0 - p.beta2.powi(step_t as i32);
-        let m_hat = self.m[idx].as_ref().unwrap().scale(1.0 / bc1);
-        let v_hat = self.v[idx].as_ref().unwrap().scale(1.0 / bc2);
-        m_hat.div(&v_hat.sqrt().add_scalar(p.eps))
+        let inv_bc1 = 1.0 / (1.0 - p.beta1.powi(step_t as i32));
+        let inv_bc2 = 1.0 / (1.0 - p.beta2.powi(step_t as i32));
+        let eps = p.eps;
+        // One allocation for the direction (the trust-ratio norm needs it
+        // materialized); the hat computation itself is fused.
+        let mut dir = self.m[idx].as_ref().unwrap().clone();
+        dir.zip_inplace(self.v[idx].as_ref().unwrap(), move |m, v| {
+            (m * inv_bc1) / ((v * inv_bc2).sqrt() + eps)
+        });
+        dir
     }
 }
 
@@ -113,23 +118,19 @@ impl Optimizer for Lamb {
         let step_t = self.t + 1;
         {
             let m = slot(&mut self.m, idx, param);
-            m.scale_inplace(p.beta1);
-            m.axpy(1.0 - p.beta1, grad);
-        }
-        {
             let v = slot(&mut self.v, idx, param);
-            v.scale_inplace(p.beta2);
-            let g_sq = grad.mul(grad);
-            v.axpy(1.0 - p.beta2, &g_sq);
+            advance_moments(m, v, grad, None, &p);
         }
         let dir = self.direction(idx, step_t);
-        // u = dir + λ x_t
-        let mut u = dir.clone();
-        if p.weight_decay != 0.0 {
+        // ‖u‖ with u = dir + λ x_t; skip the temporary when λ = 0.
+        let u_norm = if p.weight_decay != 0.0 {
+            let mut u = dir.clone();
             u.axpy(p.weight_decay, param);
-        }
+            u.l2_norm()
+        } else {
+            dir.l2_norm()
+        };
         let x_norm = param.l2_norm();
-        let u_norm = u.l2_norm();
         let ratio = if x_norm > 0.0 && u_norm > 0.0 {
             x_norm / u_norm
         } else {
@@ -139,9 +140,10 @@ impl Optimizer for Lamb {
             self.saved_ratio.resize(idx + 1, 1.0);
         }
         self.saved_ratio[idx] = ratio;
-        // x ← (1 − η r λ) x − η r · dir
-        param.scale_inplace(1.0 - p.lr * ratio * p.weight_decay);
-        param.axpy(-p.lr * ratio, &dir);
+        // x ← (1 − η r λ) x − η r · dir, fused into one pass.
+        let scale = 1.0 - p.lr * ratio * p.weight_decay;
+        let eta_r = p.lr * ratio;
+        param.zip_inplace(&dir, move |x, d| scale * x - eta_r * d);
     }
 
     fn finish_step(&mut self) {
@@ -157,18 +159,14 @@ impl Optimizer for Lamb {
         let step_t = self.t.max(1);
         let ratio = self.saved_ratio[idx];
         let dir = self.direction(idx, step_t);
-        // x_t = (x_{t+1} + η r · dir) / (1 − η r λ)
-        param.axpy(eta * ratio, &dir);
-        param.scale_inplace(1.0 / (1.0 - eta * ratio * p.weight_decay));
+        // x_t = (x_{t+1} + η r · dir) / (1 − η r λ), fused into one pass.
+        let eta_r = eta * ratio;
+        let inv_scale = 1.0 / (1.0 - eta * ratio * p.weight_decay);
+        param.zip_inplace(&dir, move |x, d| (x + eta_r * d) * inv_scale);
         // Moment reversal (moments advanced on the raw gradient).
         let m = self.m[idx].as_mut().unwrap();
-        m.axpy(-(1.0 - p.beta1), grad);
-        m.scale_inplace(1.0 / p.beta1);
         let v = self.v[idx].as_mut().unwrap();
-        let g_sq = grad.mul(grad);
-        v.axpy(-(1.0 - p.beta2), &g_sq);
-        v.scale_inplace(1.0 / p.beta2);
-        v.map_inplace(|x| x.max(0.0));
+        revert_moments(m, v, grad, None, &p);
         Ok(())
     }
 

@@ -64,8 +64,10 @@ impl Optimizer for Sgd {
     fn step_one(&mut self, _idx: usize, param: &mut Tensor, grad: &Tensor) {
         self.last_lr = self.lr;
         let decay = 1.0 - self.lr * self.weight_decay;
-        param.scale_inplace(decay);
-        param.axpy(-self.lr, grad);
+        let lr = self.lr;
+        // Fused (1 − ηλ)x − ηg: one pass, no temporary; same per-element
+        // rounding as the scale-then-axpy chain.
+        param.zip_inplace(grad, move |x, g| decay * x - lr * g);
     }
 
     fn finish_step(&mut self) {
@@ -79,9 +81,8 @@ impl Optimizer for Sgd {
         grad: &Tensor,
     ) -> Result<(), UndoError> {
         let eta = self.last_lr;
-        param.axpy(eta, grad);
-        let decay = 1.0 - eta * self.weight_decay;
-        param.scale_inplace(1.0 / decay);
+        let inv_decay = 1.0 / (1.0 - eta * self.weight_decay);
+        param.zip_inplace(grad, move |x, g| (x + eta * g) * inv_decay);
         Ok(())
     }
 
@@ -187,15 +188,16 @@ impl Optimizer for SgdMomentum {
 
     fn step_one(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
         self.last_lr = self.lr;
-        // d = g + λx
-        let mut d = grad.clone();
-        if self.weight_decay != 0.0 {
-            d.axpy(self.weight_decay, param);
-        }
+        let (mu, mix, wd) = (self.momentum, 1.0 - self.dampening, self.weight_decay);
         let m = slot(&mut self.m, idx, param);
-        // m = μ m + (1 − τ) d
-        m.scale_inplace(self.momentum);
-        m.axpy(1.0 - self.dampening, &d);
+        // m = μ m + (1 − τ)(g + λx), fused — the effective gradient is
+        // never materialized. The wd == 0 branch avoids `g + 0·x`, which
+        // is not a bitwise no-op for −0/∞/NaN parameters.
+        if wd == 0.0 {
+            m.zip_inplace(grad, move |m, g| mu * m + mix * g);
+        } else {
+            m.zip2_inplace(grad, param, move |m, g, x| mu * m + mix * (g + wd * x));
+        }
         // x = x − η m
         param.axpy(-self.lr, m);
     }
@@ -210,26 +212,24 @@ impl Optimizer for SgdMomentum {
             return Err(UndoError::NothingToUndo { param: idx });
         }
         let eta = self.last_lr;
-        {
-            let m = slot(&mut self.m, idx, param);
-            // x_t = x_{t+1} + η m_t
-            param.axpy(eta, m);
-        }
-        // d = g + λ x_t (uses the *recovered* x_t, matching Algorithm 2)
-        let mut d = grad.clone();
-        if self.weight_decay != 0.0 {
-            d.axpy(self.weight_decay, param);
-        }
-        let momentum = self.momentum;
-        let dampening = self.dampening;
+        let (mu, mix, wd) = (self.momentum, 1.0 - self.dampening, self.weight_decay);
         let m = slot(&mut self.m, idx, param);
-        if momentum == 0.0 {
+        // x_t = x_{t+1} + η m_t
+        param.axpy(eta, m);
+        if mu == 0.0 {
             // Memoryless momentum: m_{t−1} is never read again; zero it.
             m.scale_inplace(0.0);
         } else {
-            // m_{t−1} = (m_t − (1 − τ) d) / μ
-            m.axpy(-(1.0 - dampening), &d);
-            m.scale_inplace(1.0 / momentum);
+            // m_{t−1} = (m_t − (1 − τ)(g + λ x_t)) / μ with the *recovered*
+            // x_t (matching Algorithm 2), fused into one pass.
+            let inv_mu = 1.0 / mu;
+            if wd == 0.0 {
+                m.zip_inplace(grad, move |m, g| (m - mix * g) * inv_mu);
+            } else {
+                m.zip2_inplace(grad, param, move |m, g, x| {
+                    (m - mix * (g + wd * x)) * inv_mu
+                });
+            }
         }
         Ok(())
     }

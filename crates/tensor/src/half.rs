@@ -87,6 +87,40 @@ pub fn quantize_f16(xs: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// Converts a whole slice to f16 bits, rayon-parallel above the elementwise
+/// threshold. Conversion is per-element, so parallelism cannot change bits.
+pub fn f32_slice_to_f16(xs: &[f32]) -> Vec<u16> {
+    use rayon::prelude::*;
+    let mut out = vec![0u16; xs.len()];
+    if crate::par::parallel_elements(xs.len()) {
+        out.par_iter_mut()
+            .zip(xs.par_iter())
+            .for_each(|(o, &x)| *o = f32_to_f16_bits(x));
+    } else {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = f32_to_f16_bits(x);
+        }
+    }
+    out
+}
+
+/// Converts a whole slice of f16 bits to f32, rayon-parallel above the
+/// elementwise threshold.
+pub fn f16_slice_to_f32(hs: &[u16]) -> Vec<f32> {
+    use rayon::prelude::*;
+    let mut out = vec![0.0f32; hs.len()];
+    if crate::par::parallel_elements(hs.len()) {
+        out.par_iter_mut()
+            .zip(hs.par_iter())
+            .for_each(|(o, &h)| *o = f16_bits_to_f32(h));
+    } else {
+        for (o, &h) in out.iter_mut().zip(hs) {
+            *o = f16_bits_to_f32(h);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,12 +19,15 @@
 
 pub mod half;
 pub mod matmul;
+pub mod par;
 pub mod rng;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;
 
-pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
+pub use half::{
+    f16_bits_to_f32, f16_slice_to_f32, f32_slice_to_f16, f32_to_f16_bits, quantize_f16,
+};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use rng::{stream_id, CounterRng};
 pub use serialize::{
@@ -45,11 +48,76 @@ mod proptests {
         })
     }
 
+    /// Adversarial payload values: NaN, ±inf, subnormals, ±0, extremes —
+    /// everything a wire format is most likely to mangle.
+    fn specials() -> [f32; 15] {
+        [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,           // smallest normal
+            f32::MIN_POSITIVE / 2.0,     // subnormal
+            f32::from_bits(1),           // smallest subnormal
+            f32::from_bits(0x8000_0001), // smallest negative subnormal
+            f32::MAX,
+            f32::MIN,
+            65504.0,        // f16::MAX
+            65520.0,        // first f32 that overflows f16
+            5.960_464_5e-8, // 2^-24, smallest f16 subnormal
+            2.980_232_2e-8, // 2^-25, f16 underflow tie — rounds to even 0
+        ]
+    }
+
+    fn arb_adversarial_f32() -> impl Strategy<Value = f32> {
+        // Half the draws hit a hand-picked special value, half are fully
+        // random bit patterns (which include quiet/signaling NaN payloads).
+        (0usize..30, any::<u32>()).prop_map(|(sel, bits)| {
+            let s = specials();
+            if sel < s.len() {
+                s[sel]
+            } else {
+                f32::from_bits(bits)
+            }
+        })
+    }
+
+    fn arb_adversarial_tensor(max_elems: usize) -> impl Strategy<Value = Tensor> {
+        prop::collection::vec(arb_adversarial_f32(), 1..max_elems)
+            .prop_map(|v| Tensor::from_vec([v.len()], v))
+    }
+
     proptest! {
         #[test]
         fn serialize_round_trip(t in arb_tensor(256)) {
             let back = decode(&mut encode(&t)).unwrap();
             prop_assert!(back.bit_eq(&t));
+        }
+
+        #[test]
+        fn f32_round_trip_adversarial(t in arb_adversarial_tensor(300)) {
+            // f32 wire format must be lossless for every bit pattern,
+            // including NaN payloads, ±inf, subnormals and signed zero.
+            let back = decode(&mut encode(&t)).unwrap();
+            prop_assert!(back.bit_eq(&t));
+            let back2 = decode_slice(&encode(&t)).unwrap();
+            prop_assert!(back2.bit_eq(&t));
+        }
+
+        #[test]
+        fn f16_round_trip_adversarial(t in arb_adversarial_tensor(300)) {
+            // The f16 path is lossy by design; the contract is that the
+            // decoded tensor equals quantize_f16 of the original, bit for
+            // bit (NaN stays NaN, ±inf and signed zero survive exactly).
+            let back = decode(&mut encode_f16(&t)).unwrap();
+            let expect = Tensor::from_vec(t.shape().clone(), quantize_f16(t.data()));
+            for (b, e) in back.data().iter().zip(expect.data()) {
+                prop_assert!(
+                    b.to_bits() == e.to_bits() || (b.is_nan() && e.is_nan()),
+                    "decoded {b:?} != quantized {e:?}"
+                );
+            }
         }
 
         #[test]

@@ -1,16 +1,29 @@
-//! Deterministic, cache-blocked, rayon-parallel matrix multiplication.
+//! Deterministic, cache-blocked, register-tiled matrix multiplication.
 //!
-//! Parallelism is over *output rows*: each output element is accumulated by
-//! exactly one thread in a fixed `k` order, so results are bit-identical
-//! regardless of thread count — required for SWIFT's replay determinism.
+//! All three kernels tile the output into `MR`-row blocks and, within a
+//! block, `MR × NR` register tiles: the tile accumulators live in
+//! fixed-size stack arrays, each `B` row (or `A` column) is loaded once and
+//! reused across the `MR` output rows, and stores to `C` happen once per
+//! tile instead of once per `k` step. That is where the speedup over the
+//! seed's unblocked row loops comes from.
+//!
+//! Parallelism is over `MR`-row output blocks via the shared dispatch in
+//! [`crate::par`]. Each output element is accumulated by exactly one thread
+//! in a fixed ascending-`k` order (lane-split but fixed for `matmul_a_bt`),
+//! and block boundaries depend only on the shape — never on the thread
+//! count — so results are bit-identical at any `RAYON_NUM_THREADS`,
+//! including 1. SWIFT's replay correctness (paper §6) depends on this.
 
+use crate::par;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
-/// Rows below this run sequentially (rayon dispatch isn't worth it).
-const PAR_ROWS: usize = 8;
-/// Minimum per-row work (in multiply-adds) before parallelizing.
-const PAR_WORK: usize = 64 * 1024;
+/// Register-tile rows: `A` rows processed together so each `B` row load is
+/// reused `MR` times.
+const MR: usize = 4;
+/// Register-tile columns: accumulator width, two 4-lane SSE vectors (the tile must fit the 16-register SSE file: MR·NR/4 = 8 accumulator registers).
+const NR: usize = 8;
+/// Lane count for the split-accumulator dot product in [`matmul_a_bt`].
+const LANES: usize = 8;
 
 /// `C = A · B` on the matrix views of `a` (`[m, k]`) and `b` (`[k, n]`).
 ///
@@ -23,30 +36,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-
-    let row_kernel = |r: usize, out_row: &mut [f32]| {
-        // i-k-j loop order: streams through B rows, SIMD-friendly, and
-        // accumulates each C element in a fixed order.
-        let a_row = &ad[r * k..(r + 1) * k];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
-        }
-    };
-
-    if m >= PAR_ROWS && k * n >= PAR_WORK {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, row)| row_kernel(r, row));
-    } else {
-        for (r, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(r, row);
-        }
+    if n > 0 {
+        par::for_each_block_mut(
+            &mut out,
+            MR * n,
+            par::parallel_rows(m, k * n),
+            |blk, out_block| ab_block(ad, bd, k, n, blk * MR, out_block),
+        );
     }
     Tensor::from_vec([m, n], out)
 }
@@ -60,28 +56,13 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-
-    let row_kernel = |r: usize, out_row: &mut [f32]| {
-        for kk in 0..k {
-            let av = ad[kk * m + r];
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
-        }
-    };
-
-    if m >= PAR_ROWS && k * n >= PAR_WORK {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, row)| row_kernel(r, row));
-    } else {
-        for (r, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(r, row);
-        }
+    if n > 0 {
+        par::for_each_block_mut(
+            &mut out,
+            MR * n,
+            par::parallel_rows(m, k * n),
+            |blk, out_block| atb_block(ad, bd, k, m, n, blk * MR, out_block),
+        );
     }
     Tensor::from_vec([m, n], out)
 }
@@ -96,29 +77,139 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-
-    let row_kernel = |r: usize, out_row: &mut [f32]| {
-        let a_row = &ad[r * k..(r + 1) * k];
-        for (c, o) in out_row.iter_mut().enumerate() {
-            let b_row = &bd[c * k..(c + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    };
-
-    if m >= PAR_ROWS && k * n >= PAR_WORK {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, row)| row_kernel(r, row));
-    } else {
-        for (r, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(r, row);
-        }
+    if n > 0 {
+        par::for_each_block_mut(
+            &mut out,
+            MR * n,
+            par::parallel_rows(m, k * n),
+            |blk, out_block| abt_block(ad, bd, k, n, blk * MR, out_block),
+        );
     }
     Tensor::from_vec([m, n], out)
+}
+
+/// One `MR`-row (or shorter, at the bottom edge) block of `C = A · B`.
+/// Accumulation order per element: ascending `kk`, one accumulator.
+fn ab_block(ad: &[f32], bd: &[f32], k: usize, n: usize, r0: usize, out_block: &mut [f32]) {
+    let rows = out_block.len() / n;
+    let mut a_rows: [&[f32]; MR] = [&[]; MR];
+    for (i, slot) in a_rows.iter_mut().enumerate().take(rows) {
+        *slot = &ad[(r0 + i) * k..(r0 + i + 1) * k];
+    }
+
+    let mut c0 = 0;
+    while c0 + NR <= n {
+        let mut acc = [[0.0f32; NR]; MR];
+        for kk in 0..k {
+            let b_tile: &[f32; NR] = bd[kk * n + c0..kk * n + c0 + NR].try_into().unwrap();
+            for i in 0..rows {
+                let av = a_rows[i][kk];
+                let acc_i = &mut acc[i];
+                for j in 0..NR {
+                    acc_i[j] += av * b_tile[j];
+                }
+            }
+        }
+        for (i, acc_i) in acc.iter().enumerate().take(rows) {
+            out_block[i * n + c0..i * n + c0 + NR].copy_from_slice(acc_i);
+        }
+        c0 += NR;
+    }
+
+    // Column edge (n % NR): plain ikj, still ascending-k per element.
+    if c0 < n {
+        for i in 0..rows {
+            for (kk, &av) in a_rows[i].iter().enumerate() {
+                let b_edge = &bd[kk * n + c0..(kk + 1) * n];
+                let out_edge = &mut out_block[i * n + c0..i * n + n];
+                for (o, &bv) in out_edge.iter_mut().zip(b_edge) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// One output block of `C = Aᵀ · B` (`a` stored `[k, m]`): identical tiling
+/// to [`ab_block`], but the `A` operands for the block's rows sit
+/// contiguously inside each `A` row (`ad[kk·m + r0 ..]`).
+fn atb_block(
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    r0: usize,
+    out_block: &mut [f32],
+) {
+    let rows = out_block.len() / n;
+
+    let mut c0 = 0;
+    while c0 + NR <= n {
+        let mut acc = [[0.0f32; NR]; MR];
+        for kk in 0..k {
+            let a_col = &ad[kk * m + r0..kk * m + r0 + rows];
+            let b_tile: &[f32; NR] = bd[kk * n + c0..kk * n + c0 + NR].try_into().unwrap();
+            for (i, &av) in a_col.iter().enumerate() {
+                let acc_i = &mut acc[i];
+                for j in 0..NR {
+                    acc_i[j] += av * b_tile[j];
+                }
+            }
+        }
+        for (i, acc_i) in acc.iter().enumerate().take(rows) {
+            out_block[i * n + c0..i * n + c0 + NR].copy_from_slice(acc_i);
+        }
+        c0 += NR;
+    }
+
+    if c0 < n {
+        for kk in 0..k {
+            let a_col = &ad[kk * m + r0..kk * m + r0 + rows];
+            let b_edge = &bd[kk * n + c0..(kk + 1) * n];
+            for (i, &av) in a_col.iter().enumerate() {
+                let out_edge = &mut out_block[i * n + c0..i * n + n];
+                for (o, &bv) in out_edge.iter_mut().zip(b_edge) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// One output block of `C = A · Bᵀ` (`b` stored `[n, k]`): both operands of
+/// every dot product are contiguous, so each element is a lane-split dot.
+fn abt_block(ad: &[f32], bd: &[f32], k: usize, n: usize, r0: usize, out_block: &mut [f32]) {
+    let rows = out_block.len() / n;
+    for i in 0..rows {
+        let a_row = &ad[(r0 + i) * k..(r0 + i + 1) * k];
+        let out_row = &mut out_block[i * n..(i + 1) * n];
+        for (c, o) in out_row.iter_mut().enumerate() {
+            *o = dot_lanes(a_row, &bd[c * k..(c + 1) * k]);
+        }
+    }
+}
+
+/// Dot product with `LANES` independent accumulators combined in a fixed
+/// order (lanes ascending, then the scalar tail ascending). The order never
+/// depends on threading, so repeated evaluation is bit-stable.
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    for (xb, yb) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            lanes[l] += xb[l] * yb[l];
+        }
+    }
+    let mut s = 0.0f32;
+    for &lane in &lanes {
+        s += lane;
+    }
+    for (&xv, &yv) in xc.remainder().iter().zip(yc.remainder()) {
+        s += xv * yv;
+    }
+    s
 }
 
 #[cfg(test)]
@@ -140,6 +231,21 @@ mod tests {
             }
         }
         out
+    }
+
+    /// The same blocked kernel forced down the sequential dispatch path —
+    /// the single-thread reference for the determinism contract.
+    fn matmul_forced_sequential(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix();
+        let (_, n) = b.shape().as_matrix();
+        let mut out = vec![0.0f32; m * n];
+        let (ad, bd) = (a.data(), b.data());
+        if n > 0 {
+            par::for_each_block_mut(&mut out, MR * n, false, |blk, out_block| {
+                ab_block(ad, bd, k, n, blk * MR, out_block)
+            });
+        }
+        Tensor::from_vec([m, n], out)
     }
 
     #[test]
@@ -164,13 +270,12 @@ mod tests {
 
     #[test]
     fn matches_naive_loop_order() {
-        // The kernel uses ikj order which accumulates in the same k-order
-        // as the naive ijk loop, so results agree exactly for exact inputs
-        // and within float tolerance for random ones.
+        // The tiled kernel accumulates each element in the same ascending-k
+        // order as the naive ijk loop, so results agree bit-exactly.
         let mut rng = CounterRng::new(2, 0);
         let a = Tensor::randn([17, 23], 0.0, 1.0, &mut rng);
         let b = Tensor::randn([23, 11], 0.0, 1.0, &mut rng);
-        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4);
+        assert!(matmul(&a, &b).bit_eq(&naive(&a, &b)));
     }
 
     #[test]
@@ -179,7 +284,7 @@ mod tests {
         let a = Tensor::randn([13, 7], 0.0, 1.0, &mut rng);
         let b = Tensor::randn([13, 9], 0.0, 1.0, &mut rng);
         let expect = matmul(&a.transpose(), &b);
-        assert!(matmul_at_b(&a, &b).max_abs_diff(&expect) < 1e-4);
+        assert!(matmul_at_b(&a, &b).bit_eq(&expect));
     }
 
     #[test]
@@ -199,6 +304,50 @@ mod tests {
         let c1 = matmul(&a, &b);
         for _ in 0..3 {
             assert!(c1.bit_eq(&matmul(&a, &b)));
+        }
+    }
+
+    #[test]
+    fn blocked_parallel_bit_eq_single_thread() {
+        // The determinism contract: the parallel dispatch must reproduce the
+        // forced-sequential result bit-for-bit on shapes that exercise full
+        // tiles, row edges (m % MR), column edges (n % NR), and both sides
+        // of the parallel threshold. CI runs this whole suite under
+        // RAYON_NUM_THREADS ∈ {1, 2, 8}.
+        let shapes: &[(usize, usize, usize)] = &[
+            (64, 64, 64),      // full tiles only
+            (67, 31, 29),      // ragged everything
+            (8, 128, 513),     // above the threshold with a column edge
+            (129, 130, 48),    // row edge, above the threshold
+            (3, 5, 7),         // tiny, sequential path
+            (1, 1, 1),         // degenerate
+            (16, 100_000, 16), // deep k, tests accumulator order at scale
+        ];
+        let mut rng = CounterRng::new(6, 0);
+        for &(m, k, n) in shapes {
+            let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+            let par = matmul(&a, &b);
+            let seq = matmul_forced_sequential(&a, &b);
+            assert!(
+                par.bit_eq(&seq),
+                "matmul [{m},{k}]x[{k},{n}] differs between parallel and sequential dispatch"
+            );
+        }
+    }
+
+    #[test]
+    fn all_kernels_deterministic_across_repeats() {
+        let mut rng = CounterRng::new(7, 0);
+        let a = Tensor::randn([96, 70], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([70, 50], 0.0, 1.0, &mut rng);
+        let at = Tensor::randn([70, 96], 0.0, 1.0, &mut rng);
+        let bt = Tensor::randn([50, 70], 0.0, 1.0, &mut rng);
+        let (c1, c2, c3) = (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt));
+        for _ in 0..3 {
+            assert!(c1.bit_eq(&matmul(&a, &b)));
+            assert!(c2.bit_eq(&matmul_at_b(&at, &b)));
+            assert!(c3.bit_eq(&matmul_a_bt(&a, &bt)));
         }
     }
 

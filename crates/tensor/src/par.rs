@@ -1,0 +1,124 @@
+//! Unified parallel-dispatch policy for every kernel in this crate.
+//!
+//! Before this module, `Tensor::map`/`zip_inplace`, the reductions, and the
+//! three matmul kernels each carried their own ad-hoc cutoff (32 768
+//! elements here, 8 rows + 64 Ki multiply-adds there). They now share one
+//! set of constants with the rationale written down once.
+//!
+//! ## Rationale
+//!
+//! Dispatching work to the rayon pool costs on the order of a few
+//! microseconds per call (thread wake-up + scope join). A memory-bound
+//! elementwise kernel moves roughly 8–16 bytes/ns, so the dispatch is only
+//! amortized once a tensor carries tens of thousands of elements —
+//! [`PAR_MIN_ELEMS`]. Compute-bound matmul does `2·k·n` flops per output
+//! row; parallelism pays off once each spawned piece holds at least a few
+//! rows *and* each row is itself substantial, hence [`PAR_MIN_ROWS`] and
+//! [`PAR_MIN_ROW_WORK`]. Reductions always chunk at [`REDUCE_BLOCK`]
+//! elements regardless of the parallel decision, so the partial-sum tree is
+//! identical on the sequential and parallel paths.
+//!
+//! ## Determinism
+//!
+//! The dispatch decision itself never changes results: every kernel routed
+//! through [`for_each_block_mut`] computes each output element with the same
+//! instruction sequence whether the block runs on the calling thread or a
+//! pool thread, and blocks never overlap. See DESIGN.md §"Determinism
+//! contract for parallel kernels".
+
+use rayon::prelude::*;
+
+/// Minimum element count before an elementwise kernel (map/zip/fused
+/// update) uses the pool. Below this, dispatch overhead dominates the
+/// memory-bound loop body.
+pub const PAR_MIN_ELEMS: usize = 32_768;
+
+/// Minimum output rows before a matmul-family kernel parallelizes. Fewer
+/// rows than this cannot feed more than a couple of workers anyway.
+pub const PAR_MIN_ROWS: usize = 8;
+
+/// Minimum multiply-adds per output row (`k·n` for `C = A·B`) before a
+/// matmul-family kernel parallelizes. Small inner products finish faster
+/// than the pool can wake.
+pub const PAR_MIN_ROW_WORK: usize = 64 * 1024;
+
+/// Fixed reduction block extent. Reductions sum blocks of exactly this many
+/// elements and combine the partials in index order, so the float rounding
+/// tree is frozen independent of thread count (paper §6).
+pub const REDUCE_BLOCK: usize = 1024;
+
+/// Policy: should an elementwise kernel over `n` elements parallelize?
+#[inline]
+pub fn parallel_elements(n: usize) -> bool {
+    n >= PAR_MIN_ELEMS
+}
+
+/// Policy: should a matmul-family kernel with `rows` output rows and
+/// `row_work` multiply-adds per row parallelize?
+#[inline]
+pub fn parallel_rows(rows: usize, row_work: usize) -> bool {
+    rows >= PAR_MIN_ROWS && row_work >= PAR_MIN_ROW_WORK
+}
+
+/// Shared par/seq dispatch: applies `kernel(block_index, block)` to
+/// consecutive `block_len`-element chunks of `out` (last chunk may be
+/// short), in parallel when `parallel` is set.
+///
+/// This replaces the three copy-pasted `if parallel { par_chunks_mut … }
+/// else { chunks_mut … }` branches the matmul kernels used to carry. The
+/// kernel body is invoked identically on both paths, and chunk boundaries
+/// depend only on `block_len` — never on the thread count — so any kernel
+/// that is deterministic per block is deterministic under this dispatch.
+pub fn for_each_block_mut<F>(out: &mut [f32], block_len: usize, parallel: bool, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    if parallel {
+        out.par_chunks_mut(block_len)
+            .enumerate()
+            .for_each(|(i, block)| kernel(i, block));
+    } else {
+        for (i, block) in out.chunks_mut(block_len).enumerate() {
+            kernel(i, block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_paths_agree() {
+        let kernel = |i: usize, block: &mut [f32]| {
+            for (j, x) in block.iter_mut().enumerate() {
+                *x = (i * 1000 + j) as f32;
+            }
+        };
+        let mut seq = vec![0.0f32; 1003];
+        let mut par = vec![0.0f32; 1003];
+        for_each_block_mut(&mut seq, 64, false, kernel);
+        for_each_block_mut(&mut par, 64, true, kernel);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        for_each_block_mut(&mut [], 16, true, |_, _| panic!("no blocks expected"));
+    }
+
+    #[test]
+    fn thresholds_are_consistent() {
+        assert!(parallel_elements(PAR_MIN_ELEMS));
+        assert!(!parallel_elements(PAR_MIN_ELEMS - 1));
+        assert!(parallel_rows(PAR_MIN_ROWS, PAR_MIN_ROW_WORK));
+        assert!(!parallel_rows(PAR_MIN_ROWS - 1, PAR_MIN_ROW_WORK));
+        assert!(!parallel_rows(PAR_MIN_ROWS, PAR_MIN_ROW_WORK - 1));
+        // Reduction blocks must divide evenly into the elementwise cutoff so
+        // the parallel decision never splits a block.
+        assert_eq!(PAR_MIN_ELEMS % REDUCE_BLOCK, 0);
+    }
+}

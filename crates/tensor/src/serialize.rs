@@ -11,7 +11,15 @@
 //! len    u64  (element count, redundant with dims — integrity check)
 //! data   f32 × len (little endian)
 //! ```
+//!
+//! The payload moves in bulk: on little-endian targets the whole `f32`
+//! (or `f16`-bits) slice is reinterpreted as bytes and copied with a single
+//! `put_slice`/`copy_to_slice` — one `memcpy` instead of one bounds-checked
+//! call per element. Big-endian targets fall back to converting fixed-size
+//! chunks through a stack buffer, preserving the little-endian wire format.
+//! Half-precision conversion runs rayon-parallel for large tensors.
 
+use crate::half;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -19,6 +27,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: u32 = 0x5357_4654;
 /// Magic for half-precision payloads ("SWFH").
 const MAGIC_F16: u32 = 0x5357_4648;
+
+/// Chunk extent (elements) for the big-endian byte-swapping fallback.
+#[allow(dead_code)]
+const SWAP_CHUNK: usize = 256;
 
 /// Errors produced when decoding a tensor payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +63,103 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+// ------------------------------------------------------------- bulk payload
+
+/// Appends `data` as little-endian `f32`s: a single `memcpy` on LE targets.
+fn put_f32s(buf: &mut impl BufMut, data: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `f32` has no padding and every bit pattern is valid for
+        // `u8`; the view covers exactly `data.len() * 4` initialized bytes
+        // and the in-memory layout on an LE target is the wire layout.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 4) };
+        buf.put_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut scratch = [0u8; SWAP_CHUNK * 4];
+        for chunk in data.chunks(SWAP_CHUNK) {
+            for (i, &v) in chunk.iter().enumerate() {
+                scratch[i * 4..i * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            buf.put_slice(&scratch[..chunk.len() * 4]);
+        }
+    }
+}
+
+/// Appends `data` as little-endian `u16`s (the `f16` payload path).
+fn put_u16s(buf: &mut impl BufMut, data: &[u16]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `put_f32s` — plain-old-data reinterpretation.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 2) };
+        buf.put_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut scratch = [0u8; SWAP_CHUNK * 2];
+        for chunk in data.chunks(SWAP_CHUNK) {
+            for (i, &v) in chunk.iter().enumerate() {
+                scratch[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+            }
+            buf.put_slice(&scratch[..chunk.len() * 2]);
+        }
+    }
+}
+
+/// Reads `n` little-endian `f32`s: a single `memcpy` on LE targets.
+fn get_f32s(buf: &mut impl Buf, n: usize) -> Vec<f32> {
+    let mut data = vec![0.0f32; n];
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: the Vec owns `n * 4` initialized, unaliased bytes; any
+        // bit pattern is a valid `f32`.
+        let view = unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u8>(), n * 4) };
+        buf.copy_to_slice(view);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut scratch = [0u8; SWAP_CHUNK * 4];
+        for chunk in data.chunks_mut(SWAP_CHUNK) {
+            let bytes = &mut scratch[..chunk.len() * 4];
+            buf.copy_to_slice(bytes);
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&bytes[i * 4..i * 4 + 4]);
+                *v = f32::from_bits(u32::from_le_bytes(b));
+            }
+        }
+    }
+    data
+}
+
+/// Reads `n` little-endian `u16`s.
+fn get_u16s(buf: &mut impl Buf, n: usize) -> Vec<u16> {
+    let mut data = vec![0u16; n];
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `get_f32s`.
+        let view = unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u8>(), n * 2) };
+        buf.copy_to_slice(view);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut scratch = [0u8; SWAP_CHUNK * 2];
+        for chunk in data.chunks_mut(SWAP_CHUNK) {
+            let bytes = &mut scratch[..chunk.len() * 2];
+            buf.copy_to_slice(bytes);
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = u16::from_le_bytes([bytes[i * 2], bytes[i * 2 + 1]]);
+            }
+        }
+    }
+    data
+}
+
+// ------------------------------------------------------------------ encode
+
 /// Encodes a tensor into a freshly allocated byte buffer.
 pub fn encode(t: &Tensor) -> Bytes {
     let mut buf = BytesMut::with_capacity(encoded_size(t));
@@ -58,17 +167,16 @@ pub fn encode(t: &Tensor) -> Bytes {
     buf.freeze()
 }
 
-/// Encodes a tensor, appending to `buf`.
-pub fn encode_into(t: &Tensor, buf: &mut BytesMut) {
+/// Encodes a tensor, appending to any [`BufMut`] (a `BytesMut` or a pooled
+/// `Vec<u8>` staging buffer).
+pub fn encode_into(t: &Tensor, buf: &mut impl BufMut) {
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(t.shape().rank() as u32);
     for &d in t.shape().dims() {
         buf.put_u64_le(d as u64);
     }
     buf.put_u64_le(t.numel() as u64);
-    for &v in t.data() {
-        buf.put_f32_le(v);
-    }
+    put_f32s(buf, t.data());
 }
 
 /// Exact number of bytes [`encode`] will produce for `t`.
@@ -78,16 +186,15 @@ pub fn encoded_size(t: &Tensor) -> usize {
 
 /// Encodes a tensor in half precision (f16 payload) — halves the logging
 /// volume at a ≤2⁻¹¹ relative rounding cost (paper §8, mixed precision).
-pub fn encode_f16_into(t: &Tensor, buf: &mut BytesMut) {
+/// The f32 → f16 conversion runs rayon-parallel for large tensors.
+pub fn encode_f16_into(t: &Tensor, buf: &mut impl BufMut) {
     buf.put_u32_le(MAGIC_F16);
     buf.put_u32_le(t.shape().rank() as u32);
     for &d in t.shape().dims() {
         buf.put_u64_le(d as u64);
     }
     buf.put_u64_le(t.numel() as u64);
-    for &v in t.data() {
-        buf.put_u16_le(crate::half::f32_to_f16_bits(v));
-    }
+    put_u16s(buf, &half::f32_slice_to_f16(t.data()));
 }
 
 /// Encodes a tensor in half precision into a fresh buffer.
@@ -102,8 +209,21 @@ pub fn encoded_f16_size(t: &Tensor) -> usize {
     4 + 4 + 8 * t.shape().rank() + 8 + 2 * t.numel()
 }
 
+// ------------------------------------------------------------------ decode
+
 /// Decodes one tensor from the front of `buf`, advancing it.
 pub fn decode(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
+    decode_from(buf)
+}
+
+/// Decodes a tensor from a standalone byte slice without copying the input
+/// into an intermediate `Bytes`.
+pub fn decode_slice(mut bytes: &[u8]) -> Result<Tensor, DecodeError> {
+    decode_from(&mut bytes)
+}
+
+/// Decodes one tensor from the front of any [`Buf`], advancing it.
+fn decode_from(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
@@ -128,25 +248,17 @@ pub fn decode(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
             declared,
         });
     }
-    let elem = if half { 2 } else { 4 };
+    let elem: u64 = if half { 2 } else { 4 };
     if (buf.remaining() as u64) < elem * declared {
         return Err(DecodeError::Truncated);
     }
-    let mut data = Vec::with_capacity(declared as usize);
-    for _ in 0..declared {
-        if half {
-            data.push(crate::half::f16_bits_to_f32(buf.get_u16_le()));
-        } else {
-            data.push(buf.get_f32_le());
-        }
-    }
+    let n = declared as usize;
+    let data = if half {
+        half::f16_slice_to_f32(&get_u16s(buf, n))
+    } else {
+        get_f32s(buf, n)
+    };
     Ok(Tensor::from_vec(Shape(dims), data))
-}
-
-/// Decodes a tensor from a standalone byte slice.
-pub fn decode_slice(bytes: &[u8]) -> Result<Tensor, DecodeError> {
-    let mut b = Bytes::copy_from_slice(bytes);
-    decode(&mut b)
 }
 
 #[cfg(test)]
@@ -177,6 +289,32 @@ mod tests {
         let t = Tensor::from_vec([4], vec![f32::NAN, f32::INFINITY, -0.0, f32::MIN_POSITIVE]);
         let back = decode(&mut encode(&t)).unwrap();
         assert!(back.bit_eq(&t));
+    }
+
+    #[test]
+    fn large_tensor_round_trip_bitwise() {
+        // Exercises the bulk (single-memcpy) payload path on both sides,
+        // including the parallel threshold.
+        let t = Tensor::uniform([100_000], -1e6, 1e6, &mut CounterRng::new(9, 0));
+        let back = decode(&mut encode(&t)).unwrap();
+        assert!(back.bit_eq(&t));
+    }
+
+    #[test]
+    fn bulk_encode_matches_per_element_reference() {
+        // The bulk payload writer must be byte-identical to the seed's
+        // per-element `put_f32_le` loop.
+        let t = Tensor::randn([257], 0.0, 10.0, &mut CounterRng::new(11, 0));
+        let mut reference = BytesMut::new();
+        reference.put_u32_le(super::MAGIC);
+        reference.put_u32_le(1);
+        reference.put_u64_le(257);
+        reference.put_u64_le(257);
+        for &v in t.data() {
+            reference.put_f32_le(v);
+        }
+        let bulk = encode(&t);
+        assert_eq!(bulk.as_slice(), reference.as_ref());
     }
 
     #[test]

@@ -1,18 +1,9 @@
 //! The dense tensor type and its deterministic kernels.
 
+use crate::par;
 use crate::rng::CounterRng;
 use crate::shape::Shape;
 use rayon::prelude::*;
-
-/// Below this element count, kernels run sequentially: rayon dispatch
-/// overhead dominates for small tensors.
-const PAR_THRESHOLD: usize = 32_768;
-
-/// Fixed reduction block size. All reductions sum fixed-extent blocks and
-/// then combine block partials in index order, so the result is independent
-/// of how rayon schedules the blocks — a requirement for SWIFT's bitwise
-/// deterministic replay (paper §6).
-const REDUCE_BLOCK: usize = 1024;
 
 /// A dense, row-major, `f32` tensor.
 ///
@@ -189,7 +180,7 @@ impl Tensor {
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync + Send) {
-        if self.data.len() >= PAR_THRESHOLD {
+        if par::parallel_elements(self.data.len()) {
             self.data.par_iter_mut().for_each(|x| *x = f(*x));
         } else {
             self.data.iter_mut().for_each(|x| *x = f(*x));
@@ -241,7 +232,7 @@ impl Tensor {
             "shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        if self.data.len() >= PAR_THRESHOLD {
+        if par::parallel_elements(self.data.len()) {
             self.data
                 .par_iter_mut()
                 .zip(other.data.par_iter())
@@ -251,6 +242,42 @@ impl Tensor {
                 .iter_mut()
                 .zip(other.data.iter())
                 .for_each(|(a, &b)| *a = f(*a, b));
+        }
+    }
+
+    /// Applies `f(self, a, b)` elementwise in place on `self`.
+    ///
+    /// This is the fusion primitive for optimizer update/undo chains: a
+    /// whole `scale → axpy → mul → div` sequence collapses into one pass
+    /// over the data with zero intermediate allocations. Callers that need
+    /// bit-compatibility with a previously unfused chain must replicate its
+    /// exact rounding order inside `f`.
+    pub fn zip2_inplace(
+        &mut self,
+        a: &Tensor,
+        b: &Tensor,
+        f: impl Fn(f32, f32, f32) -> f32 + Sync + Send,
+    ) {
+        assert_eq!(
+            self.shape, a.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, a.shape
+        );
+        assert_eq!(
+            self.shape, b.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, b.shape
+        );
+        if par::parallel_elements(self.data.len()) {
+            self.data
+                .par_iter_mut()
+                .zip(a.data.par_iter().zip(b.data.par_iter()))
+                .for_each(|(x, (&av, &bv))| *x = f(*x, av, bv));
+        } else {
+            self.data
+                .iter_mut()
+                .zip(a.data.iter().zip(b.data.iter()))
+                .for_each(|(x, (&av, &bv))| *x = f(*x, av, bv));
         }
     }
 
@@ -426,10 +453,10 @@ impl Tensor {
 /// parallel; determinism follows because block boundaries are fixed and the
 /// caller combines partials sequentially.
 fn deterministic_block_reduce<R: Send>(data: &[f32], f: impl Fn(&[f32]) -> R + Sync) -> Vec<R> {
-    if data.len() >= PAR_THRESHOLD {
-        data.par_chunks(REDUCE_BLOCK).map(&f).collect()
+    if par::parallel_elements(data.len()) {
+        data.par_chunks(par::REDUCE_BLOCK).map(&f).collect()
     } else {
-        data.chunks(REDUCE_BLOCK).map(f).collect()
+        data.chunks(par::REDUCE_BLOCK).map(f).collect()
     }
 }
 
@@ -466,6 +493,39 @@ mod tests {
         assert_eq!(a.maximum(&b).data(), &[4.0, 5.0, 6.0]);
         assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
         assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zip2_inplace_fuses_three_operands() {
+        let mut x = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let a = Tensor::from_vec([3], vec![10.0, 20.0, 30.0]);
+        let b = Tensor::from_vec([3], vec![0.5, 0.25, 0.1]);
+        x.zip2_inplace(&a, &b, |x, a, b| x + a * b);
+        assert_eq!(x.data(), &[6.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn zip2_inplace_parallel_matches_sequential() {
+        // Same fused closure above and below the parallel threshold chunk —
+        // split the same tensor so both paths run on identical data.
+        let n = 100_000;
+        let mut rng = CounterRng::new(3, 3);
+        let x0 = Tensor::uniform([n], -1.0, 1.0, &mut rng);
+        let a = Tensor::uniform([n], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform([n], -1.0, 1.0, &mut rng);
+        let f = |x: f32, a: f32, b: f32| 0.9 * x + 0.1 * (a * b);
+        let mut par = x0.clone();
+        par.zip2_inplace(&a, &b, f);
+        let mut seq = x0.clone();
+        for ((x, &av), &bv) in seq
+            .data_mut()
+            .iter_mut()
+            .zip(a.data().iter())
+            .zip(b.data().iter())
+        {
+            *x = f(*x, av, bv);
+        }
+        assert!(par.bit_eq(&seq));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use swift_dnn::StepCtx;
 use swift_net::{Rank, Topology};
 use swift_pipeline::{MsgKind, PipelineObserver};
@@ -30,6 +30,17 @@ use swift_tensor::Tensor;
 
 use crate::grouping::GroupMap;
 use crate::record::LogRecord;
+
+/// A record already rendered to its wire form: the store key plus the
+/// encoded payload. Records are encoded once, on `log_send`, straight from
+/// the borrowed boundary tensor — the tensor itself is never cloned, and
+/// the payload buffer travels to the writer thread and comes back through
+/// the recycle channel for reuse.
+#[derive(Debug)]
+struct WriteJob {
+    key: String,
+    payload: Vec<u8>,
+}
 
 /// When records leave the critical path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,12 +82,17 @@ pub struct Logger {
     precision: LogPrecision,
     topology: Topology,
     groups: GroupMap,
-    staged: Vec<LogRecord>,
-    tx: Option<Sender<LogRecord>>,
+    staged: Vec<WriteJob>,
+    tx: Option<Sender<WriteJob>>,
     writer: Option<JoinHandle<()>>,
     in_flight: Arc<AtomicU64>,
     stats: Arc<LogStats>,
     store: BlobStore,
+    /// Drained payload buffers coming back from the writer thread; reused
+    /// by the next `log_send` so steady-state logging stops allocating.
+    recycled: Receiver<Vec<u8>>,
+    /// Reusable encode buffer for the inline (`Sync`) write path.
+    scratch: Vec<u8>,
 }
 
 impl Logger {
@@ -99,18 +115,25 @@ impl Logger {
     ) -> Self {
         let stats = Arc::new(LogStats::default());
         let in_flight = Arc::new(AtomicU64::new(0));
+        let (pool_tx, pool_rx) = unbounded::<Vec<u8>>();
         let (tx, writer) = if mode == LogMode::Sync {
             (None, None)
         } else {
-            let (tx, rx) = unbounded::<LogRecord>();
+            let (tx, rx) = unbounded::<WriteJob>();
             let store2 = store.clone();
             let stats2 = stats.clone();
             let in_flight2 = in_flight.clone();
             let handle = std::thread::Builder::new()
                 .name("wal-writer".into())
                 .spawn(move || {
-                    while let Ok(rec) = rx.recv() {
-                        write_record(&store2, &rec, &stats2, precision);
+                    while let Ok(job) = rx.recv() {
+                        write_payload(&store2, &job.key, &job.payload, &stats2);
+                        // Hand the drained buffer back for reuse; the
+                        // logger may already be gone, in which case the
+                        // buffer simply drops.
+                        let mut buf = job.payload;
+                        buf.clear();
+                        let _ = pool_tx.send(buf);
                         in_flight2.fetch_sub(1, Ordering::SeqCst);
                     }
                 })
@@ -128,6 +151,8 @@ impl Logger {
             in_flight,
             stats,
             store,
+            recycled: pool_rx,
+            scratch: Vec::new(),
         }
     }
 
@@ -154,16 +179,57 @@ impl Logger {
     }
 
     /// Records an outbound tensor (called from the send path).
+    ///
+    /// The tensor is encoded straight into a pooled buffer here — it is
+    /// never cloned, and in the async modes the only per-record cost on
+    /// the critical path is the encode itself.
     pub fn log_send(&mut self, src: Rank, dst: Rank, ctx: StepCtx, kind: MsgKind, t: &Tensor) {
         if !self.should_log(src, dst) {
             self.stats.records_skipped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let rec = LogRecord::new(src, dst, ctx.iteration, ctx.microbatch, kind, t.clone());
+        let half = self.precision == LogPrecision::F16;
+        let kind_code = kind.into();
+        let key = LogRecord::key_for(src, dst, ctx.iteration, ctx.microbatch, kind_code);
         match self.mode {
-            LogMode::Sync => write_record(&self.store, &rec, &self.stats, self.precision),
-            LogMode::Async => self.enqueue(rec),
-            LogMode::BubbleAsync => self.staged.push(rec),
+            LogMode::Sync => {
+                let mut payload = std::mem::take(&mut self.scratch);
+                payload.clear();
+                payload.reserve(LogRecord::encoded_len(t, half));
+                LogRecord::encode_parts_into(
+                    src,
+                    dst,
+                    ctx.iteration,
+                    ctx.microbatch,
+                    kind_code,
+                    t,
+                    half,
+                    &mut payload,
+                );
+                write_payload(&self.store, &key, &payload, &self.stats);
+                self.scratch = payload;
+            }
+            LogMode::Async | LogMode::BubbleAsync => {
+                let mut payload = self.recycled.try_recv().unwrap_or_default();
+                payload.clear();
+                payload.reserve(LogRecord::encoded_len(t, half));
+                LogRecord::encode_parts_into(
+                    src,
+                    dst,
+                    ctx.iteration,
+                    ctx.microbatch,
+                    kind_code,
+                    t,
+                    half,
+                    &mut payload,
+                );
+                let job = WriteJob { key, payload };
+                if self.mode == LogMode::Async {
+                    self.enqueue(job);
+                } else {
+                    self.staged.push(job);
+                }
+            }
         }
     }
 
@@ -171,23 +237,23 @@ impl Logger {
     /// ("copy to CPU during the bubble").
     pub fn on_bubble(&mut self) {
         if self.mode == LogMode::BubbleAsync {
-            for rec in self.staged.drain(..) {
+            for job in self.staged.drain(..) {
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
                 self.tx
                     .as_ref()
                     .unwrap()
-                    .send(rec)
+                    .send(job)
                     .expect("wal writer gone");
             }
         }
     }
 
-    fn enqueue(&mut self, rec: LogRecord) {
+    fn enqueue(&mut self, job: WriteJob) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.tx
             .as_ref()
             .unwrap()
-            .send(rec)
+            .send(job)
             .expect("wal writer gone");
     }
 
@@ -199,16 +265,16 @@ impl Logger {
     /// Drains staging and blocks until every record is durable — called on
     /// failure detection (§5.1 recovery step 1–2) and at checkpoints.
     pub fn flush(&mut self) {
-        let staged: Vec<LogRecord> = self.staged.drain(..).collect();
+        let staged: Vec<WriteJob> = self.staged.drain(..).collect();
         match self.mode {
             LogMode::Sync => {
-                for rec in &staged {
-                    write_record(&self.store, rec, &self.stats, self.precision);
+                for job in &staged {
+                    write_payload(&self.store, &job.key, &job.payload, &self.stats);
                 }
             }
             _ => {
-                for rec in staged {
-                    self.enqueue(rec);
+                for job in staged {
+                    self.enqueue(job);
                 }
                 while self.in_flight.load(Ordering::SeqCst) > 0 {
                     std::thread::sleep(std::time::Duration::from_micros(100));
@@ -248,12 +314,12 @@ impl Drop for Logger {
     }
 }
 
-fn write_record(store: &BlobStore, rec: &LogRecord, stats: &LogStats, precision: LogPrecision) {
-    let payload = rec.encode_precision(precision == LogPrecision::F16);
-    let bytes = payload.len() as u64;
-    store.put(&rec.key(), &payload).expect("log write failed");
+fn write_payload(store: &BlobStore, key: &str, payload: &[u8], stats: &LogStats) {
+    store.put(key, payload).expect("log write failed");
     stats.records_written.fetch_add(1, Ordering::Relaxed);
-    stats.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    stats
+        .bytes_written
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
 }
 
 /// A [`PipelineObserver`] binding a worker rank to its machine's logger —

@@ -89,14 +89,37 @@ impl LogRecord {
     /// by iteration range and boundary:
     /// `wal/it{iter:012}/mb{mb:06}/{kind}_{src}to{dst}.bin`.
     pub fn key(&self) -> String {
-        let kind = match self.stamp.kind {
+        Self::key_for(
+            self.src,
+            self.dst,
+            self.stamp.iteration,
+            self.stamp.microbatch,
+            self.stamp.kind,
+        )
+    }
+
+    /// Store key for a record with the given coordinates — usable without
+    /// materializing a `LogRecord` (readers probe keys, the logger names
+    /// staged buffers).
+    pub fn key_for(
+        src: Rank,
+        dst: Rank,
+        iteration: u64,
+        microbatch: u64,
+        kind: MsgKindCode,
+    ) -> String {
+        let kind = match kind {
             MsgKindCode::Activation => "act",
             MsgKindCode::Gradient => "grad",
         };
-        format!(
-            "wal/it{:012}/mb{:06}/{kind}_{}to{}.bin",
-            self.stamp.iteration, self.stamp.microbatch, self.src, self.dst
-        )
+        format!("wal/it{iteration:012}/mb{microbatch:06}/{kind}_{src}to{dst}.bin")
+    }
+
+    /// Micro-batch parsed back out of a store key produced by
+    /// [`LogRecord::key_for`], or `None` for foreign keys.
+    pub fn microbatch_of_key(key: &str) -> Option<u64> {
+        let (_, rest) = key.split_once("/mb")?;
+        rest.get(0..6)?.parse().ok()
     }
 
     /// Prefix of every record of iteration `it`.
@@ -113,18 +136,53 @@ impl LogRecord {
     /// precision: halves the logging volume; replay then carries a ≤2⁻¹¹
     /// relative quantization error instead of being bitwise).
     pub fn encode_precision(&self, half: bool) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_u64_le(self.src as u64);
-        buf.put_u64_le(self.dst as u64);
-        buf.put_u64_le(self.stamp.iteration);
-        buf.put_u64_le(self.stamp.microbatch);
-        buf.put_u8(self.stamp.kind as u8);
-        if half {
-            swift_tensor::encode_f16_into(&self.tensor, &mut buf);
-        } else {
-            swift_tensor::encode_into(&self.tensor, &mut buf);
-        }
+        let mut buf = BytesMut::with_capacity(Self::encoded_len(&self.tensor, half));
+        Self::encode_parts_into(
+            self.src,
+            self.dst,
+            self.stamp.iteration,
+            self.stamp.microbatch,
+            self.stamp.kind,
+            &self.tensor,
+            half,
+            &mut buf,
+        );
         buf.freeze()
+    }
+
+    /// Exact wire length of a record carrying `tensor`.
+    pub fn encoded_len(tensor: &Tensor, half: bool) -> usize {
+        33 + if half {
+            swift_tensor::encoded_f16_size(tensor)
+        } else {
+            swift_tensor::encoded_size(tensor)
+        }
+    }
+
+    /// Encodes a record's wire form straight from borrowed parts — the
+    /// zero-copy path the logger uses on `on_send`, avoiding the clone of
+    /// the boundary tensor into a `LogRecord` first.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_parts_into(
+        src: Rank,
+        dst: Rank,
+        iteration: u64,
+        microbatch: u64,
+        kind: MsgKindCode,
+        tensor: &Tensor,
+        half: bool,
+        buf: &mut impl BufMut,
+    ) {
+        buf.put_u64_le(src as u64);
+        buf.put_u64_le(dst as u64);
+        buf.put_u64_le(iteration);
+        buf.put_u64_le(microbatch);
+        buf.put_u8(kind as u8);
+        if half {
+            swift_tensor::encode_f16_into(tensor, buf);
+        } else {
+            swift_tensor::encode_into(tensor, buf);
+        }
     }
 
     /// Decodes a record payload.
@@ -228,6 +286,48 @@ mod tests {
         let c = rec(2, 0, MsgKind::Activation).key();
         assert!(a < b && b < c);
         assert!(a.starts_with(&LogRecord::iter_prefix(1)));
+    }
+
+    #[test]
+    fn key_for_matches_record_key_and_parses_back() {
+        let r = rec(5, 17, MsgKind::Gradient);
+        assert_eq!(
+            r.key(),
+            LogRecord::key_for(3, 4, 5, 17, MsgKindCode::Gradient)
+        );
+        assert_eq!(LogRecord::microbatch_of_key(&r.key()), Some(17));
+        assert_eq!(LogRecord::microbatch_of_key("ckpt/model.bin"), None);
+    }
+
+    #[test]
+    fn encode_parts_matches_record_encode() {
+        let r = LogRecord::new(1, 2, 9, 3, MsgKind::Activation, Tensor::full([7], -1.25));
+        let mut via_parts = Vec::with_capacity(LogRecord::encoded_len(&r.tensor, false));
+        LogRecord::encode_parts_into(
+            1,
+            2,
+            9,
+            3,
+            MsgKindCode::Activation,
+            &r.tensor,
+            false,
+            &mut via_parts,
+        );
+        assert_eq!(via_parts.len(), LogRecord::encoded_len(&r.tensor, false));
+        assert_eq!(&via_parts[..], &r.encode()[..]);
+        let mut half_parts = Vec::new();
+        LogRecord::encode_parts_into(
+            1,
+            2,
+            9,
+            3,
+            MsgKindCode::Activation,
+            &r.tensor,
+            true,
+            &mut half_parts,
+        );
+        assert_eq!(half_parts.len(), LogRecord::encoded_len(&r.tensor, true));
+        assert_eq!(&half_parts[..], &r.encode_precision(true)[..]);
     }
 
     #[test]

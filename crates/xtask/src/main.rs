@@ -17,6 +17,16 @@
 //!
 //! 2. **The `swift-verify` analyzers** (race / fsm / invert) against live
 //!    traced executions and the real transition table and update chains.
+//!
+//! `cargo xtask bench [--quick] [--json]` runs the recovery fast-path
+//! microbenchmarks (`swift-bench`'s `fastpath` binary, release profile):
+//!
+//! - full mode with `--json` persists the results as `BENCH_pr3.json` at
+//!   the workspace root — the committed baseline;
+//! - `--quick` keeps the problem shapes but lowers repetitions, then
+//!   compares against the committed baseline and **fails if any bench
+//!   regressed more than 2×** (CI's `bench-smoke` gate). With `--json`
+//!   the quick results land in `target/bench-quick.json` for upload.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -25,12 +35,22 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("verify") => verify(),
+        Some("bench") => {
+            let rest: Vec<String> = args.collect();
+            let quick = rest.iter().any(|a| a == "--quick");
+            let json = rest.iter().any(|a| a == "--json");
+            if let Some(bad) = rest.iter().find(|a| *a != "--quick" && *a != "--json") {
+                eprintln!("xtask bench: unknown flag `{bad}` (expected --quick, --json)");
+                return ExitCode::FAILURE;
+            }
+            bench(quick, json)
+        }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: verify)");
+            eprintln!("xtask: unknown task `{other}` (available: verify, bench)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask verify");
+            eprintln!("usage: cargo xtask <verify | bench [--quick] [--json]>");
             ExitCode::FAILURE
         }
     }
@@ -59,6 +79,129 @@ fn verify() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The committed benchmark baseline the quick gate compares against.
+const BENCH_BASELINE: &str = "BENCH_pr3.json";
+/// How much slower a microbench may get before the quick gate fails.
+const BENCH_REGRESSION_FACTOR: u64 = 2;
+
+fn bench(quick: bool, json: bool) -> ExitCode {
+    let root = workspace_root();
+    let out = if quick {
+        root.join("target/bench-quick.json")
+    } else {
+        root.join(BENCH_BASELINE)
+    };
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args([
+        "run",
+        "-q",
+        "--release",
+        "-p",
+        "swift-bench",
+        "--bin",
+        "fastpath",
+        "--",
+    ]);
+    if quick {
+        cmd.arg("--quick");
+    }
+    cmd.args(["--out".as_ref(), out.as_os_str()]);
+    let status = cmd
+        .current_dir(&root)
+        .status()
+        .expect("failed to launch cargo");
+    if !status.success() {
+        eprintln!("xtask bench: benchmark run failed");
+        return ExitCode::FAILURE;
+    }
+    let current = std::fs::read_to_string(&out).expect("bench output exists");
+    if json {
+        println!("xtask bench: results written to {}", out.display());
+    }
+    if !quick {
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match std::fs::read_to_string(root.join(BENCH_BASELINE)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask bench: no committed {BENCH_BASELINE} to compare against: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_bench_regressions(&baseline, &current) {
+        Ok(()) => {
+            println!(
+                "xtask bench: no regression beyond {BENCH_REGRESSION_FACTOR}x vs {BENCH_BASELINE}"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("  REGRESSION {f}");
+            }
+            eprintln!(
+                "xtask bench: {} regression(s) vs {BENCH_BASELINE}",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Compares current bench timings against the committed baseline; an op is
+/// a regression when it got more than [`BENCH_REGRESSION_FACTOR`]× slower
+/// or disappeared from the output.
+fn check_bench_regressions(baseline: &str, current: &str) -> Result<(), Vec<String>> {
+    let base = parse_bench_json(baseline);
+    let cur = parse_bench_json(current);
+    let mut failures = Vec::new();
+    if base.is_empty() {
+        failures.push("committed baseline has no parsable records".into());
+    }
+    for (op, base_ns) in &base {
+        match cur.iter().find(|(o, _)| o == op) {
+            Some((_, cur_ns)) if *cur_ns > base_ns.saturating_mul(BENCH_REGRESSION_FACTOR) => {
+                failures.push(format!(
+                    "{op}: {cur_ns} ns/iter vs baseline {base_ns} ns/iter (> {BENCH_REGRESSION_FACTOR}x)"
+                ));
+            }
+            Some(_) => {}
+            None => failures.push(format!("{op}: missing from current bench output")),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Extracts `(op, ns_per_iter)` pairs from the line-per-record JSON the
+/// bench binary emits. Deliberately tiny — the format is under our
+/// control, and xtask carries no JSON dependency.
+fn parse_bench_json(s: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in s.lines() {
+        let Some(op) =
+            extract_after(line, "\"op\":\"").and_then(|r| r.find('"').map(|j| r[..j].to_string()))
+        else {
+            continue;
+        };
+        let Some(ns) = extract_after(line, "\"ns_per_iter\":").and_then(|r| {
+            let digits: String = r.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        }) else {
+            continue;
+        };
+        out.push((op, ns));
+    }
+    out
+}
+
+fn extract_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.find(key).map(|i| &line[i + key.len()..])
 }
 
 fn workspace_root() -> PathBuf {
@@ -138,5 +281,41 @@ mod tests {
     #[test]
     fn sim_paths_are_wall_clock_free() {
         assert_eq!(lint_no_instant_in_sim(&workspace_root()), 0);
+    }
+
+    const SAMPLE: &str = "[\n\
+        {\"op\":\"matmul\",\"shape\":\"8x8x8\",\"ns_per_iter\":1000,\"baseline_ns_per_iter\":2000,\"speedup\":2.00,\"gb_per_s\":1.5},\n\
+        {\"op\":\"replay\",\"shape\":\"2mb\",\"ns_per_iter\":500,\"baseline_ns_per_iter\":2000,\"speedup\":4.00,\"gb_per_s\":3.0}\n\
+        ]\n";
+
+    #[test]
+    fn bench_json_parses_ops_and_times() {
+        assert_eq!(
+            parse_bench_json(SAMPLE),
+            vec![("matmul".to_string(), 1000), ("replay".to_string(), 500)]
+        );
+        assert!(parse_bench_json("not json at all").is_empty());
+    }
+
+    #[test]
+    fn regression_gate_passes_within_factor() {
+        // 2x exactly is still allowed; only *more* than 2x fails.
+        let current = SAMPLE.replace("\"ns_per_iter\":1000", "\"ns_per_iter\":2000");
+        assert!(check_bench_regressions(SAMPLE, &current).is_ok());
+    }
+
+    #[test]
+    fn regression_gate_fails_beyond_factor() {
+        let current = SAMPLE.replace("\"ns_per_iter\":1000", "\"ns_per_iter\":2001");
+        let failures = check_bench_regressions(SAMPLE, &current).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("matmul:"));
+    }
+
+    #[test]
+    fn regression_gate_fails_on_missing_op() {
+        let current = SAMPLE.replace("\"op\":\"replay\"", "\"op\":\"other\"");
+        let failures = check_bench_regressions(SAMPLE, &current).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("replay: missing")));
     }
 }

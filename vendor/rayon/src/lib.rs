@@ -1,54 +1,436 @@
 //! Offline stand-in for the `rayon` crate (hermetic container, no registry
 //! access). Exposes the `par_iter`/`par_chunks` surface this workspace uses
-//! but executes sequentially on the calling thread. The tensor kernels are
-//! written to be schedule-independent, so sequential execution changes
-//! nothing but wall-clock time.
+//! and, unlike the original sequential shim, actually executes on a pool of
+//! scoped threads.
+//!
+//! Thread count resolution (checked once per process):
+//! 1. `RAYON_NUM_THREADS` if set and ≥ 1 (the determinism test matrix pins
+//!    this to 1, 2 and 8);
+//! 2. otherwise `std::thread::available_parallelism()`.
+//!
+//! Determinism contract: every combinator here splits the index space into
+//! **contiguous, ordered** pieces and merges per-piece results **in piece
+//! order** (`collect` concatenates, `sum` folds partials left-to-right by
+//! piece index). A kernel whose per-element computation is independent of
+//! the partition — which is what `swift_tensor::par` guarantees by aligning
+//! splits to kernel block boundaries — therefore produces bit-identical
+//! results at every thread count, including 1.
 
-pub mod prelude {
-    /// Shared-slice half of the parallel-iterator surface.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks`.
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+use std::sync::OnceLock;
+
+/// Number of worker threads the stand-in will use (≥ 1).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// An indexed parallel source: a contiguous range of `pieces()` splittable
+/// units that can be divided at any unit boundary and drained sequentially.
+///
+/// "Piece" is the splitting granularity, not necessarily one item: for
+/// `par_chunks(size)` each piece is one chunk. Splits never reorder items,
+/// so a left piece always holds strictly lower indices than the right.
+pub trait IndexedParallel: Sized + Send {
+    type Item: Send;
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Number of splittable units remaining.
+    fn pieces(&self) -> usize;
+    /// Split into `[0, at)` and `[at, pieces())`.
+    fn split_at(self, at: usize) -> (Self, Self);
+    /// Drain this piece on the current thread, in index order.
+    fn into_seq(self) -> Self::Seq;
+}
+
+/// Splits `iter` into at most `current_num_threads()` contiguous pieces and
+/// runs `f` on each (first pieces on spawned threads, last on the caller),
+/// returning per-piece results **in piece order**.
+fn run_parts<I, R, F>(iter: I, f: F) -> Vec<R>
+where
+    I: IndexedParallel,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = current_num_threads().min(iter.pieces()).max(1);
+    if threads <= 1 {
+        return vec![f(iter)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads - 1);
+        let mut rest = iter;
+        for remaining_pieces in (1..threads).rev() {
+            // Even split of whatever is left across this piece plus the
+            // `remaining_pieces` still to carve off.
+            let total = rest.pieces();
+            let take = total - (total * remaining_pieces) / (remaining_pieces + 1);
+            let (front, back) = rest.split_at(take);
+            rest = back;
+            handles.push(scope.spawn(move || f(front)));
+        }
+        let last = f(rest);
+        let mut out: Vec<R> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect();
+        out.push(last);
+        out
+    })
+}
+
+/// Combinators + terminal operations, implemented for every indexed source.
+pub trait ParallelIterator: IndexedParallel {
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_parts(self, |piece| {
+            for item in piece.into_seq() {
+                f(item);
+            }
+        });
     }
 
-    /// Mutable-slice half of the parallel-iterator surface.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { base: self, f }
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(size)
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
         }
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
+    fn zip<B: IndexedParallel>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
 
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(size)
+    /// Ordered merge: per-piece collections are concatenated in piece order,
+    /// so the result equals the fully sequential collect bit-for-bit.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let parts = run_parts(self, |piece| piece.into_seq().collect::<Vec<_>>());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Per-piece partial sums are folded left-to-right in piece order. Only
+    /// bit-stable under repartitioning if the summed type is associative
+    /// (integers) or the caller pins the piece boundaries.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_parts(self, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+impl<T: IndexedParallel> ParallelIterator for T {}
+
+// ---------------------------------------------------------------------------
+// Leaf sources over slices
+// ---------------------------------------------------------------------------
+
+pub struct ParIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> IndexedParallel for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pieces(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(at);
+        (ParIter(l), ParIter(r))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+pub struct ParIterMut<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> IndexedParallel for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pieces(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(at);
+        (ParIterMut(l), ParIterMut(r))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedParallel for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn pieces(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ParChunks {
+                slice: l,
+                size: self.size,
+            },
+            ParChunks {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> IndexedParallel for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn pieces(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (
+            ParChunksMut {
+                slice: l,
+                size: self.size,
+            },
+            ParChunksMut {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> IndexedParallel for Map<I, F>
+where
+    I: IndexedParallel,
+    F: Fn(I::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn pieces(&self) -> usize {
+        self.base.pieces()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(at);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: IndexedParallel> IndexedParallel for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+
+    fn pieces(&self) -> usize {
+        self.base.pieces()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(at);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + at,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.base.into_seq(),
+            next: self.offset,
         }
     }
 }
 
-/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallel for Zip<A, B>
+where
+    A: IndexedParallel,
+    B: IndexedParallel,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pieces(&self) -> usize {
+        self.a.pieces().min(self.b.pieces())
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(at);
+        let (bl, br) = self.b.split_at(at);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use super::{IndexedParallel, ParallelIterator};
+
+    /// Shared-slice half of the parallel-iterator surface.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_iter(&self) -> super::ParIter<'_, T>;
+        fn par_chunks(&self, size: usize) -> super::ParChunks<'_, T>;
+    }
+
+    /// Mutable-slice half of the parallel-iterator surface.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_iter_mut(&mut self) -> super::ParIterMut<'_, T>;
+        fn par_chunks_mut(&mut self, size: usize) -> super::ParChunksMut<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> super::ParIter<'_, T> {
+            super::ParIter(self)
+        }
+
+        fn par_chunks(&self, size: usize) -> super::ParChunks<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            super::ParChunks { slice: self, size }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> super::ParIterMut<'_, T> {
+            super::ParIterMut(self)
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> super::ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            super::ParChunksMut { slice: self, size }
+        }
+    }
+}
+
+/// Stand-in for `rayon::join`: runs both closures on scoped threads when a
+/// pool is configured, sequentially otherwise.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stand-in join worker panicked"))
+    })
 }
 
 #[cfg(test)]
@@ -68,5 +450,44 @@ mod tests {
             .enumerate()
             .for_each(|(i, c)| c[0] += i as i32);
         assert_eq!(v, [2, 4, 7, 8]);
+    }
+
+    #[test]
+    fn collect_preserves_order_at_any_split() {
+        let data: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let mut v = vec![0usize; 257];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+    }
+
+    #[test]
+    fn zip_walks_in_lockstep() {
+        let a: Vec<i64> = (0..513).collect();
+        let b: Vec<i64> = (0..513).map(|x| x * 10).collect();
+        let mut out = vec![0i64; 513];
+        out.par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(o, (&x, &y))| *o = x + y);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as i64 * 11));
+    }
+
+    #[test]
+    fn chunk_boundaries_survive_splitting() {
+        let data: Vec<i32> = (0..103).collect();
+        let lens: Vec<usize> = data.par_chunks(10).map(<[i32]>::len).collect();
+        assert_eq!(lens, vec![10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 3]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
     }
 }
