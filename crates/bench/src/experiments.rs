@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use swift_core::{run_dp_scenario, run_pipeline_scenario, DpScenario, PipelineScenario};
+use swift_core::{DpScenario, PipelineScenario};
 use swift_data::BlobsDataset;
 use swift_dnn::profile::{bert_128, vit_128_32, wide_resnet_50, PaperModel, TESTBED};
 use swift_optim::OptimizerKind;
@@ -475,17 +475,16 @@ pub fn fig11_accuracy() -> String {
         momentum: 0.9,
         dampening: 0.0,
     };
-    let base = |crash| {
-        run_dp_scenario(DpScenario {
-            machines: 2,
-            model_fn: model_fn.clone(),
-            opt,
-            dataset: dataset.clone(),
-            batch_size: 16,
-            iters,
-            crash,
-            faults: None,
-        })
+    let base = |crash: Option<(usize, u64, usize)>| {
+        let mut b = DpScenario::builder(model_fn.clone(), dataset.clone())
+            .machines(2)
+            .opt(opt)
+            .batch_size(16)
+            .iters(iters);
+        if let Some((mach, it, groups)) = crash {
+            b = b.crash(mach, it, groups);
+        }
+        b.run()
     };
     let clean = base(None);
     let failed = base(Some((1, iters / 2, 2)));
@@ -503,23 +502,21 @@ pub fn fig11_accuracy() -> String {
     let model_fn_p: swift_core::ModelFn =
         Arc::new(|| swift_dnn::models::mlp("p", &[8, 24, 24, 3], 43));
     let datap = Arc::new(BlobsDataset::new(9, 8, 3, 0.3));
-    let basep = |crash| {
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn: model_fn_p.clone(),
-            opt,
-            dataset: datap.clone(),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 10,
-            iters,
-            schedule: swift_pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: swift_wal::LogPrecision::F32,
-            crash,
-            faults: None,
-            parallel_recovery: 1,
-        })
+    let basep = |crash: Option<(usize, u64)>| {
+        let mut b = PipelineScenario::builder(model_fn_p.clone(), datap.clone())
+            .stages(3)
+            .opt(opt)
+            .batch_size(8)
+            .microbatches(4)
+            .ckpt_interval(10)
+            .iters(iters)
+            .schedule(swift_pipeline::ScheduleKind::OneFOneB)
+            .log_mode(LogMode::BubbleAsync)
+            .log_precision(swift_wal::LogPrecision::F32);
+        if let Some((mach, after)) = crash {
+            b = b.crash(mach, after);
+        }
+        b.run()
     };
     let cleanp = basep(None);
     let failedp = basep(Some((1, iters / 2)));

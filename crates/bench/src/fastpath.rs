@@ -97,6 +97,7 @@ pub fn run(quick: bool) -> Vec<BenchResult> {
         bench_serialize(quick),
         bench_wal_flush(quick),
         bench_replay(quick),
+        bench_obs_disabled(quick),
     ]
 }
 
@@ -382,7 +383,13 @@ fn bench_replay(quick: bool) -> BenchResult {
     let reader = WalReader::new(store.clone());
     let workers = 4;
     let fold = |r: &LogRecord| r.tensor.data().iter().fold(0.0f32, |a, &x| a + x);
-    let parallel = replay_iteration_parallel(&reader, ITERATION, workers, fold).unwrap();
+    let parallel = replay_iteration_parallel(
+        &reader,
+        swift_obs::IterationId::new(ITERATION),
+        workers,
+        fold,
+    )
+    .unwrap();
     let sequential = seed_replay(&store, ITERATION);
     assert_eq!(
         parallel.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
@@ -391,7 +398,15 @@ fn bench_replay(quick: bool) -> BenchResult {
     );
     let iters = if quick { 2 } else { 4 };
     let fast = best_ns(iters, || {
-        std::hint::black_box(replay_iteration_parallel(&reader, ITERATION, workers, fold).unwrap());
+        std::hint::black_box(
+            replay_iteration_parallel(
+                &reader,
+                swift_obs::IterationId::new(ITERATION),
+                workers,
+                fold,
+            )
+            .unwrap(),
+        );
     });
     let slow = best_ns(iters, || {
         std::hint::black_box(seed_replay(&store, ITERATION));
@@ -401,6 +416,60 @@ fn bench_replay(quick: bool) -> BenchResult {
     BenchResult::new(
         "replay",
         format!("{MICROBATCHES}mb x2x{ELEMS}xf32"),
+        fast,
+        slow,
+        bytes,
+    )
+}
+
+// ---------------------------------------------------- disabled recorder
+
+/// The zero-cost-when-disabled contract of `swift-obs`: a hot loop that
+/// bumps a counter and offers a span event per record must run at the
+/// same speed as the identical uninstrumented loop while no recorder is
+/// installed. Here "fast path" is the *instrumented* loop and "seed
+/// baseline" the bare one, so the reported speedup should sit at ~1.00 —
+/// any real overhead shows up as a speedup below 1.
+fn bench_obs_disabled(quick: bool) -> BenchResult {
+    use swift_obs::{Counter, Epoch, Event, Phase};
+    const RECORDS: usize = 64;
+    const ELEMS: usize = 65_536; // 256 KiB folded per record
+    swift_obs::uninstall();
+    assert!(
+        !swift_obs::enabled(),
+        "this bench measures the disabled-recorder path"
+    );
+    let payload = randn(ELEMS, 41);
+    let work = |instrumented: bool| {
+        let mut acc = 0.0f32;
+        for rank in 0..RECORDS {
+            acc += payload.data().iter().fold(0.0f32, |a, &x| a + x);
+            if instrumented {
+                swift_obs::add(Counter::BytesLogged, (ELEMS * 4) as u64);
+                swift_obs::emit(|| Event::PhaseBegin {
+                    rank,
+                    epoch: Epoch::new(1),
+                    phase: Phase::Replay,
+                });
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let iters = if quick { 3 } else { 6 };
+    let fast = best_ns(iters, || work(true));
+    let slow = best_ns(iters, || work(false));
+    // Not a tight statistical bound (the regression gate handles drift);
+    // this catches the disabled path growing real work — a lock, an
+    // allocation — which would blow well past 2x on a loop this hot.
+    assert!(
+        fast <= slow.saturating_mul(2),
+        "disabled-recorder instrumentation cost is measurable: \
+         {fast} ns/iter instrumented vs {slow} ns/iter bare"
+    );
+    let bytes = (RECORDS * ELEMS * 4) as u64;
+    BenchResult::new(
+        "obs_disabled",
+        format!("{RECORDS}x{ELEMS}xf32"),
         fast,
         slow,
         bytes,

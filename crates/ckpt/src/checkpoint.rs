@@ -97,7 +97,9 @@ impl CheckpointManager {
     /// durable, so a crash mid-save never corrupts the latest checkpoint).
     pub fn save(&self, ckpt: &Checkpoint) -> std::io::Result<()> {
         let key = self.key(ckpt.iteration);
-        self.store.put(&key, &ckpt.encode())?;
+        let payload = ckpt.encode();
+        swift_obs::add(swift_obs::Counter::CheckpointBytes, payload.len() as u64);
+        self.store.put(&key, &payload)?;
         Ok(self.store.put(&self.latest_key(), key.as_bytes())?)
     }
 
@@ -107,7 +109,9 @@ impl CheckpointManager {
     pub fn save_chunked(&self, ckpt: &Checkpoint, chunk_bytes: usize) -> std::io::Result<()> {
         let key = self.key(ckpt.iteration);
         let xfer = ChunkedTransfer::new(chunk_bytes);
-        xfer.put_chunked(&self.store, &key, &ckpt.encode())?;
+        let payload = ckpt.encode();
+        swift_obs::add(swift_obs::Counter::CheckpointBytes, payload.len() as u64);
+        xfer.put_chunked(&self.store, &key, &payload)?;
         Ok(self.store.put(&self.latest_key(), key.as_bytes())?)
     }
 

@@ -19,9 +19,7 @@ use swift_pipeline::ScheduleKind;
 use swift_wal::{LogMode, LogPrecision};
 
 use crate::config::{select_strategy, JobShape, Strategy};
-use crate::scenario::{
-    run_dp_scenario, run_pipeline_scenario, DpScenario, ModelFn, PipelineScenario, ScenarioResult,
-};
+use crate::scenario::{DpScenario, ModelFn, PipelineScenario, ScenarioResult};
 
 /// How the job is parallelized across machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,16 +130,15 @@ impl SwiftJob {
     pub fn run(&self, iters: u64, crash: Option<JobCrash>) -> ScenarioResult {
         match (self.parallelism, self.strategy()) {
             (Parallelism::Data { machines }, Strategy::Replication) => {
-                run_dp_scenario(DpScenario {
-                    machines,
-                    model_fn: self.model_fn.clone(),
-                    opt: self.opt,
-                    dataset: self.dataset.clone(),
-                    batch_size: self.batch_size,
-                    iters,
-                    crash: crash.map(|c| (c.machine, c.iteration, c.after_groups.max(1))),
-                    faults: None,
-                })
+                let mut b = DpScenario::builder(self.model_fn.clone(), self.dataset.clone())
+                    .machines(machines)
+                    .opt(self.opt)
+                    .batch_size(self.batch_size)
+                    .iters(iters);
+                if let Some(c) = crash {
+                    b = b.crash(c.machine, c.iteration, c.after_groups.max(1));
+                }
+                b.run()
             }
             (
                 Parallelism::Pipeline {
@@ -149,22 +146,23 @@ impl SwiftJob {
                     microbatches,
                 },
                 Strategy::Logging { .. },
-            ) => run_pipeline_scenario(PipelineScenario {
-                stages,
-                model_fn: self.model_fn.clone(),
-                opt: self.opt,
-                dataset: self.dataset.clone(),
-                batch_size: self.batch_size,
-                microbatches,
-                ckpt_interval: self.ckpt_interval,
-                iters,
-                schedule: ScheduleKind::OneFOneB,
-                log_mode: self.log_mode,
-                log_precision: self.log_precision,
-                crash: crash.map(|c| (c.machine, c.iteration)),
-                faults: None,
-                parallel_recovery: self.parallel_recovery,
-            }),
+            ) => {
+                let mut b = PipelineScenario::builder(self.model_fn.clone(), self.dataset.clone())
+                    .stages(stages)
+                    .opt(self.opt)
+                    .batch_size(self.batch_size)
+                    .microbatches(microbatches)
+                    .ckpt_interval(self.ckpt_interval)
+                    .iters(iters)
+                    .schedule(ScheduleKind::OneFOneB)
+                    .log_mode(self.log_mode)
+                    .log_precision(self.log_precision)
+                    .parallel_recovery(self.parallel_recovery);
+                if let Some(c) = crash {
+                    b = b.crash(c.machine, c.iteration);
+                }
+                b.run()
+            }
             (p, s) => unreachable!("no runner for {p:?} under {s:?}"),
         }
     }

@@ -18,6 +18,7 @@
 //!   recovery path handles it.
 
 use swift_net::{CommError, Rank, WorkerCtx};
+use swift_obs::Generation;
 
 use crate::fence::recovery_fence;
 use crate::replication::DpWorker;
@@ -76,8 +77,8 @@ impl Membership {
 
 /// Fence tag namespace for elastic transitions (distinct from failure
 /// recovery fences).
-fn elastic_fence_gen(epoch: u64) -> u64 {
-    epoch.wrapping_mul(1000) + 3
+fn elastic_fence_gen(epoch: u64) -> Generation {
+    Generation::new(epoch.wrapping_mul(1000) + 3)
 }
 
 /// Incumbent side of a membership change: fence on the new epoch; if the

@@ -27,21 +27,23 @@
 use swift_net::{
     declare_recovered, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
 };
+use swift_obs::Generation;
 
 use crate::supervisor::wait_cascade_aware as fence_wait;
 
 /// Runs the recovery fence. Every participant (survivors + replacements)
 /// must call this with the same `generation` namespace (derived from the
-/// declared failure epoch, [`swift_net::failure_epoch`]) and the same
-/// participant set. Waits are bounded by the [`RetryPolicy::poll`]
-/// deadline and abort early if a participant dies mid-fence.
+/// declared failure epoch via [`swift_obs::Epoch::generation`] or
+/// [`swift_obs::Epoch::fence_channel`]) and the same participant set.
+/// Waits are bounded by the [`RetryPolicy::poll`] deadline and abort
+/// early if a participant dies mid-fence.
 ///
 /// On success the caller is removed from the declared dead set: a
 /// replacement that completes the fence has rejoined, and leaving it
 /// listed would make the *next* failure declaration fence it out again.
 pub fn recovery_fence(
     ctx: &mut WorkerCtx,
-    generation: u64,
+    generation: Generation,
     participants: &[Rank],
 ) -> Result<(), CommError> {
     let policy = RetryPolicy::poll();
@@ -114,7 +116,7 @@ mod tests {
                 let me = [ctx.rank()];
                 ctx.comm.barrier_among(&me).unwrap();
             }
-            recovery_fence(&mut ctx, 1, &[0, 1, 2]).unwrap();
+            recovery_fence(&mut ctx, Generation::new(1), &[0, 1, 2]).unwrap();
             // Post-fence, a world collective must succeed.
             let t = Tensor::full([2], 1.0);
             ctx.comm.allreduce_sum(&t).unwrap().sum()
@@ -129,7 +131,7 @@ mod tests {
                 // Stale pre-failure message with a user tag.
                 ctx.comm.send_tensor(1, 99, &Tensor::scalar(-1.0)).unwrap();
             }
-            recovery_fence(&mut ctx, 7, &[0, 1]).unwrap();
+            recovery_fence(&mut ctx, Generation::new(7), &[0, 1]).unwrap();
             if ctx.rank() == 0 {
                 ctx.comm.send_tensor(1, 99, &Tensor::scalar(42.0)).unwrap();
                 0.0
@@ -144,8 +146,8 @@ mod tests {
     #[test]
     fn fence_is_reentrant_across_generations() {
         let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
-            recovery_fence(&mut ctx, 1, &[0, 1]).unwrap();
-            recovery_fence(&mut ctx, 2, &[0, 1]).unwrap();
+            recovery_fence(&mut ctx, Generation::new(1), &[0, 1]).unwrap();
+            recovery_fence(&mut ctx, Generation::new(2), &[0, 1]).unwrap();
             ctx.comm.allreduce_sum(&Tensor::scalar(1.0)).unwrap().item()
         });
         assert_eq!(results, vec![2.0, 2.0]);
@@ -158,7 +160,7 @@ mod tests {
         // PeerFailed rather than time out.
         let results = Cluster::run_all(Topology::uniform(2, 1), |mut ctx| {
             if ctx.rank() == 0 {
-                let r = recovery_fence(&mut ctx, 3, &[0, 1]);
+                let r = recovery_fence(&mut ctx, Generation::new(3), &[0, 1]);
                 matches!(r, Err(CommError::PeerFailed { rank: 1 }))
             } else {
                 // Wait until rank 0 has published its fence key, then get

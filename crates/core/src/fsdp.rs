@@ -16,13 +16,13 @@
 //! granularity, with update-undo repairing any partially-applied update.
 
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, Sequential, StepCtx};
-use swift_net::{failure_epoch, failure_state, CommError, Rank, WorkerCtx};
+use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
 use swift_optim::Optimizer;
 use swift_tensor::Tensor;
 
 use crate::consistency::UpdateTracker;
 use crate::fence::recovery_fence;
-use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport, SupervisorConfig};
+use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport};
 
 /// Shard assignment: contiguous blocks of parameter groups per rank.
 #[derive(Debug, Clone)]
@@ -240,7 +240,7 @@ pub fn fsdp_recover_survivor(
 ) -> Result<(), CommError> {
     fsdp_repair_consistency(w);
     let generation = failure_epoch(&ctx.kv);
-    recovery_fence(ctx, generation.wrapping_mul(1000) + 7, participants)?;
+    recovery_fence(ctx, generation.fence_channel(7), participants)?;
     fsdp_ship_shards(ctx, w, failed)
 }
 
@@ -255,6 +255,7 @@ fn fsdp_repair_consistency(w: &mut FsdpWorker) {
         w.model
             .undo_update_with(&mut *w.opt, &grads, &groups)
             .expect("sharded recovery requires an invertible optimizer");
+        swift_obs::add(swift_obs::Counter::UndoneUpdates, groups.len() as u64);
         w.tracker.reset();
     }
 }
@@ -298,9 +299,9 @@ pub fn fsdp_recover_supervised(
     ctx: &mut WorkerCtx,
     w: &mut FsdpWorker,
     group: &[Rank],
-    cfg: &SupervisorConfig,
+    policy: &RetryPolicy,
 ) -> Result<RecoveryReport, CommError> {
-    let (_, report) = supervise(ctx, cfg, |ctx, epoch, phases| {
+    let (_, report) = supervise(ctx, policy, |ctx, epoch, phases| {
         let (_, dead) = failure_state(&ctx.kv);
         let failed = *group
             .iter()
@@ -309,7 +310,7 @@ pub fn fsdp_recover_supervised(
         phases.enter(RecoveryPhase::RepairConsistency);
         fsdp_repair_consistency(w);
         phases.enter(RecoveryPhase::Fence);
-        recovery_fence(ctx, epoch.wrapping_mul(1000) + 7, group)?;
+        recovery_fence(ctx, epoch.fence_channel(7), group)?;
         phases.enter(RecoveryPhase::Synchronize);
         fsdp_ship_shards(ctx, w, failed)?;
         phases.enter(RecoveryPhase::Rejoin);
@@ -327,9 +328,9 @@ pub fn fsdp_join_supervised(
     opt_fn: &dyn Fn() -> Box<dyn Optimizer>,
     world: usize,
     group: &[Rank],
-    cfg: &SupervisorConfig,
+    policy: &RetryPolicy,
 ) -> Result<(FsdpWorker, RecoveryReport), CommError> {
-    supervise(ctx, cfg, |ctx, _epoch, phases| {
+    supervise(ctx, policy, |ctx, _epoch, phases| {
         // `fsdp_join` runs the fence and the shard synchronization
         // back-to-back; the phase entries bracket the whole call.
         phases.enter(RecoveryPhase::Fence);
@@ -353,7 +354,7 @@ pub fn fsdp_join(
     let mut w = FsdpWorker::new(model_template, opt_template, world);
     let me = ctx.rank();
     let generation = failure_epoch(&ctx.kv);
-    recovery_fence(ctx, generation.wrapping_mul(1000) + 7, participants)?;
+    recovery_fence(ctx, generation.fence_channel(7), participants)?;
     let mut state = w.model.state();
     for g in w.shards.stored_groups(me) {
         let t = ctx
@@ -587,7 +588,7 @@ mod tests {
                                     &mut ctx,
                                     &mut w,
                                     &[0, 1, 2],
-                                    &SupervisorConfig::default(),
+                                    &RetryPolicy::recovery(),
                                 )
                                 .unwrap();
                             }
@@ -621,7 +622,7 @@ mod tests {
                         &|| SGDM.build(),
                         3,
                         &[0, 1, 2],
-                        &SupervisorConfig::default(),
+                        &RetryPolicy::recovery(),
                     )
                     .unwrap();
                     assert_eq!(report.restarts, 0);

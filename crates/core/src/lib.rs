@@ -39,10 +39,10 @@ pub use replication::{
     replication_recover_survivor, CrashPoint, DpWorker,
 };
 pub use scenario::{
-    evaluate_state, optimizer_from_state, run_dp_scenario, run_pipeline_scenario, DatasetSource,
-    DpScenario, ModelFn, PipelineScenario, ScenarioResult,
+    evaluate_state, optimizer_from_state, DatasetSource, DpScenario, DpScenarioBuilder, ModelFn,
+    PipelineScenario, PipelineScenarioBuilder, ScenarioResult,
 };
-pub use supervisor::{
-    supervise, wait_cascade_aware, PhaseTracker, RecoveryPhase, RecoveryReport, SupervisorConfig,
-};
+#[allow(deprecated)]
+pub use scenario::{run_dp_scenario, run_pipeline_scenario};
+pub use supervisor::{supervise, wait_cascade_aware, PhaseTracker, RecoveryPhase, RecoveryReport};
 pub use tensor_parallel::TpLinear;

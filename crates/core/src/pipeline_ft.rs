@@ -14,6 +14,7 @@
 use swift_ckpt::{Checkpoint, CheckpointManager};
 use swift_dnn::Sequential;
 use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
+use swift_obs::{Event, IterationId, Phase};
 use swift_optim::Optimizer;
 use swift_pipeline::{run_iteration, run_ops, CommTransport, Op, ScheduleKind, StagePlacement};
 use swift_store::GlobalStore;
@@ -159,7 +160,7 @@ pub fn pipeline_maybe_checkpoint(
     w.ckpt.gc()?;
     // Flush pending log writes, then GC records the checkpoint covers.
     w.logger.flush();
-    w.logger.gc_before(w.iteration)?;
+    w.logger.gc_before(IterationId::new(w.iteration))?;
     Ok(true)
 }
 
@@ -168,6 +169,27 @@ pub fn pipeline_maybe_checkpoint(
 /// consensus iteration via the KV store, and undo past it. Returns the
 /// consensus iteration.
 pub fn pipeline_on_failure_survivor(
+    ctx: &mut WorkerCtx,
+    w: &mut PipelineWorker,
+    survivors: &[Rank],
+) -> Result<u64, CommError> {
+    let obs_epoch = failure_epoch(&ctx.kv);
+    let me = ctx.rank();
+    swift_obs::emit(|| Event::PhaseBegin {
+        rank: me,
+        epoch: obs_epoch,
+        phase: Phase::Undo,
+    });
+    let result = pipeline_on_failure_survivor_inner(ctx, w, survivors);
+    swift_obs::emit(|| Event::PhaseEnd {
+        rank: me,
+        epoch: obs_epoch,
+        phase: Phase::Undo,
+    });
+    result
+}
+
+fn pipeline_on_failure_survivor_inner(
     ctx: &mut WorkerCtx,
     w: &mut PipelineWorker,
     survivors: &[Rank],
@@ -213,6 +235,7 @@ pub fn pipeline_on_failure_survivor(
         w.model
             .undo_update_with(&mut *w.opt, &w.last_grads, &groups)
             .expect("pipeline recovery requires an invertible optimizer");
+        swift_obs::add(swift_obs::Counter::UndoneUpdates, groups.len() as u64);
         w.opt.rollback_step();
         w.iteration -= 1;
     }
@@ -281,6 +304,34 @@ pub struct RecoveryRole {
 /// sequential replay.
 #[allow(clippy::too_many_arguments)]
 pub fn pipeline_replay(
+    ctx: &mut WorkerCtx,
+    job: &PipelineJob,
+    role: &RecoveryRole,
+    model: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    reader: &WalReader,
+    data: &dyn DataSource,
+    from: u64,
+    to: u64,
+) -> Result<(), CommError> {
+    let obs_epoch = failure_epoch(&ctx.kv);
+    let me = ctx.rank();
+    swift_obs::emit(|| Event::PhaseBegin {
+        rank: me,
+        epoch: obs_epoch,
+        phase: Phase::Replay,
+    });
+    let result = pipeline_replay_inner(ctx, job, role, model, opt, reader, data, from, to);
+    swift_obs::emit(|| Event::PhaseEnd {
+        rank: me,
+        epoch: obs_epoch,
+        phase: Phase::Replay,
+    });
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pipeline_replay_inner(
     ctx: &mut WorkerCtx,
     job: &PipelineJob,
     role: &RecoveryRole,
@@ -564,7 +615,7 @@ mod tests {
                                     std::time::Duration::from_secs(30),
                                 )
                                 .expect("replacement never finished");
-                            let generation = failure_epoch(&ctx.kv);
+                            let generation = failure_epoch(&ctx.kv).generation();
                             crate::fence::recovery_fence(&mut ctx, generation, &[0, 1, 2]).unwrap();
                         }
                         Err(e) => panic!("survivor {stage}: {e}"),
@@ -631,7 +682,7 @@ mod tests {
             .unwrap();
             w.iteration = kill_after_iter;
             kv.set("pipeline-replacement-done", "1");
-            let generation = failure_epoch(&rctx.kv);
+            let generation = failure_epoch(&rctx.kv).generation();
             crate::fence::recovery_fence(&mut rctx, generation, &[0, 1, 2]).unwrap();
             // Resume normal training.
             while w.iteration < iters_total {

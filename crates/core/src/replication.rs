@@ -10,13 +10,13 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
-use swift_net::{failure_epoch, failure_state, CommError, Rank, WorkerCtx};
+use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
 use swift_optim::{OptimState, Optimizer};
 use swift_tensor::Tensor;
 
 use crate::consistency::UpdateTracker;
 use crate::fence::recovery_fence;
-use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport, SupervisorConfig};
+use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport};
 
 /// One data-parallel replica worker's training state.
 pub struct DpWorker {
@@ -153,7 +153,7 @@ pub fn replication_recover_survivor(
 ) -> Result<(), CommError> {
     repair_dp_consistency(w);
     let epoch = failure_epoch(&ctx.kv);
-    recovery_fence(ctx, epoch, participants)?;
+    recovery_fence(ctx, epoch.generation(), participants)?;
     let root = *survivors.iter().min().expect("no survivors");
     let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
     let state = ctx
@@ -178,6 +178,7 @@ pub(crate) fn repair_dp_consistency(w: &mut DpWorker) {
         w.model
             .undo_update_with(&mut *w.opt, &grads, &groups)
             .expect("replication recovery requires an invertible optimizer");
+        swift_obs::add(swift_obs::Counter::UndoneUpdates, groups.len() as u64);
         w.tracker.reset();
     }
 }
@@ -194,7 +195,7 @@ pub fn replication_join(
 ) -> Result<DpWorker, CommError> {
     let mut w = DpWorker::new(model_template, opt_template);
     let epoch = failure_epoch(&ctx.kv);
-    recovery_fence(ctx, epoch, participants)?;
+    recovery_fence(ctx, epoch.generation(), participants)?;
     let root = *survivors.iter().min().expect("no survivors");
     let state = ctx.comm.broadcast_bytes_among(participants, root, None)?;
     decode_dp_state_into(&mut w, state);
@@ -224,15 +225,15 @@ pub fn replication_recover_supervised(
     ctx: &mut WorkerCtx,
     w: &mut DpWorker,
     group: &[Rank],
-    cfg: &SupervisorConfig,
+    policy: &RetryPolicy,
 ) -> Result<RecoveryReport, CommError> {
-    let (_, report) = supervise(ctx, cfg, |ctx, epoch, phases| {
+    let (_, report) = supervise(ctx, policy, |ctx, epoch, phases| {
         phases.enter(RecoveryPhase::RepairConsistency);
         repair_dp_consistency(w);
         let survivors = live_survivors(ctx, group);
         let root = *survivors.iter().min().expect("no survivors");
         phases.enter(RecoveryPhase::Fence);
-        recovery_fence(ctx, epoch, group)?;
+        recovery_fence(ctx, epoch.generation(), group)?;
         phases.enter(RecoveryPhase::Synchronize);
         let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
         let state = ctx.comm.broadcast_bytes_among(group, root, payload)?;
@@ -251,15 +252,15 @@ pub fn replication_join_supervised(
     model_fn: &dyn Fn() -> Sequential,
     opt_fn: &dyn Fn() -> Box<dyn Optimizer>,
     group: &[Rank],
-    cfg: &SupervisorConfig,
+    policy: &RetryPolicy,
 ) -> Result<(DpWorker, RecoveryReport), CommError> {
-    supervise(ctx, cfg, |ctx, epoch, phases| {
+    supervise(ctx, policy, |ctx, epoch, phases| {
         phases.enter(RecoveryPhase::RepairConsistency);
         let mut w = DpWorker::new(model_fn(), opt_fn());
         let survivors = live_survivors(ctx, group);
         let root = *survivors.iter().min().expect("no survivors");
         phases.enter(RecoveryPhase::Fence);
-        recovery_fence(ctx, epoch, group)?;
+        recovery_fence(ctx, epoch.generation(), group)?;
         phases.enter(RecoveryPhase::Synchronize);
         let state = ctx.comm.broadcast_bytes_among(group, root, None)?;
         phases.enter(RecoveryPhase::Rejoin);

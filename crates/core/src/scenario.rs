@@ -9,7 +9,7 @@ use swift_data::{shard_batch, split_microbatches, Dataset};
 use swift_dnn::{accuracy, softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
 use swift_net::{
     failure_epoch, failure_state, Cluster, CommError, CrashTrigger, FaultPlan, FaultStatsSnapshot,
-    Rank, RetryPolicy, Topology, WorkerCtx,
+    Rank, RetryPolicy, Topology, Trace, WorkerCtx,
 };
 use swift_optim::OptimizerKind;
 use swift_pipeline::ScheduleKind;
@@ -26,7 +26,7 @@ use crate::replication::{
     dp_train_step, replication_join_supervised, replication_recover_supervised, CrashPoint,
     DpWorker,
 };
-use crate::supervisor::SupervisorConfig;
+use swift_obs::{Epoch, Event, Phase};
 
 /// A model factory (must be deterministic: every call builds the same
 /// initialization, as all replicas/replacements construct it).
@@ -100,6 +100,90 @@ pub struct DpScenario {
     pub faults: Option<FaultPlan>,
 }
 
+impl DpScenario {
+    /// Starts building a data-parallel scenario from its two required
+    /// ingredients. Defaults: 2 machines, SGD+momentum, batch size 8,
+    /// 4 iterations, no crash, no fault plan.
+    pub fn builder(model_fn: ModelFn, dataset: Arc<dyn Dataset>) -> DpScenarioBuilder {
+        DpScenarioBuilder {
+            cfg: DpScenario {
+                machines: 2,
+                model_fn,
+                opt: OptimizerKind::SgdMomentum {
+                    lr: 0.05,
+                    weight_decay: 0.0,
+                    momentum: 0.9,
+                    dampening: 0.0,
+                },
+                dataset,
+                batch_size: 8,
+                iters: 4,
+                crash: None,
+                faults: None,
+            },
+            trace: false,
+        }
+    }
+}
+
+/// Builder for [`DpScenario`]; finish with [`DpScenarioBuilder::run`].
+#[must_use = "a scenario builder does nothing until .run()"]
+pub struct DpScenarioBuilder {
+    cfg: DpScenario,
+    trace: bool,
+}
+
+impl DpScenarioBuilder {
+    /// Sets the number of machines (one replica rank per machine).
+    pub fn machines(mut self, n: usize) -> Self {
+        self.cfg.machines = n;
+        self
+    }
+
+    /// Sets the optimizer configuration.
+    pub fn opt(mut self, opt: OptimizerKind) -> Self {
+        self.cfg.opt = opt;
+        self
+    }
+
+    /// Sets the global mini-batch size.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.cfg.batch_size = b;
+        self
+    }
+
+    /// Sets the number of iterations to train.
+    pub fn iters(mut self, iters: u64) -> Self {
+        self.cfg.iters = iters;
+        self
+    }
+
+    /// Injects a mid-update crash on `machine` at `iteration`, after
+    /// `after_groups` parameter groups have been applied.
+    pub fn crash(mut self, machine: usize, iteration: u64, after_groups: usize) -> Self {
+        self.cfg.crash = Some((machine, iteration, after_groups));
+        self
+    }
+
+    /// Installs an adversarial fault plan on the fabric.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Enables the vector-clocked fabric tracer; the snapshot lands in
+    /// [`ScenarioResult::trace`].
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Consumes the builder and runs the scenario end to end.
+    pub fn run(self) -> ScenarioResult {
+        run_dp_scenario_impl(self.cfg, self.trace)
+    }
+}
+
 /// Result of a scenario run.
 pub struct ScenarioResult {
     /// Final model state per rank (bit-identical across replicas for DP).
@@ -115,13 +199,22 @@ pub struct ScenarioResult {
     /// Fault-injector counters (delays, reorders, drops, duplicates,
     /// crashes fired) when a [`FaultPlan`] was installed.
     pub fault_stats: Option<FaultStatsSnapshot>,
+    /// The vector-clocked fabric trace, when the scenario was built with
+    /// tracing enabled — feed it to `swift-verify`'s race checker.
+    pub trace: Option<Trace>,
 }
 
 /// Runs a data-parallel scenario end to end, including crash injection,
 /// update-undo repair, replication recovery, and completion.
+#[deprecated(note = "use DpScenario::builder(..).run() instead")]
 pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
+    run_dp_scenario_impl(cfg, false)
+}
+
+fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
     let world = cfg.machines;
     let cluster = Cluster::new(Topology::uniform(world, 1));
+    let tracer = trace.then(|| cluster.enable_tracing());
     let fc = cluster.failure_controller();
     let injector = cfg.faults.clone().map(|plan| cluster.install_faults(plan));
     let replicas: Vec<Rank> = (0..world).collect();
@@ -203,7 +296,7 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
                         &mut ctx,
                         &mut w,
                         &replicas,
-                        &SupervisorConfig::default(),
+                        &RetryPolicy::recovery(),
                     )
                     .expect("survivor recovery failed");
                 }
@@ -254,7 +347,7 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
                 &*mf,
                 &|| opt_kind.build(),
                 &all,
-                &SupervisorConfig::default(),
+                &RetryPolicy::recovery(),
             )
             .expect("replacement join failed");
             wl(rctx, w, all)
@@ -283,6 +376,7 @@ pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
         recovered: had_crash,
         recovery_trace: Vec::new(),
         fault_stats: injector.map(|i| i.stats()),
+        trace: tracer.map(|t| t.snapshot()),
     }
 }
 
@@ -336,11 +430,145 @@ pub struct PipelineScenario {
     pub parallel_recovery: usize,
 }
 
+impl PipelineScenario {
+    /// Starts building a pipeline-parallel scenario from its two required
+    /// ingredients. Defaults: 2 stages, SGD+momentum, batch size 8,
+    /// 2 micro-batches, checkpoint every 2 iterations, 4 iterations,
+    /// 1F1B schedule, bubble-async F32 logging, sequential replay,
+    /// no crash, no fault plan.
+    pub fn builder(model_fn: ModelFn, dataset: Arc<dyn Dataset>) -> PipelineScenarioBuilder {
+        PipelineScenarioBuilder {
+            cfg: PipelineScenario {
+                stages: 2,
+                model_fn,
+                opt: OptimizerKind::SgdMomentum {
+                    lr: 0.05,
+                    weight_decay: 0.0,
+                    momentum: 0.9,
+                    dampening: 0.0,
+                },
+                dataset,
+                batch_size: 8,
+                microbatches: 2,
+                ckpt_interval: 2,
+                iters: 4,
+                schedule: ScheduleKind::OneFOneB,
+                log_mode: LogMode::BubbleAsync,
+                log_precision: LogPrecision::F32,
+                crash: None,
+                faults: None,
+                parallel_recovery: 1,
+            },
+            trace: false,
+        }
+    }
+}
+
+/// Builder for [`PipelineScenario`]; finish with
+/// [`PipelineScenarioBuilder::run`].
+#[must_use = "a scenario builder does nothing until .run()"]
+pub struct PipelineScenarioBuilder {
+    cfg: PipelineScenario,
+    trace: bool,
+}
+
+impl PipelineScenarioBuilder {
+    /// Sets the number of stages/machines.
+    pub fn stages(mut self, n: usize) -> Self {
+        self.cfg.stages = n;
+        self
+    }
+
+    /// Sets the optimizer configuration (per stage).
+    pub fn opt(mut self, opt: OptimizerKind) -> Self {
+        self.cfg.opt = opt;
+        self
+    }
+
+    /// Sets the global mini-batch size.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.cfg.batch_size = b;
+        self
+    }
+
+    /// Sets the number of micro-batches per iteration.
+    pub fn microbatches(mut self, m: usize) -> Self {
+        self.cfg.microbatches = m;
+        self
+    }
+
+    /// Sets the backstop checkpoint interval.
+    pub fn ckpt_interval(mut self, i: u64) -> Self {
+        self.cfg.ckpt_interval = i;
+        self
+    }
+
+    /// Sets the number of iterations to train.
+    pub fn iters(mut self, iters: u64) -> Self {
+        self.cfg.iters = iters;
+        self
+    }
+
+    /// Sets the pipeline schedule flavor.
+    pub fn schedule(mut self, s: ScheduleKind) -> Self {
+        self.cfg.schedule = s;
+        self
+    }
+
+    /// Sets the logging mode.
+    pub fn log_mode(mut self, m: LogMode) -> Self {
+        self.cfg.log_mode = m;
+        self
+    }
+
+    /// Sets the logged-payload precision.
+    pub fn log_precision(mut self, p: LogPrecision) -> Self {
+        self.cfg.log_precision = p;
+        self
+    }
+
+    /// Injects a crash on `machine` once it reports `after_iteration`.
+    pub fn crash(mut self, machine: usize, after_iteration: u64) -> Self {
+        self.cfg.crash = Some((machine, after_iteration));
+        self
+    }
+
+    /// Installs an adversarial fault plan on the fabric.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Sets the parallel-recovery replica count `d`.
+    pub fn parallel_recovery(mut self, d: usize) -> Self {
+        self.cfg.parallel_recovery = d.max(1);
+        self
+    }
+
+    /// Enables the vector-clocked fabric tracer; the snapshot lands in
+    /// [`ScenarioResult::trace`].
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Consumes the builder and runs the scenario end to end.
+    pub fn run(self) -> ScenarioResult {
+        run_pipeline_scenario_impl(self.cfg, self.trace)
+    }
+}
+
 /// Runs a pipeline-parallel scenario end to end with logging-based
 /// recovery.
+#[deprecated(note = "use PipelineScenario::builder(..).run() instead")]
 pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
+    run_pipeline_scenario_impl(cfg, false)
+}
+
+fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioResult {
     let stages = cfg.stages;
     let cluster = Cluster::new(Topology::uniform(stages, 1));
+    let tracer = trace.then(|| cluster.enable_tracing());
     let fc = cluster.failure_controller();
     // The scripted crash rides on the fault injector: an `AtIteration`
     // trigger kills the machine when the victim reports that iteration
@@ -473,7 +701,18 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
                             );
                         }
                         // Rendezvous with the replacement, then resume.
-                        recovery_fence(&mut ctx, generation * 10 + 2, &all_ranks).unwrap();
+                        let me = ctx.rank();
+                        swift_obs::emit(|| Event::PhaseBegin {
+                            rank: me,
+                            epoch: generation,
+                            phase: Phase::Resume,
+                        });
+                        recovery_fence(&mut ctx, generation.fence_channel(2), &all_ranks).unwrap();
+                        swift_obs::emit(|| Event::PhaseEnd {
+                            rank: me,
+                            epoch: generation,
+                            phase: Phase::Resume,
+                        });
                     }
                 }
             }
@@ -557,9 +796,22 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
             trace_mark(&rctx.kv, "checkpoint-loaded+consensus", trace_t0);
             let generation = failure_epoch(&rctx.kv);
             let replay_ranks = replay_participants(mach, &survivors, d);
+            // Fence phase: the replay-group rendezvous. Recorded even when
+            // the replacement replays alone (d = 1) so the per-incident
+            // breakdown always carries a (possibly empty) fence segment.
+            swift_obs::emit(|| Event::PhaseBegin {
+                rank: mach,
+                epoch: generation,
+                phase: Phase::Fence,
+            });
             if replay_ranks.len() > 1 {
-                recovery_fence(&mut rctx, generation * 10 + 1, &replay_ranks).unwrap();
+                recovery_fence(&mut rctx, generation.fence_channel(1), &replay_ranks).unwrap();
             }
+            swift_obs::emit(|| Event::PhaseEnd {
+                rank: mach,
+                epoch: generation,
+                phase: Phase::Fence,
+            });
             let reader = WalReader::new(w.global.blob().clone());
             let role = RecoveryRole {
                 stage: job2.stage_of(mach),
@@ -583,12 +835,22 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
             .unwrap();
             w.iteration = consensus;
             trace_mark(&rctx.kv, "replay-done", trace_t0);
+            swift_obs::emit(|| Event::PhaseBegin {
+                rank: mach,
+                epoch: generation,
+                phase: Phase::Resume,
+            });
             recovery_fence(
                 &mut rctx,
-                generation * 10 + 2,
+                generation.fence_channel(2),
                 &(0..stages).collect::<Vec<_>>(),
             )
             .unwrap();
+            swift_obs::emit(|| Event::PhaseEnd {
+                rank: mach,
+                epoch: generation,
+                phase: Phase::Resume,
+            });
             trace_mark(&rctx.kv, "resume-fence-done", trace_t0);
             wl(rctx, w)
         }));
@@ -631,6 +893,7 @@ pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
         recovered: had_crash,
         recovery_trace,
         fault_stats: injector.map(|i| i.stats()),
+        trace: tracer.map(|t| t.snapshot()),
     }
 }
 
@@ -657,7 +920,7 @@ fn assist_replay(
     failed_rank: Rank,
     assistants: &[Rank],
     consensus: u64,
-    generation: u64,
+    epoch: Epoch,
     d: usize,
 ) {
     let failed_stage = job.stage_of(failed_rank);
@@ -676,7 +939,18 @@ fn assist_replay(
         None => (opt_kind.build(), 0),
     };
     let survivors_sorted = replay_participants(failed_rank, assistants, d);
-    recovery_fence(ctx, generation * 10 + 1, &survivors_sorted).unwrap();
+    let me = ctx.rank();
+    swift_obs::emit(|| Event::PhaseBegin {
+        rank: me,
+        epoch,
+        phase: Phase::Fence,
+    });
+    recovery_fence(ctx, epoch.fence_channel(1), &survivors_sorted).unwrap();
+    swift_obs::emit(|| Event::PhaseEnd {
+        rank: me,
+        epoch,
+        phase: Phase::Fence,
+    });
     let my_replica = 1 + assistants.iter().position(|&r| r == ctx.rank()).unwrap();
     let reader = WalReader::new(global.blob().clone());
     let role = RecoveryRole {

@@ -16,7 +16,7 @@
 //!   failure, observed either as a comm error or as a mid-fence death
 //!   declaration — the supervisor backs off exponentially
 //!   ([`RetryPolicy`]) and restarts from the top under the *new* epoch;
-//! - restarts are bounded ([`SupervisorConfig::max_restarts`]); a
+//! - restarts are bounded ([`RetryPolicy::max_restarts`]); a
 //!   [`CommError::SelfKilled`] (including false-suspicion self-fencing)
 //!   always unwinds immediately — a dead worker must not retry.
 //!
@@ -29,6 +29,7 @@
 use std::time::Instant;
 
 use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
+use swift_obs::{Counter, Epoch, Event, Phase};
 
 /// The phases of one recovery attempt, in order. Used for reporting and
 /// assertions; the phase *logic* lives in the per-strategy closures.
@@ -59,6 +60,20 @@ impl std::fmt::Display for RecoveryPhase {
     }
 }
 
+impl RecoveryPhase {
+    /// The observability phase this FSM state maps to. `Synchronize` is
+    /// ambiguous (broadcast for replication, replay for logging), so the
+    /// tracker carries the strategy's choice.
+    fn obs_phase(self, sync: Phase) -> Phase {
+        match self {
+            RecoveryPhase::RepairConsistency => Phase::Undo,
+            RecoveryPhase::Fence => Phase::Fence,
+            RecoveryPhase::Synchronize => sync,
+            RecoveryPhase::Rejoin => Phase::Resume,
+        }
+    }
+}
+
 /// Records which phase each attempt reached; handed to the attempt
 /// closure so phase entry is declared in one place and visible to tests
 /// and traces.
@@ -71,6 +86,13 @@ impl std::fmt::Display for RecoveryPhase {
 #[derive(Debug)]
 pub struct PhaseTracker {
     attempt: u32,
+    /// The rank running this recovery, stamped onto emitted spans.
+    rank: Rank,
+    /// The failure epoch of the current attempt, stamped onto spans.
+    epoch: Epoch,
+    /// What `Synchronize` means for this strategy (broadcast for
+    /// replication, replay for logging); see [`PhaseTracker::sync_as`].
+    sync: Phase,
     /// Last phase entered in the current attempt (reset per attempt).
     current: Option<RecoveryPhase>,
     table: crate::fsm::TransitionTable,
@@ -81,6 +103,9 @@ impl Default for PhaseTracker {
     fn default() -> Self {
         PhaseTracker {
             attempt: 0,
+            rank: 0,
+            epoch: Epoch::new(0),
+            sync: Phase::Broadcast,
             current: None,
             table: crate::fsm::recovery_fsm(),
             log: Vec::new(),
@@ -89,26 +114,64 @@ impl Default for PhaseTracker {
 }
 
 impl PhaseTracker {
-    fn begin_attempt(&mut self, attempt: u32) {
+    fn begin_attempt(&mut self, attempt: u32, epoch: Epoch) {
         self.attempt = attempt;
+        self.epoch = epoch;
         self.current = None;
     }
 
+    /// Declares what the `Synchronize` phase does in the running
+    /// strategy, so its span carries the right paper phase. Replication
+    /// recovery broadcasts (the default); logging recovery replays.
+    pub fn sync_as(&mut self, sync: Phase) {
+        self.sync = sync;
+    }
+
     /// Declares entry into `phase` for the current attempt, rejecting
-    /// transitions the static table does not license.
+    /// transitions the static table does not license. Emits the
+    /// observability span boundary: the previous phase (if any) ends
+    /// where the next begins.
     pub fn enter(&mut self, phase: RecoveryPhase) {
         match self.current {
             None => assert!(
                 self.table.entry_allowed(phase),
                 "recovery FSM: attempt may not begin at phase {phase}"
             ),
-            Some(prev) => assert!(
-                self.table.advance_allowed(prev, phase),
-                "recovery FSM: illegal transition {prev} -> {phase}"
-            ),
+            Some(prev) => {
+                assert!(
+                    self.table.advance_allowed(prev, phase),
+                    "recovery FSM: illegal transition {prev} -> {phase}"
+                );
+                let (rank, epoch, sync) = (self.rank, self.epoch, self.sync);
+                swift_obs::emit(|| Event::PhaseEnd {
+                    rank,
+                    epoch,
+                    phase: prev.obs_phase(sync),
+                });
+            }
         }
+        let (rank, epoch, sync) = (self.rank, self.epoch, self.sync);
+        swift_obs::emit(|| Event::PhaseBegin {
+            rank,
+            epoch,
+            phase: phase.obs_phase(sync),
+        });
         self.current = Some(phase);
         self.log.push((self.attempt, phase));
+    }
+
+    /// Closes the open span, if any — called by the supervisor when an
+    /// attempt completes or is abandoned (cascade restart, terminal
+    /// error), so the event stream never carries an unbalanced span.
+    fn close(&mut self) {
+        if let Some(prev) = self.current.take() {
+            let (rank, epoch, sync) = (self.rank, self.epoch, self.sync);
+            swift_obs::emit(|| Event::PhaseEnd {
+                rank,
+                epoch,
+                phase: prev.obs_phase(sync),
+            });
+        }
     }
 
     /// The `(attempt, phase)` entries recorded so far.
@@ -117,30 +180,11 @@ impl PhaseTracker {
     }
 }
 
-/// Supervisor knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct SupervisorConfig {
-    /// Backoff schedule between restarts.
-    pub policy: RetryPolicy,
-    /// Maximum restarts after the first attempt (so `max_restarts + 1`
-    /// attempts in total) before the error propagates.
-    pub max_restarts: u32,
-}
-
-impl Default for SupervisorConfig {
-    fn default() -> Self {
-        SupervisorConfig {
-            policy: RetryPolicy::recovery(),
-            max_restarts: 4,
-        }
-    }
-}
-
 /// What a completed supervised recovery looked like.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
     /// The failure epoch the successful attempt ran under.
-    pub epoch: u64,
+    pub epoch: Epoch,
     /// How many restarts were needed (0 = first attempt succeeded).
     pub restarts: u32,
     /// Phase entries per attempt.
@@ -187,7 +231,9 @@ pub fn wait_cascade_aware(
     }
 }
 
-/// Runs `attempt` until it succeeds, restarting on cascading failures.
+/// Runs `attempt` until it succeeds, restarting on cascading failures
+/// under the policy's backoff schedule and
+/// [`RetryPolicy::max_restarts`] budget.
 ///
 /// Each attempt receives the failure epoch read at its start — the
 /// namespace for its fences and rendezvous keys — and the shared
@@ -196,16 +242,20 @@ pub fn wait_cascade_aware(
 /// and the KV state, never from a previous attempt.
 pub fn supervise<T>(
     ctx: &mut WorkerCtx,
-    cfg: &SupervisorConfig,
-    mut attempt: impl FnMut(&mut WorkerCtx, u64, &mut PhaseTracker) -> Result<T, CommError>,
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(&mut WorkerCtx, Epoch, &mut PhaseTracker) -> Result<T, CommError>,
 ) -> Result<(T, RecoveryReport), CommError> {
-    let mut tracker = PhaseTracker::default();
+    let mut tracker = PhaseTracker {
+        rank: ctx.rank(),
+        ..PhaseTracker::default()
+    };
     let mut restarts = 0u32;
     loop {
         let epoch = failure_epoch(&ctx.kv);
-        tracker.begin_attempt(restarts);
+        tracker.begin_attempt(restarts, epoch);
         match attempt(ctx, epoch, &mut tracker) {
             Ok(v) => {
+                tracker.close();
                 let report = RecoveryReport {
                     epoch,
                     restarts,
@@ -213,16 +263,22 @@ pub fn supervise<T>(
                 };
                 return Ok((v, report));
             }
-            Err(CommError::PeerFailed { .. }) if restarts < cfg.max_restarts => {
-                // Cascading failure mid-recovery. Back off, then restart
-                // from the top: by the time we retry, the new death is
-                // declared (the error path that got us here declares
-                // before returning), so the next attempt reads a fresh
-                // epoch and a fresh survivor set.
-                std::thread::sleep(cfg.policy.delay_for(restarts));
+            Err(CommError::PeerFailed { .. }) if restarts < policy.max_restarts => {
+                // Cascading failure mid-recovery. Close the abandoned
+                // span, back off, then restart from the top: by the time
+                // we retry, the new death is declared (the error path
+                // that got us here declares before returning), so the
+                // next attempt reads a fresh epoch and a fresh survivor
+                // set.
+                tracker.close();
+                swift_obs::add(Counter::Restarts, 1);
+                std::thread::sleep(policy.delay_for(restarts));
                 restarts += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                tracker.close();
+                return Err(e);
+            }
         }
     }
 }
@@ -236,13 +292,13 @@ mod tests {
     fn first_attempt_success_reports_no_restarts() {
         let cluster = Cluster::new(Topology::uniform(1, 1));
         let mut ctx = cluster.take_ctx(0);
-        let (v, report) = supervise(&mut ctx, &SupervisorConfig::default(), |_, epoch, t| {
+        let (v, report) = supervise(&mut ctx, &RetryPolicy::recovery(), |_, epoch, t| {
             t.enter(RecoveryPhase::RepairConsistency);
             t.enter(RecoveryPhase::Fence);
             Ok(epoch)
         })
         .unwrap();
-        assert_eq!(v, 0);
+        assert_eq!(v, Epoch::new(0));
         assert_eq!(report.restarts, 0);
         assert_eq!(
             report.phases,
@@ -257,8 +313,8 @@ mod tests {
     fn peer_failure_restarts_under_new_epoch() {
         let cluster = Cluster::new(Topology::uniform(2, 1));
         let mut ctx = cluster.take_ctx(0);
-        let mut seen_epochs: Vec<u64> = Vec::new();
-        let (_, report) = supervise(&mut ctx, &SupervisorConfig::default(), |ctx, epoch, t| {
+        let mut seen_epochs: Vec<Epoch> = Vec::new();
+        let (_, report) = supervise(&mut ctx, &RetryPolicy::recovery(), |ctx, epoch, t| {
             t.enter(RecoveryPhase::RepairConsistency);
             seen_epochs.push(epoch);
             if seen_epochs.len() == 1 {
@@ -274,10 +330,10 @@ mod tests {
         assert_eq!(report.restarts, 1);
         assert_eq!(
             seen_epochs,
-            vec![0, 1],
+            vec![Epoch::new(0), Epoch::new(1)],
             "restart must observe the bumped epoch"
         );
-        assert_eq!(report.epoch, 1);
+        assert_eq!(report.epoch, Epoch::new(1));
         // Both attempts logged their phase entries.
         assert_eq!(
             report.phases,
@@ -294,7 +350,7 @@ mod tests {
         let mut ctx = cluster.take_ctx(0);
         let mut calls = 0u32;
         let r: Result<((), RecoveryReport), _> =
-            supervise(&mut ctx, &SupervisorConfig::default(), |_, _, _| {
+            supervise(&mut ctx, &RetryPolicy::recovery(), |_, _, _| {
                 calls += 1;
                 Err(CommError::SelfKilled)
             });
@@ -306,12 +362,11 @@ mod tests {
     fn restarts_are_bounded() {
         let cluster = Cluster::new(Topology::uniform(2, 1));
         let mut ctx = cluster.take_ctx(0);
-        let cfg = SupervisorConfig {
-            policy: RetryPolicy::recovery().with_deadline(std::time::Duration::from_millis(50)),
-            max_restarts: 2,
-        };
+        let policy = RetryPolicy::recovery()
+            .with_deadline(std::time::Duration::from_millis(50))
+            .with_max_restarts(2);
         let mut calls = 0u32;
-        let r: Result<((), RecoveryReport), _> = supervise(&mut ctx, &cfg, |_, _, _| {
+        let r: Result<((), RecoveryReport), _> = supervise(&mut ctx, &policy, |_, _, _| {
             calls += 1;
             Err(CommError::PeerFailed { rank: 1 as Rank })
         });

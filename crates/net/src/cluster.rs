@@ -90,11 +90,84 @@ impl WorkerCtx {
     }
 }
 
+/// Declarative construction of a [`Cluster`]: topology plus the
+/// optional fault plan, heartbeat detection and protocol tracing, in
+/// one builder instead of a constructor-then-mutate dance.
+///
+/// ```
+/// use swift_net::{Cluster, FaultPlan, Topology};
+///
+/// let cluster = Cluster::builder(Topology::uniform(2, 1))
+///     .faults(FaultPlan::chaos(7))
+///     .tracing()
+///     .build();
+/// assert!(cluster.injector().is_some());
+/// assert!(cluster.tracer().is_some());
+/// ```
+#[must_use = "a ClusterBuilder does nothing until .build() is called"]
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    topology: Topology,
+    plan: Option<FaultPlan>,
+    heartbeats: Option<HeartbeatConfig>,
+    tracing: bool,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `topology` with no faults, no heartbeats and
+    /// no tracing.
+    pub fn new(topology: Topology) -> Self {
+        ClusterBuilder {
+            topology,
+            plan: None,
+            heartbeats: None,
+            tracing: false,
+        }
+    }
+
+    /// Installs a fault plan on the fabric (retrievable afterwards via
+    /// [`Cluster::injector`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Enables heartbeat-lease failure detection.
+    pub fn heartbeats(mut self, cfg: HeartbeatConfig) -> Self {
+        self.heartbeats = Some(cfg);
+        self
+    }
+
+    /// Enables protocol tracing (retrievable afterwards via
+    /// [`Cluster::tracer`]).
+    pub fn tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Builds the cluster with everything installed before any worker
+    /// can run, so coverage is complete from the first message.
+    pub fn build(self) -> Cluster {
+        let cluster = Cluster::new(self.topology);
+        if let Some(plan) = self.plan {
+            cluster.install_faults(plan);
+        }
+        if let Some(cfg) = self.heartbeats {
+            cluster.enable_heartbeats(cfg);
+        }
+        if self.tracing {
+            cluster.enable_tracing();
+        }
+        cluster
+    }
+}
+
 /// A running in-process cluster.
 ///
-/// Created with [`Cluster::new`]; worker threads are spawned with
-/// [`Cluster::spawn`]. The test/driver side keeps the handle to inject
-/// failures and spawn replacement workers.
+/// Created with [`Cluster::builder`] (or [`Cluster::new`] for a plain
+/// fabric); worker threads are spawned with [`Cluster::spawn`]. The
+/// test/driver side keeps the handle to inject failures and spawn
+/// replacement workers.
 pub struct Cluster {
     topology: Topology,
     fc: Arc<FailureController>,
@@ -122,11 +195,30 @@ impl Cluster {
         }
     }
 
+    /// Starts a [`ClusterBuilder`] for `topology`.
+    pub fn builder(topology: Topology) -> ClusterBuilder {
+        ClusterBuilder::new(topology)
+    }
+
     /// Builds a cluster with a fault plan installed on the fabric.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Cluster::builder(topology).faults(plan).build() and Cluster::injector()"
+    )]
     pub fn with_faults(topology: Topology, plan: FaultPlan) -> (Self, Arc<FaultInjector>) {
         let cluster = Cluster::new(topology);
         let inj = cluster.install_faults(plan);
         (cluster, inj)
+    }
+
+    /// The fault injector installed on the fabric, if any.
+    pub fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fabric.injector()
+    }
+
+    /// The protocol tracer installed on the fabric, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.fabric.tracer()
     }
 
     /// Installs `plan` on the fabric (call before spawning workers for
@@ -511,8 +603,8 @@ mod tests {
         ctx0.comm.send_tensor(1, 5, &Tensor::scalar(-7.0)).unwrap();
         // Both sides move to generation 1 (as the recovery fence does)
         // and the sender retransmits under the new generation.
-        ctx0.comm.set_generation(1);
-        ctx1.comm.set_generation(1);
+        ctx0.comm.set_generation(swift_obs::Epoch::new(1));
+        ctx1.comm.set_generation(swift_obs::Epoch::new(1));
         ctx0.comm.send_tensor(1, 5, &Tensor::scalar(8.0)).unwrap();
         assert_eq!(ctx1.comm.recv_tensor(0, 5).unwrap().item(), 8.0);
     }

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
+use swift_obs::Epoch;
 use swift_tensor::{decode_slice, encode, Tensor};
 
 use crate::detector;
@@ -303,7 +304,7 @@ pub fn build_comms(
             }
         });
     }
-    let epoch = detector::failure_epoch(&kv);
+    let epoch = detector::failure_epoch(&kv).get();
     let comms = receivers
         .into_iter()
         .enumerate()
@@ -337,7 +338,7 @@ pub fn respawn_comm(
     let (s, r) = unbounded();
     fabric.senders.write()[rank] = s;
     fabric.reset_links_into(rank);
-    let epoch = detector::failure_epoch(&kv);
+    let epoch = detector::failure_epoch(&kv).get();
     new_comm(rank, world, fabric.clone(), r, fc, kv, epoch)
 }
 
@@ -419,7 +420,7 @@ impl Comm {
     /// suspicion self-fencing), otherwise reporting a declared-dead peer.
     fn check_failure_state(&self, fallback: Rank) -> Result<(), CommError> {
         let (epoch, dead) = detector::failure_state(&self.kv);
-        if epoch > self.generation.load(Ordering::SeqCst) {
+        if epoch.get() > self.generation.load(Ordering::SeqCst) {
             if dead.contains(&self.rank) {
                 return Err(CommError::SelfKilled);
             }
@@ -626,16 +627,17 @@ impl Comm {
         }
     }
 
-    /// The failure generation (epoch) this communicator is synchronized
-    /// to.
-    pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::SeqCst)
+    /// The failure epoch this communicator's generation stamp is
+    /// synchronized to.
+    pub fn generation(&self) -> Epoch {
+        Epoch::new(self.generation.load(Ordering::SeqCst))
     }
 
     /// Synchronizes the failure generation to the declared epoch
     /// (recovery fence only). Inbound traffic stamped with an older
     /// generation is fenced on receipt.
-    pub fn set_generation(&self, g: u64) {
+    pub fn set_generation(&self, epoch: Epoch) {
+        let g = epoch.get();
         let from = self.generation.swap(g, Ordering::SeqCst);
         if from != g {
             if let Some(t) = self.fabric.tracer() {

@@ -26,6 +26,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use swift_obs::{Epoch, Event};
+
 use crate::failure::FailureController;
 use crate::faults::FaultInjector;
 use crate::kv::KvStore;
@@ -55,14 +57,17 @@ fn format_state(epoch: u64, ranks: &[Rank]) -> String {
 }
 
 /// The current failure epoch and declared-dead ranks.
-pub fn failure_state(kv: &KvStore) -> (u64, Vec<Rank>) {
-    kv.get(STATE_KEY)
+pub fn failure_state(kv: &KvStore) -> (Epoch, Vec<Rank>) {
+    let (epoch, dead) = kv
+        .get(STATE_KEY)
         .map(|s| parse_state(&s))
-        .unwrap_or((0, Vec::new()))
+        .unwrap_or((0, Vec::new()));
+    (Epoch::new(epoch), dead)
 }
 
-/// The current failure epoch (0 = no failure ever declared).
-pub fn failure_epoch(kv: &KvStore) -> u64 {
+/// The current failure epoch ([`Epoch::default`] = no failure ever
+/// declared).
+pub fn failure_epoch(kv: &KvStore) -> Epoch {
     failure_state(kv).0
 }
 
@@ -70,23 +75,31 @@ pub fn failure_epoch(kv: &KvStore) -> u64 {
 /// and bumping the epoch *only if the set grew*. Idempotent: concurrent
 /// detectors reporting the same rank produce one epoch bump. Returns the
 /// resulting epoch.
-pub fn declare_failed(kv: &KvStore, ranks: &[Rank]) -> u64 {
+pub fn declare_failed(kv: &KvStore, ranks: &[Rank]) -> Epoch {
     let v = kv.update(STATE_KEY, |cur| {
         let (epoch, mut dead) = cur.map(parse_state).unwrap_or((0, Vec::new()));
-        let mut grew = false;
+        let mut grew = Vec::new();
         for &r in ranks {
             if !dead.contains(&r) {
                 dead.push(r);
-                grew = true;
+                grew.push(r);
             }
         }
-        if !grew {
+        if grew.is_empty() {
             return None;
         }
         dead.sort_unstable();
+        // Observability: emit while still holding the store lock, so the
+        // declaration timestamp precedes every observer's first look at
+        // the new state (the timeline's detect/undo boundary depends on
+        // this ordering).
+        swift_obs::emit(|| Event::Declared {
+            epoch: Epoch::new(epoch + 1),
+            ranks: grew.clone(),
+        });
         Some(format_state(epoch + 1, &dead))
     });
-    v.map(|s| parse_state(&s).0).unwrap_or(0)
+    Epoch::new(v.map(|s| parse_state(&s).0).unwrap_or(0))
 }
 
 /// Removes `ranks` from the dead set (their replacements have rejoined).
@@ -273,19 +286,19 @@ mod tests {
     #[test]
     fn declare_failed_is_idempotent_and_unions() {
         let kv = KvStore::new();
-        assert_eq!(failure_state(&kv), (0, vec![]));
-        assert_eq!(declare_failed(&kv, &[2]), 1);
+        assert_eq!(failure_state(&kv), (Epoch::new(0), vec![]));
+        assert_eq!(declare_failed(&kv, &[2]), Epoch::new(1));
         assert_eq!(
             declare_failed(&kv, &[2]),
-            1,
+            Epoch::new(1),
             "re-declaring must not bump the epoch"
         );
-        assert_eq!(declare_failed(&kv, &[0, 2]), 2);
-        assert_eq!(failure_state(&kv), (2, vec![0, 2]));
+        assert_eq!(declare_failed(&kv, &[0, 2]), Epoch::new(2));
+        assert_eq!(failure_state(&kv), (Epoch::new(2), vec![0, 2]));
         declare_recovered(&kv, &[2]);
-        assert_eq!(failure_state(&kv), (2, vec![0]));
+        assert_eq!(failure_state(&kv), (Epoch::new(2), vec![0]));
         declare_recovered(&kv, &[0]);
-        assert_eq!(failure_state(&kv), (2, vec![]));
+        assert_eq!(failure_state(&kv), (Epoch::new(2), vec![]));
     }
 
     #[test]
@@ -301,7 +314,7 @@ mod tests {
             h.join().unwrap();
         }
         let (epoch, dead) = failure_state(&kv);
-        assert_eq!(epoch, 8);
+        assert_eq!(epoch, Epoch::new(8));
         assert_eq!(dead, (0..8).collect::<Vec<_>>());
     }
 

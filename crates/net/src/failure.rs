@@ -93,12 +93,18 @@ impl FailureController {
     /// Kills several machines *atomically* (one failure generation) —
     /// simultaneous multi-machine failures, Appendix B.
     pub fn kill_machines(&self, machines: &[MachineId]) {
-        let mut killed = Vec::new();
-        for &m in machines {
-            for &r in self.topology.ranks_of(m) {
-                self.dead[r].store(true, Ordering::SeqCst);
-                killed.push(r);
-            }
+        let killed: Vec<Rank> = machines
+            .iter()
+            .flat_map(|&m| self.topology.ranks_of(m).iter().copied())
+            .collect();
+        // Observability ground truth: the kill timestamp anchors the
+        // timeline's detect phase, and must precede any observable
+        // effect of the crash.
+        swift_obs::emit(|| swift_obs::Event::Kill {
+            ranks: killed.clone(),
+        });
+        for &r in &killed {
+            self.dead[r].store(true, Ordering::SeqCst);
         }
         self.failure_flag.store(true, Ordering::SeqCst);
         self.generation.fetch_add(1, Ordering::SeqCst);
@@ -108,6 +114,7 @@ impl FailureController {
     /// Kills a single rank (rare in practice — the paper logs only
     /// machine-level traffic for this reason — but supported).
     pub fn kill_rank(&self, rank: Rank) {
+        swift_obs::emit(|| swift_obs::Event::Kill { ranks: vec![rank] });
         self.dead[rank].store(true, Ordering::SeqCst);
         self.failure_flag.store(true, Ordering::SeqCst);
         self.generation.fetch_add(1, Ordering::SeqCst);

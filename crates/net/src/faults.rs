@@ -282,6 +282,7 @@ impl FaultInjector {
             // retransmission, carrying the same sequence numbers.
             self.stats.dropped.fetch_add(1, Ordering::Relaxed);
             self.stats.retransmitted.fetch_add(1, Ordering::Relaxed);
+            swift_obs::add(swift_obs::Counter::Retransmits, 1);
             copies.push(base + self.plan.retransmit_after);
         } else {
             let mut d = base;

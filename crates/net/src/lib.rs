@@ -42,7 +42,7 @@ pub mod retry;
 pub mod topology;
 pub mod trace;
 
-pub use cluster::{Cluster, ClusterError, WorkerCtx};
+pub use cluster::{Cluster, ClusterBuilder, ClusterError, WorkerCtx};
 pub use comm::{build_comms, respawn_comm, Comm, CommError, Fabric, COLLECTIVE_BIT};
 pub use detector::{
     declare_failed, declare_recovered, failure_epoch, failure_state, Heartbeat, HeartbeatConfig,

@@ -4,12 +4,15 @@
 //! waiting for a replacement to come up, retrying an interrupted recovery
 //! step — goes through one [`RetryPolicy`] instead of scattered
 //! `thread::sleep(1ms)` spins and hard-coded 30-second timeouts. The
-//! policy fixes three knobs: the base delay, the backoff factor, and the
-//! overall deadline.
+//! policy fixes four knobs: the base delay, the backoff factor, the
+//! overall deadline, and the whole-attempt restart budget the recovery
+//! supervisor draws on (there used to be a second, drifting config
+//! struct for that — now there is one schedule).
 
 use std::time::{Duration, Instant};
 
-/// Exponential-backoff schedule with an overall deadline.
+/// Exponential-backoff schedule with an overall deadline and a restart
+/// budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Delay before the first retry.
@@ -20,6 +23,10 @@ pub struct RetryPolicy {
     pub max_delay: Duration,
     /// Give up once this much time has elapsed in total.
     pub deadline: Duration,
+    /// How many times a *whole recovery attempt* may be restarted after
+    /// a cascading failure (`max_restarts + 1` attempts in total). Only
+    /// the supervisor consults this; plain waits ignore it.
+    pub max_restarts: u32,
 }
 
 impl RetryPolicy {
@@ -31,24 +38,33 @@ impl RetryPolicy {
             backoff: 1.5,
             max_delay: Duration::from_millis(10),
             deadline: Duration::from_secs(30),
+            max_restarts: 0,
         }
     }
 
     /// Recovery-step retry: for re-running an idempotent recovery phase
     /// after a cascading failure. Starts slower and backs off harder so a
-    /// crashed peer has time to be replaced between attempts.
+    /// crashed peer has time to be replaced between attempts, and grants
+    /// the supervisor a small restart budget (Appendix B cascades).
     pub const fn recovery() -> Self {
         RetryPolicy {
             base_delay: Duration::from_millis(2),
             backoff: 2.0,
             max_delay: Duration::from_millis(250),
             deadline: Duration::from_secs(30),
+            max_restarts: 4,
         }
     }
 
     /// Same schedule with a different overall deadline.
     pub const fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Same schedule with a different restart budget.
+    pub const fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
         self
     }
 
@@ -116,6 +132,7 @@ mod tests {
             backoff: 2.0,
             max_delay: Duration::from_millis(4),
             deadline: Duration::from_secs(1),
+            max_restarts: 0,
         };
         assert_eq!(p.delay_for(0), Duration::from_millis(1));
         assert_eq!(p.delay_for(1), Duration::from_millis(2));

@@ -4,8 +4,10 @@
 //! traffic is logged, because machines fail as a unit while individual
 //! GPUs rarely do. The topology answers exactly that question.
 
-/// A worker rank (one GPU in the paper's terms).
-pub type Rank = usize;
+/// A worker rank (one GPU in the paper's terms). The canonical
+/// definition lives in the shared typed-ID module ([`swift_obs::ids`])
+/// so every crate speaks the same vocabulary.
+pub use swift_obs::Rank;
 
 /// A machine identifier.
 pub type MachineId = usize;

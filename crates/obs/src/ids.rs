@@ -1,0 +1,133 @@
+//! Typed identifiers shared across every crate boundary.
+//!
+//! The failure-recovery protocols juggle four different `u64`-shaped
+//! counters — the declared *failure epoch*, the communicator *generation*
+//! a fence synchronizes to, the training *iteration*, and the pipeline
+//! *microbatch index* — plus `usize` worker ranks. Passing the wrong one
+//! used to type-check; with these newtypes it does not.
+//!
+//! [`Rank`] stays a plain `usize` alias: ranks index vectors and slices
+//! on nearly every line of the runtime, and wrapping them would trade a
+//! class of bugs the topology layer already prevents for pervasive
+//! `.get()` noise. The *counter-shaped* identifiers are where the
+//! confusion lived, and those are real newtypes.
+
+/// A worker rank: `0..world`. Index-shaped on purpose (see module docs).
+pub type Rank = usize;
+
+macro_rules! counter_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw counter value.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw counter value.
+            pub const fn get(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+counter_id!(
+    /// A declared *failure epoch*: the monotone counter the detector bumps
+    /// each time the dead set grows ([`declare_failed`]). Epoch `0` is the
+    /// failure-free initial state. Recovery attempts, fences and
+    /// rendezvous keys are all namespaced by the epoch they run under.
+    ///
+    /// [`declare_failed`]: ../../swift_net/fn.declare_failed.html
+    Epoch
+);
+
+counter_id!(
+    /// A communicator *generation* / fence namespace. Every recovery fence
+    /// runs under a generation so that keys from different fences (and
+    /// from repeated fences within one recovery, e.g. the replay-group
+    /// fence and the resume fence) never collide. Generations are derived
+    /// from the failure epoch via [`Epoch::generation`] /
+    /// [`Epoch::fence_channel`], never invented ad hoc.
+    Generation
+);
+
+counter_id!(
+    /// A training iteration (the paper's global step counter). WAL
+    /// records, checkpoints and replay ranges are keyed by it.
+    IterationId
+);
+
+counter_id!(
+    /// A microbatch index within one pipeline iteration (`0..m`). Logged
+    /// boundary activations/gradients are keyed by `(iteration,
+    /// microbatch)`.
+    MicrobatchId
+);
+
+impl Epoch {
+    /// The primary fence generation for this epoch (channel 0): used when
+    /// a recovery performs a single fence.
+    pub const fn generation(self) -> Generation {
+        self.fence_channel(0)
+    }
+
+    /// A per-epoch fence *channel*: one recovery may fence more than once
+    /// (replay-group fence, then resume fence), and each fence needs its
+    /// own key namespace. All participants derive the namespace from the
+    /// same epoch and channel, so the scheme can change in exactly one
+    /// place.
+    pub const fn fence_channel(self, channel: u64) -> Generation {
+        Generation(self.0.wrapping_mul(10).wrapping_add(channel))
+    }
+}
+
+impl IterationId {
+    /// The following iteration.
+    pub const fn next(self) -> Self {
+        IterationId(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_channels_are_disjoint_across_epochs() {
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..100u64 {
+            for ch in 0..10u64 {
+                assert!(
+                    seen.insert(Epoch::new(epoch).fence_channel(ch)),
+                    "collision at epoch {epoch} channel {ch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_round_trip_and_order() {
+        let e: Epoch = 7u64.into();
+        assert_eq!(e.get(), 7);
+        assert_eq!(e.to_string(), "7");
+        assert!(Epoch::new(1) < Epoch::new(2));
+        assert_eq!(IterationId::new(3).next(), IterationId::new(4));
+        assert_eq!(Epoch::default(), Epoch::new(0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # swift-obs
+//!
+//! The observability layer under every other swift crate, answering the
+//! question the paper's §6 evaluation stands on: *where does recovery
+//! time go?*
+//!
+//! Three pieces:
+//!
+//! - [`ids`]: the shared typed-identifier vocabulary ([`Rank`],
+//!   [`Epoch`], [`Generation`], [`IterationId`], [`MicrobatchId`]) used
+//!   at every public crate-boundary signature, so mixing a rank with an
+//!   epoch is a compile error instead of a silent off-by-one-world bug;
+//! - [`recorder`]: a process-global span/event/counter sink behind a
+//!   zero-cost-when-disabled gate (one relaxed atomic load on the hot
+//!   path when no recorder is installed). Production code emits
+//!   [`Event`]s — kills, failure declarations, recovery-phase spans —
+//!   and bumps [`Counter`]s (bytes logged, bubble-flushed bytes per
+//!   §5.4, retransmits, restarts, undone updates) without knowing or
+//!   caring whether anything is listening. Timestamps come from a
+//!   monotonic wall clock by default, or a deterministic logical clock
+//!   when the simulator drives time;
+//! - [`timeline`]: the recovery-timeline reconstructor. It groups the
+//!   raw event stream into per-failure *incidents* and slices each into
+//!   the paper's phases — detect → undo → fence → (broadcast | replay)
+//!   → resume — asserting the phase-ordering invariants and producing
+//!   non-overlapping segments by construction. `cargo xtask timeline`
+//!   renders the result.
+//!
+//! This crate sits at the bottom of the dependency graph (it depends on
+//! nothing in the workspace) precisely so that `net`, `optim`, `wal`,
+//! `ckpt` and `core` can all emit into it.
+
+pub mod ids;
+pub mod recorder;
+pub mod timeline;
+
+pub use ids::{Epoch, Generation, IterationId, MicrobatchId, Rank};
+pub use recorder::{
+    add, emit, enabled, install, install_logical, uninstall, Counter, Event, HistogramSnapshot,
+    MemoryRecorder, NullRecorder, Phase, Recorder, Stamped,
+};
+pub use timeline::{reconstruct, Incident, Segment, Timeline, TimelineError};

@@ -1,0 +1,865 @@
+//! Recovery-timeline reconstruction: raw event stream → per-incident
+//! paper-style breakdown (§6).
+//!
+//! One *incident* is one declared failure epoch. The reconstructor
+//! slices each incident into the canonical phase order
+//!
+//! ```text
+//! detect → undo → fence → (broadcast | replay) → resume
+//! ```
+//!
+//! and asserts the invariants the recovery protocols promise:
+//!
+//! - **presence**: every incident has an undo, a fence, exactly one of
+//!   broadcast/replay, and a resume;
+//! - **completeness**: every rank that begins a phase ends it (an
+//!   unbalanced span means an attempt was abandoned mid-phase);
+//! - **per-rank ordering**: each rank's spans are sequential
+//!   (begin/end properly paired) and follow the canonical phase order —
+//!   a rank fencing before it finished undo is a protocol bug;
+//! - **causality**: the declaration never precedes the kill that caused
+//!   it (the detector emits its declaration *before* publishing the new
+//!   state, so observers' phase timestamps follow it).
+//!
+//! Aggregated across ranks, phases naturally overlap (rank A may enter
+//! the fence while rank B is still undoing — that is the protocol
+//! working, not a bug). The *breakdown* therefore reports contiguous
+//! segments between monotone phase boundaries: boundary *i* is the
+//! latest completion of phase *i* across ranks, clamped to never move
+//! backwards. Segments are complete and non-overlapping by
+//! construction; genuine ordering violations are caught by the per-rank
+//! checks above.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{Epoch, Rank};
+use crate::recorder::{Event, Phase, Stamped};
+
+/// One contiguous slice of an incident's recovery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    pub phase: Phase,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl Segment {
+    /// The segment's width.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// One failure incident: a declared epoch and its phase breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// The failure epoch this recovery ran under.
+    pub epoch: Epoch,
+    /// Ranks declared dead at this epoch.
+    pub failed: Vec<Rank>,
+    /// Contiguous, non-overlapping segments in canonical phase order
+    /// (detect first; only phases that occurred appear).
+    pub segments: Vec<Segment>,
+    /// True when this epoch's recovery attempt was abandoned because a
+    /// cascading failure bumped the epoch mid-recovery; its phases are
+    /// whatever ran before the supervisor restarted, and the presence
+    /// invariants apply to the superseding epoch instead.
+    pub aborted: bool,
+}
+
+impl Incident {
+    /// Failure occurrence → training resumed.
+    pub fn total_ns(&self) -> u64 {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(a), Some(b)) => b.end_ns - a.start_ns,
+            _ => 0,
+        }
+    }
+
+    /// The segment for `phase`, if that phase occurred.
+    pub fn segment(&self, phase: Phase) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.phase == phase)
+    }
+}
+
+/// A reconstructed set of incidents, ordered by epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Timeline {
+    pub incidents: Vec<Incident>,
+}
+
+/// Why reconstruction rejected an event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// A required phase never ran for this incident.
+    MissingPhase { epoch: Epoch, phase: Phase },
+    /// Both broadcast and replay ran under one epoch — a recovery must
+    /// synchronize one way or the other.
+    AmbiguousSync { epoch: Epoch },
+    /// A rank began a phase it never ended (abandoned attempt), ended a
+    /// phase it never began, or nested spans.
+    UnbalancedSpan {
+        epoch: Epoch,
+        rank: Rank,
+        phase: Phase,
+    },
+    /// A rank's spans violate the canonical phase order.
+    OutOfOrder {
+        epoch: Epoch,
+        rank: Rank,
+        prev: Phase,
+        next: Phase,
+    },
+    /// The declaration for this epoch carries a timestamp earlier than
+    /// the kill that produced it.
+    DeclarationBeforeKill { epoch: Epoch },
+    /// Recovery phases were recorded under an epoch that was never
+    /// declared.
+    UndeclaredEpoch { epoch: Epoch },
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::MissingPhase { epoch, phase } => {
+                write!(f, "epoch {epoch}: required phase `{phase}` never ran")
+            }
+            TimelineError::AmbiguousSync { epoch } => {
+                write!(f, "epoch {epoch}: both broadcast and replay ran")
+            }
+            TimelineError::UnbalancedSpan { epoch, rank, phase } => write!(
+                f,
+                "epoch {epoch}: rank {rank} has unbalanced `{phase}` span"
+            ),
+            TimelineError::OutOfOrder {
+                epoch,
+                rank,
+                prev,
+                next,
+            } => write!(
+                f,
+                "epoch {epoch}: rank {rank} entered `{next}` after `{prev}`"
+            ),
+            TimelineError::DeclarationBeforeKill { epoch } => {
+                write!(f, "epoch {epoch}: declaration precedes the kill")
+            }
+            TimelineError::UndeclaredEpoch { epoch } => {
+                write!(f, "epoch {epoch}: recovery phases without a declaration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+const fn phase_index(phase: Phase) -> usize {
+    match phase {
+        Phase::Detect => 0,
+        Phase::Undo => 1,
+        Phase::Fence => 2,
+        Phase::Broadcast => 3,
+        Phase::Replay => 3, // broadcast and replay are alternatives
+        Phase::Resume => 4,
+    }
+}
+
+#[derive(Default)]
+struct PhaseAgg {
+    min_begin: u64,
+    max_end: u64,
+    begins: u64,
+    ends: u64,
+}
+
+/// Groups `events` into per-epoch incidents and validates them (see the
+/// module docs for the invariants). An empty stream yields an empty
+/// timeline.
+pub fn reconstruct(events: &[Stamped]) -> Result<Timeline, TimelineError> {
+    // Kill ground truth: (timestamp, ranks).
+    let mut kills: Vec<(u64, &[Rank])> = Vec::new();
+    // First declaration timestamp + union of declared ranks, per epoch.
+    let mut declared: BTreeMap<Epoch, (u64, Vec<Rank>)> = BTreeMap::new();
+    // Aggregate span extents per (epoch, phase).
+    let mut agg: BTreeMap<(Epoch, Phase), PhaseAgg> = BTreeMap::new();
+    // Per-rank span stream per epoch, in record order (= program order
+    // for the rank's thread): (rank, phase, is_begin).
+    let mut per_rank: BTreeMap<(Epoch, Rank), Vec<(Phase, bool)>> = BTreeMap::new();
+
+    for s in events {
+        match &s.event {
+            Event::Kill { ranks } => kills.push((s.at_ns, ranks)),
+            Event::Declared { epoch, ranks } => {
+                let e = declared.entry(*epoch).or_insert((s.at_ns, Vec::new()));
+                e.0 = e.0.min(s.at_ns);
+                for &r in ranks {
+                    if !e.1.contains(&r) {
+                        e.1.push(r);
+                    }
+                }
+            }
+            Event::PhaseBegin { rank, epoch, phase } => {
+                let a = agg.entry((*epoch, *phase)).or_insert(PhaseAgg {
+                    min_begin: u64::MAX,
+                    ..PhaseAgg::default()
+                });
+                a.min_begin = a.min_begin.min(s.at_ns);
+                a.begins += 1;
+                per_rank
+                    .entry((*epoch, *rank))
+                    .or_default()
+                    .push((*phase, true));
+            }
+            Event::PhaseEnd { rank, epoch, phase } => {
+                let a = agg.entry((*epoch, *phase)).or_insert(PhaseAgg {
+                    min_begin: u64::MAX,
+                    ..PhaseAgg::default()
+                });
+                a.max_end = a.max_end.max(s.at_ns);
+                a.ends += 1;
+                per_rank
+                    .entry((*epoch, *rank))
+                    .or_default()
+                    .push((*phase, false));
+            }
+        }
+    }
+
+    // Per-rank pairing and ordering.
+    for (&(epoch, rank), spans) in &per_rank {
+        let mut open: Option<Phase> = None;
+        let mut last_closed: Option<Phase> = None;
+        for &(phase, is_begin) in spans {
+            if is_begin {
+                if let Some(p) = open {
+                    // Nested/overlapping spans on one rank: repeated
+                    // begins of the same phase are tolerated (a fence
+                    // helper inside a tracked fence phase), anything
+                    // else is a protocol bug.
+                    if p != phase {
+                        return Err(TimelineError::UnbalancedSpan {
+                            epoch,
+                            rank,
+                            phase: p,
+                        });
+                    }
+                    continue;
+                }
+                if let Some(prev) = last_closed {
+                    if phase_index(phase) < phase_index(prev) {
+                        return Err(TimelineError::OutOfOrder {
+                            epoch,
+                            rank,
+                            prev,
+                            next: phase,
+                        });
+                    }
+                }
+                open = Some(phase);
+            } else {
+                match open {
+                    Some(p) if p == phase => {
+                        open = None;
+                        last_closed = Some(phase);
+                    }
+                    // An end for an already-closed same phase (nested
+                    // repeat closed above) is tolerated symmetrically.
+                    _ if last_closed == Some(phase) => {}
+                    _ => return Err(TimelineError::UnbalancedSpan { epoch, rank, phase }),
+                }
+            }
+        }
+        if let Some(p) = open {
+            return Err(TimelineError::UnbalancedSpan {
+                epoch,
+                rank,
+                phase: p,
+            });
+        }
+    }
+
+    // Any phase activity under an undeclared epoch is a protocol bug.
+    for &(epoch, _) in agg.keys() {
+        if !declared.contains_key(&epoch) {
+            return Err(TimelineError::UndeclaredEpoch { epoch });
+        }
+    }
+
+    let max_epoch = declared.keys().max().copied();
+    let mut incidents = Vec::new();
+    for (&epoch, &(declared_ns, ref failed)) in &declared {
+        let has = |phase: Phase| agg.contains_key(&(epoch, phase));
+        if !has(Phase::Undo) && !has(Phase::Fence) && !has(Phase::Resume) {
+            // A declaration with no recovery activity (e.g. the epoch
+            // bump from a rank re-declared during rejoin bookkeeping)
+            // is not an incident.
+            continue;
+        }
+
+        // Balanced span counts per phase (cheap aggregate re-check).
+        for (&(e, phase), a) in &agg {
+            if e == epoch && a.begins != a.ends {
+                return Err(TimelineError::UnbalancedSpan {
+                    epoch,
+                    rank: usize::MAX,
+                    phase,
+                });
+            }
+        }
+
+        // A cascading failure abandons the in-flight attempt: its epoch
+        // is superseded by a later declaration and its phase set stops
+        // wherever the supervisor restarted. Such incidents are reported
+        // as aborted instead of failing the presence invariants — those
+        // apply to the epoch the final attempt ran under.
+        let superseded = max_epoch.is_some_and(|m| epoch < m);
+        let complete = has(Phase::Undo)
+            && has(Phase::Fence)
+            && has(Phase::Resume)
+            && (has(Phase::Broadcast) ^ has(Phase::Replay));
+        let aborted = superseded && !complete;
+
+        let phase_chain: Vec<Phase> = if aborted {
+            [
+                Phase::Undo,
+                Phase::Fence,
+                Phase::Broadcast,
+                Phase::Replay,
+                Phase::Resume,
+            ]
+            .into_iter()
+            .filter(|&p| has(p))
+            .collect()
+        } else {
+            let sync = match (has(Phase::Broadcast), has(Phase::Replay)) {
+                (true, true) => return Err(TimelineError::AmbiguousSync { epoch }),
+                (true, false) => Phase::Broadcast,
+                (false, true) => Phase::Replay,
+                (false, false) => {
+                    return Err(TimelineError::MissingPhase {
+                        epoch,
+                        phase: Phase::Broadcast,
+                    })
+                }
+            };
+            for required in [Phase::Undo, Phase::Fence, Phase::Resume] {
+                if !has(required) {
+                    return Err(TimelineError::MissingPhase {
+                        epoch,
+                        phase: required,
+                    });
+                }
+            }
+            vec![Phase::Undo, Phase::Fence, sync, Phase::Resume]
+        };
+
+        // Detect: the latest kill at or before the declaration whose
+        // victims intersect the declared set. A declaration without a
+        // matching kill (false suspicion) yields a zero-width detect
+        // segment starting at the declaration.
+        let kill_ns = kills
+            .iter()
+            .filter(|(ts, ranks)| *ts <= declared_ns && ranks.iter().any(|r| failed.contains(r)))
+            .map(|(ts, _)| *ts)
+            .max();
+        if kill_ns.is_none()
+            && kills
+                .iter()
+                .any(|(_, ranks)| ranks.iter().any(|r| failed.contains(r)))
+        {
+            return Err(TimelineError::DeclarationBeforeKill { epoch });
+        }
+        let detect_start = kill_ns.unwrap_or(declared_ns);
+
+        // Monotone phase boundaries (see module docs): segments are
+        // contiguous and non-overlapping by construction.
+        let mut segments = vec![Segment {
+            phase: Phase::Detect,
+            start_ns: detect_start,
+            end_ns: declared_ns,
+        }];
+        let mut boundary = declared_ns;
+        for phase in phase_chain {
+            let a = &agg[&(epoch, phase)];
+            let end = boundary.max(a.max_end);
+            segments.push(Segment {
+                phase,
+                start_ns: boundary,
+                end_ns: end,
+            });
+            boundary = end;
+        }
+
+        incidents.push(Incident {
+            epoch,
+            failed: failed.clone(),
+            segments,
+            aborted,
+        });
+    }
+
+    Ok(Timeline { incidents })
+}
+
+impl Timeline {
+    /// Human-readable per-incident breakdown.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.incidents.is_empty() {
+            out.push_str("no incidents\n");
+            return out;
+        }
+        for inc in &self.incidents {
+            let failed = inc
+                .failed
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                out,
+                "incident epoch={} failed=[{}] total={:.3}ms{}",
+                inc.epoch,
+                failed,
+                inc.total_ns() as f64 / 1e6,
+                if inc.aborted {
+                    "  (aborted by cascade)"
+                } else {
+                    ""
+                }
+            );
+            for seg in &inc.segments {
+                let pct = if inc.total_ns() > 0 {
+                    seg.duration_ns() as f64 * 100.0 / inc.total_ns() as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<9} {:>10.3}ms  {:>5.1}%",
+                    seg.phase.name(),
+                    seg.duration_ns() as f64 / 1e6,
+                    pct
+                );
+            }
+        }
+        out
+    }
+
+    /// Line-per-incident JSON (same hand-rolled style as the bench
+    /// output — the format is under our control and carries no
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("[\n");
+        for (i, inc) in self.incidents.iter().enumerate() {
+            let failed = inc
+                .failed
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let phases = inc
+                .segments
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"phase\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{}}}",
+                        s.phase.name(),
+                        s.start_ns,
+                        s.end_ns,
+                        s.duration_ns()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = write!(
+                out,
+                "{{\"epoch\":{},\"failed\":[{}],\"aborted\":{},\"total_ns\":{},\"phases\":[{}]}}",
+                inc.epoch,
+                failed,
+                inc.aborted,
+                inc.total_ns(),
+                phases
+            );
+            out.push_str(if i + 1 < self.incidents.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, event: Event) -> Stamped {
+        Stamped { at_ns, event }
+    }
+
+    fn begin(at: u64, rank: Rank, phase: Phase) -> Stamped {
+        ev(
+            at,
+            Event::PhaseBegin {
+                rank,
+                epoch: Epoch::new(1),
+                phase,
+            },
+        )
+    }
+
+    fn end(at: u64, rank: Rank, phase: Phase) -> Stamped {
+        ev(
+            at,
+            Event::PhaseEnd {
+                rank,
+                epoch: Epoch::new(1),
+                phase,
+            },
+        )
+    }
+
+    fn healthy_stream() -> Vec<Stamped> {
+        vec![
+            ev(10, Event::Kill { ranks: vec![2] }),
+            ev(
+                30,
+                Event::Declared {
+                    epoch: Epoch::new(1),
+                    ranks: vec![2],
+                },
+            ),
+            begin(40, 0, Phase::Undo),
+            begin(42, 1, Phase::Undo),
+            end(50, 0, Phase::Undo),
+            // Rank 0 fences while rank 1 still undoes: legal overlap.
+            begin(52, 0, Phase::Fence),
+            end(55, 1, Phase::Undo),
+            begin(56, 1, Phase::Fence),
+            end(70, 0, Phase::Fence),
+            end(72, 1, Phase::Fence),
+            begin(73, 0, Phase::Broadcast),
+            begin(74, 1, Phase::Broadcast),
+            end(90, 0, Phase::Broadcast),
+            end(91, 1, Phase::Broadcast),
+            begin(92, 0, Phase::Resume),
+            begin(93, 1, Phase::Resume),
+            end(100, 0, Phase::Resume),
+            end(104, 1, Phase::Resume),
+        ]
+    }
+
+    #[test]
+    fn healthy_stream_reconstructs_contiguous_breakdown() {
+        let tl = reconstruct(&healthy_stream()).unwrap();
+        assert_eq!(tl.incidents.len(), 1);
+        let inc = &tl.incidents[0];
+        assert_eq!(inc.epoch, Epoch::new(1));
+        assert_eq!(inc.failed, vec![2]);
+        let phases: Vec<Phase> = inc.segments.iter().map(|s| s.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                Phase::Detect,
+                Phase::Undo,
+                Phase::Fence,
+                Phase::Broadcast,
+                Phase::Resume
+            ]
+        );
+        // Contiguous + non-overlapping: each segment starts where the
+        // previous ended.
+        for w in inc.segments.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
+        assert_eq!(inc.segments[0].start_ns, 10);
+        assert_eq!(inc.segments[0].end_ns, 30);
+        assert_eq!(inc.segment(Phase::Undo).unwrap().end_ns, 55);
+        assert_eq!(inc.segment(Phase::Fence).unwrap().end_ns, 72);
+        assert_eq!(inc.total_ns(), 104 - 10);
+    }
+
+    #[test]
+    fn empty_stream_is_an_empty_timeline() {
+        assert_eq!(reconstruct(&[]).unwrap(), Timeline::default());
+    }
+
+    #[test]
+    fn missing_sync_phase_is_rejected() {
+        let events: Vec<Stamped> = healthy_stream()
+            .into_iter()
+            .filter(|s| {
+                !matches!(
+                    s.event,
+                    Event::PhaseBegin {
+                        phase: Phase::Broadcast,
+                        ..
+                    } | Event::PhaseEnd {
+                        phase: Phase::Broadcast,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(
+            reconstruct(&events),
+            Err(TimelineError::MissingPhase {
+                epoch: Epoch::new(1),
+                phase: Phase::Broadcast
+            })
+        );
+    }
+
+    #[test]
+    fn both_sync_phases_are_rejected() {
+        let mut events = healthy_stream();
+        events.push(begin(75, 3, Phase::Replay));
+        events.push(end(80, 3, Phase::Replay));
+        assert_eq!(
+            reconstruct(&events),
+            Err(TimelineError::AmbiguousSync {
+                epoch: Epoch::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn unbalanced_span_is_rejected() {
+        let mut events = healthy_stream();
+        // Rank 1 begins a resume it never ends... by removing its end.
+        events.retain(|s| {
+            !matches!(
+                s.event,
+                Event::PhaseEnd {
+                    rank: 1,
+                    phase: Phase::Resume,
+                    ..
+                }
+            )
+        });
+        assert_eq!(
+            reconstruct(&events),
+            Err(TimelineError::UnbalancedSpan {
+                epoch: Epoch::new(1),
+                rank: 1,
+                phase: Phase::Resume
+            })
+        );
+    }
+
+    #[test]
+    fn per_rank_order_violation_is_rejected() {
+        let events = vec![
+            ev(
+                5,
+                Event::Declared {
+                    epoch: Epoch::new(1),
+                    ranks: vec![2],
+                },
+            ),
+            begin(10, 0, Phase::Fence),
+            end(20, 0, Phase::Fence),
+            begin(21, 0, Phase::Undo), // undo after fence: protocol bug
+            end(22, 0, Phase::Undo),
+        ];
+        assert_eq!(
+            reconstruct(&events),
+            Err(TimelineError::OutOfOrder {
+                epoch: Epoch::new(1),
+                rank: 0,
+                prev: Phase::Fence,
+                next: Phase::Undo
+            })
+        );
+    }
+
+    #[test]
+    fn phases_under_undeclared_epoch_are_rejected() {
+        let events = vec![begin(10, 0, Phase::Undo), end(20, 0, Phase::Undo)];
+        assert_eq!(
+            reconstruct(&events),
+            Err(TimelineError::UndeclaredEpoch {
+                epoch: Epoch::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn declaration_without_recovery_activity_is_not_an_incident() {
+        let events = vec![ev(
+            5,
+            Event::Declared {
+                epoch: Epoch::new(3),
+                ranks: vec![0],
+            },
+        )];
+        assert_eq!(reconstruct(&events).unwrap().incidents.len(), 0);
+    }
+
+    #[test]
+    fn json_and_text_render() {
+        let tl = reconstruct(&healthy_stream()).unwrap();
+        let json = tl.to_json();
+        assert!(json.contains("\"epoch\":1"));
+        assert!(json.contains("\"phase\":\"detect\""));
+        assert!(json.contains("\"duration_ns\":20"));
+        let text = tl.render_text();
+        assert!(text.contains("incident epoch=1 failed=[2]"));
+        assert!(text.contains("broadcast"));
+    }
+
+    #[test]
+    fn cascade_abandons_first_epoch_as_aborted_incident() {
+        // Epoch 1's attempt gets through undo, then rank 3 dies too: the
+        // supervisor closes the open span and restarts under epoch 2,
+        // which runs to completion.
+        let e = |n| Epoch::new(n);
+        let events = vec![
+            ev(0, Event::Kill { ranks: vec![2] }),
+            ev(
+                5,
+                Event::Declared {
+                    epoch: e(1),
+                    ranks: vec![2],
+                },
+            ),
+            ev(
+                10,
+                Event::PhaseBegin {
+                    rank: 0,
+                    epoch: e(1),
+                    phase: Phase::Undo,
+                },
+            ),
+            ev(
+                15,
+                Event::PhaseEnd {
+                    rank: 0,
+                    epoch: e(1),
+                    phase: Phase::Undo,
+                },
+            ),
+            ev(16, Event::Kill { ranks: vec![3] }),
+            ev(
+                20,
+                Event::Declared {
+                    epoch: e(2),
+                    ranks: vec![3],
+                },
+            ),
+            ev(
+                25,
+                Event::PhaseBegin {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Undo,
+                },
+            ),
+            ev(
+                30,
+                Event::PhaseEnd {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Undo,
+                },
+            ),
+            ev(
+                31,
+                Event::PhaseBegin {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Fence,
+                },
+            ),
+            ev(
+                35,
+                Event::PhaseEnd {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Fence,
+                },
+            ),
+            ev(
+                36,
+                Event::PhaseBegin {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Broadcast,
+                },
+            ),
+            ev(
+                40,
+                Event::PhaseEnd {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Broadcast,
+                },
+            ),
+            ev(
+                41,
+                Event::PhaseBegin {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Resume,
+                },
+            ),
+            ev(
+                45,
+                Event::PhaseEnd {
+                    rank: 0,
+                    epoch: e(2),
+                    phase: Phase::Resume,
+                },
+            ),
+        ];
+        let tl = reconstruct(&events).unwrap();
+        assert_eq!(tl.incidents.len(), 2);
+        assert!(tl.incidents[0].aborted);
+        assert_eq!(
+            tl.incidents[0]
+                .segments
+                .iter()
+                .map(|s| s.phase)
+                .collect::<Vec<_>>(),
+            vec![Phase::Detect, Phase::Undo]
+        );
+        assert!(!tl.incidents[1].aborted);
+        assert_eq!(tl.incidents[1].segments.len(), 5);
+        assert!(tl.to_json().contains("\"aborted\":true"));
+    }
+
+    #[test]
+    fn repeated_same_phase_begin_on_one_rank_is_tolerated() {
+        // A tracked fence phase that internally runs the fence helper
+        // (which emits its own fence span) produces nested same-phase
+        // begins; these must aggregate, not error.
+        let mut events = vec![
+            ev(0, Event::Kill { ranks: vec![1] }),
+            ev(
+                1,
+                Event::Declared {
+                    epoch: Epoch::new(1),
+                    ranks: vec![1],
+                },
+            ),
+            begin(2, 0, Phase::Undo),
+            end(3, 0, Phase::Undo),
+            begin(4, 0, Phase::Fence),
+            begin(5, 0, Phase::Fence),
+            end(6, 0, Phase::Fence),
+            end(7, 0, Phase::Fence),
+        ];
+        events.extend([
+            begin(8, 0, Phase::Replay),
+            end(9, 0, Phase::Replay),
+            begin(10, 0, Phase::Resume),
+            end(11, 0, Phase::Resume),
+        ]);
+        let tl = reconstruct(&events).unwrap();
+        assert_eq!(tl.incidents[0].segment(Phase::Fence).unwrap().end_ns, 7);
+    }
+}

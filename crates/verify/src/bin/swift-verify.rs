@@ -18,6 +18,7 @@ use swift_core::{recovery_fence, recovery_fsm};
 use swift_net::{
     declare_failed, failure_epoch, Cluster, Rank, RetryPolicy, Topology, Trace, WorkerCtx,
 };
+use swift_obs::{Epoch, Generation};
 use swift_verify::{fsm, invert, race, Violation};
 
 fn main() {
@@ -94,7 +95,7 @@ fn traced_skewed_fence() -> Trace {
                     let me = [ctx.rank()];
                     ctx.comm.barrier_among(&me).expect("solo barrier");
                 }
-                recovery_fence(&mut ctx, 1, &[0, 1, 2]).expect("fence");
+                recovery_fence(&mut ctx, Generation::new(1), &[0, 1, 2]).expect("fence");
                 ring_exchange(&mut ctx, &[0, 1, 2], 11);
             })
         })
@@ -118,7 +119,7 @@ fn traced_kill_respawn_fence() -> Trace {
 
     let post_failure = |ctx: &mut WorkerCtx, participants: &[Rank]| {
         let epoch = failure_epoch(&ctx.kv);
-        recovery_fence(ctx, epoch, participants).expect("fence");
+        recovery_fence(ctx, epoch.generation(), participants).expect("fence");
         ring_exchange(ctx, participants, 6);
     };
 
@@ -129,7 +130,7 @@ fn traced_kill_respawn_fence() -> Trace {
             ring_exchange(&mut ctx, &world, 5);
             ctx.kv.set(&format!("ring-done/{}", ctx.rank()), "1");
             // Wait for the failure declaration, then recover.
-            RetryPolicy::poll().wait_until(|| failure_epoch(&ctx.kv) >= 1);
+            RetryPolicy::poll().wait_until(|| failure_epoch(&ctx.kv) >= Epoch::new(1));
             post_failure(&mut ctx, &world);
         }));
     }
@@ -174,8 +175,8 @@ fn traced_reentrant_fences() -> Trace {
                         .send_bytes(1, 99, Bytes::from_static(b"stale"))
                         .expect("send");
                 }
-                recovery_fence(&mut ctx, 1, &[0, 1]).expect("fence 1");
-                recovery_fence(&mut ctx, 2, &[0, 1]).expect("fence 2");
+                recovery_fence(&mut ctx, Generation::new(1), &[0, 1]).expect("fence 1");
+                recovery_fence(&mut ctx, Generation::new(2), &[0, 1]).expect("fence 2");
                 if ctx.rank() == 0 {
                     ctx.comm
                         .send_bytes(1, 99, Bytes::from_static(b"fresh"))

@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use swift_dnn::StepCtx;
 use swift_net::{Rank, Topology};
+use swift_obs::IterationId;
 use swift_pipeline::{MsgKind, PipelineObserver};
 use swift_store::BlobStore;
 use swift_tensor::Tensor;
@@ -238,6 +239,7 @@ impl Logger {
     pub fn on_bubble(&mut self) {
         if self.mode == LogMode::BubbleAsync {
             for job in self.staged.drain(..) {
+                swift_obs::add(swift_obs::Counter::BubbleBytes, job.payload.len() as u64);
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
                 self.tx
                     .as_ref()
@@ -285,7 +287,7 @@ impl Logger {
 
     /// Garbage-collects every record older than `checkpoint_iteration`
     /// (obsoleted by the checkpoint, §5.1); returns the count removed.
-    pub fn gc_before(&self, checkpoint_iteration: u64) -> std::io::Result<usize> {
+    pub fn gc_before(&self, checkpoint_iteration: IterationId) -> std::io::Result<usize> {
         let mut removed = 0;
         for key in self.store.list("wal/")? {
             // Keys embed the iteration: wal/it{iter:012}/...
@@ -294,7 +296,7 @@ impl Logger {
                 .and_then(|s| s.get(0..12))
                 .and_then(|s| s.parse::<u64>().ok())
             {
-                if it < checkpoint_iteration {
+                if it < checkpoint_iteration.get() {
                     self.store.delete(&key)?;
                     removed += 1;
                 }
@@ -320,6 +322,7 @@ fn write_payload(store: &BlobStore, key: &str, payload: &[u8], stats: &LogStats)
     stats
         .bytes_written
         .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    swift_obs::add(swift_obs::Counter::BytesLogged, payload.len() as u64);
 }
 
 /// A [`PipelineObserver`] binding a worker rank to its machine's logger —
@@ -427,7 +430,7 @@ mod tests {
         for it in 0..6u64 {
             l.log_send(1, 2, ctx(it, 0), MsgKind::Activation, &Tensor::ones([2]));
         }
-        let removed = l.gc_before(4).unwrap();
+        let removed = l.gc_before(IterationId::new(4)).unwrap();
         assert_eq!(removed, 4);
         let remaining = l.store().list("wal/").unwrap();
         assert_eq!(remaining.len(), 2);

@@ -9,6 +9,7 @@
 
 use swift_dnn::StepCtx;
 use swift_net::{Comm, CommError, Rank};
+use swift_obs::{IterationId, MicrobatchId};
 use swift_pipeline::{MsgKind, Transport};
 use swift_store::BlobStore;
 use swift_tensor::Tensor;
@@ -32,11 +33,11 @@ impl WalReader {
         &self,
         src: Rank,
         dst: Rank,
-        iteration: u64,
-        microbatch: u64,
+        iteration: IterationId,
+        microbatch: MicrobatchId,
         kind: MsgKind,
     ) -> std::io::Result<Tensor> {
-        let key = LogRecord::key_for(src, dst, iteration, microbatch, kind.into());
+        let key = LogRecord::key_for(src, dst, iteration.get(), microbatch.get(), kind.into());
         let payload = self.store.get(&key)?;
         let rec = LogRecord::decode(payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
@@ -44,8 +45,8 @@ impl WalReader {
     }
 
     /// All iterations with at least one record, ascending.
-    pub fn iterations(&self) -> std::io::Result<Vec<u64>> {
-        let mut its: Vec<u64> = self
+    pub fn iterations(&self) -> std::io::Result<Vec<IterationId>> {
+        let mut its: Vec<IterationId> = self
             .store
             .list("wal/")?
             .iter()
@@ -53,6 +54,7 @@ impl WalReader {
                 k.strip_prefix("wal/it")
                     .and_then(|s| s.get(0..12))
                     .and_then(|s| s.parse().ok())
+                    .map(IterationId::new)
             })
             .collect();
         its.sort_unstable();
@@ -61,9 +63,9 @@ impl WalReader {
     }
 
     /// Every record of one iteration, in replay (timestamp) order.
-    pub fn records_for(&self, iteration: u64) -> std::io::Result<Vec<LogRecord>> {
+    pub fn records_for(&self, iteration: IterationId) -> std::io::Result<Vec<LogRecord>> {
         let mut recs = Vec::new();
-        for key in self.store.list(&LogRecord::iter_prefix(iteration))? {
+        for key in self.store.list(&LogRecord::iter_prefix(iteration.get()))? {
             let rec = LogRecord::decode(self.store.get(&key)?)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
             recs.push(rec);
@@ -115,7 +117,13 @@ impl ReplayTransport<'_> {
     fn read_log(&self, src: Rank, ctx: StepCtx, kind: MsgKind) -> Result<Tensor, CommError> {
         Ok(self
             .reader
-            .read(src, self.me, ctx.iteration, ctx.microbatch, kind)
+            .read(
+                src,
+                self.me,
+                IterationId::new(ctx.iteration),
+                MicrobatchId::new(ctx.microbatch),
+                kind,
+            )
             .unwrap_or_else(|e| {
                 panic!(
                     "missing log record {src}->{} it {} mb {} ({kind:?}): {e}",
@@ -226,7 +234,10 @@ impl WalReader {
         for it in iterations {
             for mb in 0..microbatches {
                 for &(src, dst, kind) in boundaries {
-                    if self.read(src, dst, it, mb, kind).is_err() {
+                    if self
+                        .read(src, dst, IterationId::new(it), MicrobatchId::new(mb), kind)
+                        .is_err()
+                    {
                         audit.missing.push((src, dst, it, mb, kind));
                     }
                 }
@@ -257,7 +268,7 @@ pub fn assign_microbatches(m: usize, d: usize, replica: usize) -> Vec<usize> {
 /// bitwise identical to a sequential replay (`workers == 1`).
 pub fn replay_iteration_parallel<T, F>(
     reader: &WalReader,
-    iteration: u64,
+    iteration: IterationId,
     workers: usize,
     process: F,
 ) -> std::io::Result<Vec<T>>
@@ -266,7 +277,9 @@ where
     F: Fn(&LogRecord) -> T + Sync,
 {
     assert!(workers >= 1, "need at least one recovery replica");
-    let keys = reader.store.list(&LogRecord::iter_prefix(iteration))?;
+    let keys = reader
+        .store
+        .list(&LogRecord::iter_prefix(iteration.get()))?;
     // Group keys by micro-batch; `list` returns keys sorted, so each
     // group is already in replay order.
     let mut by_mb: std::collections::BTreeMap<u64, Vec<String>> = std::collections::BTreeMap::new();
@@ -364,13 +377,24 @@ mod tests {
             let rec = LogRecord::new(0, 1, it, mb, kind, Tensor::full([2], mb as f32));
             store.put(&rec.key(), &rec.encode()).unwrap();
         }
-        assert_eq!(reader.iterations().unwrap(), vec![0, 1]);
-        let recs = reader.records_for(0).unwrap();
+        assert_eq!(
+            reader.iterations().unwrap(),
+            vec![IterationId::new(0), IterationId::new(1)]
+        );
+        let recs = reader.records_for(IterationId::new(0)).unwrap();
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[0].stamp.kind, MsgKindCode::Activation);
         assert_eq!(recs[0].stamp.microbatch, 0);
         assert_eq!(recs[1].stamp.kind, MsgKindCode::Gradient);
-        let t = reader.read(0, 1, 0, 1, MsgKind::Activation).unwrap();
+        let t = reader
+            .read(
+                0,
+                1,
+                IterationId::new(0),
+                MicrobatchId::new(1),
+                MsgKind::Activation,
+            )
+            .unwrap();
         assert_eq!(t.data(), &[1.0, 1.0]);
     }
 
@@ -378,7 +402,15 @@ mod tests {
     fn reader_missing_record_errors() {
         let store = BlobStore::new_temp("walm").unwrap();
         let reader = WalReader::new(store);
-        assert!(reader.read(0, 1, 5, 0, MsgKind::Activation).is_err());
+        assert!(reader
+            .read(
+                0,
+                1,
+                IterationId::new(5),
+                MicrobatchId::new(0),
+                MsgKind::Activation,
+            )
+            .is_err());
     }
 
     fn populated_reader(microbatches: u64) -> WalReader {
@@ -399,10 +431,12 @@ mod tests {
     #[test]
     fn parallel_replay_bitwise_matches_sequential() {
         let reader = populated_reader(8);
-        let seq =
-            replay_iteration_parallel(&reader, 0, 1, |r| (r.key(), r.tensor.clone())).unwrap();
+        let seq = replay_iteration_parallel(&reader, IterationId::new(0), 1, |r| {
+            (r.key(), r.tensor.clone())
+        })
+        .unwrap();
         // The sequential engine agrees with the reference reader order.
-        let reference = reader.records_for(0).unwrap();
+        let reference = reader.records_for(IterationId::new(0)).unwrap();
         assert_eq!(seq.len(), reference.len());
         for ((key, t), r) in seq.iter().zip(&reference) {
             assert_eq!(key, &r.key());
@@ -411,9 +445,10 @@ mod tests {
         // Any worker count yields the identical sequence — same keys, same
         // bits, same order.
         for workers in [2usize, 3, 5, 8, 16] {
-            let par =
-                replay_iteration_parallel(&reader, 0, workers, |r| (r.key(), r.tensor.clone()))
-                    .unwrap();
+            let par = replay_iteration_parallel(&reader, IterationId::new(0), workers, |r| {
+                (r.key(), r.tensor.clone())
+            })
+            .unwrap();
             assert_eq!(par.len(), seq.len(), "workers={workers}");
             for ((ka, ta), (kb, tb)) in par.iter().zip(&seq) {
                 assert_eq!(ka, kb, "workers={workers}");
@@ -428,7 +463,10 @@ mod tests {
         // state a recovery accumulates. Order equality ⇒ bit equality.
         let reader = populated_reader(6);
         let fold = |workers: usize| -> u32 {
-            let parts = replay_iteration_parallel(&reader, 0, workers, |r| r.tensor.sum()).unwrap();
+            let parts = replay_iteration_parallel(&reader, IterationId::new(0), workers, |r| {
+                r.tensor.sum()
+            })
+            .unwrap();
             parts.into_iter().fold(0.0f32, |acc, s| acc + s).to_bits()
         };
         let expect = fold(1);
@@ -440,7 +478,7 @@ mod tests {
     #[test]
     fn parallel_replay_empty_iteration_is_empty() {
         let reader = populated_reader(2);
-        let out = replay_iteration_parallel(&reader, 99, 4, |r| r.stamp).unwrap();
+        let out = replay_iteration_parallel(&reader, IterationId::new(99), 4, |r| r.stamp).unwrap();
         assert!(out.is_empty());
     }
 }

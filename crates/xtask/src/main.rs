@@ -27,6 +27,14 @@
 //!   compares against the committed baseline and **fails if any bench
 //!   regressed more than 2×** (CI's `bench-smoke` gate). With `--json`
 //!   the quick results land in `target/bench-quick.json` for upload.
+//!
+//! `cargo xtask timeline [--json]` runs the root `timeline` binary
+//! (release profile): instrumented chaos scenarios whose recovery spans
+//! are reconstructed into per-incident phase breakdowns (detect → undo →
+//! fence → broadcast/replay → resume). The binary exits nonzero on any
+//! missing, overlapping or out-of-order phase, and feeds each run's
+//! fabric trace through `swift-verify`'s race checker. With `--json` the
+//! breakdown also lands in `target/timeline.json` (CI's `obs` artifact).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -45,12 +53,21 @@ fn main() -> ExitCode {
             }
             bench(quick, json)
         }
+        Some("timeline") => {
+            let rest: Vec<String> = args.collect();
+            let json = rest.iter().any(|a| a == "--json");
+            if let Some(bad) = rest.iter().find(|a| *a != "--json") {
+                eprintln!("xtask timeline: unknown flag `{bad}` (expected --json)");
+                return ExitCode::FAILURE;
+            }
+            timeline(json)
+        }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: verify, bench)");
+            eprintln!("xtask: unknown task `{other}` (available: verify, bench, timeline)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <verify | bench [--quick] [--json]>");
+            eprintln!("usage: cargo xtask <verify | bench [--quick] [--json] | timeline [--json]>");
             ExitCode::FAILURE
         }
     }
@@ -148,6 +165,35 @@ fn bench(quick: bool, json: bool) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the instrumented chaos scenarios and asserts the recovery-phase
+/// invariants; with `json` the per-incident breakdown is also captured
+/// to `target/timeline.json` for CI upload.
+fn timeline(json: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args(["run", "-q", "--release", "-p", "swift", "--bin", "timeline"]);
+    if json {
+        cmd.args(["--", "--json"]);
+    }
+    let out = cmd
+        .current_dir(&root)
+        .output()
+        .expect("failed to launch cargo");
+    // The binary's own diagnostics (and cargo's) stream through either way.
+    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+    print!("{}", String::from_utf8_lossy(&out.stdout));
+    if !out.status.success() {
+        eprintln!("xtask timeline: recovery-phase invariants violated");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        let path = root.join("target/timeline.json");
+        std::fs::write(&path, &out.stdout).expect("target/ is writable");
+        println!("xtask timeline: breakdown written to {}", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Compares current bench timings against the committed baseline; an op is

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use swift::core::{run_pipeline_scenario, ModelFn, PipelineScenario};
+use swift::core::{ModelFn, PipelineScenario};
 use swift_data::BlobsDataset;
 use swift_dnn::models::mlp;
 use swift_optim::OptimizerKind;
@@ -19,27 +19,26 @@ use swift_wal::LogMode;
 
 fn scenario(crash: Option<(usize, u64)>, d: usize) -> swift::core::ScenarioResult {
     let model_fn: ModelFn = Arc::new(|| mlp("pipe", &[8, 24, 24, 3], 43));
-    run_pipeline_scenario(PipelineScenario {
-        stages: 3,
-        model_fn,
-        opt: OptimizerKind::SgdMomentum {
+    let mut b = PipelineScenario::builder(model_fn, Arc::new(BlobsDataset::new(9, 8, 3, 0.3)))
+        .stages(3)
+        .opt(OptimizerKind::SgdMomentum {
             lr: 0.05,
             weight_decay: 0.0,
             momentum: 0.9,
             dampening: 0.0,
-        },
-        dataset: Arc::new(BlobsDataset::new(9, 8, 3, 0.3)),
-        batch_size: 8,
-        microbatches: 4,
-        ckpt_interval: 10,
-        iters: 40,
-        schedule: swift::pipeline::ScheduleKind::OneFOneB,
-        log_mode: LogMode::BubbleAsync,
-        log_precision: swift::wal::LogPrecision::F32,
-        crash,
-        faults: None,
-        parallel_recovery: d,
-    })
+        })
+        .batch_size(8)
+        .microbatches(4)
+        .ckpt_interval(10)
+        .iters(40)
+        .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+        .log_mode(LogMode::BubbleAsync)
+        .log_precision(swift::wal::LogPrecision::F32)
+        .parallel_recovery(d);
+    if let Some((m, it)) = crash {
+        b = b.crash(m, it);
+    }
+    b.run()
 }
 
 fn main() {

@@ -10,9 +10,7 @@
 
 use std::sync::Arc;
 
-use swift::core::{
-    evaluate_state, run_dp_scenario, select_strategy, DpScenario, JobShape, Strategy,
-};
+use swift::core::{evaluate_state, select_strategy, DpScenario, JobShape, Strategy};
 use swift_data::BlobsDataset;
 use swift_dnn::models::mlp;
 use swift_optim::OptimizerKind;
@@ -40,16 +38,13 @@ fn main() {
 
     // 3. Train 80 iterations on 2 machines; machine 1 dies at iteration 40
     //    after updating only 2 of its parameter groups.
-    let result = run_dp_scenario(DpScenario {
-        machines: 2,
-        model_fn: model_fn.clone(),
-        opt,
-        dataset: dataset.clone(),
-        batch_size: 16,
-        iters: 80,
-        crash: Some((1, 40, 2)),
-        faults: None,
-    });
+    let result = DpScenario::builder(model_fn.clone(), dataset.clone())
+        .machines(2)
+        .opt(opt)
+        .batch_size(16)
+        .iters(80)
+        .crash(1, 40, 2)
+        .run();
 
     println!(
         "trained {} iterations; failure injected and recovered: {}",

@@ -6,6 +6,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`obs`] | `swift-obs` | typed IDs, spans/counters, recovery timelines |
 //! | [`tensor`] | `swift-tensor` | deterministic dense tensor math |
 //! | [`data`] | `swift-data` | deterministic synthetic datasets |
 //! | [`optim`] | `swift-optim` | invertible optimizers (update-undo, §4) |
@@ -26,6 +27,7 @@ pub use swift_core as core;
 pub use swift_data as data;
 pub use swift_dnn as dnn;
 pub use swift_net as net;
+pub use swift_obs as obs;
 pub use swift_optim as optim;
 pub use swift_pipeline as pipeline;
 pub use swift_sim as sim;

@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use swift::core::{
-    dp_train_step, replication_join_supervised, replication_recover_supervised, run_dp_scenario,
-    run_pipeline_scenario, DpScenario, DpWorker, ModelFn, PipelineScenario, SupervisorConfig,
+    dp_train_step, replication_join_supervised, replication_recover_supervised, DpScenario,
+    DpWorker, ModelFn, PipelineScenario,
 };
 use swift::data::{shard_batch, BlobsDataset, Dataset};
 use swift::dnn::models::mlp;
@@ -33,17 +33,16 @@ const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
 fn dp_random_crash_points_all_recover() {
     let iters = 14u64;
     let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-dp", &[6, 16, 12, 3], 97)) };
-    let run = |crash| {
-        run_dp_scenario(DpScenario {
-            machines: 3,
-            model_fn: model_fn(),
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(41, 6, 3, 0.4)),
-            batch_size: 12,
-            iters,
-            crash,
-            faults: None,
-        })
+    let run = |crash: Option<(usize, u64, usize)>| {
+        let mut b = DpScenario::builder(model_fn(), Arc::new(BlobsDataset::new(41, 6, 3, 0.4)))
+            .machines(3)
+            .opt(SGDM)
+            .batch_size(12)
+            .iters(iters);
+        if let Some((m, it, g)) = crash {
+            b = b.crash(m, it, g);
+        }
+        b.run()
     };
     let clean = run(None);
     let mut rng = CounterRng::new(0xC405, 0);
@@ -69,23 +68,23 @@ fn dp_random_crash_points_all_recover() {
 fn pipeline_random_crash_points_all_recover_bitwise() {
     let iters = 16u64;
     let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-pp", &[8, 20, 20, 20, 3], 98)) };
-    let run = |crash, d| {
-        run_pipeline_scenario(PipelineScenario {
-            stages: 4,
-            model_fn: model_fn(),
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(43, 8, 3, 0.4)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 5,
-            iters,
-            schedule: swift::pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: LogPrecision::F32,
-            crash,
-            faults: None,
-            parallel_recovery: d,
-        })
+    let run = |crash: Option<(usize, u64)>, d| {
+        let mut b =
+            PipelineScenario::builder(model_fn(), Arc::new(BlobsDataset::new(43, 8, 3, 0.4)))
+                .stages(4)
+                .opt(SGDM)
+                .batch_size(8)
+                .microbatches(4)
+                .ckpt_interval(5)
+                .iters(iters)
+                .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+                .log_mode(LogMode::BubbleAsync)
+                .log_precision(LogPrecision::F32)
+                .parallel_recovery(d);
+        if let Some((m, it)) = crash {
+            b = b.crash(m, it);
+        }
+        b.run()
     };
     let clean = run(None, 1);
     let mut rng = CounterRng::new(0xC406, 0);
@@ -110,17 +109,16 @@ fn dp_message_chaos_converges_bit_identically() {
     // bit-identically to the fault-free run.
     let iters = 10u64;
     let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-msg-dp", &[6, 14, 3], 96)) };
-    let run = |faults| {
-        run_dp_scenario(DpScenario {
-            machines: 3,
-            model_fn: model_fn(),
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(40, 6, 3, 0.4)),
-            batch_size: 12,
-            iters,
-            crash: None,
-            faults,
-        })
+    let run = |faults: Option<FaultPlan>| {
+        let mut b = DpScenario::builder(model_fn(), Arc::new(BlobsDataset::new(40, 6, 3, 0.4)))
+            .machines(3)
+            .opt(SGDM)
+            .batch_size(12)
+            .iters(iters);
+        if let Some(plan) = faults {
+            b = b.faults(plan);
+        }
+        b.run()
     };
     let clean = run(None);
     let chaotic = run(Some(FaultPlan::chaos(0xD15C0)));
@@ -149,23 +147,22 @@ fn pipeline_message_chaos_converges_bit_identically() {
     // identical to fault-free.
     let iters = 8u64;
     let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-msg-pp", &[8, 18, 18, 3], 95)) };
-    let run = |faults| {
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn: model_fn(),
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(46, 8, 3, 0.4)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 3,
-            iters,
-            schedule: swift::pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: LogPrecision::F32,
-            crash: None,
-            faults,
-            parallel_recovery: 1,
-        })
+    let run = |faults: Option<FaultPlan>| {
+        let mut b =
+            PipelineScenario::builder(model_fn(), Arc::new(BlobsDataset::new(46, 8, 3, 0.4)))
+                .stages(3)
+                .opt(SGDM)
+                .batch_size(8)
+                .microbatches(4)
+                .ckpt_interval(3)
+                .iters(iters)
+                .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+                .log_mode(LogMode::BubbleAsync)
+                .log_precision(LogPrecision::F32);
+        if let Some(plan) = faults {
+            b = b.faults(plan);
+        }
+        b.run()
     };
     let clean = run(None);
     let chaotic = run(Some(FaultPlan::chaos(0xD15C1)));
@@ -202,7 +199,7 @@ fn cascade_train(
             Err(CommError::PeerFailed { .. }) => {
                 let epoch = failure_epoch(&ctx.kv);
                 ctx.kv.set(&format!("casc/ack/{epoch}/{}", ctx.rank()), "1");
-                replication_recover_supervised(ctx, w, &group, &SupervisorConfig::default())?;
+                replication_recover_supervised(ctx, w, &group, &RetryPolicy::recovery())?;
             }
             Err(e) => return Err(e),
         }
@@ -281,7 +278,7 @@ fn cascading_failure_mid_recovery_converges() {
                         &|| mlp("casc", &[6, 14, 3], 31),
                         &|| SGDM.build(),
                         &[0, 1, 2, 3],
-                        &SupervisorConfig::default(),
+                        &RetryPolicy::recovery(),
                     )
                     .expect("replacement join failed");
                     cascade_train(&mut rctx, &mut w, iters).expect("replacement training failed")
@@ -317,23 +314,23 @@ fn cascading_failure_mid_recovery_converges() {
 fn pipeline_random_parallel_recovery_tracks_sequential() {
     let iters = 12u64;
     let model_fn = || -> ModelFn { Arc::new(|| mlp("chaos-pr", &[8, 20, 20, 3], 99)) };
-    let run = |crash, d| {
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn: model_fn(),
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(45, 8, 3, 0.4)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 4,
-            iters,
-            schedule: swift::pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: LogPrecision::F32,
-            crash,
-            faults: None,
-            parallel_recovery: d,
-        })
+    let run = |crash: Option<(usize, u64)>, d| {
+        let mut b =
+            PipelineScenario::builder(model_fn(), Arc::new(BlobsDataset::new(45, 8, 3, 0.4)))
+                .stages(3)
+                .opt(SGDM)
+                .batch_size(8)
+                .microbatches(4)
+                .ckpt_interval(4)
+                .iters(iters)
+                .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+                .log_mode(LogMode::BubbleAsync)
+                .log_precision(LogPrecision::F32)
+                .parallel_recovery(d);
+        if let Some((m, it)) = crash {
+            b = b.crash(m, it);
+        }
+        b.run()
     };
     let clean = run(None, 1);
     let mut rng = CounterRng::new(0xC407, 0);
@@ -403,7 +400,7 @@ fn traced_recovery_has_no_protocol_races() {
             &|| mlp("traced", &[6, 14, 3], 31),
             &|| SGDM.build(),
             &[0, 1, 2, 3],
-            &SupervisorConfig::default(),
+            &RetryPolicy::recovery(),
         )
         .expect("replacement join failed");
         cascade_train(&mut rctx, &mut w, iters).expect("replacement training failed")

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use swift::core::{run_pipeline_scenario, ModelFn, PipelineScenario};
+use swift::core::{ModelFn, PipelineScenario};
 use swift::data::BlobsDataset;
 use swift::dnn::models::mlp;
 use swift::optim::OptimizerKind;
@@ -34,22 +34,21 @@ fn scenario_precision(
     log_precision: LogPrecision,
 ) -> swift::core::ScenarioResult {
     let model_fn: ModelFn = Arc::new(|| mlp("pl", &[8, 24, 24, 3], 43));
-    run_pipeline_scenario(PipelineScenario {
-        stages: 3,
-        model_fn,
-        opt: SGDM,
-        dataset: Arc::new(BlobsDataset::new(9, 8, 3, 0.3)),
-        batch_size: 8,
-        microbatches: 4,
-        ckpt_interval: 10,
-        iters,
-        schedule: swift::pipeline::ScheduleKind::OneFOneB,
-        log_mode,
-        log_precision,
-        crash,
-        faults: None,
-        parallel_recovery: d,
-    })
+    let mut b = PipelineScenario::builder(model_fn, Arc::new(BlobsDataset::new(9, 8, 3, 0.3)))
+        .stages(3)
+        .opt(SGDM)
+        .batch_size(8)
+        .microbatches(4)
+        .ckpt_interval(10)
+        .iters(iters)
+        .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+        .log_mode(log_mode)
+        .log_precision(log_precision)
+        .parallel_recovery(d);
+    if let Some((m, it)) = crash {
+        b = b.crash(m, it);
+    }
+    b.run()
 }
 
 #[test]
@@ -156,29 +155,27 @@ fn f16_logging_recovers_with_bounded_quantization_drift() {
     // The crash must land while gradients are still non-zero (an
     // early-training window on a noisy task), else the replayed updates
     // are no-ops and quantization is invisible.
-    let hard = |crash, prec| {
+    let hard = |crash: Option<(usize, u64)>, prec| {
         let model_fn: swift::core::ModelFn = Arc::new(|| mlp("plq", &[8, 24, 24, 6], 47));
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn,
-            opt: OptimizerKind::SgdMomentum {
+        let mut b = PipelineScenario::builder(model_fn, Arc::new(BlobsDataset::new(13, 8, 6, 1.0)))
+            .stages(3)
+            .opt(OptimizerKind::SgdMomentum {
                 lr: 0.02,
                 weight_decay: 0.0,
                 momentum: 0.9,
                 dampening: 0.0,
-            },
-            dataset: Arc::new(BlobsDataset::new(13, 8, 6, 1.0)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 4,
-            iters: 12,
-            schedule: swift::pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: prec,
-            crash,
-            faults: None,
-            parallel_recovery: 1,
-        })
+            })
+            .batch_size(8)
+            .microbatches(4)
+            .ckpt_interval(4)
+            .iters(12)
+            .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+            .log_mode(LogMode::BubbleAsync)
+            .log_precision(prec);
+        if let Some((m, it)) = crash {
+            b = b.crash(m, it);
+        }
+        b.run()
     };
     let clean = hard(None, LogPrecision::F32);
     let failed = hard(Some((1, 6)), LogPrecision::F16);
@@ -200,24 +197,22 @@ fn gpipe_schedule_recovery_is_bitwise_exact() {
     // The logging/replay machinery is schedule-agnostic (§2.1: "our
     // approach is not limited to 1F1B"): the same failure under GPipe
     // recovers bitwise too.
-    let run = |crash| {
+    let run = |crash: Option<(usize, u64)>| {
         let model_fn: swift::core::ModelFn = Arc::new(|| mlp("gp", &[8, 24, 24, 3], 43));
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn,
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(9, 8, 3, 0.3)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 10,
-            iters: 24,
-            schedule: swift::pipeline::ScheduleKind::GPipe,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: LogPrecision::F32,
-            crash,
-            faults: None,
-            parallel_recovery: 1,
-        })
+        let mut b = PipelineScenario::builder(model_fn, Arc::new(BlobsDataset::new(9, 8, 3, 0.3)))
+            .stages(3)
+            .opt(SGDM)
+            .batch_size(8)
+            .microbatches(4)
+            .ckpt_interval(10)
+            .iters(24)
+            .schedule(swift::pipeline::ScheduleKind::GPipe)
+            .log_mode(LogMode::BubbleAsync)
+            .log_precision(LogPrecision::F32);
+        if let Some((m, it)) = crash {
+            b = b.crash(m, it);
+        }
+        b.run()
     };
     let clean = run(None);
     let failed = run(Some((1, 13)));
@@ -230,27 +225,25 @@ fn gpipe_schedule_recovery_is_bitwise_exact() {
 fn adam_pipeline_recovery_is_bitwise_exact() {
     // Adam's moments are part of the checkpoint and the replayed updates;
     // recovery must restore them exactly too.
-    let run = |crash| {
+    let run = |crash: Option<(usize, u64)>| {
         let model_fn: swift::core::ModelFn = Arc::new(|| mlp("ad", &[8, 24, 24, 3], 51));
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn,
-            opt: OptimizerKind::Adam {
+        let mut b = PipelineScenario::builder(model_fn, Arc::new(BlobsDataset::new(9, 8, 3, 0.3)))
+            .stages(3)
+            .opt(OptimizerKind::Adam {
                 lr: 5e-3,
                 weight_decay: 0.01,
-            },
-            dataset: Arc::new(BlobsDataset::new(9, 8, 3, 0.3)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 10,
-            iters: 24,
-            schedule: swift::pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: LogPrecision::F32,
-            crash,
-            faults: None,
-            parallel_recovery: 1,
-        })
+            })
+            .batch_size(8)
+            .microbatches(4)
+            .ckpt_interval(10)
+            .iters(24)
+            .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+            .log_mode(LogMode::BubbleAsync)
+            .log_precision(LogPrecision::F32);
+        if let Some((m, it)) = crash {
+            b = b.crash(m, it);
+        }
+        b.run()
     };
     let clean = run(None);
     let failed = run(Some((1, 13)));
@@ -266,24 +259,23 @@ fn transformer_with_dropout_recovers_bitwise() {
     // layer) is killed mid-training; the replayed micro-batches regenerate
     // the identical masks and the recovered state is bitwise equal.
     use swift::dnn::models::vit_tiny;
-    let run = |crash| {
+    let run = |crash: Option<(usize, u64)>| {
         let model_fn: swift::core::ModelFn = Arc::new(|| vit_tiny("vt", 4, 6, 8, 3, 3, 0.1, 71));
-        run_pipeline_scenario(PipelineScenario {
-            stages: 3,
-            model_fn,
-            opt: SGDM,
-            dataset: Arc::new(BlobsDataset::new(33, 24, 3, 0.3)),
-            batch_size: 8,
-            microbatches: 4,
-            ckpt_interval: 4,
-            iters: 10,
-            schedule: swift::pipeline::ScheduleKind::OneFOneB,
-            log_mode: LogMode::BubbleAsync,
-            log_precision: LogPrecision::F32,
-            crash,
-            faults: None,
-            parallel_recovery: 1,
-        })
+        let mut b =
+            PipelineScenario::builder(model_fn, Arc::new(BlobsDataset::new(33, 24, 3, 0.3)))
+                .stages(3)
+                .opt(SGDM)
+                .batch_size(8)
+                .microbatches(4)
+                .ckpt_interval(4)
+                .iters(10)
+                .schedule(swift::pipeline::ScheduleKind::OneFOneB)
+                .log_mode(LogMode::BubbleAsync)
+                .log_precision(LogPrecision::F32);
+        if let Some((m, it)) = crash {
+            b = b.crash(m, it);
+        }
+        b.run()
     };
     let clean = run(None);
     let failed = run(Some((1, 6)));

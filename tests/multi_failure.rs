@@ -22,6 +22,7 @@ use swift::data::{BlobsDataset, Dataset};
 use swift::dnn::models::{mlp, split_stages};
 use swift::dnn::{ModelState, Sequential};
 use swift::net::{Cluster, CommError, Rank, Topology};
+use swift::obs::Epoch;
 use swift::optim::OptimizerKind;
 use swift::pipeline::ScheduleKind;
 use swift::store::{BlobStore, GlobalStore};
@@ -260,7 +261,8 @@ fn adjacent_double_failure_recovered_jointly() {
                     Err(CommError::PeerFailed { .. }) => {
                         let gen = ctx.comm.failure_controller().generation();
                         pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 3]).unwrap();
-                        recovery_fence(&mut ctx, gen * 10 + 2, &[0, 1, 2, 3]).unwrap();
+                        recovery_fence(&mut ctx, Epoch::new(gen).fence_channel(2), &[0, 1, 2, 3])
+                            .unwrap();
                     }
                     Err(e) => panic!("survivor: {e}"),
                 }
@@ -328,7 +330,7 @@ fn adjacent_double_failure_recovered_jointly() {
             let consensus: u64 =
                 kv_consensus(&rctx.kv, 1, &[0, 3]).expect("consensus from survivors");
             // Fence the joint replay pair (fresh comms, but symmetric).
-            recovery_fence(&mut rctx, 10 + 1, &[1, 2]).unwrap();
+            recovery_fence(&mut rctx, Epoch::new(1).fence_channel(1), &[1, 2]).unwrap();
             let role = RecoveryRole {
                 stage: mach, // stage == rank in this layout
                 recovered_stages: vec![1, 2],
@@ -351,7 +353,7 @@ fn adjacent_double_failure_recovered_jointly() {
             )
             .unwrap();
             w.iteration = consensus;
-            recovery_fence(&mut rctx, 10 + 2, &[0, 1, 2, 3]).unwrap();
+            recovery_fence(&mut rctx, Epoch::new(1).fence_channel(2), &[0, 1, 2, 3]).unwrap();
             // Resume normal training.
             loop {
                 if w.iteration >= iters {
@@ -418,7 +420,8 @@ fn non_adjacent_double_failure_recovered_independently() {
                     Err(CommError::PeerFailed { .. }) => {
                         let gen = ctx.comm.failure_controller().generation();
                         pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 2]).unwrap();
-                        recovery_fence(&mut ctx, gen * 10 + 2, &[0, 1, 2, 3]).unwrap();
+                        recovery_fence(&mut ctx, Epoch::new(gen).fence_channel(2), &[0, 1, 2, 3])
+                            .unwrap();
                     }
                     Err(e) => panic!("survivor: {e}"),
                 }
@@ -503,7 +506,7 @@ fn non_adjacent_double_failure_recovered_independently() {
             )
             .unwrap();
             w.iteration = consensus;
-            recovery_fence(&mut rctx, 10 + 2, &[0, 1, 2, 3]).unwrap();
+            recovery_fence(&mut rctx, Epoch::new(1).fence_channel(2), &[0, 1, 2, 3]).unwrap();
             loop {
                 if w.iteration >= iters {
                     return w.model.state();

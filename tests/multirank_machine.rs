@@ -21,6 +21,7 @@ use swift::data::BlobsDataset;
 use swift::dnn::models::{mlp, split_stages};
 use swift::dnn::{ModelState, Sequential};
 use swift::net::{Cluster, CommError, Rank, Topology};
+use swift::obs::Epoch;
 use swift::optim::OptimizerKind;
 use swift::pipeline::ScheduleKind;
 use swift::store::{BlobStore, GlobalStore};
@@ -172,7 +173,8 @@ fn whole_machine_failure_joint_recovery_is_bitwise_exact() {
                     Err(CommError::PeerFailed { .. }) => {
                         let gen = ctx.comm.failure_controller().generation();
                         pipeline_on_failure_survivor(&mut ctx, &mut w, &[0, 1]).unwrap();
-                        recovery_fence(&mut ctx, gen * 10 + 2, &[0, 1, 2, 3]).unwrap();
+                        recovery_fence(&mut ctx, Epoch::new(gen).fence_channel(2), &[0, 1, 2, 3])
+                            .unwrap();
                     }
                     Err(e) => panic!("survivor {rank}: {e}"),
                 }
@@ -247,7 +249,7 @@ fn whole_machine_failure_joint_recovery_is_bitwise_exact() {
                 consensus = consensus.min(v.parse().unwrap());
             }
             // Fence the joint pair, replay, fence everyone, resume.
-            recovery_fence(&mut rctx, 10 + 1, &[2, 3]).unwrap();
+            recovery_fence(&mut rctx, Epoch::new(1).fence_channel(1), &[2, 3]).unwrap();
             let role = RecoveryRole {
                 stage: rank, // stage == rank in this layout
                 recovered_stages: vec![2, 3],
@@ -270,7 +272,7 @@ fn whole_machine_failure_joint_recovery_is_bitwise_exact() {
             )
             .unwrap();
             w.iteration = consensus;
-            recovery_fence(&mut rctx, 10 + 2, &[0, 1, 2, 3]).unwrap();
+            recovery_fence(&mut rctx, Epoch::new(1).fence_channel(2), &[0, 1, 2, 3]).unwrap();
             loop {
                 if w.iteration >= iters {
                     return w.model.state();

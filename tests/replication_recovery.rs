@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use swift::core::{evaluate_state, run_dp_scenario, DpScenario, ModelFn};
+use swift::core::{evaluate_state, DpScenario, ModelFn};
 use swift::data::BlobsDataset;
 use swift::dnn::models::mlp;
 use swift::optim::OptimizerKind;
@@ -15,16 +15,15 @@ fn scenario(
     iters: u64,
 ) -> swift::core::ScenarioResult {
     let model_fn: ModelFn = Arc::new(|| mlp("it", &[6, 24, 3], 77));
-    run_dp_scenario(DpScenario {
-        machines: 2,
-        model_fn,
-        opt,
-        dataset: Arc::new(BlobsDataset::new(5, 6, 3, 0.3)),
-        batch_size: 16,
-        iters,
-        crash,
-        faults: None,
-    })
+    let mut b = DpScenario::builder(model_fn, Arc::new(BlobsDataset::new(5, 6, 3, 0.3)))
+        .machines(2)
+        .opt(opt)
+        .batch_size(16)
+        .iters(iters);
+    if let Some((m, it, g)) = crash {
+        b = b.crash(m, it, g);
+    }
+    b.run()
 }
 
 const SGDM: OptimizerKind = OptimizerKind::SgdMomentum {
@@ -103,17 +102,16 @@ fn cnn_model_recovery_through_conv_layers() {
     use swift::dnn::models::wide_resnet_tiny;
     let model_fn: ModelFn = Arc::new(|| wide_resnet_tiny("wrn", 6, 8, 3, 13));
     let ds = Arc::new(BlobsDataset::new(19, 3 * 6 * 6, 3, 0.5));
-    let run = |crash| {
-        run_dp_scenario(DpScenario {
-            machines: 2,
-            model_fn: model_fn.clone(),
-            opt: SGDM,
-            dataset: ds.clone(),
-            batch_size: 8,
-            iters: 10,
-            crash,
-            faults: None,
-        })
+    let run = |crash: Option<(usize, u64, usize)>| {
+        let mut b = DpScenario::builder(model_fn.clone(), ds.clone())
+            .machines(2)
+            .opt(SGDM)
+            .batch_size(8)
+            .iters(10);
+        if let Some((m, it, g)) = crash {
+            b = b.crash(m, it, g);
+        }
+        b.run()
     };
     let clean = run(None);
     let failed = run(Some((1, 5, 3)));
