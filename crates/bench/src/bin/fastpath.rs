@@ -2,27 +2,37 @@
 //!
 //! Prints a JSON array (one record per line) to stdout — or to `--out
 //! PATH` — and a human-readable summary to stderr. `--quick` keeps the
-//! problem shapes but lowers the repetition count; `cargo xtask bench`
-//! is the usual front end.
+//! problem shapes but lowers the repetition count; `--suite overlap`
+//! runs the compute/comm overlap benchmarks instead of the default
+//! fast-path set. `cargo xtask bench` is the usual front end.
 
 fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
+    let mut suite = String::from("fastpath");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next(),
+            "--suite" => suite = args.next().unwrap_or_default(),
             other => {
-                eprintln!("unknown flag {other} (expected --quick, --out PATH)");
+                eprintln!("unknown flag {other} (expected --quick, --out PATH, --suite NAME)");
                 std::process::exit(2);
             }
         }
     }
-    let results = swift_bench::fastpath::run(quick);
+    let results = match suite.as_str() {
+        "fastpath" => swift_bench::fastpath::run(quick),
+        "overlap" => swift_bench::overlap::run(quick),
+        other => {
+            eprintln!("unknown suite {other} (expected fastpath or overlap)");
+            std::process::exit(2);
+        }
+    };
     for r in &results {
         eprintln!(
-            "{:>20} {:>20} {:>14} ns/iter {:>7.2}x vs seed {:>8.3} GB/s",
+            "{:>20} {:>28} {:>14} ns/iter {:>7.2}x vs seed {:>8.3} GB/s",
             r.op, r.shape, r.ns_per_iter, r.speedup, r.gb_per_s
         );
     }

@@ -50,10 +50,21 @@ pub struct BenchResult {
     pub speedup: f64,
     /// Fast-path data throughput over the bytes the benchmark touches.
     pub gb_per_s: f64,
+    /// For overlap benchmarks: the fraction of the baseline's
+    /// communication/logging time the overlapped path hid
+    /// (`(baseline - fast) / baseline`, clamped at 0). `None` for
+    /// plain throughput benchmarks.
+    pub overlap_efficiency: Option<f64>,
 }
 
 impl BenchResult {
-    fn new(op: &str, shape: String, ns: u64, baseline_ns: u64, bytes_per_iter: u64) -> Self {
+    pub(crate) fn new(
+        op: &str,
+        shape: String,
+        ns: u64,
+        baseline_ns: u64,
+        bytes_per_iter: u64,
+    ) -> Self {
         BenchResult {
             op: op.to_string(),
             shape,
@@ -61,16 +72,29 @@ impl BenchResult {
             baseline_ns_per_iter: baseline_ns,
             speedup: baseline_ns as f64 / ns.max(1) as f64,
             gb_per_s: bytes_per_iter as f64 / ns.max(1) as f64, // bytes/ns == GB/s
+            overlap_efficiency: None,
         }
+    }
+
+    /// Tags the result with its overlap efficiency (hidden / total).
+    pub(crate) fn with_overlap_efficiency(mut self) -> Self {
+        let hidden = self.baseline_ns_per_iter.saturating_sub(self.ns_per_iter);
+        self.overlap_efficiency = Some(hidden as f64 / self.baseline_ns_per_iter.max(1) as f64);
+        self
     }
 
     /// The result as one JSON object on a single line (the format
     /// `BENCH_pr3.json` stores and `cargo xtask bench --quick` parses).
     pub fn json_line(&self) -> String {
-        format!(
-            "{{\"op\":\"{}\",\"shape\":\"{}\",\"ns_per_iter\":{},\"baseline_ns_per_iter\":{},\"speedup\":{:.2},\"gb_per_s\":{:.3}}}",
+        let mut line = format!(
+            "{{\"op\":\"{}\",\"shape\":\"{}\",\"ns_per_iter\":{},\"baseline_ns_per_iter\":{},\"speedup\":{:.2},\"gb_per_s\":{:.3}",
             self.op, self.shape, self.ns_per_iter, self.baseline_ns_per_iter, self.speedup, self.gb_per_s
-        )
+        );
+        if let Some(eff) = self.overlap_efficiency {
+            line.push_str(&format!(",\"overlap_efficiency\":{eff:.3}"));
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -102,7 +126,7 @@ pub fn run(quick: bool) -> Vec<BenchResult> {
 }
 
 /// Best-of-`iters` wall time of `f`, after one untimed warm-up call.
-fn best_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+pub(crate) fn best_ns(iters: usize, mut f: impl FnMut()) -> u64 {
     f();
     let mut best = u64::MAX;
     for _ in 0..iters {
@@ -113,14 +137,14 @@ fn best_ns(iters: usize, mut f: impl FnMut()) -> u64 {
     best
 }
 
-fn randn(n: usize, seed: u64) -> Tensor {
+pub(crate) fn randn(n: usize, seed: u64) -> Tensor {
     let mut rng = CounterRng::new(seed, 0);
     Tensor::randn([n], 0.0, 1.0, &mut rng)
 }
 
 /// A scratch store on `/dev/shm` when available (RAM-backed, so both
 /// implementations pay the same small I/O tax), else the system temp dir.
-fn bench_store(label: &str) -> BlobStore {
+pub(crate) fn bench_store(label: &str) -> BlobStore {
     let shm = Path::new("/dev/shm");
     if shm.is_dir() {
         BlobStore::open(shm.join(format!("swift-{label}-{}", std::process::id()))).unwrap()

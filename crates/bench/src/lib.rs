@@ -12,5 +12,6 @@
 
 pub mod experiments;
 pub mod fastpath;
+pub mod overlap;
 
 pub use experiments::all_experiments;

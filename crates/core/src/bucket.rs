@@ -1,0 +1,377 @@
+//! Gradient bucketing with backward overlap (PyTorch-DDP style).
+//!
+//! [`GradBucketer`] coalesces consecutive parameter groups into
+//! size-capped buckets assigned in *reverse* group order — the order
+//! backward completes them — so the last bucket to be assigned (the
+//! earliest layers) is the last one whose gradients become available.
+//! [`BucketedAllreduce`] streams each group's contribution to the root
+//! the moment its backward finishes, overlapping the transfer with the
+//! remaining backward compute; the *bucket* is the synchronization,
+//! result, and update granularity: one tag, one result message, and one
+//! update callback per bucket, drained in launch order.
+//!
+//! Determinism contract: the root folds peer contributions in ascending
+//! rank order at each group's flat offset — elementwise, exactly the
+//! monolithic `allreduce_sum_among` left-fold — so results are bitwise
+//! identical to per-group monolithic all-reduce at any bucket cap and
+//! thread count. Two invariants are part of the wire protocol: every
+//! participant must use the *same bucket cap* (bucket boundaries shape
+//! the message streams) and must stage groups in the *same order* (the
+//! shared backward order) — the root decodes each peer's per-bucket
+//! message stream positionally against its own staging order.
+
+use std::ops::Range;
+
+use bytes::Bytes;
+use swift_net::{bytemuck_f32, f32_from_bytes, Comm, CommError, Rank};
+use swift_tensor::Tensor;
+
+/// Default bucket capacity, mirroring PyTorch DDP's 25 MiB default scaled
+/// down to this repo's model sizes.
+pub const DEFAULT_BUCKET_CAP_BYTES: usize = 4 * 1024 * 1024;
+
+/// Per-bucket completion callback: receives the bucket's global group
+/// range and the scattered (reduced) gradients.
+pub type BucketCallback<'a> = &'a mut dyn FnMut(Range<usize>, &[Tensor]) -> Result<(), CommError>;
+
+/// Assigns parameter groups to size-capped buckets in reverse (backward
+/// completion) order and tracks per-bucket readiness across a step.
+pub struct GradBucketer {
+    /// Per-bucket contiguous global group ranges, in launch order
+    /// (reverse group order: bucket 0 holds the *last* groups).
+    buckets: Vec<Range<usize>>,
+    /// group → (bucket index, f32 offset inside the bucket's flat buffer).
+    group_slot: Vec<(usize, usize)>,
+    /// Per-bucket flat element count.
+    bucket_elems: Vec<usize>,
+    /// Per-bucket outstanding group count for the current step.
+    pending: Vec<usize>,
+}
+
+impl GradBucketer {
+    /// Buckets `group_numels` (f32 counts per global group) under
+    /// `cap_bytes`. A bucket closes when adding the next (earlier) group
+    /// would exceed the cap; a single oversized group gets its own bucket.
+    pub fn new(group_numels: &[usize], cap_bytes: usize) -> Self {
+        let cap_elems = (cap_bytes / 4).max(1);
+        let mut buckets: Vec<Range<usize>> = Vec::new();
+        let mut hi = group_numels.len();
+        let mut elems = 0usize;
+        for g in (0..group_numels.len()).rev() {
+            if elems > 0 && elems + group_numels[g] > cap_elems {
+                buckets.push(g + 1..hi);
+                hi = g + 1;
+                elems = 0;
+            }
+            elems += group_numels[g];
+        }
+        if hi > 0 {
+            buckets.push(0..hi);
+        }
+        let mut group_slot = vec![(0usize, 0usize); group_numels.len()];
+        let mut bucket_elems = Vec::with_capacity(buckets.len());
+        for (b, r) in buckets.iter().enumerate() {
+            let mut off = 0usize;
+            for g in r.clone() {
+                group_slot[g] = (b, off);
+                off += group_numels[g];
+            }
+            bucket_elems.push(off);
+        }
+        let pending = buckets.iter().map(Range::len).collect();
+        GradBucketer {
+            buckets,
+            group_slot,
+            bucket_elems,
+            pending,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Global group range of bucket `b`.
+    pub fn groups_of(&self, b: usize) -> Range<usize> {
+        self.buckets[b].clone()
+    }
+
+    /// Flat f32 length of bucket `b`.
+    pub fn elems_of(&self, b: usize) -> usize {
+        self.bucket_elems[b]
+    }
+
+    /// (bucket, flat f32 offset) of global group `g`.
+    pub fn slot_of(&self, g: usize) -> (usize, usize) {
+        self.group_slot[g]
+    }
+
+    /// Marks group `g`'s gradient ready; returns `Some(bucket)` when this
+    /// completes its bucket.
+    pub fn mark_ready(&mut self, g: usize) -> Option<usize> {
+        let (b, _) = self.group_slot[g];
+        self.pending[b] -= 1;
+        (self.pending[b] == 0).then_some(b)
+    }
+
+    /// Rearms readiness tracking for the next step.
+    pub fn reset(&mut self) {
+        for (b, r) in self.buckets.iter().enumerate() {
+            self.pending[b] = r.len();
+        }
+    }
+}
+
+/// One step's bucketed gradient all-reduce among a replica group.
+///
+/// Non-root ranks stream each group's raw gradient bytes to the root as
+/// soon as backward produces it ([`Self::stage`]) — no pack copy, no
+/// bucket-sized payload allocation; the root folds peer contributions
+/// zero-copy into a per-bucket flat accumulator and returns results per
+/// bucket in [`Self::finish`], invoking a per-bucket callback (layer-wise
+/// updates, progress marks, crash injection) *before* the result leaves
+/// the root — which makes mid-launch crash tests deterministic. Peers
+/// scatter the bucket result straight from the wire into the output
+/// tensors.
+pub struct BucketedAllreduce {
+    me: Rank,
+    root: Rank,
+    /// Sorted participants.
+    participants: Vec<Rank>,
+    bucketer: GradBucketer,
+    numels: Vec<usize>,
+    /// Root only: per-bucket flat fold accumulators (peers stream their
+    /// contributions straight to the wire and never pack).
+    flats: Vec<Vec<f32>>,
+    /// Per-bucket collective tag, allocated at the bucket's first stage.
+    tags: Vec<Option<u64>>,
+    /// Per-bucket groups in the order they were staged this step (the
+    /// shared backward order); the root uses its own record to map each
+    /// peer's positional message stream back to group offsets.
+    stage_order: Vec<Vec<usize>>,
+    /// Buckets in the order they were launched this step.
+    launch_order: Vec<usize>,
+}
+
+impl BucketedAllreduce {
+    /// Builds the per-step reducer. `group_numels` must be identical on
+    /// every participant (same model replica).
+    pub fn new(me: Rank, participants: &[Rank], group_numels: &[usize], cap_bytes: usize) -> Self {
+        let mut sorted = participants.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.contains(&me), "caller must be a participant");
+        let root = sorted[0];
+        let bucketer = GradBucketer::new(group_numels, cap_bytes);
+        let flats = (0..bucketer.num_buckets())
+            .map(|b| {
+                if me == root {
+                    vec![0.0f32; bucketer.elems_of(b)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let tags = vec![None; bucketer.num_buckets()];
+        let stage_order = vec![Vec::new(); bucketer.num_buckets()];
+        BucketedAllreduce {
+            me,
+            root,
+            participants: sorted,
+            bucketer,
+            numels: group_numels.to_vec(),
+            flats,
+            tags,
+            stage_order,
+            launch_order: Vec::new(),
+        }
+    }
+
+    /// Number of buckets the groups were coalesced into.
+    pub fn num_buckets(&self) -> usize {
+        self.bucketer.num_buckets()
+    }
+
+    /// Stages group `g`'s local gradient: the root folds it into the
+    /// bucket's flat accumulator, peers ship the raw bytes to the root
+    /// immediately (overlapping with the remaining backward). The bucket
+    /// is launched — its tag allocated and its drain scheduled — at its
+    /// first staged group; every participant must stage in the same
+    /// (backward) order so tags and message streams line up.
+    pub fn stage(&mut self, comm: &mut Comm, g: usize, grad: &Tensor) -> Result<(), CommError> {
+        let (b, off) = self.bucketer.slot_of(g);
+        debug_assert_eq!(grad.numel(), self.numels[g], "gradient/group shape drift");
+        let tag = match self.tags[b] {
+            Some(t) => t,
+            None => {
+                // Every participant allocates the bucket tag at the same
+                // point in its collective sequence (staging order is the
+                // deterministic reverse-layer order), so tags line up
+                // without negotiation.
+                let t = comm.next_coll_tag();
+                self.tags[b] = Some(t);
+                t
+            }
+        };
+        self.stage_order[b].push(g);
+        if self.me == self.root {
+            self.flats[b][off..off + grad.numel()].copy_from_slice(grad.data());
+        } else {
+            comm.send_bytes(
+                self.root,
+                tag,
+                Bytes::copy_from_slice(bytemuck_f32(grad.data())),
+            )?;
+        }
+        if let Some(done) = self.bucketer.mark_ready(g) {
+            self.launch_order.push(done);
+        }
+        Ok(())
+    }
+
+    /// Drains launched buckets in launch order: the root folds peer
+    /// payloads (ascending rank — the monolithic fold order), scatters the
+    /// reduced gradients into `out`, runs `on_bucket` with the bucket's
+    /// global group range and the scattered tensors, and only then ships
+    /// results to peers. Non-root ranks receive, scatter, then run the
+    /// callback.
+    pub fn finish(
+        &mut self,
+        comm: &mut Comm,
+        out: &mut [Tensor],
+        on_bucket: BucketCallback<'_>,
+    ) -> Result<(), CommError> {
+        let launched = std::mem::take(&mut self.launch_order);
+        for &b in &launched {
+            let tag = self.tags[b].expect("launched bucket has a tag");
+            if self.me == self.root {
+                // Fold peers in ascending rank order (the monolithic fold
+                // order); each peer's stream carries one message per group
+                // in the shared staging order, folded zero-copy at that
+                // group's flat offset.
+                for &peer in self.participants.iter().filter(|&&p| p != self.root) {
+                    for k in 0..self.stage_order[b].len() {
+                        let g = self.stage_order[b][k];
+                        let (_, off) = self.bucketer.slot_of(g);
+                        let payload = comm.recv_bytes(peer, tag)?;
+                        debug_assert_eq!(
+                            payload.len(),
+                            self.numels[g] * 4,
+                            "peer staged groups in a different order"
+                        );
+                        for (acc, v) in self.flats[b][off..off + self.numels[g]]
+                            .iter_mut()
+                            .zip(f32_from_bytes(&payload))
+                        {
+                            *acc += v;
+                        }
+                    }
+                }
+                self.scatter(b, out);
+                on_bucket(self.bucketer.groups_of(b), out)?;
+                let result = Bytes::copy_from_slice(bytemuck_f32(&self.flats[b]));
+                for &peer in self.participants.iter().filter(|&&p| p != self.root) {
+                    comm.send_bytes(peer, tag ^ (1 << 32), result.clone())?;
+                }
+            } else {
+                // Scatter the bucket result straight from the wire.
+                let payload = comm.recv_bytes(self.root, tag ^ (1 << 32))?;
+                let mut off = 0usize;
+                for g in self.bucketer.groups_of(b) {
+                    let n = self.numels[g];
+                    for (dst, v) in out[g]
+                        .data_mut()
+                        .iter_mut()
+                        .zip(f32_from_bytes(&payload[off * 4..(off + n) * 4]))
+                    {
+                        *dst = v;
+                    }
+                    off += n;
+                }
+                on_bucket(self.bucketer.groups_of(b), out)?;
+            }
+        }
+        self.launch_order = launched;
+        Ok(())
+    }
+
+    /// Rearms for the next step, reusing the root's flat accumulators
+    /// (stage overwrites every element, so no zeroing is needed).
+    pub fn reset(&mut self) {
+        self.bucketer.reset();
+        self.launch_order.clear();
+        for t in &mut self.tags {
+            *t = None;
+        }
+        for s in &mut self.stage_order {
+            s.clear();
+        }
+    }
+
+    fn scatter(&self, b: usize, out: &mut [Tensor]) {
+        let mut off = 0usize;
+        for g in self.bucketer.groups_of(b) {
+            let n = self.numels[g];
+            out[g]
+                .data_mut()
+                .copy_from_slice(&self.flats[b][off..off + n]);
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_reverse_order_and_capped() {
+        // groups of 100, 200, 300, 400 f32s; cap 2400 bytes = 600 elems.
+        let b = GradBucketer::new(&[100, 200, 300, 400], 2400);
+        // Reverse assignment: {3} (g2 would overflow), then {0, 1, 2}
+        // (300 + 200 + 100 = 600 fits exactly).
+        assert_eq!(b.num_buckets(), 2);
+        assert_eq!(b.groups_of(0), 3..4);
+        assert_eq!(b.groups_of(1), 0..3);
+        assert_eq!(b.elems_of(0), 400);
+        assert_eq!(b.elems_of(1), 600);
+        // Ascending pack order inside a bucket.
+        assert_eq!(b.slot_of(0), (1, 0));
+        assert_eq!(b.slot_of(1), (1, 100));
+        assert_eq!(b.slot_of(2), (1, 300));
+    }
+
+    #[test]
+    fn oversized_group_gets_own_bucket() {
+        let b = GradBucketer::new(&[10, 5000, 10], 64);
+        assert_eq!(b.num_buckets(), 3);
+        assert_eq!(b.elems_of(1), 5000);
+    }
+
+    #[test]
+    fn mark_ready_completes_in_reverse_order() {
+        let mut b = GradBucketer::new(&[4, 4, 4, 4], 32);
+        // Two buckets: {2, 3} then {0, 1}.
+        assert_eq!(b.num_buckets(), 2);
+        assert_eq!(b.mark_ready(3), None);
+        assert_eq!(b.mark_ready(2), Some(0));
+        assert_eq!(b.mark_ready(1), None);
+        assert_eq!(b.mark_ready(0), Some(1));
+        b.reset();
+        assert_eq!(b.mark_ready(3), None);
+    }
+
+    #[test]
+    fn single_bucket_when_under_cap() {
+        let b = GradBucketer::new(&[8, 8], usize::MAX / 8);
+        assert_eq!(b.num_buckets(), 1);
+        assert_eq!(b.groups_of(0), 0..2);
+    }
+
+    #[test]
+    fn empty_model_has_no_buckets() {
+        let b = GradBucketer::new(&[], 1024);
+        assert_eq!(b.num_buckets(), 0);
+    }
+}

@@ -16,10 +16,13 @@
 //! granularity, with update-undo repairing any partially-applied update.
 
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, Sequential, StepCtx};
-use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
+use swift_net::{
+    default_chunk_bytes, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
+};
 use swift_optim::Optimizer;
 use swift_tensor::Tensor;
 
+use crate::bucket::BucketedAllreduce;
 use crate::consistency::UpdateTracker;
 use crate::fence::recovery_fence;
 use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport};
@@ -95,6 +98,8 @@ pub struct FsdpWorker {
     pub iteration: u64,
     /// Reduced gradients of the most recent step (`g_t`).
     pub last_grads: Vec<Tensor>,
+    /// Gradient-bucket capacity for the overlapped all-reduce.
+    pub bucket_cap_bytes: usize,
 }
 
 impl FsdpWorker {
@@ -110,6 +115,7 @@ impl FsdpWorker {
             tracker: UpdateTracker::new(),
             iteration: 0,
             last_grads: Vec::new(),
+            bucket_cap_bytes: crate::bucket::DEFAULT_BUCKET_CAP_BYTES,
         }
     }
 
@@ -142,9 +148,15 @@ pub fn gather_full_params(
         for g in 0..n {
             let owner = w.shards.owner(g);
             let mine = (ctx.rank() == owner).then(|| params[g].clone());
-            let t = ctx
-                .comm
-                .broadcast_tensor_among(ranks, owner, mine.as_ref())?;
+            // Chunked streaming broadcast: receivers start installing the
+            // owner's copy while later chunks are still in flight.
+            let t = ctx.comm.broadcast_tensor_chunked_among(
+                ranks,
+                owner,
+                mine.as_ref(),
+                params[g].shape().dims(),
+                default_chunk_bytes(),
+            )?;
             gathered.push(t);
         }
     }
@@ -196,14 +208,31 @@ pub fn fsdp_train_step(
     w.model.zero_grads();
     let out = w.model.forward(step_ctx, x, Mode::Train);
     let (loss, grad) = softmax_cross_entropy_scaled(&out, y, example_weight);
-    w.model.backward(step_ctx, &grad);
 
-    // Reduce gradients (rank-ordered, deterministic).
-    let local = w.model.grads_snapshot();
-    let mut reduced = Vec::with_capacity(local.len());
-    for g in &local {
-        reduced.push(ctx.comm.allreduce_sum_among(ranks, g)?);
+    // Bucketed backward overlap: identical reduction schedule to
+    // replication's `dp_train_step`, so results stay bitwise equal to the
+    // per-group monolithic all-reduce. Updates are applied after the full
+    // drain (owner+backup only), so the callback is a no-op.
+    let numels = w.model.group_numels();
+    let mut reducer = BucketedAllreduce::new(ctx.rank(), ranks, &numels, w.bucket_cap_bytes);
+    let comm = &mut ctx.comm;
+    let mut stage_err: Option<CommError> = None;
+    w.model.backward_with(step_ctx, &grad, &mut |range, grads| {
+        if stage_err.is_some() {
+            return;
+        }
+        for (g, t) in range.zip(grads.iter()).rev() {
+            if let Err(e) = reducer.stage(comm, g, t) {
+                stage_err = Some(e);
+                return;
+            }
+        }
+    });
+    if let Some(e) = stage_err {
+        return Err(e);
     }
+    let mut reduced = w.model.grads_snapshot();
+    reducer.finish(&mut ctx.comm, &mut reduced, &mut |_, _| Ok(()))?;
     w.last_grads = reduced;
 
     // Owner and backup both apply the (deterministic) update to their

@@ -3,6 +3,7 @@
 //! The SWIFT runtime (work in progress while modules land).
 
 pub mod api;
+pub mod bucket;
 pub mod config;
 pub mod consistency;
 pub mod elastic;
@@ -17,6 +18,7 @@ pub mod supervisor;
 pub mod tensor_parallel;
 
 pub use api::{JobCrash, Parallelism, PlanError, SwiftJob, SwiftJobBuilder};
+pub use bucket::{BucketedAllreduce, GradBucketer, DEFAULT_BUCKET_CAP_BYTES};
 pub use config::{select_strategy, FtConfig, JobShape, Strategy};
 pub use consistency::{consensus_undo, repair_partial_update, UpdateTracker};
 pub use elastic::{
@@ -42,7 +44,5 @@ pub use scenario::{
     evaluate_state, optimizer_from_state, DatasetSource, DpScenario, DpScenarioBuilder, ModelFn,
     PipelineScenario, PipelineScenarioBuilder, ScenarioResult,
 };
-#[allow(deprecated)]
-pub use scenario::{run_dp_scenario, run_pipeline_scenario};
 pub use supervisor::{supervise, wait_cascade_aware, PhaseTracker, RecoveryPhase, RecoveryReport};
 pub use tensor_parallel::TpLinear;

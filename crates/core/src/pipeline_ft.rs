@@ -13,7 +13,9 @@
 
 use swift_ckpt::{Checkpoint, CheckpointManager};
 use swift_dnn::Sequential;
-use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
+use swift_net::{
+    default_chunk_bytes, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
+};
 use swift_obs::{Event, IterationId, Phase};
 use swift_optim::Optimizer;
 use swift_pipeline::{run_iteration, run_ops, CommTransport, Op, ScheduleKind, StagePlacement};
@@ -392,7 +394,14 @@ fn pipeline_replay_inner(
         let mut grads = model.grads_snapshot();
         if role.num_replicas > 1 {
             for g in grads.iter_mut() {
-                *g = ctx.comm.allreduce_sum_among(&role.allreduce_peers, g)?;
+                let mut out = g.clone();
+                ctx.comm.allreduce_sum_chunked_into(
+                    &role.allreduce_peers,
+                    g,
+                    &mut out,
+                    default_chunk_bytes(),
+                )?;
+                *g = out;
             }
         }
         let n = model.num_param_groups();

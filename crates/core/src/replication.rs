@@ -10,10 +10,13 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
-use swift_net::{failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx};
+use swift_net::{
+    default_chunk_bytes, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
+};
 use swift_optim::{OptimState, Optimizer};
 use swift_tensor::Tensor;
 
+use crate::bucket::BucketedAllreduce;
 use crate::consistency::UpdateTracker;
 use crate::fence::recovery_fence;
 use crate::supervisor::{supervise, RecoveryPhase, RecoveryReport};
@@ -31,6 +34,9 @@ pub struct DpWorker {
     /// The all-reduced gradients of the in-progress/most-recent step —
     /// the cached `g_t` undo needs (§4; frameworks keep these anyway).
     pub last_grads: Vec<Tensor>,
+    /// Gradient-bucket capacity for the overlapped all-reduce; smaller
+    /// caps mean more, earlier-launched buckets.
+    pub bucket_cap_bytes: usize,
 }
 
 impl DpWorker {
@@ -42,6 +48,7 @@ impl DpWorker {
             tracker: UpdateTracker::new(),
             iteration: 0,
             last_grads: Vec::new(),
+            bucket_cap_bytes: crate::bucket::DEFAULT_BUCKET_CAP_BYTES,
         }
     }
 }
@@ -51,7 +58,9 @@ impl DpWorker {
 pub struct CrashPoint {
     /// Crash during this iteration's update…
     pub iteration: u64,
-    /// …right after this many parameter groups have been applied.
+    /// …at the first bucket boundary where at least this many parameter
+    /// groups have been applied (updates land bucket-at-a-time now; 0
+    /// never fires).
     pub after_groups: usize,
 }
 
@@ -76,30 +85,63 @@ pub fn dp_train_step(
     let step_ctx = StepCtx::new(w.iteration, 0);
     let out = w.model.forward(step_ctx, x, Mode::Train);
     let (loss, grad) = softmax_cross_entropy_scaled(&out, y, example_weight);
-    w.model.backward(step_ctx, &grad);
 
-    // Wait-free layer-wise update (Fig. 4): each group updates as soon as
-    // its all-reduce lands, so a peer crash mid-loop strands this worker
-    // with a *partial* update — the crash-consistency window.
-    let local = w.model.grads_snapshot();
+    // Bucketed backward overlap (§5.4): each bucket's all-reduce launches
+    // the moment its last group's backward completes, so the transfer runs
+    // concurrently with the remaining backward compute.
+    let numels = w.model.group_numels();
+    let mut reducer = BucketedAllreduce::new(ctx.rank(), replicas, &numels, w.bucket_cap_bytes);
+    let comm = &mut ctx.comm;
+    let mut stage_err: Option<CommError> = None;
+    w.model.backward_with(step_ctx, &grad, &mut |range, grads| {
+        if stage_err.is_some() {
+            return;
+        }
+        // Reverse within the layer too, so buckets fill and launch in
+        // strict backward (descending-group) order.
+        for (g, t) in range.zip(grads.iter()).rev() {
+            if let Err(e) = reducer.stage(comm, g, t) {
+                stage_err = Some(e);
+                return;
+            }
+        }
+    });
+    if let Some(e) = stage_err {
+        return Err(e);
+    }
+
+    // Wait-free layer-wise update (Fig. 4): each bucket updates as soon as
+    // its all-reduce lands, so a peer crash mid-drain strands this worker
+    // with a *partial* update — the crash-consistency window. The reduced
+    // grads land in `last_grads` bucket by bucket: the cached `g_t` the
+    // undo needs (§4).
     let n = w.model.num_param_groups();
     let crash_at = crash
         .filter(|c| c.iteration == w.iteration)
-        .map(|c| c.after_groups.min(n));
-    w.last_grads = local.clone();
-    #[allow(clippy::needless_range_loop)] // idx is the global group index
-    for idx in 0..n {
-        w.last_grads[idx] = ctx.comm.allreduce_sum_among(replicas, &local[idx])?;
-        w.model
-            .apply_update_with(&mut *w.opt, &w.last_grads, idx, idx + 1);
-        w.tracker.mark(idx);
-        if crash_at == Some(idx + 1) {
+        .map(|c| c.after_groups.min(n))
+        .filter(|&c| c > 0);
+    let mut reduced = w.model.grads_snapshot();
+    let mut applied = 0usize;
+    let model = &mut w.model;
+    let opt = &mut w.opt;
+    let tracker = &mut w.tracker;
+    let fc = ctx.comm.failure_controller().clone();
+    let machine = ctx.machine();
+    let drained = reducer.finish(&mut ctx.comm, &mut reduced, &mut |range, grads| {
+        model.apply_update_with(&mut **opt, grads, range.start, range.end);
+        for idx in range.clone() {
+            tracker.mark(idx);
+        }
+        applied += range.len();
+        if crash_at.is_some_and(|c| applied >= c) {
             // Fail-stop: this machine dies mid-update, volatile state lost.
-            let fc = ctx.comm.failure_controller().clone();
-            fc.kill_machine(ctx.machine());
+            fc.kill_machine(machine);
             return Err(CommError::SelfKilled);
         }
-    }
+        Ok(())
+    });
+    w.last_grads = reduced;
+    drained?;
     w.opt.finish_step();
     w.tracker.finish();
     w.tracker.reset();
@@ -156,9 +198,12 @@ pub fn replication_recover_survivor(
     recovery_fence(ctx, epoch.generation(), participants)?;
     let root = *survivors.iter().min().expect("no survivors");
     let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
-    let state = ctx
-        .comm
-        .broadcast_bytes_among(participants, root, payload)?;
+    let state = ctx.comm.broadcast_bytes_chunked_among(
+        participants,
+        root,
+        payload,
+        default_chunk_bytes(),
+    )?;
     decode_dp_state_into(w, state);
     Ok(())
 }
@@ -197,7 +242,9 @@ pub fn replication_join(
     let epoch = failure_epoch(&ctx.kv);
     recovery_fence(ctx, epoch.generation(), participants)?;
     let root = *survivors.iter().min().expect("no survivors");
-    let state = ctx.comm.broadcast_bytes_among(participants, root, None)?;
+    let state =
+        ctx.comm
+            .broadcast_bytes_chunked_among(participants, root, None, default_chunk_bytes())?;
     decode_dp_state_into(&mut w, state);
     Ok(w)
 }
@@ -236,7 +283,9 @@ pub fn replication_recover_supervised(
         recovery_fence(ctx, epoch.generation(), group)?;
         phases.enter(RecoveryPhase::Synchronize);
         let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
-        let state = ctx.comm.broadcast_bytes_among(group, root, payload)?;
+        let state =
+            ctx.comm
+                .broadcast_bytes_chunked_among(group, root, payload, default_chunk_bytes())?;
         phases.enter(RecoveryPhase::Rejoin);
         decode_dp_state_into(w, state);
         Ok(())
@@ -262,7 +311,9 @@ pub fn replication_join_supervised(
         phases.enter(RecoveryPhase::Fence);
         recovery_fence(ctx, epoch.generation(), group)?;
         phases.enter(RecoveryPhase::Synchronize);
-        let state = ctx.comm.broadcast_bytes_among(group, root, None)?;
+        let state =
+            ctx.comm
+                .broadcast_bytes_chunked_among(group, root, None, default_chunk_bytes())?;
         phases.enter(RecoveryPhase::Rejoin);
         decode_dp_state_into(&mut w, state);
         Ok(w)
@@ -288,6 +339,15 @@ mod tests {
             }
             .build(),
         )
+    }
+
+    /// A worker with a tiny bucket cap so the 4 parameter groups split
+    /// into two buckets ({1,2,3} then {0}) — every rank in a run must use
+    /// the same cap, since bucket boundaries are part of the protocol.
+    fn make_two_bucket_worker() -> DpWorker {
+        let mut w = make_worker();
+        w.bucket_cap_bytes = 256;
+        w
     }
 
     /// Failure-free DP training for `iters`, returning rank 0's state.
@@ -343,17 +403,18 @@ mod tests {
 
     #[test]
     fn crash_mid_update_recovery_end_to_end() {
-        // Rank 1's machine dies at iteration 3 after 2 of 4 group updates.
-        // Rank 0 undoes, broadcasts to the respawned rank 1, training
-        // continues to iteration 8. Final state must match the
-        // failure-free run within floating-point undo error.
+        // Rank 1's machine dies at iteration 3 after the first gradient
+        // bucket's updates land. Rank 0 undoes whatever it partially
+        // applied, broadcasts to the respawned rank 1, training continues
+        // to iteration 8. Final state must match the failure-free run
+        // within floating-point undo error.
         let iters_total = 8u64;
         let cluster = Cluster::new(Topology::uniform(2, 1));
         let fc = cluster.failure_controller();
 
         let h0 = cluster.spawn(0, move |mut ctx| {
             let ds = BlobsDataset::new(9, 6, 3, 0.3);
-            let mut w = make_worker();
+            let mut w = make_two_bucket_worker();
             let mut it = 0u64;
             while it < iters_total {
                 let batch = ds.batch(it, 16);
@@ -383,7 +444,7 @@ mod tests {
 
         let h1 = cluster.spawn(1, move |mut ctx| {
             let ds = BlobsDataset::new(9, 6, 3, 0.3);
-            let mut w = make_worker();
+            let mut w = make_two_bucket_worker();
             let crash = CrashPoint {
                 iteration: 3,
                 after_groups: 2,
@@ -430,9 +491,16 @@ mod tests {
                 &[0, 1],
             )
             .unwrap();
-            assert_eq!(
-                w.iteration, 3,
-                "resumes from the consistent pre-crash iteration"
+            w.bucket_cap_bytes = 256;
+            // With backward overlap, the victim pushes all its iteration-3
+            // contributions before it dies mid-drain, so the survivor may
+            // complete iteration 3 (resume=4) or observe the failure first
+            // (resume=3); both are consistent resume points, and the
+            // bit_eq + trajectory asserts below carry the correctness.
+            assert!(
+                w.iteration == 3 || w.iteration == 4,
+                "resumes from a consistent iteration, got {}",
+                w.iteration
             );
             let ds = BlobsDataset::new(9, 6, 3, 0.3);
             let mut it = w.iteration;
@@ -462,6 +530,81 @@ mod tests {
         assert!(
             diff < 1e-4,
             "recovered training must track the failure-free trajectory (diff {diff})"
+        );
+    }
+
+    #[test]
+    fn mid_launch_crash_repairs_partial_bucket_update() {
+        // Deterministic mid-drain crash: rank 1 streams four group
+        // messages per iteration (groups 3, 2, 1 completing bucket
+        // {1,2,3}, then group 0 completing bucket {0}); its 16th send —
+        // iteration 3's group 0 — kills the machine on the wire. The root
+        // folds and applies bucket {1,2,3}, then observes the failure
+        // waiting for bucket {0}: a guaranteed partial update, which the
+        // cached last_grads undo must repair back onto the failure-free
+        // trajectory.
+        use swift_net::{CrashTrigger, FaultPlan};
+        let reference = failure_free(3);
+
+        let cluster = Cluster::new(Topology::uniform(2, 1));
+        cluster.install_faults(
+            FaultPlan::new(0).with_crash(CrashTrigger::AtNthSend { rank: 1, n: 16 }),
+        );
+
+        let h0 = cluster.spawn(0, move |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut w = make_two_bucket_worker();
+            loop {
+                let batch = ds.batch(w.iteration, 16);
+                let shard = shard_batch(&batch, ctx.rank(), 2);
+                match dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    None,
+                ) {
+                    Ok(_) => {}
+                    Err(CommError::PeerFailed { .. }) => break,
+                    Err(e) => panic!("rank 0: {e}"),
+                }
+            }
+            let marked = w.tracker.updated().to_vec();
+            repair_dp_consistency(&mut w);
+            (w.iteration, marked, w.model.state())
+        });
+        let h1 = cluster.spawn(1, move |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            let mut w = make_two_bucket_worker();
+            loop {
+                let batch = ds.batch(w.iteration, 16);
+                let shard = shard_batch(&batch, ctx.rank(), 2);
+                if dp_train_step(
+                    &mut ctx,
+                    &mut w,
+                    &[0, 1],
+                    &shard.x,
+                    &shard.y,
+                    1.0 / 16.0,
+                    None,
+                )
+                .is_err()
+                {
+                    return w.iteration;
+                }
+            }
+        });
+
+        assert_eq!(h1.join().unwrap(), 3, "victim dies inside iteration 3");
+        let (it, marked, state) = h0.join().unwrap();
+        assert_eq!(it, 3, "survivor is stranded mid-iteration 3");
+        assert_eq!(marked, vec![1, 2, 3], "exactly the first bucket applied");
+        let diff = state.max_abs_diff(&reference);
+        assert!(
+            diff < 1e-5,
+            "undo must restore the pre-step-3 state (diff {diff})"
         );
     }
 

@@ -204,13 +204,6 @@ pub struct ScenarioResult {
     pub trace: Option<Trace>,
 }
 
-/// Runs a data-parallel scenario end to end, including crash injection,
-/// update-undo repair, replication recovery, and completion.
-#[deprecated(note = "use DpScenario::builder(..).run() instead")]
-pub fn run_dp_scenario(cfg: DpScenario) -> ScenarioResult {
-    run_dp_scenario_impl(cfg, false)
-}
-
 fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
     let world = cfg.machines;
     let cluster = Cluster::new(Topology::uniform(world, 1));
@@ -556,13 +549,6 @@ impl PipelineScenarioBuilder {
     pub fn run(self) -> ScenarioResult {
         run_pipeline_scenario_impl(self.cfg, self.trace)
     }
-}
-
-/// Runs a pipeline-parallel scenario end to end with logging-based
-/// recovery.
-#[deprecated(note = "use PipelineScenario::builder(..).run() instead")]
-pub fn run_pipeline_scenario(cfg: PipelineScenario) -> ScenarioResult {
-    run_pipeline_scenario_impl(cfg, false)
 }
 
 fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioResult {

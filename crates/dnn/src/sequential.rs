@@ -70,6 +70,15 @@ impl Sequential {
         self.layers.iter().map(|l| l.params().len()).sum()
     }
 
+    /// Element counts of every parameter group, globally ordered (the
+    /// geometry gradient bucketing is planned from — no tensor clones).
+    pub fn group_numels(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params().into_iter().map(|p| p.numel()))
+            .collect()
+    }
+
     /// Forward through all layers.
     pub fn forward(&mut self, ctx: StepCtx, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
@@ -82,9 +91,36 @@ impl Sequential {
     /// Backward through all layers (reverse order), accumulating parameter
     /// gradients; returns the gradient w.r.t. the model input.
     pub fn backward(&mut self, ctx: StepCtx, grad_out: &Tensor) -> Tensor {
+        self.backward_with(ctx, grad_out, &mut |_, _| {})
+    }
+
+    /// [`backward`](Sequential::backward) with a per-layer completion
+    /// hook: after each layer's backward finishes, `on_layer_done`
+    /// receives the layer's global parameter-group range and its freshly
+    /// accumulated gradients (in global group order). Layers complete in
+    /// *reverse* order — the overlap seam gradient bucketing launches
+    /// bucket all-reduces from while earlier layers are still computing.
+    pub fn backward_with(
+        &mut self,
+        ctx: StepCtx,
+        grad_out: &Tensor,
+        on_layer_done: &mut dyn FnMut(std::ops::Range<usize>, &[&Tensor]),
+    ) -> Tensor {
+        // Global group offset of each layer (prefix sums).
+        let mut offsets = Vec::with_capacity(self.layers.len() + 1);
+        let mut acc = 0usize;
+        for l in &self.layers {
+            offsets.push(acc);
+            acc += l.params().len();
+        }
+        offsets.push(acc);
         let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             g = layer.backward(ctx, &g);
+            let grads = layer.grads();
+            if !grads.is_empty() {
+                on_layer_done(offsets[i]..offsets[i + 1], &grads);
+            }
         }
         g
     }

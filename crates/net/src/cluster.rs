@@ -474,6 +474,141 @@ mod tests {
         assert_eq!(results, vec![-1.0, 18.0, -1.0, 18.0]);
     }
 
+    /// The chunked chain all-reduce must be *bitwise* equal to the
+    /// monolithic gather at every chunk size — 1 KiB (many chunks),
+    /// 64 KiB (the default), and whole-tensor (one chunk) — because the
+    /// chain preserves the exact left-fold rounding order. Shapes are
+    /// deliberately not chunk-aligned.
+    #[test]
+    fn chunked_allreduce_bitwise_matches_monolithic() {
+        for world in [2usize, 3, 4] {
+            for chunk_bytes in [1024usize, 64 * 1024, usize::MAX / 8] {
+                let ranks: Vec<Rank> = (0..world).collect();
+                let results = Cluster::run_all(Topology::uniform(world, 1), move |mut ctx| {
+                    let n = 40_961; // prime-ish: last chunk is ragged
+                    let t = Tensor::from_vec(
+                        [n],
+                        (0..n)
+                            .map(|i| ((i * 31 + ctx.rank() * 17) % 1013) as f32 * 0.37 - 90.0)
+                            .collect(),
+                    );
+                    let mono = ctx.comm.allreduce_sum_among(&ranks, &t).unwrap();
+                    let chunked = ctx
+                        .comm
+                        .allreduce_sum_chunked_among(&ranks, &t, chunk_bytes)
+                        .unwrap();
+                    (mono, chunked)
+                });
+                for (mono, chunked) in &results {
+                    assert!(
+                        chunked.bit_eq(mono),
+                        "chunked all-reduce diverged at world={world} chunk={chunk_bytes}"
+                    );
+                    assert!(chunked.bit_eq(&results[0].1), "ranks disagree");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_broadcast_bitwise_matches_monolithic() {
+        for chunk_bytes in [1024usize, 64 * 1024, usize::MAX / 8] {
+            let results = Cluster::run_all(Topology::uniform(3, 1), move |mut ctx| {
+                let n = 33_333;
+                let src = Tensor::from_vec([n], (0..n).map(|i| (i as f32).sin()).collect());
+                let group = [0usize, 1, 2];
+                // Bytes path: payload must survive chunking byte-exactly.
+                let payload = (ctx.rank() == 1)
+                    .then(|| bytes::Bytes::copy_from_slice(crate::bytemuck_f32(src.data())));
+                let via_bytes = ctx
+                    .comm
+                    .broadcast_bytes_chunked_among(&group, 1, payload, chunk_bytes)
+                    .unwrap();
+                // Tensor path: install into pre-shaped storage.
+                let mine = (ctx.rank() == 1).then(|| src.clone());
+                let mut dst = Tensor::zeros([n]);
+                ctx.comm
+                    .broadcast_tensor_chunked_into(&group, 1, mine.as_ref(), &mut dst, chunk_bytes)
+                    .unwrap();
+                // Monolithic reference.
+                let mono = ctx
+                    .comm
+                    .broadcast_tensor_among(&group, 1, mine.as_ref())
+                    .unwrap();
+                (via_bytes, dst, mono)
+            });
+            for (via_bytes, dst, mono) in &results {
+                assert!(dst.bit_eq(mono), "chunked tensor broadcast diverged");
+                assert_eq!(
+                    &via_bytes[..],
+                    crate::bytemuck_f32(mono.data()),
+                    "chunked bytes broadcast diverged"
+                );
+            }
+        }
+    }
+
+    /// One randomized round: chunked all-reduce and chunked broadcast
+    /// must be bitwise equal to the monolithic collectives. Returns
+    /// whether every rank agreed.
+    fn chunked_round_matches(numel: usize, chunk_bytes: usize, world: usize, seed: u64) -> bool {
+        let ranks: Vec<Rank> = (0..world).collect();
+        let results = Cluster::run_all(Topology::uniform(world, 1), move |mut ctx| {
+            let t = Tensor::from_vec(
+                [numel],
+                (0..numel)
+                    .map(|i| {
+                        let x = (i as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(seed + ctx.rank() as u64);
+                        (x >> 40) as f32 * 1e-4 - 0.8
+                    })
+                    .collect(),
+            );
+            let mono = ctx.comm.allreduce_sum_among(&ranks, &t).unwrap();
+            let chunked = ctx
+                .comm
+                .allreduce_sum_chunked_among(&ranks, &t, chunk_bytes)
+                .unwrap();
+            let root_val = (ctx.rank() == 0).then(|| mono.clone());
+            let mut bcast = Tensor::zeros([numel]);
+            ctx.comm
+                .broadcast_tensor_chunked_into(
+                    &ranks,
+                    0,
+                    root_val.as_ref(),
+                    &mut bcast,
+                    chunk_bytes,
+                )
+                .unwrap();
+            (mono, chunked, bcast)
+        });
+        results
+            .iter()
+            .all(|(mono, chunked, bcast)| chunked.bit_eq(mono) && bcast.bit_eq(&results[0].0))
+    }
+
+    mod proptests {
+        use proptest::prelude::*;
+
+        proptest! {
+            // Each case spawns a real thread-per-rank cluster.
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            // Random shapes × chunk sizes × rank counts: the chunked
+            // collectives stay bitwise equal to the monolithic ones.
+            #[test]
+            fn chunked_collectives_match_monolithic(
+                numel in 1usize..5000,
+                chunk_bytes in 4usize..4096,
+                world in 2usize..5,
+                seed in 0u64..1000,
+            ) {
+                prop_assert!(super::chunked_round_matches(numel, chunk_bytes, world, seed));
+            }
+        }
+    }
+
     #[test]
     fn all_gather_u64_reaches_consensus() {
         let results = Cluster::run_all(Topology::uniform(1, 3), |mut ctx| {

@@ -578,7 +578,11 @@ impl Comm {
         Ok(decode_slice(&b).expect("malformed tensor payload"))
     }
 
-    fn next_coll_tag(&self) -> u64 {
+    /// Allocates the next collective tag. Multi-collective protocols built
+    /// on top of `Comm` (e.g. bucketed all-reduce in `swift-core`) allocate
+    /// their per-bucket tags here; every participant must allocate in the
+    /// same order so sequences stay aligned.
+    pub fn next_coll_tag(&self) -> u64 {
         COLLECTIVE_BIT | self.coll_seq.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -817,6 +821,237 @@ impl Comm {
         Ok(Tensor::from_vec(t.shape().clone(), data))
     }
 
+    /// Chunked, pipelined deterministic all-reduce (sum): identical
+    /// rounding to [`allreduce_sum_among`](Comm::allreduce_sum_among)
+    /// — bitwise equal at any chunk size and thread count — but streamed
+    /// in `chunk_bytes` chunks so chunk *k*'s reduction overlaps chunk
+    /// *k+1*'s transfer.
+    ///
+    /// The schedule is an ascending-rank chain: the partial sum of chunk
+    /// *k* flows rank-index 0 → 1 → … → n−1, each rank folding its own
+    /// contribution in (the exact left-fold order of the monolithic
+    /// gather), and the last rank streams finished chunks back down the
+    /// chain while later chunks are still folding — 2(n−1) hops per
+    /// chunk, pipelined across chunks.
+    pub fn allreduce_sum_chunked_among(
+        &mut self,
+        participants: &[Rank],
+        t: &Tensor,
+        chunk_bytes: usize,
+    ) -> Result<Tensor, CommError> {
+        let mut out = t.clone();
+        self.allreduce_sum_chunked_into(participants, t, &mut out, chunk_bytes)?;
+        Ok(out)
+    }
+
+    /// [`allreduce_sum_chunked_among`](Comm::allreduce_sum_chunked_among)
+    /// writing the result into an existing tensor (hot paths reuse `out`
+    /// across iterations so steady state allocates nothing).
+    pub fn allreduce_sum_chunked_into(
+        &mut self,
+        participants: &[Rank],
+        t: &Tensor,
+        out: &mut Tensor,
+        chunk_bytes: usize,
+    ) -> Result<(), CommError> {
+        assert_eq!(
+            t.shape().dims(),
+            out.shape().dims(),
+            "output shape must match the input"
+        );
+        let mut chain: Vec<Rank> = participants.to_vec();
+        chain.sort_unstable();
+        let n = chain.len();
+        if n == 1 {
+            out.data_mut().copy_from_slice(t.data());
+            return Ok(());
+        }
+        let me = chain
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("not a participant");
+        let fold_tag = self.next_coll_tag();
+        let gather_tag = fold_tag ^ (1 << 32);
+        let numel = t.numel();
+        let chunk = (chunk_bytes / 4).max(1);
+        let own = t.data();
+        // Fold phase: the partial sum climbs the chain chunk by chunk.
+        // Rank index i receives t₀+…+t_{i−1} and adds its own values —
+        // exactly the monolithic root's `acc += contrib` left fold, so
+        // the result is bitwise identical and, being elementwise,
+        // independent of thread count.
+        if me == 0 {
+            let mut lo = 0;
+            while lo < numel {
+                let hi = (lo + chunk).min(numel);
+                let piece = Bytes::copy_from_slice(bytemuck_f32(&own[lo..hi]));
+                self.send_bytes(chain[1], fold_tag, piece)?;
+                lo = hi;
+            }
+        } else {
+            let prev = chain[me - 1];
+            let mut scratch: Vec<f32> = Vec::with_capacity(chunk.min(numel.max(1)));
+            let mut lo = 0;
+            while lo < numel {
+                let hi = (lo + chunk).min(numel);
+                let incoming = self.recv_bytes(prev, fold_tag)?;
+                scratch.clear();
+                scratch.extend(
+                    f32_from_bytes(&incoming)
+                        .zip(&own[lo..hi])
+                        .map(|(partial, &mine)| partial + mine),
+                );
+                let outgoing = Bytes::copy_from_slice(bytemuck_f32(&scratch));
+                if me + 1 < n {
+                    self.send_bytes(chain[me + 1], fold_tag, outgoing)?;
+                } else {
+                    // Last rank: this chunk is final. Install it and
+                    // stream it back down while later chunks still fold.
+                    out.data_mut()[lo..hi].copy_from_slice(&scratch);
+                    self.send_bytes(prev, gather_tag, outgoing)?;
+                }
+                lo = hi;
+            }
+        }
+        // Gather phase: finished chunks flow back down the chain; middle
+        // ranks forward each chunk (refcounted, no copy) before
+        // installing it locally.
+        if me + 1 < n {
+            let from = chain[me + 1];
+            let mut lo = 0;
+            while lo < numel {
+                let hi = (lo + chunk).min(numel);
+                let incoming = self.recv_bytes(from, gather_tag)?;
+                if me > 0 {
+                    self.send_bytes(chain[me - 1], gather_tag, incoming.clone())?;
+                }
+                for (dst, v) in out.data_mut()[lo..hi]
+                    .iter_mut()
+                    .zip(f32_from_bytes(&incoming))
+                {
+                    *dst = v;
+                }
+                lo = hi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunked broadcast of raw bytes from `root`: a length header, then
+    /// `chunk_bytes`-sized slices of the payload (refcounted at the root
+    /// — no copies), so a receiver starts consuming while later chunks
+    /// are still in flight. Payload-identical to
+    /// [`broadcast_bytes_among`](Comm::broadcast_bytes_among).
+    pub fn broadcast_bytes_chunked_among(
+        &mut self,
+        participants: &[Rank],
+        root: Rank,
+        data: Option<Bytes>,
+        chunk_bytes: usize,
+    ) -> Result<Bytes, CommError> {
+        let tag = self.next_coll_tag();
+        let chunk = chunk_bytes.max(1);
+        if self.rank == root {
+            let payload = data.expect("root must supply the broadcast payload");
+            let header = Bytes::copy_from_slice(&(payload.len() as u64).to_le_bytes());
+            for &r in participants.iter().filter(|&&r| r != root) {
+                self.send_bytes(r, tag, header.clone())?;
+            }
+            let mut off = 0;
+            while off < payload.len() {
+                let end = (off + chunk).min(payload.len());
+                let piece = payload.slice(off..end);
+                for &r in participants.iter().filter(|&&r| r != root) {
+                    self.send_bytes(r, tag, piece.clone())?;
+                }
+                off = end;
+            }
+            Ok(payload)
+        } else {
+            let header = self.recv_bytes(root, tag)?;
+            let total = u64::from_le_bytes(header[..8].try_into().unwrap()) as usize;
+            let mut buf = Vec::with_capacity(total);
+            while buf.len() < total {
+                let piece = self.recv_bytes(root, tag)?;
+                buf.extend_from_slice(&piece);
+            }
+            Ok(Bytes::from(buf))
+        }
+    }
+
+    /// Chunked tensor broadcast writing straight into `dst` (which every
+    /// rank pre-shapes): the root streams raw little-endian chunks of the
+    /// tensor data and receivers install each chunk into `dst`'s existing
+    /// storage — no wire header, no intermediate decode allocation, and a
+    /// replacement rank starts deserializing while later chunks are still
+    /// in flight. Values are bitwise identical to
+    /// [`broadcast_tensor_among`](Comm::broadcast_tensor_among).
+    pub fn broadcast_tensor_chunked_into(
+        &mut self,
+        participants: &[Rank],
+        root: Rank,
+        src: Option<&Tensor>,
+        dst: &mut Tensor,
+        chunk_bytes: usize,
+    ) -> Result<(), CommError> {
+        let tag = self.next_coll_tag();
+        let chunk = (chunk_bytes / 4).max(1);
+        if self.rank == root {
+            let t = src.expect("root must supply the broadcast tensor");
+            assert_eq!(
+                t.shape().dims(),
+                dst.shape().dims(),
+                "destination shape must match the source"
+            );
+            let data = t.data();
+            let mut lo = 0;
+            while lo < data.len() {
+                let hi = (lo + chunk).min(data.len());
+                let piece = Bytes::copy_from_slice(bytemuck_f32(&data[lo..hi]));
+                for &r in participants.iter().filter(|&&r| r != root) {
+                    self.send_bytes(r, tag, piece.clone())?;
+                }
+                lo = hi;
+            }
+            if !std::ptr::eq(t.data().as_ptr(), dst.data().as_ptr()) {
+                dst.data_mut().copy_from_slice(data);
+            }
+        } else {
+            let numel = dst.numel();
+            let mut lo = 0;
+            while lo < numel {
+                let hi = (lo + chunk).min(numel);
+                let incoming = self.recv_bytes(root, tag)?;
+                for (d, v) in dst.data_mut()[lo..hi]
+                    .iter_mut()
+                    .zip(f32_from_bytes(&incoming))
+                {
+                    *d = v;
+                }
+                lo = hi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunked tensor broadcast returning a fresh tensor (convenience
+    /// wrapper over
+    /// [`broadcast_tensor_chunked_into`](Comm::broadcast_tensor_chunked_into)
+    /// for call sites whose receivers already know the shape from a
+    /// deterministic model factory).
+    pub fn broadcast_tensor_chunked_among(
+        &mut self,
+        participants: &[Rank],
+        root: Rank,
+        src: Option<&Tensor>,
+        shape: &[usize],
+        chunk_bytes: usize,
+    ) -> Result<Tensor, CommError> {
+        let mut dst = Tensor::zeros(shape.to_vec());
+        self.broadcast_tensor_chunked_into(participants, root, src, &mut dst, chunk_bytes)?;
+        Ok(dst)
+    }
+
     /// Gathers one `u64` from every participant at every participant
     /// (used to reach consensus on the pre-failure iteration, §6
     /// "Update-undo" in pipeline parallelism). Returns values in
@@ -855,12 +1090,31 @@ impl Comm {
     }
 }
 
-fn bytemuck_f32(v: &[f32]) -> &[u8] {
+/// Views an `f32` slice as its raw little-endian bytes (the collective
+/// wire format on little-endian hosts — no copy, no allocation).
+pub fn bytemuck_f32(v: &[f32]) -> &[u8] {
     // Safety: f32 and u8 have no invalid bit patterns; alignment of u8 is 1.
     unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
 }
 
-fn f32_from_bytes(b: &[u8]) -> impl Iterator<Item = f32> + '_ {
+/// Iterates the `f32` values of a raw little-endian payload (safe on
+/// unaligned input — each value is re-assembled from its 4 bytes).
+pub fn f32_from_bytes(b: &[u8]) -> impl Iterator<Item = f32> + '_ {
     b.chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+}
+
+/// The default collective chunk size in bytes: the `SWIFT_COLLECTIVE_CHUNK`
+/// environment variable when set (raw byte count), else 64 KiB — small
+/// enough that a chunk's fold stays cache-resident, large enough that
+/// per-message overhead stays negligible. Read once and cached.
+pub fn default_chunk_bytes() -> usize {
+    static CHUNK: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CHUNK.get_or_init(|| {
+        std::env::var("SWIFT_COLLECTIVE_CHUNK")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(64 * 1024)
+    })
 }

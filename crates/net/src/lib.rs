@@ -43,7 +43,10 @@ pub mod topology;
 pub mod trace;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterError, WorkerCtx};
-pub use comm::{build_comms, respawn_comm, Comm, CommError, Fabric, COLLECTIVE_BIT};
+pub use comm::{
+    build_comms, bytemuck_f32, default_chunk_bytes, f32_from_bytes, respawn_comm, Comm, CommError,
+    Fabric, COLLECTIVE_BIT,
+};
 pub use detector::{
     declare_failed, declare_recovered, failure_epoch, failure_state, Heartbeat, HeartbeatConfig,
     HeartbeatMonitor,

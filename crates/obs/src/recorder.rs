@@ -89,17 +89,22 @@ pub enum Counter {
     UndoneUpdates,
     /// Bytes written by global checkpoints (the backstop, §2).
     CheckpointBytes,
+    /// Bytes the bubble budget rejected: staged logging debt exceeded
+    /// what bubbles could hide, so the record was written synchronously
+    /// on the critical path (§5.4 spill rule).
+    SpilledBytes,
 }
 
 impl Counter {
     /// All counters, index-aligned with the recorder's storage.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 7] = [
         Counter::BytesLogged,
         Counter::BubbleBytes,
         Counter::Retransmits,
         Counter::Restarts,
         Counter::UndoneUpdates,
         Counter::CheckpointBytes,
+        Counter::SpilledBytes,
     ];
 
     /// Stable snake_case name (used in JSON renderings).
@@ -111,6 +116,7 @@ impl Counter {
             Counter::Restarts => "restarts",
             Counter::UndoneUpdates => "undone_updates",
             Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::SpilledBytes => "spilled_bytes",
         }
     }
 
@@ -122,6 +128,7 @@ impl Counter {
             Counter::Restarts => 3,
             Counter::UndoneUpdates => 4,
             Counter::CheckpointBytes => 5,
+            Counter::SpilledBytes => 6,
         }
     }
 }

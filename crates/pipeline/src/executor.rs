@@ -71,6 +71,11 @@ pub trait Transport {
 
     /// Receives the downstream gradient for `ctx`.
     fn recv_gradient(&mut self, ctx: StepCtx) -> Result<Tensor, CommError>;
+
+    /// Flush-point bubble: called once the stage's op schedule is done,
+    /// right before the (local, comm-free) optimizer update — idle time a
+    /// background logger can drain into. Default: nothing.
+    fn flush_hint(&mut self, _iteration: u64) {}
 }
 
 /// The normal-training transport: real sends/receives over a [`Comm`],
@@ -125,6 +130,10 @@ impl<O: PipelineObserver> Transport for CommTransport<'_, O> {
             src,
             tags::tag(MsgKind::Gradient, ctx.iteration, ctx.microbatch as usize),
         )
+    }
+
+    fn flush_hint(&mut self, iteration: u64) {
+        self.observer.on_idle(StepCtx::new(iteration, 0));
     }
 }
 
@@ -239,6 +248,7 @@ pub fn run_ops<T: Transport>(
         }
         observer_ops(op);
     }
+    transport.flush_hint(iteration);
     Ok(loss_sum)
 }
 

@@ -40,8 +40,20 @@ use crate::record::LogRecord;
 #[derive(Debug)]
 struct WriteJob {
     key: String,
+    /// Training iteration the record belongs to — checked against the GC
+    /// watermark so a checkpoint can retire queued-but-unflushed records.
+    iteration: u64,
     payload: Vec<u8>,
 }
+
+/// Background writer threads sharing the job queue.
+const WRITER_POOL: usize = 2;
+
+/// Default bubble budget (§5.4): how many staged bytes may wait for a
+/// bubble before `log_send` starts spilling synchronously. Generous by
+/// default — the budget only bites when bubbles are scarce relative to
+/// logging volume.
+pub const DEFAULT_BUBBLE_BUDGET_BYTES: usize = 8 * 1024 * 1024;
 
 /// When records leave the critical path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,9 +96,16 @@ pub struct Logger {
     topology: Topology,
     groups: GroupMap,
     staged: Vec<WriteJob>,
+    /// Total payload bytes currently staged (metered against the budget).
+    staged_bytes: usize,
+    /// Staged bytes allowed to wait for a bubble before spilling inline.
+    bubble_budget_bytes: usize,
     tx: Option<Sender<WriteJob>>,
-    writer: Option<JoinHandle<()>>,
+    writers: Vec<JoinHandle<()>>,
     in_flight: Arc<AtomicU64>,
+    /// Records below this iteration are superseded by a checkpoint; queued
+    /// jobs under it are dropped instead of written.
+    gc_watermark: Arc<AtomicU64>,
     stats: Arc<LogStats>,
     store: BlobStore,
     /// Drained payload buffers coming back from the writer thread; reused
@@ -116,30 +135,42 @@ impl Logger {
     ) -> Self {
         let stats = Arc::new(LogStats::default());
         let in_flight = Arc::new(AtomicU64::new(0));
+        let gc_watermark = Arc::new(AtomicU64::new(0));
         let (pool_tx, pool_rx) = unbounded::<Vec<u8>>();
-        let (tx, writer) = if mode == LogMode::Sync {
-            (None, None)
+        let (tx, writers) = if mode == LogMode::Sync {
+            (None, Vec::new())
         } else {
             let (tx, rx) = unbounded::<WriteJob>();
-            let store2 = store.clone();
-            let stats2 = stats.clone();
-            let in_flight2 = in_flight.clone();
-            let handle = std::thread::Builder::new()
-                .name("wal-writer".into())
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        write_payload(&store2, &job.key, &job.payload, &stats2);
-                        // Hand the drained buffer back for reuse; the
-                        // logger may already be gone, in which case the
-                        // buffer simply drops.
-                        let mut buf = job.payload;
-                        buf.clear();
-                        let _ = pool_tx.send(buf);
-                        in_flight2.fetch_sub(1, Ordering::SeqCst);
-                    }
-                })
-                .expect("failed to spawn wal writer");
-            (Some(tx), Some(handle))
+            let mut writers = Vec::with_capacity(WRITER_POOL);
+            for i in 0..WRITER_POOL {
+                let rx = rx.clone();
+                let pool_tx = pool_tx.clone();
+                let store2 = store.clone();
+                let stats2 = stats.clone();
+                let in_flight2 = in_flight.clone();
+                let watermark = gc_watermark.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("wal-writer-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // A checkpoint taken while the job was queued
+                            // supersedes it — drop instead of persisting.
+                            if job.iteration >= watermark.load(Ordering::SeqCst) {
+                                write_payload(&store2, &job.key, &job.payload, &stats2);
+                            }
+                            // Hand the drained buffer back for reuse; the
+                            // logger may already be gone, in which case the
+                            // buffer simply drops.
+                            let mut buf = job.payload;
+                            buf.clear();
+                            let _ = pool_tx.send(buf);
+                            in_flight2.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("failed to spawn wal writer");
+                writers.push(handle);
+            }
+            (Some(tx), writers)
         };
         Logger {
             mode,
@@ -147,14 +178,23 @@ impl Logger {
             topology,
             groups,
             staged: Vec::new(),
+            staged_bytes: 0,
+            bubble_budget_bytes: DEFAULT_BUBBLE_BUDGET_BYTES,
             tx,
-            writer,
+            writers,
             in_flight,
+            gc_watermark,
             stats,
             store,
             recycled: pool_rx,
             scratch: Vec::new(),
         }
+    }
+
+    /// Overrides the bubble budget (staged bytes allowed to wait for a
+    /// bubble before `log_send` spills synchronously).
+    pub fn set_bubble_budget(&mut self, bytes: usize) {
+        self.bubble_budget_bytes = bytes;
     }
 
     /// The logging mode.
@@ -224,10 +264,22 @@ impl Logger {
                     half,
                     &mut payload,
                 );
-                let job = WriteJob { key, payload };
+                let job = WriteJob {
+                    key,
+                    iteration: ctx.iteration,
+                    payload,
+                };
                 if self.mode == LogMode::Async {
                     self.enqueue(job);
+                } else if self.staged_bytes + job.payload.len() > self.bubble_budget_bytes {
+                    // Budget exceeded (§5.4): bubbles aren't keeping up, so
+                    // this record can't be hidden — spill it synchronously
+                    // rather than letting the logging debt grow unbounded.
+                    swift_obs::add(swift_obs::Counter::SpilledBytes, job.payload.len() as u64);
+                    write_payload(&self.store, &job.key, &job.payload, &self.stats);
+                    self.scratch = job.payload;
                 } else {
+                    self.staged_bytes += job.payload.len();
                     self.staged.push(job);
                 }
             }
@@ -239,6 +291,8 @@ impl Logger {
     pub fn on_bubble(&mut self) {
         if self.mode == LogMode::BubbleAsync {
             for job in self.staged.drain(..) {
+                // BubbleBytes counts exactly what a bubble hid; spilled
+                // records were counted as SpilledBytes at log_send.
                 swift_obs::add(swift_obs::Counter::BubbleBytes, job.payload.len() as u64);
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
                 self.tx
@@ -247,6 +301,7 @@ impl Logger {
                     .send(job)
                     .expect("wal writer gone");
             }
+            self.staged_bytes = 0;
         }
     }
 
@@ -268,6 +323,7 @@ impl Logger {
     /// failure detection (§5.1 recovery step 1–2) and at checkpoints.
     pub fn flush(&mut self) {
         let staged: Vec<WriteJob> = self.staged.drain(..).collect();
+        self.staged_bytes = 0;
         match self.mode {
             LogMode::Sync => {
                 for job in &staged {
@@ -286,9 +342,22 @@ impl Logger {
     }
 
     /// Garbage-collects every record older than `checkpoint_iteration`
-    /// (obsoleted by the checkpoint, §5.1); returns the count removed.
-    pub fn gc_before(&self, checkpoint_iteration: IterationId) -> std::io::Result<usize> {
-        let mut removed = 0;
+    /// (obsoleted by the checkpoint, §5.1): drops queued-but-unflushed
+    /// records the checkpoint supersedes, then deletes persisted ones.
+    /// Returns the count removed.
+    pub fn gc_before(&mut self, checkpoint_iteration: IterationId) -> std::io::Result<usize> {
+        let wm = checkpoint_iteration.get();
+        self.gc_watermark.store(wm, Ordering::SeqCst);
+        let before = self.staged.len();
+        self.staged.retain(|j| j.iteration >= wm);
+        let mut removed = before - self.staged.len();
+        self.staged_bytes = self.staged.iter().map(|j| j.payload.len()).sum();
+        // Wait out in-flight writes so a straggler below the watermark
+        // can't land after the delete pass (writers drop such jobs from
+        // here on).
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
         for key in self.store.list("wal/")? {
             // Keys embed the iteration: wal/it{iter:012}/...
             if let Some(it) = key
@@ -296,7 +365,7 @@ impl Logger {
                 .and_then(|s| s.get(0..12))
                 .and_then(|s| s.parse::<u64>().ok())
             {
-                if it < checkpoint_iteration.get() {
+                if it < wm {
                     self.store.delete(&key)?;
                     removed += 1;
                 }
@@ -310,7 +379,7 @@ impl Drop for Logger {
     fn drop(&mut self) {
         self.flush();
         drop(self.tx.take());
-        if let Some(h) = self.writer.take() {
+        for h in self.writers.drain(..) {
             let _ = h.join();
         }
     }
@@ -467,6 +536,152 @@ mod tests {
         let key = full.store().list("wal/").unwrap().remove(0);
         let rec = crate::record::LogRecord::decode(half.store().get(&key).unwrap()).unwrap();
         assert!(rec.tensor.bit_eq(&t));
+    }
+
+    #[test]
+    fn bubble_budget_spills_synchronously_and_accounts_hidden_bytes() {
+        static TEST_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = TEST_GUARD.lock().unwrap();
+        let rec = std::sync::Arc::new(swift_obs::MemoryRecorder::new());
+        swift_obs::install(rec.clone());
+
+        let mut l = setup(LogMode::BubbleAsync);
+        let t = Tensor::ones([4]);
+        let one = crate::record::LogRecord::encoded_len(&t, false);
+        // Budget fits exactly one staged record; the second must spill.
+        l.set_bubble_budget(one);
+        l.log_send(1, 2, ctx(0, 0), MsgKind::Activation, &t);
+        l.log_send(1, 2, ctx(0, 1), MsgKind::Activation, &t);
+        assert_eq!(l.staged_len(), 1, "over-budget record must not stage");
+        assert_eq!(
+            l.store().list("wal/").unwrap().len(),
+            1,
+            "spilled record is immediately durable"
+        );
+        l.on_bubble();
+        l.flush();
+        swift_obs::uninstall();
+
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 2);
+        // Hidden vs spilled must partition the logged volume exactly.
+        assert_eq!(rec.counter(swift_obs::Counter::SpilledBytes), one as u64);
+        assert_eq!(rec.counter(swift_obs::Counter::BubbleBytes), one as u64);
+        assert_eq!(rec.counter(swift_obs::Counter::BytesLogged), 2 * one as u64);
+    }
+
+    #[test]
+    fn gc_drops_queued_but_unflushed_records() {
+        let mut l = setup(LogMode::BubbleAsync);
+        for it in 0..6u64 {
+            l.log_send(1, 2, ctx(it, 0), MsgKind::Activation, &Tensor::ones([2]));
+        }
+        assert_eq!(l.staged_len(), 6, "no bubble yet — everything staged");
+        // Checkpoint at iteration 4: the four staged records it supersedes
+        // must never reach the disk, even though they were never flushed.
+        let removed = l.gc_before(IterationId::new(4)).unwrap();
+        assert_eq!(removed, 4);
+        assert_eq!(l.staged_len(), 2);
+        l.flush();
+        let remaining = l.store().list("wal/").unwrap();
+        assert_eq!(remaining.len(), 2);
+        assert!(remaining
+            .iter()
+            .all(|k| k.contains("it000000000004") || k.contains("it000000000005")));
+    }
+
+    #[test]
+    fn writer_pool_persists_async_backlog() {
+        let mut l = setup(LogMode::Async);
+        for it in 0..8u64 {
+            for mb in 0..8 {
+                l.log_send(1, 2, ctx(it, mb), MsgKind::Activation, &Tensor::ones([16]));
+            }
+        }
+        l.flush();
+        assert_eq!(l.stats().records_written.load(Ordering::Relaxed), 64);
+        assert_eq!(l.store().list("wal/").unwrap().len(), 64);
+    }
+
+    /// One randomized round for the replay-equivalence proptest: logs the
+    /// same record stream through a synchronous logger and a background
+    /// (BubbleAsync, pooled-writer) logger with arbitrary bubble cadence,
+    /// a tight random budget (forcing spills), and a crash after `crash_at`
+    /// records followed by flush-on-failure. Replay reads both stores and
+    /// must see bitwise-identical tensors under identical keys.
+    fn background_replay_matches_sync(
+        n_records: usize,
+        bubble_every: usize,
+        budget: usize,
+        crash_at: usize,
+        seed: u64,
+    ) -> bool {
+        let topo = Topology::uniform(2, 1);
+        let mut sync = Logger::new(
+            LogMode::Sync,
+            topo.clone(),
+            GroupMap::singletons(2),
+            BlobStore::new_temp("wal-replay-sync").unwrap(),
+        );
+        let mut bg = Logger::new(
+            LogMode::BubbleAsync,
+            topo,
+            GroupMap::singletons(2),
+            BlobStore::new_temp("wal-replay-bg").unwrap(),
+        );
+        bg.set_bubble_budget(budget);
+
+        let crash_at = crash_at.min(n_records);
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f32 / (1u64 << 31) as f32 - 0.5
+        };
+        for i in 0..crash_at {
+            let t = Tensor::from_vec([3], vec![rng(), rng(), rng()]);
+            let c = ctx(i as u64 / 4, i as u64 % 4);
+            sync.log_send(0, 1, c, MsgKind::Activation, &t);
+            bg.log_send(0, 1, c, MsgKind::Activation, &t);
+            if bubble_every > 0 && (i + 1) % bubble_every == 0 {
+                bg.on_bubble();
+            }
+        }
+        // Crash: flush-on-failure barriers the queue before replay.
+        bg.flush();
+
+        let mut sync_keys = sync.store().list("wal/").unwrap();
+        let mut bg_keys = bg.store().list("wal/").unwrap();
+        sync_keys.sort();
+        bg_keys.sort();
+        if sync_keys != bg_keys {
+            return false;
+        }
+        sync_keys.iter().all(|k| {
+            let a = crate::record::LogRecord::decode(sync.store().get(k).unwrap()).unwrap();
+            let b = crate::record::LogRecord::decode(bg.store().get(k).unwrap()).unwrap();
+            a.tensor.bit_eq(&b.tensor)
+        })
+    }
+
+    mod proptests {
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn background_wal_replay_is_bitwise_equal_to_sync(
+                n_records in 1usize..24,
+                bubble_every in 0usize..6,
+                budget in 0usize..256,
+                crash_at in 0usize..24,
+                seed in 0u64..10_000,
+            ) {
+                prop_assert!(super::background_replay_matches_sync(
+                    n_records, bubble_every, budget, crash_at, seed
+                ));
+            }
+        }
     }
 
     #[test]

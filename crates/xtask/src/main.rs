@@ -18,15 +18,18 @@
 //! 2. **The `swift-verify` analyzers** (race / fsm / invert) against live
 //!    traced executions and the real transition table and update chains.
 //!
-//! `cargo xtask bench [--quick] [--json]` runs the recovery fast-path
-//! microbenchmarks (`swift-bench`'s `fastpath` binary, release profile):
+//! `cargo xtask bench [--quick] [--json]` runs the microbenchmark suites
+//! (`swift-bench`'s `fastpath` binary, release profile): the recovery
+//! fast-path suite and the collective/WAL overlap suite.
 //!
-//! - full mode with `--json` persists the results as `BENCH_pr3.json` at
-//!   the workspace root — the committed baseline;
+//! - full mode with `--json` persists each suite's results at the
+//!   workspace root (`BENCH_pr3.json` for the fast-path suite,
+//!   `BENCH_pr5.json` for the overlap suite) — the committed baselines;
 //! - `--quick` keeps the problem shapes but lowers repetitions, then
-//!   compares against the committed baseline and **fails if any bench
-//!   regressed more than 2×** (CI's `bench-smoke` gate). With `--json`
-//!   the quick results land in `target/bench-quick.json` for upload.
+//!   compares each suite against its committed baseline and **fails if
+//!   any bench regressed more than 2×** (CI's `bench-smoke` gate). With
+//!   `--json` the quick results land in `target/bench-<suite>-quick.json`
+//!   for upload.
 //!
 //! `cargo xtask timeline [--json]` runs the root `timeline` binary
 //! (release profile): instrumented chaos scenarios whose recovery spans
@@ -98,72 +101,86 @@ fn verify() -> ExitCode {
     }
 }
 
-/// The committed benchmark baseline the quick gate compares against.
-const BENCH_BASELINE: &str = "BENCH_pr3.json";
+/// The benchmark suites and the committed baseline each quick run gates
+/// against: the recovery fast path (PR 3) and the collective/WAL overlap
+/// layer (PR 5).
+const BENCH_SUITES: &[(&str, &str)] = &[
+    ("fastpath", "BENCH_pr3.json"),
+    ("overlap", "BENCH_pr5.json"),
+];
 /// How much slower a microbench may get before the quick gate fails.
 const BENCH_REGRESSION_FACTOR: u64 = 2;
 
 fn bench(quick: bool, json: bool) -> ExitCode {
     let root = workspace_root();
-    let out = if quick {
-        root.join("target/bench-quick.json")
-    } else {
-        root.join(BENCH_BASELINE)
-    };
-    let mut cmd = Command::new(env!("CARGO"));
-    cmd.args([
-        "run",
-        "-q",
-        "--release",
-        "-p",
-        "swift-bench",
-        "--bin",
-        "fastpath",
-        "--",
-    ]);
-    if quick {
-        cmd.arg("--quick");
-    }
-    cmd.args(["--out".as_ref(), out.as_os_str()]);
-    let status = cmd
-        .current_dir(&root)
-        .status()
-        .expect("failed to launch cargo");
-    if !status.success() {
-        eprintln!("xtask bench: benchmark run failed");
-        return ExitCode::FAILURE;
-    }
-    let current = std::fs::read_to_string(&out).expect("bench output exists");
-    if json {
-        println!("xtask bench: results written to {}", out.display());
-    }
-    if !quick {
-        return ExitCode::SUCCESS;
-    }
-    let baseline = match std::fs::read_to_string(root.join(BENCH_BASELINE)) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("xtask bench: no committed {BENCH_BASELINE} to compare against: {e}");
+    let mut failed = false;
+    for &(suite, baseline_file) in BENCH_SUITES {
+        let out = if quick {
+            root.join(format!("target/bench-{suite}-quick.json"))
+        } else {
+            root.join(baseline_file)
+        };
+        let mut cmd = Command::new(env!("CARGO"));
+        cmd.args([
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "swift-bench",
+            "--bin",
+            "fastpath",
+            "--",
+            "--suite",
+            suite,
+        ]);
+        if quick {
+            cmd.arg("--quick");
+        }
+        cmd.args(["--out".as_ref(), out.as_os_str()]);
+        let status = cmd
+            .current_dir(&root)
+            .status()
+            .expect("failed to launch cargo");
+        if !status.success() {
+            eprintln!("xtask bench: {suite} benchmark run failed");
             return ExitCode::FAILURE;
         }
-    };
-    match check_bench_regressions(&baseline, &current) {
-        Ok(()) => {
-            println!(
-                "xtask bench: no regression beyond {BENCH_REGRESSION_FACTOR}x vs {BENCH_BASELINE}"
-            );
-            ExitCode::SUCCESS
+        let current = std::fs::read_to_string(&out).expect("bench output exists");
+        if json {
+            println!("xtask bench: {suite} results written to {}", out.display());
         }
-        Err(failures) => {
-            for f in &failures {
-                eprintln!("  REGRESSION {f}");
+        if !quick {
+            continue;
+        }
+        let baseline = match std::fs::read_to_string(root.join(baseline_file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask bench: no committed {baseline_file} to compare against: {e}");
+                return ExitCode::FAILURE;
             }
-            eprintln!(
-                "xtask bench: {} regression(s) vs {BENCH_BASELINE}",
-                failures.len()
-            );
-            ExitCode::FAILURE
+        };
+        match check_bench_regressions(&baseline, &current) {
+            Ok(()) => {
+                println!(
+                    "xtask bench: {suite} has no regression beyond {BENCH_REGRESSION_FACTOR}x vs {baseline_file}"
+                );
+            }
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("  REGRESSION {f}");
+                }
+                eprintln!(
+                    "xtask bench: {} regression(s) in {suite} vs {baseline_file}",
+                    failures.len()
+                );
+                failed = true;
+            }
         }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

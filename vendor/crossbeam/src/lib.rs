@@ -93,6 +93,15 @@ pub mod channel {
         }
     }
 
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             self.shared.queue.lock().unwrap().receivers -= 1;
