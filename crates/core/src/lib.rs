@@ -12,6 +12,7 @@ pub mod fsdp;
 pub mod fsm;
 pub mod pipeline_ft;
 pub mod plan;
+pub mod process;
 pub mod replication;
 pub mod scenario;
 pub mod supervisor;
@@ -36,13 +37,19 @@ pub use pipeline_ft::{
     pipeline_train_iteration, DataSource, PipelineJob, PipelineWorker, RecoveryRole,
 };
 pub use plan::{ParallelismPlan, PlacementPolicy};
+pub use process::{
+    dp_reference_dataset, dp_reference_model, pipeline_reference_dataset, pipeline_reference_model,
+    run_process_scenario, worker_main, ProcessError, ProcessKind, ProcessOutcome, ProcessScenario,
+    RunLayout, REFERENCE_OPT,
+};
 pub use replication::{
     dp_train_step, replication_join, replication_join_supervised, replication_recover_supervised,
     replication_recover_survivor, CrashPoint, DpWorker,
 };
 pub use scenario::{
-    evaluate_state, optimizer_from_state, DatasetSource, DpScenario, DpScenarioBuilder, ModelFn,
-    PipelineScenario, PipelineScenarioBuilder, ScenarioResult,
+    dp_replacement_join, dp_worker_loop, evaluate_state, optimizer_from_state,
+    pipeline_replacement_recover, pipeline_worker_loop, DatasetSource, DpScenario,
+    DpScenarioBuilder, ModelFn, PipelineScenario, PipelineScenarioBuilder, ScenarioResult,
 };
 pub use supervisor::{supervise, wait_cascade_aware, PhaseTracker, RecoveryPhase, RecoveryReport};
 pub use tensor_parallel::TpLinear;

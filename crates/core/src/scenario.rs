@@ -204,6 +204,101 @@ pub struct ScenarioResult {
     pub trace: Option<Trace>,
 }
 
+/// One DP replica's steady-state + survivor-recovery loop — the code
+/// both backends run: the in-process scenario drives it on cluster
+/// threads, the process backend's `swift-worker` binary drives it in a
+/// real OS process over the socket transport. Keeping it shared is what
+/// makes the two backends bitwise-comparable.
+///
+/// Each iteration is published to `proc/progress/{rank}` in the KV store
+/// so an external supervisor can arm progress-based kill triggers
+/// (`CrashTrigger::KillProcess`) without any shared-memory oracle.
+pub fn dp_worker_loop(
+    mut ctx: WorkerCtx,
+    mut w: DpWorker,
+    replicas: &[Rank],
+    dataset: &dyn Dataset,
+    batch: usize,
+    iters: u64,
+    my_crash: Option<CrashPoint>,
+) -> (Option<ModelState>, Vec<f32>) {
+    let mut losses = Vec::new();
+    loop {
+        // Progress beacon for external (process) supervisors.
+        ctx.kv.set(
+            &format!("proc/progress/{}", ctx.rank()),
+            w.iteration.to_string(),
+        );
+        // Report progress to the fault injector so AtIteration crash
+        // triggers can fire; a killed worker unwinds here.
+        if ctx.note_iteration(w.iteration).is_err() {
+            return (None, losses);
+        }
+        if w.iteration >= iters {
+            return (Some(w.model.state()), losses);
+        }
+        let it = w.iteration;
+        let b = dataset_shard(dataset, it, batch, ctx.rank(), replicas.len());
+        match dp_train_step(
+            &mut ctx,
+            &mut w,
+            replicas,
+            &b.0,
+            &b.1,
+            1.0 / batch as f32,
+            my_crash,
+        ) {
+            Ok(loss) => {
+                // Sum of shard losses = global mean; approximate with
+                // rank-local contribution × world for reporting.
+                losses.push(loss * replicas.len() as f32);
+            }
+            Err(CommError::SelfKilled) => return (None, losses),
+            Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
+            Err(CommError::PeerFailed { .. }) => {
+                // Acknowledge detection under the *declared* failure
+                // epoch; the driver revives the machine only once every
+                // survivor has seen the failure (else a survivor could
+                // block on the revived-but-idle rank).
+                let epoch = failure_epoch(&ctx.kv);
+                ctx.kv.set(&format!("dp/ack/{epoch}/{}", ctx.rank()), "1");
+                assert!(
+                    RetryPolicy::poll().wait_until(|| ctx.kv.get("dp/replacement-up").is_some()),
+                    "replacement never came up"
+                );
+                replication_recover_supervised(
+                    &mut ctx,
+                    &mut w,
+                    replicas,
+                    &RetryPolicy::recovery(),
+                )
+                .expect("survivor recovery failed");
+            }
+        }
+    }
+}
+
+/// A DP replacement's join sequence: announce itself (releasing blocked
+/// survivors), then adopt a replica's state by supervised broadcast.
+/// Shared by the in-process driver and the `swift-worker` binary.
+pub fn dp_replacement_join(
+    rctx: &mut WorkerCtx,
+    model_fn: &dyn Fn() -> Sequential,
+    opt_kind: OptimizerKind,
+    replicas: &[Rank],
+) -> DpWorker {
+    rctx.kv.set("dp/replacement-up", "1");
+    let (w, _report) = replication_join_supervised(
+        rctx,
+        model_fn,
+        &|| opt_kind.build(),
+        replicas,
+        &RetryPolicy::recovery(),
+    )
+    .expect("replacement join failed");
+    w
+}
+
 fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
     let world = cfg.machines;
     let cluster = Cluster::new(Topology::uniform(world, 1));
@@ -218,7 +313,8 @@ fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
         p.crashes.first().map(|t| match t {
             CrashTrigger::AtNthSend { rank, .. }
             | CrashTrigger::AtNthDelivery { rank, .. }
-            | CrashTrigger::AtIteration { rank, .. } => *rank,
+            | CrashTrigger::AtIteration { rank, .. }
+            | CrashTrigger::KillProcess { rank, .. } => *rank,
         })
     });
     let doomed = cfg.crash.map(|(mach, _, _)| mach).or(trigger_victim);
@@ -234,68 +330,18 @@ fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
     // same (machine, iteration) coordinates and must not die again.
     let crash_armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
 
-    let worker_loop = move |mut ctx: WorkerCtx,
-                            mut w: DpWorker,
-                            replicas: Vec<Rank>|
-          -> (Option<ModelState>, Vec<f32>) {
-        let my_crash = crash.and_then(|(mach, it, groups)| {
-            (ctx.machine() == mach && crash_armed.swap(false, std::sync::atomic::Ordering::SeqCst))
+    let worker_loop =
+        move |ctx: WorkerCtx, w: DpWorker, replicas: Vec<Rank>| -> (Option<ModelState>, Vec<f32>) {
+            let my_crash = crash.and_then(|(mach, it, groups)| {
+                (ctx.machine() == mach
+                    && crash_armed.swap(false, std::sync::atomic::Ordering::SeqCst))
                 .then_some(CrashPoint {
                     iteration: it,
                     after_groups: groups,
                 })
-        });
-        let mut losses = Vec::new();
-        loop {
-            // Report progress to the fault injector so AtIteration crash
-            // triggers can fire; a killed worker unwinds here.
-            if ctx.note_iteration(w.iteration).is_err() {
-                return (None, losses);
-            }
-            if w.iteration >= iters {
-                return (Some(w.model.state()), losses);
-            }
-            let it = w.iteration;
-            let b = dataset_shard(&*dataset, it, batch, ctx.rank(), replicas.len());
-            match dp_train_step(
-                &mut ctx,
-                &mut w,
-                &replicas,
-                &b.0,
-                &b.1,
-                1.0 / batch as f32,
-                my_crash,
-            ) {
-                Ok(loss) => {
-                    // Sum of shard losses = global mean; approximate with
-                    // rank-local contribution × world for reporting.
-                    losses.push(loss * replicas.len() as f32);
-                }
-                Err(CommError::SelfKilled) => return (None, losses),
-                Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
-                Err(CommError::PeerFailed { .. }) => {
-                    // Acknowledge detection under the *declared* failure
-                    // epoch; the driver revives the machine only once every
-                    // survivor has seen the failure (else a survivor could
-                    // block on the revived-but-idle rank).
-                    let epoch = failure_epoch(&ctx.kv);
-                    ctx.kv.set(&format!("dp/ack/{epoch}/{}", ctx.rank()), "1");
-                    assert!(
-                        RetryPolicy::poll()
-                            .wait_until(|| ctx.kv.get("dp/replacement-up").is_some()),
-                        "replacement never came up"
-                    );
-                    replication_recover_supervised(
-                        &mut ctx,
-                        &mut w,
-                        &replicas,
-                        &RetryPolicy::recovery(),
-                    )
-                    .expect("survivor recovery failed");
-                }
-            }
-        }
-    };
+            });
+            dp_worker_loop(ctx, w, &replicas, &*dataset, batch, iters, my_crash)
+        };
 
     let mut handles = Vec::new();
     for rank in 0..world {
@@ -329,20 +375,11 @@ fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
         }
         fc.replace_machine(mach);
         let mut rctx = cluster.respawn(mach);
-        let kv = cluster.kv();
         let wl = worker_loop.clone();
         let mf = model_fn.clone();
         let all = replicas.clone();
         replacement_handle = Some(std::thread::spawn(move || {
-            kv.set("dp/replacement-up", "1");
-            let (w, _report) = replication_join_supervised(
-                &mut rctx,
-                &*mf,
-                &|| opt_kind.build(),
-                &all,
-                &RetryPolicy::recovery(),
-            )
-            .expect("replacement join failed");
+            let w = dp_replacement_join(&mut rctx, &*mf, opt_kind, &all);
             wl(rctx, w, all)
         }));
     }
@@ -551,6 +588,211 @@ impl PipelineScenarioBuilder {
     }
 }
 
+/// One pipeline stage's steady-state + survivor-recovery loop — like
+/// [`dp_worker_loop`], the exact code both the in-process scenario and
+/// the process backend's `swift-worker` binary run. Covers training,
+/// checkpointing, the survivor side of logging recovery (undo,
+/// consensus, log upload, optional assist replay) and the resume fence.
+#[allow(clippy::too_many_arguments)]
+pub fn pipeline_worker_loop(
+    mut ctx: WorkerCtx,
+    mut w: PipelineWorker,
+    job: &PipelineJob,
+    data: &dyn DataSource,
+    iters: u64,
+    make_stage: &dyn Fn(usize) -> Sequential,
+    opt_kind: OptimizerKind,
+    d: usize,
+) -> (Option<ModelState>, Vec<f32>) {
+    let all_ranks = job.stage_ranks.clone();
+    let global = w.global.clone();
+    let mut losses = Vec::new();
+    loop {
+        // Progress beacon for external (process) supervisors.
+        ctx.kv.set(
+            &format!("proc/progress/{}", ctx.rank()),
+            w.iteration.to_string(),
+        );
+        if w.iteration >= iters {
+            return (Some(w.model.state()), losses);
+        }
+        // Report progress to the fault injector; an `AtIteration`
+        // crash trigger takes this machine down right here.
+        if ctx.note_iteration(w.iteration).is_err() {
+            return (None, losses);
+        }
+        match pipeline_train_iteration(&mut ctx, job, &mut w, data) {
+            Ok(l) => {
+                if w.stage + 1 == job.num_stages() {
+                    losses.push(l);
+                }
+                pipeline_maybe_checkpoint(job, &mut w).unwrap();
+            }
+            Err(CommError::SelfKilled) => return (None, losses),
+            Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
+            Err(CommError::PeerFailed { rank: failed_rank }) => {
+                // The failed machine's rank comes from the error
+                // (the detection paths declare before returning);
+                // all recovery namespaces derive from the declared
+                // failure epoch.
+                let generation = failure_epoch(&ctx.kv);
+                let survivors: Vec<Rank> = all_ranks
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != failed_rank)
+                    .collect();
+                let consensus = pipeline_on_failure_survivor(&mut ctx, &mut w, &survivors).unwrap();
+                let assistants: Vec<Rank> = survivors.iter().copied().take(d - 1).collect();
+                if assistants.contains(&ctx.rank()) {
+                    assist_replay(
+                        &mut ctx,
+                        job,
+                        &make_stage,
+                        &global,
+                        opt_kind,
+                        data,
+                        failed_rank,
+                        &assistants,
+                        consensus,
+                        generation,
+                        d,
+                    );
+                }
+                // Rendezvous with the replacement, then resume.
+                let me = ctx.rank();
+                swift_obs::emit(|| Event::PhaseBegin {
+                    rank: me,
+                    epoch: generation,
+                    phase: Phase::Resume,
+                });
+                recovery_fence(&mut ctx, generation.fence_channel(2), &all_ranks).unwrap();
+                swift_obs::emit(|| Event::PhaseEnd {
+                    rank: me,
+                    epoch: generation,
+                    phase: Phase::Resume,
+                });
+            }
+        }
+    }
+}
+
+/// The pipeline replacement's recovery sequence before it joins
+/// [`pipeline_worker_loop`]: load the latest checkpoint, adopt the
+/// survivors' consensus iteration, fence with the replay group, replay
+/// the log, and pass the resume fence. Returns with `w` positioned at
+/// the consensus iteration. Shared by the in-process driver and the
+/// `swift-worker` binary.
+pub fn pipeline_replacement_recover(
+    rctx: &mut WorkerCtx,
+    w: &mut PipelineWorker,
+    job: &PipelineJob,
+    data: &dyn DataSource,
+    d: usize,
+) {
+    let mach = rctx.rank();
+    let stages = job.num_stages();
+    let survivors: Vec<Rank> = job
+        .stage_ranks
+        .iter()
+        .copied()
+        .filter(|&r| r != mach)
+        .collect();
+    let trace_t0 = std::time::Instant::now();
+    let trace_mark = |kv: &swift_net::KvStore, phase: &str, since: std::time::Instant| {
+        kv.incr("trace/seq");
+        let seq: i64 = kv.get("trace/seq").unwrap().parse().unwrap();
+        kv.set(
+            &format!("trace/{seq:04}"),
+            format!("{phase}={:.3}", since.elapsed().as_secs_f64() * 1000.0),
+        );
+    };
+    // Load the latest checkpoint from the global store.
+    let (from, consensus) = {
+        let ckpt = w.ckpt.load_latest().unwrap();
+        let from = match ckpt {
+            Some(c) => {
+                w.model.load_state(&c.model);
+                w.opt.load_state(&c.optim);
+                c.iteration
+            }
+            None => 0,
+        };
+        // Consensus published by the survivors.
+        let generation = failure_epoch(&rctx.kv);
+        let policy = RetryPolicy::poll();
+        let mut consensus = u64::MAX;
+        for &r in &survivors {
+            let key = format!("consensus/{generation}/{r}");
+            assert!(
+                policy.wait_until(|| rctx.kv.get(&key).is_some()),
+                "no consensus"
+            );
+            consensus = consensus.min(rctx.kv.get(&key).unwrap().parse().unwrap());
+        }
+        (from, consensus)
+    };
+    w.iteration = from;
+    trace_mark(&rctx.kv, "checkpoint-loaded+consensus", trace_t0);
+    let generation = failure_epoch(&rctx.kv);
+    let replay_ranks = replay_participants(mach, &survivors, d);
+    // Fence phase: the replay-group rendezvous. Recorded even when
+    // the replacement replays alone (d = 1) so the per-incident
+    // breakdown always carries a (possibly empty) fence segment.
+    swift_obs::emit(|| Event::PhaseBegin {
+        rank: mach,
+        epoch: generation,
+        phase: Phase::Fence,
+    });
+    if replay_ranks.len() > 1 {
+        recovery_fence(rctx, generation.fence_channel(1), &replay_ranks).unwrap();
+    }
+    swift_obs::emit(|| Event::PhaseEnd {
+        rank: mach,
+        epoch: generation,
+        phase: Phase::Fence,
+    });
+    let reader = WalReader::new(w.global.blob().clone());
+    let role = RecoveryRole {
+        stage: job.stage_of(mach),
+        recovered_stages: vec![job.stage_of(mach)],
+        group_ranks: vec![mach],
+        replica: 0,
+        num_replicas: d,
+        allreduce_peers: replay_ranks.clone(),
+    };
+    pipeline_replay(
+        rctx,
+        job,
+        &role,
+        &mut w.model,
+        &mut *w.opt,
+        &reader,
+        data,
+        from,
+        consensus,
+    )
+    .unwrap();
+    w.iteration = consensus;
+    trace_mark(&rctx.kv, "replay-done", trace_t0);
+    swift_obs::emit(|| Event::PhaseBegin {
+        rank: mach,
+        epoch: generation,
+        phase: Phase::Resume,
+    });
+    recovery_fence(
+        rctx,
+        generation.fence_channel(2),
+        &(0..stages).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    swift_obs::emit(|| Event::PhaseEnd {
+        rank: mach,
+        epoch: generation,
+        phase: Phase::Resume,
+    });
+    trace_mark(&rctx.kv, "resume-fence-done", trace_t0);
+}
+
 fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioResult {
     let stages = cfg.stages;
     let cluster = Cluster::new(Topology::uniform(stages, 1));
@@ -580,7 +822,20 @@ fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioRes
         ckpt_interval: cfg.ckpt_interval,
         batch_size: cfg.batch_size,
     };
-    let had_crash = cfg.crash.is_some();
+    // A machine doomed to die: the scripted crash or a crash trigger in
+    // the fault plan — either way the driver must respawn a replacement
+    // once the failure is declared, or the survivors' recovery fence
+    // waits forever for the dead rank's seq.
+    let trigger_victim = cfg.faults.as_ref().and_then(|p| {
+        p.crashes.first().map(|t| match t {
+            CrashTrigger::AtNthSend { rank, .. }
+            | CrashTrigger::AtNthDelivery { rank, .. }
+            | CrashTrigger::AtIteration { rank, .. }
+            | CrashTrigger::KillProcess { rank, .. } => *rank,
+        })
+    });
+    let doomed = cfg.crash.map(|(mach, _)| mach).or(trigger_victim);
+    let had_crash = doomed.is_some();
     let d = cfg.parallel_recovery.max(1);
 
     let model_fn = cfg.model_fn.clone();
@@ -626,7 +881,6 @@ fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioRes
     });
 
     let iters = cfg.iters;
-    let all_ranks: Vec<Rank> = (0..stages).collect();
 
     // Survivor/steady-state loop, shared by original and replacement
     // workers.
@@ -635,73 +889,8 @@ fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioRes
         let job = job.clone();
         let data = data.clone();
         let make_stage = make_stage.clone();
-        let all_ranks = all_ranks.clone();
-        let global = global.clone();
-        move |mut ctx: WorkerCtx, mut w: PipelineWorker| -> (Option<ModelState>, Vec<f32>) {
-            let mut losses = Vec::new();
-            loop {
-                if w.iteration >= iters {
-                    return (Some(w.model.state()), losses);
-                }
-                // Report progress to the fault injector; an `AtIteration`
-                // crash trigger takes this machine down right here.
-                if ctx.note_iteration(w.iteration).is_err() {
-                    return (None, losses);
-                }
-                match pipeline_train_iteration(&mut ctx, &job, &mut w, &*data) {
-                    Ok(l) => {
-                        if w.stage + 1 == job.num_stages() {
-                            losses.push(l);
-                        }
-                        pipeline_maybe_checkpoint(&job, &mut w).unwrap();
-                    }
-                    Err(CommError::SelfKilled) => return (None, losses),
-                    Err(e @ CommError::Protocol { .. }) => panic!("protocol bug: {e}"),
-                    Err(CommError::PeerFailed { rank: failed_rank }) => {
-                        // The failed machine's rank comes from the error
-                        // (the detection paths declare before returning);
-                        // all recovery namespaces derive from the declared
-                        // failure epoch.
-                        let generation = failure_epoch(&ctx.kv);
-                        let survivors: Vec<Rank> = all_ranks
-                            .iter()
-                            .copied()
-                            .filter(|&r| r != failed_rank)
-                            .collect();
-                        let consensus =
-                            pipeline_on_failure_survivor(&mut ctx, &mut w, &survivors).unwrap();
-                        let assistants: Vec<Rank> = survivors.iter().copied().take(d - 1).collect();
-                        if assistants.contains(&ctx.rank()) {
-                            assist_replay(
-                                &mut ctx,
-                                &job,
-                                &make_stage,
-                                &global,
-                                opt_kind,
-                                &*data,
-                                failed_rank,
-                                &assistants,
-                                consensus,
-                                generation,
-                                d,
-                            );
-                        }
-                        // Rendezvous with the replacement, then resume.
-                        let me = ctx.rank();
-                        swift_obs::emit(|| Event::PhaseBegin {
-                            rank: me,
-                            epoch: generation,
-                            phase: Phase::Resume,
-                        });
-                        recovery_fence(&mut ctx, generation.fence_channel(2), &all_ranks).unwrap();
-                        swift_obs::emit(|| Event::PhaseEnd {
-                            rank: me,
-                            epoch: generation,
-                            phase: Phase::Resume,
-                        });
-                    }
-                }
-            }
+        move |ctx: WorkerCtx, w: PipelineWorker| -> (Option<ModelState>, Vec<f32>) {
+            pipeline_worker_loop(ctx, w, &job, &*data, iters, &make_stage, opt_kind, d)
         }
     };
 
@@ -717,7 +906,7 @@ fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioRes
     }
 
     let mut replacement_handle = None;
-    if let Some((mach, _)) = cfg.crash {
+    if let Some(mach) = doomed {
         // Wait for the failure to be *declared* in the KV store and for
         // every survivor to publish its consensus iteration (proof it
         // detected the failure) before reviving the machine.
@@ -740,104 +929,10 @@ fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioRes
         let mw = make_worker.clone();
         let job2 = job.clone();
         let data2 = data.clone();
-        let survivors: Vec<Rank> = (0..stages).filter(|&r| r != mach).collect();
         replacement_handle = Some(std::thread::spawn(move || {
-            let trace_t0 = std::time::Instant::now();
-            let trace_mark = |kv: &swift_net::KvStore, phase: &str, since: std::time::Instant| {
-                kv.incr("trace/seq");
-                let seq: i64 = kv.get("trace/seq").unwrap().parse().unwrap();
-                kv.set(
-                    &format!("trace/{seq:04}"),
-                    format!("{phase}={:.3}", since.elapsed().as_secs_f64() * 1000.0),
-                );
-            };
             let topo = rctx.topology.clone();
             let mut w = mw(mach, &topo, mach);
-            // Load the latest checkpoint from the global store.
-            let (from, consensus) = {
-                let ckpt = w.ckpt.load_latest().unwrap();
-                let from = match ckpt {
-                    Some(c) => {
-                        w.model.load_state(&c.model);
-                        w.opt.load_state(&c.optim);
-                        c.iteration
-                    }
-                    None => 0,
-                };
-                // Consensus published by the survivors.
-                let generation = failure_epoch(&rctx.kv);
-                let policy = RetryPolicy::poll();
-                let mut consensus = u64::MAX;
-                for &r in &survivors {
-                    let key = format!("consensus/{generation}/{r}");
-                    assert!(
-                        policy.wait_until(|| rctx.kv.get(&key).is_some()),
-                        "no consensus"
-                    );
-                    consensus = consensus.min(rctx.kv.get(&key).unwrap().parse().unwrap());
-                }
-                (from, consensus)
-            };
-            w.iteration = from;
-            trace_mark(&rctx.kv, "checkpoint-loaded+consensus", trace_t0);
-            let generation = failure_epoch(&rctx.kv);
-            let replay_ranks = replay_participants(mach, &survivors, d);
-            // Fence phase: the replay-group rendezvous. Recorded even when
-            // the replacement replays alone (d = 1) so the per-incident
-            // breakdown always carries a (possibly empty) fence segment.
-            swift_obs::emit(|| Event::PhaseBegin {
-                rank: mach,
-                epoch: generation,
-                phase: Phase::Fence,
-            });
-            if replay_ranks.len() > 1 {
-                recovery_fence(&mut rctx, generation.fence_channel(1), &replay_ranks).unwrap();
-            }
-            swift_obs::emit(|| Event::PhaseEnd {
-                rank: mach,
-                epoch: generation,
-                phase: Phase::Fence,
-            });
-            let reader = WalReader::new(w.global.blob().clone());
-            let role = RecoveryRole {
-                stage: job2.stage_of(mach),
-                recovered_stages: vec![job2.stage_of(mach)],
-                group_ranks: vec![mach],
-                replica: 0,
-                num_replicas: d,
-                allreduce_peers: replay_ranks.clone(),
-            };
-            pipeline_replay(
-                &mut rctx,
-                &job2,
-                &role,
-                &mut w.model,
-                &mut *w.opt,
-                &reader,
-                &*data2,
-                from,
-                consensus,
-            )
-            .unwrap();
-            w.iteration = consensus;
-            trace_mark(&rctx.kv, "replay-done", trace_t0);
-            swift_obs::emit(|| Event::PhaseBegin {
-                rank: mach,
-                epoch: generation,
-                phase: Phase::Resume,
-            });
-            recovery_fence(
-                &mut rctx,
-                generation.fence_channel(2),
-                &(0..stages).collect::<Vec<_>>(),
-            )
-            .unwrap();
-            swift_obs::emit(|| Event::PhaseEnd {
-                rank: mach,
-                epoch: generation,
-                phase: Phase::Resume,
-            });
-            trace_mark(&rctx.kv, "resume-fence-done", trace_t0);
+            pipeline_replacement_recover(&mut rctx, &mut w, &job2, &*data2, d);
             wl(rctx, w)
         }));
     }
@@ -853,7 +948,7 @@ fn run_pipeline_scenario_impl(cfg: PipelineScenario, trace: bool) -> ScenarioRes
     }
     if let Some(h) = replacement_handle {
         let (state, l) = h.join().expect("replacement panicked");
-        let (mach, _) = cfg.crash.unwrap();
+        let mach = doomed.unwrap();
         if !l.is_empty() {
             losses = l; // replacement hosted the last stage
         }

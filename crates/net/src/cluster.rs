@@ -30,6 +30,19 @@ pub enum ClusterError {
         /// The world size it must be below.
         world: usize,
     },
+    /// An OS-level spawn (worker or detector thread) failed.
+    SpawnFailed {
+        /// What was being spawned.
+        what: String,
+        /// The OS error.
+        detail: String,
+    },
+    /// Heartbeat lease parameters that cannot work (e.g. a lease shorter
+    /// than the beat interval allows).
+    InvalidHeartbeatConfig {
+        /// What is wrong with them.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -40,6 +53,12 @@ impl std::fmt::Display for ClusterError {
             }
             ClusterError::UnknownRank { rank, world } => {
                 write!(f, "rank {rank} outside world of size {world}")
+            }
+            ClusterError::SpawnFailed { what, detail } => {
+                write!(f, "failed to spawn {what}: {detail}")
+            }
+            ClusterError::InvalidHeartbeatConfig { detail } => {
+                write!(f, "invalid heartbeat config: {detail}")
             }
         }
     }
@@ -62,6 +81,25 @@ pub struct WorkerCtx {
 }
 
 impl WorkerCtx {
+    /// Assembles a context from its parts — the process backend's
+    /// constructor: a `swift-worker` process builds its communicator
+    /// over a socket transport and its KV handle over the supervisor's
+    /// socket, then wraps them here to run the same worker loops the
+    /// in-process cluster drives.
+    pub fn from_parts(
+        comm: Comm,
+        kv: KvStore,
+        topology: Topology,
+        heartbeat: Option<Heartbeat>,
+    ) -> Self {
+        WorkerCtx {
+            comm,
+            kv,
+            topology,
+            heartbeat,
+        }
+    }
+
     /// This worker's rank.
     pub fn rank(&self) -> Rank {
         self.comm.rank()
@@ -136,6 +174,13 @@ impl ClusterBuilder {
     pub fn heartbeats(mut self, cfg: HeartbeatConfig) -> Self {
         self.heartbeats = Some(cfg);
         self
+    }
+
+    /// Enables heartbeat-lease failure detection with the defaults as
+    /// overridden by `SWIFT_HEARTBEAT_MS` / `SWIFT_LEASE_MS` (validated:
+    /// the lease must exceed twice the beat interval).
+    pub fn heartbeats_from_env(self) -> Result<Self, ClusterError> {
+        Ok(self.heartbeats(HeartbeatConfig::from_env()?))
     }
 
     /// Enables protocol tracing (retrievable afterwards via
@@ -231,17 +276,28 @@ impl Cluster {
 
     /// Turns on heartbeat-lease failure detection: every context taken
     /// from now on publishes a lease, and a monitor thread declares
-    /// ranks whose lease goes stale. Idempotent.
+    /// ranks whose lease goes stale. Idempotent. Panicking convenience
+    /// wrapper around [`Cluster::try_enable_heartbeats`].
     pub fn enable_heartbeats(&self, cfg: HeartbeatConfig) {
+        if let Err(e) = self.try_enable_heartbeats(cfg) {
+            panic!("{e}");
+        }
+    }
+
+    /// Turns on heartbeat-lease failure detection, surfacing an invalid
+    /// lease configuration or a failed monitor spawn as a typed error.
+    pub fn try_enable_heartbeats(&self, cfg: HeartbeatConfig) -> Result<(), ClusterError> {
+        cfg.validate()?;
         *self.hb_cfg.lock() = Some(cfg);
         let mut mon = self.monitor.lock();
         if mon.is_none() {
-            *mon = Some(HeartbeatMonitor::start(
+            *mon = Some(HeartbeatMonitor::try_start(
                 self.kv.clone(),
                 cfg,
                 self.topology.world_size(),
-            ));
+            )?);
         }
+        Ok(())
     }
 
     /// Stops the heartbeat monitor (graceful shutdown: a driver that is
@@ -293,7 +349,7 @@ impl Cluster {
         })?;
         let comm = slot.take().ok_or(ClusterError::CtxAlreadyTaken { rank })?;
         drop(pending);
-        Ok(self.make_ctx(comm))
+        self.try_make_ctx(comm)
     }
 
     /// Takes the worker context for `rank` (exactly once per rank; use
@@ -304,41 +360,71 @@ impl Cluster {
             .unwrap_or_else(|e| panic!("take_ctx: {e}"))
     }
 
-    fn make_ctx(&self, comm: Comm) -> WorkerCtx {
-        let heartbeat = (*self.hb_cfg.lock()).map(|cfg| {
-            Heartbeat::start(
+    fn try_make_ctx(&self, comm: Comm) -> Result<WorkerCtx, ClusterError> {
+        let heartbeat = match *self.hb_cfg.lock() {
+            Some(cfg) => Some(Heartbeat::try_start(
                 self.kv.clone(),
                 comm.rank(),
                 cfg,
                 self.fc.clone(),
                 self.fabric.injector(),
-            )
-        });
-        WorkerCtx {
+            )?),
+            None => None,
+        };
+        Ok(WorkerCtx {
             comm,
             kv: self.kv.clone(),
             topology: self.topology.clone(),
             heartbeat,
-        }
+        })
     }
 
-    /// Spawns a worker thread for `rank` running `f`.
+    /// Spawns a worker thread for `rank` running `f`. Panicking
+    /// convenience wrapper around [`Cluster::try_spawn`] for test
+    /// drivers.
     pub fn spawn<R, F>(&self, rank: Rank, f: F) -> thread::JoinHandle<R>
     where
         R: Send + 'static,
         F: FnOnce(WorkerCtx) -> R + Send + 'static,
     {
-        let ctx = self.take_ctx(rank);
+        match self.try_spawn(rank, f) {
+            Ok(h) => h,
+            Err(e) => panic!("spawn: {e}"),
+        }
+    }
+
+    /// Spawns a worker thread for `rank` running `f`, surfacing a taken
+    /// context or a failed OS spawn as a typed error.
+    pub fn try_spawn<R, F>(&self, rank: Rank, f: F) -> Result<thread::JoinHandle<R>, ClusterError>
+    where
+        R: Send + 'static,
+        F: FnOnce(WorkerCtx) -> R + Send + 'static,
+    {
+        let ctx = self.try_take_ctx(rank)?;
         thread::Builder::new()
             .name(format!("worker-{rank}"))
             .spawn(move || f(ctx))
-            .expect("failed to spawn worker thread")
+            .map_err(|e| ClusterError::SpawnFailed {
+                what: format!("worker thread for rank {rank}"),
+                detail: e.to_string(),
+            })
     }
 
     /// Creates a fresh context for a *replacement* worker under an
     /// existing rank (after [`FailureController::replace_machine`]): new
-    /// inbox, stale messages discarded.
+    /// inbox, stale messages discarded. Panicking convenience wrapper
+    /// around [`Cluster::try_respawn`].
     pub fn respawn(&self, rank: Rank) -> WorkerCtx {
+        match self.try_respawn(rank) {
+            Ok(ctx) => ctx,
+            Err(e) => panic!("respawn: {e}"),
+        }
+    }
+
+    /// Creates a fresh context for a *replacement* worker under an
+    /// existing rank, surfacing a failed heartbeat spawn as a typed
+    /// error.
+    pub fn try_respawn(&self, rank: Rank) -> Result<WorkerCtx, ClusterError> {
         let comm = respawn_comm(
             &self.fabric,
             rank,
@@ -346,7 +432,7 @@ impl Cluster {
             self.fc.clone(),
             self.kv.clone(),
         );
-        self.make_ctx(comm)
+        self.try_make_ctx(comm)
     }
 
     /// Runs `f` on every rank and joins all threads, returning results in
@@ -366,7 +452,12 @@ impl Cluster {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise the worker's own panic payload rather than
+                // wrapping it (the caller sees the original message).
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     }
 }
@@ -733,7 +824,7 @@ mod tests {
         // receives after the communicator has advanced generations (the
         // recovery fence's bulkhead against pre-failure stragglers).
         let cluster = Cluster::new(Topology::uniform(2, 1));
-        let ctx0 = cluster.take_ctx(0);
+        let mut ctx0 = cluster.take_ctx(0);
         let mut ctx1 = cluster.take_ctx(1);
         ctx0.comm.send_tensor(1, 5, &Tensor::scalar(-7.0)).unwrap();
         // Both sides move to generation 1 (as the recovery fence does)

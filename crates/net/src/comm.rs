@@ -1,9 +1,11 @@
-//! Point-to-point and collective communication over in-process channels,
-//! with NCCL-style asynchronous failure propagation.
+//! Point-to-point and collective communication with NCCL-style
+//! asynchronous failure propagation, generic over the fabric.
 //!
-//! Each rank owns a [`Comm`] handle. Sends are non-blocking (unbounded
-//! channels); receives block with a poll loop that doubles as the failure
-//! detector — the analogue of the paper's background thread polling
+//! Each rank owns a [`Comm`] handle over a [`Transport`] backend — the
+//! in-process channel fabric by default, or one OS process per rank over
+//! Unix sockets ([`crate::socket`]). Sends are non-blocking; receives
+//! block with a poll loop that doubles as the failure detector — the
+//! analogue of the paper's background thread polling
 //! `ncclCommGetAsyncError()` (§6). Detection uses only *observable*
 //! signals: severed fabric links (the victim's NIC going dark), channel
 //! disconnects, and the key-value failure state published by other
@@ -17,7 +19,10 @@
 //!   (repaired by retransmission) and duplicates;
 //! - the sender's failure *generation*: receivers drop traffic from
 //!   generations older than their own, so delayed pre-failure messages
-//!   can never satisfy post-recovery receives;
+//!   can never satisfy post-recovery receives. Stream counters are
+//!   per-generation on both sides — the recovery fence rolls every
+//!   surviving and replacement stream back to position zero, which is
+//!   the only contract a freshly-exec'd replacement *process* can keep;
 //! - a `deliver_at` timestamp, the injector's delivery-delay lever.
 
 use std::collections::HashMap;
@@ -26,7 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use swift_obs::Epoch;
 use swift_tensor::{decode_slice, encode, Tensor};
@@ -37,6 +42,7 @@ use crate::faults::{FaultInjector, SendFate};
 use crate::kv::KvStore;
 use crate::topology::Rank;
 use crate::trace::Tracer;
+use crate::transport::{ChannelTransport, Frame, RecvEvent, TransmitOutcome, Transport};
 
 /// Tag bit reserved for internal collective sequencing; user tags must
 /// leave it clear.
@@ -67,45 +73,20 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
-/// One in-flight message.
-#[derive(Debug, Clone)]
-struct Message {
-    src: Rank,
-    tag: u64,
-    /// Position in the per-`(src, dst, tag)` stream. Receivers deliver
-    /// each stream strictly in order, exactly once.
-    tag_seq: u64,
-    /// Sender's failure generation; receivers fence older generations.
-    generation: u64,
-    /// Earliest delivery time (injected delay; `now` when fault-free).
-    deliver_at: Instant,
-    payload: Bytes,
-    /// Sender's vector clock at send time (tracing enabled only).
-    vc: Option<Arc<Vec<u64>>>,
-}
-
-/// Sender-side stream state for one `(src, dst)` link. Lives in the
-/// fabric (not the `Comm`), so a replacement worker under the same rank
-/// transparently continues its predecessor's outbound stream positions —
-/// which is exactly what survivors' delivery cursors expect. Streams
-/// *into* a respawned rank are the one exception: its inbox starts empty,
-/// so [`Fabric::reset_links_into`] restarts them from zero.
+/// Sender-side stream state for one `(src, dst)` link, scoped to one
+/// failure generation: the first transmit at a newer generation clears
+/// the per-tag counters, so every stream restarts from position zero
+/// after a recovery fence — matching the receiver, whose cursors reset
+/// when it synchronizes its generation. (`link_seq` stays monotonic
+/// across generations; it keys the injector's RNG.)
 #[derive(Debug, Default)]
 struct LinkState {
     /// Messages ever pushed onto this link (keys the injector's RNG).
     link_seq: u64,
-    /// Next sequence number per tag.
+    /// Generation the per-tag counters belong to.
+    generation: u64,
+    /// Next sequence number per tag, within `generation`.
     tag_seqs: HashMap<u64, u64>,
-}
-
-/// What became of a [`Fabric::transmit`] call.
-enum Transmit {
-    Sent,
-    /// A crash trigger fired on the sender mid-send; the message died
-    /// with the machine.
-    SenderCrashed,
-    /// The destination inbox no longer exists.
-    PeerGone,
 }
 
 /// Shared channel fabric: one inbox per rank, senders replaceable so a
@@ -117,7 +98,7 @@ enum Transmit {
 /// [`FailureController::on_transition`] observer), which survivors see as
 /// connection errors — no ground-truth liveness is consulted.
 pub struct Fabric {
-    senders: RwLock<Vec<Sender<Message>>>,
+    senders: RwLock<Vec<Sender<Frame>>>,
     /// Per-rank "NIC is reachable".
     link_up: Vec<AtomicBool>,
     /// Sender-side stream counters.
@@ -171,19 +152,25 @@ impl Fabric {
 
     /// Stamps sequence numbers, consults the injector for the message's
     /// fate, and enqueues the surviving copies.
-    fn transmit(
+    pub(crate) fn transmit(
         &self,
         src: Rank,
         dst: Rank,
         generation: u64,
         tag: u64,
         payload: Bytes,
-    ) -> Transmit {
+    ) -> TransmitOutcome {
         let (copies, tag_seq) = {
             let mut links = self.links.lock();
             let ls = links.entry((src, dst)).or_default();
             let link_seq = ls.link_seq;
             ls.link_seq += 1;
+            if generation > ls.generation {
+                // First transmit of a new generation: the recovery fence
+                // rolled both ends of every stream back to zero.
+                ls.generation = generation;
+                ls.tag_seqs.clear();
+            }
             let seq = ls.tag_seqs.entry(tag).or_insert(0);
             let tag_seq = *seq;
             *seq += 1;
@@ -195,7 +182,7 @@ impl Fabric {
                 },
             };
             if fate.crashed {
-                return Transmit::SenderCrashed;
+                return TransmitOutcome::SenderCrashed;
             }
             (fate.copies, tag_seq)
         };
@@ -207,7 +194,7 @@ impl Fabric {
         let sender = self.senders.read()[dst].clone();
         let now = Instant::now();
         for delay in copies {
-            let msg = Message {
+            let msg = Frame {
                 src,
                 tag,
                 tag_seq,
@@ -217,23 +204,24 @@ impl Fabric {
                 vc: vc.clone(),
             };
             if sender.send(msg).is_err() {
-                return Transmit::PeerGone;
+                return TransmitOutcome::PeerGone;
             }
         }
-        Transmit::Sent
+        TransmitOutcome::Sent
     }
 }
 
-/// A per-rank communicator handle.
+/// A per-rank communicator handle, generic over the [`Transport`]
+/// backend carrying its frames.
 pub struct Comm {
     rank: Rank,
     world: usize,
-    fabric: Arc<Fabric>,
-    inbox: Receiver<Message>,
+    transport: Box<dyn Transport>,
     /// Out-of-order stash for messages that arrived early (wrong stream,
     /// future sequence number, or injected delay not yet elapsed).
-    stash: Vec<Message>,
-    /// Next expected `tag_seq` per `(src, tag)` stream.
+    stash: Vec<Frame>,
+    /// Next expected `tag_seq` per `(src, tag)` stream, within the
+    /// current generation.
     expected: HashMap<(Rank, u64), u64>,
     fc: Arc<FailureController>,
     kv: KvStore,
@@ -248,31 +236,6 @@ pub struct Comm {
 
 /// Poll interval while blocked in `recv` (the failure-detector cadence).
 const POLL: Duration = Duration::from_micros(200);
-
-fn new_comm(
-    rank: Rank,
-    world: usize,
-    fabric: Arc<Fabric>,
-    inbox: Receiver<Message>,
-    fc: Arc<FailureController>,
-    kv: KvStore,
-    generation: u64,
-) -> Comm {
-    Comm {
-        rank,
-        world,
-        fabric,
-        inbox,
-        stash: Vec::new(),
-        expected: HashMap::new(),
-        fc,
-        kv,
-        generation: AtomicU64::new(generation),
-        coll_seq: AtomicU64::new(0),
-        bytes_sent: AtomicU64::new(0),
-        bytes_received: AtomicU64::new(0),
-    }
-}
 
 /// Builds the fabric and one `Comm` per rank. The failure controller's
 /// kill/replace transitions are wired to the fabric's link state, which
@@ -309,11 +272,10 @@ pub fn build_comms(
         .into_iter()
         .enumerate()
         .map(|(rank, inbox)| {
-            new_comm(
+            Comm::over_transport(
                 rank,
                 world,
-                fabric.clone(),
-                inbox,
+                Box::new(ChannelTransport::new(fabric.clone(), rank, inbox)),
                 fc.clone(),
                 kv.clone(),
                 epoch,
@@ -339,10 +301,43 @@ pub fn respawn_comm(
     fabric.senders.write()[rank] = s;
     fabric.reset_links_into(rank);
     let epoch = detector::failure_epoch(&kv).get();
-    new_comm(rank, world, fabric.clone(), r, fc, kv, epoch)
+    Comm::over_transport(
+        rank,
+        world,
+        Box::new(ChannelTransport::new(fabric.clone(), rank, r)),
+        fc,
+        kv,
+        epoch,
+    )
 }
 
 impl Comm {
+    /// Builds a communicator over an arbitrary transport backend, joining
+    /// at failure `generation`. The in-process paths use [`build_comms`];
+    /// process workers wrap a socket transport here.
+    pub fn over_transport(
+        rank: Rank,
+        world: usize,
+        transport: Box<dyn Transport>,
+        fc: Arc<FailureController>,
+        kv: KvStore,
+        generation: u64,
+    ) -> Comm {
+        Comm {
+            rank,
+            world,
+            transport,
+            stash: Vec::new(),
+            expected: HashMap::new(),
+            fc,
+            kv,
+            generation: AtomicU64::new(generation),
+            coll_seq: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        }
+    }
+
     /// This communicator's rank.
     pub fn rank(&self) -> Rank {
         self.rank
@@ -359,9 +354,14 @@ impl Comm {
         &self.fc
     }
 
-    /// The fault injector installed on the fabric, if any.
+    /// The key-value store shared with the detector.
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// The fault injector installed on the transport, if any.
     pub fn injector(&self) -> Option<Arc<FaultInjector>> {
-        self.fabric.injector()
+        self.transport.injector()
     }
 
     /// The mechanism of fail-stop: a killed rank's next communication
@@ -380,7 +380,7 @@ impl Comm {
     /// Serves an injected stall: the whole rank freezes until it ends
     /// (heartbeats freeze with it — see [`crate::detector::Heartbeat`]).
     fn serve_stall(&self) {
-        if let Some(inj) = self.fabric.injector() {
+        if let Some(inj) = self.transport.injector() {
             while let Some(end) = inj.stalled_until(self.rank) {
                 let now = Instant::now();
                 if end <= now {
@@ -398,7 +398,7 @@ impl Comm {
     /// then agrees on the resulting epoch.
     fn declare_downed_links(&self, observed: Rank) -> CommError {
         let downed: Vec<Rank> = (0..self.world)
-            .filter(|&r| r != self.rank && !self.fabric.link_up(r))
+            .filter(|&r| r != self.rank && !self.transport.link_up(r))
             .collect();
         if downed.is_empty() {
             // The link flapped back up (a replacement already joined);
@@ -441,7 +441,7 @@ impl Comm {
         self.serve_stall();
         // The stall may have outlived us (or our false suspicion).
         self.check_self()?;
-        if !self.fabric.link_up(dst) {
+        if !self.transport.link_up(dst) {
             // Connection error: the peer's NIC is dark. Publish what we
             // observed so the rest of the job learns without touching it.
             return Err(self.declare_downed_links(dst));
@@ -452,20 +452,25 @@ impl Comm {
         // A send can still race with the peer dying; that surfaces on the
         // peer's side (or on our next call), matching async NCCL errors.
         let gen = self.generation.load(Ordering::SeqCst);
-        match self.fabric.transmit(self.rank, dst, gen, tag, payload) {
-            Transmit::Sent => Ok(()),
-            Transmit::SenderCrashed => Err(CommError::SelfKilled),
-            Transmit::PeerGone => Err(CommError::PeerFailed { rank: dst }),
+        match self.transport.transmit(dst, gen, tag, payload) {
+            TransmitOutcome::Sent => Ok(()),
+            TransmitOutcome::SenderCrashed => Err(CommError::SelfKilled),
+            // The write itself failed (EPIPE on a socket, a dropped
+            // channel in-process): the transport already marked the link
+            // dark, so declare before unwinding — recovery code derives
+            // its namespaces from the declared epoch, and a PeerFailed
+            // that precedes the declaration would ack under a stale one.
+            TransmitOutcome::PeerGone => Err(self.declare_downed_links(dst)),
         }
     }
 
     /// Consumes a matched message: advances the stream cursor, counts the
     /// bytes, and gives crash triggers their shot at the consumer.
-    fn deliver(&mut self, m: Message) -> Result<Bytes, CommError> {
+    fn deliver(&mut self, m: Frame) -> Result<Bytes, CommError> {
         self.expected.insert((m.src, m.tag), m.tag_seq + 1);
         self.bytes_received
             .fetch_add(m.payload.len() as u64, Ordering::Relaxed);
-        if let Some(t) = self.fabric.tracer() {
+        if let Some(t) = self.transport.tracer() {
             t.on_deliver(
                 self.rank,
                 m.src,
@@ -476,7 +481,7 @@ impl Comm {
                 m.vc.as_deref().map(Vec::as_slice).unwrap_or(&[]),
             );
         }
-        if let Some(inj) = self.fabric.injector() {
+        if let Some(inj) = self.transport.injector() {
             if inj.on_delivery(self.rank) {
                 return Err(CommError::SelfKilled);
             }
@@ -490,7 +495,9 @@ impl Comm {
     /// Delivery is in-order and exactly-once per `(src, tag)` stream:
     /// reordered messages wait in the stash for their turn, duplicates of
     /// already-consumed sequence numbers are suppressed, and messages
-    /// stamped with a pre-recovery generation are fenced.
+    /// stamped with a pre-recovery generation are fenced — dropped
+    /// without touching the cursors, which restart from zero each
+    /// generation.
     pub fn recv_bytes(&mut self, src: Rank, tag: u64) -> Result<Bytes, CommError> {
         loop {
             self.check_self()?;
@@ -506,14 +513,12 @@ impl Comm {
             while i < self.stash.len() {
                 let m = &self.stash[i];
                 if m.generation < gen {
-                    // Pre-recovery traffic: fenced. Advance the cursor —
-                    // the sender's stream position consumed this slot.
-                    let m = self.stash.swap_remove(i);
-                    let cursor = self.expected.entry((m.src, m.tag)).or_insert(0);
-                    *cursor = (*cursor).max(m.tag_seq + 1);
+                    // Pre-recovery traffic: fenced. Cursors are
+                    // per-generation, so the slot simply vanishes.
+                    self.stash.swap_remove(i);
                     continue;
                 }
-                if m.src == src && m.tag == tag {
+                if m.src == src && m.tag == tag && m.generation == gen {
                     let expected = self.expected.get(&(src, tag)).copied().unwrap_or(0);
                     if m.tag_seq < expected {
                         // Duplicate of an already-consumed message.
@@ -538,19 +543,20 @@ impl Comm {
                 .map(|t| t.saturating_duration_since(now).min(POLL))
                 .unwrap_or(POLL)
                 .max(Duration::from_micros(10));
-            match self.inbox.recv_timeout(wait) {
-                Ok(m) => {
+            match self.transport.recv_timeout(wait) {
+                RecvEvent::Frame(m) => {
                     if m.generation >= gen {
                         self.stash.push(m);
-                    } else {
-                        let cursor = self.expected.entry((m.src, m.tag)).or_insert(0);
-                        *cursor = (*cursor).max(m.tag_seq + 1);
                     }
+                    // else: fenced, dropped without cursor movement.
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                RecvEvent::Timeout => {
                     // Failure detector, observable signals only. First:
-                    // is the sender's link dark (connection error)?
-                    if !self.fabric.link_up(src) {
+                    // is the sender's link dark (connection error)? The
+                    // probe may do real work — a socket backend attempts
+                    // a reconnect, so a peer that recovered since its
+                    // last failure is not re-declared dead.
+                    if !self.transport.probe_link(src) {
                         return Err(self.declare_downed_links(src));
                     }
                     // Second: has anyone declared a failure we have not
@@ -560,7 +566,7 @@ impl Comm {
                     // communicators when the KV-store flag is set.
                     self.check_failure_state(src)?;
                 }
-                Err(RecvTimeoutError::Disconnected) => {
+                RecvEvent::Disconnected => {
                     return Err(CommError::PeerFailed { rank: src });
                 }
             }
@@ -609,25 +615,36 @@ impl Comm {
         self.bytes_received.load(Ordering::Relaxed)
     }
 
-    /// Discards every buffered inbound message (stash + channel),
-    /// advancing each stream's delivery cursor past the discarded
-    /// traffic so senders' stream positions stay aligned. Called during
-    /// the recovery fence: pre-failure in-flight traffic must not
-    /// satisfy post-recovery receives. (Late stragglers that arrive
-    /// *after* the purge are fenced by their generation stamp instead.)
+    /// Discards buffered inbound traffic (stash + transport queue).
+    /// Called during the recovery fence: pre-failure in-flight traffic
+    /// must not satisfy post-recovery receives.
+    ///
+    /// Frames from *older* generations vanish without touching cursors
+    /// (cursors are per-generation). Frames of the *current* generation
+    /// are discarded with a cursor advance, so senders' live stream
+    /// positions stay aligned — this is the path taken when a rank is
+    /// replaced without an epoch bump. Frames from a *future* generation
+    /// (a peer that fenced ahead of us) stay stashed for delivery once
+    /// we synchronize.
     pub fn purge(&mut self) {
-        let discard = |expected: &mut HashMap<(Rank, u64), u64>, m: Message| {
-            let cursor = expected.entry((m.src, m.tag)).or_insert(0);
-            *cursor = (*cursor).max(m.tag_seq + 1);
-        };
-        for m in std::mem::take(&mut self.stash) {
-            discard(&mut self.expected, m);
+        let gen = self.generation.load(Ordering::SeqCst);
+        let mut keep = Vec::new();
+        let drained = std::mem::take(&mut self.stash)
+            .into_iter()
+            .chain(self.transport.drain());
+        for m in drained {
+            match m.generation.cmp(&gen) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    let cursor = self.expected.entry((m.src, m.tag)).or_insert(0);
+                    *cursor = (*cursor).max(m.tag_seq + 1);
+                }
+                std::cmp::Ordering::Greater => keep.push(m),
+            }
         }
-        while let Ok(m) = self.inbox.try_recv() {
-            discard(&mut self.expected, m);
-        }
-        if let Some(t) = self.fabric.tracer() {
-            t.on_purge(self.rank, self.generation.load(Ordering::SeqCst));
+        self.stash = keep;
+        if let Some(t) = self.transport.tracer() {
+            t.on_purge(self.rank, gen);
         }
     }
 
@@ -639,12 +656,16 @@ impl Comm {
 
     /// Synchronizes the failure generation to the declared epoch
     /// (recovery fence only). Inbound traffic stamped with an older
-    /// generation is fenced on receipt.
-    pub fn set_generation(&self, epoch: Epoch) {
+    /// generation is fenced on receipt, and every stream cursor resets
+    /// to zero — the sender side does the same on its first transmit of
+    /// the new generation, so both ends of every stream restart aligned.
+    pub fn set_generation(&mut self, epoch: Epoch) {
         let g = epoch.get();
         let from = self.generation.swap(g, Ordering::SeqCst);
         if from != g {
-            if let Some(t) = self.fabric.tracer() {
+            self.expected.clear();
+            self.transport.fence_generation(g);
+            if let Some(t) = self.transport.tracer() {
                 t.on_epoch_bump(self.rank, from, g);
             }
         }
@@ -654,7 +675,7 @@ impl Comm {
     /// enabled). Used by the recovery fence to mark entry and exit so the
     /// race checker can anchor its happens-before invariants.
     pub fn trace_mark(&self, label: &str) {
-        if let Some(t) = self.fabric.tracer() {
+        if let Some(t) = self.transport.tracer() {
             t.mark(self.rank, label, self.generation.load(Ordering::SeqCst));
         }
     }

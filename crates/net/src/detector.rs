@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use swift_obs::{Epoch, Event};
 
+use crate::cluster::ClusterError;
 use crate::failure::FailureController;
 use crate::faults::FaultInjector;
 use crate::kv::KvStore;
@@ -123,12 +124,63 @@ pub struct HeartbeatConfig {
     pub timeout: Duration,
 }
 
+/// Environment override for [`HeartbeatConfig::interval`], milliseconds.
+pub const HEARTBEAT_MS_ENV: &str = "SWIFT_HEARTBEAT_MS";
+/// Environment override for [`HeartbeatConfig::timeout`], milliseconds.
+pub const LEASE_MS_ENV: &str = "SWIFT_LEASE_MS";
+
 impl Default for HeartbeatConfig {
     fn default() -> Self {
         HeartbeatConfig {
             interval: Duration::from_millis(5),
             timeout: Duration::from_millis(100),
         }
+    }
+}
+
+impl HeartbeatConfig {
+    /// The defaults, with `SWIFT_HEARTBEAT_MS` / `SWIFT_LEASE_MS`
+    /// overriding the beat interval and lease timeout. The result is
+    /// [`validate`](Self::validate)d, so a deployment cannot configure a
+    /// lease the publisher is guaranteed to miss.
+    pub fn from_env() -> Result<Self, ClusterError> {
+        let mut cfg = HeartbeatConfig::default();
+        for (var, field) in [
+            (HEARTBEAT_MS_ENV, &mut cfg.interval),
+            (LEASE_MS_ENV, &mut cfg.timeout),
+        ] {
+            if let Ok(raw) = std::env::var(var) {
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| ClusterError::InvalidHeartbeatConfig {
+                        detail: format!("{var}={raw:?} is not a millisecond count"),
+                    })?;
+                *field = Duration::from_millis(ms);
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the lease arithmetic: the interval must be non-zero and
+    /// the timeout strictly longer than two beat intervals, otherwise a
+    /// single delayed beat (scheduling jitter on a loaded machine)
+    /// expires the lease and manufactures false suspicion.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if self.interval.is_zero() {
+            return Err(ClusterError::InvalidHeartbeatConfig {
+                detail: "heartbeat interval must be non-zero".into(),
+            });
+        }
+        if self.timeout <= self.interval * 2 {
+            return Err(ClusterError::InvalidHeartbeatConfig {
+                detail: format!(
+                    "lease timeout {:?} must exceed 2x the heartbeat interval {:?}",
+                    self.timeout, self.interval
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -149,7 +201,8 @@ pub struct Heartbeat {
 }
 
 impl Heartbeat {
-    /// Starts beating for `rank` every `cfg.interval`.
+    /// Starts beating for `rank` every `cfg.interval`. Panicking
+    /// convenience wrapper around [`Heartbeat::try_start`].
     pub fn start(
         kv: KvStore,
         rank: Rank,
@@ -157,6 +210,21 @@ impl Heartbeat {
         fc: Arc<FailureController>,
         injector: Option<Arc<FaultInjector>>,
     ) -> Self {
+        match Self::try_start(kv, rank, cfg, fc, injector) {
+            Ok(hb) => hb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Starts beating for `rank` every `cfg.interval`, surfacing a
+    /// failed thread spawn as a typed error.
+    pub fn try_start(
+        kv: KvStore,
+        rank: Rank,
+        cfg: HeartbeatConfig,
+        fc: Arc<FailureController>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, ClusterError> {
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let (kv, fc, stop) = (kv.clone(), fc.clone(), stop.clone());
@@ -185,15 +253,18 @@ impl Heartbeat {
                         thread::sleep(cfg.interval);
                     }
                 })
-                .expect("failed to spawn heartbeat thread")
+                .map_err(|e| ClusterError::SpawnFailed {
+                    what: format!("heartbeat thread for rank {rank}"),
+                    detail: e.to_string(),
+                })?
         };
-        Heartbeat {
+        Ok(Heartbeat {
             rank,
             kv,
             fc,
             stop,
             handle: Some(handle),
-        }
+        })
     }
 }
 
@@ -219,7 +290,22 @@ pub struct HeartbeatMonitor {
 
 impl HeartbeatMonitor {
     /// Watches ranks `0..world`, polling at half the beat interval.
+    /// Panicking convenience wrapper around
+    /// [`HeartbeatMonitor::try_start`].
     pub fn start(kv: KvStore, cfg: HeartbeatConfig, world: usize) -> Self {
+        match Self::try_start(kv, cfg, world) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Watches ranks `0..world`, surfacing a failed thread spawn as a
+    /// typed error.
+    pub fn try_start(
+        kv: KvStore,
+        cfg: HeartbeatConfig,
+        world: usize,
+    ) -> Result<Self, ClusterError> {
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let stop = stop.clone();
@@ -259,12 +345,15 @@ impl HeartbeatMonitor {
                         thread::sleep(tick);
                     }
                 })
-                .expect("failed to spawn heartbeat monitor")
+                .map_err(|e| ClusterError::SpawnFailed {
+                    what: "heartbeat monitor thread".into(),
+                    detail: e.to_string(),
+                })?
         };
-        HeartbeatMonitor {
+        Ok(HeartbeatMonitor {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 }
 
@@ -359,6 +448,104 @@ mod tests {
                 "kill was never detected via lease expiry"
             );
             thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// A KV handle for the heartbeat path under test: the store itself,
+    /// or a remote client round-tripping through a [`KvServer`] the way
+    /// a worker process does.
+    fn kv_backend(store: &KvStore, remote: bool) -> (KvStore, Option<crate::kv_remote::KvServer>) {
+        if !remote {
+            return (store.clone(), None);
+        }
+        use std::sync::atomic::AtomicU64;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!("swift-det-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("kv-{}.sock", NEXT.fetch_add(1, Ordering::SeqCst)));
+        let server = crate::kv_remote::KvServer::bind(&path, store.clone()).unwrap();
+        let client = KvStore::connect(&path, &crate::retry::RetryPolicy::poll()).unwrap();
+        (client, Some(server))
+    }
+
+    /// Publishes beats by hand with the given inter-beat gaps, then
+    /// reports whether the monitor ever declared rank 0.
+    fn run_jittered_publisher(gaps_ms: &[u64], cfg: HeartbeatConfig, remote: bool) -> bool {
+        let store = KvStore::new();
+        let (kv, _server) = kv_backend(&store, remote);
+        let _mon = HeartbeatMonitor::start(store.clone(), cfg, 1);
+        for (i, &gap) in gaps_ms.iter().enumerate() {
+            kv.set(&hb_key(0), (i + 1).to_string());
+            thread::sleep(Duration::from_millis(gap));
+        }
+        kv.set(&hb_key(0), "final");
+        let declared = failure_state(&store).1.contains(&0);
+        kv.set(&hb_key(0), RETIRED);
+        declared
+    }
+
+    mod proptests {
+        use proptest::prelude::*;
+
+        use super::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            // Liveness-side safety: a publisher whose inter-beat
+            // jitter stays below the lease bound is never declared
+            // dead, through either KV backend.
+            #[test]
+            fn jitter_below_lease_bound_is_never_suspected(
+                gaps in prop::collection::vec(0u64..25, 3..10),
+                remote in any::<bool>(),
+            ) {
+                // Lease 100ms vs gaps <= 25ms: even doubled by OS
+                // scheduling noise, a gap cannot plausibly exhaust the
+                // lease.
+                let cfg = HeartbeatConfig {
+                    interval: Duration::from_millis(2),
+                    timeout: Duration::from_millis(100),
+                };
+                prop_assert!(
+                    !run_jittered_publisher(&gaps, cfg, remote),
+                    "live rank declared dead under jitter {gaps:?} (remote={remote})"
+                );
+            }
+
+            // Detection-side liveness: after a real kill the monitor
+            // always declares, within the lease bound plus scheduling
+            // slack.
+            #[test]
+            fn killed_rank_is_declared_within_lease_bound(
+                warmup_ms in 5u64..40,
+                remote in any::<bool>(),
+            ) {
+                let cfg = HeartbeatConfig {
+                    interval: Duration::from_millis(2),
+                    timeout: Duration::from_millis(40),
+                };
+                let store = KvStore::new();
+                let (kv, _server) = kv_backend(&store, remote);
+                let fc = FailureController::new(Topology::uniform(1, 1));
+                let _hb = Heartbeat::start(kv, 0, cfg, fc.clone(), None);
+                let _mon = HeartbeatMonitor::start(store.clone(), cfg, 1);
+                thread::sleep(Duration::from_millis(warmup_ms));
+                fc.kill_machine(0);
+                let killed_at = Instant::now();
+                // Generous slack over the lease: the bound under test is
+                // "bounded detection", not a tight latency SLO (that
+                // lives in cluster.rs's
+                // failure_detection_latency_is_bounded).
+                let bound = cfg.timeout + Duration::from_millis(200);
+                while !failure_state(&store).1.contains(&0) {
+                    prop_assert!(
+                        killed_at.elapsed() < bound,
+                        "kill not declared within {bound:?} (remote={remote})"
+                    );
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
         }
     }
 

@@ -42,6 +42,12 @@ pub enum CrashTrigger {
     /// Kill `rank`'s machine when it reports reaching training iteration
     /// `iteration` (workers call [`FaultInjector::note_iteration`]).
     AtIteration { rank: Rank, iteration: u64 },
+    /// Kill the *OS process* hosting `rank` when it reports reaching
+    /// `iteration`. Under the process backend the supervisor watches the
+    /// rank's published progress and delivers a real SIGKILL; under the
+    /// in-process backend this degrades to [`CrashTrigger::AtIteration`]
+    /// semantics, so one plan drives both backends identically.
+    KillProcess { rank: Rank, iteration: u64 },
 }
 
 /// A transient freeze: `rank` stops making progress for `duration` once
@@ -149,6 +155,25 @@ impl FaultPlan {
     pub fn with_crash(mut self, trigger: CrashTrigger) -> Self {
         self.crashes.push(trigger);
         self
+    }
+
+    /// Adds a [`CrashTrigger::KillProcess`] trigger: SIGKILL `rank`'s
+    /// process once it reports reaching `iteration`.
+    pub fn kill_process(self, rank: Rank, iteration: u64) -> Self {
+        self.with_crash(CrashTrigger::KillProcess { rank, iteration })
+    }
+
+    /// The `(rank, iteration)` coordinates of every
+    /// [`CrashTrigger::KillProcess`] trigger — what a process supervisor
+    /// arms real SIGKILLs with.
+    pub fn process_kills(&self) -> Vec<(Rank, u64)> {
+        self.crashes
+            .iter()
+            .filter_map(|t| match *t {
+                CrashTrigger::KillProcess { rank, iteration } => Some((rank, iteration)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Whether the plan perturbs message delivery at all (used by the
@@ -321,14 +346,16 @@ impl FaultInjector {
     pub fn note_iteration(&self, rank: Rank, iteration: u64) -> bool {
         let mut crashed = false;
         for (i, trig) in self.plan.crashes.iter().enumerate() {
-            if let CrashTrigger::AtIteration {
-                rank: r,
-                iteration: k,
-            } = *trig
-            {
-                if r == rank && iteration >= k && self.fire_crash(i, r) {
-                    crashed = true;
-                }
+            // KillProcess degrades to AtIteration in-process: the fabric
+            // cannot SIGKILL a thread, but killing the machine at the
+            // same progress point keeps the two backends equivalent.
+            let (r, k) = match *trig {
+                CrashTrigger::AtIteration { rank, iteration } => (rank, iteration),
+                CrashTrigger::KillProcess { rank, iteration } => (rank, iteration),
+                _ => continue,
+            };
+            if r == rank && iteration >= k && self.fire_crash(i, r) {
+                crashed = true;
             }
         }
         crashed

@@ -1,17 +1,43 @@
 //! A tiny global key-value store, co-located with rank 0 in the paper
 //! (§6 "Failure detection"): workers publish the failure flag and other
 //! small coordination facts here.
+//!
+//! Two backends share one handle type:
+//!
+//! - **Local**: an `Arc`'d map + condvar, cloned between threads — the
+//!   in-process cluster's store, and the storage behind the supervisor's
+//!   [`KvServer`](crate::kv_remote::KvServer).
+//! - **Remote**: a Unix-socket client to a supervisor-hosted server,
+//!   used by worker *processes* ([`KvStore::connect`]). Blocking waits
+//!   poll; read-modify-write runs as a compare-and-swap retry loop.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::kv_remote::{self, RemoteKv};
+use crate::retry::RetryPolicy;
+
 /// Shared key-value store with blocking waits.
 #[derive(Debug, Clone, Default)]
 pub struct KvStore {
-    inner: Arc<KvInner>,
+    backend: Backend,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Local(Arc<KvInner>),
+    Remote(Arc<RemoteKv>),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Local(Arc::default())
+    }
 }
 
 #[derive(Debug, Default)]
@@ -20,81 +46,185 @@ struct KvInner {
     cv: Condvar,
 }
 
+/// Remote poll cadence for [`KvStore::wait_for`] (the local backend
+/// blocks on a condvar instead).
+const REMOTE_WAIT_TICK: Duration = Duration::from_millis(2);
+
 impl KvStore {
-    /// Creates an empty store.
+    /// Creates an empty local store.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Connects to a [`KvServer`](crate::kv_remote::KvServer) at `path`,
+    /// retrying until the policy's deadline (the server may still be
+    /// binding). Every operation on the returned handle is a socket
+    /// round-trip to the hosting process's store.
+    pub fn connect(path: &Path, retry: &RetryPolicy) -> io::Result<Self> {
+        Ok(KvStore {
+            backend: Backend::Remote(Arc::new(RemoteKv::connect(path, retry)?)),
+        })
+    }
+
+    /// Whether this handle is a remote client (worker-process side).
+    pub fn is_remote(&self) -> bool {
+        matches!(self.backend, Backend::Remote(_))
+    }
+
     /// Sets `key` to `value`, waking any waiters.
     pub fn set(&self, key: &str, value: impl Into<String>) {
-        let mut m = self.inner.map.lock();
-        m.insert(key.to_string(), value.into());
-        self.inner.cv.notify_all();
-    }
-
-    /// Current value of `key`, if any.
-    pub fn get(&self, key: &str) -> Option<String> {
-        self.inner.map.lock().get(key).cloned()
-    }
-
-    /// Removes `key`, returning its previous value.
-    pub fn remove(&self, key: &str) -> Option<String> {
-        let mut m = self.inner.map.lock();
-        let v = m.remove(key);
-        self.inner.cv.notify_all();
-        v
-    }
-
-    /// Blocks until `key` exists (or the timeout elapses), returning its
-    /// value.
-    pub fn wait_for(&self, key: &str, timeout: Duration) -> Option<String> {
-        let deadline = Instant::now() + timeout;
-        let mut m = self.inner.map.lock();
-        loop {
-            if let Some(v) = m.get(key) {
-                return Some(v.clone());
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut m = inner.map.lock();
+                m.insert(key.to_string(), value.into());
+                inner.cv.notify_all();
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            if self.inner.cv.wait_until(&mut m, deadline).timed_out() {
-                return m.get(key).cloned();
+            Backend::Remote(r) => {
+                r.roundtrip(&kv_remote::encode_set(key, &value.into()));
             }
         }
     }
 
-    /// Atomically replaces the value at `key` with `f(current)`, holding
-    /// the store lock across the read-modify-write. Returning `None`
-    /// leaves the key unchanged; the final value (old or new) is
-    /// returned. Used for idempotent failure declarations: concurrent
-    /// detectors can union into the dead-rank list without losing ranks.
+    /// Current value of `key`, if any.
+    pub fn get(&self, key: &str) -> Option<String> {
+        match &self.backend {
+            Backend::Local(inner) => inner.map.lock().get(key).cloned(),
+            Backend::Remote(r) => r.roundtrip(&kv_remote::encode_get(key)).1,
+        }
+    }
+
+    /// Removes `key`, returning its previous value.
+    pub fn remove(&self, key: &str) -> Option<String> {
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut m = inner.map.lock();
+                let v = m.remove(key);
+                inner.cv.notify_all();
+                v
+            }
+            Backend::Remote(r) => r.roundtrip(&kv_remote::encode_remove(key)).1,
+        }
+    }
+
+    /// Blocks until `key` exists (or the timeout elapses), returning its
+    /// value. The local backend parks on a condvar; the remote client
+    /// polls the server.
+    pub fn wait_for(&self, key: &str, timeout: Duration) -> Option<String> {
+        let deadline = Instant::now() + timeout;
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut m = inner.map.lock();
+                loop {
+                    if let Some(v) = m.get(key) {
+                        return Some(v.clone());
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    if inner.cv.wait_until(&mut m, deadline).timed_out() {
+                        return m.get(key).cloned();
+                    }
+                }
+            }
+            Backend::Remote(_) => loop {
+                if let Some(v) = self.get(key) {
+                    return Some(v);
+                }
+                if Instant::now() >= deadline {
+                    return self.get(key);
+                }
+                std::thread::sleep(REMOTE_WAIT_TICK);
+            },
+        }
+    }
+
+    /// Atomically replaces the value at `key` with `f(current)`.
+    /// Returning `None` leaves the key unchanged; the final value (old
+    /// or new) is returned. Used for idempotent failure declarations:
+    /// concurrent detectors can union into the dead-rank list without
+    /// losing ranks.
+    ///
+    /// The local backend holds the store lock across one invocation of
+    /// `f`; the remote client runs a compare-and-swap loop, so `f` may
+    /// run *several times* against fresh snapshots — it must be a pure
+    /// function of its input (or tolerate re-execution) on handles that
+    /// may be remote.
     pub fn update(
         &self,
         key: &str,
-        f: impl FnOnce(Option<&str>) -> Option<String>,
+        mut f: impl FnMut(Option<&str>) -> Option<String>,
     ) -> Option<String> {
-        let mut m = self.inner.map.lock();
-        let current = m.get(key).cloned();
-        match f(current.as_deref()) {
-            Some(new) => {
-                m.insert(key.to_string(), new.clone());
-                self.inner.cv.notify_all();
-                Some(new)
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut m = inner.map.lock();
+                let current = m.get(key).cloned();
+                match f(current.as_deref()) {
+                    Some(new) => {
+                        m.insert(key.to_string(), new.clone());
+                        inner.cv.notify_all();
+                        Some(new)
+                    }
+                    None => current,
+                }
             }
-            None => current,
+            Backend::Remote(_) => {
+                let mut current = self.get(key);
+                loop {
+                    match f(current.as_deref()) {
+                        None => return current,
+                        Some(new) => {
+                            let (swapped, observed) =
+                                self.cas(key, current.as_deref(), new.clone());
+                            if swapped {
+                                return Some(new);
+                            }
+                            // Lost the race: retry against the value that
+                            // beat us.
+                            current = observed;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compares the current value of `key` with `expected` and, when
+    /// they match (`None` = absent), installs `new`. Returns `(swapped,
+    /// current)` where `current` is the conflicting value on failure.
+    pub fn cas(&self, key: &str, expected: Option<&str>, new: String) -> (bool, Option<String>) {
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut m = inner.map.lock();
+                if m.get(key).map(String::as_str) == expected {
+                    m.insert(key.to_string(), new);
+                    inner.cv.notify_all();
+                    (true, None)
+                } else {
+                    (false, m.get(key).cloned())
+                }
+            }
+            Backend::Remote(r) => r.roundtrip(&kv_remote::encode_cas(key, expected, &new)),
         }
     }
 
     /// Atomically increments an integer counter at `key`, returning the
     /// new value (missing keys count as 0).
     pub fn incr(&self, key: &str) -> i64 {
-        let mut m = self.inner.map.lock();
-        let v = m.get(key).and_then(|s| s.parse::<i64>().ok()).unwrap_or(0) + 1;
-        m.insert(key.to_string(), v.to_string());
-        self.inner.cv.notify_all();
-        v
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut m = inner.map.lock();
+                let v = m.get(key).and_then(|s| s.parse::<i64>().ok()).unwrap_or(0) + 1;
+                m.insert(key.to_string(), v.to_string());
+                inner.cv.notify_all();
+                v
+            }
+            Backend::Remote(r) => r
+                .roundtrip(&kv_remote::encode_incr(key))
+                .1
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+        }
     }
 }
 
@@ -162,5 +292,18 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(kv.get("n").as_deref(), Some("800"));
+    }
+
+    #[test]
+    fn local_cas_matches_and_conflicts() {
+        let kv = KvStore::new();
+        let (ok, _) = kv.cas("k", None, "a".into());
+        assert!(ok);
+        let (ok, cur) = kv.cas("k", Some("wrong"), "b".into());
+        assert!(!ok);
+        assert_eq!(cur.as_deref(), Some("a"));
+        let (ok, _) = kv.cas("k", Some("a"), "b".into());
+        assert!(ok);
+        assert_eq!(kv.get("k").as_deref(), Some("b"));
     }
 }

@@ -1,0 +1,480 @@
+//! Remote access to the [`KvStore`](crate::kv::KvStore) over Unix-domain
+//! sockets.
+//!
+//! In-process clusters share the store by cloning an `Arc`; the process
+//! backend cannot. Instead the supervisor hosts a [`KvServer`] in front
+//! of its local store and each worker process connects a [`RemoteKv`]
+//! client to it. The protocol is deliberately tiny — five request ops,
+//! length-prefixed strings, one reply per request — because everything
+//! the store is used for (failure flags, acks, barriers) is small
+//! control-plane state.
+//!
+//! Wire format, all integers little-endian:
+//!
+//! ```text
+//! request  := op:u8 key:str [args...]
+//! str      := len:u32 bytes
+//! GET    (0): key
+//! SET    (1): key value:str
+//! REMOVE (2): key
+//! CAS    (3): key expected:opt new:str     -- compare-and-swap
+//! INCR   (4): key
+//! opt      := present:u8 [value:str]
+//! reply    := ok:u8 value:opt
+//! ```
+//!
+//! `CAS` succeeds (`ok = 1`) iff the current value equals `expected`
+//! (`None` matching an absent key); on failure the reply carries the
+//! current value so the client can re-run its read-modify-write. The
+//! blocking `wait_for`/`update` APIs are built client-side from these
+//! primitives (polling and CAS retry respectively), which keeps the
+//! server stateless per connection.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::kv::KvStore;
+use crate::retry::RetryPolicy;
+
+const OP_GET: u8 = 0;
+const OP_SET: u8 = 1;
+const OP_REMOVE: u8 = 2;
+const OP_CAS: u8 = 3;
+const OP_INCR: u8 = 4;
+
+/// Upper bound on any single key or value (control-plane state only).
+const MAX_STR: u32 = 1 << 20;
+
+fn write_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn write_opt(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            buf.push(1);
+            write_str(buf, s);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_exact_buf(stream: &mut impl Read, n: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_str(stream: &mut impl Read) -> io::Result<String> {
+    let len = u32::from_le_bytes(
+        read_exact_buf(stream, 4)?
+            .try_into()
+            .unwrap_or([0, 0, 0, 0]),
+    );
+    if len > MAX_STR {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("kv string of {len} bytes exceeds the {MAX_STR} limit"),
+        ));
+    }
+    String::from_utf8(read_exact_buf(stream, len as usize)?)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn read_opt(stream: &mut impl Read) -> io::Result<Option<String>> {
+    let present = read_exact_buf(stream, 1)?[0];
+    if present == 0 {
+        Ok(None)
+    } else {
+        read_str(stream).map(Some)
+    }
+}
+
+/// One reply from the server: `(ok, value)`.
+type Reply = (bool, Option<String>);
+
+fn write_reply(stream: &mut impl Write, ok: bool, value: Option<&str>) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(8 + value.map_or(0, str::len));
+    buf.push(ok as u8);
+    write_opt(&mut buf, value);
+    stream.write_all(&buf)
+}
+
+fn read_reply(stream: &mut impl Read) -> io::Result<Reply> {
+    let ok = read_exact_buf(stream, 1)?[0] != 0;
+    Ok((ok, read_opt(stream)?))
+}
+
+/// The supervisor-side KV endpoint: serves a local [`KvStore`] to worker
+/// processes over a Unix-domain socket. One handler thread per
+/// connection; dropping the server stops the acceptor and unlinks the
+/// socket (in-flight handler threads drain on their own).
+pub struct KvServer {
+    path: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Binds `path` and serves `store` until dropped.
+    pub fn bind(path: &Path, store: KvStore) -> io::Result<Self> {
+        // A stale socket file from a SIGKILLed predecessor blocks bind.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            thread::Builder::new()
+                .name("kv-server".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let store = store.clone();
+                                let shutdown = shutdown.clone();
+                                let _ = thread::Builder::new().name("kv-conn".into()).spawn(
+                                    move || {
+                                        let _ = serve_conn(stream, &store, &shutdown);
+                                    },
+                                );
+                            }
+                            // Transient errors — ECONNABORTED from a client
+                            // SIGKILLed while still in the backlog, EMFILE
+                            // pressure — must not kill the accept plane:
+                            // every worker's control traffic dies with it.
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(2)),
+                        }
+                    }
+                })?
+        };
+        Ok(KvServer {
+            path: path.to_path_buf(),
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_conn(mut stream: UnixStream, store: &KvStore, shutdown: &AtomicBool) -> io::Result<()> {
+    // The read timeout doubles as the shutdown poll interval.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut op = [0u8; 1];
+        match stream.read_exact(&mut op) {
+            Ok(()) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            // Client hung up (worker exit or SIGKILL): normal teardown.
+            Err(_) => return Ok(()),
+        }
+        // The op byte arrived; the rest of the frame is guaranteed to be
+        // in flight. Read it without the shutdown-poll timeout — closing
+        // the connection on a mid-frame stall would reset a healthy
+        // client.
+        stream.set_read_timeout(None)?;
+        let result = serve_one(&mut stream, store, op[0]);
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        result?;
+    }
+}
+
+fn serve_one(stream: &mut UnixStream, store: &KvStore, op: u8) -> io::Result<()> {
+    let key = read_str(stream)?;
+    match op {
+        OP_GET => {
+            let v = store.get(&key);
+            write_reply(stream, v.is_some(), v.as_deref())
+        }
+        OP_SET => {
+            let value = read_str(stream)?;
+            store.set(&key, value);
+            write_reply(stream, true, None)
+        }
+        OP_REMOVE => {
+            let v = store.remove(&key);
+            write_reply(stream, v.is_some(), v.as_deref())
+        }
+        OP_CAS => {
+            let expected = read_opt(stream)?;
+            let new = read_str(stream)?;
+            let (ok, current) = store.cas(&key, expected.as_deref(), new);
+            write_reply(stream, ok, current.as_deref())
+        }
+        OP_INCR => {
+            let v = store.incr(&key).to_string();
+            write_reply(stream, true, Some(&v))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown kv op {other}"),
+        )),
+    }
+}
+
+/// Client half: a connection to a [`KvServer`], shared by every clone of
+/// the owning [`KvStore`]. Requests are serialized under a mutex (the
+/// store carries tiny control-plane values; contention is not a
+/// concern), and a broken connection is re-dialed with the recovery
+/// retry schedule before an operation is failed.
+pub struct RemoteKv {
+    path: PathBuf,
+    conn: Mutex<Option<UnixStream>>,
+}
+
+impl std::fmt::Debug for RemoteKv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteKv")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl RemoteKv {
+    /// Dials the server at `path`, retrying on `connect` until the
+    /// policy's deadline (the supervisor may still be binding).
+    pub fn connect(path: &Path, retry: &RetryPolicy) -> io::Result<Self> {
+        let stream = dial(path, retry)?;
+        Ok(RemoteKv {
+            path: path.to_path_buf(),
+            conn: Mutex::new(Some(stream)),
+        })
+    }
+
+    /// One request/reply round-trip. The store API has no error channel
+    /// (the local backend cannot fail), so a server that stays
+    /// unreachable is treated as fatal: under the fail-stop model a
+    /// worker whose supervisor died is an orphan, and aborting *is* the
+    /// machine death the model prescribes.
+    pub fn roundtrip(&self, frame: &[u8]) -> Reply {
+        match self.request(frame) {
+            Ok(reply) => reply,
+            // A roundtrip issued from a Drop while this thread is already
+            // unwinding (a dying worker tearing down its heartbeat, say)
+            // must not double-panic into an abort — the first panic is
+            // the fail-stop.
+            Err(_) if std::thread::panicking() => (false, None),
+            Err(e) => panic!(
+                "kv server at {} unreachable ({e}); orphaned worker fail-stops",
+                self.path.display()
+            ),
+        }
+    }
+
+    /// One request/reply round-trip, re-dialing on a broken connection.
+    /// A reset stream is not a dead server — the handler thread may have
+    /// been torn down mid-frame — so a fresh connection gets a few tries
+    /// before the server is declared unreachable.
+    fn request(&self, frame: &[u8]) -> io::Result<Reply> {
+        const ATTEMPTS: usize = 3;
+        let mut guard = self.conn.lock();
+        let mut last = None;
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                thread::sleep(Duration::from_millis(10 << attempt));
+            }
+            if guard.is_none() {
+                match dial(&self.path, &RetryPolicy::poll()) {
+                    Ok(s) => *guard = Some(s),
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let Some(stream) = guard.as_mut() else {
+                unreachable!("connection populated above")
+            };
+            let r = stream.write_all(frame).and_then(|()| read_reply(stream));
+            match r {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    *guard = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("kv request failed")))
+    }
+}
+
+fn dial(path: &Path, retry: &RetryPolicy) -> io::Result<UnixStream> {
+    let mut conn = None;
+    retry.wait_until(|| match UnixStream::connect(path) {
+        Ok(s) => {
+            conn = Some(s);
+            true
+        }
+        Err(_) => false,
+    });
+    match conn {
+        Some(s) => {
+            // Replies arrive promptly once the request is written; a
+            // bounded read timeout keeps an orphaned worker from hanging
+            // forever on a dead supervisor.
+            s.set_read_timeout(Some(Duration::from_secs(10)))?;
+            Ok(s)
+        }
+        None => UnixStream::connect(path),
+    }
+}
+
+/// Encodes each request op; the reply is always [`Reply`].
+pub(crate) fn encode_get(key: &str) -> Vec<u8> {
+    let mut buf = vec![OP_GET];
+    write_str(&mut buf, key);
+    buf
+}
+
+pub(crate) fn encode_set(key: &str, value: &str) -> Vec<u8> {
+    let mut buf = vec![OP_SET];
+    write_str(&mut buf, key);
+    write_str(&mut buf, value);
+    buf
+}
+
+pub(crate) fn encode_remove(key: &str) -> Vec<u8> {
+    let mut buf = vec![OP_REMOVE];
+    write_str(&mut buf, key);
+    buf
+}
+
+pub(crate) fn encode_cas(key: &str, expected: Option<&str>, new: &str) -> Vec<u8> {
+    let mut buf = vec![OP_CAS];
+    write_str(&mut buf, key);
+    write_opt(&mut buf, expected);
+    write_str(&mut buf, new);
+    buf
+}
+
+pub(crate) fn encode_incr(key: &str) -> Vec<u8> {
+    let mut buf = vec![OP_INCR];
+    write_str(&mut buf, key);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvStore;
+
+    fn sock(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swift-kv-{}-{name}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("kv.sock")
+    }
+
+    #[test]
+    fn remote_round_trip_and_cas() {
+        let path = sock("rt");
+        let store = KvStore::new();
+        let _server = KvServer::bind(&path, store.clone()).unwrap();
+        let remote = KvStore::connect(&path, &RetryPolicy::poll()).unwrap();
+
+        assert!(remote.get("a").is_none());
+        remote.set("a", "1");
+        assert_eq!(store.get("a").as_deref(), Some("1"));
+        assert_eq!(remote.get("a").as_deref(), Some("1"));
+        assert_eq!(remote.incr("n"), 1);
+        assert_eq!(remote.incr("n"), 2);
+        assert_eq!(remote.remove("a").as_deref(), Some("1"));
+        assert!(store.get("a").is_none());
+
+        // update() runs as a client-side CAS loop.
+        let v = remote.update("list", |cur| {
+            Some(match cur {
+                Some(s) => format!("{s},x"),
+                None => "x".to_string(),
+            })
+        });
+        assert_eq!(v.as_deref(), Some("x"));
+        let v = remote.update("list", |cur| cur.map(|s| format!("{s},y")));
+        assert_eq!(v.as_deref(), Some("x,y"));
+        // A None-returning closure leaves the key unchanged.
+        let v = remote.update("list", |_| None);
+        assert_eq!(v.as_deref(), Some("x,y"));
+    }
+
+    #[test]
+    fn remote_wait_for_sees_local_set() {
+        let path = sock("wait");
+        let store = KvStore::new();
+        let _server = KvServer::bind(&path, store.clone()).unwrap();
+        let remote = KvStore::connect(&path, &RetryPolicy::poll()).unwrap();
+        let h = std::thread::spawn(move || remote.wait_for("flag", Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        store.set("flag", "up");
+        assert_eq!(h.join().unwrap().as_deref(), Some("up"));
+    }
+
+    #[test]
+    fn concurrent_remote_updates_lose_no_entries() {
+        let path = sock("cc");
+        let store = KvStore::new();
+        let _server = KvServer::bind(&path, store.clone()).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let remote = KvStore::connect(&path, &RetryPolicy::poll()).unwrap();
+                    for j in 0..25 {
+                        remote.update("set", |cur| {
+                            let item = format!("{i}:{j}");
+                            Some(match cur {
+                                Some(s) => format!("{s},{item}"),
+                                None => item,
+                            })
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let merged = store.get("set").unwrap();
+        assert_eq!(merged.split(',').count(), 100, "lost CAS updates");
+    }
+
+    #[test]
+    fn connect_to_missing_server_times_out() {
+        let path = sock("none");
+        let err = KvStore::connect(
+            &path,
+            &RetryPolicy::poll().with_deadline(Duration::from_millis(50)),
+        );
+        assert!(err.is_err());
+    }
+}

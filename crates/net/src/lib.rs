@@ -38,9 +38,12 @@ pub mod detector;
 pub mod failure;
 pub mod faults;
 pub mod kv;
+pub mod kv_remote;
 pub mod retry;
+pub mod socket;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterError, WorkerCtx};
 pub use comm::{
@@ -49,11 +52,14 @@ pub use comm::{
 };
 pub use detector::{
     declare_failed, declare_recovered, failure_epoch, failure_state, Heartbeat, HeartbeatConfig,
-    HeartbeatMonitor,
+    HeartbeatMonitor, HEARTBEAT_MS_ENV, LEASE_MS_ENV,
 };
 pub use failure::FailureController;
 pub use faults::{CrashTrigger, FaultInjector, FaultPlan, FaultStatsSnapshot, SendFate, StallSpec};
 pub use kv::KvStore;
+pub use kv_remote::KvServer;
 pub use retry::RetryPolicy;
+pub use socket::SocketTransport;
 pub use topology::{MachineId, Rank, Topology};
 pub use trace::{vc_join, vc_le, EventKind, Trace, TraceEvent, Tracer, VectorClock};
+pub use transport::{ChannelTransport, Frame, RecvEvent, TransmitOutcome, Transport};

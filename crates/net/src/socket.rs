@@ -1,0 +1,581 @@
+//! The process backend: one OS process per rank, Unix-domain sockets as
+//! the fabric.
+//!
+//! Where [`ChannelTransport`](crate::transport::ChannelTransport) models
+//! a crash as a flag a thread politely honors, this backend faces the
+//! real thing: a `SIGKILL`ed peer vanishes mid-write, its socket turns
+//! into `ECONNREFUSED`/`EPIPE`, and its replacement re-binds the same
+//! address with none of its predecessor's volatile state. The transport
+//! maps those raw events onto the same observable signals the in-process
+//! fabric produces — a dark link on write failure, reconnection on
+//! probe — so [`Comm`](crate::comm::Comm) runs the identical detection
+//! and fencing protocol over both.
+//!
+//! Wire format (little-endian, length-prefixed):
+//!
+//! ```text
+//! [u32 len][u64 src][u64 tag][u64 tag_seq][u64 generation][payload]
+//! ```
+//!
+//! `len` counts everything after itself (32-byte header + payload). Each
+//! frame is read into a single buffer and the payload sliced out of it
+//! zero-copy ([`Bytes::split_off`]-style via the `Buf` cursor), matching
+//! the single-memcpy discipline of the tensor wire format. Frames
+//! stamped with a generation below the receiver's fence floor are
+//! dropped at the socket boundary, before they ever reach the stash —
+//! the socket-level twin of the channel fabric's epoch fence.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, Bytes};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::retry::RetryPolicy;
+use crate::topology::Rank;
+use crate::transport::{Frame, RecvEvent, TransmitOutcome, Transport};
+
+/// Frame header bytes after the length prefix.
+const HEADER_LEN: usize = 32;
+/// Read timeout on accepted connections, so reader threads observe the
+/// shutdown flag promptly instead of blocking forever.
+const READER_POLL: Duration = Duration::from_millis(25);
+
+/// The socket path rank `r` listens on under `dir`.
+pub fn sock_path(dir: &Path, rank: Rank) -> PathBuf {
+    dir.join(format!("rank-{rank}.sock"))
+}
+
+/// Outbound state for one peer: the (lazily connected) stream and the
+/// per-generation stream counters, under one lock so sequence stamping
+/// and the write happen atomically — frames hit the wire in stream
+/// order.
+struct PeerOut {
+    stream: Option<UnixStream>,
+    /// Whether a connection to this peer ever succeeded. First contact
+    /// retries under the transport's startup policy (the peer may still
+    /// be binding); *re*connects use a short probe window instead, so a
+    /// transmit to a genuinely dead peer fails fast enough for the
+    /// failure detector to act on.
+    ever_connected: bool,
+    /// Generation the per-tag counters belong to.
+    generation: u64,
+    /// Next sequence number per tag, within `generation`.
+    tag_seqs: HashMap<u64, u64>,
+}
+
+struct Peer {
+    out: Mutex<PeerOut>,
+    /// Last observed reachability (true until a connect/write fails).
+    link_ok: AtomicBool,
+}
+
+/// One rank's end of the socket fabric.
+pub struct SocketTransport {
+    rank: Rank,
+    dir: PathBuf,
+    peers: Vec<Peer>,
+    inbox: Receiver<Frame>,
+    /// Keeps the inbox channel alive even with no reader connected.
+    _inbox_tx: Sender<Frame>,
+    /// Frames below this generation are dropped by reader threads before
+    /// they reach the inbox (socket-boundary epoch fence).
+    fence_floor: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    /// Backoff schedule for lazy outbound connects (first contact may
+    /// race the peer's bind).
+    connect: RetryPolicy,
+}
+
+impl SocketTransport {
+    /// Binds `rank`'s listening socket under `dir` and starts the
+    /// acceptor. Outbound connections are made lazily on first transmit,
+    /// retried under `connect` (peers may still be binding).
+    pub fn bind(
+        dir: &Path,
+        rank: Rank,
+        world: usize,
+        connect: RetryPolicy,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = sock_path(dir, rank);
+        // A stale socket file from a SIGKILLed predecessor blocks bind.
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = unbounded();
+        let fence_floor = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let tx = tx.clone();
+            let fence_floor = fence_floor.clone();
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name(format!("sock-accept-{rank}"))
+                .spawn(move || accept_loop(listener, tx, fence_floor, shutdown))?
+        };
+        let peers = (0..world)
+            .map(|_| Peer {
+                out: Mutex::new(PeerOut {
+                    stream: None,
+                    ever_connected: false,
+                    generation: 0,
+                    tag_seqs: HashMap::new(),
+                }),
+                link_ok: AtomicBool::new(true),
+            })
+            .collect();
+        Ok(SocketTransport {
+            rank,
+            dir: dir.to_path_buf(),
+            peers,
+            inbox: rx,
+            _inbox_tx: tx,
+            fence_floor,
+            shutdown,
+            acceptor: Some(acceptor),
+            connect,
+        })
+    }
+
+    /// Attempts to (re)connect `out` to `dst` under `policy`. Returns
+    /// whether a live stream is installed afterwards.
+    fn ensure_stream(&self, dst: Rank, out: &mut PeerOut, policy: &RetryPolicy) -> bool {
+        if out.stream.is_some() {
+            return true;
+        }
+        let path = sock_path(&self.dir, dst);
+        match policy.retry(|_| UnixStream::connect(&path)) {
+            Ok(s) => {
+                out.stream = Some(s);
+                out.ever_connected = true;
+                self.peers[dst].link_ok.store(true, Ordering::SeqCst);
+                true
+            }
+            Err(_) => {
+                self.peers[dst].link_ok.store(false, Ordering::SeqCst);
+                false
+            }
+        }
+    }
+
+    /// The connect policy for a transmit-time (re)connect to `out`.
+    fn connect_policy(&self, out: &PeerOut) -> RetryPolicy {
+        if out.ever_connected {
+            RetryPolicy::poll().with_deadline(Duration::from_millis(50))
+        } else {
+            self.connect
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn transmit(&self, dst: Rank, generation: u64, tag: u64, payload: Bytes) -> TransmitOutcome {
+        if dst >= self.peers.len() || dst == self.rank {
+            return TransmitOutcome::PeerGone;
+        }
+        let peer = &self.peers[dst];
+        let mut out = peer.out.lock();
+        if generation > out.generation {
+            // First transmit of a new generation: the recovery fence
+            // rolled both ends of every stream back to zero.
+            out.generation = generation;
+            out.tag_seqs.clear();
+        }
+        let policy = self.connect_policy(&out);
+        if !self.ensure_stream(dst, &mut out, &policy) {
+            return TransmitOutcome::PeerGone;
+        }
+        // Counters advance only after a successful write, so a failed
+        // frame's slot is re-used by the retransmission instead of
+        // leaving a hole the receiver would wait on forever.
+        let tag_seq = out.tag_seqs.get(&tag).copied().unwrap_or(0);
+        let mut buf = Vec::with_capacity(4 + HEADER_LEN + payload.len());
+        buf.extend_from_slice(&((HEADER_LEN + payload.len()) as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        buf.extend_from_slice(&tag.to_le_bytes());
+        buf.extend_from_slice(&tag_seq.to_le_bytes());
+        buf.extend_from_slice(&generation.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let mut wrote = match out.stream.as_mut() {
+            Some(s) => s.write_all(&buf).is_ok(),
+            None => false,
+        };
+        if !wrote {
+            // EPIPE/ECONNRESET. A broken *stream* is not yet evidence of
+            // a dead *peer*: this may be a stale pre-failure connection
+            // to a SIGKILLed predecessor whose replacement has re-bound
+            // the address. Retry once on a fresh connection; only a
+            // failed connect condemns the peer.
+            out.stream = None;
+            let quick = RetryPolicy::poll().with_deadline(Duration::from_millis(50));
+            if self.ensure_stream(dst, &mut out, &quick) {
+                wrote = match out.stream.as_mut() {
+                    Some(s) => s.write_all(&buf).is_ok(),
+                    None => false,
+                };
+            }
+        }
+        if !wrote {
+            // The peer is unreachable. Sever the link; the failure
+            // detector takes it from here, and any frames lost in the
+            // peer's kernel buffers are resynchronized by the
+            // generation fence.
+            out.stream = None;
+            peer.link_ok.store(false, Ordering::SeqCst);
+            return TransmitOutcome::PeerGone;
+        }
+        *out.tag_seqs.entry(tag).or_insert(0) += 1;
+        TransmitOutcome::Sent
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvEvent {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(f) => RecvEvent::Frame(f),
+            Err(RecvTimeoutError::Timeout) => RecvEvent::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvEvent::Disconnected,
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while let Ok(f) = self.inbox.try_recv() {
+            out.push(f);
+        }
+        out
+    }
+
+    fn link_up(&self, rank: Rank) -> bool {
+        rank == self.rank
+            || self
+                .peers
+                .get(rank)
+                .map(|p| p.link_ok.load(Ordering::SeqCst))
+                .unwrap_or(false)
+    }
+
+    fn probe_link(&self, rank: Rank) -> bool {
+        if self.link_up(rank) {
+            return true;
+        }
+        let Some(peer) = self.peers.get(rank) else {
+            return false;
+        };
+        // One quick reconnect attempt: a replacement process that
+        // re-bound the address counts as the link coming back up, so a
+        // recovered rank is not re-declared dead on the next timeout.
+        let mut out = peer.out.lock();
+        out.stream = None;
+        let quick = RetryPolicy::poll().with_deadline(Duration::from_millis(50));
+        self.ensure_stream(rank, &mut out, &quick)
+    }
+
+    fn fence_generation(&self, generation: u64) {
+        let rose = self.fence_floor.fetch_max(generation, Ordering::SeqCst) < generation;
+        if !rose {
+            return;
+        }
+        // A rising fence means a recovery happened: every outbound
+        // stream predates it and is stale by definition. Sever them all
+        // so post-fence traffic starts on fresh connections instead of
+        // vanishing into a dead predecessor's kernel buffer (a write
+        // there can still succeed before the OS notices the reset).
+        for peer in &self.peers {
+            peer.out.lock().stream = None;
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(sock_path(&self.dir, self.rank));
+    }
+}
+
+/// Accepts inbound connections until shutdown, handing each to a reader
+/// thread that decodes frames into the shared inbox.
+fn accept_loop(
+    listener: UnixListener,
+    tx: Sender<Frame>,
+    fence_floor: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let fence_floor = fence_floor.clone();
+                let shutdown = shutdown.clone();
+                let _ = std::thread::Builder::new()
+                    .name("sock-reader".to_string())
+                    .spawn(move || reader_loop(stream, tx, fence_floor, shutdown));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Decodes length-prefixed frames off one connection until EOF, error or
+/// shutdown. A frame truncated by the sender's death (EOF mid-frame) is
+/// silently dropped — the stream counters never advanced past it on the
+/// sender, and recovery re-fences the link anyway.
+fn reader_loop(
+    mut stream: UnixStream,
+    tx: Sender<Frame>,
+    fence_floor: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(READER_POLL));
+    let mut len_buf = [0u8; 4];
+    loop {
+        if !read_full(&mut stream, &mut len_buf, &shutdown) {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len < HEADER_LEN {
+            return; // Malformed stream: drop the connection.
+        }
+        let mut body = vec![0u8; len];
+        if !read_full(&mut stream, &mut body, &shutdown) {
+            return;
+        }
+        let mut b = Bytes::from(body);
+        let src = b.get_u64_le() as Rank;
+        let tag = b.get_u64_le();
+        let tag_seq = b.get_u64_le();
+        let generation = b.get_u64_le();
+        if generation < fence_floor.load(Ordering::SeqCst) {
+            // Stale-epoch traffic: rejected at the socket boundary.
+            continue;
+        }
+        let frame = Frame {
+            src,
+            tag,
+            tag_seq,
+            generation,
+            deliver_at: Instant::now(),
+            payload: b,
+            vc: None,
+        };
+        if tx.send(frame).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, riding out read timeouts while the
+/// transport is live. Returns false on EOF, hard error or shutdown.
+fn read_full(stream: &mut UnixStream, buf: &mut [u8], shutdown: &AtomicBool) -> bool {
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(label: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("swift-sock-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn pair(dir: &Path) -> (SocketTransport, SocketTransport) {
+        let policy = RetryPolicy::poll().with_deadline(Duration::from_secs(2));
+        let a = SocketTransport::bind(dir, 0, 2, policy).unwrap();
+        let b = SocketTransport::bind(dir, 1, 2, policy).unwrap();
+        (a, b)
+    }
+
+    fn recv_one(t: &mut SocketTransport) -> Frame {
+        match t.recv_timeout(Duration::from_secs(2)) {
+            RecvEvent::Frame(f) => f,
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_with_stream_seqs() {
+        let dir = tmp_dir("rt");
+        let (a, mut b) = pair(&dir);
+        for i in 0..3u8 {
+            assert_eq!(
+                a.transmit(1, 0, 7, Bytes::from(vec![i; 4])),
+                TransmitOutcome::Sent
+            );
+        }
+        for i in 0..3u64 {
+            let f = recv_one(&mut b);
+            assert_eq!((f.src, f.tag, f.tag_seq, f.generation), (0, 7, i, 0));
+            assert_eq!(f.payload.as_ref(), &[i as u8; 4]);
+        }
+        drop((a, b));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn generation_bump_resets_stream_counters() {
+        let dir = tmp_dir("gen");
+        let (a, mut b) = pair(&dir);
+        a.transmit(1, 0, 7, Bytes::from_static(b"old"));
+        a.transmit(1, 1, 7, Bytes::from_static(b"new"));
+        let f0 = recv_one(&mut b);
+        let f1 = recv_one(&mut b);
+        assert_eq!((f0.generation, f0.tag_seq), (0, 0));
+        // The counters reset at the bump: generation 1 restarts at 0.
+        assert_eq!((f1.generation, f1.tag_seq), (1, 0));
+        drop((a, b));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fence_floor_drops_stale_generations_at_the_boundary() {
+        let dir = tmp_dir("fence");
+        let (a, mut b) = pair(&dir);
+        b.fence_generation(1);
+        // Let the fence settle before the stale frame is decoded.
+        a.transmit(1, 0, 7, Bytes::from_static(b"stale"));
+        a.transmit(1, 1, 7, Bytes::from_static(b"live"));
+        let f = recv_one(&mut b);
+        assert_eq!(f.generation, 1);
+        assert_eq!(f.payload.as_ref(), b"live");
+        drop((a, b));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_stream_retries_onto_a_replacement_before_condemning_the_peer() {
+        let dir = tmp_dir("stale");
+        let policy = RetryPolicy::poll().with_deadline(Duration::from_millis(200));
+        let a = SocketTransport::bind(&dir, 0, 2, policy).unwrap();
+        {
+            let b = SocketTransport::bind(&dir, 1, 2, policy).unwrap();
+            assert_eq!(
+                a.transmit(1, 0, 7, Bytes::from_static(b"pre")),
+                TransmitOutcome::Sent
+            );
+            drop(b); // The predecessor dies; `a` still holds the old stream.
+        }
+        // Let the predecessor's reader threads notice shutdown and close
+        // their ends, so the stale stream actually turns into EPIPE.
+        std::thread::sleep(Duration::from_millis(60));
+        // A replacement re-binds the address. `a`'s next writes ride the
+        // stale stream into EPIPE territory — the retry-on-fresh-
+        // connection path must land them on the replacement instead of
+        // reporting PeerGone (which would re-declare the rank dead).
+        let mut b2 = SocketTransport::bind(&dir, 1, 2, policy).unwrap();
+        for i in 0..5u8 {
+            assert_eq!(
+                a.transmit(1, 1, 7, Bytes::from(vec![i; 2])),
+                TransmitOutcome::Sent,
+                "transmit {i} must survive the stale stream"
+            );
+        }
+        assert!(a.link_up(1), "link must stay up across the retry");
+        // At least the post-EPIPE frames arrive at the replacement (the
+        // OS may swallow writes buffered before it noticed the reset;
+        // those are resynchronized by the generation fence in practice).
+        let f = recv_one(&mut b2);
+        assert_eq!((f.src, f.generation), (0, 1));
+        drop((a, b2));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rising_fence_severs_stale_outbound_streams() {
+        let dir = tmp_dir("sever");
+        let (a, mut b) = pair(&dir);
+        assert_eq!(
+            a.transmit(1, 0, 7, Bytes::from_static(b"pre")),
+            TransmitOutcome::Sent
+        );
+        assert_eq!(recv_one(&mut b).payload.as_ref(), b"pre");
+        a.fence_generation(1);
+        assert!(
+            a.peers[1].out.lock().stream.is_none(),
+            "fence must sever outbound streams"
+        );
+        // Traffic resumes on a fresh connection.
+        assert_eq!(
+            a.transmit(1, 1, 7, Bytes::from_static(b"post")),
+            TransmitOutcome::Sent
+        );
+        assert_eq!(recv_one(&mut b).payload.as_ref(), b"post");
+        drop((a, b));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn dead_peer_severs_link_and_probe_reconnects_replacement() {
+        let dir = tmp_dir("dead");
+        let policy = RetryPolicy::poll().with_deadline(Duration::from_millis(100));
+        let a = SocketTransport::bind(&dir, 0, 2, policy).unwrap();
+        {
+            let b = SocketTransport::bind(&dir, 1, 2, policy).unwrap();
+            assert_eq!(
+                a.transmit(1, 0, 7, Bytes::from_static(b"x")),
+                TransmitOutcome::Sent
+            );
+            drop(b); // Rank 1 "dies": its socket file disappears.
+        }
+        // Writes eventually fail (the OS may buffer one), severing the link.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while a.link_up(1) && Instant::now() < deadline {
+            let _ = a.transmit(1, 0, 7, Bytes::from_static(b"y"));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!a.link_up(1), "link should sever after peer death");
+        assert!(!a.probe_link(1), "no replacement yet");
+        // A replacement re-binds the same address; the probe finds it.
+        let b2 = SocketTransport::bind(&dir, 1, 2, policy).unwrap();
+        assert!(a.probe_link(1), "probe should reconnect to the replacement");
+        assert!(a.link_up(1));
+        drop((a, b2));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,171 @@
+//! The transport abstraction: how frames move between ranks.
+//!
+//! [`Comm`](crate::comm::Comm) implements ordering, generation fencing,
+//! failure detection and collectives once, against this trait; backends
+//! supply the actual fabric. Two exist:
+//!
+//! - [`ChannelTransport`]: the in-process crossbeam fabric (one thread
+//!   per rank). Deterministic, injectable, the CI default.
+//! - [`SocketTransport`](crate::socket::SocketTransport): one OS process
+//!   per rank over Unix-domain sockets, where a crash is a real `SIGKILL`
+//!   and reconnection is a real `connect(2)`.
+//!
+//! The frame header is identical across backends — `(src, tag, tag_seq,
+//! generation)` — so the stream-ordering and epoch-fencing logic in
+//! `Comm` observes the same protocol whichever fabric carries it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+use crate::comm::Fabric;
+use crate::faults::FaultInjector;
+use crate::topology::Rank;
+use crate::trace::Tracer;
+
+/// One in-flight message, as seen by a receiver.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Sending rank.
+    pub src: Rank,
+    /// User or collective tag.
+    pub tag: u64,
+    /// Position in the per-`(src, dst, tag)` stream. Receivers deliver
+    /// each stream strictly in order, exactly once.
+    pub tag_seq: u64,
+    /// Sender's failure generation; receivers fence older generations.
+    pub generation: u64,
+    /// Earliest delivery time (injected delay; `now` when fault-free).
+    pub deliver_at: Instant,
+    /// The payload bytes.
+    pub payload: Bytes,
+    /// Sender's vector clock at send time (tracing enabled only).
+    pub vc: Option<Arc<Vec<u64>>>,
+}
+
+/// What became of a [`Transport::transmit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// The frame was handed to the fabric.
+    Sent,
+    /// A crash trigger fired on the sender mid-send; the message died
+    /// with the machine.
+    SenderCrashed,
+    /// The destination is unreachable (inbox dropped, socket refused or
+    /// broken). The frame may be lost; recovery re-synchronizes streams
+    /// via the generation fence.
+    PeerGone,
+}
+
+/// What a bounded receive produced.
+#[derive(Debug)]
+pub enum RecvEvent {
+    /// A frame arrived.
+    Frame(Frame),
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// The receive side is permanently gone (fabric torn down).
+    Disconnected,
+}
+
+/// A rank's connection to the fabric.
+///
+/// Implementations own the sender-side stream counters (so `tag_seq`
+/// stamping is theirs) and the inbound queue. They do *not* implement
+/// ordering, deduplication or fencing — that is `Comm`'s job, identical
+/// across backends.
+pub trait Transport: Send {
+    /// Stamps sequence numbers and ships `payload` to `dst`.
+    fn transmit(&self, dst: Rank, generation: u64, tag: u64, payload: Bytes) -> TransmitOutcome;
+
+    /// Blocks up to `timeout` for the next inbound frame.
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvEvent;
+
+    /// Drains every frame currently queued inbound (recovery purge).
+    fn drain(&mut self) -> Vec<Frame>;
+
+    /// Whether `rank`'s link is believed up — the cheap, non-blocking
+    /// liveness signal consulted before sends and on receive timeouts.
+    fn link_up(&self, rank: Rank) -> bool;
+
+    /// Like [`link_up`](Transport::link_up), but allowed to do work to
+    /// find out (a socket backend attempts a reconnect). Used on receive
+    /// timeouts so a peer that *recovered* since the last failure is not
+    /// re-declared dead.
+    fn probe_link(&self, rank: Rank) -> bool {
+        self.link_up(rank)
+    }
+
+    /// Raises the backend's generation fence floor: frames stamped with
+    /// an older generation may be rejected before they are queued (the
+    /// socket backend drops them at the boundary). Purely an early
+    /// filter — `Comm` fences stale generations again on receive.
+    fn fence_generation(&self, _generation: u64) {}
+
+    /// The fault injector shaping this transport's traffic, if any.
+    fn injector(&self) -> Option<Arc<FaultInjector>> {
+        None
+    }
+
+    /// The protocol tracer observing this transport, if any.
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        None
+    }
+}
+
+/// The in-process backend: a receiver on the shared channel
+/// [`Fabric`]. Sends go through the fabric (which owns the stream
+/// counters and the injector); receives drain this rank's inbox.
+pub struct ChannelTransport {
+    fabric: Arc<Fabric>,
+    rank: Rank,
+    inbox: Receiver<Frame>,
+}
+
+impl ChannelTransport {
+    /// Wraps one rank's end of the channel fabric.
+    pub fn new(fabric: Arc<Fabric>, rank: Rank, inbox: Receiver<Frame>) -> Self {
+        ChannelTransport {
+            fabric,
+            rank,
+            inbox,
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn transmit(&self, dst: Rank, generation: u64, tag: u64, payload: Bytes) -> TransmitOutcome {
+        self.fabric
+            .transmit(self.rank, dst, generation, tag, payload)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvEvent {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(f) => RecvEvent::Frame(f),
+            Err(RecvTimeoutError::Timeout) => RecvEvent::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvEvent::Disconnected,
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while let Ok(f) = self.inbox.try_recv() {
+            out.push(f);
+        }
+        out
+    }
+
+    fn link_up(&self, rank: Rank) -> bool {
+        self.fabric.link_up(rank)
+    }
+
+    fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fabric.injector()
+    }
+
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.fabric.tracer()
+    }
+}

@@ -93,11 +93,14 @@ pub enum Counter {
     /// what bubbles could hide, so the record was written synchronously
     /// on the critical path (§5.4 spill rule).
     SpilledBytes,
+    /// WAL records found truncated mid-record (a torn write from a
+    /// crash during flush) and skipped-and-reported by replay.
+    TornWalRecords,
 }
 
 impl Counter {
     /// All counters, index-aligned with the recorder's storage.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 8] = [
         Counter::BytesLogged,
         Counter::BubbleBytes,
         Counter::Retransmits,
@@ -105,6 +108,7 @@ impl Counter {
         Counter::UndoneUpdates,
         Counter::CheckpointBytes,
         Counter::SpilledBytes,
+        Counter::TornWalRecords,
     ];
 
     /// Stable snake_case name (used in JSON renderings).
@@ -117,6 +121,7 @@ impl Counter {
             Counter::UndoneUpdates => "undone_updates",
             Counter::CheckpointBytes => "checkpoint_bytes",
             Counter::SpilledBytes => "spilled_bytes",
+            Counter::TornWalRecords => "torn_wal_records",
         }
     }
 
@@ -129,6 +134,7 @@ impl Counter {
             Counter::UndoneUpdates => 4,
             Counter::CheckpointBytes => 5,
             Counter::SpilledBytes => 6,
+            Counter::TornWalRecords => 7,
         }
     }
 }
@@ -156,6 +162,12 @@ pub enum Event {
         epoch: Epoch,
         phase: Phase,
     },
+    /// The process supervisor launched a fresh OS process for `rank`
+    /// (`attempt` 0 is the initial spawn).
+    Spawn { rank: Rank, attempt: u64 },
+    /// The supervisor replaced a dead `rank` process while recovery
+    /// epoch `epoch` was in flight.
+    Respawn { rank: Rank, epoch: Epoch },
 }
 
 /// An [`Event`] with its recorded timestamp (nanoseconds on the wall

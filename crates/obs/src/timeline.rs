@@ -221,6 +221,9 @@ pub fn reconstruct(events: &[Stamped]) -> Result<Timeline, TimelineError> {
                     .or_default()
                     .push((*phase, false));
             }
+            // Process lifecycle markers: context for humans reading the
+            // raw event stream, not part of the phase accounting.
+            Event::Spawn { .. } | Event::Respawn { .. } => {}
         }
     }
 

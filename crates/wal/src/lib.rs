@@ -24,7 +24,7 @@ pub mod usecase;
 
 pub use grouping::{plan_groups, sweep_storage_caps, GroupMap, Plan, PlannerInput};
 pub use logger::{LogMode, LogPrecision, LogStats, Logger, LoggingObserver};
-pub use record::{LogRecord, LogStamp, MsgKindCode};
+pub use record::{LogRecord, LogStamp, MsgKindCode, WalError};
 pub use replay::{
     assign_microbatches, replay_iteration_parallel, Endpoint, LogAudit, ReplayTransport, WalReader,
 };

@@ -9,6 +9,44 @@ use swift_net::Rank;
 use swift_pipeline::MsgKind;
 use swift_tensor::Tensor;
 
+/// Why a WAL blob failed to decode. The distinction matters to
+/// recovery: a truncated record is the *expected* artifact of a crash
+/// mid-flush (fail-stop tears the tail write) and is skipped and
+/// reported; anything else is corruption the store should never
+/// produce and aborts replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The blob ended mid-record: a torn tail write. `have` is how many
+    /// bytes survived.
+    TruncatedRecord { have: usize },
+    /// Unknown direction byte — corruption, not a torn write.
+    BadKind(u8),
+    /// The tensor payload is malformed for a non-truncation reason.
+    Payload(String),
+}
+
+impl WalError {
+    /// True when the failure is a torn tail write rather than
+    /// corruption.
+    pub fn is_truncation(&self) -> bool {
+        matches!(self, WalError::TruncatedRecord { .. })
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::TruncatedRecord { have } => {
+                write!(f, "log record truncated mid-write ({have} bytes survived)")
+            }
+            WalError::BadKind(b) => write!(f, "bad kind byte {b}"),
+            WalError::Payload(detail) => write!(f, "bad tensor payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
 /// The replay timestamp: recovery re-executes records in ascending
 /// `(iteration, microbatch)` order, forwards before backwards within a
 /// micro-batch.
@@ -185,10 +223,13 @@ impl LogRecord {
         }
     }
 
-    /// Decodes a record payload.
-    pub fn decode(mut buf: Bytes) -> Result<Self, String> {
-        if buf.remaining() < 33 {
-            return Err("log record truncated".into());
+    /// Decodes a record payload. Truncation anywhere — header or tensor
+    /// payload — surfaces as [`WalError::TruncatedRecord`] so recovery
+    /// can treat the blob as a torn tail write.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WalError> {
+        let have = buf.remaining();
+        if have < 33 {
+            return Err(WalError::TruncatedRecord { have });
         }
         let src = buf.get_u64_le() as Rank;
         let dst = buf.get_u64_le() as Rank;
@@ -197,9 +238,12 @@ impl LogRecord {
         let kind = match buf.get_u8() {
             0 => MsgKindCode::Activation,
             1 => MsgKindCode::Gradient,
-            b => return Err(format!("bad kind byte {b}")),
+            b => return Err(WalError::BadKind(b)),
         };
-        let tensor = swift_tensor::decode(&mut buf).map_err(|e| e.to_string())?;
+        let tensor = swift_tensor::decode(&mut buf).map_err(|e| match e {
+            swift_tensor::DecodeError::Truncated => WalError::TruncatedRecord { have },
+            other => WalError::Payload(other.to_string()),
+        })?;
         Ok(LogRecord {
             src,
             dst,
@@ -331,15 +375,43 @@ mod tests {
     }
 
     #[test]
-    fn truncation_rejected() {
-        let enc = rec(1, 1, MsgKind::Activation).encode();
-        assert!(LogRecord::decode(enc.slice(0..10)).is_err());
+    fn truncation_at_every_byte_offset_is_typed() {
+        // A torn flush can cut the record at *any* byte. Every strict
+        // prefix must decode to TruncatedRecord — never panic, never
+        // succeed, never be misread as corruption.
+        let r = rec(1, 1, MsgKind::Activation);
+        for enc in [r.encode(), r.encode_precision(true)] {
+            for n in 0..enc.len() {
+                match LogRecord::decode(enc.slice(0..n)) {
+                    Err(WalError::TruncatedRecord { have }) => assert_eq!(have, n),
+                    other => panic!("prefix of {n}/{} bytes decoded to {other:?}", enc.len()),
+                }
+            }
+            assert_eq!(LogRecord::decode(enc.clone()).unwrap(), r);
+        }
     }
 
     #[test]
     fn bad_kind_rejected() {
         let mut raw = rec(0, 0, MsgKind::Activation).encode().to_vec();
         raw[32] = 9;
-        assert!(LogRecord::decode(Bytes::from(raw)).is_err());
+        assert_eq!(
+            LogRecord::decode(Bytes::from(raw)),
+            Err(WalError::BadKind(9))
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_is_not_reported_as_truncation() {
+        // Flip the declared element count: same length, inconsistent
+        // header. Must surface as Payload, not TruncatedRecord.
+        let enc = rec(2, 0, MsgKind::Gradient).encode();
+        let mut raw = enc.to_vec();
+        // Header is 33 bytes; tensor layout: magic u32, rank u32, dims
+        // (rank × u64), declared u64. rank is 1 here, so `declared`
+        // starts at 33 + 4 + 4 + 8.
+        raw[33 + 16] ^= 0x01;
+        let err = LogRecord::decode(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, WalError::Payload(_)), "got {err:?}");
     }
 }

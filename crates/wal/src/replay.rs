@@ -63,15 +63,42 @@ impl WalReader {
     }
 
     /// Every record of one iteration, in replay (timestamp) order.
+    /// Torn tail records are skipped and reported (see
+    /// [`WalReader::records_for_audited`]).
     pub fn records_for(&self, iteration: IterationId) -> std::io::Result<Vec<LogRecord>> {
+        Ok(self.records_for_audited(iteration)?.0)
+    }
+
+    /// Like [`WalReader::records_for`], but also returns the store keys
+    /// of records found truncated mid-write.
+    ///
+    /// A truncated record is the expected artifact of a crash during a
+    /// WAL flush (fail-stop tears the tail write): it is *skipped and
+    /// reported* — counted under `Counter::TornWalRecords` and returned
+    /// in the second element — so the rest of the log stays usable and
+    /// the audit ([`WalReader::verify`]) decides whether the gap is
+    /// recoverable. Any other decode failure is corruption the store
+    /// should never produce and aborts with `InvalidData`.
+    pub fn records_for_audited(
+        &self,
+        iteration: IterationId,
+    ) -> std::io::Result<(Vec<LogRecord>, Vec<String>)> {
         let mut recs = Vec::new();
+        let mut torn = Vec::new();
         for key in self.store.list(&LogRecord::iter_prefix(iteration.get()))? {
-            let rec = LogRecord::decode(self.store.get(&key)?)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            recs.push(rec);
+            match LogRecord::decode(self.store.get(&key)?) {
+                Ok(rec) => recs.push(rec),
+                Err(e) if e.is_truncation() => {
+                    swift_obs::add(swift_obs::Counter::TornWalRecords, 1);
+                    torn.push(key);
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                }
+            }
         }
         recs.sort_by_key(|r| r.stamp);
-        Ok(recs)
+        Ok((recs, torn))
     }
 }
 
@@ -212,12 +239,17 @@ impl Transport for ReplayTransport<'_> {
 pub struct LogAudit {
     /// `(src, dst, iteration, microbatch, kind)` of each missing record.
     pub missing: Vec<(Rank, Rank, u64, u64, MsgKind)>,
+    /// Records that exist but were truncated mid-write — a crash tore
+    /// the tail flush. Distinguished from `missing` so operators can
+    /// tell "never logged" from "logged but the machine died writing
+    /// it"; both make precise recovery of that record impossible.
+    pub torn: Vec<(Rank, Rank, u64, u64, MsgKind)>,
 }
 
 impl LogAudit {
-    /// True when every required record is present.
+    /// True when every required record is present and intact.
     pub fn complete(&self) -> bool {
-        self.missing.is_empty()
+        self.missing.is_empty() && self.torn.is_empty()
     }
 }
 
@@ -234,11 +266,18 @@ impl WalReader {
         for it in iterations {
             for mb in 0..microbatches {
                 for &(src, dst, kind) in boundaries {
-                    if self
-                        .read(src, dst, IterationId::new(it), MicrobatchId::new(mb), kind)
-                        .is_err()
-                    {
-                        audit.missing.push((src, dst, it, mb, kind));
+                    let key = LogRecord::key_for(src, dst, it, mb, kind.into());
+                    match self.store.get(&key) {
+                        Err(_) => audit.missing.push((src, dst, it, mb, kind)),
+                        Ok(payload) => match LogRecord::decode(payload) {
+                            Ok(_) => {}
+                            Err(e) if e.is_truncation() => {
+                                audit.torn.push((src, dst, it, mb, kind));
+                            }
+                            // Non-truncation corruption is as unusable
+                            // as an absent record.
+                            Err(_) => audit.missing.push((src, dst, it, mb, kind)),
+                        },
                     }
                 }
             }
@@ -305,9 +344,18 @@ where
             }
             let mut items = Vec::with_capacity(keys.len());
             for key in keys {
-                let rec = LogRecord::decode(reader.store.get(key)?)
-                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-                items.push(process(&rec));
+                match LogRecord::decode(reader.store.get(key)?) {
+                    Ok(rec) => items.push(process(&rec)),
+                    // Torn tail write: skip-and-report, keep replaying
+                    // the intact records. The pre-flight audit decides
+                    // whether the gap forces a checkpoint fallback.
+                    Err(e) if e.is_truncation() => {
+                        swift_obs::add(swift_obs::Counter::TornWalRecords, 1);
+                    }
+                    Err(e) => {
+                        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                    }
+                }
             }
             out.push((gi, items));
         }
@@ -481,6 +529,65 @@ mod tests {
         let out = replay_iteration_parallel(&reader, IterationId::new(99), 4, |r| r.stamp).unwrap();
         assert!(out.is_empty());
     }
+
+    /// Overwrites one record with a strict byte prefix of its encoding —
+    /// exactly what a crash mid-flush leaves behind.
+    fn tear_record(reader: &WalReader, rec: &LogRecord, keep: usize) {
+        let enc = rec.encode();
+        assert!(keep < enc.len());
+        reader.store.put(&rec.key(), &enc[..keep]).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_reported() {
+        let reader = populated_reader(4);
+        let victim = LogRecord::new(
+            0,
+            1,
+            0,
+            3,
+            MsgKind::Activation,
+            Tensor::from_vec([3], vec![3.0, 0.0, 0.1 + 3.0 * 0.7]),
+        );
+        tear_record(&reader, &victim, 20);
+        let (recs, torn) = reader.records_for_audited(IterationId::new(0)).unwrap();
+        assert_eq!(torn, vec![victim.key()]);
+        assert_eq!(recs.len(), 7, "the 7 intact records survive");
+        assert!(recs.iter().all(|r| r.key() != victim.key()));
+        // Parallel replay over the torn log matches a sequential replay
+        // of the surviving records, bitwise.
+        for workers in [1usize, 2, 4] {
+            let out = replay_iteration_parallel(&reader, IterationId::new(0), workers, |r| {
+                (r.key(), r.tensor.clone())
+            })
+            .unwrap();
+            assert_eq!(out.len(), recs.len(), "workers={workers}");
+            for ((k, t), r) in out.iter().zip(&recs) {
+                assert_eq!(k, &r.key());
+                assert!(t.bit_eq(&r.tensor));
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_at_any_offset_never_aborts_replay() {
+        let victim = LogRecord::new(
+            2,
+            1,
+            0,
+            1,
+            MsgKind::Gradient,
+            Tensor::from_vec([3], vec![1.0, 2.0, 0.8]),
+        );
+        let full = victim.encode().len();
+        for keep in [0, 1, 32, 33, full / 2, full - 1] {
+            let reader = populated_reader(3);
+            tear_record(&reader, &victim, keep);
+            let (recs, torn) = reader.records_for_audited(IterationId::new(0)).unwrap();
+            assert_eq!(torn.len(), 1, "keep={keep}");
+            assert_eq!(recs.len(), 5, "keep={keep}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +633,29 @@ mod audit_tests {
         let reader = WalReader::new(store);
         let audit = reader.verify(&[(0, 1, MsgKind::Activation)], 0..3, 2);
         assert_eq!(audit.missing, vec![(0, 1, 1, 1, MsgKind::Activation)]);
+        assert!(audit.torn.is_empty());
+        assert!(!audit.complete());
+    }
+
+    #[test]
+    fn verify_distinguishes_torn_from_missing() {
+        let store = BlobStore::new_temp("audit3").unwrap();
+        for it in 0..3u64 {
+            let r = LogRecord::new(0, 1, it, 0, MsgKind::Activation, Tensor::ones([2]));
+            store.put(&r.key(), &r.encode()).unwrap();
+        }
+        // Iteration 1's record is torn mid-write; iteration 2's was
+        // never logged at all.
+        let torn = LogRecord::new(0, 1, 1, 0, MsgKind::Activation, Tensor::ones([2]));
+        let enc = torn.encode();
+        store.put(&torn.key(), &enc[..enc.len() / 2]).unwrap();
+        let gone = LogRecord::new(0, 1, 2, 0, MsgKind::Activation, Tensor::ones([2]));
+        store.delete(&gone.key()).unwrap();
+
+        let reader = WalReader::new(store);
+        let audit = reader.verify(&[(0, 1, MsgKind::Activation)], 0..3, 1);
+        assert_eq!(audit.torn, vec![(0, 1, 1, 0, MsgKind::Activation)]);
+        assert_eq!(audit.missing, vec![(0, 1, 2, 0, MsgKind::Activation)]);
         assert!(!audit.complete());
     }
 }

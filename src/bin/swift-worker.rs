@@ -1,0 +1,9 @@
+//! One rank of a multi-process training job. Spawned by the process
+//! supervisor ([`swift::core::process::run_process_scenario`]) with its
+//! configuration in `SWIFT_WORKER_*` environment variables; never meant
+//! to be launched by hand. Exists so that failure injection can be a
+//! real `SIGKILL` against a real PID.
+
+fn main() {
+    std::process::exit(swift::core::process::worker_main());
+}
