@@ -271,7 +271,19 @@ impl BucketedAllreduce {
                 self.scatter(b, out);
                 on_bucket(self.bucketer.groups_of(b), out)?;
                 let result = Bytes::copy_from_slice(bytemuck_f32(&self.flats[b]));
+                // The root already applied this bucket, so every
+                // *surviving* peer must still receive the result (the
+                // update-before-result-send contract). A peer whose
+                // link is already dark died mid-step: its result is
+                // doomed, and declaring the failure from the fan-out
+                // (which a send to a dark link does) would fence the
+                // sends the survivors behind it still need. Skip it —
+                // the data dependency at the next fold (or the lease
+                // monitor) declares the death instead.
                 for &peer in self.participants.iter().filter(|&&p| p != self.root) {
+                    if !comm.peer_link_up(peer) {
+                        continue;
+                    }
                     comm.send_bytes(peer, tag ^ (1 << 32), result.clone())?;
                 }
             } else {

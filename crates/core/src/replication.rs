@@ -56,11 +56,13 @@ impl DpWorker {
 /// Where to inject a mid-update crash (testing / experiments).
 #[derive(Debug, Clone, Copy)]
 pub struct CrashPoint {
-    /// Crash during this iteration's update…
+    /// Crash during this iteration's backward…
     pub iteration: u64,
-    /// …at the first bucket boundary where at least this many parameter
-    /// groups have been applied (updates land bucket-at-a-time now; 0
-    /// never fires).
+    /// …right after this many parameter groups have been *staged*
+    /// (shipped into the overlapped all-reduce; 0 never fires). Dying
+    /// mid-backward means the victim's already-shipped buckets fold and
+    /// apply on peers while its unshipped ones strand them — the exact
+    /// partial-update window of §2.3 under bucket-at-a-time updates.
     pub after_groups: usize,
 }
 
@@ -71,8 +73,10 @@ pub struct CrashPoint {
 /// gradients across replicas yields the global mean gradient.
 ///
 /// When `crash` matches the current iteration, this worker kills its own
-/// machine right after applying `after_groups` group updates — the exact
-/// mid-update window of the crash-consistency problem (§2.3).
+/// machine right after staging `after_groups` gradient groups into the
+/// overlapped all-reduce: peers fold and apply whatever buckets already
+/// shipped and strand on the rest — the exact mid-update window of the
+/// crash-consistency problem (§2.3).
 pub fn dp_train_step(
     ctx: &mut WorkerCtx,
     w: &mut DpWorker,
@@ -90,9 +94,17 @@ pub fn dp_train_step(
     // the moment its last group's backward completes, so the transfer runs
     // concurrently with the remaining backward compute.
     let numels = w.model.group_numels();
+    let n = w.model.num_param_groups();
+    let crash_at = crash
+        .filter(|c| c.iteration == w.iteration)
+        .map(|c| c.after_groups.min(n))
+        .filter(|&c| c > 0);
+    let fc = ctx.comm.failure_controller().clone();
+    let machine = ctx.machine();
     let mut reducer = BucketedAllreduce::new(ctx.rank(), replicas, &numels, w.bucket_cap_bytes);
     let comm = &mut ctx.comm;
     let mut stage_err: Option<CommError> = None;
+    let mut staged = 0usize;
     w.model.backward_with(step_ctx, &grad, &mut |range, grads| {
         if stage_err.is_some() {
             return;
@@ -102,6 +114,14 @@ pub fn dp_train_step(
         for (g, t) in range.zip(grads.iter()).rev() {
             if let Err(e) = reducer.stage(comm, g, t) {
                 stage_err = Some(e);
+                return;
+            }
+            staged += 1;
+            if crash_at.is_some_and(|c| staged >= c) {
+                // Fail-stop mid-backward: this machine dies with its
+                // volatile state; already-staged buckets are on the wire.
+                fc.kill_machine(machine);
+                stage_err = Some(CommError::SelfKilled);
                 return;
             }
         }
@@ -115,28 +135,14 @@ pub fn dp_train_step(
     // with a *partial* update — the crash-consistency window. The reduced
     // grads land in `last_grads` bucket by bucket: the cached `g_t` the
     // undo needs (§4).
-    let n = w.model.num_param_groups();
-    let crash_at = crash
-        .filter(|c| c.iteration == w.iteration)
-        .map(|c| c.after_groups.min(n))
-        .filter(|&c| c > 0);
     let mut reduced = w.model.grads_snapshot();
-    let mut applied = 0usize;
     let model = &mut w.model;
     let opt = &mut w.opt;
     let tracker = &mut w.tracker;
-    let fc = ctx.comm.failure_controller().clone();
-    let machine = ctx.machine();
     let drained = reducer.finish(&mut ctx.comm, &mut reduced, &mut |range, grads| {
         model.apply_update_with(&mut **opt, grads, range.start, range.end);
         for idx in range.clone() {
             tracker.mark(idx);
-        }
-        applied += range.len();
-        if crash_at.is_some_and(|c| applied >= c) {
-            // Fail-stop: this machine dies mid-update, volatile state lost.
-            fc.kill_machine(machine);
-            return Err(CommError::SelfKilled);
         }
         Ok(())
     });
@@ -403,11 +409,13 @@ mod tests {
 
     #[test]
     fn crash_mid_update_recovery_end_to_end() {
-        // Rank 1's machine dies at iteration 3 after the first gradient
-        // bucket's updates land. Rank 0 undoes whatever it partially
-        // applied, broadcasts to the respawned rank 1, training continues
-        // to iteration 8. Final state must match the failure-free run
-        // within floating-point undo error.
+        // Rank 1's machine dies at iteration 3 right after staging the
+        // first gradient bucket {1,2,3} (3 groups) — so rank 0 folds and
+        // applies that bucket, then strands waiting for bucket {0}: a
+        // guaranteed partial update. Rank 0 undoes it, broadcasts to the
+        // respawned rank 1, training continues to iteration 8. Final
+        // state must match the failure-free run within floating-point
+        // undo error.
         let iters_total = 8u64;
         let cluster = Cluster::new(Topology::uniform(2, 1));
         let fc = cluster.failure_controller();
@@ -447,7 +455,7 @@ mod tests {
             let mut w = make_two_bucket_worker();
             let crash = CrashPoint {
                 iteration: 3,
-                after_groups: 2,
+                after_groups: 3,
             };
             let mut it = 0u64;
             loop {
@@ -492,11 +500,13 @@ mod tests {
             )
             .unwrap();
             w.bucket_cap_bytes = 256;
-            // With backward overlap, the victim pushes all its iteration-3
-            // contributions before it dies mid-drain, so the survivor may
-            // complete iteration 3 (resume=4) or observe the failure first
-            // (resume=3); both are consistent resume points, and the
-            // bit_eq + trajectory asserts below carry the correctness.
+            // The victim dies mid-backward with bucket {1,2,3} shipped
+            // and bucket {0} stranded, so the survivor's partial update
+            // is undone and iteration 3 re-runs (resume=3). Timing may
+            // still let the survivor observe the failure elsewhere
+            // (resume=4 if the whole step somehow completed); both are
+            // consistent resume points, and the bit_eq + trajectory
+            // asserts below carry the correctness.
             assert!(
                 w.iteration == 3 || w.iteration == 4,
                 "resumes from a consistent iteration, got {}",

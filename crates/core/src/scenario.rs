@@ -93,11 +93,16 @@ pub struct DpScenario {
     pub batch_size: usize,
     /// Iterations to train.
     pub iters: u64,
-    /// Optional mid-update crash: (machine, iteration, after_groups).
+    /// Optional mid-backward crash: (machine, iteration, after_groups
+    /// staged).
     pub crash: Option<(usize, u64, usize)>,
     /// Optional adversarial fault plan installed on the fabric (delay,
     /// reorder, drop/retransmit, duplicate, stall, crash triggers).
     pub faults: Option<FaultPlan>,
+    /// Gradient-bucket capacity for the overlapped all-reduce; `None`
+    /// keeps [`crate::bucket::DEFAULT_BUCKET_CAP_BYTES`]. Part of the
+    /// protocol: every rank (and any replacement) must use the same cap.
+    pub bucket_cap_bytes: Option<usize>,
 }
 
 impl DpScenario {
@@ -120,6 +125,7 @@ impl DpScenario {
                 iters: 4,
                 crash: None,
                 faults: None,
+                bucket_cap_bytes: None,
             },
             trace: false,
         }
@@ -158,10 +164,20 @@ impl DpScenarioBuilder {
         self
     }
 
-    /// Injects a mid-update crash on `machine` at `iteration`, after
-    /// `after_groups` parameter groups have been applied.
+    /// Injects a mid-backward crash on `machine` at `iteration`, right
+    /// after `after_groups` parameter groups have been staged into the
+    /// overlapped all-reduce (already-shipped buckets fold and apply on
+    /// peers; unshipped ones strand them mid-update).
     pub fn crash(mut self, machine: usize, iteration: u64, after_groups: usize) -> Self {
         self.cfg.crash = Some((machine, iteration, after_groups));
+        self
+    }
+
+    /// Sets the gradient-bucket capacity in bytes for every rank (and
+    /// any replacement). Smaller caps split the model into more buckets,
+    /// making mid-update crash windows observable on tiny test models.
+    pub fn bucket_cap_bytes(mut self, cap: usize) -> Self {
+        self.cfg.bucket_cap_bytes = Some(cap);
         self
     }
 
@@ -326,6 +342,7 @@ fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
     let batch = cfg.batch_size;
     let iters = cfg.iters;
     let crash = cfg.crash;
+    let bucket_cap = cfg.bucket_cap_bytes;
     // The injected crash fires exactly once: the replacement re-runs the
     // same (machine, iteration) coordinates and must not die again.
     let crash_armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
@@ -349,7 +366,10 @@ fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
         let mf = model_fn.clone();
         let replicas = replicas.clone();
         handles.push(cluster.spawn(rank, move |ctx| {
-            let w = DpWorker::new(mf(), opt_kind.build());
+            let mut w = DpWorker::new(mf(), opt_kind.build());
+            if let Some(cap) = bucket_cap {
+                w.bucket_cap_bytes = cap;
+            }
             wl(ctx, w, replicas)
         }));
     }
@@ -379,7 +399,10 @@ fn run_dp_scenario_impl(cfg: DpScenario, trace: bool) -> ScenarioResult {
         let mf = model_fn.clone();
         let all = replicas.clone();
         replacement_handle = Some(std::thread::spawn(move || {
-            let w = dp_replacement_join(&mut rctx, &*mf, opt_kind, &all);
+            let mut w = dp_replacement_join(&mut rctx, &*mf, opt_kind, &all);
+            if let Some(cap) = bucket_cap {
+                w.bucket_cap_bytes = cap;
+            }
             wl(rctx, w, all)
         }));
     }

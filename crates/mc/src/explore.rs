@@ -1,0 +1,251 @@
+//! Bounded-exhaustive schedule exploration with sleep-set pruning and
+//! state-fingerprint deduplication, plus a seeded random-walk fallback
+//! for configurations past the exhaustive horizon.
+//!
+//! The explorer is a DFS over [`World`] states. At each state the
+//! enabled actions are enumerated in a stable order, so a path is fully
+//! described by its sequence of *choice indices* — that is what gets
+//! serialized into a counterexample and replayed with `--replay`.
+//!
+//! Pruning is two-layer:
+//!
+//! - **Sleep sets** (DPOR's cheap half): after exploring action `a`
+//!   from a state, `a` goes to sleep for the remaining branches; a
+//!   sleeping action wakes only when a dependent action executes. This
+//!   kills the `a;b` / `b;a` commuting-pair blowup without a happens-
+//!   before vector-clock machinery.
+//! - **Visited fingerprints**: protocol-relevant state (ranks, queues,
+//!   KV contents, WAL frontier — *not* the event counter or trace) is
+//!   hashed; a state seen before at the same remaining depth with the
+//!   same sleep set is not re-expanded. Keying on the sleep set is what
+//!   keeps the combination of sleep sets + state matching sound.
+
+use crate::minimize;
+use crate::model::{independent, Action, Config, Violation, World};
+
+/// Exploration bounds and the random-walk fallback's shape.
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Maximum schedule length for the exhaustive pass. Runs that hit
+    /// the bound count in [`Stats::bounded`], not as terminals.
+    pub depth: usize,
+    /// Seed for the random-walk fallback.
+    pub seed: u64,
+    /// Number of random walks after the exhaustive pass (0 disables).
+    pub walks: usize,
+    /// Step cap per random walk (walks past the exhaustive depth are
+    /// the point, so this is usually > `depth`).
+    pub walk_depth: usize,
+    /// Skip counterexample minimization (replay of an un-minimized
+    /// schedule is still deterministic; minimization is for humans).
+    pub no_minimize: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            depth: 80,
+            seed: 0xC0FFEE,
+            walks: 0,
+            walk_depth: 400,
+            no_minimize: false,
+        }
+    }
+}
+
+/// Exploration counters, reported even on success.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Transitions executed by the exhaustive pass.
+    pub explored: u64,
+    /// Branches skipped because the action was asleep.
+    pub pruned_sleep: u64,
+    /// States skipped as already-visited fingerprints.
+    pub pruned_visited: u64,
+    /// Complete executions reached (all live ranks done).
+    pub terminals: u64,
+    /// Paths cut by the depth bound.
+    pub bounded: u64,
+    /// Random-walk steps executed by the fallback.
+    pub walk_steps: u64,
+}
+
+/// A violating schedule, replayable via [`minimize::execute`].
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Choice index at each step (index into the stable `enabled()`
+    /// order of the state it was taken from).
+    pub choices: Vec<usize>,
+    /// Human-readable action keys along the schedule.
+    pub actions: Vec<String>,
+    pub violation: Violation,
+    /// Whether ddmin ran (false for raw random-walk finds with
+    /// minimization disabled).
+    pub minimized: bool,
+}
+
+/// The result of a checking run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub config: Config,
+    pub opts_depth: usize,
+    pub stats: Stats,
+    pub violation: Option<Counterexample>,
+}
+
+/// Runs the bounded-exhaustive pass and, if clean, the random-walk
+/// fallback. First violation wins and is minimized (unless disabled).
+pub fn check(cfg: Config, opts: &ExploreOpts) -> Report {
+    let mut dfs = Dfs {
+        stats: Stats::default(),
+        visited: std::collections::HashSet::new(),
+        path: Vec::new(),
+    };
+    let world = World::new(cfg.clone());
+    let mut found = dfs.go(world, opts.depth, Vec::new());
+    let mut stats = dfs.stats;
+
+    if found.is_none() && opts.walks > 0 {
+        found = random_walks(&cfg, opts, &mut stats);
+    }
+
+    let violation = found.map(|(choices, actions, violation)| {
+        if opts.no_minimize {
+            Counterexample {
+                choices,
+                actions,
+                violation,
+                minimized: false,
+            }
+        } else {
+            minimize::minimize(&cfg, &choices, &violation)
+        }
+    });
+
+    Report {
+        config: cfg,
+        opts_depth: opts.depth,
+        stats,
+        violation,
+    }
+}
+
+type Found = (Vec<usize>, Vec<String>, Violation);
+
+struct Dfs {
+    stats: Stats,
+    visited: std::collections::HashSet<(u64, usize, u64)>,
+    path: Vec<(usize, String)>,
+}
+
+impl Dfs {
+    fn go(&mut self, mut world: World, depth_left: usize, slept: Vec<Action>) -> Option<Found> {
+        if let Some(v) = world.violations.first() {
+            return Some(self.found_here(v.clone()));
+        }
+        if world.done() {
+            world.check_terminal();
+            self.stats.terminals += 1;
+            if let Some(v) = world.violations.first() {
+                return Some(self.found_here(v.clone()));
+            }
+            return None;
+        }
+        let enabled = world.enabled();
+        if enabled.is_empty() {
+            world.check_terminal();
+            return world.violations.first().map(|v| self.found_here(v.clone()));
+        }
+        if depth_left == 0 {
+            self.stats.bounded += 1;
+            return None;
+        }
+        let key = (world.fingerprint(), depth_left, sleep_key(&slept));
+        if !self.visited.insert(key) {
+            self.stats.pruned_visited += 1;
+            return None;
+        }
+        let mut slept = slept;
+        for (i, action) in enabled.iter().enumerate() {
+            if slept.contains(action) {
+                self.stats.pruned_sleep += 1;
+                continue;
+            }
+            let mut child = world.deep_clone();
+            child.apply(action);
+            self.stats.explored += 1;
+            let child_slept: Vec<Action> = slept
+                .iter()
+                .filter(|b| independent(b, action))
+                .cloned()
+                .collect();
+            self.path.push((i, action.key()));
+            if let Some(found) = self.go(child, depth_left - 1, child_slept) {
+                return Some(found);
+            }
+            self.path.pop();
+            slept.push(action.clone());
+        }
+        None
+    }
+
+    fn found_here(&self, violation: Violation) -> Found {
+        let choices = self.path.iter().map(|(i, _)| *i).collect();
+        let actions = self.path.iter().map(|(_, k)| k.clone()).collect();
+        (choices, actions, violation)
+    }
+}
+
+fn sleep_key(slept: &[Action]) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut keys: Vec<String> = slept.iter().map(Action::key).collect();
+    keys.sort();
+    let mut h = DefaultHasher::new();
+    keys.hash(&mut h);
+    h.finish()
+}
+
+/// Seeded xorshift64* — deterministic across runs, no external RNG.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn random_walks(cfg: &Config, opts: &ExploreOpts, stats: &mut Stats) -> Option<Found> {
+    let mut rng = XorShift(opts.seed);
+    for _ in 0..opts.walks {
+        let mut world = World::new(cfg.clone());
+        let mut choices = Vec::new();
+        let mut actions = Vec::new();
+        for _ in 0..opts.walk_depth {
+            if !world.violations.is_empty() || world.done() {
+                break;
+            }
+            let enabled = world.enabled();
+            if enabled.is_empty() {
+                break;
+            }
+            let i = (rng.next() % enabled.len() as u64) as usize;
+            choices.push(i);
+            actions.push(enabled[i].key());
+            world.apply(&enabled[i]);
+            stats.walk_steps += 1;
+        }
+        if world.violations.is_empty() && (world.done() || world.enabled().is_empty()) {
+            world.check_terminal();
+            stats.terminals += 1;
+        }
+        if let Some(v) = world.violations.first() {
+            return Some((choices, actions, v.clone()));
+        }
+    }
+    None
+}

@@ -1,0 +1,313 @@
+//! Wing–Gong linearizability checking of the control-plane history.
+//!
+//! Every KV operation the model's ranks issue is recorded as an
+//! invoke/apply/respond triple of global sequence numbers. Oracle 4
+//! asks: does the *client-visible* history (invocations and responses)
+//! admit a linearization against the sequential map specification? The
+//! server applies operations atomically, so apply order is always a
+//! witness for a *correct* two-phase protocol — what this check catches
+//! is bookkeeping bugs where a response is delivered out of order with
+//! the state it claims to reflect.
+//!
+//! The search is the classic Wing & Gong recursion with two standard
+//! strengthenings: operations are tracked in a `u64` bitmask (histories
+//! here are short), and `(done-mask, state-hash)` pairs are memoized so
+//! equivalent interleaving prefixes are explored once.
+
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use crate::model::{KvCall, KvReq, KvRes};
+
+const MAX_OPS: usize = 64;
+
+/// Checks the recorded history for linearizability. `Err` carries a
+/// human-readable description of the obstruction.
+pub fn check_history(history: &[KvCall]) -> Result<(), String> {
+    // Operations that never reached the server left no trace on the
+    // store; they cannot obstruct a linearization and are dropped.
+    let ops: Vec<&KvCall> = history.iter().filter(|c| c.applied.is_some()).collect();
+    if ops.is_empty() {
+        return Ok(());
+    }
+    if ops.len() > MAX_OPS {
+        return Err(format!(
+            "history of {} applied ops exceeds the {MAX_OPS}-op checker bound",
+            ops.len()
+        ));
+    }
+    let n = ops.len();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // Real-time bounds: an op that never got its response back to the
+    // client stays "open" forever and can be linearized anywhere after
+    // its invocation.
+    let resp: Vec<u64> = ops
+        .iter()
+        .map(|c| c.responded.unwrap_or(u64::MAX))
+        .collect();
+    let inv: Vec<u64> = ops.iter().map(|c| c.invoked).collect();
+
+    let mut memo: HashSet<(u64, u64)> = HashSet::new();
+    let mut state: BTreeMap<String, String> = BTreeMap::new();
+    if search(&ops, &inv, &resp, 0, full, &mut state, &mut memo) {
+        Ok(())
+    } else {
+        Err(describe_obstruction(&ops))
+    }
+}
+
+fn state_hash(state: &BTreeMap<String, String>) -> u64 {
+    let mut h = DefaultHasher::new();
+    state.hash(&mut h);
+    h.finish()
+}
+
+fn search(
+    ops: &[&KvCall],
+    inv: &[u64],
+    resp: &[u64],
+    done: u64,
+    full: u64,
+    state: &mut BTreeMap<String, String>,
+    memo: &mut HashSet<(u64, u64)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, state_hash(state))) {
+        return false;
+    }
+    for i in 0..ops.len() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        // Minimality (Wing–Gong): `i` may linearize next only if no
+        // other pending op responded before `i` was even invoked.
+        let minimal = (0..ops.len()).all(|j| j == i || done & (1 << j) != 0 || resp[j] >= inv[i]);
+        if !minimal {
+            continue;
+        }
+        let Some(undo) = apply_if_consistent(ops[i], state) else {
+            continue;
+        };
+        if search(ops, inv, resp, done | (1 << i), full, state, memo) {
+            return true;
+        }
+        undo.revert(state);
+    }
+    false
+}
+
+/// Applies `op` to the sequential spec iff its recorded result is what
+/// the spec produces from `state`; returns the undo on success.
+fn apply_if_consistent(op: &KvCall, state: &mut BTreeMap<String, String>) -> Option<Undo> {
+    let res = op.res.as_ref().expect("applied op has a result");
+    match (&op.req, res) {
+        (KvReq::Get { key }, KvRes::Value(v)) => {
+            (state.get(key) == v.as_ref()).then_some(Undo::Nothing)
+        }
+        (KvReq::Set { key, val }, KvRes::SetOk) => {
+            let prev = state.insert(key.clone(), val.clone());
+            Some(Undo::Restore {
+                key: key.clone(),
+                prev,
+            })
+        }
+        (KvReq::Cas { key, old, new }, KvRes::Cas { ok, actual }) => {
+            let current = state.get(key).cloned();
+            let matches = current.as_deref() == old.as_deref();
+            if *ok {
+                if !matches {
+                    return None;
+                }
+                let prev = state.insert(key.clone(), new.clone());
+                Some(Undo::Restore {
+                    key: key.clone(),
+                    prev,
+                })
+            } else {
+                // A failed CAS must have observed the conflicting value.
+                (!matches && *actual == current).then_some(Undo::Nothing)
+            }
+        }
+        other => unreachable!("mismatched req/res pair {other:?}"),
+    }
+}
+
+enum Undo {
+    Nothing,
+    Restore { key: String, prev: Option<String> },
+}
+
+impl Undo {
+    fn revert(self, state: &mut BTreeMap<String, String>) {
+        if let Undo::Restore { key, prev } = self {
+            match prev {
+                Some(v) => {
+                    state.insert(key, v);
+                }
+                None => {
+                    state.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+fn describe_obstruction(ops: &[&KvCall]) -> String {
+    let summary: Vec<String> = ops
+        .iter()
+        .map(|c| {
+            format!(
+                "client {} {:?} -> {:?} [inv {}, resp {}]",
+                c.client,
+                c.req,
+                c.res,
+                c.invoked,
+                c.responded
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "-".into())
+            )
+        })
+        .collect();
+    format!("no valid linearization of: {}", summary.join("; "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(
+        client: usize,
+        req: KvReq,
+        res: KvRes,
+        invoked: u64,
+        applied: u64,
+        responded: Option<u64>,
+    ) -> KvCall {
+        KvCall {
+            client,
+            req,
+            res: Some(res),
+            invoked,
+            applied: Some(applied),
+            responded,
+        }
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let h = vec![
+            call(
+                0,
+                KvReq::Set {
+                    key: "x".into(),
+                    val: "1".into(),
+                },
+                KvRes::SetOk,
+                1,
+                2,
+                Some(3),
+            ),
+            call(
+                1,
+                KvReq::Get { key: "x".into() },
+                KvRes::Value(Some("1".into())),
+                4,
+                5,
+                Some(6),
+            ),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_completed_write_is_rejected() {
+        // A completed Set(x=1) strictly precedes (in real time) a Get(x)
+        // that returned None: no linearization exists, the checker must
+        // say so. This is the known-bad history keeping oracle 4 honest.
+        let h = vec![
+            call(
+                0,
+                KvReq::Set {
+                    key: "x".into(),
+                    val: "1".into(),
+                },
+                KvRes::SetOk,
+                1,
+                2,
+                Some(3),
+            ),
+            call(
+                1,
+                KvReq::Get { key: "x".into() },
+                KvRes::Value(None),
+                4,
+                5,
+                Some(6),
+            ),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_stale_read_is_allowed() {
+        // Same responses, but the Get overlaps the Set: linearizing the
+        // Get first is legal.
+        let h = vec![
+            call(
+                0,
+                KvReq::Set {
+                    key: "x".into(),
+                    val: "1".into(),
+                },
+                KvRes::SetOk,
+                1,
+                3,
+                Some(5),
+            ),
+            call(
+                1,
+                KvReq::Get { key: "x".into() },
+                KvRes::Value(None),
+                2,
+                4,
+                Some(6),
+            ),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn failed_cas_must_report_the_conflicting_value() {
+        let h = vec![
+            call(
+                0,
+                KvReq::Set {
+                    key: "k".into(),
+                    val: "a".into(),
+                },
+                KvRes::SetOk,
+                1,
+                2,
+                Some(3),
+            ),
+            call(
+                1,
+                KvReq::Cas {
+                    key: "k".into(),
+                    old: None,
+                    new: "b".into(),
+                },
+                KvRes::Cas {
+                    ok: false,
+                    actual: Some("wrong".into()),
+                },
+                4,
+                5,
+                Some(6),
+            ),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+}

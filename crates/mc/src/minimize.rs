@@ -1,0 +1,105 @@
+//! Counterexample replay and ddmin-style minimization.
+//!
+//! A schedule is a list of choice indices. Replay clamps each choice to
+//! the enabled-action count of the state it lands in, which is what
+//! makes *shrunk* schedules executable at all: deleting steps shifts
+//! which state each later index applies to, and clamping turns an
+//! out-of-range index into "take the last enabled action" instead of a
+//! panic. A shrunk schedule is kept only if replay still produces a
+//! violation of the same kind.
+
+use crate::explore::Counterexample;
+use crate::model::{Config, Violation, World};
+
+/// Deterministically re-executes `choices` against a fresh world.
+/// Returns the world (with trace and any violations) and the action
+/// keys actually taken. Stops early on violation or termination.
+pub fn execute(cfg: &Config, choices: &[usize]) -> (World, Vec<String>) {
+    let mut world = World::new(cfg.clone());
+    let mut actions = Vec::new();
+    for &c in choices {
+        if !world.violations.is_empty() || world.done() {
+            break;
+        }
+        let enabled = world.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        let i = c.min(enabled.len() - 1);
+        actions.push(enabled[i].key());
+        world.apply(&enabled[i]);
+    }
+    if world.violations.is_empty() && (world.done() || world.enabled().is_empty()) {
+        world.check_terminal();
+    }
+    (world, actions)
+}
+
+fn reproduces(cfg: &Config, choices: &[usize], kind: &str) -> bool {
+    let (world, _) = execute(cfg, choices);
+    world.violations.iter().any(|v| v.kind() == kind)
+}
+
+/// Shrinks `choices` to a locally minimal schedule that still triggers
+/// a violation of the same kind, then re-executes it to produce the
+/// final counterexample.
+pub fn minimize(cfg: &Config, choices: &[usize], violation: &Violation) -> Counterexample {
+    let kind = violation.kind();
+    let mut current: Vec<usize> = choices.to_vec();
+
+    // Phase 1: truncate — the violation often fires well before the
+    // schedule's end (terminal oracles excepted).
+    let mut lo = 0usize;
+    let mut hi = current.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if reproduces(cfg, &current[..mid], kind) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    current.truncate(lo.max(hi));
+
+    // Phase 2: ddmin — remove chunks of decreasing size.
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if reproduces(cfg, &candidate, kind) {
+                current = candidate;
+                removed_any = true;
+                // Re-scan from the same offset: the tail shifted left.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+
+    // Canonicalize: re-execute and record the actions actually taken
+    // (clamping may have changed them relative to the original run).
+    let (world, actions) = execute(cfg, &current);
+    let violation = world
+        .violations
+        .iter()
+        .find(|v| v.kind() == kind)
+        .cloned()
+        .unwrap_or_else(|| violation.clone());
+    Counterexample {
+        choices: current,
+        actions,
+        violation,
+        minimized: true,
+    }
+}

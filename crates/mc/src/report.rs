@@ -1,0 +1,262 @@
+//! Human- and machine-readable output: the run summary, the
+//! counterexample timeline (rendered in swift-obs recovery-phase
+//! vocabulary), and the serialized schedule for `--replay`.
+
+use std::fmt::Write as _;
+
+use swift_obs::Phase;
+
+use crate::explore::{Counterexample, Report};
+use crate::json::{self, Json};
+use crate::minimize;
+use crate::model::{Config, Mutation};
+
+/// One-paragraph run summary (schedules explored/pruned, terminals,
+/// verdict). This is what `cargo xtask mc` prints on success.
+pub fn summary(report: &Report) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mc: {} ranks, {} iters x {} groups, {} crash budget (slots {:?}{}), depth {}",
+        report.config.ranks,
+        report.config.iters,
+        report.config.groups,
+        report.config.max_crashes,
+        report.config.crash_slots,
+        if report.config.torn_wal {
+            ", torn-wal"
+        } else {
+            ""
+        },
+        report.opts_depth,
+    );
+    if report.config.mutation != Mutation::None {
+        let _ = writeln!(out, "mc: MUTATION {}", report.config.mutation.as_str());
+    }
+    let _ = writeln!(
+        out,
+        "mc: {} transitions explored, {} sleep-pruned, {} state-pruned, \
+         {} terminal executions, {} depth-bounded",
+        s.explored, s.pruned_sleep, s.pruned_visited, s.terminals, s.bounded,
+    );
+    if s.walk_steps > 0 {
+        let _ = writeln!(out, "mc: {} random-walk steps", s.walk_steps);
+    }
+    match &report.violation {
+        None => {
+            let _ = writeln!(
+                out,
+                "mc: PASS — generation-fence safety, epoch monotonicity, \
+                 exactly-once application, KV linearizability all hold"
+            );
+        }
+        Some(ce) => {
+            let _ = writeln!(
+                out,
+                "mc: VIOLATION [{}] {} ({} steps{})",
+                ce.violation.kind(),
+                ce.violation,
+                ce.choices.len(),
+                if ce.minimized { ", minimized" } else { "" },
+            );
+        }
+    }
+    out
+}
+
+/// Classifies a trace line into the swift-obs recovery-phase
+/// vocabulary so the counterexample reads like a recovery timeline.
+fn phase_tag(line: &str) -> &'static str {
+    if line.contains("CRASH") {
+        "fail  "
+    } else if line.contains("dark link") || line.contains("probe") || line.contains("DECLARED") {
+        tag_of(Phase::Detect)
+    } else if line.contains("UNDO") {
+        tag_of(Phase::Undo)
+    } else if line.contains("FENCE") || line.contains("fenced") || line.contains("purged") {
+        tag_of(Phase::Fence)
+    } else if line.contains("REPLACEMENT") || line.contains("replay") {
+        tag_of(Phase::Replay)
+    } else if line.contains("RESUME") || line.contains("recovery complete") {
+        tag_of(Phase::Resume)
+    } else {
+        "train "
+    }
+}
+
+fn tag_of(p: Phase) -> &'static str {
+    match p {
+        Phase::Detect => "detect",
+        Phase::Undo => "undo  ",
+        Phase::Fence => "fence ",
+        Phase::Broadcast => "bcast ",
+        Phase::Replay => "replay",
+        Phase::Resume => "resume",
+    }
+}
+
+/// Re-executes the counterexample and renders its event trace as a
+/// phase-tagged timeline, ending with the violation.
+pub fn render_counterexample(cfg: &Config, ce: &Counterexample) -> String {
+    let (world, _) = minimize::execute(cfg, &ce.choices);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "--- counterexample ({} schedule points{}) ---",
+        ce.choices.len(),
+        if ce.minimized { ", minimized" } else { "" }
+    );
+    let _ = writeln!(out, "schedule: {}", ce.actions.join(" ; "));
+    let _ = writeln!(out, "timeline:");
+    for line in &world.trace {
+        let _ = writeln!(out, "  {} | {}", phase_tag(line), line);
+    }
+    for v in &world.violations {
+        let _ = writeln!(out, "VIOLATION [{}] {v}", v.kind());
+    }
+    out
+}
+
+/// Serializes a counterexample (with the config needed to replay it)
+/// as a standalone JSON document.
+pub fn counterexample_json(cfg: &Config, ce: &Counterexample) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"config\": {");
+    let _ = write!(
+        out,
+        "\"ranks\": {}, \"iters\": {}, \"groups\": {}, \"max_crashes\": {}, ",
+        cfg.ranks, cfg.iters, cfg.groups, cfg.max_crashes
+    );
+    out.push_str("\"crash_slots\": ");
+    json::push_usize_arr(&mut out, &cfg.crash_slots);
+    let _ = write!(out, ", \"torn_wal\": {}", cfg.torn_wal);
+    out.push_str(", \"mutation\": ");
+    json::push_str_lit(&mut out, cfg.mutation.as_str());
+    out.push_str("},\n  \"choices\": ");
+    json::push_usize_arr(&mut out, &ce.choices);
+    out.push_str(",\n  \"actions\": ");
+    json::push_str_arr(&mut out, &ce.actions);
+    out.push_str(",\n  \"violation\": ");
+    json::push_str_lit(
+        &mut out,
+        &format!("[{}] {}", ce.violation.kind(), ce.violation),
+    );
+    out.push_str(",\n  \"minimized\": ");
+    let _ = write!(out, "{}", ce.minimized);
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses a counterexample file back into `(config, choices)` for
+/// `cargo xtask mc --replay`.
+pub fn parse_replay(doc: &str) -> Result<(Config, Vec<usize>), String> {
+    let json = json::parse(doc)?;
+    let cfg_doc = json.get("config").ok_or("missing \"config\"")?;
+    let num = |key: &str| -> Result<u64, String> {
+        cfg_doc
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-numeric \"{key}\""))
+    };
+    let cfg = Config {
+        ranks: num("ranks")? as usize,
+        iters: num("iters")?,
+        groups: num("groups")? as usize,
+        max_crashes: num("max_crashes")? as usize,
+        crash_slots: cfg_doc
+            .get("crash_slots")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"crash_slots\"")?
+            .iter()
+            .filter_map(|j| j.as_u64().map(|v| v as usize))
+            .collect(),
+        torn_wal: cfg_doc
+            .get("torn_wal")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        mutation: cfg_doc
+            .get("mutation")
+            .and_then(Json::as_str)
+            .and_then(Mutation::parse)
+            .unwrap_or(Mutation::None),
+    };
+    let choices = json
+        .get("choices")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"choices\"")?
+        .iter()
+        .map(|j| {
+            j.as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| "non-numeric choice".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((cfg, choices))
+}
+
+/// JSON form of the run summary for `--json` / CI consumption.
+pub fn report_json(report: &Report) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"ranks\": {}, \"iters\": {}, \"groups\": {},",
+        report.config.ranks, report.config.iters, report.config.groups
+    );
+    out.push_str("  \"mutation\": ");
+    json::push_str_lit(&mut out, report.config.mutation.as_str());
+    let _ = write!(out, ",\n  \"depth\": {},\n", report.opts_depth);
+    let _ = write!(
+        out,
+        "  \"explored\": {}, \"pruned_sleep\": {}, \"pruned_visited\": {},\n  \
+         \"terminals\": {}, \"bounded\": {}, \"walk_steps\": {},\n",
+        s.explored, s.pruned_sleep, s.pruned_visited, s.terminals, s.bounded, s.walk_steps
+    );
+    match &report.violation {
+        None => out.push_str("  \"violation\": null\n"),
+        Some(ce) => {
+            out.push_str("  \"violation\": ");
+            json::push_str_lit(
+                &mut out,
+                &format!("[{}] {}", ce.violation.kind(), ce.violation),
+            );
+            out.push('\n');
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Violation;
+
+    #[test]
+    fn replay_file_roundtrips() {
+        let cfg = Config {
+            torn_wal: true,
+            mutation: Mutation::SkipUndo,
+            ..Config::default()
+        };
+        let ce = Counterexample {
+            choices: vec![2, 0, 5],
+            actions: vec!["crash:1".into(), "step:2".into()],
+            violation: Violation::ApplyCountWrong {
+                slot: 2,
+                it: 0,
+                group: 1,
+                count: 2,
+            },
+            minimized: true,
+        };
+        let doc = counterexample_json(&cfg, &ce);
+        let (parsed_cfg, parsed_choices) = parse_replay(&doc).unwrap();
+        assert_eq!(parsed_choices, vec![2, 0, 5]);
+        assert_eq!(parsed_cfg.ranks, cfg.ranks);
+        assert!(parsed_cfg.torn_wal);
+        assert_eq!(parsed_cfg.mutation, Mutation::SkipUndo);
+    }
+}

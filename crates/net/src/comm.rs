@@ -36,6 +36,7 @@ use parking_lot::{Mutex, RwLock};
 use swift_obs::Epoch;
 use swift_tensor::{decode_slice, encode, Tensor};
 
+use crate::clock::{self, Clock};
 use crate::detector;
 use crate::failure::FailureController;
 use crate::faults::{FaultInjector, SendFate};
@@ -107,6 +108,8 @@ pub struct Fabric {
     injector: RwLock<Option<Arc<FaultInjector>>>,
     /// Optional protocol tracer (the observer for `swift-verify`).
     tracer: RwLock<Option<Arc<Tracer>>>,
+    /// Time source for `deliver_at` stamping (virtual under `swift-mc`).
+    clock: RwLock<Arc<dyn Clock>>,
 }
 
 impl Fabric {
@@ -131,6 +134,14 @@ impl Fabric {
     /// The installed tracer, if any.
     pub fn tracer(&self) -> Option<Arc<Tracer>> {
         self.tracer.read().clone()
+    }
+
+    /// Replaces the fabric's time source. The model checker installs a
+    /// [`VirtualClock`](crate::clock::VirtualClock) before spawning
+    /// workers so injected delivery delays mature on schedule points
+    /// instead of wall time.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.clock.write() = clock;
     }
 
     /// Whether `rank`'s link is up (the observable liveness signal).
@@ -192,7 +203,7 @@ impl Fabric {
             .as_ref()
             .map(|t| Arc::new(t.on_send(src, dst, tag, tag_seq, generation)));
         let sender = self.senders.read()[dst].clone();
-        let now = Instant::now();
+        let now = self.clock.read().now();
         for delay in copies {
             let msg = Frame {
                 src,
@@ -232,6 +243,9 @@ pub struct Comm {
     coll_seq: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    /// Time source for receive deadlines and stall serving (virtual
+    /// under `swift-mc`, wall-clock everywhere else).
+    clock: Arc<dyn Clock>,
 }
 
 /// Poll interval while blocked in `recv` (the failure-detector cadence).
@@ -258,6 +272,7 @@ pub fn build_comms(
         links: Mutex::new(HashMap::new()),
         injector: RwLock::new(None),
         tracer: RwLock::new(None),
+        clock: RwLock::new(clock::system()),
     });
     {
         let fabric = fabric.clone();
@@ -335,7 +350,14 @@ impl Comm {
             coll_seq: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
+            clock: clock::system(),
         }
+    }
+
+    /// Replaces this communicator's time source (see
+    /// [`Fabric::set_clock`]); install before first use.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// This communicator's rank.
@@ -364,6 +386,15 @@ impl Comm {
         self.transport.injector()
     }
 
+    /// Whether `rank`'s link is currently believed up — the cheap,
+    /// non-blocking liveness signal (no probing, no declaration).
+    /// Callers fanning a result out to several peers use it to serve
+    /// live links before touching a dark one (whose send *declares* the
+    /// failure, fencing all later sends behind the declared epoch).
+    pub fn peer_link_up(&self, rank: Rank) -> bool {
+        self.transport.link_up(rank)
+    }
+
     /// The mechanism of fail-stop: a killed rank's next communication
     /// unwinds. This is the *only* ground-truth liveness read in the
     /// communication path, and it is strictly self-directed. Public so
@@ -382,11 +413,11 @@ impl Comm {
     fn serve_stall(&self) {
         if let Some(inj) = self.transport.injector() {
             while let Some(end) = inj.stalled_until(self.rank) {
-                let now = Instant::now();
+                let now = self.clock.now();
                 if end <= now {
                     break;
                 }
-                std::thread::sleep(end - now);
+                self.clock.sleep(end - now);
             }
         }
     }
@@ -503,7 +534,7 @@ impl Comm {
             self.check_self()?;
             self.serve_stall();
             let gen = self.generation.load(Ordering::SeqCst);
-            let now = Instant::now();
+            let now = self.clock.now();
             // Scan the stash: drop fenced/duplicate traffic, deliver the
             // expected in-stream message if its delay has elapsed, and
             // otherwise note when the earliest candidate matures.

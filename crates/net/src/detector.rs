@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use swift_obs::{Epoch, Event};
 
+use crate::clock;
 use crate::cluster::ClusterError;
 use crate::failure::FailureController;
 use crate::faults::FaultInjector;
@@ -46,13 +47,17 @@ pub fn hb_key(rank: Rank) -> String {
 /// (deregistration — not a missed lease).
 const RETIRED: &str = "retired";
 
-fn parse_state(s: &str) -> (u64, Vec<Rank>) {
+/// Decodes a failure record (`"<epoch>|<rank>,<rank>,..."`). Public so
+/// the model checker's two-phase CAS declaration path runs against the
+/// *real* wire format instead of a parallel one.
+pub fn parse_state(s: &str) -> (u64, Vec<Rank>) {
     let (epoch, list) = s.split_once('|').unwrap_or(("0", ""));
     let ranks = list.split(',').filter_map(|r| r.parse().ok()).collect();
     (epoch.parse().unwrap_or(0), ranks)
 }
 
-fn format_state(epoch: u64, ranks: &[Rank]) -> String {
+/// Encodes a failure record; inverse of [`parse_state`].
+pub fn format_state(epoch: u64, ranks: &[Rank]) -> String {
     let list: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
     format!("{epoch}|{}", list.join(","))
 }
@@ -184,6 +189,58 @@ impl HeartbeatConfig {
     }
 }
 
+/// The pure lease-expiry core of the heartbeat monitor: feed it one
+/// sweep per tick with an explicit `now`, and it reports which ranks'
+/// leases just expired. No threads, no wall clock — the
+/// [`HeartbeatMonitor`] thread drives it with the system clock, and the
+/// model checker (`swift-mc`) drives it with a [`VirtualClock`], where
+/// "lease expires" is a schedule point rather than a race.
+///
+/// [`VirtualClock`]: crate::clock::VirtualClock
+pub struct LeaseTable {
+    cfg: HeartbeatConfig,
+    /// Per-rank (last value, when it last changed).
+    seen: HashMap<Rank, (Option<String>, Instant)>,
+}
+
+impl LeaseTable {
+    /// An empty table; the first sweep seeds every rank's lease clock.
+    pub fn new(cfg: HeartbeatConfig) -> Self {
+        LeaseTable {
+            cfg,
+            seen: HashMap::new(),
+        }
+    }
+
+    /// One monitor sweep at time `now` over ranks `0..world`, returning
+    /// the ranks whose lease expired this sweep. The caller declares
+    /// them (all in one batch, so simultaneous failures produce a
+    /// single epoch bump); each expired rank's lease clock restarts so
+    /// it is reported at most once per timeout window.
+    pub fn sweep(&mut self, kv: &KvStore, world: usize, now: Instant) -> Vec<Rank> {
+        let (_, dead) = failure_state(kv);
+        let mut expired = Vec::new();
+        for rank in 0..world {
+            let val = kv.get(&hb_key(rank));
+            if dead.contains(&rank) || val.as_deref() == Some(RETIRED) {
+                // Declared or deregistered: restart the lease clock so
+                // a future replacement gets a full timeout to produce
+                // its first beat.
+                self.seen.insert(rank, (val, now));
+                continue;
+            }
+            let entry = self.seen.entry(rank).or_insert_with(|| (val.clone(), now));
+            if entry.0 != val {
+                *entry = (val, now);
+            } else if now.saturating_duration_since(entry.1) > self.cfg.timeout {
+                expired.push(rank);
+                entry.1 = now;
+            }
+        }
+        expired
+    }
+}
+
 /// A rank's heartbeat publisher thread.
 ///
 /// Models the machine's NIC: it beats while the machine is up, goes
@@ -217,7 +274,9 @@ impl Heartbeat {
     }
 
     /// Starts beating for `rank` every `cfg.interval`, surfacing a
-    /// failed thread spawn as a typed error.
+    /// failed thread spawn as a typed error. Runs on the system clock;
+    /// the model checker publishes beats directly instead of spawning
+    /// this thread.
     pub fn try_start(
         kv: KvStore,
         rank: Rank,
@@ -225,6 +284,7 @@ impl Heartbeat {
         fc: Arc<FailureController>,
         injector: Option<Arc<FaultInjector>>,
     ) -> Result<Self, ClusterError> {
+        let clock = clock::system();
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let (kv, fc, stop) = (kv.clone(), fc.clone(), stop.clone());
@@ -242,15 +302,15 @@ impl Heartbeat {
                         // including its heartbeats (this is what
                         // manufactures false suspicion).
                         if let Some(end) = injector.as_ref().and_then(|i| i.stalled_until(rank)) {
-                            let now = Instant::now();
+                            let now = clock.now();
                             if end > now {
-                                thread::sleep((end - now).min(cfg.interval));
+                                clock.sleep((end - now).min(cfg.interval));
                                 continue;
                             }
                         }
                         beat += 1;
                         kv.set(&key, beat.to_string());
-                        thread::sleep(cfg.interval);
+                        clock.sleep(cfg.interval);
                     }
                 })
                 .map_err(|e| ClusterError::SpawnFailed {
@@ -300,49 +360,28 @@ impl HeartbeatMonitor {
     }
 
     /// Watches ranks `0..world`, surfacing a failed thread spawn as a
-    /// typed error.
+    /// typed error. The expiry logic lives in [`LeaseTable`]; this
+    /// thread merely drives it on the system clock.
     pub fn try_start(
         kv: KvStore,
         cfg: HeartbeatConfig,
         world: usize,
     ) -> Result<Self, ClusterError> {
+        let clock = clock::system();
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let stop = stop.clone();
             thread::Builder::new()
                 .name("hb-monitor".into())
                 .spawn(move || {
-                    // Per-rank (last value, when it last changed).
-                    let mut seen: HashMap<Rank, (Option<String>, Instant)> = HashMap::new();
+                    let mut leases = LeaseTable::new(cfg);
                     let tick = (cfg.interval / 2).max(Duration::from_micros(500));
                     while !stop.load(Ordering::SeqCst) {
-                        let (_, dead) = failure_state(&kv);
-                        let now = Instant::now();
-                        // Collect every expired lease first and declare the
-                        // batch in one atomic call: simultaneous failures
-                        // produce a single epoch bump.
-                        let mut expired = Vec::new();
-                        for rank in 0..world {
-                            let val = kv.get(&hb_key(rank));
-                            if dead.contains(&rank) || val.as_deref() == Some(RETIRED) {
-                                // Declared or deregistered: restart the
-                                // lease clock so a future replacement gets
-                                // a full timeout to produce its first beat.
-                                seen.insert(rank, (val, now));
-                                continue;
-                            }
-                            let entry = seen.entry(rank).or_insert_with(|| (val.clone(), now));
-                            if entry.0 != val {
-                                *entry = (val, now);
-                            } else if now - entry.1 > cfg.timeout {
-                                expired.push(rank);
-                                entry.1 = now;
-                            }
-                        }
+                        let expired = leases.sweep(&kv, world, clock.now());
                         if !expired.is_empty() {
                             declare_failed(&kv, &expired);
                         }
-                        thread::sleep(tick);
+                        clock.sleep(tick);
                     }
                 })
                 .map_err(|e| ClusterError::SpawnFailed {
@@ -405,6 +444,35 @@ mod tests {
         let (epoch, dead) = failure_state(&kv);
         assert_eq!(epoch, Epoch::new(8));
         assert_eq!(dead, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lease_table_expiry_is_deterministic_under_virtual_time() {
+        use crate::clock::{Clock, VirtualClock};
+        let kv = KvStore::new();
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            timeout: Duration::from_millis(100),
+        };
+        let clock = VirtualClock::new();
+        let mut leases = LeaseTable::new(cfg);
+        kv.set(&hb_key(0), "1");
+        kv.set(&hb_key(1), "1");
+        // While virtual time is frozen no amount of sweeping expires a
+        // lease — expiry is a function of the clock, not of sweep count.
+        for _ in 0..100 {
+            assert_eq!(leases.sweep(&kv, 2, clock.now()), vec![]);
+        }
+        // Exactly at the bound the lease still holds (strict `>`), and a
+        // fresh beat restarts rank 0's window.
+        clock.advance(cfg.timeout);
+        kv.set(&hb_key(0), "2");
+        assert_eq!(leases.sweep(&kv, 2, clock.now()), vec![]);
+        // One nanosecond past the bound only the silent rank expires,
+        // and expiry restarts its window so it is reported exactly once.
+        clock.advance(Duration::from_nanos(1));
+        assert_eq!(leases.sweep(&kv, 2, clock.now()), vec![1]);
+        assert_eq!(leases.sweep(&kv, 2, clock.now()), vec![]);
     }
 
     #[test]

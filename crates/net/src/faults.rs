@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::clock::{self, Clock};
 use crate::failure::FailureController;
 use crate::topology::Rank;
 
@@ -240,6 +241,8 @@ pub struct FaultInjector {
     /// One-shot latches per `plan.crashes` entry.
     crash_fired: Vec<AtomicBool>,
     stats: FaultStats,
+    /// Time source for stall windows (virtual under `swift-mc`).
+    clock: Arc<dyn Clock>,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -254,6 +257,16 @@ impl std::fmt::Debug for FaultInjector {
 impl FaultInjector {
     /// Builds an injector for `plan` over the world managed by `fc`.
     pub fn new(plan: FaultPlan, fc: Arc<FailureController>) -> Arc<Self> {
+        Self::with_clock(plan, fc, clock::system())
+    }
+
+    /// Builds an injector whose stall windows run on `clock` — the
+    /// model checker's hook for making "stall ends" a schedule point.
+    pub fn with_clock(
+        plan: FaultPlan,
+        fc: Arc<FailureController>,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
         let world = fc.topology().world_size();
         let stall_ends = Mutex::new(vec![None; plan.stalls.len()]);
         let crash_fired = (0..plan.crashes.len())
@@ -267,6 +280,7 @@ impl FaultInjector {
             stall_ends,
             crash_fired,
             stats: FaultStats::default(),
+            clock,
         })
     }
 
@@ -369,7 +383,7 @@ impl FaultInjector {
             return None;
         }
         let sent = self.send_counts[rank].load(Ordering::SeqCst);
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut ends = self.stall_ends.lock();
         for (i, spec) in self.plan.stalls.iter().enumerate() {
             if spec.rank != rank {

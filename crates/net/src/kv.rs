@@ -15,17 +15,32 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+#[cfg(test)]
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::clock::{self, Clock};
 use crate::kv_remote::{self, RemoteKv};
 use crate::retry::RetryPolicy;
 
 /// Shared key-value store with blocking waits.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct KvStore {
     backend: Backend,
+    /// Time source for [`wait_for`](KvStore::wait_for) deadlines
+    /// (virtual under `swift-mc`, wall-clock everywhere else).
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            backend: Backend::default(),
+            clock: clock::system(),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -63,7 +78,17 @@ impl KvStore {
     pub fn connect(path: &Path, retry: &RetryPolicy) -> io::Result<Self> {
         Ok(KvStore {
             backend: Backend::Remote(Arc::new(RemoteKv::connect(path, retry)?)),
+            clock: clock::system(),
         })
+    }
+
+    /// This store with its [`wait_for`](KvStore::wait_for) deadlines
+    /// measured on `clock`. The model checker installs a
+    /// [`VirtualClock`](crate::clock::VirtualClock) so a blocked wait
+    /// expires when the schedule advances time, not when the wall does.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Whether this handle is a remote client (worker-process side).
@@ -82,6 +107,25 @@ impl KvStore {
             Backend::Remote(r) => {
                 r.roundtrip(&kv_remote::encode_set(key, &value.into()));
             }
+        }
+    }
+
+    /// Sorted snapshot of the whole store — the model checker's state
+    /// fingerprint. Local backend only; a remote handle would need a
+    /// server round-trip per key and has no enumeration protocol.
+    pub fn dump(&self) -> Vec<(String, String)> {
+        match &self.backend {
+            Backend::Local(inner) => {
+                let mut all: Vec<_> = inner
+                    .map
+                    .lock()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                all.sort();
+                all
+            }
+            Backend::Remote(_) => Vec::new(),
         }
     }
 
@@ -110,7 +154,7 @@ impl KvStore {
     /// value. The local backend parks on a condvar; the remote client
     /// polls the server.
     pub fn wait_for(&self, key: &str, timeout: Duration) -> Option<String> {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now() + timeout;
         match &self.backend {
             Backend::Local(inner) => {
                 let mut m = inner.map.lock();
@@ -118,10 +162,14 @@ impl KvStore {
                     if let Some(v) = m.get(key) {
                         return Some(v.clone());
                     }
-                    let now = Instant::now();
+                    let now = self.clock.now();
                     if now >= deadline {
                         return None;
                     }
+                    // The condvar parks on the real wall clock: under a
+                    // virtual clock the deadline is typically already in
+                    // the past, so the wait degrades to a non-blocking
+                    // poll — exactly what the checker wants.
                     if inner.cv.wait_until(&mut m, deadline).timed_out() {
                         return m.get(key).cloned();
                     }
@@ -131,10 +179,10 @@ impl KvStore {
                 if let Some(v) = self.get(key) {
                     return Some(v);
                 }
-                if Instant::now() >= deadline {
+                if self.clock.now() >= deadline {
                     return self.get(key);
                 }
-                std::thread::sleep(REMOTE_WAIT_TICK);
+                self.clock.sleep(REMOTE_WAIT_TICK);
             },
         }
     }

@@ -477,4 +477,140 @@ mod tests {
         );
         assert!(err.is_err());
     }
+
+    /// A deliberately unreliable [`KvServer`] twin: the acceptor consults
+    /// a drop schedule and slams some fresh connections shut before
+    /// reading a single byte, and even served connections are closed
+    /// after `serve_limit` replies (simulating a handler thread torn down
+    /// between requests). Both failure points sit strictly *outside* the
+    /// read-apply-reply critical section, which is the property that
+    /// makes the client's blind 3-attempt re-send safe.
+    struct FlakyServer {
+        shutdown: Arc<AtomicBool>,
+        acceptor: Option<thread::JoinHandle<()>>,
+    }
+
+    impl FlakyServer {
+        fn bind(path: &Path, store: KvStore, drops: Vec<bool>, serve_limit: usize) -> Self {
+            let listener = UnixListener::bind(path).unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let acceptor = {
+                let shutdown = shutdown.clone();
+                thread::spawn(move || {
+                    let mut schedule = drops.into_iter();
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if schedule.next().unwrap_or(false) {
+                                    drop(stream); // pre-read drop: nothing applied
+                                    continue;
+                                }
+                                let store = store.clone();
+                                thread::spawn(move || {
+                                    flaky_serve(stream, &store, serve_limit);
+                                });
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(1)),
+                        }
+                    }
+                })
+            };
+            FlakyServer {
+                shutdown,
+                acceptor: Some(acceptor),
+            }
+        }
+    }
+
+    impl Drop for FlakyServer {
+        fn drop(&mut self) {
+            self.shutdown.store(true, Ordering::SeqCst);
+            if let Some(h) = self.acceptor.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Serves at most `limit` requests, then hangs up mid-session. Every
+    /// reply it does send was fully applied first.
+    fn flaky_serve(mut stream: UnixStream, store: &KvStore, limit: usize) {
+        for _ in 0..limit {
+            let mut op = [0u8; 1];
+            if stream.read_exact(&mut op).is_err() {
+                return;
+            }
+            if serve_one(&mut stream, store, op[0]).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// The client retries a request at most 3 times, and a serve-limit
+    /// hang-up already burns the first attempt — so two consecutive
+    /// pre-read drops behind it would (correctly) fail-stop the worker.
+    /// This property is about *surviving* flakiness, so adjacent drops
+    /// are spread out.
+    fn cap_consecutive_drops(drops: &mut [bool]) {
+        let mut prev = false;
+        for d in drops.iter_mut() {
+            if *d && prev {
+                *d = false;
+            }
+            prev = *d;
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        // The remote client's bounded re-dial loop (`RemoteKv::request`,
+        // 3 attempts) blindly re-sends the same frame after a connection
+        // error. That is only sound because the server never fails
+        // between applying an op and replying: a dropped connection means
+        // the op was *not* applied. Against an acceptor that drops fresh
+        // connections and hangs up between requests, every logical put
+        // must land exactly once — no loss, and no double-apply from a
+        // re-sent frame.
+        #[test]
+        fn flaky_acceptor_never_double_applies_puts(
+            mut drops in prop::collection::vec(any::<bool>(), 1..12),
+            serve_limit in 1usize..4,
+            puts in 1usize..8,
+        ) {
+            use std::sync::atomic::AtomicUsize;
+            static CASE: AtomicUsize = AtomicUsize::new(0);
+            cap_consecutive_drops(&mut drops);
+            let path = sock(&format!("flaky{}", CASE.fetch_add(1, Ordering::Relaxed)));
+            let _ = std::fs::remove_file(&path);
+
+            let store = KvStore::new();
+            let _server = FlakyServer::bind(&path, store.clone(), drops.clone(), serve_limit);
+            let remote = KvStore::connect(&path, &RetryPolicy::poll()).unwrap();
+
+            for i in 0..puts {
+                // A read-modify-write put: append a unique token. A
+                // double-applied frame would duplicate the token; a
+                // swallowed one would lose it.
+                remote.update("log", |cur| {
+                    let token = format!("p{i}");
+                    Some(match cur {
+                        Some(s) => format!("{s},{token}"),
+                        None => token,
+                    })
+                });
+            }
+
+            let log = store.get("log").unwrap_or_default();
+            let tokens: Vec<&str> = log.split(',').collect();
+            let want: Vec<String> = (0..puts).map(|i| format!("p{i}")).collect();
+            prop_assert_eq!(
+                tokens, want,
+                "puts lost or double-applied under drops {:?} / limit {}",
+                drops, serve_limit
+            );
+        }
+    }
 }

@@ -32,6 +32,7 @@
 //! channels reproduce; wall-clock performance is modeled separately in
 //! `swift-sim`.
 
+pub mod clock;
 pub mod cluster;
 pub mod comm;
 pub mod detector;
@@ -45,6 +46,7 @@ pub mod topology;
 pub mod trace;
 pub mod transport;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use cluster::{Cluster, ClusterBuilder, ClusterError, WorkerCtx};
 pub use comm::{
     build_comms, bytemuck_f32, default_chunk_bytes, f32_from_bytes, respawn_comm, Comm, CommError,
@@ -52,7 +54,7 @@ pub use comm::{
 };
 pub use detector::{
     declare_failed, declare_recovered, failure_epoch, failure_state, Heartbeat, HeartbeatConfig,
-    HeartbeatMonitor, HEARTBEAT_MS_ENV, LEASE_MS_ENV,
+    HeartbeatMonitor, LeaseTable, HEARTBEAT_MS_ENV, LEASE_MS_ENV,
 };
 pub use failure::FailureController;
 pub use faults::{CrashTrigger, FaultInjector, FaultPlan, FaultStatsSnapshot, SendFate, StallSpec};

@@ -10,9 +10,15 @@
 //!      (asserts that document protocol bugs are allowed);
 //!    - no raw `std::time::Instant` in the simulated code paths
 //!      (`crates/sim`) — the simulator owns virtual time, and real clocks
-//!      leaking in make simulated results wall-clock dependent.
+//!      leaking in make simulated results wall-clock dependent;
+//!    - no raw `Instant::now()` / `thread::sleep()` in `crates/net`
+//!      protocol code — every protocol-relevant time read goes through
+//!      the `swift_net::clock` seam so the model checker can drive it
+//!      virtually. The allowlist (`clock.rs` itself, plus the genuinely
+//!      wall-clock socket/retry/remote-KV transport files) is explicit
+//!      in [`NET_WALL_CLOCK_ALLOWLIST`].
 //!
-//!    Both lints skip the `#[cfg(test)]` region (test modules sit at the
+//!    All lints skip the `#[cfg(test)]` region (test modules sit at the
 //!    bottom of each file by repo convention) and comment lines.
 //!
 //! 2. **The `swift-verify` analyzers** (race / fsm / invert) against live
@@ -30,6 +36,16 @@
 //!   any bench regressed more than 2×** (CI's `bench-smoke` gate). With
 //!   `--json` the quick results land in `target/bench-<suite>-quick.json`
 //!   for upload.
+//!
+//! `cargo xtask mc [...]` runs the `swift-mc` model checker: bounded-
+//! exhaustive schedule + failure-point exploration of the recovery
+//! protocol with the four invariant oracles (generation-fence safety,
+//! epoch monotonicity, exactly-once application, KV linearizability).
+//! A violation writes a minimized, replayable counterexample to
+//! `target/mc-counterexample.json`; `--replay <file>` re-executes one
+//! deterministically; `--mutation <name>` seeds a known protocol bug
+//! (`--expect-violation` then asserts the oracles catch it — CI runs
+//! this as the checker's own self-test).
 //!
 //! `cargo xtask timeline [--json]` runs the root `timeline` binary
 //! (release profile): instrumented chaos scenarios whose recovery spans
@@ -65,15 +81,166 @@ fn main() -> ExitCode {
             }
             timeline(json)
         }
+        Some("mc") => mc(args.collect()),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: verify, bench, timeline)");
+            eprintln!("xtask: unknown task `{other}` (available: verify, bench, timeline, mc)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <verify | bench [--quick] [--json] | timeline [--json]>");
+            eprintln!(
+                "usage: cargo xtask <verify | bench [--quick] [--json] | timeline [--json] | \
+                 mc [--depth N] [--seed S] [--iters N] [--walks N] [--mutation NAME] \
+                 [--no-torn] [--json] [--expect-violation] [--replay FILE]>"
+            );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the `swift-mc` model checker (see module docs and DESIGN.md
+/// "Model-checked protocol invariants").
+fn mc(rest: Vec<String>) -> ExitCode {
+    let root = workspace_root();
+    let mut cfg = swift_mc::Config {
+        iters: 1, // CI-sized default; override with --iters
+        torn_wal: true,
+        ..Default::default()
+    };
+    let mut opts = swift_mc::ExploreOpts::default();
+    let mut json = false;
+    let mut expect_violation = false;
+    let mut replay: Option<String> = None;
+
+    let mut it = rest.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("xtask mc: {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--depth" => match value("--depth").and_then(parse_num) {
+                Ok(v) => opts.depth = v,
+                Err(e) => return usage_err(&e),
+            },
+            "--seed" => match value("--seed").and_then(parse_num::<u64>) {
+                Ok(v) => opts.seed = v,
+                Err(e) => return usage_err(&e),
+            },
+            "--iters" => match value("--iters").and_then(parse_num::<u64>) {
+                Ok(v) => cfg.iters = v.max(1),
+                Err(e) => return usage_err(&e),
+            },
+            "--walks" => match value("--walks").and_then(parse_num) {
+                Ok(v) => opts.walks = v,
+                Err(e) => return usage_err(&e),
+            },
+            "--mutation" => match value("--mutation") {
+                Ok(name) => match swift_mc::Mutation::parse(&name) {
+                    Some(m) => cfg.mutation = m,
+                    None => {
+                        return usage_err(&format!(
+                            "xtask mc: unknown mutation `{name}` \
+                             (none, skip-generation-fence, skip-undo)"
+                        ))
+                    }
+                },
+                Err(e) => return usage_err(&e),
+            },
+            "--no-torn" => cfg.torn_wal = false,
+            "--json" => json = true,
+            "--expect-violation" => expect_violation = true,
+            "--replay" => match value("--replay") {
+                Ok(path) => replay = Some(path),
+                Err(e) => return usage_err(&e),
+            },
+            other => return usage_err(&format!("xtask mc: unknown flag `{other}`")),
+        }
+    }
+
+    if let Some(path) = replay {
+        return mc_replay(&path);
+    }
+
+    let report = swift_mc::check(cfg.clone(), &opts);
+    print!("{}", swift_mc::summary(&report));
+    if json {
+        let path = root.join("target/mc.json");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("target/ creatable");
+        std::fs::write(&path, swift_mc::report_json(&report)).expect("target/ is writable");
+        println!("mc: report written to {}", path.display());
+    }
+    match (&report.violation, expect_violation) {
+        (Some(ce), _) => {
+            print!("{}", swift_mc::render_counterexample(&cfg, ce));
+            let path = root.join("target/mc-counterexample.json");
+            std::fs::create_dir_all(path.parent().unwrap()).expect("target/ creatable");
+            std::fs::write(&path, swift_mc::counterexample_json(&cfg, ce))
+                .expect("target/ is writable");
+            println!(
+                "mc: replay with `cargo xtask mc --replay {}`",
+                path.display()
+            );
+            if expect_violation {
+                println!("mc: violation found as expected (mutation self-test passes)");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        (None, true) => {
+            eprintln!(
+                "mc: expected the seeded mutation to be caught, but all oracles passed — \
+                 the checker has lost its teeth"
+            );
+            ExitCode::FAILURE
+        }
+        (None, false) => ExitCode::SUCCESS,
+    }
+}
+
+/// Deterministically re-executes a serialized counterexample.
+fn mc_replay(path: &str) -> ExitCode {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask mc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (cfg, choices) = match swift_mc::parse_replay(&doc) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask mc: bad counterexample file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (world, actions) = swift_mc::execute(&cfg, &choices);
+    println!("mc replay: {} schedule points", actions.len());
+    println!("mc replay: {}", actions.join(" ; "));
+    for line in &world.trace {
+        println!("  {line}");
+    }
+    if world.violations.is_empty() {
+        println!("mc replay: no violation reproduced");
+        ExitCode::SUCCESS
+    } else {
+        for v in &world.violations {
+            println!("mc replay: VIOLATION [{}] {v}", v.kind());
+        }
+        // Reproducing the recorded violation is the *expected* outcome
+        // of a replay; exit 0 so CI can archive-and-replay attachments.
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: String) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("xtask mc: `{s}` is not a valid number"))
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
 }
 
 fn verify() -> ExitCode {
@@ -82,6 +249,7 @@ fn verify() -> ExitCode {
 
     failures += lint_no_panics_in_recovery(&root);
     failures += lint_no_instant_in_sim(&root);
+    failures += lint_no_wall_clock_in_net(&root);
 
     if failures > 0 {
         eprintln!("xtask verify: {failures} lint violation(s); skipping analyzers");
@@ -320,6 +488,38 @@ fn lint_no_instant_in_sim(root: &Path) -> usize {
     violations
 }
 
+/// Files in `crates/net/src` that are *allowed* to touch the wall clock:
+/// the clock seam itself, and the transports whose timing is inherently
+/// wall-clock (a Unix socket poll cannot run on virtual time).
+const NET_WALL_CLOCK_ALLOWLIST: &[&str] = &["clock.rs", "socket.rs", "kv_remote.rs", "retry.rs"];
+
+/// Protocol code in `crates/net` must read time through the
+/// `swift_net::clock` seam — a raw `Instant::now()` or `thread::sleep`
+/// is a schedule point the model checker cannot control.
+fn lint_no_wall_clock_in_net(root: &Path) -> usize {
+    let dir = root.join("crates/net/src");
+    let mut violations = 0;
+    for entry in std::fs::read_dir(&dir).expect("crates/net/src exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let name = path.file_name().expect("file name").to_string_lossy();
+        if NET_WALL_CLOCK_ALLOWLIST.contains(&name.as_ref()) {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .expect("under root")
+            .to_string_lossy()
+            .into_owned();
+        violations += lint_file(root, &rel, &["Instant::now(", "thread::sleep("], |_| {
+            "raw wall-clock call in net protocol code — go through swift_net::clock".into()
+        });
+    }
+    violations
+}
+
 /// Scans the non-test, non-comment lines of `rel` for any of `needles`.
 /// Returns the number of violations (each printed with file:line).
 fn lint_file(root: &Path, rel: &str, needles: &[&str], describe: impl Fn(&str) -> String) -> usize {
@@ -353,6 +553,11 @@ mod tests {
     #[test]
     fn sim_paths_are_wall_clock_free() {
         assert_eq!(lint_no_instant_in_sim(&workspace_root()), 0);
+    }
+
+    #[test]
+    fn net_protocol_paths_go_through_the_clock_seam() {
+        assert_eq!(lint_no_wall_clock_in_net(&workspace_root()), 0);
     }
 
     const SAMPLE: &str = "[\n\

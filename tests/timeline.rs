@@ -28,7 +28,14 @@ fn record_dp_crash() -> (Timeline, u64) {
     .machines(3)
     .batch_size(12)
     .iters(8)
-    .crash(1, 4, 2)
+    // A tiny bucket cap splits the 6 groups into buckets {4,5} {3} {2}
+    // {1} {0}; the victim dies after staging 5 groups (everything but
+    // {0}), so four buckets fold and apply on both survivors while the
+    // last strands them mid-update. Crashing at the final group keeps
+    // the run deterministic: the survivor's own sends are all complete
+    // before the failure can be declared, so no send races the epoch.
+    .bucket_cap_bytes(256)
+    .crash(1, 4, 5)
     .run();
     swift::obs::uninstall();
     assert!(result.recovered);
@@ -121,9 +128,10 @@ fn dp_crash_breakdown_is_complete_and_contiguous() {
     let inc = &t.incidents[0];
     assert_eq!(inc.epoch, Epoch::new(1));
     assert_eq!(inc.failed, vec![1usize]);
-    // The crash lands after 2 of the replica's parameter groups applied;
-    // both survivors undo their partial updates (2 ranks × 2 groups).
-    assert_eq!(undone, 4);
+    // The victim dies after staging buckets {4,5} {3} {2} {1}: both
+    // survivors apply those 5 groups, strand on bucket {0}, and undo
+    // the partial update (2 ranks × 5 groups).
+    assert_eq!(undone, 10);
 }
 
 #[test]
