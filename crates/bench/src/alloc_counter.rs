@@ -1,0 +1,92 @@
+//! A counting global allocator for the `steady_state` bench op.
+//!
+//! [`CountingAlloc`] wraps the system allocator and bumps a **per-thread**
+//! counter on every `alloc`/`realloc`, so a bench thread can meter exactly
+//! its own allocations while background threads (WAL writers, failure
+//! detectors, sibling workers) stay out of the measurement. Counting a
+//! thread-local is branch-free and lock-free, so the wrapper costs nothing
+//! observable on top of the underlying allocator.
+//!
+//! The allocator must be installed as `#[global_allocator]` to count —
+//! the `fastpath` bench binary does this and then calls
+//! [`mark_installed`]; library tests that run under the ordinary system
+//! allocator see [`installed`] as `false` and the `steady_state` op skips
+//! its zero-allocation assertion (the measurement would read 0 vacuously).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+thread_local! {
+    /// Allocations performed by this thread since its last [`reset`].
+    /// Const-initialized so the first access inside `alloc` itself cannot
+    /// recurse into the allocator.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// System-allocator wrapper counting `alloc`/`realloc` calls per thread.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|n| n.set(n.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|n| n.set(n.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|n| n.set(n.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Declares that [`CountingAlloc`] is this process's global allocator.
+/// Called by the bench binary right after startup.
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether allocation counts are real (the bench binary installed the
+/// counting allocator) or vacuously zero.
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes the calling thread's allocation counter.
+pub fn reset() {
+    ALLOCS.with(|n| n.set(0));
+}
+
+/// Allocations the calling thread has performed since the last [`reset`].
+pub fn current() -> u64 {
+    ALLOCS.with(|n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_per_thread_and_resettable() {
+        reset();
+        // Without the allocator installed the counter only moves if this
+        // test binary happens to have it; either way reset() zeroes it.
+        let base = current();
+        let handle = std::thread::spawn(|| {
+            reset();
+            current()
+        });
+        assert_eq!(handle.join().unwrap(), 0, "fresh thread counts from 0");
+        assert!(current() >= base);
+    }
+}

@@ -3,10 +3,21 @@
 //! Prints a JSON array (one record per line) to stdout — or to `--out
 //! PATH` — and a human-readable summary to stderr. `--quick` keeps the
 //! problem shapes but lowers the repetition count; `--suite overlap`
-//! runs the compute/comm overlap benchmarks instead of the default
-//! fast-path set. `cargo xtask bench` is the usual front end.
+//! runs the compute/comm overlap benchmarks and `--suite simd` the
+//! SIMD-dispatch + steady-state allocation benchmarks instead of the
+//! default fast-path set. `cargo xtask bench` is the usual front end.
+
+use swift_bench::alloc_counter::CountingAlloc;
+
+/// The counting allocator backs *all* suites (it forwards to the system
+/// allocator and bumps a thread-local, so it costs nothing measurable);
+/// installing it process-wide is what lets the `steady_state` op assert
+/// its zero-allocations-per-step contract.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
+    swift_bench::alloc_counter::mark_installed();
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut suite = String::from("fastpath");
@@ -25,8 +36,9 @@ fn main() {
     let results = match suite.as_str() {
         "fastpath" => swift_bench::fastpath::run(quick),
         "overlap" => swift_bench::overlap::run(quick),
+        "simd" => swift_bench::simd::run(quick),
         other => {
-            eprintln!("unknown suite {other} (expected fastpath or overlap)");
+            eprintln!("unknown suite {other} (expected fastpath, overlap, or simd)");
             std::process::exit(2);
         }
     };

@@ -55,6 +55,16 @@ pub struct BenchResult {
     /// (`(baseline - fast) / baseline`, clamped at 0). `None` for
     /// plain throughput benchmarks.
     pub overlap_efficiency: Option<f64>,
+    /// SIMD dispatch tier active while the fast path ran (`scalar`,
+    /// `sse2`, `avx2`) — results are bitwise identical across tiers, but
+    /// timings are only comparable within one.
+    pub tier: String,
+    /// Worker-thread count the kernels ran with (`RAYON_NUM_THREADS`).
+    pub threads: usize,
+    /// Heap allocations per fast-path iteration, measured by the counting
+    /// allocator when the bench binary installs it. `None` when the bench
+    /// does not meter allocations.
+    pub allocs_per_iter: Option<u64>,
 }
 
 impl BenchResult {
@@ -73,7 +83,16 @@ impl BenchResult {
             speedup: baseline_ns as f64 / ns.max(1) as f64,
             gb_per_s: bytes_per_iter as f64 / ns.max(1) as f64, // bytes/ns == GB/s
             overlap_efficiency: None,
+            tier: swift_tensor::simd::active_tier().name().to_string(),
+            threads: rayon::current_num_threads(),
+            allocs_per_iter: None,
         }
+    }
+
+    /// Tags the result with a measured allocations-per-iteration count.
+    pub(crate) fn with_allocs_per_iter(mut self, allocs: u64) -> Self {
+        self.allocs_per_iter = Some(allocs);
+        self
     }
 
     /// Tags the result with its overlap efficiency (hidden / total).
@@ -92,6 +111,13 @@ impl BenchResult {
         );
         if let Some(eff) = self.overlap_efficiency {
             line.push_str(&format!(",\"overlap_efficiency\":{eff:.3}"));
+        }
+        line.push_str(&format!(
+            ",\"tier\":\"{}\",\"threads\":{}",
+            self.tier, self.threads
+        ));
+        if let Some(allocs) = self.allocs_per_iter {
+            line.push_str(&format!(",\"allocs_per_iter\":{allocs}"));
         }
         line.push('}');
         line
@@ -158,7 +184,7 @@ pub(crate) fn bench_store(label: &str) -> BlobStore {
 /// The seed's unblocked ikj loop. Accumulates each output element in
 /// ascending-`k` order — the same order the blocked kernel preserves, so
 /// the two agree bitwise.
-fn seed_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+pub(crate) fn seed_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape().as_matrix();
     let (k2, n) = b.shape().as_matrix();
     assert_eq!(k, k2);

@@ -10,8 +10,10 @@
 //! Tables 1, 3, 6, 7 and Figures 1, 10 are computed from the
 //! implementations directly.
 
+pub mod alloc_counter;
 pub mod experiments;
 pub mod fastpath;
 pub mod overlap;
+pub mod simd;
 
 pub use experiments::all_experiments;

@@ -152,6 +152,9 @@ pub struct BucketedAllreduce {
     stage_order: Vec<Vec<usize>>,
     /// Buckets in the order they were launched this step.
     launch_order: Vec<usize>,
+    /// The bucket cap this reducer was built with (cache-validity key for
+    /// cross-step reuse).
+    cap_bytes: usize,
 }
 
 impl BucketedAllreduce {
@@ -185,7 +188,26 @@ impl BucketedAllreduce {
             tags,
             stage_order,
             launch_order: Vec::new(),
+            cap_bytes,
         }
+    }
+
+    /// True when this reducer was built for exactly this caller,
+    /// participant list, and bucket cap — the steady-state check that lets
+    /// a worker [`reset`](Self::reset) and reuse it across steps instead of
+    /// rebuilding. A permuted-but-equal participant list fails the check
+    /// and merely triggers a rebuild; group geometry is validated
+    /// separately against [`Self::numels`].
+    pub fn built_for(&self, me: Rank, participants: &[Rank], cap_bytes: usize) -> bool {
+        self.me == me
+            && self.cap_bytes == cap_bytes
+            && participants.len() == self.participants.len()
+            && participants.iter().eq(self.participants.iter())
+    }
+
+    /// The per-group element counts this reducer was planned from.
+    pub fn numels(&self) -> &[usize] {
+        &self.numels
     }
 
     /// Number of buckets the groups were coalesced into.
@@ -270,7 +292,6 @@ impl BucketedAllreduce {
                 }
                 self.scatter(b, out);
                 on_bucket(self.bucketer.groups_of(b), out)?;
-                let result = Bytes::copy_from_slice(bytemuck_f32(&self.flats[b]));
                 // The root already applied this bucket, so every
                 // *surviving* peer must still receive the result (the
                 // update-before-result-send contract). A peer whose
@@ -279,12 +300,18 @@ impl BucketedAllreduce {
                 // (which a send to a dark link does) would fence the
                 // sends the survivors behind it still need. Skip it —
                 // the data dependency at the next fold (or the lease
-                // monitor) declares the death instead.
+                // monitor) declares the death instead. The wire payload
+                // is built lazily so a peerless (single-replica) step
+                // stays allocation-free.
+                let mut result: Option<Bytes> = None;
                 for &peer in self.participants.iter().filter(|&&p| p != self.root) {
                     if !comm.peer_link_up(peer) {
                         continue;
                     }
-                    comm.send_bytes(peer, tag ^ (1 << 32), result.clone())?;
+                    let payload = result
+                        .get_or_insert_with(|| Bytes::copy_from_slice(bytemuck_f32(&self.flats[b])))
+                        .clone();
+                    comm.send_bytes(peer, tag ^ (1 << 32), payload)?;
                 }
             } else {
                 // Scatter the bucket result straight from the wire.

@@ -100,6 +100,9 @@ pub struct FsdpWorker {
     pub last_grads: Vec<Tensor>,
     /// Gradient-bucket capacity for the overlapped all-reduce.
     pub bucket_cap_bytes: usize,
+    /// Cached overlapped all-reduce, rebuilt only when the rank set,
+    /// bucket cap, or model geometry changes (see `DpWorker`).
+    reducer: Option<BucketedAllreduce>,
 }
 
 impl FsdpWorker {
@@ -116,6 +119,7 @@ impl FsdpWorker {
             iteration: 0,
             last_grads: Vec::new(),
             bucket_cap_bytes: crate::bucket::DEFAULT_BUCKET_CAP_BYTES,
+            reducer: None,
         }
     }
 
@@ -183,7 +187,7 @@ pub fn free_unstored(w: &mut FsdpWorker, rank: Rank) -> usize {
     let mut freed = 0;
     for g in (0..n).filter(|g| !stored.contains(g)) {
         let t = &mut state.entries[g].1;
-        *t = Tensor::full(t.shape().clone(), f32::NAN);
+        *t = Tensor::full(*t.shape(), f32::NAN);
         freed += 1;
     }
     w.model.load_state(&state);
@@ -213,8 +217,22 @@ pub fn fsdp_train_step(
     // replication's `dp_train_step`, so results stay bitwise equal to the
     // per-group monolithic all-reduce. Updates are applied after the full
     // drain (owner+backup only), so the callback is a no-op.
-    let numels = w.model.group_numels();
-    let mut reducer = BucketedAllreduce::new(ctx.rank(), ranks, &numels, w.bucket_cap_bytes);
+    let me = ctx.rank();
+    let reuse = w.reducer.as_ref().is_some_and(|r| {
+        r.built_for(me, ranks, w.bucket_cap_bytes) && w.model.group_numels_match(r.numels())
+    });
+    if reuse {
+        w.reducer.as_mut().expect("cached reducer").reset();
+    } else {
+        let numels = w.model.group_numels();
+        w.reducer = Some(BucketedAllreduce::new(
+            me,
+            ranks,
+            &numels,
+            w.bucket_cap_bytes,
+        ));
+    }
+    let reducer = w.reducer.as_mut().expect("reducer just installed");
     let comm = &mut ctx.comm;
     let mut stage_err: Option<CommError> = None;
     w.model.backward_with(step_ctx, &grad, &mut |range, grads| {
@@ -231,17 +249,18 @@ pub fn fsdp_train_step(
     if let Some(e) = stage_err {
         return Err(e);
     }
-    let mut reduced = w.model.grads_snapshot();
-    reducer.finish(&mut ctx.comm, &mut reduced, &mut |_, _| Ok(()))?;
+    let mut reduced = std::mem::take(&mut w.last_grads);
+    w.model.grads_snapshot_into(&mut reduced);
+    let drained = reducer.finish(&mut ctx.comm, &mut reduced, &mut |_, _| Ok(()));
     w.last_grads = reduced;
+    drained?;
 
     // Owner and backup both apply the (deterministic) update to their
     // copies; everyone else skips the group.
-    let me = ctx.rank();
     let mut applied = 0usize;
     for g in w.shards.stored_groups(me) {
         w.model
-            .apply_update_with(&mut *w.opt, &w.last_grads, g, g + 1);
+            .apply_update_range(&mut *w.opt, &w.last_grads, g, g + 1);
         w.tracker.mark(g);
         applied += 1;
         if crash_after_groups == Some(applied) {

@@ -37,6 +37,10 @@ pub struct DpWorker {
     /// Gradient-bucket capacity for the overlapped all-reduce; smaller
     /// caps mean more, earlier-launched buckets.
     pub bucket_cap_bytes: usize,
+    /// Cached overlapped all-reduce, rebuilt only when the replica set,
+    /// bucket cap, or model geometry changes — steady-state steps rearm it
+    /// with [`BucketedAllreduce::reset`] instead of reallocating.
+    reducer: Option<BucketedAllreduce>,
 }
 
 impl DpWorker {
@@ -49,6 +53,7 @@ impl DpWorker {
             iteration: 0,
             last_grads: Vec::new(),
             bucket_cap_bytes: crate::bucket::DEFAULT_BUCKET_CAP_BYTES,
+            reducer: None,
         }
     }
 }
@@ -93,7 +98,6 @@ pub fn dp_train_step(
     // Bucketed backward overlap (§5.4): each bucket's all-reduce launches
     // the moment its last group's backward completes, so the transfer runs
     // concurrently with the remaining backward compute.
-    let numels = w.model.group_numels();
     let n = w.model.num_param_groups();
     let crash_at = crash
         .filter(|c| c.iteration == w.iteration)
@@ -101,7 +105,22 @@ pub fn dp_train_step(
         .filter(|&c| c > 0);
     let fc = ctx.comm.failure_controller().clone();
     let machine = ctx.machine();
-    let mut reducer = BucketedAllreduce::new(ctx.rank(), replicas, &numels, w.bucket_cap_bytes);
+    let me = ctx.rank();
+    let reuse = w.reducer.as_ref().is_some_and(|r| {
+        r.built_for(me, replicas, w.bucket_cap_bytes) && w.model.group_numels_match(r.numels())
+    });
+    if reuse {
+        w.reducer.as_mut().expect("cached reducer").reset();
+    } else {
+        let numels = w.model.group_numels();
+        w.reducer = Some(BucketedAllreduce::new(
+            me,
+            replicas,
+            &numels,
+            w.bucket_cap_bytes,
+        ));
+    }
+    let reducer = w.reducer.as_mut().expect("reducer just installed");
     let comm = &mut ctx.comm;
     let mut stage_err: Option<CommError> = None;
     let mut staged = 0usize;
@@ -135,12 +154,13 @@ pub fn dp_train_step(
     // with a *partial* update — the crash-consistency window. The reduced
     // grads land in `last_grads` bucket by bucket: the cached `g_t` the
     // undo needs (§4).
-    let mut reduced = w.model.grads_snapshot();
+    let mut reduced = std::mem::take(&mut w.last_grads);
+    w.model.grads_snapshot_into(&mut reduced);
     let model = &mut w.model;
     let opt = &mut w.opt;
     let tracker = &mut w.tracker;
     let drained = reducer.finish(&mut ctx.comm, &mut reduced, &mut |range, grads| {
-        model.apply_update_with(&mut **opt, grads, range.start, range.end);
+        model.apply_update_range(&mut **opt, grads, range.start, range.end);
         for idx in range.clone() {
             tracker.mark(idx);
         }

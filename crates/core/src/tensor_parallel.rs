@@ -81,9 +81,9 @@ impl TpLinear {
                 w.extend_from_slice(s.params()[0].data());
                 b.extend_from_slice(s.params()[1].data());
             }
-            let mut params = full.params_mut();
-            *params[0] = Tensor::from_vec([out_dim, in_dim], w);
-            *params[1] = Tensor::from_vec([out_dim], b);
+            let params = full.params_mut();
+            params[0] = Tensor::from_vec([out_dim, in_dim], w);
+            params[1] = Tensor::from_vec([out_dim], b);
             let _ = shard_out;
         }
         full

@@ -102,19 +102,25 @@ impl Layer for Activation {
         grad_out.mul(&dydx)
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        Vec::new()
+    fn params(&self) -> &[Tensor] {
+        &[]
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        Vec::new()
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut []
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        Vec::new()
+    fn grads(&self) -> &[Tensor] {
+        &[]
     }
 
-    fn zero_grads(&mut self) {}
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut []
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut [], &[])
+    }
 
     fn clear_cache(&mut self) {
         self.cache.clear();

@@ -19,17 +19,18 @@ pub struct SelfAttention {
     seq: usize,
     hidden: usize,
     heads: usize,
-    wq: Tensor,
-    wk: Tensor,
-    wv: Tensor,
-    wo: Tensor,
-    gq: Tensor,
-    gk: Tensor,
-    gv: Tensor,
-    go: Tensor,
+    /// `[Wq, Wk, Wv, Wo]` — contiguous so [`Layer::params`] borrows.
+    params: [Tensor; 4],
+    /// The matching gradients, aligned with `params`.
+    grads: [Tensor; 4],
     /// Caches X, Q, K, V, A, Z stacked over the batch.
     cache: ActivationCache,
 }
+
+const WQ: usize = 0;
+const WK: usize = 1;
+const WV: usize = 2;
+const WO: usize = 3;
 
 /// Cached tensors are stacked along a synthetic leading axis; we pack the
 /// six of them into one tensor to reuse the single-slot cache:
@@ -67,19 +68,14 @@ impl SelfAttention {
         );
         let bound = (1.0 / hidden as f32).sqrt();
         let mut w = || Tensor::uniform([hidden, hidden], -bound, bound, rng);
+        let g = || Tensor::zeros([hidden, hidden]);
         SelfAttention {
             name: name.into(),
             seq,
             hidden,
             heads,
-            wq: w(),
-            wk: w(),
-            wv: w(),
-            wo: w(),
-            gq: Tensor::zeros([hidden, hidden]),
-            gk: Tensor::zeros([hidden, hidden]),
-            gv: Tensor::zeros([hidden, hidden]),
-            go: Tensor::zeros([hidden, hidden]),
+            params: [w(), w(), w(), w()],
+            grads: [g(), g(), g(), g()],
             cache: ActivationCache::new(),
         }
     }
@@ -169,9 +165,9 @@ impl Layer for SelfAttention {
         let mut zs = Vec::with_capacity(b * s * h);
         for e in 0..b {
             let x = self.example(input, e);
-            let q = matmul(&x, &self.wq);
-            let k = matmul(&x, &self.wk);
-            let v = matmul(&x, &self.wv);
+            let q = matmul(&x, &self.params[WQ]);
+            let k = matmul(&x, &self.params[WK]);
+            let v = matmul(&x, &self.params[WV]);
             // Per-head attention over column slices of Q/K/V.
             let hh = h / self.heads;
             let mut a = Tensor::zeros([s, self.heads * s]);
@@ -185,7 +181,7 @@ impl Layer for SelfAttention {
                 write_col_slice(&mut a, head * s, &ah);
                 write_col_slice(&mut z, head * hh, &zh);
             }
-            let y = matmul(&z, &self.wo);
+            let y = matmul(&z, &self.params[WO]);
             y_data.extend_from_slice(y.data());
             if mode == Mode::Train {
                 xs.extend_from_slice(x.data());
@@ -234,9 +230,9 @@ impl Layer for SelfAttention {
             );
             let dy = self.example(grad_out, e);
             // Y = Z Wo
-            self.go.add_inplace(&matmul_at_b(&z, &dy));
-            let dz = matmul_a_bt(&dy, &self.wo); // dy · Woᵀ
-                                                 // Per-head backward through Z_h = A_h V_h and the softmax.
+            self.grads[WO].add_inplace(&matmul_at_b(&z, &dy));
+            let dz = matmul_a_bt(&dy, &self.params[WO]); // dy · Woᵀ
+                                                         // Per-head backward through Z_h = A_h V_h and the softmax.
             let mut dq = Tensor::zeros([s, h]);
             let mut dk = Tensor::zeros([s, h]);
             let mut dv = Tensor::zeros([s, h]);
@@ -268,33 +264,35 @@ impl Layer for SelfAttention {
                 write_col_slice(&mut dv, head * hh, &dvh);
             }
             // Q = X Wq etc.
-            self.gq.add_inplace(&matmul_at_b(&x, &dq));
-            self.gk.add_inplace(&matmul_at_b(&x, &dk));
-            self.gv.add_inplace(&matmul_at_b(&x, &dv));
-            let mut dx = matmul_a_bt(&dq, &self.wq);
-            dx.add_inplace(&matmul_a_bt(&dk, &self.wk));
-            dx.add_inplace(&matmul_a_bt(&dv, &self.wv));
+            self.grads[WQ].add_inplace(&matmul_at_b(&x, &dq));
+            self.grads[WK].add_inplace(&matmul_at_b(&x, &dk));
+            self.grads[WV].add_inplace(&matmul_at_b(&x, &dv));
+            let mut dx = matmul_a_bt(&dq, &self.params[WQ]);
+            dx.add_inplace(&matmul_a_bt(&dk, &self.params[WK]));
+            dx.add_inplace(&matmul_a_bt(&dv, &self.params[WV]));
             dx_data.extend_from_slice(dx.data());
         }
         Tensor::from_vec([b, s * h], dx_data)
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        vec![&self.wq, &self.wk, &self.wv, &self.wo]
+    fn params(&self) -> &[Tensor] {
+        &self.params
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut self.params
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        vec![&self.gq, &self.gk, &self.gv, &self.go]
+    fn grads(&self) -> &[Tensor] {
+        &self.grads
     }
 
-    fn zero_grads(&mut self) {
-        for g in [&mut self.gq, &mut self.gk, &mut self.gv, &mut self.go] {
-            g.scale_inplace(0.0);
-        }
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.grads
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut self.params, &self.grads)
     }
 
     fn clear_cache(&mut self) {

@@ -21,14 +21,17 @@ pub struct Conv2d {
     height: usize,
     width: usize,
     ksize: usize,
-    /// `[c_out, c_in · k · k]`.
-    weight: Tensor,
-    bias: Tensor,
-    grad_weight: Tensor,
-    grad_bias: Tensor,
+    /// `[weight, bias]` with weight `[c_out, c_in · k · k]` — contiguous
+    /// so [`Layer::params`] borrows.
+    params: [Tensor; 2],
+    /// `[grad_weight, grad_bias]`, aligned with `params`.
+    grads: [Tensor; 2],
     /// Caches the stacked im2col matrix `[B·H·W, c_in·k·k]`.
     cache_col: ActivationCache,
 }
+
+const W: usize = 0;
+const B: usize = 1;
 
 impl Conv2d {
     /// Creates a convolution layer for `height × width` feature maps.
@@ -51,12 +54,33 @@ impl Conv2d {
             height,
             width,
             ksize,
-            weight: Tensor::uniform([c_out, fan_in], -bound, bound, rng),
-            bias: Tensor::uniform([c_out], -bound, bound, rng),
-            grad_weight: Tensor::zeros([c_out, fan_in]),
-            grad_bias: Tensor::zeros([c_out]),
+            params: [
+                Tensor::uniform([c_out, fan_in], -bound, bound, rng),
+                Tensor::uniform([c_out], -bound, bound, rng),
+            ],
+            grads: [Tensor::zeros([c_out, fan_in]), Tensor::zeros([c_out])],
             cache_col: ActivationCache::new(),
         }
+    }
+
+    /// The kernel weights `[c_out, c_in·k·k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.params[W]
+    }
+
+    /// Mutable kernel access.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.params[W]
+    }
+
+    /// The per-channel bias `[c_out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.params[B]
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.params[B]
     }
 
     /// Elements per example on the input side.
@@ -151,7 +175,8 @@ impl Layer for Conv2d {
         for e in 0..b {
             let col = self.im2col(&input.data()[e * per_in..(e + 1) * per_in]);
             // [H·W, c_out] = col · Wᵀ
-            let y_col = swift_tensor::matmul_a_bt(&col, &self.weight).add_row_vector(&self.bias);
+            let y_col =
+                swift_tensor::matmul_a_bt(&col, &self.params[W]).add_row_vector(&self.params[B]);
             // Transpose to channel-major [c_out, H·W].
             let y_cm = y_col.transpose();
             y.extend_from_slice(y_cm.data());
@@ -185,30 +210,33 @@ impl Layer for Conv2d {
                 col_stack.data()[e * hw * cols..(e + 1) * hw * cols].to_vec(),
             );
             // dW += dy_colᵀ · col
-            self.grad_weight.add_inplace(&matmul_at_b(&dy_col, &col));
-            self.grad_bias.add_inplace(&dy_col.sum_rows());
+            self.grads[W].add_inplace(&matmul_at_b(&dy_col, &col));
+            self.grads[B].add_inplace(&dy_col.sum_rows());
             // dCol = dy_col · W
-            let dcol = matmul(&dy_col, &self.weight);
+            let dcol = matmul(&dy_col, &self.params[W]);
             dx.extend_from_slice(&self.col2im(&dcol));
         }
         Tensor::from_vec([b, self.in_elems()], dx)
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        vec![&self.weight, &self.bias]
+    fn params(&self) -> &[Tensor] {
+        &self.params
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.weight, &mut self.bias]
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut self.params
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        vec![&self.grad_weight, &self.grad_bias]
+    fn grads(&self) -> &[Tensor] {
+        &self.grads
     }
 
-    fn zero_grads(&mut self) {
-        self.grad_weight.scale_inplace(0.0);
-        self.grad_bias.scale_inplace(0.0);
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.grads
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut self.params, &self.grads)
     }
 
     fn clear_cache(&mut self) {
@@ -228,8 +256,8 @@ mod tests {
         // Kernel with 1 at the center, zero bias → identity.
         let mut w = vec![0.0f32; 9];
         w[4] = 1.0;
-        conv.weight = Tensor::from_vec([1, 9], w);
-        conv.bias = Tensor::zeros([1]);
+        *conv.weight_mut() = Tensor::from_vec([1, 9], w);
+        *conv.bias_mut() = Tensor::zeros([1]);
         let x = Tensor::randn([2, 16], 0.0, 1.0, &mut rng);
         let y = conv.forward(StepCtx::new(0, 0), &x, Mode::Eval);
         assert!(y.max_abs_diff(&x) < 1e-6);
@@ -242,8 +270,8 @@ mod tests {
         // 1 at position (dh=1, dw=0): output(h,w) = input(h, w−1).
         let mut w = vec![0.0f32; 9];
         w[3] = 1.0;
-        conv.weight = Tensor::from_vec([1, 9], w);
-        conv.bias = Tensor::zeros([1]);
+        *conv.weight_mut() = Tensor::from_vec([1, 9], w);
+        *conv.bias_mut() = Tensor::zeros([1]);
         let x = Tensor::from_vec([1, 9], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
         let y = conv.forward(StepCtx::new(0, 0), &x, Mode::Eval);
         assert_eq!(y.data(), &[0.0, 1.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 8.0]);
@@ -269,8 +297,8 @@ mod tests {
     fn bias_applied_per_channel() {
         let mut rng = CounterRng::new(4, 0);
         let mut conv = Conv2d::new("c", 1, 2, 2, 2, 1, &mut rng);
-        conv.weight = Tensor::zeros([2, 1]);
-        conv.bias = Tensor::from_vec([2], vec![1.5, -2.5]);
+        *conv.weight_mut() = Tensor::zeros([2, 1]);
+        *conv.bias_mut() = Tensor::from_vec([2], vec![1.5, -2.5]);
         let y = conv.forward(StepCtx::new(0, 0), &Tensor::zeros([1, 4]), Mode::Eval);
         assert_eq!(y.data(), &[1.5, 1.5, 1.5, 1.5, -2.5, -2.5, -2.5, -2.5]);
     }

@@ -64,9 +64,7 @@ impl Layer for Dropout {
         if mode == Mode::Eval || self.p == 0.0 {
             return input.clone();
         }
-        let mask = self
-            .mask_for(ctx, input.numel())
-            .reshape(input.shape().clone());
+        let mask = self.mask_for(ctx, input.numel()).reshape(*input.shape());
         let y = input.mul(&mask);
         self.cache_mask.put(ctx, mask);
         y
@@ -80,19 +78,25 @@ impl Layer for Dropout {
         grad_out.mul(&mask)
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        Vec::new()
+    fn params(&self) -> &[Tensor] {
+        &[]
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        Vec::new()
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut []
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        Vec::new()
+    fn grads(&self) -> &[Tensor] {
+        &[]
     }
 
-    fn zero_grads(&mut self) {}
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut []
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut [], &[])
+    }
 
     fn clear_cache(&mut self) {
         self.cache_mask.clear();

@@ -17,8 +17,10 @@ pub struct Embedding {
     name: String,
     vocab: usize,
     hidden: usize,
-    table: Tensor,
-    grad_table: Tensor,
+    /// `[table]` — contiguous so [`Layer::params`] borrows.
+    params: [Tensor; 1],
+    /// `[grad_table]`, aligned with `params`.
+    grads: [Tensor; 1],
     cache_ids: ActivationCache,
 }
 
@@ -29,10 +31,25 @@ impl Embedding {
             name: name.into(),
             vocab,
             hidden,
-            table: Tensor::randn([vocab, hidden], 0.0, 0.02, rng),
-            grad_table: Tensor::zeros([vocab, hidden]),
+            params: [Tensor::randn([vocab, hidden], 0.0, 0.02, rng)],
+            grads: [Tensor::zeros([vocab, hidden])],
             cache_ids: ActivationCache::new(),
         }
+    }
+
+    /// The embedding table `[vocab, hidden]`.
+    pub fn table(&self) -> &Tensor {
+        &self.params[0]
+    }
+
+    /// Mutable table access.
+    pub fn table_mut(&mut self) -> &mut Tensor {
+        &mut self.params[0]
+    }
+
+    /// The accumulated table gradient.
+    pub fn grad_table(&self) -> &Tensor {
+        &self.grads[0]
     }
 
     /// Rows of the table that iteration's batch actually touched — the
@@ -59,7 +76,7 @@ impl Layer for Embedding {
                 self.vocab
             );
             out[i * self.hidden..(i + 1) * self.hidden]
-                .copy_from_slice(&self.table.data()[id * self.hidden..(id + 1) * self.hidden]);
+                .copy_from_slice(&self.params[0].data()[id * self.hidden..(id + 1) * self.hidden]);
         }
         if mode == Mode::Train {
             self.cache_ids.put(ctx, input.clone());
@@ -72,29 +89,33 @@ impl Layer for Embedding {
         for (i, &idf) in ids.data().iter().enumerate() {
             let id = idf as usize;
             let g = &grad_out.data()[i * self.hidden..(i + 1) * self.hidden];
-            let row = &mut self.grad_table.data_mut()[id * self.hidden..(id + 1) * self.hidden];
+            let row = &mut self.grads[0].data_mut()[id * self.hidden..(id + 1) * self.hidden];
             for (r, &gv) in row.iter_mut().zip(g.iter()) {
                 *r += gv;
             }
         }
         // Token ids have no gradient; return zeros of the input shape.
-        Tensor::zeros(ids.shape().clone())
+        Tensor::zeros(*ids.shape())
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        vec![&self.table]
+    fn params(&self) -> &[Tensor] {
+        &self.params
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.table]
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut self.params
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        vec![&self.grad_table]
+    fn grads(&self) -> &[Tensor] {
+        &self.grads
     }
 
-    fn zero_grads(&mut self) {
-        self.grad_table.scale_inplace(0.0);
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.grads
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut self.params, &self.grads)
     }
 
     fn clear_cache(&mut self) {
@@ -117,10 +138,10 @@ mod tests {
         let ids = Tensor::from_vec([1, 3], vec![2.0, 0.0, 2.0]);
         let y = e.forward(StepCtx::new(0, 0), &ids, Mode::Eval);
         assert_eq!(y.shape().dims(), &[1, 12]);
-        let row2 = &e.table.data()[8..12];
+        let row2 = &e.table().data()[8..12];
         assert_eq!(&y.data()[0..4], row2);
         assert_eq!(&y.data()[8..12], row2, "repeated token reuses the row");
-        assert_eq!(&y.data()[4..8], &e.table.data()[0..4]);
+        assert_eq!(&y.data()[4..8], &e.table().data()[0..4]);
     }
 
     #[test]
@@ -132,10 +153,10 @@ mod tests {
         let dy = Tensor::ones([1, 12]);
         e.backward(ctx, &dy);
         // Row 2 appears twice → gradient 2.0 per element; row 0 once.
-        assert!(e.grad_table.data()[8..12].iter().all(|&v| v == 2.0));
-        assert!(e.grad_table.data()[0..4].iter().all(|&v| v == 1.0));
+        assert!(e.grad_table().data()[8..12].iter().all(|&v| v == 2.0));
+        assert!(e.grad_table().data()[0..4].iter().all(|&v| v == 1.0));
         // Untouched rows stay zero.
-        assert!(e.grad_table.data()[4..8].iter().all(|&v| v == 0.0));
+        assert!(e.grad_table().data()[4..8].iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -146,7 +167,7 @@ mod tests {
         let y = e.forward(StepCtx::new(0, 0), &ids, Mode::Eval);
         for (i, &idf) in ids.data().iter().enumerate() {
             let id = idf as usize;
-            let expect = &e.table.data()[id * 4..(id + 1) * 4];
+            let expect = &e.table().data()[id * 4..(id + 1) * 4];
             assert_eq!(&y.data()[i * 4..(i + 1) * 4], expect);
         }
     }
@@ -177,7 +198,7 @@ mod tests {
         let ids = Tensor::from_vec([1, 2], vec![1.0, 3.0]);
         e.forward(ctx, &ids, Mode::Train);
         e.backward(ctx, &Tensor::ones([1, 8]));
-        let before = e.table.clone();
+        let before = e.table().clone();
         let mut opt = OptimizerKind::SgdMomentum {
             lr: 0.1,
             weight_decay: 0.0,
@@ -185,13 +206,19 @@ mod tests {
             dampening: 0.0,
         }
         .build();
-        let g = e.grad_table.clone();
-        opt.step(std::slice::from_mut(&mut e.table), std::slice::from_ref(&g));
-        assert!(e.table.max_abs_diff(&before) > 0.0);
-        opt.undo(std::slice::from_mut(&mut e.table), std::slice::from_ref(&g))
-            .unwrap();
+        let g = e.grad_table().clone();
+        opt.step(
+            std::slice::from_mut(e.table_mut()),
+            std::slice::from_ref(&g),
+        );
+        assert!(e.table().max_abs_diff(&before) > 0.0);
+        opt.undo(
+            std::slice::from_mut(e.table_mut()),
+            std::slice::from_ref(&g),
+        )
+        .unwrap();
         assert!(
-            e.table.max_abs_diff(&before) < 1e-6,
+            e.table().max_abs_diff(&before) < 1e-6,
             "embedding update is undoable too"
         );
     }

@@ -60,17 +60,33 @@ pub trait Layer: Send {
     /// gradient with respect to the layer input.
     fn backward(&mut self, ctx: StepCtx, grad_out: &Tensor) -> Tensor;
 
-    /// The layer's parameters (possibly none).
-    fn params(&self) -> Vec<&Tensor>;
+    /// The layer's parameters (possibly none). Layers store parameters
+    /// contiguously so this is a borrow, not a per-call allocation.
+    fn params(&self) -> &[Tensor];
 
     /// Mutable parameter access, aligned with [`Layer::params`].
-    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+    fn params_mut(&mut self) -> &mut [Tensor];
 
     /// Accumulated parameter gradients, aligned with [`Layer::params`].
-    fn grads(&self) -> Vec<&Tensor>;
+    fn grads(&self) -> &[Tensor];
+
+    /// Mutable gradient access, aligned with [`Layer::params`].
+    fn grads_mut(&mut self) -> &mut [Tensor];
+
+    /// Split borrow of mutable parameters alongside shared gradients —
+    /// the optimizer-step path ([`Sequential::apply_update`]) reads each
+    /// gradient while updating the matching parameter, and this accessor
+    /// lets it do so without cloning the gradients first.
+    ///
+    /// [`Sequential::apply_update`]: crate::sequential::Sequential::apply_update
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]);
 
     /// Clears accumulated gradients to zero.
-    fn zero_grads(&mut self);
+    fn zero_grads(&mut self) {
+        for g in self.grads_mut() {
+            g.scale_inplace(0.0);
+        }
+    }
 
     /// Drops all cached activations (e.g. after a failure aborts in-flight
     /// micro-batches).

@@ -13,12 +13,15 @@ use crate::layer::{ActivationCache, Layer, Mode, StepCtx};
 #[derive(Debug)]
 pub struct Linear {
     name: String,
-    weight: Tensor,
-    bias: Tensor,
-    grad_weight: Tensor,
-    grad_bias: Tensor,
+    /// `[weight, bias]` — contiguous so [`Layer::params`] borrows.
+    params: [Tensor; 2],
+    /// `[grad_weight, grad_bias]`, aligned with `params`.
+    grads: [Tensor; 2],
     cache: ActivationCache,
 }
+
+const W: usize = 0;
+const B: usize = 1;
 
 impl Linear {
     /// Creates a linear layer with Kaiming-uniform initialization drawn
@@ -32,22 +35,43 @@ impl Linear {
         let bound = (1.0 / in_dim as f32).sqrt();
         Linear {
             name: name.into(),
-            weight: Tensor::uniform([out_dim, in_dim], -bound, bound, rng),
-            bias: Tensor::uniform([out_dim], -bound, bound, rng),
-            grad_weight: Tensor::zeros([out_dim, in_dim]),
-            grad_bias: Tensor::zeros([out_dim]),
+            params: [
+                Tensor::uniform([out_dim, in_dim], -bound, bound, rng),
+                Tensor::uniform([out_dim], -bound, bound, rng),
+            ],
+            grads: [Tensor::zeros([out_dim, in_dim]), Tensor::zeros([out_dim])],
             cache: ActivationCache::new(),
         }
     }
 
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.params[W]
+    }
+
+    /// Mutable weight access.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.params[W]
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.params[B]
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.params[B]
+    }
+
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
-        self.weight.shape().dim(1)
+        self.params[W].shape().dim(1)
     }
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
-        self.weight.shape().dim(0)
+        self.params[W].shape().dim(0)
     }
 }
 
@@ -57,7 +81,7 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, ctx: StepCtx, input: &Tensor, mode: Mode) -> Tensor {
-        let y = matmul_a_bt(input, &self.weight).add_row_vector(&self.bias);
+        let y = matmul_a_bt(input, &self.params[W]).add_row_vector(&self.params[B]);
         if mode == Mode::Train {
             self.cache.put(ctx, input.clone());
         }
@@ -68,27 +92,30 @@ impl Layer for Linear {
         let x = self.cache.take(ctx);
         // dW += dyᵀ x : [out, in]
         let dw = matmul_at_b(grad_out, &x);
-        self.grad_weight.add_inplace(&dw);
-        self.grad_bias.add_inplace(&grad_out.sum_rows());
+        self.grads[W].add_inplace(&dw);
+        self.grads[B].add_inplace(&grad_out.sum_rows());
         // dx = dy W : [batch, in]
-        matmul(grad_out, &self.weight)
+        matmul(grad_out, &self.params[W])
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        vec![&self.weight, &self.bias]
+    fn params(&self) -> &[Tensor] {
+        &self.params
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.weight, &mut self.bias]
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut self.params
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        vec![&self.grad_weight, &self.grad_bias]
+    fn grads(&self) -> &[Tensor] {
+        &self.grads
     }
 
-    fn zero_grads(&mut self) {
-        self.grad_weight.scale_inplace(0.0);
-        self.grad_bias.scale_inplace(0.0);
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.grads
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut self.params, &self.grads)
     }
 
     fn clear_cache(&mut self) {
@@ -106,8 +133,8 @@ mod tests {
         let mut rng = CounterRng::new(0, 0);
         let mut l = Linear::new("l", 2, 3, &mut rng);
         // Overwrite params with known values.
-        l.weight = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
-        l.bias = Tensor::from_vec([3], vec![0.1, 0.2, 0.3]);
+        *l.weight_mut() = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        *l.bias_mut() = Tensor::from_vec([3], vec![0.1, 0.2, 0.3]);
         let x = Tensor::from_vec([1, 2], vec![2.0, 5.0]);
         let y = l.forward(StepCtx::new(0, 0), &x, Mode::Eval);
         assert_eq!(y.data(), &[2.1, 5.2, 7.3]);
@@ -152,7 +179,7 @@ mod tests {
     fn init_is_deterministic() {
         let a = Linear::new("l", 8, 8, &mut CounterRng::new(9, 1));
         let b = Linear::new("l", 8, 8, &mut CounterRng::new(9, 1));
-        assert!(a.weight.bit_eq(&b.weight));
-        assert!(a.bias.bit_eq(&b.bias));
+        assert!(a.weight().bit_eq(b.weight()));
+        assert!(a.bias().bit_eq(b.bias()));
     }
 }

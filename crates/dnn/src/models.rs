@@ -62,20 +62,24 @@ impl Layer for TokenLinear {
         dx.reshape([b, self.seq * self.inner.in_dim()])
     }
 
-    fn params(&self) -> Vec<&Tensor> {
+    fn params(&self) -> &[Tensor] {
         self.inner.params()
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+    fn params_mut(&mut self) -> &mut [Tensor] {
         self.inner.params_mut()
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
+    fn grads(&self) -> &[Tensor] {
         self.inner.grads()
     }
 
-    fn zero_grads(&mut self) {
-        self.inner.zero_grads();
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        self.inner.grads_mut()
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        self.inner.params_and_grads_mut()
     }
 
     fn clear_cache(&mut self) {

@@ -9,15 +9,18 @@ use crate::layer::{ActivationCache, Layer, Mode, StepCtx};
 #[derive(Debug)]
 pub struct LayerNorm {
     name: String,
-    gamma: Tensor,
-    beta: Tensor,
-    grad_gamma: Tensor,
-    grad_beta: Tensor,
+    /// `[gamma, beta]` — contiguous so [`Layer::params`] borrows.
+    params: [Tensor; 2],
+    /// `[grad_gamma, grad_beta]`, aligned with `params`.
+    grads: [Tensor; 2],
     eps: f32,
     /// Caches the *normalized* input x̂ and per-row inverse std.
     cache_xhat: ActivationCache,
     cache_inv_std: ActivationCache,
 }
+
+const G: usize = 0;
+const B: usize = 1;
 
 impl LayerNorm {
     /// Creates a layer norm over rows of width `dim`. `_rng` is accepted
@@ -25,14 +28,32 @@ impl LayerNorm {
     pub fn new(name: impl Into<String>, dim: usize, _rng: &mut CounterRng) -> Self {
         LayerNorm {
             name: name.into(),
-            gamma: Tensor::ones([dim]),
-            beta: Tensor::zeros([dim]),
-            grad_gamma: Tensor::zeros([dim]),
-            grad_beta: Tensor::zeros([dim]),
+            params: [Tensor::ones([dim]), Tensor::zeros([dim])],
+            grads: [Tensor::zeros([dim]), Tensor::zeros([dim])],
             eps: 1e-5,
             cache_xhat: ActivationCache::new(),
             cache_inv_std: ActivationCache::new(),
         }
+    }
+
+    /// The gain vector γ.
+    pub fn gamma(&self) -> &Tensor {
+        &self.params[G]
+    }
+
+    /// Mutable gain access.
+    pub fn gamma_mut(&mut self) -> &mut Tensor {
+        &mut self.params[G]
+    }
+
+    /// The bias vector β.
+    pub fn beta(&self) -> &Tensor {
+        &self.params[B]
+    }
+
+    /// Mutable bias access.
+    pub fn beta_mut(&mut self) -> &mut Tensor {
+        &mut self.params[B]
     }
 }
 
@@ -61,7 +82,7 @@ impl Layer for LayerNorm {
         for r in 0..rows {
             let row = &mut y.data_mut()[r * cols..(r + 1) * cols];
             for (c, v) in row.iter_mut().enumerate() {
-                *v = *v * self.gamma.data()[c] + self.beta.data()[c];
+                *v = *v * self.params[G].data()[c] + self.params[B].data()[c];
             }
         }
         if mode == Mode::Train {
@@ -77,17 +98,17 @@ impl Layer for LayerNorm {
         let inv_std = self.cache_inv_std.take(ctx);
         let (rows, cols) = grad_out.shape().as_matrix();
         // dγ += Σ_rows dy ⊙ x̂ ; dβ += Σ_rows dy
-        self.grad_gamma.add_inplace(&grad_out.mul(&xhat).sum_rows());
-        self.grad_beta.add_inplace(&grad_out.sum_rows());
+        self.grads[G].add_inplace(&grad_out.mul(&xhat).sum_rows());
+        self.grads[B].add_inplace(&grad_out.sum_rows());
         // dx = inv_std ⊙ (dŷ − mean(dŷ) − x̂ · mean(dŷ ⊙ x̂)), dŷ = dy ⊙ γ
-        let mut dx = Tensor::zeros(grad_out.shape().clone());
+        let mut dx = Tensor::zeros(*grad_out.shape());
         for r in 0..rows {
             let dy = &grad_out.data()[r * cols..(r + 1) * cols];
             let xh = &xhat.data()[r * cols..(r + 1) * cols];
             let istd = inv_std.data()[r];
             let mut dyg = vec![0.0f32; cols];
             for c in 0..cols {
-                dyg[c] = dy[c] * self.gamma.data()[c];
+                dyg[c] = dy[c] * self.params[G].data()[c];
             }
             let mean_dyg = dyg.iter().sum::<f32>() / cols as f32;
             let mean_dyg_xh =
@@ -100,21 +121,24 @@ impl Layer for LayerNorm {
         dx
     }
 
-    fn params(&self) -> Vec<&Tensor> {
-        vec![&self.gamma, &self.beta]
+    fn params(&self) -> &[Tensor] {
+        &self.params
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.gamma, &mut self.beta]
+    fn params_mut(&mut self) -> &mut [Tensor] {
+        &mut self.params
     }
 
-    fn grads(&self) -> Vec<&Tensor> {
-        vec![&self.grad_gamma, &self.grad_beta]
+    fn grads(&self) -> &[Tensor] {
+        &self.grads
     }
 
-    fn zero_grads(&mut self) {
-        self.grad_gamma.scale_inplace(0.0);
-        self.grad_beta.scale_inplace(0.0);
+    fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.grads
+    }
+
+    fn params_and_grads_mut(&mut self) -> (&mut [Tensor], &[Tensor]) {
+        (&mut self.params, &self.grads)
     }
 
     fn clear_cache(&mut self) {
@@ -147,8 +171,8 @@ mod tests {
     fn gamma_beta_affine() {
         let mut rng = CounterRng::new(1, 0);
         let mut ln = LayerNorm::new("ln", 4, &mut rng);
-        ln.gamma = Tensor::full([4], 2.0);
-        ln.beta = Tensor::full([4], 1.0);
+        *ln.gamma_mut() = Tensor::full([4], 2.0);
+        *ln.beta_mut() = Tensor::full([4], 1.0);
         let x = Tensor::from_vec([1, 4], vec![1.0, 2.0, 3.0, 4.0]);
         let y = ln.forward(StepCtx::new(0, 0), &x, Mode::Eval);
         let mean: f32 = y.data().iter().sum::<f32>() / 4.0;

@@ -16,6 +16,11 @@ use crate::layer::{Layer, Mode, StepCtx};
 pub struct Sequential {
     name: String,
     layers: Vec<Box<dyn Layer>>,
+    /// Global parameter-group offset of each layer (prefix sums, one extra
+    /// trailing entry = total group count). Group counts are static per
+    /// layer, so this is computed once at construction — `backward_with`
+    /// and the update paths stay allocation-free in steady state.
+    group_offsets: Vec<usize>,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -33,9 +38,17 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Creates a named sequential model.
     pub fn new(name: impl Into<String>, layers: Vec<Box<dyn Layer>>) -> Self {
+        let mut group_offsets = Vec::with_capacity(layers.len() + 1);
+        let mut acc = 0usize;
+        for l in &layers {
+            group_offsets.push(acc);
+            acc += l.params().len();
+        }
+        group_offsets.push(acc);
         Sequential {
             name: name.into(),
             layers,
+            group_offsets,
         }
     }
 
@@ -67,7 +80,7 @@ impl Sequential {
 
     /// Number of parameter groups (tensors) across all layers.
     pub fn num_param_groups(&self) -> usize {
-        self.layers.iter().map(|l| l.params().len()).sum()
+        self.group_offsets[self.layers.len()]
     }
 
     /// Element counts of every parameter group, globally ordered (the
@@ -75,8 +88,18 @@ impl Sequential {
     pub fn group_numels(&self) -> Vec<usize> {
         self.layers
             .iter()
-            .flat_map(|l| l.params().into_iter().map(|p| p.numel()))
+            .flat_map(|l| l.params().iter().map(|p| p.numel()))
             .collect()
+    }
+
+    /// True when `numels` matches this model's per-group element counts —
+    /// the allocation-free validity check for state planned from the group
+    /// geometry (e.g. a cached gradient-bucketing reducer).
+    pub fn group_numels_match(&self, numels: &[usize]) -> bool {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params().iter().map(|p| p.numel()))
+            .eq(numels.iter().copied())
     }
 
     /// Forward through all layers.
@@ -104,22 +127,15 @@ impl Sequential {
         &mut self,
         ctx: StepCtx,
         grad_out: &Tensor,
-        on_layer_done: &mut dyn FnMut(std::ops::Range<usize>, &[&Tensor]),
+        on_layer_done: &mut dyn FnMut(std::ops::Range<usize>, &[Tensor]),
     ) -> Tensor {
-        // Global group offset of each layer (prefix sums).
-        let mut offsets = Vec::with_capacity(self.layers.len() + 1);
-        let mut acc = 0usize;
-        for l in &self.layers {
-            offsets.push(acc);
-            acc += l.params().len();
-        }
-        offsets.push(acc);
+        let offsets = &self.group_offsets;
         let mut g = grad_out.clone();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             g = layer.backward(ctx, &g);
             let grads = layer.grads();
             if !grads.is_empty() {
-                on_layer_done(offsets[i]..offsets[i + 1], &grads);
+                on_layer_done(offsets[i]..offsets[i + 1], grads);
             }
         }
         g
@@ -143,15 +159,33 @@ impl Sequential {
     pub fn grads_snapshot(&self) -> Vec<Tensor> {
         self.layers
             .iter()
-            .flat_map(|l| l.grads().into_iter().cloned())
+            .flat_map(|l| l.grads().iter().cloned())
             .collect()
+    }
+
+    /// Copies the current gradients into `out`, reusing its tensors'
+    /// buffers when the group count matches (the steady-state path: after
+    /// the first call this snapshots without allocating).
+    pub fn grads_snapshot_into(&self, out: &mut Vec<Tensor>) {
+        if out.len() != self.num_param_groups() {
+            out.clear();
+            out.extend(self.layers.iter().flat_map(|l| l.grads().iter().cloned()));
+            return;
+        }
+        let mut idx = 0usize;
+        for l in &self.layers {
+            for g in l.grads() {
+                out[idx].clone_from(g);
+                idx += 1;
+            }
+        }
     }
 
     /// Clones the current parameters, globally ordered.
     pub fn params_snapshot(&self) -> Vec<Tensor> {
         self.layers
             .iter()
-            .flat_map(|l| l.params().into_iter().cloned())
+            .flat_map(|l| l.params().iter().cloned())
             .collect()
     }
 
@@ -170,8 +204,10 @@ impl Sequential {
         let mut updated = Vec::new();
         let mut idx = 0usize;
         for layer in &mut self.layers {
-            let grads: Vec<Tensor> = layer.grads().into_iter().cloned().collect();
-            for (p, g) in layer.params_mut().into_iter().zip(grads.iter()) {
+            // Split borrow: mutate each parameter while reading its
+            // gradient in place — no per-layer gradient clones.
+            let (params, grads) = layer.params_and_grads_mut();
+            for (p, g) in params.iter_mut().zip(grads.iter()) {
                 if idx >= from_group && idx < to_group {
                     opt.step_one(idx, p, g);
                     updated.push(idx);
@@ -192,8 +228,8 @@ impl Sequential {
         let set: std::collections::HashSet<usize> = groups.iter().copied().collect();
         let mut idx = 0usize;
         for layer in &mut self.layers {
-            let grads: Vec<Tensor> = layer.grads().into_iter().cloned().collect();
-            for (p, g) in layer.params_mut().into_iter().zip(grads.iter()) {
+            let (params, grads) = layer.params_and_grads_mut();
+            for (p, g) in params.iter_mut().zip(grads.iter()) {
                 if set.contains(&idx) {
                     opt.undo_one(idx, p, g)?;
                 }
@@ -213,19 +249,32 @@ impl Sequential {
         from_group: usize,
         to_group: usize,
     ) -> Vec<usize> {
+        let mut updated = Vec::new(); // lint:alloc-ok (diagnostic return, hot callers use apply_update_range)
+        self.apply_update_range(opt, grads, from_group, to_group);
+        updated.extend(from_group..to_group.min(self.num_param_groups()));
+        updated
+    }
+
+    /// [`apply_update_with`](Self::apply_update_with) without
+    /// materializing the updated-group list — the steady-state
+    /// bucket-drain path, which already knows the range it applied.
+    pub fn apply_update_range(
+        &mut self,
+        opt: &mut dyn Optimizer,
+        grads: &[Tensor],
+        from_group: usize,
+        to_group: usize,
+    ) {
         assert_eq!(grads.len(), self.num_param_groups());
-        let mut updated = Vec::new();
         let mut idx = 0usize;
         for layer in &mut self.layers {
             for p in layer.params_mut() {
                 if idx >= from_group && idx < to_group {
                     opt.step_one(idx, p, &grads[idx]);
-                    updated.push(idx);
                 }
                 idx += 1;
             }
         }
-        updated
     }
 
     /// Like [`undo_update`](Self::undo_update) but with externally
@@ -274,7 +323,7 @@ impl Sequential {
     pub fn state(&self) -> ModelState {
         let mut entries = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
-            for (pi, p) in layer.params().into_iter().enumerate() {
+            for (pi, p) in layer.params().iter().enumerate() {
                 entries.push((format!("{li}:{}.{pi}", layer.name()), p.clone()));
             }
         }
@@ -289,7 +338,7 @@ impl Sequential {
         let mut it = state.entries.iter();
         for (li, layer) in self.layers.iter_mut().enumerate() {
             let lname = layer.name();
-            for (pi, p) in layer.params_mut().into_iter().enumerate() {
+            for (pi, p) in layer.params_mut().iter_mut().enumerate() {
                 let (name, tensor) = it
                     .next()
                     .unwrap_or_else(|| panic!("model state too short at layer {li}"));

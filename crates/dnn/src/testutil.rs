@@ -21,13 +21,13 @@ pub fn numeric_grad_check(mut layer: Box<dyn Layer>, batch: usize, in_dim: usize
     // Learn the output shape, build the loss weights.
     let y0 = layer.forward(ctx, &x, Mode::Train);
     layer.clear_cache();
-    let w = Tensor::randn(y0.shape().clone(), 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(*y0.shape(), 0.0, 1.0, &mut rng);
 
     // Analytic pass.
     layer.zero_grads();
     let _ = layer.forward(ctx, &x, Mode::Train);
     let dx = layer.backward(ctx, &w);
-    let analytic_param_grads: Vec<Tensor> = layer.grads().iter().map(|g| (*g).clone()).collect();
+    let analytic_param_grads: Vec<Tensor> = layer.grads().to_vec();
 
     let eps = 1e-2f32;
     let eval = |layer: &mut Box<dyn Layer>, x: &Tensor| -> f32 {

@@ -870,7 +870,7 @@ impl Comm {
                 *dst = v;
             }
         }
-        Ok(Tensor::from_vec(t.shape().clone(), data))
+        Ok(Tensor::from_vec(*t.shape(), data))
     }
 
     /// Chunked, pipelined deterministic all-reduce (sum): identical

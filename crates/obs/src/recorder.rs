@@ -96,11 +96,19 @@ pub enum Counter {
     /// WAL records found truncated mid-record (a torn write from a
     /// crash during flush) and skipped-and-reported by replay.
     TornWalRecords,
+    /// Tensor-buffer pool requests served from the freelist (PR 8
+    /// steady-state allocation contract).
+    PoolHits,
+    /// Tensor-buffer pool requests that fell through to the system
+    /// allocator (warmup, or a size class that was drained).
+    PoolMisses,
+    /// Bytes of buffer capacity returned to the pool for reuse.
+    BytesPooled,
 }
 
 impl Counter {
     /// All counters, index-aligned with the recorder's storage.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::BytesLogged,
         Counter::BubbleBytes,
         Counter::Retransmits,
@@ -109,6 +117,9 @@ impl Counter {
         Counter::CheckpointBytes,
         Counter::SpilledBytes,
         Counter::TornWalRecords,
+        Counter::PoolHits,
+        Counter::PoolMisses,
+        Counter::BytesPooled,
     ];
 
     /// Stable snake_case name (used in JSON renderings).
@@ -122,6 +133,9 @@ impl Counter {
             Counter::CheckpointBytes => "checkpoint_bytes",
             Counter::SpilledBytes => "spilled_bytes",
             Counter::TornWalRecords => "torn_wal_records",
+            Counter::PoolHits => "pool_hits",
+            Counter::PoolMisses => "pool_misses",
+            Counter::BytesPooled => "bytes_pooled",
         }
     }
 
@@ -135,6 +149,9 @@ impl Counter {
             Counter::CheckpointBytes => 5,
             Counter::SpilledBytes => 6,
             Counter::TornWalRecords => 7,
+            Counter::PoolHits => 8,
+            Counter::PoolMisses => 9,
+            Counter::BytesPooled => 10,
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use swift_tensor::Tensor;
 
-use crate::ops::OpKind;
+use crate::ops::{fused, OpKind};
 use crate::optimizer::{slot, OptimState, Optimizer, UndoError};
 
 /// Shared Adam-family hyperparameters.
@@ -58,14 +58,10 @@ impl AdamParams {
     }
 }
 
-/// The bias-corrected direction element `m̂ / (√v̂ + ε)` with the inverse
-/// corrections precomputed, so the fused closures below share one rounding
-/// sequence: `(m·(1/bc₁)) / (√(v·(1/bc₂)) + ε)`.
-#[inline]
-fn hat(m: f32, v: f32, inv_bc1: f32, inv_bc2: f32, eps: f32) -> f32 {
-    (m * inv_bc1) / ((v * inv_bc2).sqrt() + eps)
-}
-
+// The bias-corrected direction element is `m̂ / (√v̂ + ε)` with the inverse
+// corrections precomputed — `(m·(1/bc₁)) / (√(v·(1/bc₂)) + ε)` — realized
+// by the `adam_dir_*` kernels in [`fused`], which all share that one
+// rounding sequence.
 fn inv_bias_corrections(t: u64, p: &AdamParams) -> (f32, f32) {
     (
         1.0 / (1.0 - p.beta1.powi(t as i32)),
@@ -84,10 +80,7 @@ pub(crate) fn apply_direction(
     p: &AdamParams,
 ) {
     let (inv_bc1, inv_bc2) = inv_bias_corrections(t, p);
-    let eps = p.eps;
-    param.zip2_inplace(m, v, move |x, m, v| {
-        x + alpha * hat(m, v, inv_bc1, inv_bc2, eps)
-    });
+    fused::adam_dir_axpy(param, m, v, alpha, inv_bc1, inv_bc2, p.eps);
 }
 
 /// Advances moments in place: `m ← β₁m + (1−β₁)g'`, `v ← β₂v + (1−β₂)g'²`,
@@ -106,15 +99,12 @@ pub(crate) fn advance_moments(
     let (b2, mix2) = (p.beta2, 1.0 - p.beta2);
     match decay_x {
         None => {
-            m.zip_inplace(g, move |m, g| b1 * m + mix1 * g);
-            v.zip_inplace(g, move |v, g| b2 * v + mix2 * (g * g));
+            fused::axpby(m, g, b1, mix1);
+            fused::sq_axpby(v, g, b2, mix2);
         }
         Some((x, wd)) => {
-            m.zip2_inplace(g, x, move |m, g, x| b1 * m + mix1 * (g + wd * x));
-            v.zip2_inplace(g, x, move |v, g, x| {
-                let e = g + wd * x;
-                b2 * v + mix2 * (e * e)
-            });
+            fused::eff_axpby(m, g, x, b1, mix1, wd);
+            fused::eff_sq_axpby(v, g, x, b2, mix2, wd);
         }
     }
 }
@@ -132,15 +122,12 @@ pub(crate) fn revert_moments(
     let (inv_b2, mix2) = (1.0 / p.beta2, 1.0 - p.beta2);
     match decay_x {
         None => {
-            m.zip_inplace(g, move |m, g| (m - mix1 * g) * inv_b1);
-            v.zip_inplace(g, move |v, g| ((v - mix2 * (g * g)) * inv_b2).max(0.0));
+            fused::add_scale(m, g, -mix1, inv_b1);
+            fused::sq_add_scale_clamp0(v, g, -mix2, inv_b2);
         }
         Some((x, wd)) => {
-            m.zip2_inplace(g, x, move |m, g, x| (m - mix1 * (g + wd * x)) * inv_b1);
-            v.zip2_inplace(g, x, move |v, g, x| {
-                let e = g + wd * x;
-                ((v - mix2 * (e * e)) * inv_b2).max(0.0)
-            });
+            fused::eff_add_scale(m, g, x, -mix1, inv_b1, wd);
+            fused::eff_sq_add_scale_clamp0(v, g, x, -mix2, inv_b2, wd);
         }
     }
 }
@@ -353,10 +340,7 @@ impl Optimizer for AdamW {
         // x ← (1 − ηλ) x − η·dir, fused into one pass.
         let (inv_bc1, inv_bc2) = inv_bias_corrections(step_t, &p);
         let decay = 1.0 - p.lr * p.weight_decay;
-        let (lr, eps) = (p.lr, p.eps);
-        param.zip2_inplace(m, v, move |x, m, v| {
-            decay * x - lr * hat(m, v, inv_bc1, inv_bc2, eps)
-        });
+        fused::adam_dir_axpby(param, m, v, decay, -p.lr, inv_bc1, inv_bc2, p.eps);
     }
 
     fn finish_step(&mut self) {
@@ -376,10 +360,7 @@ impl Optimizer for AdamW {
             // x_t = (x_{t+1} + η·dir) / (1 − ηλ)   (Algorithm 8, line 4)
             let (inv_bc1, inv_bc2) = inv_bias_corrections(step_t, &p);
             let inv_decay = 1.0 / (1.0 - eta * p.weight_decay);
-            let eps = p.eps;
-            param.zip2_inplace(m, v, move |x, m, v| {
-                (x + eta * hat(m, v, inv_bc1, inv_bc2, eps)) * inv_decay
-            });
+            fused::adam_dir_add_scale(param, m, v, eta, inv_decay, inv_bc1, inv_bc2, p.eps);
         }
         let m = self.m[idx].as_mut().unwrap();
         let v = self.v[idx].as_mut().unwrap();
@@ -487,13 +468,11 @@ impl Optimizer for AmsGrad {
         let decay_x = (p.weight_decay != 0.0).then_some((&*param, p.weight_decay));
         advance_moments(m, v, grad, decay_x, &p);
         // v_max ← max(v_max, v̂): the max absorbs the bias correction at
-        // write time, so the direction divides by √v_max directly.
+        // write time, so the direction divides by √v_max directly
+        // (c2 = 1 in the kernel; ×1.0 is bitwise exact).
         let v_max = slot(&mut self.v_max, idx, param);
-        v_max.zip_inplace(v, move |vm, v| vm.max(v * inv_bc2));
-        let (lr, eps) = (p.lr, p.eps);
-        param.zip2_inplace(m, v_max, move |x, m, vm| {
-            x - lr * ((m * inv_bc1) / (vm.sqrt() + eps))
-        });
+        fused::scale_max(v_max, v, inv_bc2);
+        fused::adam_dir_axpy(param, m, v_max, -p.lr, inv_bc1, 1.0, p.eps);
     }
 
     fn finish_step(&mut self) {

@@ -16,7 +16,7 @@
 use swift_tensor::Tensor;
 
 use crate::adam::{advance_moments, revert_moments, AdamParams};
-use crate::ops::OpKind;
+use crate::ops::{fused, OpKind};
 use crate::optimizer::{slot, OptimState, Optimizer, UndoError};
 
 /// The LAMB optimizer (You et al., ICLR'20) with saved-scalar undo.
@@ -55,13 +55,16 @@ impl Lamb {
         let p = &self.params;
         let inv_bc1 = 1.0 / (1.0 - p.beta1.powi(step_t as i32));
         let inv_bc2 = 1.0 / (1.0 - p.beta2.powi(step_t as i32));
-        let eps = p.eps;
-        // One allocation for the direction (the trust-ratio norm needs it
-        // materialized); the hat computation itself is fused.
+        // One pooled clone for the direction (the trust-ratio norm needs
+        // it materialized); the hat computation itself is one fused pass.
         let mut dir = self.m[idx].as_ref().unwrap().clone();
-        dir.zip_inplace(self.v[idx].as_ref().unwrap(), move |m, v| {
-            (m * inv_bc1) / ((v * inv_bc2).sqrt() + eps)
-        });
+        fused::hat(
+            &mut dir,
+            self.v[idx].as_ref().unwrap(),
+            inv_bc1,
+            inv_bc2,
+            p.eps,
+        );
         dir
     }
 }
@@ -143,7 +146,7 @@ impl Optimizer for Lamb {
         // x ← (1 − η r λ) x − η r · dir, fused into one pass.
         let scale = 1.0 - p.lr * ratio * p.weight_decay;
         let eta_r = p.lr * ratio;
-        param.zip_inplace(&dir, move |x, d| scale * x - eta_r * d);
+        fused::axpby(param, &dir, scale, -eta_r);
     }
 
     fn finish_step(&mut self) {
@@ -162,7 +165,7 @@ impl Optimizer for Lamb {
         // x_t = (x_{t+1} + η r · dir) / (1 − η r λ), fused into one pass.
         let eta_r = eta * ratio;
         let inv_scale = 1.0 / (1.0 - eta * ratio * p.weight_decay);
-        param.zip_inplace(&dir, move |x, d| (x + eta_r * d) * inv_scale);
+        fused::add_scale(param, &dir, eta_r, inv_scale);
         // Moment reversal (moments advanced on the raw gradient).
         let m = self.m[idx].as_mut().unwrap();
         let v = self.v[idx].as_mut().unwrap();

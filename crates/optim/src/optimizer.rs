@@ -251,7 +251,7 @@ pub(crate) fn slot<'a>(
     if slots.len() <= idx {
         slots.resize(idx + 1, None);
     }
-    slots[idx].get_or_insert_with(|| Tensor::zeros(like.shape().clone()))
+    slots[idx].get_or_insert_with(|| Tensor::zeros(*like.shape()))
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use swift_tensor::Tensor;
 
-use crate::ops::OpKind;
+use crate::ops::{fused, OpKind};
 use crate::optimizer::{slot, OptimState, Optimizer, UndoError};
 
 /// Plain SGD with weight decay (paper Algorithm 3).
@@ -64,10 +64,9 @@ impl Optimizer for Sgd {
     fn step_one(&mut self, _idx: usize, param: &mut Tensor, grad: &Tensor) {
         self.last_lr = self.lr;
         let decay = 1.0 - self.lr * self.weight_decay;
-        let lr = self.lr;
-        // Fused (1 − ηλ)x − ηg: one pass, no temporary; same per-element
-        // rounding as the scale-then-axpy chain.
-        param.zip_inplace(grad, move |x, g| decay * x - lr * g);
+        // Fused (1 − ηλ)x − ηg: one SIMD-dispatched pass, no temporary;
+        // same per-element rounding as the scale-then-axpy chain.
+        fused::axpby(param, grad, decay, -self.lr);
     }
 
     fn finish_step(&mut self) {
@@ -82,7 +81,7 @@ impl Optimizer for Sgd {
     ) -> Result<(), UndoError> {
         let eta = self.last_lr;
         let inv_decay = 1.0 / (1.0 - eta * self.weight_decay);
-        param.zip_inplace(grad, move |x, g| (x + eta * g) * inv_decay);
+        fused::add_scale(param, grad, eta, inv_decay);
         Ok(())
     }
 
@@ -194,9 +193,9 @@ impl Optimizer for SgdMomentum {
         // never materialized. The wd == 0 branch avoids `g + 0·x`, which
         // is not a bitwise no-op for −0/∞/NaN parameters.
         if wd == 0.0 {
-            m.zip_inplace(grad, move |m, g| mu * m + mix * g);
+            fused::axpby(m, grad, mu, mix);
         } else {
-            m.zip2_inplace(grad, param, move |m, g, x| mu * m + mix * (g + wd * x));
+            fused::eff_axpby(m, grad, param, mu, mix, wd);
         }
         // x = x − η m
         param.axpy(-self.lr, m);
@@ -224,11 +223,9 @@ impl Optimizer for SgdMomentum {
             // x_t (matching Algorithm 2), fused into one pass.
             let inv_mu = 1.0 / mu;
             if wd == 0.0 {
-                m.zip_inplace(grad, move |m, g| (m - mix * g) * inv_mu);
+                fused::add_scale(m, grad, -mix, inv_mu);
             } else {
-                m.zip2_inplace(grad, param, move |m, g, x| {
-                    (m - mix * (g + wd * x)) * inv_mu
-                });
+                fused::eff_add_scale(m, grad, param, -mix, inv_mu, wd);
             }
         }
         Ok(())

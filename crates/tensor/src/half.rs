@@ -87,37 +87,36 @@ pub fn quantize_f16(xs: &[f32]) -> Vec<f32> {
         .collect()
 }
 
-/// Converts a whole slice to f16 bits, rayon-parallel above the elementwise
-/// threshold. Conversion is per-element, so parallelism cannot change bits.
+/// Converts a whole slice to f16 bits into a caller-provided buffer
+/// (resized to fit, reusing its capacity), SIMD-dispatched and
+/// rayon-parallel above the elementwise threshold. Conversion is
+/// per-element, so neither parallelism nor the dispatch tier changes bits.
+pub fn f32_slice_to_f16_into(xs: &[f32], out: &mut Vec<u16>) {
+    out.clear();
+    out.resize(xs.len(), 0);
+    crate::simd::f32_to_f16_into(xs, out);
+}
+
+/// Converts a whole slice of f16 bits to f32 into a caller-provided buffer
+/// (resized to fit, reusing its capacity).
+pub fn f16_slice_to_f32_into(hs: &[u16], out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(hs.len(), 0.0);
+    crate::simd::f16_to_f32_into(hs, out);
+}
+
+/// Converts a whole slice to f16 bits in a pooled buffer (return it with
+/// `pool::put_u16` to recycle).
 pub fn f32_slice_to_f16(xs: &[f32]) -> Vec<u16> {
-    use rayon::prelude::*;
-    let mut out = vec![0u16; xs.len()];
-    if crate::par::parallel_elements(xs.len()) {
-        out.par_iter_mut()
-            .zip(xs.par_iter())
-            .for_each(|(o, &x)| *o = f32_to_f16_bits(x));
-    } else {
-        for (o, &x) in out.iter_mut().zip(xs) {
-            *o = f32_to_f16_bits(x);
-        }
-    }
+    let mut out = crate::pool::take_u16(xs.len());
+    crate::simd::f32_to_f16_into(xs, &mut out);
     out
 }
 
-/// Converts a whole slice of f16 bits to f32, rayon-parallel above the
-/// elementwise threshold.
+/// Converts a whole slice of f16 bits to f32 in a pooled buffer.
 pub fn f16_slice_to_f32(hs: &[u16]) -> Vec<f32> {
-    use rayon::prelude::*;
-    let mut out = vec![0.0f32; hs.len()];
-    if crate::par::parallel_elements(hs.len()) {
-        out.par_iter_mut()
-            .zip(hs.par_iter())
-            .for_each(|(o, &h)| *o = f16_bits_to_f32(h));
-    } else {
-        for (o, &h) in out.iter_mut().zip(hs) {
-            *o = f16_bits_to_f32(h);
-        }
-    }
+    let mut out = crate::pool::take_f32(hs.len());
+    crate::simd::f16_to_f32_into(hs, &mut out);
     out
 }
 

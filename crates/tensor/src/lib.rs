@@ -20,9 +20,11 @@
 pub mod half;
 pub mod matmul;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod serialize;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use half::{
@@ -111,7 +113,7 @@ mod proptests {
             // decoded tensor equals quantize_f16 of the original, bit for
             // bit (NaN stays NaN, ±inf and signed zero survive exactly).
             let back = decode(&mut encode_f16(&t)).unwrap();
-            let expect = Tensor::from_vec(t.shape().clone(), quantize_f16(t.data()));
+            let expect = Tensor::from_vec(*t.shape(), quantize_f16(t.data()));
             for (b, e) in back.data().iter().zip(expect.data()) {
                 prop_assert!(
                     b.to_bits() == e.to_bits() || (b.is_nan() && e.is_nan()),
@@ -124,7 +126,7 @@ mod proptests {
         fn add_sub_inverse_within_tolerance(t in arb_tensor(128), s in -100.0f32..100.0) {
             // x + s - s stays within rounding of x. This mirrors the paper's
             // observation that undo is exact up to floating-point error (§4).
-            let other = Tensor::full(t.shape().clone(), s);
+            let other = Tensor::full(*t.shape(), s);
             let round = t.add(&other).sub(&other);
             prop_assert!(round.max_abs_diff(&t) <= 1e-2);
         }

@@ -13,17 +13,18 @@
 //! and block boundaries depend only on the shape — never on the thread
 //! count — so results are bit-identical at any `RAYON_NUM_THREADS`,
 //! including 1. SWIFT's replay correctness (paper §6) depends on this.
+//!
+//! The register tiles and the dot product execute through the
+//! runtime-dispatched microkernels in [`crate::simd`] (scalar / SSE2 /
+//! AVX2); all tiers are bitwise-identical by construction, so the choice
+//! of tier — like the choice of thread count — never changes results.
+//! Edge handling (`n % NR` columns, dot tails) stays in shared scalar
+//! code here.
 
 use crate::par;
+use crate::pool;
+use crate::simd::{self, MR, NR};
 use crate::tensor::Tensor;
-
-/// Register-tile rows: `A` rows processed together so each `B` row load is
-/// reused `MR` times.
-const MR: usize = 4;
-/// Register-tile columns: accumulator width, two 4-lane SSE vectors (the tile must fit the 16-register SSE file: MR·NR/4 = 8 accumulator registers).
-const NR: usize = 8;
-/// Lane count for the split-accumulator dot product in [`matmul_a_bt`].
-const LANES: usize = 8;
 
 /// `C = A · B` on the matrix views of `a` (`[m, k]`) and `b` (`[k, n]`).
 ///
@@ -33,7 +34,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape().as_matrix();
     let (k2, n) = b.shape().as_matrix();
     assert_eq!(k, k2, "matmul inner dim mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    let mut out = pool::take_f32(m * n);
     let ad = a.data();
     let bd = b.data();
     if n > 0 {
@@ -55,7 +56,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_at_b inner dim mismatch: {k} vs {k2}");
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
+    let mut out = pool::take_f32(m * n);
     if n > 0 {
         par::for_each_block_mut(
             &mut out,
@@ -76,7 +77,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_a_bt inner dim mismatch: {k} vs {k2}");
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
+    let mut out = pool::take_f32(m * n);
     if n > 0 {
         par::for_each_block_mut(
             &mut out,
@@ -99,20 +100,7 @@ fn ab_block(ad: &[f32], bd: &[f32], k: usize, n: usize, r0: usize, out_block: &m
 
     let mut c0 = 0;
     while c0 + NR <= n {
-        let mut acc = [[0.0f32; NR]; MR];
-        for kk in 0..k {
-            let b_tile: &[f32; NR] = bd[kk * n + c0..kk * n + c0 + NR].try_into().unwrap();
-            for i in 0..rows {
-                let av = a_rows[i][kk];
-                let acc_i = &mut acc[i];
-                for j in 0..NR {
-                    acc_i[j] += av * b_tile[j];
-                }
-            }
-        }
-        for (i, acc_i) in acc.iter().enumerate().take(rows) {
-            out_block[i * n + c0..i * n + c0 + NR].copy_from_slice(acc_i);
-        }
+        simd::tile_ab(&a_rows[..rows], bd, k, n, c0, out_block);
         c0 += NR;
     }
 
@@ -146,20 +134,7 @@ fn atb_block(
 
     let mut c0 = 0;
     while c0 + NR <= n {
-        let mut acc = [[0.0f32; NR]; MR];
-        for kk in 0..k {
-            let a_col = &ad[kk * m + r0..kk * m + r0 + rows];
-            let b_tile: &[f32; NR] = bd[kk * n + c0..kk * n + c0 + NR].try_into().unwrap();
-            for (i, &av) in a_col.iter().enumerate() {
-                let acc_i = &mut acc[i];
-                for j in 0..NR {
-                    acc_i[j] += av * b_tile[j];
-                }
-            }
-        }
-        for (i, acc_i) in acc.iter().enumerate().take(rows) {
-            out_block[i * n + c0..i * n + c0 + NR].copy_from_slice(acc_i);
-        }
+        simd::tile_atb(ad, bd, k, m, n, r0, rows, c0, out_block);
         c0 += NR;
     }
 
@@ -185,31 +160,9 @@ fn abt_block(ad: &[f32], bd: &[f32], k: usize, n: usize, r0: usize, out_block: &
         let a_row = &ad[(r0 + i) * k..(r0 + i + 1) * k];
         let out_row = &mut out_block[i * n..(i + 1) * n];
         for (c, o) in out_row.iter_mut().enumerate() {
-            *o = dot_lanes(a_row, &bd[c * k..(c + 1) * k]);
+            *o = simd::dot(a_row, &bd[c * k..(c + 1) * k]);
         }
     }
-}
-
-/// Dot product with `LANES` independent accumulators combined in a fixed
-/// order (lanes ascending, then the scalar tail ascending). The order never
-/// depends on threading, so repeated evaluation is bit-stable.
-fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
-    let mut lanes = [0.0f32; LANES];
-    let mut xc = x.chunks_exact(LANES);
-    let mut yc = y.chunks_exact(LANES);
-    for (xb, yb) in (&mut xc).zip(&mut yc) {
-        for l in 0..LANES {
-            lanes[l] += xb[l] * yb[l];
-        }
-    }
-    let mut s = 0.0f32;
-    for &lane in &lanes {
-        s += lane;
-    }
-    for (&xv, &yv) in xc.remainder().iter().zip(yc.remainder()) {
-        s += xv * yv;
-    }
-    s
 }
 
 #[cfg(test)]
@@ -238,7 +191,7 @@ mod tests {
     fn matmul_forced_sequential(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = a.shape().as_matrix();
         let (_, n) = b.shape().as_matrix();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_f32(m * n);
         let (ad, bd) = (a.data(), b.data());
         if n > 0 {
             par::for_each_block_mut(&mut out, MR * n, false, |blk, out_block| {
@@ -348,6 +301,38 @@ mod tests {
             assert!(c1.bit_eq(&matmul(&a, &b)));
             assert!(c2.bit_eq(&matmul_at_b(&at, &b)));
             assert!(c3.bit_eq(&matmul_a_bt(&a, &bt)));
+        }
+    }
+
+    #[test]
+    fn all_kernels_bit_eq_across_simd_tiers() {
+        // The dispatch-tier leg of the determinism contract: every SIMD
+        // tier available on this host must reproduce the scalar tier
+        // bit-for-bit, on shapes with full tiles, ragged edges and tails.
+        let mut rng = CounterRng::new(8, 0);
+        for &(m, k, n) in &[
+            (64usize, 64usize, 64usize),
+            (67, 31, 29),
+            (3, 5, 7),
+            (1, 1, 1),
+        ] {
+            let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+            let at = Tensor::randn([k, m], 0.0, 1.0, &mut rng);
+            let bt = Tensor::randn([n, k], 0.0, 1.0, &mut rng);
+            let want = simd::with_tier(simd::SimdTier::Scalar, || {
+                (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt))
+            });
+            for &tier in simd::available_tiers() {
+                let got = simd::with_tier(tier, || {
+                    (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt))
+                });
+                assert!(
+                    got.0.bit_eq(&want.0) && got.1.bit_eq(&want.1) && got.2.bit_eq(&want.2),
+                    "tier {} differs from scalar on [{m},{k}]x[{k},{n}]",
+                    tier.name()
+                );
+            }
         }
     }
 

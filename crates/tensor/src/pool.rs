@@ -1,0 +1,289 @@
+//! Pooled tensor buffers: the steady-state zero-allocation substrate.
+//!
+//! Every [`crate::Tensor`] returns its backing `Vec<f32>` here on drop, and
+//! every tensor constructor asks here first, so once a training loop has
+//! warmed up, the same handful of buffers cycle through
+//! forward → backward → optimizer without touching the system allocator
+//! (the `steady_state` bench op in swift-bench asserts allocs/step ≈ 0).
+//!
+//! Buffers are classified by power-of-two capacity. A returned buffer
+//! lands in the class of the largest power of two ≤ its capacity; a
+//! request of `len` elements pops from the class of the smallest power of
+//! two ≥ `len`. Both roundings together guarantee every pooled hit has
+//! `capacity ≥ len`, so the subsequent `resize`/`extend_from_slice` can
+//! never reallocate. Per-class occupancy and the maximum pooled size are
+//! capped so the pool's memory is bounded.
+//!
+//! Pooling is invisible to numerics: a recycled buffer is always fully
+//! overwritten (zero-fill, copy-fill, or the caller's exact-`len` fill)
+//! before it is readable, so results are bitwise independent of pool
+//! state. Hits/misses/bytes are mirrored to `swift-obs` counters when a
+//! recorder is installed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Largest pooled class: buffers of up to `2^MAX_CLASS` elements
+/// (16 Mi elements = 64 MiB of f32). Larger buffers bypass the pool.
+const MAX_CLASS: usize = 24;
+/// Buffers kept per class; extras are released to the allocator.
+const MAX_PER_CLASS: usize = 32;
+
+struct Freelist<T> {
+    /// `classes[c]` holds empty `Vec`s with `capacity ∈ [2^c, 2^(c+1))`
+    /// (the last class may hold more). Spine is grown once, lazily.
+    classes: Vec<Vec<Vec<T>>>,
+}
+
+impl<T> Freelist<T> {
+    const fn new() -> Self {
+        Freelist {
+            classes: Vec::new(),
+        }
+    }
+
+    fn ensure_spine(&mut self) {
+        if self.classes.is_empty() {
+            self.classes.resize_with(MAX_CLASS + 1, Vec::new);
+        }
+    }
+}
+
+static F32_POOL: Mutex<Freelist<f32>> = Mutex::new(Freelist::new());
+static U16_POOL: Mutex<Freelist<u16>> = Mutex::new(Freelist::new());
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RETURNED: AtomicU64 = AtomicU64::new(0);
+static BYTES_POOLED: AtomicU64 = AtomicU64::new(0);
+
+/// Smallest `c` with `2^c ≥ len` (0 for `len ≤ 1`).
+fn class_ceil(len: usize) -> usize {
+    if len <= 1 {
+        0
+    } else {
+        (usize::BITS - (len - 1).leading_zeros()) as usize
+    }
+}
+
+/// Largest `c` with `2^c ≤ capacity`; caller guarantees `capacity > 0`.
+fn class_floor(capacity: usize) -> usize {
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+fn take_raw<T>(pool: &Mutex<Freelist<T>>, min_capacity: usize) -> Vec<T> {
+    let class = class_ceil(min_capacity);
+    if class <= MAX_CLASS {
+        let mut guard = pool.lock().unwrap_or_else(|p| p.into_inner());
+        guard.ensure_spine();
+        if let Some(v) = guard.classes[class].pop() {
+            drop(guard);
+            HITS.fetch_add(1, Ordering::Relaxed);
+            swift_obs::add(swift_obs::Counter::PoolHits, 1);
+            debug_assert!(v.capacity() >= min_capacity);
+            return v;
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    swift_obs::add(swift_obs::Counter::PoolMisses, 1);
+    // Allocate the full class size so the buffer re-enters the same class
+    // it will later be requested from. lint:alloc-ok (pool miss path)
+    let cap = if class <= MAX_CLASS {
+        1usize << class
+    } else {
+        min_capacity
+    };
+    Vec::with_capacity(cap)
+}
+
+fn put_raw<T>(pool: &Mutex<Freelist<T>>, mut v: Vec<T>) {
+    let capacity = v.capacity();
+    if capacity == 0 {
+        return;
+    }
+    let class = class_floor(capacity);
+    if class > MAX_CLASS {
+        return; // oversized: let the allocator have it back
+    }
+    v.clear();
+    let mut guard = pool.lock().unwrap_or_else(|p| p.into_inner());
+    guard.ensure_spine();
+    let slot = &mut guard.classes[class];
+    if slot.len() < MAX_PER_CLASS {
+        slot.push(v);
+        drop(guard);
+        RETURNED.fetch_add(1, Ordering::Relaxed);
+        let bytes = (capacity * std::mem::size_of::<T>()) as u64;
+        BYTES_POOLED.fetch_add(bytes, Ordering::Relaxed);
+        swift_obs::add(swift_obs::Counter::BytesPooled, bytes);
+    }
+}
+
+/// A pooled, zero-filled `Vec<f32>` of exactly `len` elements.
+pub fn take_f32(len: usize) -> Vec<f32> {
+    let mut v = take_raw(&F32_POOL, len);
+    v.resize(len, 0.0);
+    v
+}
+
+/// A pooled `Vec<f32>` holding a copy of `src`.
+pub fn take_f32_copy(src: &[f32]) -> Vec<f32> {
+    let mut v = take_raw(&F32_POOL, src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// A pooled, **empty** `Vec<f32>` with capacity ≥ `min_capacity`. The
+/// caller must `push`/`resize` up to the intended length (pushes within
+/// `min_capacity` never reallocate).
+pub fn take_f32_raw(min_capacity: usize) -> Vec<f32> {
+    take_raw(&F32_POOL, min_capacity)
+}
+
+/// Returns an f32 buffer to the pool. Dropping the buffer instead is
+/// always correct, just slower next time.
+pub fn put_f32(v: Vec<f32>) {
+    put_raw(&F32_POOL, v);
+}
+
+/// A pooled, zero-filled `Vec<u16>` of exactly `len` elements (f16 wire
+/// staging).
+pub fn take_u16(len: usize) -> Vec<u16> {
+    let mut v = take_raw(&U16_POOL, len);
+    v.resize(len, 0);
+    v
+}
+
+/// Returns a u16 buffer to the pool.
+pub fn put_u16(v: Vec<u16>) {
+    put_raw(&U16_POOL, v);
+}
+
+/// Cumulative pool traffic since process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from a freelist.
+    pub hits: u64,
+    /// Requests that fell through to the system allocator.
+    pub misses: u64,
+    /// Buffers accepted back into a freelist.
+    pub returned: u64,
+    /// Total capacity bytes accepted back (cumulative, not resident).
+    pub bytes_pooled: u64,
+}
+
+/// A snapshot of the cumulative hit/miss/return counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        returned: RETURNED.load(Ordering::Relaxed),
+        bytes_pooled: BYTES_POOLED.load(Ordering::Relaxed),
+    }
+}
+
+/// Releases every pooled buffer to the allocator (counters keep running).
+pub fn clear() {
+    F32_POOL
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .classes
+        .clear();
+    U16_POOL
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .classes
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_rounding_guarantees_capacity() {
+        assert_eq!(class_ceil(0), 0);
+        assert_eq!(class_ceil(1), 0);
+        assert_eq!(class_ceil(2), 1);
+        assert_eq!(class_ceil(3), 2);
+        assert_eq!(class_ceil(1024), 10);
+        assert_eq!(class_ceil(1025), 11);
+        assert_eq!(class_floor(1), 0);
+        assert_eq!(class_floor(1023), 9);
+        assert_eq!(class_floor(1024), 10);
+        // Any capacity in class_floor class c satisfies any request whose
+        // class_ceil is ≤ c.
+        for len in [1usize, 2, 3, 7, 100, 1000, 4096] {
+            let cap = 1usize << class_ceil(len);
+            assert!(cap >= len);
+            assert!(class_floor(cap) == class_ceil(len));
+        }
+    }
+
+    #[test]
+    fn round_trip_reuses_buffer() {
+        let before = stats();
+        let v = take_f32(300);
+        assert_eq!(v.len(), 300);
+        assert!(v.iter().all(|&x| x == 0.0));
+        let cap = v.capacity();
+        assert!(cap >= 300);
+        put_f32(v);
+        // Same class → the very next take of a compatible size hits.
+        let v2 = take_f32(400);
+        assert_eq!(v2.len(), 400);
+        assert!(v2.capacity() >= 400);
+        let after = stats();
+        assert!(after.hits > before.hits);
+        assert!(after.bytes_pooled > before.bytes_pooled);
+        put_f32(v2);
+    }
+
+    #[test]
+    fn pooled_buffers_are_fully_overwritten() {
+        let mut v = take_f32(64);
+        for x in v.iter_mut() {
+            *x = 7.25;
+        }
+        put_f32(v);
+        let z = take_f32(64);
+        assert!(z.iter().all(|&x| x == 0.0), "zero-fill must erase reuse");
+        put_f32(z);
+        let mut v = take_f32(64);
+        for x in v.iter_mut() {
+            *x = 9.5;
+        }
+        put_f32(v);
+        let src: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let c = take_f32_copy(&src);
+        assert_eq!(c, src);
+        put_f32(c);
+    }
+
+    #[test]
+    fn oversized_buffers_bypass_the_pool() {
+        let huge = (1usize << MAX_CLASS) + 1;
+        let v: Vec<f32> = Vec::with_capacity(huge);
+        put_f32(v); // dropped, not pooled — must not panic or leak class
+        let empty: Vec<f32> = Vec::new();
+        put_f32(empty); // zero-capacity: ignored
+    }
+
+    #[test]
+    fn u16_pool_round_trips() {
+        let v = take_u16(100);
+        assert_eq!(v.len(), 100);
+        put_u16(v);
+        let v2 = take_u16(80);
+        assert!(v2.capacity() >= 80);
+        put_u16(v2);
+    }
+
+    #[test]
+    fn raw_take_is_empty_with_capacity() {
+        let v = take_f32_raw(33);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 33);
+        put_f32(v);
+    }
+}

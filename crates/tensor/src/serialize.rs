@@ -17,10 +17,13 @@
 //! `put_slice`/`copy_to_slice` — one `memcpy` instead of one bounds-checked
 //! call per element. Big-endian targets fall back to converting fixed-size
 //! chunks through a stack buffer, preserving the little-endian wire format.
-//! Half-precision conversion runs rayon-parallel for large tensors.
+//! Half-precision conversion is SIMD-dispatched (`crate::simd`) and runs
+//! rayon-parallel for large tensors; its staging buffers come from
+//! [`crate::pool`], so steady-state encode/decode is allocation-free.
 
 use crate::half;
-use crate::shape::Shape;
+use crate::pool;
+use crate::shape::{Shape, MAX_RANK};
 use crate::tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -41,6 +44,8 @@ pub enum DecodeError {
     BadMagic(u32),
     /// Declared element count disagrees with declared dims.
     LengthMismatch { dims_numel: u64, declared: u64 },
+    /// Declared rank exceeds [`MAX_RANK`] — not a tensor we produce.
+    RankTooLarge(u32),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -56,6 +61,9 @@ impl std::fmt::Display for DecodeError {
                     f,
                     "length mismatch: dims imply {dims_numel}, header says {declared}"
                 )
+            }
+            DecodeError::RankTooLarge(r) => {
+                write!(f, "declared rank {r} exceeds MAX_RANK {MAX_RANK}")
             }
         }
     }
@@ -109,9 +117,10 @@ fn put_u16s(buf: &mut impl BufMut, data: &[u16]) {
     }
 }
 
-/// Reads `n` little-endian `f32`s: a single `memcpy` on LE targets.
+/// Reads `n` little-endian `f32`s into a pooled buffer: a single `memcpy`
+/// on LE targets.
 fn get_f32s(buf: &mut impl Buf, n: usize) -> Vec<f32> {
-    let mut data = vec![0.0f32; n];
+    let mut data = pool::take_f32(n);
     #[cfg(target_endian = "little")]
     {
         // SAFETY: the Vec owns `n * 4` initialized, unaliased bytes; any
@@ -135,9 +144,10 @@ fn get_f32s(buf: &mut impl Buf, n: usize) -> Vec<f32> {
     data
 }
 
-/// Reads `n` little-endian `u16`s.
+/// Reads `n` little-endian `u16`s into a pooled buffer (return it with
+/// [`pool::put_u16`]).
 fn get_u16s(buf: &mut impl Buf, n: usize) -> Vec<u16> {
-    let mut data = vec![0u16; n];
+    let mut data = pool::take_u16(n);
     #[cfg(target_endian = "little")]
     {
         // SAFETY: as in `get_f32s`.
@@ -194,7 +204,9 @@ pub fn encode_f16_into(t: &Tensor, buf: &mut impl BufMut) {
         buf.put_u64_le(d as u64);
     }
     buf.put_u64_le(t.numel() as u64);
-    put_u16s(buf, &half::f32_slice_to_f16(t.data()));
+    let staged = half::f32_slice_to_f16(t.data());
+    put_u16s(buf, &staged);
+    pool::put_u16(staged);
 }
 
 /// Encodes a tensor in half precision into a fresh buffer.
@@ -232,14 +244,19 @@ fn decode_from(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
         return Err(DecodeError::BadMagic(magic));
     }
     let half = magic == MAGIC_F16;
-    let rank = buf.get_u32_le() as usize;
+    let rank = buf.get_u32_le();
+    if rank as usize > MAX_RANK {
+        return Err(DecodeError::RankTooLarge(rank));
+    }
+    let rank = rank as usize;
     if buf.remaining() < 8 * rank + 8 {
         return Err(DecodeError::Truncated);
     }
-    let mut dims = Vec::with_capacity(rank);
-    for _ in 0..rank {
-        dims.push(buf.get_u64_le() as usize);
+    let mut dims = [0usize; MAX_RANK];
+    for d in dims.iter_mut().take(rank) {
+        *d = buf.get_u64_le() as usize;
     }
+    let dims = &dims[..rank];
     let declared = buf.get_u64_le();
     let numel: u64 = dims.iter().map(|&d| d as u64).product();
     if numel != declared {
@@ -254,11 +271,14 @@ fn decode_from(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
     }
     let n = declared as usize;
     let data = if half {
-        half::f16_slice_to_f32(&get_u16s(buf, n))
+        let staged = get_u16s(buf, n);
+        let data = half::f16_slice_to_f32(&staged);
+        pool::put_u16(staged);
+        data
     } else {
         get_f32s(buf, n)
     };
-    Ok(Tensor::from_vec(Shape(dims), data))
+    Ok(Tensor::from_vec(Shape::new(dims), data))
 }
 
 #[cfg(test)]
@@ -376,6 +396,24 @@ mod tests {
                 "cut={cut}"
             );
         }
+    }
+
+    #[test]
+    fn oversized_rank_rejected() {
+        // A corrupt header must not panic Shape construction.
+        let mut bytes = BytesMut::new();
+        bytes.put_u32_le(super::MAGIC);
+        bytes.put_u32_le(MAX_RANK as u32 + 1);
+        for _ in 0..MAX_RANK + 1 {
+            bytes.put_u64_le(1);
+        }
+        bytes.put_u64_le(1);
+        bytes.put_f32_le(0.0);
+        let mut b = bytes.freeze();
+        assert!(matches!(
+            decode(&mut b),
+            Err(DecodeError::RankTooLarge(r)) if r == MAX_RANK as u32 + 1
+        ));
     }
 
     #[test]

@@ -1,50 +1,85 @@
 //! Shape arithmetic for dense, row-major tensors.
+//!
+//! `Shape` stores its extents inline (no heap allocation): tensor
+//! construction, cloning, `at`/`set` offset math and stride computation
+//! are all allocation-free, which the steady-state training loop depends
+//! on (see `crate::pool`). The wire encoding is unchanged: serde sees a
+//! plain sequence of extents.
 
 use std::fmt;
+
+/// Maximum supported tensor rank. Six covers everything the model zoo
+/// uses (NCHW conv activations plus attention's `[b, h, s, d]`).
+pub const MAX_RANK: usize = 6;
 
 /// A tensor shape: a list of dimension extents, row-major layout.
 ///
 /// Rank-0 (scalar) shapes are represented by an empty dimension list and
 /// have one element.
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-pub struct Shape(pub Vec<usize>);
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Extents; entries at `rank..` are always zero so derived
+    /// equality/hashing see a canonical form.
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
 
 impl Shape {
     /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    /// Panics if `dims.len() > MAX_RANK`.
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len(),
+        }
     }
 
     /// Scalar (rank-0) shape.
     pub fn scalar() -> Self {
-        Shape(Vec::new())
+        Shape {
+            dims: [0; MAX_RANK],
+            rank: 0,
+        }
     }
 
     /// The number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank
     }
 
     /// Total number of elements (product of extents; 1 for rank-0).
     pub fn numel(&self) -> usize {
-        self.0.iter().product()
+        self.dims[..self.rank].iter().product()
     }
 
     /// The extents as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank]
     }
 
     /// Extent of dimension `d`.
     pub fn dim(&self, d: usize) -> usize {
-        self.0[d]
+        self.dims()[d]
     }
 
-    /// Row-major strides for this shape.
-    pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1; self.rank()];
-        for d in (0..self.rank().saturating_sub(1)).rev() {
-            strides[d] = strides[d + 1] * self.0[d + 1];
+    /// Row-major strides; only the first [`Shape::rank`] entries are
+    /// meaningful (the tail is zero).
+    pub fn strides(&self) -> [usize; MAX_RANK] {
+        let mut strides = [0usize; MAX_RANK];
+        if self.rank > 0 {
+            strides[self.rank - 1] = 1;
+            for d in (0..self.rank - 1).rev() {
+                strides[d] = strides[d + 1] * self.dims[d + 1];
+            }
         }
         strides
     }
@@ -56,14 +91,16 @@ impl Shape {
     pub fn offset(&self, idx: &[usize]) -> usize {
         assert_eq!(idx.len(), self.rank(), "index rank mismatch");
         let mut off = 0;
-        let strides = self.strides();
-        for (d, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+        let mut stride = 1;
+        for d in (0..self.rank).rev() {
+            let i = idx[d];
             assert!(
-                i < self.0[d],
+                i < self.dims[d],
                 "index {i} out of bounds for dim {d} ({})",
-                self.0[d]
+                self.dims[d]
             );
-            off += i * s;
+            off += i * stride;
+            stride *= self.dims[d];
         }
         off
     }
@@ -73,9 +110,9 @@ impl Shape {
     pub fn as_matrix(&self) -> (usize, usize) {
         match self.rank() {
             0 => (1, 1),
-            1 => (1, self.0[0]),
+            1 => (1, self.dims[0]),
             _ => {
-                let cols = self.0[self.rank() - 1];
+                let cols = self.dims[self.rank - 1];
                 (self.numel() / cols, cols)
             }
         }
@@ -84,13 +121,13 @@ impl Shape {
 
 impl fmt::Debug for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Shape{:?}", self.0)
+        write!(f, "Shape{:?}", self.dims())
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}", self.0)
+        write!(f, "{:?}", self.dims())
     }
 }
 
@@ -102,15 +139,21 @@ impl From<&[usize]> for Shape {
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape(dims.to_vec())
+        Shape::new(&dims)
     }
 }
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::new(&dims)
     }
 }
+
+// The workspace's serde is a marker-trait shim (the real wire format is
+// `crate::serialize`); these impls just declare Shape serialization-safe.
+impl serde::Serialize for Shape {}
+
+impl<'de> serde::Deserialize<'de> for Shape {}
 
 #[cfg(test)]
 mod tests {
@@ -128,9 +171,9 @@ mod tests {
     #[test]
     fn strides_row_major() {
         let s = Shape::new(&[2, 3, 4]);
-        assert_eq!(s.strides(), vec![12, 4, 1]);
-        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
-        assert!(Shape::scalar().strides().is_empty());
+        assert_eq!(&s.strides()[..3], &[12, 4, 1]);
+        assert_eq!(&Shape::new(&[5]).strides()[..1], &[1]);
+        assert_eq!(Shape::scalar().strides(), [0; MAX_RANK]);
     }
 
     #[test]
@@ -148,10 +191,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn rank_above_max_panics() {
+        Shape::new(&[1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
     fn matrix_view() {
         assert_eq!(Shape::new(&[6, 4]).as_matrix(), (6, 4));
         assert_eq!(Shape::new(&[2, 3, 4]).as_matrix(), (6, 4));
         assert_eq!(Shape::new(&[7]).as_matrix(), (1, 7));
         assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn equality_ignores_construction_path() {
+        let a = Shape::new(&[2, 3]);
+        let b: Shape = [2usize, 3].into();
+        let c: Shape = vec![2usize, 3].into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_ne!(a, Shape::new(&[3, 2]));
+        assert_ne!(a, Shape::new(&[2, 3, 1]));
     }
 }

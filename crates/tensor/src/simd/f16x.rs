@@ -1,0 +1,169 @@
+//! AVX2 vector paths for f32 ↔ f16 conversion.
+//!
+//! The scalar reference is `crate::half::{f32_to_f16_bits, f16_bits_to_f32}`
+//! and both tiers below must match it **bit for bit** on every input,
+//! including subnormals, round-to-nearest-even ties, ±inf, NaN payload
+//! truncation and overflow-to-infinity. SSE2 stays on the scalar path:
+//! without `vpsrlv`/`vpsllv` (per-lane variable shifts) and packed 32-bit
+//! min/max, emulating the subnormal shift costs more than it saves, so only
+//! AVX2 gets a vector tier.
+//!
+//! The vector encoder replaces the scalar branches with a single branchless
+//! algebra (verified exhaustively by the tier tests in `super`):
+//!
+//! - `shift = 13 + clamp(-14 - e, 0, 10)` unifies the normal (`shift = 13`)
+//!   and subnormal (`shift ∈ [14, 23]`) mantissa narrowing;
+//! - the implicit leading 1 is OR'd in for subnormal lanes only;
+//! - `h = (exp_field | mant10) + inc` lets RNE's increment carry from the
+//!   mantissa into the exponent field, which is exactly how rounding up to
+//!   the next binade (and up to infinity at 65520) works in the scalar code
+//!   (`wrapping_add(1)` there; here the fields are disjoint before the add
+//!   and the sum never reaches the sign bit, max `0x7C00`);
+//! - overflow, NaN and underflow lanes are then overridden in that order
+//!   (NaN after overflow: NaN inputs also satisfy `e > 15`).
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::half::{f16_bits_to_f32, f32_to_f16_bits};
+use core::arch::x86_64::*;
+
+/// `2^-24` — the value of one f16 subnormal ULP. Multiplying the integer
+/// mantissa (≤ 1023, exact in f32) by this power of two is exact, so the
+/// subnormal decode path rounds nowhere.
+const SUB_SCALE: f32 = f32::from_bits(0x3380_0000);
+
+/// Encodes `src` into `dst` as IEEE 754 binary16 bit patterns.
+///
+/// # Safety
+/// Requires AVX2. `dst.len()` must equal `src.len()`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn f32_to_f16_avx2(src: &[f32], dst: &mut [u16]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    let mut i = 0;
+    unsafe {
+        while i + 8 <= n {
+            let bits = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let sign16 = _mm256_and_si256(_mm256_srli_epi32::<16>(bits), _mm256_set1_epi32(0x8000));
+            let expf = _mm256_and_si256(_mm256_srli_epi32::<23>(bits), _mm256_set1_epi32(0xFF));
+            let mant = _mm256_and_si256(bits, _mm256_set1_epi32(0x007F_FFFF));
+            let e = _mm256_sub_epi32(expf, _mm256_set1_epi32(127));
+
+            // shift = 13 + clamp(-14 - e, 0, 10); subnormal lanes regain the
+            // implicit leading one before narrowing.
+            let is_sub = _mm256_cmpgt_epi32(_mm256_set1_epi32(-14), e);
+            let full_mant = _mm256_or_si256(
+                mant,
+                _mm256_and_si256(is_sub, _mm256_set1_epi32(0x0080_0000)),
+            );
+            let extra = _mm256_min_epi32(
+                _mm256_max_epi32(
+                    _mm256_sub_epi32(_mm256_set1_epi32(-14), e),
+                    _mm256_setzero_si256(),
+                ),
+                _mm256_set1_epi32(10),
+            );
+            let shift = _mm256_add_epi32(extra, _mm256_set1_epi32(13));
+            let mant10 = _mm256_srlv_epi32(full_mant, shift);
+
+            // Round to nearest, ties to even.
+            let one = _mm256_set1_epi32(1);
+            let round_mask = _mm256_sub_epi32(_mm256_sllv_epi32(one, shift), one);
+            let round_bits = _mm256_and_si256(full_mant, round_mask);
+            let half = _mm256_sllv_epi32(one, _mm256_sub_epi32(shift, one));
+            let odd = _mm256_cmpeq_epi32(_mm256_and_si256(mant10, one), one);
+            let tie = _mm256_cmpeq_epi32(round_bits, half);
+            let above = _mm256_cmpgt_epi32(round_bits, half);
+            let inc = _mm256_and_si256(_mm256_or_si256(above, _mm256_and_si256(tie, odd)), one);
+
+            let exp_field = _mm256_andnot_si256(
+                is_sub,
+                _mm256_slli_epi32::<10>(_mm256_add_epi32(e, _mm256_set1_epi32(15))),
+            );
+            let mut h = _mm256_add_epi32(_mm256_or_si256(exp_field, mant10), inc);
+
+            // Specials, in override order: overflow → ±inf, then NaN
+            // (payload top bits kept, quiet bit forced if they vanish),
+            // then underflow → ±0.
+            let ovf = _mm256_cmpgt_epi32(e, _mm256_set1_epi32(15));
+            h = _mm256_blendv_epi8(h, _mm256_set1_epi32(0x7C00), ovf);
+            let isnan = _mm256_cmpeq_epi32(expf, _mm256_set1_epi32(0xFF));
+            let mant_nz = _mm256_xor_si256(
+                _mm256_cmpeq_epi32(mant, _mm256_setzero_si256()),
+                _mm256_set1_epi32(-1),
+            );
+            let nan_val = _mm256_or_si256(
+                _mm256_set1_epi32(0x7C00),
+                _mm256_or_si256(
+                    _mm256_and_si256(mant_nz, _mm256_set1_epi32(0x0200)),
+                    _mm256_and_si256(_mm256_srli_epi32::<13>(mant), _mm256_set1_epi32(0x03FF)),
+                ),
+            );
+            h = _mm256_blendv_epi8(h, nan_val, isnan);
+            let unf = _mm256_cmpgt_epi32(_mm256_set1_epi32(-24), e);
+            h = _mm256_andnot_si256(unf, h);
+            h = _mm256_or_si256(h, sign16);
+
+            // Narrow 8×u32 (≤ 0xFFFF, so unsigned saturation is identity)
+            // to 8×u16: pack within 128-bit lanes, then gather qwords 0, 2.
+            let packed = _mm256_packus_epi32(h, h);
+            let lanes = _mm256_permute4x64_epi64::<0b00_00_10_00>(packed);
+            _mm_storeu_si128(
+                dst.as_mut_ptr().add(i) as *mut __m128i,
+                _mm256_castsi256_si128(lanes),
+            );
+            i += 8;
+        }
+        while i < n {
+            *dst.get_unchecked_mut(i) = f32_to_f16_bits(*src.get_unchecked(i));
+            i += 1;
+        }
+    }
+}
+
+/// Decodes binary16 bit patterns from `src` into `dst`.
+///
+/// # Safety
+/// Requires AVX2. `dst.len()` must equal `src.len()`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn f16_to_f32_avx2(src: &[u16], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    let mut i = 0;
+    unsafe {
+        while i + 8 <= n {
+            let h = _mm256_cvtepu16_epi32(_mm_loadu_si128(src.as_ptr().add(i) as *const __m128i));
+            let sign = _mm256_slli_epi32::<16>(_mm256_and_si256(h, _mm256_set1_epi32(0x8000)));
+            let expf = _mm256_and_si256(_mm256_srli_epi32::<10>(h), _mm256_set1_epi32(0x1F));
+            let mant = _mm256_and_si256(h, _mm256_set1_epi32(0x03FF));
+
+            let normal = _mm256_or_si256(
+                _mm256_slli_epi32::<23>(_mm256_add_epi32(expf, _mm256_set1_epi32(112))),
+                _mm256_slli_epi32::<13>(mant),
+            );
+            // Subnormal (exp field 0): value is exactly mant·2⁻²⁴; both the
+            // int→float conversion (mant ≤ 1023) and the power-of-two scale
+            // are exact, and mant == 0 yields ±0 once the sign is OR'd.
+            let sub = _mm256_castps_si256(_mm256_mul_ps(
+                _mm256_cvtepi32_ps(mant),
+                _mm256_set1_ps(SUB_SCALE),
+            ));
+            let inf_nan = _mm256_or_si256(
+                _mm256_set1_epi32(0x7F80_0000),
+                _mm256_slli_epi32::<13>(mant),
+            );
+
+            let is_zero_exp = _mm256_cmpeq_epi32(expf, _mm256_setzero_si256());
+            let is_max_exp = _mm256_cmpeq_epi32(expf, _mm256_set1_epi32(0x1F));
+            let mut r = _mm256_blendv_epi8(normal, sub, is_zero_exp);
+            r = _mm256_blendv_epi8(r, inf_nan, is_max_exp);
+            r = _mm256_or_si256(r, sign);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, r);
+            i += 8;
+        }
+        while i < n {
+            *dst.get_unchecked_mut(i) = f16_bits_to_f32(*src.get_unchecked(i));
+            i += 1;
+        }
+    }
+}

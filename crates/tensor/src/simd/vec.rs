@@ -1,0 +1,205 @@
+//! The vector abstraction behind the runtime-dispatched microkernels.
+//!
+//! [`Vf32`] models a small pack of `f32` lanes with exactly the operations
+//! the kernels need. Three implementations exist: `f32` itself (one lane —
+//! the scalar reference tier), [`SseV`] (`__m128`, 4 lanes) and [`AvxV`]
+//! (`__m256`, 8 lanes). Every method maps to a single IEEE-754
+//! correctly-rounded instruction (or an exact bitwise select for
+//! [`Vf32::vmax`]), and **no implementation may fuse a multiply-add**:
+//! FMA's single rounding would produce different bits than the scalar
+//! tier, breaking the determinism contract (DESIGN.md). The generic
+//! kernels in [`super::kernels`] therefore compute identical bit patterns
+//! on every tier by construction — same per-element operation sequence,
+//! same rounding at every step.
+
+/// A pack of `LANES` f32 values.
+///
+/// # Safety
+///
+/// All methods are `unsafe` because the SIMD implementations lower to ISA
+/// instructions that are only sound to execute when the corresponding
+/// feature is available; callers must route calls through the
+/// `#[target_feature]` wrappers in [`super`], which are only invoked after
+/// runtime detection. `load`/`store` additionally require `p` to point at
+/// `LANES` readable (resp. writable) `f32`s.
+pub trait Vf32: Copy {
+    /// Lane count (1, 4 or 8).
+    const LANES: usize;
+
+    /// Unaligned load of `LANES` values starting at `p`.
+    unsafe fn load(p: *const f32) -> Self;
+    /// Unaligned store of `LANES` values starting at `p`.
+    unsafe fn store(self, p: *mut f32);
+    /// Broadcasts `x` to every lane.
+    unsafe fn splat(x: f32) -> Self;
+    /// Lane-wise `self + o` (one rounding).
+    unsafe fn add(self, o: Self) -> Self;
+    /// Lane-wise `self * o` (one rounding; never fused with a later add).
+    unsafe fn mul(self, o: Self) -> Self;
+    /// Lane-wise `self / o` (correctly rounded).
+    unsafe fn div(self, o: Self) -> Self;
+    /// Lane-wise square root (correctly rounded).
+    unsafe fn vsqrt(self) -> Self;
+    /// Lane-wise `if self > o { self } else { o }` — the exact `maxps`
+    /// semantics (NaN or equal picks `o`, so `vmax(-0.0, +0.0) == +0.0`).
+    /// Deliberately *not* named `max` so the scalar tier can never silently
+    /// resolve to the inherent `f32::max`, whose NaN handling differs.
+    unsafe fn vmax(self, o: Self) -> Self;
+}
+
+impl Vf32 for f32 {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self {
+        unsafe { *p }
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f32) {
+        unsafe { *p = self }
+    }
+
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        self + o
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        self * o
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        self / o
+    }
+
+    #[inline(always)]
+    unsafe fn vsqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline(always)]
+    unsafe fn vmax(self, o: Self) -> Self {
+        if self > o {
+            self
+        } else {
+            o
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Vf32;
+    use core::arch::x86_64::*;
+
+    /// 4 lanes via SSE2 (baseline on x86_64 — always available).
+    #[derive(Clone, Copy)]
+    pub struct SseV(__m128);
+
+    impl Vf32 for SseV {
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            unsafe { SseV(_mm_loadu_ps(p)) }
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            unsafe { _mm_storeu_ps(p, self.0) }
+        }
+
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            unsafe { SseV(_mm_set1_ps(x)) }
+        }
+
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            unsafe { SseV(_mm_add_ps(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            unsafe { SseV(_mm_mul_ps(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            unsafe { SseV(_mm_div_ps(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn vsqrt(self) -> Self {
+            unsafe { SseV(_mm_sqrt_ps(self.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn vmax(self, o: Self) -> Self {
+            // maxps(a, b) = a > b ? a : b, with NaN/equal picking b —
+            // exactly the scalar tier's `if self > o { self } else { o }`.
+            unsafe { SseV(_mm_max_ps(self.0, o.0)) }
+        }
+    }
+
+    /// 8 lanes via AVX2. Multiplies and adds stay *unfused* even though the
+    /// host has FMA: a fused multiply-add rounds once where the scalar tier
+    /// rounds twice, which would break cross-tier bitwise equality.
+    #[derive(Clone, Copy)]
+    pub struct AvxV(__m256);
+
+    impl Vf32 for AvxV {
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            unsafe { AvxV(_mm256_loadu_ps(p)) }
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            unsafe { _mm256_storeu_ps(p, self.0) }
+        }
+
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            unsafe { AvxV(_mm256_set1_ps(x)) }
+        }
+
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            unsafe { AvxV(_mm256_add_ps(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            unsafe { AvxV(_mm256_mul_ps(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            unsafe { AvxV(_mm256_div_ps(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn vsqrt(self) -> Self {
+            unsafe { AvxV(_mm256_sqrt_ps(self.0)) }
+        }
+
+        #[inline(always)]
+        unsafe fn vmax(self, o: Self) -> Self {
+            unsafe { AvxV(_mm256_max_ps(self.0, o.0)) }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use x86::{AvxV, SseV};

@@ -1,6 +1,7 @@
 //! The dense tensor type and its deterministic kernels.
 
 use crate::par;
+use crate::pool;
 use crate::rng::CounterRng;
 use crate::shape::Shape;
 use rayon::prelude::*;
@@ -10,10 +11,38 @@ use rayon::prelude::*;
 /// All operations are deterministic: given identical inputs they produce
 /// bit-identical outputs regardless of thread count or scheduling. This is
 /// the foundation for SWIFT's replay-based recovery.
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Backing buffers come from [`crate::pool`] and return there on drop, so
+/// steady-state training reuses a fixed working set instead of touching
+/// the system allocator (pooled buffers are always fully overwritten
+/// before they are readable — pooling never changes bits).
+#[derive(PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::put_f32(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape,
+            data: pool::take_f32_copy(&self.data),
+        }
+    }
+
+    /// Reuses `self`'s buffer when its capacity suffices — the
+    /// allocation-free snapshot path (`Sequential::grads_snapshot_into`).
+    fn clone_from(&mut self, src: &Tensor) {
+        self.shape = src.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -41,10 +70,9 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let n = shape.numel();
         Tensor {
+            data: pool::take_f32(shape.numel()),
             shape,
-            data: vec![0.0; n],
         }
     }
 
@@ -57,17 +85,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        let mut data = pool::take_f32_raw(n);
+        data.resize(n, value);
+        Tensor { shape, data }
     }
 
     /// Rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
+        let mut data = pool::take_f32_raw(1);
+        data.push(value);
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data,
         }
     }
 
@@ -75,7 +104,8 @@ impl Tensor {
     pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut CounterRng) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        let mut data = pool::take_f32_raw(n);
+        data.extend((0..n).map(|_| rng.uniform(lo, hi)));
         Tensor { shape, data }
     }
 
@@ -83,7 +113,8 @@ impl Tensor {
     pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut CounterRng) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        let data = (0..n).map(|_| mean + std * rng.normal()).collect();
+        let mut data = pool::take_f32_raw(n);
+        data.extend((0..n).map(|_| mean + std * rng.normal()));
         Tensor { shape, data }
     }
 
@@ -142,7 +173,7 @@ impl Tensor {
         assert_eq!(shape.numel(), self.numel(), "reshape numel mismatch");
         Tensor {
             shape,
-            data: self.data.clone(),
+            data: pool::take_f32_copy(&self.data),
         }
     }
 
@@ -308,8 +339,14 @@ impl Tensor {
 
     /// In-place `self += alpha * other` (the BLAS `axpy` primitive that
     /// underlies every optimizer update in the paper's Table 1).
+    /// SIMD-dispatched; bit-identical on every tier and thread count.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        self.zip_inplace(other, move |a, b| a + alpha * b);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        crate::simd::axpy(&mut self.data, &other.data, alpha);
     }
 
     /// In-place elementwise addition.
@@ -330,9 +367,12 @@ impl Tensor {
     /// parallel) and the block partials are combined in index order, so the
     /// result does not depend on the rayon schedule.
     pub fn sum(&self) -> f32 {
-        deterministic_block_reduce(&self.data, |chunk| chunk.iter().sum::<f32>())
-            .into_iter()
-            .sum()
+        deterministic_block_reduce(
+            &self.data,
+            |chunk| chunk.iter().sum::<f32>(),
+            0.0,
+            |a, b| a + b,
+        )
     }
 
     /// Mean of all elements.
@@ -345,9 +385,12 @@ impl Tensor {
 
     /// Deterministic sum of squares.
     pub fn sum_sq(&self) -> f32 {
-        deterministic_block_reduce(&self.data, |chunk| chunk.iter().map(|x| x * x).sum::<f32>())
-            .into_iter()
-            .sum()
+        deterministic_block_reduce(
+            &self.data,
+            |chunk| chunk.iter().map(|x| x * x).sum::<f32>(),
+            0.0,
+            |a, b| a + b,
+        )
     }
 
     /// L2 norm (used by the LAMB optimizer's trust ratio; the paper saves
@@ -358,11 +401,12 @@ impl Tensor {
 
     /// Maximum element (`-inf` for empty tensors).
     pub fn max(&self) -> f32 {
-        deterministic_block_reduce(&self.data, |chunk| {
-            chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max)
-        })
-        .into_iter()
-        .fold(f32::NEG_INFINITY, f32::max)
+        deterministic_block_reduce(
+            &self.data,
+            |chunk| chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            f32::NEG_INFINITY,
+            f32::max,
+        )
     }
 
     /// Index of the maximum element along the last axis, per row.
@@ -391,7 +435,7 @@ impl Tensor {
     /// (used for bias gradients).
     pub fn sum_rows(&self) -> Tensor {
         let (rows, cols) = self.shape.as_matrix();
-        let mut out = vec![0.0f32; cols];
+        let mut out = pool::take_f32(cols);
         for r in 0..rows {
             let row = &self.data[r * cols..(r + 1) * cols];
             for (o, &v) in out.iter_mut().zip(row.iter()) {
@@ -438,7 +482,7 @@ impl Tensor {
     /// Transposes the matrix view, returning a `[cols, rows]` tensor.
     pub fn transpose(&self) -> Tensor {
         let (rows, cols) = self.shape.as_matrix();
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = pool::take_f32(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 out[c * rows + r] = self.data[r * cols + c];
@@ -449,14 +493,25 @@ impl Tensor {
 }
 
 /// Splits `data` into fixed-size blocks, reduces each block with `f`, and
-/// returns the per-block partials in index order. Blocks may be reduced in
-/// parallel; determinism follows because block boundaries are fixed and the
-/// caller combines partials sequentially.
-fn deterministic_block_reduce<R: Send>(data: &[f32], f: impl Fn(&[f32]) -> R + Sync) -> Vec<R> {
-    if par::parallel_elements(data.len()) {
-        data.par_chunks(par::REDUCE_BLOCK).map(&f).collect()
+/// left-folds the per-block partials in index order. Blocks may be reduced
+/// in parallel; determinism follows because block boundaries are fixed and
+/// the partials are always combined sequentially in index order. The
+/// sequential path (small inputs, or a single rayon thread) folds as it
+/// goes and allocates nothing.
+fn deterministic_block_reduce<R: Send>(
+    data: &[f32],
+    f: impl Fn(&[f32]) -> R + Sync,
+    init: R,
+    fold: impl Fn(R, R) -> R,
+) -> R {
+    if par::parallel_elements(data.len()) && rayon::current_num_threads() > 1 {
+        data.par_chunks(par::REDUCE_BLOCK)
+            .map(&f)
+            .collect::<Vec<R>>()
+            .into_iter()
+            .fold(init, fold)
     } else {
-        data.chunks(par::REDUCE_BLOCK).map(f).collect()
+        data.chunks(par::REDUCE_BLOCK).map(f).fold(init, fold)
     }
 }
 

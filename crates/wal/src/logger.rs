@@ -37,13 +37,22 @@ use crate::record::LogRecord;
 /// the borrowed boundary tensor — the tensor itself is never cloned, and
 /// the payload buffer travels to the writer thread and comes back through
 /// the recycle channel for reuse.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct WriteJob {
     key: String,
     /// Training iteration the record belongs to — checked against the GC
     /// watermark so a checkpoint can retire queued-but-unflushed records.
     iteration: u64,
     payload: Vec<u8>,
+}
+
+impl WriteJob {
+    /// Clears the key and payload for reuse, keeping their capacity.
+    fn recycle(mut self) -> Self {
+        self.key.clear();
+        self.payload.clear();
+        self
+    }
 }
 
 /// Background writer threads sharing the job queue.
@@ -108,11 +117,12 @@ pub struct Logger {
     gc_watermark: Arc<AtomicU64>,
     stats: Arc<LogStats>,
     store: BlobStore,
-    /// Drained payload buffers coming back from the writer thread; reused
-    /// by the next `log_send` so steady-state logging stops allocating.
-    recycled: Receiver<Vec<u8>>,
-    /// Reusable encode buffer for the inline (`Sync`) write path.
-    scratch: Vec<u8>,
+    /// Drained jobs (key + payload buffers) coming back from the writer
+    /// threads; reused by the next `log_send` so steady-state logging
+    /// stops allocating.
+    recycled: Receiver<WriteJob>,
+    /// Job held back by the inline (`Sync`/spill) write paths for reuse.
+    spare: Option<WriteJob>,
 }
 
 impl Logger {
@@ -136,7 +146,7 @@ impl Logger {
         let stats = Arc::new(LogStats::default());
         let in_flight = Arc::new(AtomicU64::new(0));
         let gc_watermark = Arc::new(AtomicU64::new(0));
-        let (pool_tx, pool_rx) = unbounded::<Vec<u8>>();
+        let (pool_tx, pool_rx) = unbounded::<WriteJob>();
         let (tx, writers) = if mode == LogMode::Sync {
             (None, Vec::new())
         } else {
@@ -158,12 +168,10 @@ impl Logger {
                             if job.iteration >= watermark.load(Ordering::SeqCst) {
                                 write_payload(&store2, &job.key, &job.payload, &stats2);
                             }
-                            // Hand the drained buffer back for reuse; the
-                            // logger may already be gone, in which case the
-                            // buffer simply drops.
-                            let mut buf = job.payload;
-                            buf.clear();
-                            let _ = pool_tx.send(buf);
+                            // Hand the drained job (key + payload buffers)
+                            // back for reuse; the logger may already be
+                            // gone, in which case it simply drops.
+                            let _ = pool_tx.send(job.recycle());
                             in_flight2.fetch_sub(1, Ordering::SeqCst);
                         }
                     })
@@ -187,7 +195,7 @@ impl Logger {
             stats,
             store,
             recycled: pool_rx,
-            scratch: Vec::new(),
+            spare: None,
         }
     }
 
@@ -231,53 +239,47 @@ impl Logger {
         }
         let half = self.precision == LogPrecision::F16;
         let kind_code = kind.into();
-        let key = LogRecord::key_for(src, dst, ctx.iteration, ctx.microbatch, kind_code);
+        // Grab a recycled job (writer-drained, spill-retained, or fresh)
+        // and render the key + wire payload into it in place.
+        let mut job = self
+            .spare
+            .take()
+            .or_else(|| self.recycled.try_recv().ok().map(WriteJob::recycle))
+            .unwrap_or_default();
+        LogRecord::key_into(
+            src,
+            dst,
+            ctx.iteration,
+            ctx.microbatch,
+            kind_code,
+            &mut job.key,
+        );
+        job.iteration = ctx.iteration;
+        job.payload.reserve(LogRecord::encoded_len(t, half));
+        LogRecord::encode_parts_into(
+            src,
+            dst,
+            ctx.iteration,
+            ctx.microbatch,
+            kind_code,
+            t,
+            half,
+            &mut job.payload,
+        );
         match self.mode {
             LogMode::Sync => {
-                let mut payload = std::mem::take(&mut self.scratch);
-                payload.clear();
-                payload.reserve(LogRecord::encoded_len(t, half));
-                LogRecord::encode_parts_into(
-                    src,
-                    dst,
-                    ctx.iteration,
-                    ctx.microbatch,
-                    kind_code,
-                    t,
-                    half,
-                    &mut payload,
-                );
-                write_payload(&self.store, &key, &payload, &self.stats);
-                self.scratch = payload;
+                write_payload(&self.store, &job.key, &job.payload, &self.stats);
+                self.spare = Some(job.recycle());
             }
-            LogMode::Async | LogMode::BubbleAsync => {
-                let mut payload = self.recycled.try_recv().unwrap_or_default();
-                payload.clear();
-                payload.reserve(LogRecord::encoded_len(t, half));
-                LogRecord::encode_parts_into(
-                    src,
-                    dst,
-                    ctx.iteration,
-                    ctx.microbatch,
-                    kind_code,
-                    t,
-                    half,
-                    &mut payload,
-                );
-                let job = WriteJob {
-                    key,
-                    iteration: ctx.iteration,
-                    payload,
-                };
-                if self.mode == LogMode::Async {
-                    self.enqueue(job);
-                } else if self.staged_bytes + job.payload.len() > self.bubble_budget_bytes {
+            LogMode::Async => self.enqueue(job),
+            LogMode::BubbleAsync => {
+                if self.staged_bytes + job.payload.len() > self.bubble_budget_bytes {
                     // Budget exceeded (§5.4): bubbles aren't keeping up, so
                     // this record can't be hidden — spill it synchronously
                     // rather than letting the logging debt grow unbounded.
                     swift_obs::add(swift_obs::Counter::SpilledBytes, job.payload.len() as u64);
                     write_payload(&self.store, &job.key, &job.payload, &self.stats);
-                    self.scratch = job.payload;
+                    self.spare = Some(job.recycle());
                 } else {
                     self.staged_bytes += job.payload.len();
                     self.staged.push(job);

@@ -146,11 +146,32 @@ impl LogRecord {
         microbatch: u64,
         kind: MsgKindCode,
     ) -> String {
+        let mut out = String::new();
+        Self::key_into(src, dst, iteration, microbatch, kind, &mut out);
+        out
+    }
+
+    /// Renders the store key into a caller-owned buffer — the
+    /// allocation-free variant of [`LogRecord::key_for`] the logger uses
+    /// with recycled job buffers. Appends; callers clear first to reuse.
+    pub fn key_into(
+        src: Rank,
+        dst: Rank,
+        iteration: u64,
+        microbatch: u64,
+        kind: MsgKindCode,
+        out: &mut String,
+    ) {
+        use std::fmt::Write;
         let kind = match kind {
             MsgKindCode::Activation => "act",
             MsgKindCode::Gradient => "grad",
         };
-        format!("wal/it{iteration:012}/mb{microbatch:06}/{kind}_{src}to{dst}.bin")
+        write!(
+            out,
+            "wal/it{iteration:012}/mb{microbatch:06}/{kind}_{src}to{dst}.bin"
+        )
+        .expect("string formatting is infallible");
     }
 
     /// Micro-batch parsed back out of a store key produced by

@@ -16,7 +16,14 @@
 //!      the `swift_net::clock` seam so the model checker can drive it
 //!      virtually. The allowlist (`clock.rs` itself, plus the genuinely
 //!      wall-clock socket/retry/remote-KV transport files) is explicit
-//!      in [`NET_WALL_CLOCK_ALLOWLIST`].
+//!      in [`NET_WALL_CLOCK_ALLOWLIST`];
+//!    - no `Vec::new` / `vec![` / `.to_vec(` in the hot-loop modules
+//!      ([`HOT_LOOP_PATHS`]: the SIMD kernels, matmul, the fused
+//!      optimizer kernels, and the WAL record encode path) — the
+//!      steady-state contract is zero allocations per train step, and a
+//!      stray `vec![]` in a kernel silently re-introduces per-step
+//!      malloc traffic. Cold code opts out with a `lint:alloc-ok`
+//!      comment on the line.
 //!
 //!    All lints skip the `#[cfg(test)]` region (test modules sit at the
 //!    bottom of each file by repo convention) and comment lines.
@@ -26,11 +33,14 @@
 //!
 //! `cargo xtask bench [--quick] [--json]` runs the microbenchmark suites
 //! (`swift-bench`'s `fastpath` binary, release profile): the recovery
-//! fast-path suite and the collective/WAL overlap suite.
+//! fast-path suite, the collective/WAL overlap suite, and the SIMD
+//! dispatch suite (which also asserts cross-tier bitwise equality and
+//! the zero-allocation steady state).
 //!
 //! - full mode with `--json` persists each suite's results at the
 //!   workspace root (`BENCH_pr3.json` for the fast-path suite,
-//!   `BENCH_pr5.json` for the overlap suite) — the committed baselines;
+//!   `BENCH_pr5.json` for the overlap suite, `BENCH_pr8.json` for the
+//!   SIMD suite) — the committed baselines;
 //! - `--quick` keeps the problem shapes but lowers repetitions, then
 //!   compares each suite against its committed baseline and **fails if
 //!   any bench regressed more than 2×** (CI's `bench-smoke` gate). With
@@ -250,6 +260,7 @@ fn verify() -> ExitCode {
     failures += lint_no_panics_in_recovery(&root);
     failures += lint_no_instant_in_sim(&root);
     failures += lint_no_wall_clock_in_net(&root);
+    failures += lint_no_alloc_in_hot_loops(&root);
 
     if failures > 0 {
         eprintln!("xtask verify: {failures} lint violation(s); skipping analyzers");
@@ -270,11 +281,12 @@ fn verify() -> ExitCode {
 }
 
 /// The benchmark suites and the committed baseline each quick run gates
-/// against: the recovery fast path (PR 3) and the collective/WAL overlap
-/// layer (PR 5).
+/// against: the recovery fast path (PR 3), the collective/WAL overlap
+/// layer (PR 5), and the SIMD dispatch + zero-alloc layer (PR 8).
 const BENCH_SUITES: &[(&str, &str)] = &[
     ("fastpath", "BENCH_pr3.json"),
     ("overlap", "BENCH_pr5.json"),
+    ("simd", "BENCH_pr8.json"),
 ];
 /// How much slower a microbench may get before the quick gate fails.
 const BENCH_REGRESSION_FACTOR: u64 = 2;
@@ -458,7 +470,7 @@ fn lint_no_panics_in_recovery(root: &Path) -> usize {
     ];
     let mut violations = 0;
     for rel in files {
-        violations += lint_file(root, rel, &[".unwrap()", ".expect("], |line| {
+        violations += lint_file(root, rel, &[".unwrap()", ".expect("], None, |line| {
             format!(
                 "`{}` in a recovery path — return a typed error instead",
                 line
@@ -480,9 +492,13 @@ fn lint_no_instant_in_sim(root: &Path) -> usize {
                 .expect("under root")
                 .to_string_lossy()
                 .into_owned();
-            violations += lint_file(root, &rel, &["std::time::Instant", "Instant::now"], |_| {
-                "raw `Instant` in simulated code — use the simulator's virtual clock".into()
-            });
+            violations += lint_file(
+                root,
+                &rel,
+                &["std::time::Instant", "Instant::now"],
+                None,
+                |_| "raw `Instant` in simulated code — use the simulator's virtual clock".into(),
+            );
         }
     }
     violations
@@ -513,24 +529,113 @@ fn lint_no_wall_clock_in_net(root: &Path) -> usize {
             .expect("under root")
             .to_string_lossy()
             .into_owned();
-        violations += lint_file(root, &rel, &["Instant::now(", "thread::sleep("], |_| {
-            "raw wall-clock call in net protocol code — go through swift_net::clock".into()
-        });
+        violations += lint_file(
+            root,
+            &rel,
+            &["Instant::now(", "thread::sleep("],
+            None,
+            |_| "raw wall-clock call in net protocol code — go through swift_net::clock".into(),
+        );
+    }
+    violations
+}
+
+/// The modules whose steady-state contract is zero allocations per
+/// train step: the matmul driver, the SIMD microkernels, the fused
+/// optimizer kernels, and the WAL record encode path. A directory entry
+/// covers every `.rs` file directly inside it.
+const HOT_LOOP_PATHS: &[&str] = &[
+    "crates/tensor/src/matmul.rs",
+    "crates/tensor/src/simd",
+    "crates/optim/src/ops.rs",
+    "crates/wal/src/record.rs",
+];
+
+/// Hot-loop modules must not allocate: buffers come from
+/// `swift_tensor::pool` or from caller-provided slices. A stray `vec![]`
+/// in a kernel silently re-introduces per-step malloc traffic that the
+/// `steady_state` bench only catches much later, on a different code
+/// path. Genuinely cold code (constructors, diagnostics) opts out with
+/// a `lint:alloc-ok` comment on — or immediately above — the offending
+/// line.
+fn lint_no_alloc_in_hot_loops(root: &Path) -> usize {
+    let mut files = Vec::new();
+    for rel in HOT_LOOP_PATHS {
+        let path = root.join(rel);
+        if path.is_dir() {
+            for entry in std::fs::read_dir(&path).expect("hot-loop dir exists") {
+                let p = entry.expect("readable dir entry").path();
+                if p.extension().is_some_and(|e| e == "rs") {
+                    files.push(
+                        p.strip_prefix(root)
+                            .expect("under root")
+                            .to_string_lossy()
+                            .into_owned(),
+                    );
+                }
+            }
+        } else {
+            files.push((*rel).to_string());
+        }
+    }
+    let mut violations = 0;
+    for rel in files {
+        violations += lint_file(
+            root,
+            &rel,
+            &["Vec::new", "vec![", ".to_vec("],
+            Some("lint:alloc-ok"),
+            |line| {
+                format!(
+                    "`{line}` allocates in a hot-loop module — take a pooled or \
+                     caller-provided buffer (cold code: mark the line `lint:alloc-ok`)"
+                )
+            },
+        );
     }
     violations
 }
 
 /// Scans the non-test, non-comment lines of `rel` for any of `needles`.
 /// Returns the number of violations (each printed with file:line).
-fn lint_file(root: &Path, rel: &str, needles: &[&str], describe: impl Fn(&str) -> String) -> usize {
+fn lint_file(
+    root: &Path,
+    rel: &str,
+    needles: &[&str],
+    allow_marker: Option<&str>,
+    describe: impl Fn(&str) -> String,
+) -> usize {
     let text = std::fs::read_to_string(root.join(rel))
         .unwrap_or_else(|e| panic!("xtask: cannot read {rel}: {e}"));
+    lint_text(rel, &text, needles, allow_marker, describe)
+}
+
+/// The scanning core of [`lint_file`], split out so the lint rules are
+/// testable against synthetic sources. A line matching `allow_marker`
+/// (anywhere on the line, comments included — that is where the marker
+/// lives) is exempt, and so is the line directly after it: rustfmt
+/// hoists trailing comments onto their own line, so the marker usually
+/// sits just above the expression it blesses.
+fn lint_text(
+    rel: &str,
+    text: &str,
+    needles: &[&str],
+    allow_marker: Option<&str>,
+    describe: impl Fn(&str) -> String,
+) -> usize {
     let mut violations = 0;
+    let mut prev_marked = false;
     for (i, line) in text.lines().enumerate() {
         // The test module terminates the linted region (repo convention:
         // `#[cfg(test)]` at the bottom of the file).
         if line.trim_start().starts_with("#[cfg(test)]") {
             break;
+        }
+        let marked = allow_marker.is_some_and(|m| line.contains(m));
+        let exempt = marked || prev_marked;
+        prev_marked = marked;
+        if exempt {
+            continue;
         }
         let code = line.split("//").next().unwrap_or("");
         if needles.iter().any(|n| code.contains(n)) {
@@ -558,6 +663,36 @@ mod tests {
     #[test]
     fn net_protocol_paths_go_through_the_clock_seam() {
         assert_eq!(lint_no_wall_clock_in_net(&workspace_root()), 0);
+    }
+
+    #[test]
+    fn hot_loop_modules_are_allocation_free() {
+        assert_eq!(lint_no_alloc_in_hot_loops(&workspace_root()), 0);
+    }
+
+    /// Self-test of the alloc-lint rule against synthetic sources: the
+    /// three needles fire, comments and `lint:alloc-ok` lines don't, and
+    /// the test module terminates the linted region.
+    #[test]
+    fn alloc_lint_scan_rules() {
+        let needles: &[&str] = &["Vec::new", "vec![", ".to_vec("];
+        let marker = Some("lint:alloc-ok");
+        let count = |text: &str| lint_text("synthetic.rs", text, needles, marker, |l| l.into());
+        assert_eq!(count("let v = Vec::new();\nlet w = vec![0u8; 4];\n"), 2);
+        assert_eq!(count("let v = xs.to_vec();\n"), 1);
+        assert_eq!(count("// a comment about Vec::new\n"), 0);
+        assert_eq!(count("let v = Vec::new(); // lint:alloc-ok (cold)\n"), 0);
+        // Marker on its own line blesses the next line (rustfmt hoists
+        // trailing comments), but not the line after that.
+        assert_eq!(count("// lint:alloc-ok (cold)\nlet v = Vec::new();\n"), 0);
+        assert_eq!(
+            count("// lint:alloc-ok (cold)\nlet v = Vec::new();\nlet w = vec![0u8; 4];\n"),
+            1
+        );
+        assert_eq!(
+            count("#[cfg(test)]\nmod tests { fn f() { let v = vec![1]; } }\n"),
+            0
+        );
     }
 
     const SAMPLE: &str = "[\n\
