@@ -37,8 +37,9 @@ fn main() {
         "fastpath" => swift_bench::fastpath::run(quick),
         "overlap" => swift_bench::overlap::run(quick),
         "simd" => swift_bench::simd::run(quick),
+        "recovery" => swift_bench::recovery::run(quick),
         other => {
-            eprintln!("unknown suite {other} (expected fastpath, overlap, or simd)");
+            eprintln!("unknown suite {other} (expected fastpath, overlap, simd, or recovery)");
             std::process::exit(2);
         }
     };

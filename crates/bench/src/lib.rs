@@ -14,6 +14,7 @@ pub mod alloc_counter;
 pub mod experiments;
 pub mod fastpath;
 pub mod overlap;
+pub mod recovery;
 pub mod simd;
 
 pub use experiments::all_experiments;

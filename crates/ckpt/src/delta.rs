@@ -1,0 +1,697 @@
+//! Incremental (delta) checkpoints: persist only the tensors that changed
+//! since the previous save.
+//!
+//! A training step touches every parameter, but many checkpointed tensors
+//! are *not* touched between consecutive saves: frozen layers, optimizer
+//! slots that a group never populated, embedding rows outside the recent
+//! batches. A delta save digests every tensor (a few GB/s — far cheaper
+//! than encoding), compares against the digests of the previous save, and
+//! writes a manifest carrying full bytes for changed tensors and a digest
+//! for unchanged ones. Loading resolves the base chain (delta → … → full)
+//! and re-verifies every digest, so a corrupt or mismatched chain is a
+//! loud error, never a silently wrong restore.
+//!
+//! The manifest format (little-endian, versioned):
+//!
+//! ```text
+//! magic  u32 = "SWDT"        version u32 = 1
+//! iteration u64              prev_key (u32 len + bytes)
+//! model: u32 entry count, then per entry
+//!     name (u32 len + bytes), digest u64,
+//!     tag u8: 0 = unchanged, 1 = present (tensor encoding follows)
+//! optim header (always full — it is tiny): name, t u64, last_lr f32,
+//!     scalars (u32 count, then name + u32 count + f32 values)
+//! slots: u32 count, then per slot: name, u32 tensor count, per tensor
+//!     tag u8: 0 = None, 1 = Some-unchanged (digest u64),
+//!             2 = Some-present (digest u64 + tensor encoding)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes};
+use swift_dnn::ModelState;
+use swift_optim::OptimState;
+use swift_tensor::{decode_from as decode_tensor, encode_into as encode_tensor_into, Tensor};
+
+use crate::checkpoint::Checkpoint;
+
+/// Manifest magic: `SWDT` ("SWift DelTa").
+pub(crate) const DELTA_MAGIC: u32 = 0x5357_4454;
+const DELTA_VERSION: u32 = 1;
+
+const K0: u64 = 0x9E37_79B9_7F4A_7C15;
+const K1: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Fast 64-bit content digest of a tensor: a multiply-rotate fold over
+/// the raw `f32` bit patterns, with the shape mixed in (so a reshape of
+/// identical values still counts as changed). Not cryptographic — it
+/// guards against accidental divergence and storage corruption, the same
+/// threat model as a CRC.
+///
+/// A delta save digests *every* tensor to find the changed ones, so this
+/// is the hot loop of incremental checkpointing. Eight independent lanes
+/// each fold two 8-byte words per multiply over a 128-byte block: a
+/// single multiply-rotate chain is latency-bound at ~5 cycles per 8
+/// bytes, and even eight parallel chains are throughput-bound on the one
+/// multiplier port, so the xor-rotate pre-fold halves the multiplies per
+/// byte — at checkpoint scale the digest otherwise costs as much as the
+/// write it is supposed to avoid. On little-endian targets the words are
+/// read straight off the tensor's byte image (one unaligned load each);
+/// the portable fallback assembles the identical little-endian words
+/// from `f32` bit patterns, so the digest value is target-independent.
+pub fn tensor_digest(t: &Tensor) -> u64 {
+    let data = t.data();
+    let mut h = K0 ^ (data.len() as u64).wrapping_mul(K1);
+    for &d in t.shape().dims() {
+        h = (h ^ d as u64).wrapping_mul(K1);
+    }
+    const LANE_SEEDS: [u64; 8] = [
+        0xA076_1D64_78BD_642F,
+        0xE703_7ED1_A0B4_28DB,
+        0x8EBC_6AF0_9C88_C6E3,
+        0x5899_65CC_7537_4CC3,
+        0x1D8E_4E27_C47D_124F,
+        0xEB44_ACCA_B455_D165,
+        0x2D35_8DCC_AA6C_78A5,
+        0x8BB8_4B93_962E_ACC9,
+    ];
+    let mut lanes = LANE_SEEDS;
+    for lane in &mut lanes {
+        *lane ^= h;
+    }
+    #[cfg(target_endian = "little")]
+    let tail: &[f32] = {
+        let bytes = swift_tensor::f32_le_bytes(data);
+        let mut blocks = bytes.chunks_exact(128);
+        for b in &mut blocks {
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                let v0 = u64::from_le_bytes(b[16 * j..16 * j + 8].try_into().unwrap());
+                let v1 = u64::from_le_bytes(b[16 * j + 8..16 * j + 16].try_into().unwrap());
+                *lane = ((*lane ^ v0).rotate_left(31) ^ v1)
+                    .wrapping_mul(K1)
+                    .rotate_left(29);
+            }
+        }
+        &data[data.len() - blocks.remainder().len() / 4..]
+    };
+    #[cfg(not(target_endian = "little"))]
+    let tail: &[f32] = {
+        let mut blocks = data.chunks_exact(32);
+        for b in &mut blocks {
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                let v0 = (b[4 * j].to_bits() as u64) | ((b[4 * j + 1].to_bits() as u64) << 32);
+                let v1 = (b[4 * j + 2].to_bits() as u64) | ((b[4 * j + 3].to_bits() as u64) << 32);
+                *lane = ((*lane ^ v0).rotate_left(31) ^ v1)
+                    .wrapping_mul(K1)
+                    .rotate_left(29);
+            }
+        }
+        blocks.remainder()
+    };
+    let mut h = lanes[0];
+    for &l in &lanes[1..] {
+        h = (h ^ l).wrapping_mul(K0).rotate_left(29);
+    }
+    for (i, &x) in tail.iter().enumerate() {
+        h = (h ^ x.to_bits() as u64 ^ ((i as u64 + 1) << 32))
+            .wrapping_mul(K1)
+            .rotate_left(31);
+    }
+    // Final avalanche so single-bit value flips diffuse across the word.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+/// Per-tensor digests of a checkpoint, the comparison state a
+/// [`DeltaSession`] carries between saves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DigestSet {
+    /// `(entry name, digest)` in model order.
+    pub model: Vec<(String, u64)>,
+    /// `(slot name, per-group digest — `None` where the slot is empty)`.
+    pub slots: Vec<(String, Vec<Option<u64>>)>,
+}
+
+impl DigestSet {
+    pub fn of(ckpt: &Checkpoint) -> Self {
+        DigestSet {
+            model: ckpt
+                .model
+                .entries
+                .iter()
+                .map(|(n, t)| (n.clone(), tensor_digest(t)))
+                .collect(),
+            slots: ckpt
+                .optim
+                .slots
+                .iter()
+                .map(|(n, ts)| {
+                    (
+                        n.clone(),
+                        ts.iter().map(|t| t.as_ref().map(tensor_digest)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether `other` has the same tensor *structure* (names, slot
+    /// arities, populated-slot pattern) — the precondition for a delta.
+    pub fn same_shape(&self, other: &DigestSet) -> bool {
+        self.model.len() == other.model.len()
+            && self
+                .model
+                .iter()
+                .zip(&other.model)
+                .all(|((a, _), (b, _))| a == b)
+            && self.slots.len() == other.slots.len()
+            && self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .all(|((an, av), (bn, bv))| {
+                    an == bn
+                        && av.len() == bv.len()
+                        && av.iter().zip(bv).all(|(x, y)| x.is_some() == y.is_some())
+                })
+    }
+}
+
+/// Carry-over state for a sequence of incremental saves: the key and
+/// per-tensor digests of the previous save, plus the delta-chain length
+/// (a full save is forced every [`DeltaSession::full_interval`] saves so
+/// restore cost stays bounded).
+#[derive(Debug, Clone)]
+pub struct DeltaSession {
+    pub(crate) prev_key: Option<String>,
+    pub(crate) digests: Option<DigestSet>,
+    pub(crate) chain_len: usize,
+    full_interval: usize,
+}
+
+impl DeltaSession {
+    /// A fresh session: the first save is always full.
+    pub fn new() -> Self {
+        DeltaSession {
+            prev_key: None,
+            digests: None,
+            chain_len: 0,
+            full_interval: 64,
+        }
+    }
+
+    /// Overrides how many consecutive delta saves are allowed before a
+    /// full checkpoint is forced (restore cost grows with chain length).
+    pub fn with_full_interval(mut self, n: usize) -> Self {
+        self.full_interval = n.max(1);
+        self
+    }
+
+    /// Whether the next save must be full: no prior save, or the chain
+    /// has hit the rebase interval.
+    pub(crate) fn must_save_full(&self) -> bool {
+        self.prev_key.is_none() || self.chain_len >= self.full_interval
+    }
+}
+
+impl Default for DeltaSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What an incremental save actually wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalSave {
+    /// A full checkpoint (first save, structure change, or chain rebase).
+    Full {
+        /// Payload bytes written.
+        bytes: usize,
+    },
+    /// A delta manifest.
+    Delta {
+        /// Payload bytes written.
+        bytes: usize,
+        /// Tensors whose full bytes were included.
+        changed: usize,
+        /// Tensors tracked in total (model entries + populated slots).
+        total: usize,
+    },
+}
+
+impl IncrementalSave {
+    /// Payload bytes written by this save.
+    pub fn bytes(&self) -> usize {
+        match self {
+            IncrementalSave::Full { bytes } | IncrementalSave::Delta { bytes, .. } => *bytes,
+        }
+    }
+}
+
+/// One slot tensor in a decoded delta manifest.
+enum SlotDelta {
+    None,
+    Unchanged(u64),
+    Present(u64, Tensor),
+}
+
+/// A decoded delta manifest, ready to apply onto its base.
+pub(crate) struct DeltaRecord {
+    pub iteration: u64,
+    pub prev_key: String,
+    model: Vec<(String, u64, Option<Tensor>)>,
+    optim_name: String,
+    optim_t: u64,
+    optim_last_lr: f32,
+    scalars: Vec<(String, Vec<f32>)>,
+    slots: Vec<(String, Vec<SlotDelta>)>,
+}
+
+fn put_str(buf: &mut impl BufMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut impl Buf) -> Result<String, String> {
+    if buf.remaining() < 4 {
+        return Err("delta manifest truncated".into());
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err("delta manifest truncated".into());
+    }
+    let mut raw = vec![0u8; n];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|e| e.to_string())
+}
+
+/// Encodes a delta manifest for `ckpt` against the previous save's
+/// digests, appending to `buf`. Returns `(changed, total)` tensor counts.
+/// The caller has already checked [`DigestSet::same_shape`].
+pub(crate) fn encode_delta(
+    ckpt: &Checkpoint,
+    prev_key: &str,
+    prev: &DigestSet,
+    now: &DigestSet,
+    buf: &mut impl BufMut,
+) -> (usize, usize) {
+    let (mut changed, mut total) = (0usize, 0usize);
+    buf.put_u32_le(DELTA_MAGIC);
+    buf.put_u32_le(DELTA_VERSION);
+    buf.put_u64_le(ckpt.iteration);
+    put_str(buf, prev_key);
+
+    buf.put_u32_le(ckpt.model.entries.len() as u32);
+    for (i, (name, t)) in ckpt.model.entries.iter().enumerate() {
+        let digest = now.model[i].1;
+        put_str(buf, name);
+        buf.put_u64_le(digest);
+        total += 1;
+        if digest == prev.model[i].1 {
+            buf.put_u8(0);
+        } else {
+            buf.put_u8(1);
+            encode_tensor_into(t, buf);
+            changed += 1;
+        }
+    }
+
+    put_str(buf, &ckpt.optim.name);
+    buf.put_u64_le(ckpt.optim.t);
+    buf.put_f32_le(ckpt.optim.last_lr);
+    buf.put_u32_le(ckpt.optim.scalars.len() as u32);
+    for (name, vals) in &ckpt.optim.scalars {
+        put_str(buf, name);
+        buf.put_u32_le(vals.len() as u32);
+        for &v in vals {
+            buf.put_f32_le(v);
+        }
+    }
+
+    buf.put_u32_le(ckpt.optim.slots.len() as u32);
+    for (si, (name, tensors)) in ckpt.optim.slots.iter().enumerate() {
+        put_str(buf, name);
+        buf.put_u32_le(tensors.len() as u32);
+        for (ti, t) in tensors.iter().enumerate() {
+            match t {
+                None => buf.put_u8(0),
+                Some(t) => {
+                    let digest = now.slots[si].1[ti].expect("digest of a populated slot");
+                    total += 1;
+                    if Some(digest) == prev.slots[si].1[ti] {
+                        buf.put_u8(1);
+                        buf.put_u64_le(digest);
+                    } else {
+                        buf.put_u8(2);
+                        buf.put_u64_le(digest);
+                        encode_tensor_into(t, buf);
+                        changed += 1;
+                    }
+                }
+            }
+        }
+    }
+    (changed, total)
+}
+
+impl DeltaRecord {
+    /// Decodes a manifest payload (including magic/version).
+    pub fn decode(mut buf: Bytes) -> Result<Self, String> {
+        if buf.remaining() < 8 {
+            return Err("delta manifest truncated".into());
+        }
+        let magic = buf.get_u32_le();
+        if magic != DELTA_MAGIC {
+            return Err(format!("bad delta magic {magic:#010x}"));
+        }
+        let version = buf.get_u32_le();
+        if version != DELTA_VERSION {
+            return Err(format!("unsupported delta version {version}"));
+        }
+        if buf.remaining() < 8 {
+            return Err("delta manifest truncated".into());
+        }
+        let iteration = buf.get_u64_le();
+        let prev_key = get_str(&mut buf)?;
+
+        if buf.remaining() < 4 {
+            return Err("delta manifest truncated".into());
+        }
+        let n_entries = buf.get_u32_le() as usize;
+        let mut model = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let name = get_str(&mut buf)?;
+            if buf.remaining() < 9 {
+                return Err("delta manifest truncated".into());
+            }
+            let digest = buf.get_u64_le();
+            let t = match buf.get_u8() {
+                0 => None,
+                1 => Some(decode_tensor(&mut buf).map_err(|e| e.to_string())?),
+                b => return Err(format!("bad model delta tag {b}")),
+            };
+            model.push((name, digest, t));
+        }
+
+        let optim_name = get_str(&mut buf)?;
+        if buf.remaining() < 16 {
+            return Err("delta manifest truncated".into());
+        }
+        let optim_t = buf.get_u64_le();
+        let optim_last_lr = buf.get_f32_le();
+        let n_scalars = buf.get_u32_le() as usize;
+        let mut scalars = Vec::with_capacity(n_scalars);
+        for _ in 0..n_scalars {
+            let name = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err("delta manifest truncated".into());
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * n {
+                return Err("delta manifest truncated".into());
+            }
+            let vals = (0..n).map(|_| buf.get_f32_le()).collect();
+            scalars.push((name, vals));
+        }
+
+        if buf.remaining() < 4 {
+            return Err("delta manifest truncated".into());
+        }
+        let n_slots = buf.get_u32_le() as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let name = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err("delta manifest truncated".into());
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut tensors = Vec::with_capacity(n);
+            for _ in 0..n {
+                if buf.remaining() < 1 {
+                    return Err("delta manifest truncated".into());
+                }
+                match buf.get_u8() {
+                    0 => tensors.push(SlotDelta::None),
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err("delta manifest truncated".into());
+                        }
+                        tensors.push(SlotDelta::Unchanged(buf.get_u64_le()));
+                    }
+                    2 => {
+                        if buf.remaining() < 8 {
+                            return Err("delta manifest truncated".into());
+                        }
+                        let digest = buf.get_u64_le();
+                        let t = decode_tensor(&mut buf).map_err(|e| e.to_string())?;
+                        tensors.push(SlotDelta::Present(digest, t));
+                    }
+                    b => return Err(format!("bad slot delta tag {b}")),
+                }
+            }
+            slots.push((name, tensors));
+        }
+
+        Ok(DeltaRecord {
+            iteration,
+            prev_key,
+            model,
+            optim_name,
+            optim_t,
+            optim_last_lr,
+            scalars,
+            slots,
+        })
+    }
+
+    /// Decodes only `(iteration, prev_key)` — what GC needs to walk the
+    /// base chain without materializing any tensors.
+    pub fn peek_prev_key(mut buf: Bytes) -> Result<String, String> {
+        if buf.remaining() < 16 {
+            return Err("delta manifest truncated".into());
+        }
+        let magic = buf.get_u32_le();
+        if magic != DELTA_MAGIC {
+            return Err(format!("bad delta magic {magic:#010x}"));
+        }
+        let _version = buf.get_u32_le();
+        let _iteration = buf.get_u64_le();
+        get_str(&mut buf)
+    }
+
+    /// Applies this manifest onto its (already chain-resolved) base
+    /// checkpoint. Every tensor — carried and inherited alike — is
+    /// verified against its recorded digest, so a wrong base or corrupt
+    /// blob fails loudly instead of restoring silently wrong state.
+    pub fn apply(self, base: Checkpoint) -> Result<Checkpoint, String> {
+        if self.model.len() != base.model.entries.len() {
+            return Err(format!(
+                "delta has {} model entries, base has {}",
+                self.model.len(),
+                base.model.entries.len()
+            ));
+        }
+        let mut entries = Vec::with_capacity(self.model.len());
+        for ((name, digest, carried), (base_name, base_t)) in
+            self.model.into_iter().zip(base.model.entries)
+        {
+            if name != base_name {
+                return Err(format!("delta entry {name:?} vs base entry {base_name:?}"));
+            }
+            let t = carried.unwrap_or(base_t);
+            if tensor_digest(&t) != digest {
+                return Err(format!("digest mismatch restoring model entry {name:?}"));
+            }
+            entries.push((name, t));
+        }
+
+        if self.slots.len() != base.optim.slots.len() {
+            return Err("delta and base disagree on optimizer slot count".into());
+        }
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for ((name, deltas), (base_name, base_ts)) in self.slots.into_iter().zip(base.optim.slots) {
+            if name != base_name {
+                return Err(format!("delta slot {name:?} vs base slot {base_name:?}"));
+            }
+            if deltas.len() != base_ts.len() {
+                return Err(format!("delta and base disagree on slot {name:?} arity"));
+            }
+            let mut tensors = Vec::with_capacity(deltas.len());
+            for (d, b) in deltas.into_iter().zip(base_ts) {
+                let t = match d {
+                    SlotDelta::None => None,
+                    SlotDelta::Unchanged(digest) => {
+                        let t = b.ok_or_else(|| {
+                            format!("delta marks slot {name:?} unchanged but base has none")
+                        })?;
+                        if tensor_digest(&t) != digest {
+                            return Err(format!("digest mismatch restoring slot {name:?}"));
+                        }
+                        Some(t)
+                    }
+                    SlotDelta::Present(digest, t) => {
+                        if tensor_digest(&t) != digest {
+                            return Err(format!("corrupt carried tensor in slot {name:?}"));
+                        }
+                        Some(t)
+                    }
+                };
+                tensors.push(t);
+            }
+            slots.push((name, tensors));
+        }
+
+        Ok(Checkpoint {
+            iteration: self.iteration,
+            model: ModelState { entries },
+            optim: OptimState {
+                name: self.optim_name,
+                t: self.optim_t,
+                last_lr: self.optim_last_lr,
+                scalars: self.scalars,
+                slots,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_tensor::CounterRng;
+
+    fn t(seed: u64, dims: &[usize]) -> Tensor {
+        Tensor::randn(dims, 0.0, 1.0, &mut CounterRng::new(seed, 0))
+    }
+
+    #[test]
+    fn digest_sensitive_to_values_and_shape() {
+        let a = t(1, &[8, 4]);
+        let b = t(2, &[8, 4]);
+        assert_ne!(tensor_digest(&a), tensor_digest(&b));
+        assert_eq!(tensor_digest(&a), tensor_digest(&a.clone()));
+        // Same values, different shape → different digest.
+        let flat = Tensor::from_vec(swift_tensor::Shape::new(&[32]), a.data().to_vec());
+        assert_ne!(tensor_digest(&a), tensor_digest(&flat));
+        // A single-ulp flip is visible.
+        let mut vals = a.data().to_vec();
+        vals[17] = f32::from_bits(vals[17].to_bits() ^ 1);
+        let tweaked = Tensor::from_vec(*a.shape(), vals);
+        assert_ne!(tensor_digest(&a), tensor_digest(&tweaked));
+    }
+
+    #[test]
+    fn odd_length_tail_contributes() {
+        let a = Tensor::from_vec(swift_tensor::Shape::new(&[3]), vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(swift_tensor::Shape::new(&[3]), vec![1.0, 2.0, 4.0]);
+        assert_ne!(tensor_digest(&a), tensor_digest(&b));
+    }
+
+    mod prop {
+        use super::*;
+        use crate::checkpoint::CheckpointManager;
+        use proptest::prelude::*;
+        use swift_dnn::ModelState;
+        use swift_optim::OptimState;
+        use swift_store::BlobStore;
+
+        const SHAPES: [&[usize]; 4] = [&[4, 3], &[7], &[2, 2, 2], &[5, 1]];
+
+        fn random_ckpt(iteration: u64, seed: u64) -> Checkpoint {
+            let mut rng = CounterRng::new(seed, 0);
+            Checkpoint {
+                iteration,
+                model: ModelState {
+                    entries: SHAPES
+                        .iter()
+                        .enumerate()
+                        .map(|(i, dims)| {
+                            (format!("p{i}"), Tensor::randn(*dims, 0.0, 1.0, &mut rng))
+                        })
+                        .collect(),
+                },
+                optim: OptimState {
+                    name: "SGD-momentum".into(),
+                    t: iteration,
+                    last_lr: 0.01 + (seed % 7) as f32 * 0.001,
+                    scalars: vec![("lr".into(), vec![0.01, 0.02])],
+                    slots: vec![(
+                        "m".into(),
+                        SHAPES
+                            .iter()
+                            .enumerate()
+                            .map(|(i, dims)| {
+                                // Leave one slot permanently unpopulated.
+                                (i != 2).then(|| Tensor::randn(*dims, 0.0, 1.0, &mut rng))
+                            })
+                            .collect(),
+                    )],
+                },
+            }
+        }
+
+        /// Applies a per-tensor dirty mask: bit `i` of `mask` mutates
+        /// model entry `i`, bit `4 + i` mutates slot tensor `i`.
+        fn mutate(ckpt: &mut Checkpoint, mask: u16, step: u64) {
+            for (i, (_, t)) in ckpt.model.entries.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    let mut vals = t.data().to_vec();
+                    let idx = (step as usize) % vals.len();
+                    vals[idx] += 0.5 + step as f32;
+                    *t = Tensor::from_vec(*t.shape(), vals);
+                }
+            }
+            for (i, slot) in ckpt.optim.slots[0].1.iter_mut().enumerate() {
+                if mask & (1 << (4 + i)) != 0 {
+                    if let Some(t) = slot {
+                        let mut vals = t.data().to_vec();
+                        let idx = (step as usize + 1) % vals.len();
+                        vals[idx] -= 0.25;
+                        *t = Tensor::from_vec(*t.shape(), vals);
+                    }
+                }
+            }
+        }
+
+        /// A sequence of incremental saves under a random mutation
+        /// pattern and chain-rebase interval loads back exactly the final
+        /// checkpoint — identical to what a full save would restore.
+        fn check_chain(seed: u64, masks: &[u16], full_interval: usize) {
+            let store = BlobStore::new_temp("ckpt-prop").unwrap();
+            let mgr = CheckpointManager::new(store.clone(), 0);
+            let full_mgr = CheckpointManager::new(store, 1);
+            let mut session = DeltaSession::new().with_full_interval(full_interval);
+            let mut ckpt = random_ckpt(0, seed);
+            mgr.save_incremental(&ckpt, &mut session).unwrap();
+            for (step, &mask) in masks.iter().enumerate() {
+                ckpt.iteration = step as u64 + 1;
+                ckpt.optim.t = ckpt.iteration;
+                mutate(&mut ckpt, mask, step as u64);
+                mgr.save_incremental(&ckpt, &mut session).unwrap();
+            }
+            // Reference: a plain full save of the same final state under
+            // a different rank namespace.
+            full_mgr.save(&ckpt).unwrap();
+            let via_chain = mgr.load_latest().unwrap().unwrap();
+            let via_full = full_mgr.load_latest().unwrap().unwrap();
+            assert_eq!(via_chain, via_full);
+            assert_eq!(via_chain, ckpt);
+            assert!(via_chain.model.bit_eq(&ckpt.model));
+            // GC keeps the live chain intact.
+            mgr.gc().unwrap();
+            assert_eq!(mgr.load_latest().unwrap().unwrap(), ckpt);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn incremental_chain_equals_full_checkpoint(
+                seed in 0u64..1000,
+                masks in proptest::collection::vec(0u16..256, 1..8),
+                full_interval in 1usize..5,
+            ) {
+                check_chain(seed, &masks, full_interval);
+            }
+        }
+    }
+}

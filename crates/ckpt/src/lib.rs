@@ -1,3 +1,6 @@
+// The delta proptest expands past the default macro recursion depth.
+#![recursion_limit = "256"]
+
 //! # swift-ckpt
 //!
 //! Checkpointing for the SWIFT reproduction: the periodic global
@@ -13,10 +16,16 @@
 //!
 //! [`Checkpoint`] bundles `(iteration, model state, optimizer state)` with
 //! a stable binary encoding; [`CheckpointManager`] owns the on-disk layout
-//! with an atomically-flipped `latest` pointer.
+//! with an atomically-flipped `latest` pointer. Incremental saves
+//! ([`CheckpointManager::save_incremental`] with a [`DeltaSession`])
+//! persist only the tensors whose content digest changed since the
+//! previous save; `load_latest` resolves the resulting delta chain and
+//! GC keeps it live (see [`delta`]).
 
 pub mod checkpoint;
+pub mod delta;
 pub mod strategy;
 
 pub use checkpoint::{Checkpoint, CheckpointManager};
+pub use delta::{tensor_digest, DeltaSession, IncrementalSave};
 pub use strategy::{checkfreq_interval, AsyncPersister, BaselineCheckpointer, StrategyKind};

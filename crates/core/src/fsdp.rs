@@ -15,12 +15,14 @@
 //! `r.backup_of` from its owner — replication-based recovery at shard
 //! granularity, with update-undo repairing any partially-applied update.
 
+use bytes::Bytes;
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, Sequential, StepCtx};
 use swift_net::{
-    default_chunk_bytes, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
+    bytemuck_f32, default_chunk_bytes, default_shard_bytes, f32_from_bytes, failure_epoch,
+    failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
 };
 use swift_optim::Optimizer;
-use swift_tensor::Tensor;
+use swift_tensor::{Shape, Tensor};
 
 use crate::bucket::BucketedAllreduce;
 use crate::consistency::UpdateTracker;
@@ -310,13 +312,29 @@ fn fsdp_repair_consistency(w: &mut FsdpWorker) {
 
 /// Ships surviving copies of the failed rank's stored groups, plus the
 /// iteration counter and optimizer state from one designated peer.
+///
+/// Parameter data goes out as raw little-endian `f32` chunks of
+/// [`default_shard_bytes`] (shapes are static job configuration, so no
+/// header is needed): the replacement starts decoding a group while its
+/// later chunks — and other survivors' groups — are still in flight.
 fn fsdp_ship_shards(ctx: &mut WorkerCtx, w: &FsdpWorker, failed: Rank) -> Result<(), CommError> {
     let me = ctx.rank();
+    let chunk = default_shard_bytes().max(4);
     let params = w.model.params_snapshot();
     for g in w.shards.stored_groups(failed) {
         let sender = surviving_copy_holder(&w.shards, g, failed);
         if sender == me {
-            ctx.comm.send_tensor(failed, shard_tag(g), &params[g])?;
+            let data = bytemuck_f32(params[g].data());
+            let mut off = 0;
+            while off < data.len() {
+                let hi = (off + chunk).min(data.len());
+                ctx.comm.send_bytes(
+                    failed,
+                    shard_tag(g),
+                    Bytes::copy_from_slice(&data[off..hi]),
+                )?;
+                off = hi;
+            }
         }
     }
     // Every survivor ships its full optimizer snapshot; the replacement
@@ -405,10 +423,25 @@ pub fn fsdp_join(
     recovery_fence(ctx, generation.fence_channel(7), participants)?;
     let mut state = w.model.state();
     for g in w.shards.stored_groups(me) {
-        let t = ctx
-            .comm
-            .recv_tensor(surviving_copy_holder(&w.shards, g, me), shard_tag(g))?;
-        state.entries[g].1 = t;
+        // Raw chunked stream from the surviving copy-holder (see
+        // [`fsdp_ship_shards`]): the expected geometry comes from the
+        // static job configuration, and each chunk decodes on arrival
+        // while the rest — and other survivors' groups — are in flight.
+        let holder = surviving_copy_holder(&w.shards, g, me);
+        let dims = state.entries[g].1.shape().dims().to_vec();
+        let numel = state.entries[g].1.numel();
+        let mut vals: Vec<f32> = Vec::with_capacity(numel);
+        while vals.len() < numel {
+            let chunk = ctx.comm.recv_bytes(holder, shard_tag(g))?;
+            debug_assert!(!chunk.is_empty(), "empty shard chunk would never terminate");
+            vals.extend(f32_from_bytes(&chunk));
+        }
+        debug_assert_eq!(
+            vals.len(),
+            numel,
+            "shard chunks must tile the group exactly"
+        );
+        state.entries[g].1 = Tensor::from_vec(Shape::new(&dims), vals);
     }
     w.model.load_state(&state);
     // Collect the survivors' optimizer snapshots and merge: slot `g` (and

@@ -11,7 +11,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use swift_dnn::{softmax_cross_entropy_scaled, Mode, ModelState, Sequential, StepCtx};
 use swift_net::{
-    default_chunk_bytes, failure_epoch, failure_state, CommError, Rank, RetryPolicy, WorkerCtx,
+    default_chunk_bytes, default_shard_bytes, failure_epoch, failure_state, CommError, Rank,
+    RetryPolicy, WorkerCtx,
 };
 use swift_optim::{OptimState, Optimizer};
 use swift_tensor::Tensor;
@@ -41,6 +42,12 @@ pub struct DpWorker {
     /// bucket cap, or model geometry changes — steady-state steps rearm it
     /// with [`BucketedAllreduce::reset`] instead of reallocating.
     reducer: Option<BucketedAllreduce>,
+    /// Set when crash-consistency repair undid a partial update: the undo
+    /// leaves a floating-point residue relative to replicas that applied a
+    /// different bucket subset, so this replica's encoded bytes can no
+    /// longer be assumed bit-identical to its peers until the next full
+    /// state synchronization re-aligns everyone.
+    pub needs_resync: bool,
 }
 
 impl DpWorker {
@@ -54,6 +61,7 @@ impl DpWorker {
             last_grads: Vec::new(),
             bucket_cap_bytes: crate::bucket::DEFAULT_BUCKET_CAP_BYTES,
             reducer: None,
+            needs_resync: false,
         }
     }
 }
@@ -202,14 +210,164 @@ pub(crate) fn decode_dp_state_into(w: &mut DpWorker, mut payload: Bytes) {
     w.tracker.reset();
     w.model.zero_grads();
     w.model.clear_caches();
+    w.needs_resync = false;
+}
+
+/// Post-fence state synchronization — the recovery critical path.
+///
+/// All `participants` (survivors ∪ replacements) call this collectively.
+/// A cheap `all_gather_u64` first agrees on whether the survivors are
+/// provably bit-identical: each survivor publishes its iteration with the
+/// high bit carrying [`DpWorker::needs_resync`], replacements publish
+/// `u64::MAX` (identified positionally by rank, never inspected). When
+/// every survivor is residue-free and at the same iteration, the lockstep
+/// invariant (replicas that executed the same deterministic collectives
+/// hold bit-identical state) lets survivors skip re-receiving anything:
+/// they stream disjoint rank-scheduled shards of their (identical)
+/// encoded state straight to the replacements via
+/// [`swift_net::Comm::scatter_state_sharded_with`], and each replacement
+/// decodes the model section while optimizer shards are still arriving.
+/// Otherwise the single-root chunked broadcast runs and everyone —
+/// survivors included — re-adopts the root state. Every participant
+/// derives the branch from the same gathered values, so collective tag
+/// sequences stay aligned either way.
+fn synchronize_state(
+    ctx: &mut WorkerCtx,
+    w: &mut DpWorker,
+    survivors: &[Rank],
+    participants: &[Rank],
+) -> Result<(), CommError> {
+    let me = ctx.rank();
+    let mut survivors: Vec<Rank> = survivors.to_vec();
+    survivors.sort_unstable();
+    survivors.dedup();
+    let is_survivor = survivors.binary_search(&me).is_ok();
+    let status = if is_survivor {
+        ((w.needs_resync as u64) << 63) | (w.iteration & !(1u64 << 63))
+    } else {
+        u64::MAX
+    };
+    let gathered = ctx.comm.all_gather_u64_among(participants, status)?;
+    let mut ordered: Vec<Rank> = participants.to_vec();
+    ordered.sort_unstable();
+    let survivor_status: Vec<u64> = ordered
+        .iter()
+        .zip(&gathered)
+        .filter(|(r, _)| survivors.binary_search(r).is_ok())
+        .map(|(_, &v)| v)
+        .collect();
+    let replacements: Vec<Rank> = ordered
+        .iter()
+        .copied()
+        .filter(|r| survivors.binary_search(r).is_err())
+        .collect();
+    let identical = survivor_status.iter().all(|&v| v >> 63 == 0)
+        && survivor_status.windows(2).all(|p| p[0] == p[1]);
+    if identical {
+        if replacements.is_empty() {
+            // Survivors are already bit-identical and nobody is joining.
+            return Ok(());
+        }
+        sync_state_sharded(ctx, w, &survivors, &replacements, is_survivor)?;
+        if is_survivor {
+            // Match the post-decode invariants of the broadcast path
+            // without touching the (already-consistent) state itself.
+            w.tracker.reset();
+            w.model.zero_grads();
+            w.model.clear_caches();
+        }
+    } else {
+        let root = *survivors.first().expect("no survivors");
+        let payload = (me == root).then(|| encode_dp_state(w));
+        let state = ctx.comm.broadcast_bytes_chunked_among(
+            &ordered,
+            root,
+            payload,
+            default_chunk_bytes(),
+        )?;
+        decode_dp_state_into(w, state);
+    }
+    Ok(())
+}
+
+/// The sharded multi-source leg of [`synchronize_state`]. Every survivor
+/// encodes the same bytes and streams its rank-scheduled shard subset;
+/// the replacement reassembles at flat offsets and decodes sections as
+/// their bytes complete — the model installs while optimizer shards are
+/// still in flight, overlapping decode with transfer.
+fn sync_state_sharded(
+    ctx: &mut WorkerCtx,
+    w: &mut DpWorker,
+    survivors: &[Rank],
+    replacements: &[Rank],
+    is_survivor: bool,
+) -> Result<(), CommError> {
+    let shard_bytes = default_shard_bytes();
+    if is_survivor {
+        let payload = encode_dp_state(w);
+        ctx.comm.scatter_state_sharded_with(
+            survivors,
+            replacements,
+            Some(payload),
+            shard_bytes,
+            |_, _, _| {},
+        )?;
+        return Ok(());
+    }
+    // Replacement: shards land in strictly ascending flat offsets, so the
+    // buffer only ever grows at the tail and each section can be decoded
+    // the moment its last byte arrives.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut iteration = 0u64;
+    let mut mlen = usize::MAX;
+    let mut model_done = false;
+    let model = &mut w.model;
+    ctx.comm.scatter_state_sharded_with(
+        survivors,
+        replacements,
+        None,
+        shard_bytes,
+        |total, offset, piece| {
+            if offset == 0 {
+                buf.reserve_exact(total);
+            }
+            buf.extend_from_slice(piece);
+            if mlen == usize::MAX && buf.len() >= 16 {
+                iteration = u64::from_le_bytes(buf[0..8].try_into().expect("8-byte field"));
+                mlen = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte field")) as usize;
+            }
+            if !model_done && mlen != usize::MAX && buf.len() >= 16 + mlen {
+                let mut mslice: &[u8] = &buf[16..16 + mlen];
+                let m = ModelState::decode(&mut mslice).expect("bad model state");
+                model.load_state(&m);
+                model_done = true;
+            }
+        },
+    )?;
+    assert!(
+        model_done,
+        "truncated state payload: model section incomplete"
+    );
+    let mut rest: &[u8] = &buf[16 + mlen..];
+    let olen = rest.get_u64_le() as usize;
+    let mut obytes: &[u8] = &rest[..olen];
+    let optim = OptimState::decode(&mut obytes).expect("bad optim state");
+    w.opt.load_state(&optim);
+    w.iteration = iteration;
+    w.tracker.reset();
+    w.model.zero_grads();
+    w.model.clear_caches();
+    w.needs_resync = false;
+    Ok(())
 }
 
 /// Survivor-side recovery (§3, Fig. 5):
 /// 1. repair crash consistency by undoing the partial update with the
 ///    cached gradients;
-/// 2. broadcast the (now pre-step-consistent) state from the lowest
-///    surviving rank to everyone — replacement included — so all replicas
-///    resume bit-identical.
+/// 2. synchronize state so all replicas resume bit-identical: a sharded
+///    multi-source transfer straight to the replacement when the
+///    survivors are provably identical already, else a single-root
+///    broadcast that re-aligns everyone (see [`synchronize_state`]).
 ///
 /// `participants` = all surviving replicas plus the replacement, and every
 /// one of them must call this (or [`replication_join`]) collectively.
@@ -222,16 +380,7 @@ pub fn replication_recover_survivor(
     repair_dp_consistency(w);
     let epoch = failure_epoch(&ctx.kv);
     recovery_fence(ctx, epoch.generation(), participants)?;
-    let root = *survivors.iter().min().expect("no survivors");
-    let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
-    let state = ctx.comm.broadcast_bytes_chunked_among(
-        participants,
-        root,
-        payload,
-        default_chunk_bytes(),
-    )?;
-    decode_dp_state_into(w, state);
-    Ok(())
+    synchronize_state(ctx, w, survivors, participants)
 }
 
 /// Undoes a partially-applied update (§4). Idempotent: the update tracker
@@ -251,12 +400,17 @@ pub(crate) fn repair_dp_consistency(w: &mut DpWorker) {
             .expect("replication recovery requires an invertible optimizer");
         swift_obs::add(swift_obs::Counter::UndoneUpdates, groups.len() as u64);
         w.tracker.reset();
+        // The undo restores the pre-step state only up to floating-point
+        // residue; until the next full synchronization this replica must
+        // not be treated as bit-identical to its peers.
+        w.needs_resync = true;
     }
 }
 
 /// Replacement-side recovery: build a fresh worker (same model structure
 /// and optimizer kind — the job configuration is static) and receive the
-/// broadcast state.
+/// survivors' state — shard-streamed from every survivor at once on the
+/// fast path, with decode overlapped with shard arrival.
 pub fn replication_join(
     ctx: &mut WorkerCtx,
     model_template: Sequential,
@@ -267,11 +421,7 @@ pub fn replication_join(
     let mut w = DpWorker::new(model_template, opt_template);
     let epoch = failure_epoch(&ctx.kv);
     recovery_fence(ctx, epoch.generation(), participants)?;
-    let root = *survivors.iter().min().expect("no survivors");
-    let state =
-        ctx.comm
-            .broadcast_bytes_chunked_among(participants, root, None, default_chunk_bytes())?;
-    decode_dp_state_into(&mut w, state);
+    synchronize_state(ctx, &mut w, survivors, participants)?;
     Ok(w)
 }
 
@@ -304,16 +454,11 @@ pub fn replication_recover_supervised(
         phases.enter(RecoveryPhase::RepairConsistency);
         repair_dp_consistency(w);
         let survivors = live_survivors(ctx, group);
-        let root = *survivors.iter().min().expect("no survivors");
         phases.enter(RecoveryPhase::Fence);
         recovery_fence(ctx, epoch.generation(), group)?;
         phases.enter(RecoveryPhase::Synchronize);
-        let payload = (ctx.rank() == root).then(|| encode_dp_state(w));
-        let state =
-            ctx.comm
-                .broadcast_bytes_chunked_among(group, root, payload, default_chunk_bytes())?;
+        synchronize_state(ctx, w, &survivors, group)?;
         phases.enter(RecoveryPhase::Rejoin);
-        decode_dp_state_into(w, state);
         Ok(())
     })?;
     Ok(report)
@@ -333,15 +478,11 @@ pub fn replication_join_supervised(
         phases.enter(RecoveryPhase::RepairConsistency);
         let mut w = DpWorker::new(model_fn(), opt_fn());
         let survivors = live_survivors(ctx, group);
-        let root = *survivors.iter().min().expect("no survivors");
         phases.enter(RecoveryPhase::Fence);
         recovery_fence(ctx, epoch.generation(), group)?;
         phases.enter(RecoveryPhase::Synchronize);
-        let state =
-            ctx.comm
-                .broadcast_bytes_chunked_among(group, root, None, default_chunk_bytes())?;
+        synchronize_state(ctx, &mut w, &survivors, group)?;
         phases.enter(RecoveryPhase::Rejoin);
-        decode_dp_state_into(&mut w, state);
         Ok(w)
     })
 }
@@ -636,6 +777,62 @@ mod tests {
             diff < 1e-5,
             "undo must restore the pre-step-3 state (diff {diff})"
         );
+    }
+
+    #[test]
+    fn clean_survivors_shard_stream_to_replacement() {
+        // No crash-consistency damage: both survivors finish iteration 3
+        // cleanly, so the consensus gather proves them bit-identical and
+        // the join takes the sharded multi-source fast path (survivors
+        // keep their state, the replacement stream-decodes). The
+        // replacement must come out bit-identical to the survivors — the
+        // same bytes the single-root broadcast would have delivered.
+        let results = Cluster::run_all(Topology::uniform(3, 1), |mut ctx| {
+            let ds = BlobsDataset::new(9, 6, 3, 0.3);
+            if ctx.rank() < 2 {
+                let mut w = make_worker();
+                for it in 0..3 {
+                    let batch = ds.batch(it, 16);
+                    let shard = shard_batch(&batch, ctx.rank(), 2);
+                    dp_train_step(
+                        &mut ctx,
+                        &mut w,
+                        &[0, 1],
+                        &shard.x,
+                        &shard.y,
+                        1.0 / 16.0,
+                        None,
+                    )
+                    .unwrap();
+                }
+                assert!(!w.needs_resync, "clean steps leave no undo residue");
+                replication_recover_survivor(&mut ctx, &mut w, &[0, 1], &[0, 1, 2]).unwrap();
+                (w.iteration, w.model.state())
+            } else {
+                let w = replication_join(
+                    &mut ctx,
+                    mlp("m", &[6, 12, 3], 77),
+                    OptimizerKind::SgdMomentum {
+                        lr: 0.05,
+                        weight_decay: 0.001,
+                        momentum: 0.9,
+                        dampening: 0.0,
+                    }
+                    .build(),
+                    &[0, 1],
+                    &[0, 1, 2],
+                )
+                .unwrap();
+                (w.iteration, w.model.state())
+            }
+        });
+        for (it, state) in &results {
+            assert_eq!(*it, 3, "everyone resumes from the survivors' iteration");
+            assert!(
+                state.bit_eq(&results[0].1),
+                "replacement state must be bitwise identical to the survivors'"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use swift_optim::{Optimizer, UndoError};
-use swift_tensor::{decode as decode_tensor, encode_into as encode_tensor_into, Tensor};
+use swift_tensor::{
+    decode_from as decode_tensor, encode_into as encode_tensor_into,
+    encoded_size as encoded_tensor_size, Tensor,
+};
 
 use crate::layer::{Layer, Mode, StepCtx};
 
@@ -397,18 +400,35 @@ impl ModelState {
 
     /// Encodes to bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.encoded_size());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes, appending to any [`BufMut`] (a `BytesMut` or a pooled
+    /// staging buffer) instead of allocating a fresh one.
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
         buf.put_u32_le(self.entries.len() as u32);
         for (name, t) in &self.entries {
             buf.put_u32_le(name.len() as u32);
             buf.put_slice(name.as_bytes());
-            encode_tensor_into(t, &mut buf);
+            encode_tensor_into(t, buf);
         }
-        buf.freeze()
     }
 
-    /// Decodes from bytes.
-    pub fn decode(buf: &mut Bytes) -> Result<Self, String> {
+    /// Exact number of bytes [`encode`](ModelState::encode) will produce —
+    /// computed arithmetically, without encoding anything.
+    pub fn encoded_size(&self) -> usize {
+        4 + self
+            .entries
+            .iter()
+            .map(|(name, t)| 4 + name.len() + encoded_tensor_size(t))
+            .sum::<usize>()
+    }
+
+    /// Decodes from the front of any [`Buf`] (a `Bytes` or a plain byte
+    /// slice), advancing it.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, String> {
         if buf.remaining() < 4 {
             return Err("model state truncated".into());
         }
@@ -422,7 +442,9 @@ impl ModelState {
             if buf.remaining() < len {
                 return Err("model state truncated".into());
             }
-            let name = String::from_utf8(buf.split_to(len).to_vec()).map_err(|e| e.to_string())?;
+            let mut raw = vec![0u8; len];
+            buf.copy_to_slice(&mut raw);
+            let name = String::from_utf8(raw).map_err(|e| e.to_string())?;
             let t = decode_tensor(buf).map_err(|e| e.to_string())?;
             entries.push((name, t));
         }

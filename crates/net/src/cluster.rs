@@ -639,6 +639,112 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random payload shared by the sharded-transfer
+    /// tests: every survivor builds the same bytes (the replication
+    /// invariant the scatter contract requires).
+    fn scatter_payload(len: usize, seed: u64) -> bytes::Bytes {
+        bytes::Bytes::from(
+            (0..len)
+                .map(|i| {
+                    ((i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed)
+                        >> 33) as u8
+                })
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    /// One sharded-transfer round on the channel fabric: survivors stream
+    /// shards to the replacement, and the replacement's bytes must be
+    /// bitwise identical to the single-root chunked broadcast. Returns
+    /// whether they matched.
+    fn sharded_round_matches(
+        len: usize,
+        shard_bytes: usize,
+        survivors: Vec<Rank>,
+        replacement: Rank,
+        seed: u64,
+    ) -> bool {
+        let world = survivors.len() + 1;
+        let participants: Vec<Rank> = (0..world).collect();
+        let survivors2 = survivors.clone();
+        let results = Cluster::run_all(Topology::uniform(world, 1), move |mut ctx| {
+            let me = ctx.rank();
+            let payload = survivors2.contains(&me).then(|| scatter_payload(len, seed));
+            let sharded = ctx
+                .comm
+                .scatter_state_sharded(&survivors2, &[replacement], payload, shard_bytes)
+                .unwrap();
+            let root = *survivors2.iter().min().unwrap();
+            let root_payload = (me == root).then(|| scatter_payload(len, seed));
+            let broadcast = ctx
+                .comm
+                .broadcast_bytes_chunked_among(&participants, root, root_payload, 4096)
+                .unwrap();
+            (sharded, broadcast)
+        });
+        let (sharded, broadcast) = &results[replacement];
+        sharded == broadcast && sharded.len() == len
+    }
+
+    /// The sharded multi-source transfer must hand the replacement bytes
+    /// bitwise identical to the single-root broadcast at shard counts
+    /// 1, 2, 4 and 8, for 1–4 survivors, ragged and aligned alike.
+    #[test]
+    fn sharded_scatter_bitwise_matches_single_root_broadcast() {
+        let len = 100_001usize; // ragged: the last shard is short
+        for num_survivors in 1usize..=4 {
+            for shard_count in [1usize, 2, 4, 8] {
+                let shard_bytes = len.div_ceil(shard_count);
+                let survivors: Vec<Rank> = (0..num_survivors).collect();
+                assert!(
+                    sharded_round_matches(len, shard_bytes, survivors, num_survivors, 7),
+                    "diverged at survivors={num_survivors} shards={shard_count}"
+                );
+            }
+        }
+        // Empty payload: header-only exchange.
+        assert!(sharded_round_matches(0, 1024, vec![0, 1], 2, 7));
+    }
+
+    /// Shard arrival drives the streaming callback in flat-offset order
+    /// with the advertised total, so decode can overlap arrival.
+    #[test]
+    fn sharded_scatter_callback_sees_flat_offsets_in_order() {
+        let len = 10_000usize;
+        let results = Cluster::run_all(Topology::uniform(3, 1), move |mut ctx| {
+            let survivors = [0usize, 1];
+            let me = ctx.rank();
+            if survivors.contains(&me) {
+                let payload = Some(scatter_payload(len, 3));
+                ctx.comm
+                    .scatter_state_sharded_with(&survivors, &[2], payload, 1000, |_, _, _| {})
+                    .unwrap();
+                Vec::new()
+            } else {
+                let mut seen = Vec::new();
+                let total = ctx
+                    .comm
+                    .scatter_state_sharded_with(&survivors, &[2], None, 1000, |total, off, b| {
+                        seen.push((total, off, b.len()));
+                    })
+                    .unwrap();
+                assert_eq!(total, len);
+                seen
+            }
+        });
+        let seen = &results[2];
+        assert_eq!(seen.len(), 10, "ceil(10000/1000) shards");
+        let mut expect_off = 0;
+        for &(total, off, piece) in seen {
+            assert_eq!(total, len);
+            assert_eq!(off, expect_off, "flat-offset order");
+            expect_off += piece;
+        }
+        assert_eq!(expect_off, len);
+    }
+
     /// One randomized round: chunked all-reduce and chunked broadcast
     /// must be bitwise equal to the monolithic collectives. Returns
     /// whether every rank agreed.
@@ -696,6 +802,22 @@ mod tests {
                 seed in 0u64..1000,
             ) {
                 prop_assert!(super::chunked_round_matches(numel, chunk_bytes, world, seed));
+            }
+
+            // Random payload sizes × shard sizes × survivor sets: the
+            // sharded multi-source transfer stays bitwise equal to the
+            // single-root chunked broadcast.
+            #[test]
+            fn sharded_scatter_matches_broadcast(
+                len in 0usize..20_000,
+                shard_bytes in 1usize..8192,
+                num_survivors in 1usize..5,
+                seed in 0u64..1000,
+            ) {
+                let survivors: Vec<usize> = (0..num_survivors).collect();
+                prop_assert!(super::sharded_round_matches(
+                    len, shard_bytes, survivors, num_survivors, seed,
+                ));
             }
         }
     }

@@ -1104,6 +1104,132 @@ impl Comm {
         Ok(dst)
     }
 
+    /// Sharded multi-source state transfer: every survivor concurrently
+    /// streams a disjoint contiguous shard of the encoded state to every
+    /// replacement, and each replacement reassembles the shards at their
+    /// flat offsets.
+    ///
+    /// The shard schedule is a pure function of the payload length,
+    /// `shard_bytes` and the ascending-sorted survivor set: shard *i*
+    /// covers bytes `[i·B, min((i+1)·B, len))` and is sent by survivor
+    /// index `i mod n`. The lowest survivor prefixes its stream with an
+    /// 8-byte length header. Because reassembly is a pure repartition of
+    /// the payload at fixed offsets, the received bytes are **bitwise
+    /// identical** to [`broadcast_bytes_chunked_among`](Comm::broadcast_bytes_chunked_among)
+    /// from any single survivor, at any shard size and thread count.
+    ///
+    /// Contract: every survivor must supply the *same* payload bytes
+    /// (the replication invariant — callers that cannot guarantee it
+    /// fall back to the single-root broadcast). Every rank in
+    /// `survivors ∪ replacements` must call this collectively; the two
+    /// sets must be disjoint. Survivors return their own payload,
+    /// replacements the reassembled bytes.
+    pub fn scatter_state_sharded(
+        &mut self,
+        survivors: &[Rank],
+        replacements: &[Rank],
+        payload: Option<Bytes>,
+        shard_bytes: usize,
+    ) -> Result<Bytes, CommError> {
+        if survivors.contains(&self.rank) {
+            let own = payload
+                .clone()
+                .expect("every survivor must supply the state payload");
+            self.scatter_state_sharded_with(
+                survivors,
+                replacements,
+                payload,
+                shard_bytes,
+                |_, _, _| {},
+            )?;
+            Ok(own)
+        } else {
+            let mut buf: Vec<u8> = Vec::new();
+            self.scatter_state_sharded_with(
+                survivors,
+                replacements,
+                None,
+                shard_bytes,
+                |total, offset, piece: &Bytes| {
+                    if buf.capacity() < total {
+                        buf.reserve_exact(total - buf.len());
+                    }
+                    debug_assert_eq!(offset, buf.len(), "shards must land at flat offsets");
+                    buf.extend_from_slice(piece);
+                },
+            )?;
+            Ok(Bytes::from(buf))
+        }
+    }
+
+    /// [`scatter_state_sharded`](Comm::scatter_state_sharded) delivering
+    /// each shard to a callback as it arrives, in flat-offset order —
+    /// `on_shard(total_len, offset, bytes)` — so a replacement can
+    /// overlap decoding with the arrival of later shards instead of
+    /// waiting for the whole payload. Survivors never invoke the
+    /// callback. Returns the total payload length.
+    pub fn scatter_state_sharded_with<F>(
+        &mut self,
+        survivors: &[Rank],
+        replacements: &[Rank],
+        payload: Option<Bytes>,
+        shard_bytes: usize,
+        mut on_shard: F,
+    ) -> Result<usize, CommError>
+    where
+        F: FnMut(usize, usize, &Bytes),
+    {
+        let tag = self.next_coll_tag();
+        let shard = shard_bytes.max(1);
+        let mut srcs: Vec<Rank> = survivors.to_vec();
+        srcs.sort_unstable();
+        srcs.dedup();
+        let n = srcs.len();
+        assert!(n > 0, "sharded transfer needs at least one survivor");
+        debug_assert!(
+            replacements.iter().all(|r| !srcs.contains(r)),
+            "survivor and replacement sets must be disjoint"
+        );
+        if let Some(pos) = srcs.iter().position(|&r| r == self.rank) {
+            let payload = payload.expect("every survivor must supply the state payload");
+            let total = payload.len();
+            if pos == 0 {
+                let header = Bytes::copy_from_slice(&(total as u64).to_le_bytes());
+                for &r in replacements {
+                    self.send_bytes(r, tag, header.clone())?;
+                }
+            }
+            // This survivor's shards: indices pos, pos+n, pos+2n, …
+            // Slices are refcounted views — no copies on the send side.
+            let num_shards = total.div_ceil(shard);
+            let mut i = pos;
+            while i < num_shards {
+                let lo = i * shard;
+                let hi = (lo + shard).min(total);
+                let piece = payload.slice(lo..hi);
+                for &r in replacements {
+                    self.send_bytes(r, tag, piece.clone())?;
+                }
+                i += n;
+            }
+            Ok(total)
+        } else {
+            debug_assert!(
+                replacements.contains(&self.rank),
+                "caller must be a survivor or a replacement"
+            );
+            let header = self.recv_bytes(srcs[0], tag)?;
+            let total =
+                u64::from_le_bytes(header[..8].try_into().expect("8-byte length header")) as usize;
+            let num_shards = total.div_ceil(shard);
+            for i in 0..num_shards {
+                let piece = self.recv_bytes(srcs[i % n], tag)?;
+                on_shard(total, i * shard, &piece);
+            }
+            Ok(total)
+        }
+    }
+
     /// Gathers one `u64` from every participant at every participant
     /// (used to reach consensus on the pre-failure iteration, §6
     /// "Update-undo" in pipeline parallelism). Returns values in
@@ -1169,4 +1295,100 @@ pub fn default_chunk_bytes() -> usize {
             .filter(|&v| v > 0)
             .unwrap_or(64 * 1024)
     })
+}
+
+/// The default shard size in bytes for
+/// [`scatter_state_sharded`](Comm::scatter_state_sharded): the
+/// `SWIFT_SHARD_BYTES` environment variable when set (raw byte count),
+/// else 256 KiB — large enough that per-shard overhead is negligible,
+/// small enough that a multi-MiB state spreads across every survivor.
+/// The received bytes are shard-size-independent (the CI determinism
+/// matrix sweeps this knob); only the streaming granularity changes.
+/// Read once and cached.
+pub fn default_shard_bytes() -> usize {
+    static SHARD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SHARD.get_or_init(|| {
+        std::env::var("SWIFT_SHARD_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(256 * 1024)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::RetryPolicy;
+    use crate::socket::SocketTransport;
+    use crate::topology::Topology;
+
+    fn tmp_dir(label: &str) -> std::path::PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("swift-comm-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn payload(len: usize, seed: u64) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| {
+                    ((i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed)
+                        >> 33) as u8
+                })
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    /// The sharded transfer over the *socket* backend (real processes use
+    /// this transport) must hand the replacement bytes bitwise identical
+    /// to the single-root chunked broadcast, at shard counts 1, 2, 4, 8.
+    #[test]
+    fn sharded_scatter_matches_broadcast_over_sockets() {
+        let world = 4usize; // 3 survivors + 1 replacement
+        let survivors = [0usize, 1, 2];
+        let replacement = 3usize;
+        let len = 50_003usize;
+        let shard_sizes: Vec<usize> = [1usize, 2, 4, 8].iter().map(|c| len.div_ceil(*c)).collect();
+        let dir = tmp_dir("scatter");
+        let fc = crate::failure::FailureController::new(Topology::uniform(world, 1));
+        let kv = KvStore::new();
+        let participants: Vec<Rank> = (0..world).collect();
+        let mut handles = Vec::new();
+        for rank in 0..world {
+            let dir = dir.clone();
+            let fc = fc.clone();
+            let kv = kv.clone();
+            let shard_sizes = shard_sizes.clone();
+            let participants = participants.clone();
+            handles.push(std::thread::spawn(move || {
+                let connect = RetryPolicy::poll().with_deadline(Duration::from_secs(5));
+                let t = SocketTransport::bind(&dir, rank, world, connect).unwrap();
+                let mut comm = Comm::over_transport(rank, world, Box::new(t), fc, kv, 0);
+                let mut rounds = Vec::new();
+                for &shard_bytes in &shard_sizes {
+                    let data = survivors.contains(&rank).then(|| payload(len, 11));
+                    let sharded = comm
+                        .scatter_state_sharded(&survivors, &[replacement], data, shard_bytes)
+                        .unwrap();
+                    let root_data = (rank == 0).then(|| payload(len, 11));
+                    let broadcast = comm
+                        .broadcast_bytes_chunked_among(&participants, 0, root_data, 4096)
+                        .unwrap();
+                    rounds.push((sharded, broadcast));
+                }
+                rounds
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, (sharded, broadcast)) in results[replacement].iter().enumerate() {
+            assert_eq!(sharded.len(), len, "round {i}");
+            assert_eq!(sharded, broadcast, "socket scatter diverged in round {i}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }

@@ -11,7 +11,10 @@
 //! gradients (paper §4), so no extra memory is required.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use swift_tensor::{decode as decode_tensor, encode_into as encode_tensor_into, Tensor};
+use swift_tensor::{
+    decode_from as decode_tensor, encode_into as encode_tensor_into,
+    encoded_size as encoded_tensor_size, Tensor,
+};
 
 use crate::ops::OpKind;
 
@@ -130,13 +133,19 @@ pub struct OptimState {
 impl OptimState {
     /// Encodes the snapshot into a byte buffer (used by checkpoints).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        put_str(&mut buf, &self.name);
+        let mut buf = BytesMut::with_capacity(self.encoded_size());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes the snapshot, appending to any [`BufMut`].
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
+        put_str(buf, &self.name);
         buf.put_u64_le(self.t);
         buf.put_f32_le(self.last_lr);
         buf.put_u32_le(self.scalars.len() as u32);
         for (name, vals) in &self.scalars {
-            put_str(&mut buf, name);
+            put_str(buf, name);
             buf.put_u32_le(vals.len() as u32);
             for &v in vals {
                 buf.put_f32_le(v);
@@ -144,23 +153,40 @@ impl OptimState {
         }
         buf.put_u32_le(self.slots.len() as u32);
         for (name, tensors) in &self.slots {
-            put_str(&mut buf, name);
+            put_str(buf, name);
             buf.put_u32_le(tensors.len() as u32);
             for t in tensors {
                 match t {
                     Some(t) => {
                         buf.put_u8(1);
-                        encode_tensor_into(t, &mut buf);
+                        encode_tensor_into(t, buf);
                     }
                     None => buf.put_u8(0),
                 }
             }
         }
-        buf.freeze()
     }
 
-    /// Decodes a snapshot produced by [`encode`](OptimState::encode).
-    pub fn decode(buf: &mut Bytes) -> Result<Self, String> {
+    /// Exact number of bytes [`encode`](OptimState::encode) will produce —
+    /// computed arithmetically, without encoding anything.
+    pub fn encoded_size(&self) -> usize {
+        let mut n = 4 + self.name.len() + 8 + 4 + 4;
+        for (sname, vals) in &self.scalars {
+            n += 4 + sname.len() + 4 + 4 * vals.len();
+        }
+        n += 4;
+        for (sname, tensors) in &self.slots {
+            n += 4 + sname.len() + 4;
+            for t in tensors {
+                n += 1 + t.as_ref().map_or(0, encoded_tensor_size);
+            }
+        }
+        n
+    }
+
+    /// Decodes a snapshot produced by [`encode`](OptimState::encode) from
+    /// the front of any [`Buf`] (a `Bytes` or a plain byte slice).
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, String> {
         let name = get_str(buf)?;
         if buf.remaining() < 12 {
             return Err("optim state truncated".into());
@@ -224,12 +250,12 @@ impl OptimState {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut impl BufMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, String> {
+fn get_str(buf: &mut impl Buf) -> Result<String, String> {
     if buf.remaining() < 4 {
         return Err("string header truncated".into());
     }
@@ -237,8 +263,9 @@ fn get_str(buf: &mut Bytes) -> Result<String, String> {
     if buf.remaining() < n {
         return Err("string payload truncated".into());
     }
-    let raw = buf.split_to(n);
-    String::from_utf8(raw.to_vec()).map_err(|e| e.to_string())
+    let mut raw = vec![0u8; n];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|e| e.to_string())
 }
 
 /// Grows a slot vector and returns the slot for `idx`, initializing it to

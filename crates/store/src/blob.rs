@@ -24,6 +24,14 @@ pub enum StoreError {
         /// What rule it broke.
         reason: &'static str,
     },
+    /// The blob is present but its content violates the caller's protocol
+    /// (e.g. a pointer blob that must be UTF-8 text).
+    Corrupt {
+        /// The offending key.
+        key: String,
+        /// What invariant the content broke.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -33,6 +41,9 @@ impl std::fmt::Display for StoreError {
             StoreError::InvalidKey { key, reason } => {
                 write!(f, "invalid store key {key:?}: {reason}")
             }
+            StoreError::Corrupt { key, reason } => {
+                write!(f, "corrupt store blob {key:?}: {reason}")
+            }
         }
     }
 }
@@ -41,7 +52,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
-            StoreError::InvalidKey { .. } => None,
+            StoreError::InvalidKey { .. } | StoreError::Corrupt { .. } => None,
         }
     }
 }
@@ -58,6 +69,9 @@ impl From<StoreError> for std::io::Error {
             StoreError::Io(e) => e,
             StoreError::InvalidKey { .. } => {
                 std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            }
+            StoreError::Corrupt { .. } => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
             }
         }
     }
@@ -141,6 +155,17 @@ impl BlobStore {
         self.bytes_read
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(Bytes::from(data))
+    }
+
+    /// Reads the blob under `key` as UTF-8 text (pointer blobs such as a
+    /// checkpoint `latest`). Non-UTF-8 content surfaces as a typed
+    /// [`StoreError::Corrupt`] — never a silently coerced default.
+    pub fn get_utf8(&self, key: &str) -> StoreResult<String> {
+        let data = self.get(key)?;
+        String::from_utf8(data.to_vec()).map_err(|_| StoreError::Corrupt {
+            key: key.to_string(),
+            reason: "pointer blob is not valid UTF-8",
+        })
     }
 
     /// Whether `key` exists (false for keys that are not valid).

@@ -51,6 +51,7 @@ impl<T> Freelist<T> {
 
 static F32_POOL: Mutex<Freelist<f32>> = Mutex::new(Freelist::new());
 static U16_POOL: Mutex<Freelist<u16>> = Mutex::new(Freelist::new());
+static U8_POOL: Mutex<Freelist<u8>> = Mutex::new(Freelist::new());
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
@@ -159,6 +160,18 @@ pub fn put_u16(v: Vec<u16>) {
     put_raw(&U16_POOL, v);
 }
 
+/// A pooled, **empty** `Vec<u8>` with capacity ≥ `min_capacity` (encode
+/// staging for checkpoints and state transfer). The caller appends up to
+/// the intended length; appends within `min_capacity` never reallocate.
+pub fn take_u8_raw(min_capacity: usize) -> Vec<u8> {
+    take_raw(&U8_POOL, min_capacity)
+}
+
+/// Returns a byte buffer to the pool.
+pub fn put_u8(v: Vec<u8>) {
+    put_raw(&U8_POOL, v);
+}
+
 /// Cumulative pool traffic since process start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
@@ -190,6 +203,11 @@ pub fn clear() {
         .classes
         .clear();
     U16_POOL
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .classes
+        .clear();
+    U8_POOL
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .classes
@@ -277,6 +295,19 @@ mod tests {
         let v2 = take_u16(80);
         assert!(v2.capacity() >= 80);
         put_u16(v2);
+    }
+
+    #[test]
+    fn u8_pool_round_trips() {
+        let mut v = take_u8_raw(200);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 200);
+        v.extend_from_slice(&[1, 2, 3]);
+        put_u8(v);
+        let v2 = take_u8_raw(150);
+        assert!(v2.is_empty(), "recycled byte buffers come back cleared");
+        assert!(v2.capacity() >= 150);
+        put_u8(v2);
     }
 
     #[test]

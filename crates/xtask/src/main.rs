@@ -282,11 +282,14 @@ fn verify() -> ExitCode {
 
 /// The benchmark suites and the committed baseline each quick run gates
 /// against: the recovery fast path (PR 3), the collective/WAL overlap
-/// layer (PR 5), and the SIMD dispatch + zero-alloc layer (PR 8).
+/// layer (PR 5), the SIMD dispatch + zero-alloc layer (PR 8), and the
+/// recovery critical path — sharded state transfer, delta checkpoints,
+/// MTTR decomposition (PR 10).
 const BENCH_SUITES: &[(&str, &str)] = &[
     ("fastpath", "BENCH_pr3.json"),
     ("overlap", "BENCH_pr5.json"),
     ("simd", "BENCH_pr8.json"),
+    ("recovery", "BENCH_pr10.json"),
 ];
 /// How much slower a microbench may get before the quick gate fails.
 const BENCH_REGRESSION_FACTOR: u64 = 2;
